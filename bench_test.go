@@ -1,0 +1,232 @@
+package rstore_test
+
+// Benchmark harness: one testing.B benchmark per paper table/figure (each
+// regenerates the artifact at quick scale; run cmd/rstore-bench for readable
+// tables and -scale full for heavier datasets), plus micro-benchmarks of the
+// engine's hot paths.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig8 -v        # print the regenerated table
+
+import (
+	"fmt"
+	"testing"
+
+	"rstore"
+	"rstore/internal/bench"
+	"rstore/internal/corpus"
+	"rstore/internal/partition"
+	"rstore/internal/subchunk"
+	"rstore/internal/workload"
+)
+
+// runExperiment executes one paper artifact per iteration; with -v the
+// first iteration's tables are printed.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := bench.Quick()
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			for _, t := range tables {
+				t.Fprint(benchWriter{b})
+			}
+		}
+	}
+}
+
+type benchWriter struct{ b *testing.B }
+
+func (w benchWriter) Write(p []byte) (int, error) {
+	w.b.Log(string(p))
+	return len(p), nil
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkTable1(b *testing.B)         { runExperiment(b, "table1") }
+func BenchmarkTableChunkSize(b *testing.B) { runExperiment(b, "table-chunksize") }
+func BenchmarkTable2Gen(b *testing.B)      { runExperiment(b, "table2") }
+func BenchmarkFig8(b *testing.B)           { runExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)           { runExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)          { runExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)          { runExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)          { runExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)          { runExperiment(b, "fig13") }
+
+// --- engine micro-benchmarks ---
+
+func benchCorpus(b *testing.B, versions, records int) *corpus.Corpus {
+	b.Helper()
+	c, err := workload.Generate(workload.Spec{
+		Name: "bench", Versions: versions, AvgDepth: float64(versions) / 4,
+		RecordsPerVersion: records, UpdatePct: 0.10,
+		Update: workload.RandomUpdate, RecordSize: 256, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkPartition measures each algorithm's partitioning throughput.
+func BenchmarkPartition(b *testing.B) {
+	c := benchCorpus(b, 200, 500)
+	in, err := partition.NewInputFromCorpus(c, 16<<10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, algo := range []partition.Algorithm{
+		partition.BottomUp{}, partition.BottomUp{Beta: 20},
+		partition.Shingle{Seed: 1}, partition.DepthFirst{}, partition.BreadthFirst{},
+	} {
+		name := algo.Name()
+		if bu, ok := algo.(partition.BottomUp); ok && bu.Beta > 0 {
+			name = fmt.Sprintf("%s-beta%d", name, bu.Beta)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := algo.Partition(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSubchunkBuild measures Algorithm 5 + tree transformation.
+func BenchmarkSubchunkBuild(b *testing.B) {
+	c := benchCorpus(b, 100, 300)
+	for _, k := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := subchunk.Build(c, k, 16<<10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCommit measures online ingest throughput (delta store writes +
+// periodic batch flushes).
+func BenchmarkCommit(b *testing.B) {
+	st, err := rstore.Open(rstore.Config{ChunkCapacity: 64 << 10, BatchSize: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	parent, err := st.Commit(rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
+		"seed": []byte("s"),
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch := rstore.Change{Puts: map[rstore.Key][]byte{
+			rstore.Key(fmt.Sprintf("k%06d", i%1000)): []byte(fmt.Sprintf(`{"i":%d}`, i)),
+		}}
+		v, err := st.Commit(parent, ch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parent = v
+	}
+}
+
+// BenchmarkGetVersion / BenchmarkGetRecord / BenchmarkGetHistory measure
+// the three query paths on a materialized store.
+func queryBenchStore(b *testing.B) (*rstore.Store, *corpus.Corpus) {
+	b.Helper()
+	c := benchCorpus(b, 150, 400)
+	st, err := rstore.Open(rstore.Config{ChunkCapacity: 16 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.BulkLoad(c); err != nil {
+		b.Fatal(err)
+	}
+	return st, c
+}
+
+func BenchmarkGetVersion(b *testing.B) {
+	st, c := queryBenchStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := st.GetVersion(rstore.VersionID(i % c.NumVersions())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetRecord(b *testing.B) {
+	st, c := queryBenchStore(b)
+	keys := c.Keys()
+	last := rstore.VersionID(c.NumVersions() - 1)
+	members, err := c.Members(last)
+	if err != nil {
+		b.Fatal(err)
+	}
+	liveKeys := make([]rstore.Key, 0, len(members))
+	for _, id := range members {
+		liveKeys = append(liveKeys, c.Record(id).CK.Key)
+	}
+	_ = keys
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := st.GetRecord(liveKeys[i%len(liveKeys)], last); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetHistory(b *testing.B) {
+	st, c := queryBenchStore(b)
+	keys := c.Keys()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := st.GetHistory(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlushBatch measures one online partitioning batch end to end.
+func BenchmarkFlushBatch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := rstore.Open(rstore.Config{ChunkCapacity: 32 << 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		parent := rstore.NoParent
+		for v := 0; v < 32; v++ {
+			ch := rstore.Change{Puts: map[rstore.Key][]byte{}}
+			for r := 0; r < 32; r++ {
+				ch.Puts[rstore.Key(fmt.Sprintf("k%02d-%02d", v, r))] = []byte(`{"x":1}`)
+			}
+			parent, err = st.Commit(parent, ch)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := st.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command rstore-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rstore-bench -exp fig8            # one experiment
+//	rstore-bench -all                 # everything, paper order
+//	rstore-bench -all -scale full     # heavier datasets
+//	rstore-bench -list                # catalog of experiments
+//
+// Output is printed as aligned text tables, one per paper artifact, each
+// annotated with the paper's reported shape for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rstore/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiments")
+		scale   = flag.String("scale", "quick", "dataset scale: quick|full")
+		queries = flag.Int("queries", 0, "override query sample size")
+		seed    = flag.Int64("seed", 0, "override RNG seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	opts := bench.Quick()
+	if *scale == "full" {
+		opts = bench.Full()
+	}
+	if *queries > 0 {
+		opts.Queries = *queries
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+
+	var runs []bench.Experiment
+	switch {
+	case *all:
+		runs = bench.Experiments()
+	case *exp != "":
+		e, err := bench.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runs = []bench.Experiment{e}
+	default:
+		fmt.Fprintln(os.Stderr, "rstore-bench: need -exp <id>, -all, or -list")
+		os.Exit(2)
+	}
+
+	for _, e := range runs {
+		start := time.Now()
+		tables, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rstore-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Printf("(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,86 @@
+// Command rstore-gen generates and describes the synthetic datasets of the
+// paper's Table 2.
+//
+// Usage:
+//
+//	rstore-gen -list                      # catalog with paper parameters
+//	rstore-gen -dataset C0 -vfrac 0.05    # generate scaled C0, print stats
+//	rstore-gen -all -vfrac 0.02           # all datasets at a scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rstore/internal/workload"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list the Table 2 catalog")
+		dataset = flag.String("dataset", "", "dataset name to generate")
+		all     = flag.Bool("all", false, "generate every dataset")
+		vfrac   = flag.Float64("vfrac", 0.02, "version-count scale fraction")
+		rfrac   = flag.Float64("rfrac", 0.02, "records-per-version scale fraction")
+		sfrac   = flag.Float64("sfrac", 0.125, "record-size scale fraction")
+		seed    = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-4s %10s %10s %12s %8s %8s %10s\n",
+			"name", "#versions", "avg depth", "#recs/ver", "%update", "type", "rec size")
+		for _, s := range workload.Catalog() {
+			depth := s.AvgDepth
+			if depth == 0 {
+				depth = float64(s.Versions)
+			}
+			size := s.RecordSize
+			if size == 0 {
+				size = 1024
+			}
+			fmt.Printf("%-4s %10d %10.1f %12d %8.0f %8s %10d\n",
+				s.Name, s.Versions, depth, s.RecordsPerVersion, s.UpdatePct*100, s.Update, size)
+		}
+		return
+	}
+
+	var specs []workload.Spec
+	switch {
+	case *all:
+		specs = workload.Catalog()
+	case *dataset != "":
+		s, err := workload.SpecByName(*dataset)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		specs = []workload.Spec{s}
+	default:
+		fmt.Fprintln(os.Stderr, "rstore-gen: need -list, -dataset <name>, or -all")
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-4s %10s %10s %12s %14s %12s %10s\n",
+		"name", "#versions", "avg depth", "#uniques", "unique bytes", "#keys", "gen time")
+	for _, s := range specs {
+		s = s.Scaled(*vfrac, *rfrac, *sfrac)
+		s.Seed = *seed
+		start := time.Now()
+		c, err := workload.Generate(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rstore-gen: %s: %v\n", s.Name, err)
+			os.Exit(1)
+		}
+		if err := c.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "rstore-gen: %s: validation: %v\n", s.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-4s %10d %10.1f %12d %14d %12d %10s\n",
+			s.Name, c.NumVersions(), c.Graph().AvgLeafDepth(),
+			c.NumRecords(), c.TotalBytes(), c.NumKeys(),
+			time.Since(start).Round(time.Millisecond))
+	}
+}

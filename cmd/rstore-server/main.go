@@ -1,0 +1,83 @@
+// Command rstore-server runs the HTTP application server (paper §2.4) over
+// an in-process cluster, optionally restoring from / persisting to a
+// snapshot file on shutdown.
+//
+// Usage:
+//
+//	rstore-server -addr :8080 -nodes 4 -rf 2 [-store data.rstore]
+//
+// API (JSON):
+//
+//	POST /commit                       {"parent":-1,"puts":{"k":"<base64>"},"branch":"main"}
+//	GET  /version/{id|branch}          full version retrieval
+//	GET  /version/{id}/record/{key}    point retrieval
+//	GET  /version/{id}/range?lo=&hi=   partial version retrieval
+//	GET  /history/{key}                record evolution
+//	GET  /branches                     branch tips
+//	PUT  /branch/{name}                {"version":3}
+//	POST /flush                        force online partitioning
+//	GET  /stats                        store statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"rstore"
+	"rstore/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		nodes     = flag.Int("nodes", 1, "cluster nodes")
+		rf        = flag.Int("rf", 1, "replication factor")
+		batch     = flag.Int("batch", 16, "online partitioning batch size")
+		k         = flag.Int("k", 1, "max sub-chunk size (record compression)")
+		chunkKB   = flag.Int("chunk-kb", 1024, "chunk capacity in KiB")
+		storePath = flag.String("store", "", "snapshot file to restore from (optional)")
+	)
+	flag.Parse()
+
+	kv, err := rstore.OpenCluster(rstore.ClusterConfig{
+		Nodes: *nodes, ReplicationFactor: *rf, Cost: rstore.DefaultCostModel(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := rstore.Config{
+		KV: kv, BatchSize: *batch, SubChunkK: *k, ChunkCapacity: *chunkKB << 10,
+	}
+
+	var st *rstore.Store
+	if *storePath != "" {
+		if f, err := os.Open(*storePath); err == nil {
+			if err := kv.Restore(f); err != nil {
+				log.Fatalf("restore %s: %v", *storePath, err)
+			}
+			f.Close()
+			st, err = rstore.Load(cfg)
+			if err != nil {
+				log.Fatalf("load: %v", err)
+			}
+			log.Printf("restored %d versions from %s", st.NumVersions(), *storePath)
+		}
+	}
+	if st == nil {
+		st, err = rstore.Open(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	h := server.New(st)
+	log.Printf("rstore-server listening on %s (nodes=%d rf=%d batch=%d k=%d)",
+		*addr, *nodes, *rf, *batch, *k)
+	if err := http.ListenAndServe(*addr, h); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

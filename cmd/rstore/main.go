@@ -1,0 +1,313 @@
+// Command rstore is a small VCS-style CLI over a file-backed store,
+// mirroring the application-server commands of paper §2.4: init, commit,
+// checkout (pull a version), get, history, log, and branch.
+//
+// State persists in a single snapshot file (default .rstore) via the
+// cluster's Dump/Restore; every mutating command rewrites it.
+//
+// Usage:
+//
+//	rstore -store data.rstore init
+//	rstore commit -branch main -put doc1=@file.json -put doc2='{"x":1}' -del doc3
+//	rstore log
+//	rstore checkout -version 3 -out dir/
+//	rstore get -key doc1 -version 3
+//	rstore history -key doc1
+//	rstore branch -name dev -version 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rstore"
+	"rstore/internal/kvstore"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rstore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("rstore", flag.ContinueOnError)
+	storePath := global.String("store", ".rstore", "snapshot file")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("need a command: init|commit|log|checkout|get|history|branch|stats")
+	}
+	cmd, cmdArgs := rest[0], rest[1:]
+
+	if cmd == "init" {
+		kv, err := rstore.OpenCluster(rstore.ClusterConfig{Nodes: 1})
+		if err != nil {
+			return err
+		}
+		st, err := rstore.Open(rstore.Config{KV: kv})
+		if err != nil {
+			return err
+		}
+		if _, err := st.Commit(rstore.NoParent, rstore.Change{}); err != nil {
+			return err
+		}
+		if err := st.Flush(); err != nil {
+			return err
+		}
+		if err := st.SetBranch("main", 0); err != nil {
+			return err
+		}
+		if err := save(kv, st, *storePath); err != nil {
+			return err
+		}
+		fmt.Printf("initialized empty store at %s (root version 0, branch main)\n", *storePath)
+		return nil
+	}
+
+	kv, st, err := load(*storePath)
+	if err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "commit":
+		fs := flag.NewFlagSet("commit", flag.ContinueOnError)
+		branch := fs.String("branch", "main", "branch to advance")
+		var puts, dels multiFlag
+		fs.Var(&puts, "put", "key=value or key=@file (repeatable)")
+		fs.Var(&dels, "del", "key to delete (repeatable)")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		parent, err := st.Tip(*branch)
+		if err != nil {
+			return err
+		}
+		ch := rstore.Change{Puts: map[rstore.Key][]byte{}}
+		for _, p := range puts {
+			k, v, ok := strings.Cut(p, "=")
+			if !ok {
+				return fmt.Errorf("bad -put %q (want key=value)", p)
+			}
+			var val []byte
+			if strings.HasPrefix(v, "@") {
+				val, err = os.ReadFile(v[1:])
+				if err != nil {
+					return err
+				}
+			} else {
+				val = []byte(v)
+			}
+			ch.Puts[rstore.Key(k)] = val
+		}
+		for _, k := range dels {
+			ch.Deletes = append(ch.Deletes, rstore.Key(k))
+		}
+		v, err := st.Commit(parent, ch)
+		if err != nil {
+			return err
+		}
+		if err := st.Flush(); err != nil {
+			return err
+		}
+		if err := st.SetBranch(*branch, v); err != nil {
+			return err
+		}
+		if err := save(kv, st, *storePath); err != nil {
+			return err
+		}
+		fmt.Printf("committed version %d on %s (%d puts, %d deletes)\n",
+			v, *branch, len(ch.Puts), len(ch.Deletes))
+		return nil
+
+	case "log":
+		g := st.Graph()
+		for v := st.NumVersions() - 1; v >= 0; v-- {
+			vv := rstore.VersionID(v)
+			parents := g.Parents(vv)
+			tag := ""
+			for _, b := range st.Branches() {
+				if tip, err := st.Tip(b); err == nil && tip == vv {
+					tag += " <- " + b
+				}
+			}
+			fmt.Printf("version %-4d parents=%v depth=%d%s\n", v, parents, g.Depth(vv), tag)
+		}
+		return nil
+
+	case "checkout":
+		fs := flag.NewFlagSet("checkout", flag.ContinueOnError)
+		version := fs.Int("version", -1, "version id")
+		branch := fs.String("branch", "", "branch name (alternative to -version)")
+		out := fs.String("out", "", "output directory (default: print keys)")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		v, err := resolveVersion(st, *version, *branch)
+		if err != nil {
+			return err
+		}
+		recs, stats, err := st.GetVersion(v)
+		if err != nil {
+			return err
+		}
+		if *out == "" {
+			for _, r := range recs {
+				fmt.Printf("%s (origin v%d, %d bytes)\n", r.CK.Key, r.CK.Version, len(r.Value))
+			}
+		} else {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				return err
+			}
+			for _, r := range recs {
+				name := filepath.Join(*out, sanitize(string(r.CK.Key)))
+				if err := os.WriteFile(name, r.Value, 0o644); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Printf("checked out version %d: %d records (span=%d chunks)\n", v, len(recs), stats.Span)
+		return nil
+
+	case "get":
+		fs := flag.NewFlagSet("get", flag.ContinueOnError)
+		key := fs.String("key", "", "primary key")
+		version := fs.Int("version", -1, "version id")
+		branch := fs.String("branch", "", "branch name")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		v, err := resolveVersion(st, *version, *branch)
+		if err != nil {
+			return err
+		}
+		rec, _, err := st.GetRecord(rstore.Key(*key), v)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", rec.Value)
+		return nil
+
+	case "history":
+		fs := flag.NewFlagSet("history", flag.ContinueOnError)
+		key := fs.String("key", "", "primary key")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		recs, _, err := st.GetHistory(rstore.Key(*key))
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			fmt.Printf("v%-4d %s\n", r.CK.Version, r.Value)
+		}
+		return nil
+
+	case "branch":
+		fs := flag.NewFlagSet("branch", flag.ContinueOnError)
+		name := fs.String("name", "", "branch name")
+		version := fs.Int("version", -1, "version id")
+		if err := fs.Parse(cmdArgs); err != nil {
+			return err
+		}
+		if *name == "" {
+			for _, b := range st.Branches() {
+				tip, _ := st.Tip(b)
+				fmt.Printf("%-12s v%d\n", b, tip)
+			}
+			return nil
+		}
+		if err := st.SetBranch(*name, rstore.VersionID(*version)); err != nil {
+			return err
+		}
+		if err := save(kv, st, *storePath); err != nil {
+			return err
+		}
+		fmt.Printf("branch %s -> v%d\n", *name, *version)
+		return nil
+
+	case "stats":
+		s := kv.Stats()
+		fmt.Printf("versions:      %d\n", st.NumVersions())
+		fmt.Printf("chunks:        %d\n", st.NumChunks())
+		fmt.Printf("pending:       %d\n", st.PendingVersions())
+		fmt.Printf("total span:    %d\n", st.TotalVersionSpan())
+		fmt.Printf("stored bytes:  %d\n", s.BytesStored)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func resolveVersion(st *rstore.Store, version int, branch string) (rstore.VersionID, error) {
+	if branch != "" {
+		return st.Tip(branch)
+	}
+	if version < 0 {
+		return 0, fmt.Errorf("need -version or -branch")
+	}
+	return rstore.VersionID(version), nil
+}
+
+func sanitize(key string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '/' || r == '\\' || r == 0 {
+			return '_'
+		}
+		return r
+	}, key)
+}
+
+func load(path string) (*kvstore.Store, *rstore.Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("open store %s (run init first): %w", path, err)
+	}
+	defer f.Close()
+	kv, err := rstore.OpenCluster(rstore.ClusterConfig{Nodes: 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := kv.Restore(f); err != nil {
+		return nil, nil, err
+	}
+	st, err := rstore.Load(rstore.Config{KV: kv})
+	if err != nil {
+		return nil, nil, err
+	}
+	return kv, st, nil
+}
+
+// save atomically rewrites the snapshot file.
+func save(kv *kvstore.Store, st *rstore.Store, path string) error {
+	if err := st.Flush(); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := kv.Dump(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// multiFlag collects repeatable string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI drives the command with a store file in a temp dir.
+func runCLI(t *testing.T, store string, args ...string) error {
+	t.Helper()
+	return run(append([]string{"-store", store}, args...))
+}
+
+func TestCLILifecycle(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "data.rstore")
+
+	if err := runCLI(t, store, "init"); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	if _, err := os.Stat(store); err != nil {
+		t.Fatalf("snapshot file missing: %v", err)
+	}
+
+	// Commit from literal values and from a file.
+	docFile := filepath.Join(dir, "doc.json")
+	if err := os.WriteFile(docFile, []byte(`{"from":"file"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCLI(t, store, "commit",
+		"-put", "a={"+`"x":1}`, "-put", "b=@"+docFile); err != nil {
+		t.Fatalf("commit 1: %v", err)
+	}
+	if err := runCLI(t, store, "commit", "-put", `a={"x":2}`, "-del", "b"); err != nil {
+		t.Fatalf("commit 2: %v", err)
+	}
+
+	// Reads work across process "restarts" (every call reloads the file).
+	if err := runCLI(t, store, "log"); err != nil {
+		t.Fatalf("log: %v", err)
+	}
+	if err := runCLI(t, store, "get", "-key", "a", "-branch", "main"); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if err := runCLI(t, store, "history", "-key", "a"); err != nil {
+		t.Fatalf("history: %v", err)
+	}
+	if err := runCLI(t, store, "stats"); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+
+	// Checkout into a directory.
+	out := filepath.Join(dir, "co")
+	if err := runCLI(t, store, "checkout", "-branch", "main", "-out", out); err != nil {
+		t.Fatalf("checkout: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(out, "a"))
+	if err != nil || string(data) != `{"x":2}` {
+		t.Fatalf("checked-out a = %q, %v", data, err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "b")); err == nil {
+		t.Fatal("deleted key b materialized on checkout")
+	}
+
+	// Branch management.
+	if err := runCLI(t, store, "branch", "-name", "old", "-version", "1"); err != nil {
+		t.Fatalf("branch: %v", err)
+	}
+	if err := runCLI(t, store, "get", "-key", "b", "-branch", "old"); err != nil {
+		t.Fatalf("get on old branch: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "x.rstore")
+	// Commands before init fail cleanly.
+	if err := runCLI(t, store, "log"); err == nil {
+		t.Fatal("log before init succeeded")
+	}
+	if err := runCLI(t, store); err == nil || !strings.Contains(err.Error(), "command") {
+		t.Fatalf("missing command: %v", err)
+	}
+	if err := runCLI(t, store, "bogus"); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := runCLI(t, store, "init"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCLI(t, store, "commit", "-put", "malformed"); err == nil {
+		t.Fatal("malformed -put accepted")
+	}
+	if err := runCLI(t, store, "get", "-key", "a"); err == nil {
+		t.Fatal("get without version/branch accepted")
+	}
+	if err := runCLI(t, store, "checkout"); err == nil {
+		t.Fatal("checkout without version accepted")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("a/b\\c"); got != "a_b_c" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}

@@ -1,0 +1,93 @@
+// Package baseline implements the three baseline storage layouts the paper
+// compares RStore against (§2.2): the delta-chain layout of version control
+// systems (DELTA), the group-by-primary-key layout (SUBCHUNK), and the
+// one-record-per-KVS-key layout (Single Address Space). Each serves the same
+// four retrieval queries over the same backing kvstore so that Table 1 and
+// Figs 8/11 comparisons run on equal footing.
+package baseline
+
+import (
+	"rstore/internal/core"
+	"rstore/internal/corpus"
+	"rstore/internal/types"
+)
+
+// Stats mirrors the engine's per-query cost report.
+type Stats = core.QueryStats
+
+// Engine is a storage layout under evaluation.
+type Engine interface {
+	// Name is the paper's label for the layout.
+	Name() string
+	// Build persists the corpus into the layout's KVS tables.
+	Build(c *corpus.Corpus) error
+	// GetVersion retrieves all records of a version (Q1).
+	GetVersion(v types.VersionID) ([]types.Record, Stats, error)
+	// GetRecord retrieves the record of a key visible in a version.
+	GetRecord(key types.Key, v types.VersionID) (types.Record, Stats, error)
+	// GetRange retrieves a version's records with keys in [lo, hi) (Q2).
+	GetRange(lo, hi types.Key, v types.VersionID) ([]types.Record, Stats, error)
+	// GetHistory retrieves all records of a key (Q3).
+	GetHistory(key types.Key) ([]types.Record, Stats, error)
+	// StorageBytes reports the persisted volume.
+	StorageBytes() int64
+	// TotalVersionSpan reports Σ_v (entries fetched to reconstruct v) —
+	// the Fig 8 metric.
+	TotalVersionSpan() int
+}
+
+// visibleAt reports whether record id (with its origin and deletion points)
+// is visible at version v: the origin must be an ancestor of v (inclusive)
+// with no deletion on the origin→v path.
+func visibleAt(c *corpus.Corpus, origin types.VersionID, dels []types.VersionID, v types.VersionID) bool {
+	g := c.Graph()
+	if !isAncestor(g, origin, v) {
+		return false
+	}
+	for _, d := range dels {
+		// A deletion kills visibility at d and below; it lies on the
+		// origin→v path iff it is an ancestor of v (it is a descendant of
+		// origin by construction).
+		if isAncestor(g, d, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// isAncestor reports whether a is an ancestor of v in the version tree
+// (inclusive), via a depth-guided parent walk.
+func isAncestor(g interface {
+	Depth(types.VersionID) int
+	Parent(types.VersionID) types.VersionID
+}, a, v types.VersionID) bool {
+	da, dv := g.Depth(a), g.Depth(v)
+	if da > dv {
+		return false
+	}
+	for dv > da {
+		v = g.Parent(v)
+		dv--
+	}
+	return v == a
+}
+
+// recordMeta annotates a stored record with its origin and deletion points,
+// letting layouts resolve visibility without RStore's chunk maps.
+type recordMeta struct {
+	id     uint32
+	dels   []types.VersionID
+	origin types.VersionID
+}
+
+// collectDeletePoints scans the corpus once, recording for every record the
+// versions that delete it (multiple are possible across branches).
+func collectDeletePoints(c *corpus.Corpus) [][]types.VersionID {
+	dels := make([][]types.VersionID, c.NumRecords())
+	for v := 0; v < c.NumVersions(); v++ {
+		for _, id := range c.Dels(types.VersionID(v)) {
+			dels[id] = append(dels[id], types.VersionID(v))
+		}
+	}
+	return dels
+}

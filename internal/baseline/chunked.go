@@ -1,0 +1,52 @@
+package baseline
+
+import (
+	"rstore/internal/core"
+	"rstore/internal/corpus"
+	"rstore/internal/types"
+)
+
+// Chunked adapts the RStore engine to the Engine interface so the
+// experiment harness can compare it head-to-head with the baselines.
+type Chunked struct {
+	Store *core.Store
+	// Label overrides the name (e.g. to tag the partitioner in use).
+	Label string
+}
+
+// Name implements Engine.
+func (e *Chunked) Name() string {
+	if e.Label != "" {
+		return e.Label
+	}
+	return "RSTORE"
+}
+
+// Build implements Engine via bulk load + offline materialization.
+func (e *Chunked) Build(c *corpus.Corpus) error { return e.Store.BulkLoad(c) }
+
+// GetVersion implements Engine.
+func (e *Chunked) GetVersion(v types.VersionID) ([]types.Record, Stats, error) {
+	return e.Store.GetVersion(v)
+}
+
+// GetRecord implements Engine.
+func (e *Chunked) GetRecord(key types.Key, v types.VersionID) (types.Record, Stats, error) {
+	return e.Store.GetRecord(key, v)
+}
+
+// GetRange implements Engine.
+func (e *Chunked) GetRange(lo, hi types.Key, v types.VersionID) ([]types.Record, Stats, error) {
+	return e.Store.GetRange(lo, hi, v)
+}
+
+// GetHistory implements Engine.
+func (e *Chunked) GetHistory(key types.Key) ([]types.Record, Stats, error) {
+	return e.Store.GetHistory(key)
+}
+
+// StorageBytes implements Engine.
+func (e *Chunked) StorageBytes() int64 { return e.Store.ChunkStorageBytes() }
+
+// TotalVersionSpan implements Engine.
+func (e *Chunked) TotalVersionSpan() int { return e.Store.TotalVersionSpan() }

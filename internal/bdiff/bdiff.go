@@ -1,0 +1,170 @@
+// Package bdiff implements binary delta encoding between record payloads:
+// a greedy copy/insert compressor in the style of xdelta/rsync. Sub-chunks
+// (paper §3.4) store sibling records delta-encoded against their common
+// parent record, exploiting the observation that an updated document differs
+// from its parent in only a bounded fraction (P_d) of its bytes.
+//
+// The format is a sequence of ops:
+//
+//	COPY  — uvarint(offset into source), uvarint(length)
+//	ADD   — length-prefixed literal bytes
+//
+// prefixed by a uvarint of the target length, so patches are self-describing
+// and verifiable.
+package bdiff
+
+import (
+	"fmt"
+
+	"rstore/internal/codec"
+	"rstore/internal/types"
+)
+
+const (
+	opCopy = 0
+	opAdd  = 1
+
+	// blockSize is the rolling-hash block granularity. Smaller blocks find
+	// finer matches at the cost of a bigger source index.
+	blockSize = 16
+	// minCopy is the shortest copy worth emitting; shorter matches cost more
+	// in framing than the literal bytes they save.
+	minCopy = 8
+)
+
+// Encode computes a delta that transforms src into dst. The result is
+// appended to buf. If src is too small to index, the delta degenerates to a
+// single ADD of dst.
+func Encode(buf, src, dst []byte) []byte {
+	buf = codec.PutUvarint(buf, uint64(len(dst)))
+	if len(dst) == 0 {
+		return buf
+	}
+	if len(src) < blockSize {
+		buf = append(buf, opAdd)
+		return codec.PutBytes(buf, dst)
+	}
+
+	// Index src by block hash → block start offsets.
+	idx := make(map[uint64][]int, len(src)/blockSize+1)
+	for off := 0; off+blockSize <= len(src); off += blockSize {
+		h := hashBlock(src[off : off+blockSize])
+		idx[h] = append(idx[h], off)
+	}
+
+	pendingAdd := 0 // start of the current unmatched literal run in dst
+	flushAdd := func(end int) {
+		if end > pendingAdd {
+			buf = append(buf, opAdd)
+			buf = codec.PutBytes(buf, dst[pendingAdd:end])
+		}
+	}
+
+	i := 0
+	for i+blockSize <= len(dst) {
+		h := hashBlock(dst[i : i+blockSize])
+		candidates, ok := idx[h]
+		if !ok {
+			i++
+			continue
+		}
+		// Pick the candidate with the longest total match, extending both
+		// forward and backward (into the pending literal run).
+		bestOff, bestStart, bestLen := -1, 0, 0
+		for _, off := range candidates {
+			o, s := off, i
+			for o > 0 && s > pendingAdd && src[o-1] == dst[s-1] {
+				o--
+				s--
+			}
+			l := matchLen(src[o:], dst[s:])
+			if l > bestLen {
+				bestOff, bestStart, bestLen = o, s, l
+			}
+		}
+		if bestLen < minCopy {
+			i++
+			continue
+		}
+		flushAdd(bestStart)
+		buf = append(buf, opCopy)
+		buf = codec.PutUvarint(buf, uint64(bestOff))
+		buf = codec.PutUvarint(buf, uint64(bestLen))
+		i = bestStart + bestLen
+		pendingAdd = i
+	}
+	flushAdd(len(dst))
+	return buf
+}
+
+// Apply reconstructs the target from src and a delta produced by Encode,
+// appending it to out.
+func Apply(out, src, delta []byte) ([]byte, error) {
+	want, rest, err := codec.Uvarint(delta)
+	if err != nil {
+		return nil, err
+	}
+	base := len(out)
+	for uint64(len(out)-base) < want {
+		if len(rest) == 0 {
+			return nil, fmt.Errorf("%w: truncated bdiff", types.ErrCorrupt)
+		}
+		op := rest[0]
+		rest = rest[1:]
+		switch op {
+		case opCopy:
+			var off, n uint64
+			off, rest, err = codec.Uvarint(rest)
+			if err != nil {
+				return nil, err
+			}
+			n, rest, err = codec.Uvarint(rest)
+			if err != nil {
+				return nil, err
+			}
+			if off+n > uint64(len(src)) {
+				return nil, fmt.Errorf("%w: bdiff copy out of range", types.ErrCorrupt)
+			}
+			out = append(out, src[off:off+n]...)
+		case opAdd:
+			var lit []byte
+			lit, rest, err = codec.Bytes(rest)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, lit...)
+		default:
+			return nil, fmt.Errorf("%w: unknown bdiff op %d", types.ErrCorrupt, op)
+		}
+	}
+	if uint64(len(out)-base) != want {
+		return nil, fmt.Errorf("%w: bdiff length mismatch (want %d, got %d)", types.ErrCorrupt, want, len(out)-base)
+	}
+	return out, nil
+}
+
+func matchLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// hashBlock is FNV-1a over a fixed-size block.
+func hashBlock(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

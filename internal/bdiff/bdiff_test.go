@@ -1,0 +1,137 @@
+package bdiff
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src, dst []byte) []byte {
+	t.Helper()
+	delta := Encode(nil, src, dst)
+	got, err := Apply(nil, src, delta)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !bytes.Equal(got, dst) {
+		t.Fatalf("round trip mismatch: got %d bytes, want %d", len(got), len(dst))
+	}
+	return delta
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	roundTrip(t, nil, nil)
+	roundTrip(t, nil, []byte("fresh content"))
+	roundTrip(t, []byte("some source"), nil)
+	roundTrip(t, []byte("identical"), []byte("identical"))
+	roundTrip(t, []byte("short"), []byte("completely different and longer text"))
+}
+
+func TestSmallEditCompresses(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := make([]byte, 4096)
+	rng.Read(src)
+	dst := append([]byte(nil), src...)
+	// Flip 16 bytes in the middle.
+	for i := 2000; i < 2016; i++ {
+		dst[i] ^= 0xff
+	}
+	delta := roundTrip(t, src, dst)
+	if len(delta) > len(dst)/8 {
+		t.Fatalf("delta of a 16-byte edit is %d bytes (target %d)", len(delta), len(dst))
+	}
+}
+
+func TestInsertionAndDeletion(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdefghij"), 100)
+	ins := append(append(append([]byte{}, src[:500]...), []byte("INSERTED CONTENT HERE")...), src[500:]...)
+	delta := roundTrip(t, src, ins)
+	if len(delta) > 120 {
+		t.Fatalf("insertion delta is %d bytes", len(delta))
+	}
+	del := append(append([]byte{}, src[:300]...), src[600:]...)
+	delta = roundTrip(t, src, del)
+	if len(delta) > 64 {
+		t.Fatalf("deletion delta is %d bytes", len(delta))
+	}
+}
+
+func TestRepeatedBlocks(t *testing.T) {
+	// dst reuses one src block many times: copies must all resolve.
+	src := []byte("0123456789abcdef-THE-BLOCK-fedcba9876543210")
+	var dst []byte
+	for i := 0; i < 20; i++ {
+		dst = append(dst, []byte("-THE-BLOCK-")...)
+	}
+	roundTrip(t, src, dst)
+}
+
+func TestApplyCorrupt(t *testing.T) {
+	src := []byte("source material")
+	if _, err := Apply(nil, src, nil); err == nil {
+		t.Error("empty delta accepted")
+	}
+	// Truncated delta.
+	delta := Encode(nil, src, []byte("target text that differs"))
+	if _, err := Apply(nil, src, delta[:len(delta)-3]); err == nil {
+		t.Error("truncated delta accepted")
+	}
+	// Copy out of range: craft target len 8, COPY off=100 n=8.
+	bad := []byte{8, opCopy, 100, 8}
+	if _, err := Apply(nil, src, bad); err == nil {
+		t.Error("out-of-range copy accepted")
+	}
+	// Unknown op.
+	bad = []byte{8, 99}
+	if _, err := Apply(nil, src, bad); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestAppendSemantics(t *testing.T) {
+	src := []byte("abc")
+	dst := []byte("abcdef")
+	delta := Encode(nil, src, dst)
+	prefix := []byte("PREFIX")
+	out, err := Apply(prefix, src, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, append([]byte("PREFIX"), dst...)) {
+		t.Fatalf("append semantics broken: %q", out)
+	}
+}
+
+// TestPropertyRoundTrip: Encode/Apply round-trips arbitrary byte pairs.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(src, dst []byte) bool {
+		got, err := Apply(nil, src, Encode(nil, src, dst))
+		return err == nil && bytes.Equal(got, dst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMutatedRoundTrip: the interesting case — dst is a mutation of
+// src (the sub-chunk workload).
+func TestPropertyMutatedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		n := 64 + rng.Intn(4096)
+		src := make([]byte, n)
+		rng.Read(src)
+		dst := append([]byte(nil), src...)
+		edits := 1 + rng.Intn(8)
+		for e := 0; e < edits; e++ {
+			pos := rng.Intn(len(dst))
+			dst[pos] = byte(rng.Intn(256))
+		}
+		delta := roundTrip(t, src, dst)
+		if len(delta) >= len(dst) {
+			t.Fatalf("trial %d: delta (%d) not smaller than dst (%d) for %d edits",
+				trial, len(delta), len(dst), edits)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package bdiff
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func editedPair(size, edits int, seed int64) (src, dst []byte) {
+	rng := rand.New(rand.NewSource(seed))
+	src = make([]byte, size)
+	rng.Read(src)
+	dst = append([]byte(nil), src...)
+	for i := 0; i < edits; i++ {
+		dst[rng.Intn(size)] = byte(rng.Intn(256))
+	}
+	return src, dst
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for _, size := range []int{1 << 10, 16 << 10} {
+		src, dst := editedPair(size, 8, 1)
+		b.Run(byteSize(size), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				Encode(nil, src, dst)
+			}
+		})
+	}
+}
+
+func BenchmarkApply(b *testing.B) {
+	for _, size := range []int{1 << 10, 16 << 10} {
+		src, dst := editedPair(size, 8, 2)
+		delta := Encode(nil, src, dst)
+		b.Run(byteSize(size), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if _, err := Apply(nil, src, delta); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func byteSize(n int) string {
+	return fmt.Sprintf("%dKiB", n>>10)
+}

@@ -1,0 +1,39 @@
+package bdiff
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzApply hardens the patch interpreter: arbitrary deltas against
+// arbitrary sources must error out cleanly, never panic or over-allocate.
+func FuzzApply(f *testing.F) {
+	src := []byte("the quick brown fox jumps over the lazy dog, twice over")
+	f.Add(src, Encode(nil, src, []byte("the quick brown cat naps")))
+	f.Add([]byte{}, []byte{})
+	f.Add(src, []byte{255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, source, delta []byte) {
+		out, err := Apply(nil, source, delta)
+		if err == nil {
+			_ = out
+		}
+	})
+}
+
+// FuzzEncodeApplyRoundTrip asserts the core invariant under fuzzing: any
+// (src, dst) pair encodes to a delta that applies back to dst exactly.
+func FuzzEncodeApplyRoundTrip(f *testing.F) {
+	f.Add([]byte("abcdefgh"), []byte("abXdefgh"))
+	f.Add([]byte{}, []byte("fresh"))
+	f.Add(bytes.Repeat([]byte("block"), 50), bytes.Repeat([]byte("block"), 49))
+	f.Fuzz(func(t *testing.T, src, dst []byte) {
+		delta := Encode(nil, src, dst)
+		got, err := Apply(nil, src, delta)
+		if err != nil {
+			t.Fatalf("own delta rejected: %v", err)
+		}
+		if !bytes.Equal(got, dst) {
+			t.Fatalf("round trip mismatch: %d bytes vs %d", len(got), len(dst))
+		}
+	})
+}

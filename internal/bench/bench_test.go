@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// microOpts shrinks every experiment to smoke-test size.
+func microOpts() Options {
+	return Options{VersionFrac: 0.004, RecordFrac: 0.004, SizeFrac: 0.08, Queries: 3, Seed: 42}
+}
+
+// TestEveryExperimentRuns smoke-tests each paper artifact generator: it must
+// produce at least one non-empty table with consistent row widths.
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(microOpts())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s: no tables", e.ID)
+			}
+			for _, tab := range tables {
+				if tab.ID == "" || tab.Title == "" {
+					t.Errorf("%s: table missing id/title", e.ID)
+				}
+				if len(tab.Rows) == 0 {
+					t.Errorf("%s/%s: empty table", e.ID, tab.ID)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Headers) {
+						t.Errorf("%s/%s: row width %d != header width %d",
+							e.ID, tab.ID, len(row), len(tab.Headers))
+					}
+					for _, cell := range row {
+						if cell == "" {
+							t.Errorf("%s/%s: empty cell", e.ID, tab.ID)
+						}
+					}
+				}
+				var sb strings.Builder
+				tab.Fprint(&sb)
+				if !strings.Contains(sb.String(), tab.ID) {
+					t.Errorf("%s: Fprint lacks table id", e.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig8"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nonexistent"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o = o.withDefaults()
+	q := Quick()
+	if o.VersionFrac != q.VersionFrac || o.Queries != q.Queries || o.Seed != q.Seed {
+		t.Fatalf("defaults: %+v", o)
+	}
+	// Partial overrides survive.
+	o = Options{Queries: 99}.withDefaults()
+	if o.Queries != 99 || o.VersionFrac != q.VersionFrac {
+		t.Fatalf("partial defaults: %+v", o)
+	}
+}
+
+// TestChunkSizeMonotone asserts the §2.3 property that drives the entire
+// design: simulated retrieval time falls monotonically as chunks grow.
+func TestChunkSizeMonotone(t *testing.T) {
+	tables, err := RunChunkSize(microOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) < 4 {
+		t.Fatalf("only %d rows", len(rows))
+	}
+	var prev float64 = 1 << 60
+	for _, row := range rows {
+		secs, err := parseSecs(row[3])
+		if err != nil {
+			t.Fatalf("bad time cell %q: %v", row[3], err)
+		}
+		if secs > prev {
+			t.Fatalf("retrieval time not monotone: %v", rows)
+		}
+		prev = secs
+	}
+	// End-to-end win of at least a factor of five even at micro scale.
+	first, _ := parseSecs(rows[0][3])
+	last, _ := parseSecs(rows[len(rows)-1][3])
+	if first < last*5 {
+		t.Fatalf("chunking win only %.1f×", first/last)
+	}
+}
+
+func parseSecs(cell string) (float64, error) {
+	return strconv.ParseFloat(strings.TrimSuffix(cell, "s"), 64)
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+
+	"rstore/internal/core"
+	"rstore/internal/corpus"
+	"rstore/internal/types"
+	"rstore/internal/vgraph"
+	"rstore/internal/workload"
+)
+
+// RunFig13 regenerates Fig 13: online partitioning quality. A dataset's
+// versions are replayed through the engine's online path (CommitDelta +
+// batched flushes, §4) at several batch sizes; at each checkpoint the total
+// version span is divided by the span an offline BOTTOM-UP run achieves on
+// the same prefix. Ratios near 1 mean the batched online algorithm loses
+// little quality; smaller batches pay more.
+func RunFig13(opts Options) ([]*Table, error) {
+	opts = opts.withDefaults()
+	var tables []*Table
+	for _, dsName := range []string{"B1", "C1"} {
+		spec, err := workload.SpecByName(dsName)
+		if err != nil {
+			return nil, err
+		}
+		spec = spec.Scaled(opts.VersionFrac, opts.RecordFrac, opts.SizeFrac)
+		spec.Seed = opts.Seed
+		c, err := workload.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		n := c.NumVersions()
+		capacity := chunkCapacityFor(spec)
+		checkpoints := []int{n / 4, n / 2, 3 * n / 4, n}
+		batches := []int{n / 8, n / 4, n / 2}
+
+		// Offline reference spans per checkpoint.
+		offline := make(map[int]int, len(checkpoints))
+		for _, cp := range checkpoints {
+			prefix, err := prefixCorpus(c, cp)
+			if err != nil {
+				return nil, err
+			}
+			st, err := core.Open(core.Config{ChunkCapacity: capacity})
+			if err != nil {
+				return nil, err
+			}
+			if err := st.BulkLoad(prefix); err != nil {
+				return nil, err
+			}
+			offline[cp] = st.TotalVersionSpan()
+		}
+
+		t := &Table{
+			ID:    "fig13-" + dsName,
+			Title: fmt.Sprintf("online partitioning quality ratio (dataset %s, n=%d)", dsName, n),
+			PaperNote: "B1: ratios 1.00–1.63, improving with batch size; C1: 1.00–1.08 " +
+				"(deep trees tolerate batching); quality degrades at later checkpoints for small batches",
+			Headers: append([]string{"batch size"}, func() []string {
+				h := make([]string, len(checkpoints))
+				for i, cp := range checkpoints {
+					h[i] = fmt.Sprintf("@%d", cp)
+				}
+				return h
+			}()...),
+		}
+
+		for _, batch := range batches {
+			if batch < 1 {
+				batch = 1
+			}
+			st, err := core.Open(core.Config{ChunkCapacity: capacity, BatchSize: batch})
+			if err != nil {
+				return nil, err
+			}
+			row := []string{d(batch)}
+			next := 0
+			for v := 0; v < n; v++ {
+				vv := types.VersionID(v)
+				delta := deltaOf(c, vv)
+				parents := []types.VersionID{types.InvalidVersion}
+				if v != 0 {
+					parents = append([]types.VersionID(nil), c.Graph().Parents(vv)...)
+				}
+				if _, err := st.CommitDelta(parents, delta); err != nil {
+					return nil, fmt.Errorf("fig13: %s batch=%d v=%d: %w", dsName, batch, v, err)
+				}
+				if next < len(checkpoints) && v+1 == checkpoints[next] {
+					if err := st.Flush(); err != nil {
+						return nil, err
+					}
+					ratio := float64(st.TotalVersionSpan()) / float64(offline[checkpoints[next]])
+					row = append(row, f2(ratio))
+					next++
+				}
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// deltaOf rebuilds a version's delta (with payloads) from the corpus.
+func deltaOf(c *corpus.Corpus, v types.VersionID) *types.Delta {
+	d := &types.Delta{}
+	for _, id := range c.Adds(v) {
+		d.Adds = append(d.Adds, c.Record(id))
+	}
+	for _, id := range c.Dels(v) {
+		d.Dels = append(d.Dels, c.Record(id).CK)
+	}
+	return d
+}
+
+// prefixCorpus rebuilds a corpus containing only the first n versions (the
+// generated graphs are prefix-closed: parents precede children).
+func prefixCorpus(c *corpus.Corpus, n int) (*corpus.Corpus, error) {
+	g := vgraph.New()
+	out := corpus.New(g)
+	for v := 0; v < n; v++ {
+		vv := types.VersionID(v)
+		var err error
+		if v == 0 {
+			_, err = g.AddRoot()
+		} else {
+			_, err = g.AddVersion(c.Graph().Parents(vv)...)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := out.AddVersionDelta(vv, deltaOf(c, vv)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"rstore/internal/partition"
+	"rstore/internal/workload"
+)
+
+// RunFig9 regenerates Fig 9: the effect of the subtree bound β on the
+// Bottom-Up partitioner, on dataset B0 — total version span for full (Q1)
+// and partial (Q2) retrieval rises as β shrinks, while the total
+// partitioning time first falls (less processing per node) and then rises
+// again (merge overhead dominates).
+func RunFig9(opts Options) ([]*Table, error) {
+	opts = opts.withDefaults()
+	spec, err := workload.SpecByName("B0")
+	if err != nil {
+		return nil, err
+	}
+	spec = spec.Scaled(opts.VersionFrac, opts.RecordFrac, opts.SizeFrac)
+	// The β sweep spans 5…301; keep enough versions for the upper range to
+	// differ from "unlimited".
+	if spec.Versions < 320 {
+		spec.Versions = 320
+		spec.AvgDepth = 96 // preserve B0's depth/breadth ratio (~0.3 n)
+	}
+	spec.Seed = opts.Seed
+	c, err := workload.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	capacity := chunkCapacityFor(spec)
+	in, err := partition.NewInputFromCorpus(c, capacity)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:    "fig9",
+		Title: fmt.Sprintf("Bottom-Up subtree bound β sweep (dataset B0 scaled: n=%d, m'≈%d)", spec.Versions, spec.RecordsPerVersion),
+		PaperNote: "span (Q1/Q2) increases as β decreases; total time dips with smaller β then " +
+			"rises again below β≈20 from merge overhead",
+		Headers: []string{"β", "Q1 total span", "Q2 total span", "partition time"},
+	}
+
+	// β values mirror the paper (5..301), capped to the scaled version count.
+	betas := []int{5, 10, 20, 40, 80, 160, spec.Versions}
+	seen := make(map[int]bool)
+	for _, beta := range betas {
+		if beta > spec.Versions {
+			beta = spec.Versions
+		}
+		if seen[beta] {
+			continue
+		}
+		seen[beta] = true
+		algo := partition.BottomUp{Beta: beta}
+		start := time.Now()
+		a, err := algo.Partition(in)
+		if err != nil {
+			return nil, fmt.Errorf("fig9: β=%d: %w", beta, err)
+		}
+		elapsed := time.Since(start)
+		spans := partition.ChunkSpan(in, a)
+		q1 := 0
+		for _, s := range spans {
+			q1 += s
+		}
+		q2 := partialSpanEstimate(c.NumKeys(), in, a, 0.10)
+		t.AddRow(d(beta), d(q1), d(q2), elapsed.Round(time.Microsecond).String())
+	}
+	return []*Table{t}, nil
+}
+
+// partialSpanEstimate computes the total span of a fixed 10%-of-keyspace
+// range query over all versions: for each version, the number of distinct
+// chunks holding its in-range records.
+func partialSpanEstimate(numKeys int, in *partition.Input, a *partition.Assignment, frac float64) int {
+	chunkOf := a.ChunkOf(len(in.Items))
+	hi := workload.KeyFor(int(frac * float64(numKeys)))
+	spans := make([]map[uint32]struct{}, in.Graph.NumVersions())
+	for v := range spans {
+		spans[v] = map[uint32]struct{}{}
+	}
+	partition.ForEachVersionLive(in, func(v, item uint32) {
+		if in.Items[item].CK.Key < hi {
+			spans[v][chunkOf[item]] = struct{}{}
+		}
+	})
+	total := 0
+	for _, s := range spans {
+		total += len(s)
+	}
+	return total
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+
+	"rstore/internal/corpus"
+	"rstore/internal/types"
+	"rstore/internal/workload"
+)
+
+// RunTable2 regenerates Table 2: the dataset catalog with measured
+// statistics of the (scaled) generated datasets — version counts, average
+// tree depth, records per version, unique records, and volumes.
+func RunTable2(opts Options) ([]*Table, error) {
+	opts = opts.withDefaults()
+	t := &Table{
+		ID:    "table2",
+		Title: fmt.Sprintf("dataset catalog (scaled ×%.3g versions, ×%.3g records)", opts.VersionFrac, opts.RecordFrac),
+		PaperNote: "A0–F: 300–10002 versions, depth 56–300, 20K–100K records/version, " +
+			"1.3M–16.7M uniques, 1.7–80GB unique volume",
+		Headers: []string{"dataset", "#versions", "avg depth", "~#recs/version", "%update", "type",
+			"#unique records", "unique size", "total size"},
+	}
+	for _, spec := range workload.Catalog() {
+		s := spec.Scaled(opts.VersionFrac, opts.RecordFrac, opts.SizeFrac)
+		s.Seed = opts.Seed
+		c, err := workload.Generate(s)
+		if err != nil {
+			return nil, fmt.Errorf("table2: %s: %w", s.Name, err)
+		}
+		st := measure(c)
+		t.AddRow(s.Name, d(c.NumVersions()), f1(c.Graph().AvgLeafDepth()),
+			d(st.avgRecords), fmt.Sprintf("%.0f", s.UpdatePct*100), s.Update.String(),
+			d(c.NumRecords()), mb(c.TotalBytes()), mb(st.totalBytes))
+	}
+	return []*Table{t}, nil
+}
+
+type datasetStats struct {
+	avgRecords int
+	totalBytes int64
+}
+
+// measure computes per-dataset statistics: average version cardinality and
+// the total (non-deduplicated) volume across versions.
+func measure(c *corpus.Corpus) datasetStats {
+	var totalRecs, totalBytes int64
+	sizes := make([]int64, c.NumRecords())
+	for i := range sizes {
+		sizes[i] = int64(c.Record(uint32(i)).Size())
+	}
+	// One incremental pass: maintain live count and volume.
+	var live, liveBytes int64
+	var walk func(v types.VersionID)
+	g := c.Graph()
+	walk = func(v types.VersionID) {
+		for _, id := range c.Dels(v) {
+			live--
+			liveBytes -= sizes[id]
+		}
+		for _, id := range c.Adds(v) {
+			live++
+			liveBytes += sizes[id]
+		}
+		totalRecs += live
+		totalBytes += liveBytes
+		for _, ch := range g.Children(v) {
+			walk(ch)
+		}
+		for _, id := range c.Adds(v) {
+			live--
+			liveBytes -= sizes[id]
+		}
+		for _, id := range c.Dels(v) {
+			live++
+			liveBytes += sizes[id]
+		}
+	}
+	if c.NumVersions() > 0 {
+		walk(0)
+	}
+	return datasetStats{
+		avgRecords: int(totalRecs / int64(c.NumVersions())),
+		totalBytes: totalBytes,
+	}
+}

@@ -1,0 +1,131 @@
+package chunk
+
+import (
+	"fmt"
+
+	"rstore/internal/bitset"
+	"rstore/internal/codec"
+	"rstore/internal/corpus"
+	"rstore/internal/types"
+)
+
+// Loc records where a record physically lives: which chunk and which slot
+// within it. The engine keeps a record→Loc catalog in memory to update chunk
+// maps during online ingest (paper §4).
+type Loc struct {
+	Chunk ID
+	Slot  uint32
+}
+
+// MembershipObserver receives one callback per (version, chunk) incidence
+// while chunk maps are built, letting the caller construct the
+// version→chunk projection in the same pass (§3.1 builds both together).
+type MembershipObserver interface {
+	ObserveVersionChunk(v types.VersionID, c ID)
+}
+
+// Built is the physical result of materializing an assignment: one payload
+// and one chunk map per chunk, plus the record location catalog.
+type Built struct {
+	// Payloads[i] is the serialized payload of chunk i.
+	Payloads [][]byte
+	// Maps[i] is the chunk map of chunk i.
+	Maps []*Map
+	// Locs maps record id → location. Records never assigned (possible only
+	// for records belonging to no version) have Chunk == NoChunk.
+	Locs []Loc
+	// Overfull counts chunks that exceeded the nominal capacity (allowed
+	// within the slack budget; reported for the §2.5 overfill statistic).
+	Overfull int
+}
+
+// NoChunk marks an unassigned record in Locs.
+const NoChunk = ID(^uint32(0))
+
+// Build materializes chunks from items and their chunk assignment.
+// chunks[i] lists the item indexes placed in chunk i, in placement order.
+// The observer may be nil.
+func Build(c *corpus.Corpus, items []Item, chunks [][]uint32, obs MembershipObserver) (*Built, error) {
+	b := &Built{
+		Payloads: make([][]byte, len(chunks)),
+		Maps:     make([]*Map, len(chunks)),
+		Locs:     make([]Loc, c.NumRecords()),
+	}
+	for i := range b.Locs {
+		b.Locs[i] = Loc{Chunk: NoChunk}
+	}
+
+	// Lay out payloads and assign slots.
+	for cid, itemIdxs := range chunks {
+		var buf []byte
+		buf = codec.PutUvarint(buf, uint64(len(itemIdxs)))
+		slot := uint32(0)
+		for _, ii := range itemIdxs {
+			if int(ii) >= len(items) {
+				return nil, fmt.Errorf("chunk: assignment references item %d of %d", ii, len(items))
+			}
+			it := &items[ii]
+			buf = append(buf, it.Encoded...)
+			for _, rec := range it.Members {
+				if b.Locs[rec].Chunk != NoChunk {
+					return nil, fmt.Errorf("chunk: record %d assigned to chunks %d and %d", rec, b.Locs[rec].Chunk, cid)
+				}
+				b.Locs[rec] = Loc{Chunk: ID(cid), Slot: slot}
+				slot++
+			}
+		}
+		b.Payloads[cid] = buf
+		b.Maps[cid] = NewMap(int(slot))
+	}
+
+	return b, b.fillMaps(c, obs)
+}
+
+// fillMaps walks the version tree once, adding each live record's slot to
+// its chunk's map for every version, and notifying the observer once per
+// (version, chunk).
+func (b *Built) fillMaps(c *corpus.Corpus, obs MembershipObserver) error {
+	var unassigned error
+	c.ForEachVersion(func(v types.VersionID, members *bitset.BitSet) bool {
+		seen := make(map[ID]struct{})
+		members.ForEach(func(rec uint32) bool {
+			loc := b.Locs[rec]
+			if loc.Chunk == NoChunk {
+				unassigned = fmt.Errorf("chunk: record %d live in version %d but unassigned", rec, v)
+				return false
+			}
+			b.Maps[loc.Chunk].Add(v, loc.Slot)
+			if obs != nil {
+				if _, ok := seen[loc.Chunk]; !ok {
+					seen[loc.Chunk] = struct{}{}
+					obs.ObserveVersionChunk(v, loc.Chunk)
+				}
+			}
+			return true
+		})
+		return unassigned == nil
+	})
+	return unassigned
+}
+
+// DecodeChunk decodes a chunk payload into its items' records, flattened by
+// slot.
+func DecodeChunk(payload []byte) ([]types.Record, error) {
+	n, rest, err := codec.Uvarint(payload)
+	if err != nil {
+		return nil, err
+	}
+	var out []types.Record
+	for i := uint64(0); i < n; i++ {
+		var it *DecodedItem
+		it, rest, err = DecodeItem(rest)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, it.Records...)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after chunk payload", types.ErrCorrupt, len(rest))
+	}
+	return out, nil
+}

@@ -1,0 +1,234 @@
+package chunk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"rstore/internal/corpus"
+	"rstore/internal/types"
+	"rstore/internal/vgraph"
+)
+
+// miniCorpus builds a 3-version chain where key "doc" evolves (large,
+// similar payloads — the sub-chunk case) and "other" stays put.
+func miniCorpus(t testing.TB) *corpus.Corpus {
+	t.Helper()
+	g := vgraph.New()
+	v0, _ := g.AddRoot()
+	v1, _ := g.AddVersion(v0)
+	v2, _ := g.AddVersion(v1)
+
+	base := bytes.Repeat([]byte("lorem ipsum dolor sit amet "), 40)
+	mod1 := append([]byte(nil), base...)
+	copy(mod1[100:], "EDITED-SECTION-ONE")
+	mod2 := append([]byte(nil), mod1...)
+	copy(mod2[500:], "EDITED-SECTION-TWO")
+
+	c := corpus.New(g)
+	must := func(v types.VersionID, d *types.Delta) {
+		t.Helper()
+		if err := c.AddVersionDelta(v, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(v0, &types.Delta{Adds: []types.Record{
+		{CK: types.CompositeKey{Key: "doc", Version: 0}, Value: base},
+		{CK: types.CompositeKey{Key: "other", Version: 0}, Value: []byte("tiny")},
+	}})
+	must(v1, &types.Delta{
+		Adds: []types.Record{{CK: types.CompositeKey{Key: "doc", Version: 1}, Value: mod1}},
+		Dels: []types.CompositeKey{{Key: "doc", Version: 0}},
+	})
+	must(v2, &types.Delta{
+		Adds: []types.Record{{CK: types.CompositeKey{Key: "doc", Version: 2}, Value: mod2}},
+		Dels: []types.CompositeKey{{Key: "doc", Version: 1}},
+	})
+	return c
+}
+
+func TestItemRoundTripSingle(t *testing.T) {
+	c := miniCorpus(t)
+	it, err := SingleRecordItem(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, rest, err := DecodeItem(it.Encoded)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(dec.Records) != 1 || dec.Records[0].CK != c.Record(0).CK {
+		t.Fatalf("decoded %+v", dec.Records)
+	}
+	if !bytes.Equal(dec.Records[0].Value, c.Record(0).Value) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestItemRoundTripDeltaChain(t *testing.T) {
+	c := miniCorpus(t)
+	// Members: doc@0 (id 0), doc@1 (id 2), doc@2 (id 3) — chain parents.
+	members := []uint32{0, 2, 3}
+	parents := []int32{-1, 0, 1}
+	enc, err := EncodeItem(c, members, parents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, rest, err := DecodeItem(enc)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v", err)
+	}
+	for i, id := range members {
+		want := c.Record(id)
+		if dec.Records[i].CK != want.CK || !bytes.Equal(dec.Records[i].Value, want.Value) {
+			t.Fatalf("member %d mismatch", i)
+		}
+	}
+	// Compression: the chain must be far smaller than raw members.
+	raw := 0
+	for _, id := range members {
+		raw += len(c.Record(id).Value)
+	}
+	if len(enc) > raw*2/3 {
+		t.Fatalf("encoded %d bytes vs raw %d: no compression", len(enc), raw)
+	}
+}
+
+func TestItemIncompressibleFallsBackToRaw(t *testing.T) {
+	// Two unrelated random payloads: delta ≥ raw, the encoder must store
+	// raw (-2 parent marker) and still round-trip.
+	g := vgraph.New()
+	v0, _ := g.AddRoot()
+	c := corpus.New(g)
+	rng := rand.New(rand.NewSource(8))
+	a := make([]byte, 500)
+	b := make([]byte, 500)
+	rng.Read(a)
+	rng.Read(b)
+	err := c.AddVersionDelta(v0, &types.Delta{Adds: []types.Record{
+		{CK: types.CompositeKey{Key: "k", Version: 0}, Value: a},
+		{CK: types.CompositeKey{Key: "k2", Version: 0}, Value: b},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeItem(c, []uint32{0, 1}, []int32{-1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := DecodeItem(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Records[1].Value, b) {
+		t.Fatal("raw fallback round trip failed")
+	}
+}
+
+func TestEncodeItemValidation(t *testing.T) {
+	c := miniCorpus(t)
+	if _, err := EncodeItem(c, nil, nil); err == nil {
+		t.Error("empty item accepted")
+	}
+	if _, err := EncodeItem(c, []uint32{0}, []int32{0}); err == nil {
+		t.Error("representative with non-nil parent accepted")
+	}
+	if _, err := EncodeItem(c, []uint32{0, 2}, []int32{-1, 5}); err == nil {
+		t.Error("forward parent reference accepted")
+	}
+	if _, err := EncodeItem(c, []uint32{0, 2}, []int32{-1}); err == nil {
+		t.Error("parents length mismatch accepted")
+	}
+}
+
+func TestMapRoundTrip(t *testing.T) {
+	m := NewMap(100)
+	m.Add(3, 0)
+	m.Add(3, 50)
+	m.Add(7, 99)
+	got, err := DecodeMap(m.AppendBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSlots != 100 || len(got.Versions) != 2 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if !got.SlotsOf(3).Contains(0) || !got.SlotsOf(3).Contains(50) || got.SlotsOf(3).Contains(1) {
+		t.Fatal("version 3 slots")
+	}
+	if !got.SlotsOf(7).Contains(99) {
+		t.Fatal("version 7 slots")
+	}
+	if got.SlotsOf(99) != nil {
+		t.Fatal("unknown version has slots")
+	}
+	// Trailing bytes rejected.
+	if _, err := DecodeMap(append(m.AppendBinary(nil), 1)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestBuildRejectsDoubleAssignment(t *testing.T) {
+	c := miniCorpus(t)
+	items := make([]Item, c.NumRecords())
+	for i := range items {
+		it, err := SingleRecordItem(c, uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i] = it
+	}
+	_, err := Build(c, items, [][]uint32{{0, 1}, {1, 2, 3}}, nil)
+	if err == nil {
+		t.Fatal("item in two chunks accepted")
+	}
+}
+
+func TestBuildRejectsUnassignedLiveRecord(t *testing.T) {
+	c := miniCorpus(t)
+	items := make([]Item, c.NumRecords())
+	for i := range items {
+		it, _ := SingleRecordItem(c, uint32(i))
+		items[i] = it
+	}
+	// Record 0 (live in v0) left out.
+	_, err := Build(c, items, [][]uint32{{1, 2, 3}}, nil)
+	if err == nil {
+		t.Fatal("unassigned live record accepted")
+	}
+}
+
+func TestKVKeyFormats(t *testing.T) {
+	if KVKey(0) == KVKey(1) {
+		t.Fatal("chunk keys collide")
+	}
+	if MVKey(1) == KVKey(1) {
+		t.Fatal("map key collides with chunk key")
+	}
+}
+
+func TestDecodeChunkTrailing(t *testing.T) {
+	c := miniCorpus(t)
+	it, _ := SingleRecordItem(c, 0)
+	built, err := Build(c, []Item{it, mustItem(t, c, 1), mustItem(t, c, 2), mustItem(t, c, 3)},
+		[][]uint32{{0, 1, 2, 3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := DecodeChunk(built.Payloads[0])
+	if err != nil || len(recs) != 4 {
+		t.Fatalf("decode: %d records, %v", len(recs), err)
+	}
+	if _, err := DecodeChunk(append(built.Payloads[0], 7)); err == nil {
+		t.Fatal("trailing payload bytes accepted")
+	}
+}
+
+func mustItem(t testing.TB, c *corpus.Corpus, id uint32) Item {
+	t.Helper()
+	it, err := SingleRecordItem(c, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return it
+}

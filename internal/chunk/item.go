@@ -1,0 +1,153 @@
+// Package chunk implements RStore's physical storage unit (paper §2.4): the
+// chunk — an approximately fixed-size group of records stored under one
+// internally-generated chunk-id in the backing KVS — together with its chunk
+// map M_Ci (the per-chunk slice of the key×version×chunk mapping of Fig 3),
+// and the builder that materializes chunks from a partitioning assignment.
+//
+// Chunks are divided into sub-chunks: groups of records with the same
+// primary key stored in compressed fashion (members are binary-delta-encoded
+// against a parent member). A sub-chunk with a single record stores it raw.
+package chunk
+
+import (
+	"fmt"
+
+	"rstore/internal/bdiff"
+	"rstore/internal/codec"
+	"rstore/internal/corpus"
+	"rstore/internal/types"
+)
+
+// ID identifies a chunk. IDs are dense per build generation; the KVS key is
+// derived via KVKey.
+type ID = uint32
+
+// KVKey renders a chunk id as the backing-store key.
+func KVKey(id ID) string { return fmt.Sprintf("c%08x", id) }
+
+// Item is the unit the partitioning algorithms assign to chunks: a sub-chunk
+// of one or more records sharing a primary key (paper §3.4). With
+// compression disabled (k=1) every item holds exactly one record.
+type Item struct {
+	// CK is the representative composite key (the member whose record is
+	// stored raw; all others are delta-encoded descendants).
+	CK types.CompositeKey
+	// Members are the record ids in the item. Members[0] is the
+	// representative.
+	Members []uint32
+	// Parents[i] is the index within Members of the member that member i is
+	// delta-encoded against; Parents[0] is -1 (raw). The parent relation
+	// follows the version tree, so members form a connected subtree (§3.4).
+	Parents []int32
+	// Encoded is the serialized sub-chunk payload (record framing included).
+	Encoded []byte
+}
+
+// PackedSize is the capacity charged when packing the item into a chunk.
+func (it *Item) PackedSize() int { return len(it.Encoded) + itemOverhead }
+
+// itemOverhead approximates per-item framing inside a chunk.
+const itemOverhead = 4
+
+// EncodeItem serializes a sub-chunk's records: the representative raw, every
+// other member as a binary delta against its parent member. Records are
+// resolved through the corpus.
+func EncodeItem(c *corpus.Corpus, members []uint32, parents []int32) ([]byte, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("chunk: empty item")
+	}
+	if len(parents) != len(members) {
+		return nil, fmt.Errorf("chunk: %d members but %d parents", len(members), len(parents))
+	}
+	var buf []byte
+	buf = codec.PutUvarint(buf, uint64(len(members)))
+	for i, id := range members {
+		r := c.Record(id)
+		buf = codec.PutCompositeKey(buf, r.CK)
+		p := parents[i]
+		if i == 0 {
+			if p != -1 {
+				return nil, fmt.Errorf("chunk: representative must have parent -1, got %d", p)
+			}
+			buf = codec.PutVarint(buf, -1)
+			buf = codec.PutBytes(buf, r.Value)
+			continue
+		}
+		if p < 0 || int(p) >= i {
+			return nil, fmt.Errorf("chunk: member %d has invalid parent %d (parents must precede children)", i, p)
+		}
+		parentVal := c.Record(members[p]).Value
+		delta := bdiff.Encode(nil, parentVal, r.Value)
+		if len(delta) >= len(r.Value) {
+			// Degenerate delta (incompressible payload): store raw,
+			// flagged by parent -2.
+			buf = codec.PutVarint(buf, -2)
+			buf = codec.PutBytes(buf, r.Value)
+		} else {
+			buf = codec.PutVarint(buf, int64(p))
+			buf = codec.PutBytes(buf, delta)
+		}
+	}
+	return buf, nil
+}
+
+// DecodedItem is a decoded sub-chunk.
+type DecodedItem struct {
+	Records []types.Record
+}
+
+// DecodeItem reverses EncodeItem, materializing every member record. The
+// remaining buffer is returned.
+func DecodeItem(buf []byte) (*DecodedItem, []byte, error) {
+	n, rest, err := codec.Uvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &DecodedItem{Records: make([]types.Record, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		var ck types.CompositeKey
+		ck, rest, err = codec.CompositeKey(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		var p int64
+		p, rest, err = codec.Varint(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		var body []byte
+		body, rest, err = codec.Bytes(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		var value []byte
+		switch {
+		case p == -1 || p == -2:
+			value = make([]byte, len(body))
+			copy(value, body)
+		case p >= 0 && int(p) < len(out.Records):
+			value, err = bdiff.Apply(nil, out.Records[p].Value, body)
+			if err != nil {
+				return nil, nil, err
+			}
+		default:
+			return nil, nil, fmt.Errorf("%w: item member %d references parent %d", types.ErrCorrupt, i, p)
+		}
+		out.Records = append(out.Records, types.Record{CK: ck, Value: value})
+	}
+	return out, rest, nil
+}
+
+// SingleRecordItem wraps record id as a 1-member item (the k=1 case).
+func SingleRecordItem(c *corpus.Corpus, id uint32) (Item, error) {
+	enc, err := EncodeItem(c, []uint32{id}, []int32{-1})
+	if err != nil {
+		return Item{}, err
+	}
+	return Item{
+		CK:      c.Record(id).CK,
+		Members: []uint32{id},
+		Parents: []int32{-1},
+		Encoded: enc,
+	}, nil
+}

@@ -1,0 +1,92 @@
+package chunk
+
+import (
+	"fmt"
+	"sort"
+
+	"rstore/internal/bitset"
+	"rstore/internal/codec"
+	"rstore/internal/types"
+)
+
+// Map is the chunk map M_Ci of paper §2.4: for one chunk, it records which
+// of the chunk's record slots belong to each version. A slot is a record's
+// position in the chunk's flattened layout (items in order, members within
+// each item in order). In aggregate the chunk maps carry exactly the
+// information of the full key×version×chunk matrix, exploiting its sparsity
+// with per-version bitmaps.
+type Map struct {
+	// NumSlots is the number of record slots in the chunk.
+	NumSlots int
+	// Versions maps a version id to the bitmap of slots that belong to it.
+	Versions map[types.VersionID]*bitset.BitSet
+}
+
+// NewMap returns an empty map for a chunk with the given slot count.
+func NewMap(numSlots int) *Map {
+	return &Map{NumSlots: numSlots, Versions: make(map[types.VersionID]*bitset.BitSet)}
+}
+
+// Add marks slot as belonging to version v.
+func (m *Map) Add(v types.VersionID, slot uint32) {
+	b, ok := m.Versions[v]
+	if !ok {
+		b = bitset.New(m.NumSlots)
+		m.Versions[v] = b
+	}
+	b.Set(slot)
+}
+
+// SlotsOf returns the slots belonging to version v (nil if the version has
+// no records in this chunk). The bitmap is shared; callers must not mutate.
+func (m *Map) SlotsOf(v types.VersionID) *bitset.BitSet { return m.Versions[v] }
+
+// MVKey renders a chunk id as the chunk-map table key.
+func MVKey(id ID) string { return fmt.Sprintf("m%08x", id) }
+
+// AppendBinary serializes the map: slot count, version count, then sorted
+// (version, bitmap) pairs. Bitmaps self-select dense/sparse encoding.
+func (m *Map) AppendBinary(buf []byte) []byte {
+	buf = codec.PutUvarint(buf, uint64(m.NumSlots))
+	buf = codec.PutUvarint(buf, uint64(len(m.Versions)))
+	vids := make([]types.VersionID, 0, len(m.Versions))
+	for v := range m.Versions {
+		vids = append(vids, v)
+	}
+	sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
+	for _, v := range vids {
+		buf = codec.PutUvarint(buf, uint64(v))
+		buf = m.Versions[v].AppendBinary(buf)
+	}
+	return buf
+}
+
+// DecodeMap reverses AppendBinary.
+func DecodeMap(buf []byte) (*Map, error) {
+	slots, rest, err := codec.Uvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	n, rest, err := codec.Uvarint(rest)
+	if err != nil {
+		return nil, err
+	}
+	m := NewMap(int(slots))
+	for i := uint64(0); i < n; i++ {
+		var v uint64
+		v, rest, err = codec.Uvarint(rest)
+		if err != nil {
+			return nil, err
+		}
+		var b *bitset.BitSet
+		b, rest, err = bitset.DecodeBinary(rest)
+		if err != nil {
+			return nil, err
+		}
+		m.Versions[types.VersionID(v)] = b
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after chunk map", types.ErrCorrupt, len(rest))
+	}
+	return m, nil
+}

@@ -1,0 +1,210 @@
+// Package client is a Go client for the RStore HTTP application server
+// (internal/server): typed wrappers over the JSON API so remote callers get
+// the same surface as the embedded engine.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"rstore/internal/server"
+	"rstore/internal/types"
+)
+
+// Client talks to one application server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New creates a client for the server at baseURL (e.g. "http://host:8080").
+// httpClient may be nil (http.DefaultClient).
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// APIError is a non-2xx response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("rstore client: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Is maps 404 responses onto the store's sentinel so errors.Is works across
+// the wire.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case types.ErrNotFound, types.ErrVersionUnknown:
+		return e.Status == http.StatusNotFound
+	}
+	return false
+}
+
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(msg, &apiErr) == nil && apiErr.Error != "" {
+			return &APIError{Status: resp.StatusCode, Message: apiErr.Error}
+		}
+		return &APIError{Status: resp.StatusCode, Message: string(msg)}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Commit creates a version from a parent (-1 for the root) and optionally
+// advances a branch.
+func (c *Client) Commit(parent int64, puts map[string][]byte, deletes []string, branch string) (types.VersionID, error) {
+	var out server.CommitResponse
+	err := c.do(http.MethodPost, "/commit", server.CommitRequest{
+		Parent: parent, Puts: puts, Deletes: deletes, Branch: branch,
+	}, &out)
+	if err != nil {
+		return types.InvalidVersion, err
+	}
+	return types.VersionID(out.Version), nil
+}
+
+// CommitMerge creates a merge commit; parents[0] is primary.
+func (c *Client) CommitMerge(parents []int64, puts map[string][]byte, deletes []string) (types.VersionID, error) {
+	if len(parents) == 0 {
+		return types.InvalidVersion, fmt.Errorf("rstore client: merge needs parents")
+	}
+	var out server.CommitResponse
+	err := c.do(http.MethodPost, "/commit", server.CommitRequest{
+		Parent: parents[0], Parents: parents[1:], Puts: puts, Deletes: deletes,
+	}, &out)
+	if err != nil {
+		return types.InvalidVersion, err
+	}
+	return types.VersionID(out.Version), nil
+}
+
+func decodeRecords(qr *server.QueryResponse) []types.Record {
+	recs := make([]types.Record, len(qr.Records))
+	for i, r := range qr.Records {
+		recs[i] = types.Record{
+			CK:    types.CompositeKey{Key: types.Key(r.Key), Version: types.VersionID(r.OriginVersion)},
+			Value: r.Value,
+		}
+	}
+	return recs
+}
+
+// GetVersion retrieves every record of a version (by id or branch name).
+func (c *Client) GetVersion(ref string) ([]types.Record, server.StatsJSON, error) {
+	var qr server.QueryResponse
+	if err := c.do(http.MethodGet, "/version/"+url.PathEscape(ref), nil, &qr); err != nil {
+		return nil, server.StatsJSON{}, err
+	}
+	return decodeRecords(&qr), qr.Stats, nil
+}
+
+// GetRecord retrieves one key within a version.
+func (c *Client) GetRecord(ref string, key types.Key) (types.Record, server.StatsJSON, error) {
+	var qr server.QueryResponse
+	path := "/version/" + url.PathEscape(ref) + "/record/" + url.PathEscape(string(key))
+	if err := c.do(http.MethodGet, path, nil, &qr); err != nil {
+		return types.Record{}, server.StatsJSON{}, err
+	}
+	recs := decodeRecords(&qr)
+	if len(recs) == 0 {
+		return types.Record{}, qr.Stats, &APIError{Status: http.StatusNotFound, Message: "no record"}
+	}
+	return recs[0], qr.Stats, nil
+}
+
+// GetRange retrieves a version's records with keys in [lo, hi).
+func (c *Client) GetRange(ref string, lo, hi types.Key) ([]types.Record, server.StatsJSON, error) {
+	var qr server.QueryResponse
+	path := fmt.Sprintf("/version/%s/range?lo=%s&hi=%s",
+		url.PathEscape(ref), url.QueryEscape(string(lo)), url.QueryEscape(string(hi)))
+	if err := c.do(http.MethodGet, path, nil, &qr); err != nil {
+		return nil, server.StatsJSON{}, err
+	}
+	return decodeRecords(&qr), qr.Stats, nil
+}
+
+// GetHistory retrieves every revision of a key.
+func (c *Client) GetHistory(key types.Key) ([]types.Record, server.StatsJSON, error) {
+	var qr server.QueryResponse
+	if err := c.do(http.MethodGet, "/history/"+url.PathEscape(string(key)), nil, &qr); err != nil {
+		return nil, server.StatsJSON{}, err
+	}
+	return decodeRecords(&qr), qr.Stats, nil
+}
+
+// Diff reports the record-level difference between two versions.
+func (c *Client) Diff(a, b types.VersionID) (*server.DiffJSON, error) {
+	var out server.DiffJSON
+	path := fmt.Sprintf("/diff?a=%d&b=%d", a, b)
+	if err := c.do(http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Branches lists branch tips (-1 = unset).
+func (c *Client) Branches() (map[string]int64, error) {
+	var out map[string]int64
+	if err := c.do(http.MethodGet, "/branches", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SetBranch points a branch at a version.
+func (c *Client) SetBranch(name string, v types.VersionID) error {
+	return c.do(http.MethodPut, "/branch/"+url.PathEscape(name),
+		map[string]int64{"version": int64(v)}, nil)
+}
+
+// Flush forces online partitioning of pending versions.
+func (c *Client) Flush() error {
+	return c.do(http.MethodPost, "/flush", struct{}{}, nil)
+}
+
+// Stats returns server statistics.
+func (c *Client) Stats() (map[string]any, error) {
+	var out map[string]any
+	if err := c.do(http.MethodGet, "/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

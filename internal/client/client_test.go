@@ -1,0 +1,150 @@
+package client_test
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"rstore/internal/client"
+	"rstore/internal/core"
+	"rstore/internal/server"
+	"rstore/internal/types"
+)
+
+func startServer(t *testing.T) *client.Client {
+	t.Helper()
+	st, err := core.Open(core.Config{ChunkCapacity: 4096, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(st))
+	t.Cleanup(ts.Close)
+	return client.New(ts.URL, ts.Client())
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	c := startServer(t)
+
+	v0, err := c.Commit(-1, map[string][]byte{
+		"a": []byte(`{"rev":0}`), "b": []byte(`{"rev":0}`),
+	}, nil, "main")
+	if err != nil || v0 != 0 {
+		t.Fatalf("root commit: %v %v", v0, err)
+	}
+	v1, err := c.Commit(int64(v0), map[string][]byte{
+		"a": []byte(`{"rev":1}`),
+	}, []string{"b"}, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// GetVersion by branch name.
+	recs, stats, err := c.GetVersion("main")
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("GetVersion: %d records, %v", len(recs), err)
+	}
+	if recs[0].CK.Key != "a" || string(recs[0].Value) != `{"rev":1}` {
+		t.Fatalf("record: %+v", recs[0])
+	}
+	if stats.Span == 0 {
+		t.Fatal("no span reported")
+	}
+
+	// GetRecord at the old version.
+	rec, _, err := c.GetRecord("0", "b")
+	if err != nil || string(rec.Value) != `{"rev":0}` {
+		t.Fatalf("old b: %q %v", rec.Value, err)
+	}
+
+	// Missing record maps onto ErrNotFound through the wire.
+	if _, _, err := c.GetRecord("1", "b"); !errors.Is(err, types.ErrNotFound) {
+		t.Fatalf("deleted record: %v", err)
+	}
+
+	// Range.
+	recs, _, err = c.GetRange("0", "a", "b")
+	if err != nil || len(recs) != 1 || recs[0].CK.Key != "a" {
+		t.Fatalf("range: %v %v", recs, err)
+	}
+
+	// History.
+	hist, _, err := c.GetHistory("a")
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("history: %d %v", len(hist), err)
+	}
+
+	// Diff.
+	d, err := c.Diff(0, types.VersionID(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Added) != 1 || len(d.Removed) != 2 || len(d.Modified) != 1 {
+		t.Fatalf("diff: %+v", d)
+	}
+	if d.Modified[0] != "a" {
+		t.Fatalf("modified: %v", d.Modified)
+	}
+
+	// Branch management.
+	if err := c.SetBranch("rel", 0); err != nil {
+		t.Fatal(err)
+	}
+	branches, err := c.Branches()
+	if err != nil || branches["rel"] != 0 || branches["main"] != int64(v1) {
+		t.Fatalf("branches: %v %v", branches, err)
+	}
+
+	// Flush + stats.
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stats2, err := c.Stats()
+	if err != nil || stats2["pending"].(float64) != 0 {
+		t.Fatalf("stats: %v %v", stats2, err)
+	}
+}
+
+func TestClientMerge(t *testing.T) {
+	c := startServer(t)
+	v0, _ := c.Commit(-1, map[string][]byte{"x": []byte("0")}, nil, "")
+	v1, _ := c.Commit(int64(v0), map[string][]byte{"x": []byte("1")}, nil, "")
+	v2, _ := c.Commit(int64(v0), map[string][]byte{"y": []byte("2")}, nil, "")
+	vm, err := c.CommitMerge([]int64{int64(v1), int64(v2)},
+		map[string][]byte{"y": []byte("2")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := c.GetVersion(itoa(vm))
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("merge contents: %d %v", len(recs), err)
+	}
+	if _, err := c.CommitMerge(nil, nil, nil); err == nil {
+		t.Fatal("empty parents accepted")
+	}
+}
+
+func TestClientTransportErrors(t *testing.T) {
+	c := client.New("http://127.0.0.1:1", nil) // nothing listening
+	if _, _, err := c.GetVersion("0"); err == nil {
+		t.Fatal("dead server produced no error")
+	}
+	var apiErr *client.APIError
+	live := startServer(t)
+	_, _, err := live.GetVersion("99")
+	if !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("unknown version: %v", err)
+	}
+}
+
+func itoa(v types.VersionID) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n := uint32(v); n > 0; n /= 10 {
+		i--
+		buf[i] = byte('0' + n%10)
+	}
+	return string(buf[i:])
+}

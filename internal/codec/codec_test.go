@@ -1,0 +1,212 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rstore/internal/types"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 300, 1 << 20, math.MaxUint64} {
+		buf := PutUvarint(nil, v)
+		got, rest, err := Uvarint(buf)
+		if err != nil || got != v || len(rest) != 0 {
+			t.Errorf("Uvarint(%d): got %d, rest %d, err %v", v, got, len(rest), err)
+		}
+		if len(buf) != UvarintLen(v) {
+			t.Errorf("UvarintLen(%d) = %d, encoded %d", v, UvarintLen(v), len(buf))
+		}
+	}
+	if _, _, err := Uvarint(nil); !errors.Is(err, types.ErrCorrupt) {
+		t.Errorf("empty uvarint: %v", err)
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		got, rest, err := Varint(PutVarint(nil, v))
+		return err == nil && got == v && len(rest) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesAndString(t *testing.T) {
+	f := func(b []byte, s string) bool {
+		buf := PutBytes(nil, b)
+		buf = PutString(buf, s)
+		gb, rest, err := Bytes(buf)
+		if err != nil || !bytes.Equal(gb, b) {
+			return false
+		}
+		gs, rest, err := String(rest)
+		return err == nil && gs == s && len(rest) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Truncation is detected.
+	buf := PutBytes(nil, []byte("hello"))
+	if _, _, err := Bytes(buf[:3]); !errors.Is(err, types.ErrCorrupt) {
+		t.Errorf("truncated bytes: %v", err)
+	}
+}
+
+func TestPostingListRoundTrip(t *testing.T) {
+	cases := [][]uint32{
+		nil,
+		{0},
+		{5},
+		{0, 1, 2, 3},
+		{10, 100, 1000, 1 << 30},
+	}
+	for _, ids := range cases {
+		got, rest, err := PostingList(PutPostingList(nil, ids))
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("PostingList(%v): err %v", ids, err)
+		}
+		if len(got) != len(ids) {
+			t.Fatalf("PostingList(%v) = %v", ids, got)
+		}
+		for i := range ids {
+			if got[i] != ids[i] {
+				t.Fatalf("PostingList(%v) = %v", ids, got)
+			}
+		}
+	}
+}
+
+// TestPostingListProperty: any sorted unique uint32 set round-trips.
+func TestPostingListProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		seen := map[uint32]bool{}
+		var ids []uint32
+		for _, v := range raw {
+			if !seen[v] {
+				seen[v] = true
+				ids = append(ids, v)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		got, rest, err := PostingList(PutPostingList(nil, ids))
+		if err != nil || len(rest) != 0 || len(got) != len(ids) {
+			return false
+		}
+		for i := range ids {
+			if got[i] != ids[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPostingListRejectsDuplicates(t *testing.T) {
+	// Hand-craft a zero gap: count=2, first=7, gap=0.
+	buf := PutUvarint(nil, 2)
+	buf = PutUvarint(buf, 7)
+	buf = PutUvarint(buf, 0)
+	if _, _, err := PostingList(buf); !errors.Is(err, types.ErrCorrupt) {
+		t.Errorf("zero gap: %v", err)
+	}
+}
+
+func TestCompositeKeyRecordRoundTrip(t *testing.T) {
+	ck := types.CompositeKey{Key: "patient-42", Version: 1234}
+	gotCK, rest, err := CompositeKey(PutCompositeKey(nil, ck))
+	if err != nil || gotCK != ck || len(rest) != 0 {
+		t.Fatalf("CompositeKey round trip: %v %v", gotCK, err)
+	}
+	rec := types.Record{CK: ck, Value: []byte(`{"x":1}`)}
+	gotRec, rest, err := Record(PutRecord(nil, rec))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("Record round trip: %v", err)
+	}
+	if gotRec.CK != rec.CK || !bytes.Equal(gotRec.Value, rec.Value) {
+		t.Fatalf("Record = %+v", gotRec)
+	}
+	// Decoded value must not alias the input buffer.
+	buf := PutRecord(nil, rec)
+	gotRec, _, _ = Record(buf)
+	buf[len(buf)-1] ^= 0xff
+	if !bytes.Equal(gotRec.Value, rec.Value) {
+		t.Error("decoded record aliases input buffer")
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	d := &types.Delta{
+		Adds: []types.Record{
+			{CK: types.CompositeKey{Key: "a", Version: 3}, Value: []byte("v1")},
+			{CK: types.CompositeKey{Key: "b", Version: 3}, Value: nil},
+		},
+		Dels: []types.CompositeKey{{Key: "a", Version: 1}},
+	}
+	got, err := DecodeDelta(PutDelta(nil, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Adds) != 2 || len(got.Dels) != 1 {
+		t.Fatalf("decoded %d adds %d dels", len(got.Adds), len(got.Dels))
+	}
+	if got.Adds[0].CK != d.Adds[0].CK || string(got.Adds[0].Value) != "v1" {
+		t.Fatalf("add mismatch: %+v", got.Adds[0])
+	}
+	if got.Dels[0] != d.Dels[0] {
+		t.Fatalf("del mismatch: %v", got.Dels[0])
+	}
+	// Trailing bytes are rejected.
+	if _, err := DecodeDelta(append(PutDelta(nil, d), 0x00)); !errors.Is(err, types.ErrCorrupt) {
+		t.Errorf("trailing bytes: %v", err)
+	}
+	// Empty delta round-trips.
+	empty, err := DecodeDelta(PutDelta(nil, &types.Delta{}))
+	if err != nil || len(empty.Adds) != 0 || len(empty.Dels) != 0 {
+		t.Fatalf("empty delta: %+v, %v", empty, err)
+	}
+}
+
+func TestDeltaPropertyRoundTrip(t *testing.T) {
+	f := func(keys []string, vals [][]byte, dels []string) bool {
+		d := &types.Delta{}
+		for i, k := range keys {
+			var v []byte
+			if i < len(vals) {
+				v = vals[i]
+			}
+			d.Adds = append(d.Adds, types.Record{
+				CK: types.CompositeKey{Key: types.Key(k), Version: types.VersionID(i)}, Value: v,
+			})
+		}
+		for i, k := range dels {
+			d.Dels = append(d.Dels, types.CompositeKey{Key: types.Key(k), Version: types.VersionID(i + 1000)})
+		}
+		got, err := DecodeDelta(PutDelta(nil, d))
+		if err != nil || len(got.Adds) != len(d.Adds) || len(got.Dels) != len(d.Dels) {
+			return false
+		}
+		for i := range d.Adds {
+			if got.Adds[i].CK != d.Adds[i].CK || !bytes.Equal(got.Adds[i].Value, d.Adds[i].Value) {
+				return false
+			}
+		}
+		for i := range d.Dels {
+			if got.Dels[i] != d.Dels[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,54 @@
+package codec
+
+import (
+	"testing"
+
+	"rstore/internal/types"
+)
+
+// Decoder hardening: arbitrary bytes must never panic any codec entry point.
+
+func FuzzPostingList(f *testing.F) {
+	f.Add(PutPostingList(nil, []uint32{1, 5, 9, 100000}))
+	f.Add([]byte{})
+	f.Add([]byte{200, 200, 200, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ids, _, err := PostingList(data)
+		if err == nil {
+			// Valid posting lists are strictly increasing.
+			for i := 1; i < len(ids); i++ {
+				if ids[i] <= ids[i-1] {
+					t.Fatalf("non-increasing posting list decoded: %v", ids)
+				}
+			}
+		}
+	})
+}
+
+func FuzzDecodeDelta(f *testing.F) {
+	d := &types.Delta{
+		Adds: []types.Record{{CK: types.CompositeKey{Key: "k", Version: 3}, Value: []byte("vv")}},
+		Dels: []types.CompositeKey{{Key: "k", Version: 1}},
+	}
+	f.Add(PutDelta(nil, d))
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeDelta(data)
+		if err == nil && got != nil {
+			for _, r := range got.Adds {
+				_ = r.CK
+			}
+		}
+	})
+}
+
+func FuzzRecord(f *testing.F) {
+	f.Add(PutRecord(nil, types.Record{
+		CK: types.CompositeKey{Key: "abc", Version: 7}, Value: []byte("payload"),
+	}))
+	f.Add([]byte{3, 'a', 'b'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = Record(data)
+	})
+}

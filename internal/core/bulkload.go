@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rstore/internal/chunk"
+	"rstore/internal/corpus"
+	"rstore/internal/types"
+)
+
+// BulkLoad adopts a pre-built corpus (e.g. a generated dataset or an export
+// from another system) into an empty store and materializes it offline with
+// the configured partitioner. The store takes ownership of the corpus.
+func (s *Store) BulkLoad(c *corpus.Corpus) error {
+	s.mu.Lock()
+	if err := s.mutable(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if s.graph.NumVersions() != 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("rstore: bulk load requires an empty store (have %d versions)", s.graph.NumVersions())
+	}
+	if err := c.Graph().Validate(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.graph = c.Graph()
+	s.corpus = c
+	s.locs = make([]chunk.Loc, c.NumRecords())
+	for i := range s.locs {
+		s.locs[i] = chunk.Loc{Chunk: chunk.NoChunk}
+	}
+	s.sortedKeys = append([]types.Key(nil), c.Keys()...)
+	sort.Slice(s.sortedKeys, func(i, j int) bool { return s.sortedKeys[i] < s.sortedKeys[j] })
+	s.mu.Unlock()
+	return s.Materialize()
+}
+
+// CommitDelta ingests a version whose delta the client computed itself —
+// the paper's native ingest path ("the system requests only those records
+// from the client that have changed, which in essence is the delta", §2.4).
+// Added records must carry the new version id in their composite keys unless
+// they re-introduce an existing record (merge traffic). The first commit
+// (parents = [InvalidVersion]) creates the root.
+func (s *Store) CommitDelta(parents []types.VersionID, delta *types.Delta) (types.VersionID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.mutable(); err != nil {
+		return types.InvalidVersion, err
+	}
+	if len(parents) == 0 {
+		return types.InvalidVersion, fmt.Errorf("rstore: commit needs a parent")
+	}
+	// Validate against the predicted id before mutating the graph (failed
+	// commits must leave no trace).
+	v := types.VersionID(s.graph.NumVersions())
+	if parents[0] == types.InvalidVersion {
+		if s.graph.NumVersions() != 0 {
+			return types.InvalidVersion, fmt.Errorf("rstore: root version already exists")
+		}
+	} else {
+		for _, p := range parents {
+			if !s.graph.Valid(p) {
+				return types.InvalidVersion, &types.VersionUnknownError{Version: p}
+			}
+		}
+	}
+	if !delta.IsConsistent() {
+		return types.InvalidVersion, fmt.Errorf("%w: version %d", types.ErrInconsistentDelta, v)
+	}
+	// Fresh adds must originate here; re-adds must already exist.
+	for _, r := range delta.Adds {
+		if r.CK.Version != v {
+			if _, ok := s.corpus.IDForCK(r.CK); !ok {
+				return types.InvalidVersion, fmt.Errorf("rstore: delta add %v neither originates at %d nor exists", r.CK, v)
+			}
+		}
+	}
+	for _, ck := range delta.Dels {
+		if _, ok := s.corpus.IDForCK(ck); !ok {
+			return types.InvalidVersion, fmt.Errorf("%w: delta deletes unknown record %v", types.ErrNotFound, ck)
+		}
+	}
+
+	var got types.VersionID
+	var err error
+	if parents[0] == types.InvalidVersion {
+		got, err = s.graph.AddRoot()
+	} else {
+		got, err = s.graph.AddVersion(parents...)
+	}
+	if err != nil {
+		return types.InvalidVersion, err
+	}
+	if got != v {
+		return types.InvalidVersion, fmt.Errorf("rstore: internal: version id drift (%d vs %d)", got, v)
+	}
+	if err := s.corpus.AddVersionDelta(v, delta); err != nil {
+		return types.InvalidVersion, fmt.Errorf("rstore: internal: graph/corpus desync at version %d: %w", v, err)
+	}
+	s.noteNewKeys(delta)
+	for i := len(s.locs); i < s.corpus.NumRecords(); i++ {
+		s.locs = append(s.locs, chunk.Loc{Chunk: chunk.NoChunk})
+	}
+	if err := s.kv.Put(TableDeltaStore, deltaKey(v), encodeDelta(delta)); err != nil {
+		return types.InvalidVersion, err
+	}
+	s.pending = append(s.pending, v)
+	s.pendingSet[v] = true
+	if s.cfg.BatchSize > 0 && len(s.pending) >= s.cfg.BatchSize {
+		if err := s.flushLocked(); err != nil {
+			return types.InvalidVersion, err
+		}
+	}
+	return v, nil
+}
+
+// ChunkStorageBytes sums the persisted chunk entry sizes (payloads + maps).
+func (s *Store) ChunkStorageBytes() int64 {
+	var total int64
+	s.kv.Scan(TableChunks, func(_ string, value []byte) bool {
+		total += int64(len(value))
+		return true
+	})
+	return total
+}

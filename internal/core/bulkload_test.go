@@ -1,0 +1,163 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"rstore/internal/types"
+	"rstore/internal/workload"
+)
+
+func TestBulkLoadAndQueries(t *testing.T) {
+	c, err := workload.Generate(workload.Spec{
+		Name: "bulk", Versions: 20, AvgDepth: 6, RecordsPerVersion: 40,
+		UpdatePct: 0.2, Update: workload.RandomUpdate, RecordSize: 96, Seed: 61,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(Config{ChunkCapacity: 2048, SubChunkK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BulkLoad(c); err != nil {
+		t.Fatal(err)
+	}
+	if s.PendingVersions() != 0 {
+		t.Fatalf("%d pending after bulk load", s.PendingVersions())
+	}
+	if s.ChunkStorageBytes() <= 0 {
+		t.Fatal("no chunk storage")
+	}
+	for v := 0; v < c.NumVersions(); v++ {
+		vv := types.VersionID(v)
+		want, err := c.Members(vv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, _, err := s.GetVersion(vv)
+		if err != nil {
+			t.Fatalf("GetVersion(%d): %v", v, err)
+		}
+		if len(recs) != len(want) {
+			t.Fatalf("v%d: %d records, want %d", v, len(recs), len(want))
+		}
+		if s.VersionSpan(vv) == 0 {
+			t.Fatalf("v%d: zero span", v)
+		}
+	}
+	// Span accessors line up with the projection totals.
+	if s.TotalVersionSpan() <= 0 || s.KeySpan(c.Keys()[0]) == 0 {
+		t.Fatal("span accessors")
+	}
+	// Bulk load twice is rejected.
+	if err := s.BulkLoad(c); err == nil {
+		t.Fatal("second bulk load accepted")
+	}
+}
+
+func TestCommitDeltaValidation(t *testing.T) {
+	s, err := Open(Config{ChunkCapacity: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root via delta.
+	root := &types.Delta{Adds: []types.Record{
+		{CK: types.CompositeKey{Key: "a", Version: 0}, Value: []byte("a0")},
+	}}
+	v0, err := s.CommitDelta([]types.VersionID{types.InvalidVersion}, root)
+	if err != nil || v0 != 0 {
+		t.Fatalf("root: %v %v", v0, err)
+	}
+	// Fresh add with wrong origin version is rejected.
+	bad := &types.Delta{Adds: []types.Record{
+		{CK: types.CompositeKey{Key: "b", Version: 99}, Value: []byte("b")},
+	}}
+	if _, err := s.CommitDelta([]types.VersionID{v0}, bad); err == nil {
+		t.Fatal("wrong-origin add accepted")
+	}
+	// Proper child delta.
+	good := &types.Delta{
+		Adds: []types.Record{{CK: types.CompositeKey{Key: "a", Version: 1}, Value: []byte("a1")}},
+		Dels: []types.CompositeKey{{Key: "a", Version: 0}},
+	}
+	v1, err := s.CommitDelta([]types.VersionID{v0}, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := s.GetRecord("a", v1)
+	if err != nil || string(rec.Value) != "a1" {
+		t.Fatalf("after delta commit: %q %v", rec.Value, err)
+	}
+	// Empty parents rejected.
+	if _, err := s.CommitDelta(nil, &types.Delta{}); err == nil {
+		t.Fatal("no-parent delta accepted")
+	}
+	// KV accessor exposed for stats.
+	if s.KV() == nil {
+		t.Fatal("KV() nil")
+	}
+	if len(s.Branches()) == 0 {
+		t.Fatal("no branches")
+	}
+	// Query stats accumulate across a mixed path.
+	var qs QueryStats
+	qs.add(QueryStats{Span: 1, Requests: 2, BytesRead: 3, Records: 4, WastedChunks: 5})
+	qs.add(QueryStats{Span: 1})
+	if qs.Span != 2 || qs.Requests != 2 || qs.BytesRead != 3 || qs.Records != 4 || qs.WastedChunks != 5 {
+		t.Fatalf("stats add: %+v", qs)
+	}
+	_ = errors.Is
+}
+
+// TestFailedCommitLeavesNoTrace: a rejected commit must not grow the graph
+// or desynchronize it from the corpus (regression for the pre-validation
+// ordering bug).
+func TestFailedCommitLeavesNoTrace(t *testing.T) {
+	s, err := Open(Config{ChunkCapacity: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, err := s.Commit(types.InvalidVersion, Change{Puts: map[types.Key][]byte{"a": []byte("0")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.NumVersions()
+
+	// Three distinct rejection paths.
+	if _, err := s.Commit(v0, Change{Deletes: []types.Key{"missing"}}); err == nil {
+		t.Fatal("delete of missing key accepted")
+	}
+	if _, err := s.Commit(v0, Change{
+		Puts: map[types.Key][]byte{"a": []byte("1")}, Deletes: []types.Key{"a"},
+	}); err == nil {
+		t.Fatal("put+delete accepted")
+	}
+	if _, err := s.CommitDelta([]types.VersionID{v0}, &types.Delta{
+		Adds: []types.Record{{CK: types.CompositeKey{Key: "x", Version: 77}}},
+	}); err == nil {
+		t.Fatal("wrong-origin delta accepted")
+	}
+
+	if s.NumVersions() != before {
+		t.Fatalf("failed commits grew the graph: %d → %d", before, s.NumVersions())
+	}
+	// The store remains fully functional: the next id is consecutive.
+	v1, err := s.Commit(v0, Change{Puts: map[types.Key][]byte{"a": []byte("1")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(v1) != before {
+		t.Fatalf("version id after failures: %d, want %d", v1, before)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := s.GetRecord("a", v1)
+	if err != nil || string(rec.Value) != "1" {
+		t.Fatalf("store unusable after failed commits: %q %v", rec.Value, err)
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"rstore/internal/chunk"
+)
+
+// chunkCache is a byte-bounded LRU over fetched chunk entries. The
+// application server sits between clients and the KVS (§2.4); caching hot
+// chunks there cuts the per-request round trips that dominate retrieval
+// cost (§2.3) for skewed query workloads. Entries are immutable between
+// placement changes; Flush and Materialize invalidate what they rewrite.
+//
+// Queries run under the store's read lock, so the cache carries its own
+// mutex: concurrent readers mutate LRU order.
+type chunkCache struct {
+	mu       sync.Mutex
+	capacity int64 // max payload bytes; 0 = disabled
+	size     int64
+	ll       *list.List // front = most recent; values are *cacheEntry
+	byID     map[chunk.ID]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	id      chunk.ID
+	payload []byte
+	m       *chunk.Map
+}
+
+func newChunkCache(capacity int64) *chunkCache {
+	return &chunkCache{
+		capacity: capacity,
+		ll:       list.New(),
+		byID:     make(map[chunk.ID]*list.Element),
+	}
+}
+
+// get returns the cached entry and promotes it.
+func (c *chunkCache) get(id chunk.ID) (*chunkEntry, bool) {
+	if c.capacity <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byID[id]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return &chunkEntry{id: e.id, payload: e.payload, m: e.m}, true
+}
+
+// put inserts or refreshes an entry, evicting LRU entries over capacity.
+func (c *chunkCache) put(id chunk.ID, payload []byte, m *chunk.Map) {
+	if c.capacity <= 0 || int64(len(payload)) > c.capacity {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[id]; ok {
+		old := el.Value.(*cacheEntry)
+		c.size += int64(len(payload)) - int64(len(old.payload))
+		old.payload, old.m = payload, m
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&cacheEntry{id: id, payload: payload, m: m})
+		c.byID[id] = el
+		c.size += int64(len(payload))
+	}
+	for c.size > c.capacity {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.byID, e.id)
+		c.size -= int64(len(e.payload))
+	}
+}
+
+// invalidate drops one chunk (its placement or map changed).
+func (c *chunkCache) invalidate(id chunk.ID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[id]; ok {
+		e := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.byID, id)
+		c.size -= int64(len(e.payload))
+	}
+}
+
+// reset drops everything (full repartition).
+func (c *chunkCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.byID = make(map[chunk.ID]*list.Element)
+	c.size = 0
+}
+
+// CacheStats reports chunk-cache effectiveness.
+type CacheStats struct {
+	Hits, Misses int64
+	Bytes        int64
+	Entries      int
+}
+
+// CacheStats returns a snapshot of the chunk cache counters.
+func (s *Store) CacheStats() CacheStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	s.cache.mu.Lock()
+	defer s.cache.mu.Unlock()
+	return CacheStats{
+		Hits:    s.cache.hits,
+		Misses:  s.cache.misses,
+		Bytes:   s.cache.size,
+		Entries: len(s.cache.byID),
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"rstore/internal/types"
+)
+
+// TestCacheCutsBackendRequests: repeated queries over a cached store issue
+// no further KVS requests; answers stay identical.
+func TestCacheCutsBackendRequests(t *testing.T) {
+	s, m := buildStore(t, Config{ChunkCapacity: 1024, CacheBytes: 16 << 20}, 15, 30, 51)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	v := types.VersionID(s.NumVersions() - 1)
+
+	_, cold, err := s.GetVersion(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Requests == 0 {
+		t.Fatal("cold query issued no requests")
+	}
+	recs, warm, err := s.GetVersion(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Requests != 0 {
+		t.Fatalf("warm query issued %d requests", warm.Requests)
+	}
+	if warm.Span != cold.Span {
+		t.Fatalf("span changed: %d vs %d", warm.Span, cold.Span)
+	}
+	if len(recs) != len(m.versions[int(v)]) {
+		t.Fatalf("warm answer wrong: %d records", len(recs))
+	}
+	cs := s.CacheStats()
+	if cs.Hits == 0 || cs.Entries == 0 || cs.Bytes == 0 {
+		t.Fatalf("cache stats: %+v", cs)
+	}
+}
+
+// TestCacheInvalidationOnFlush: a flush that rewrites a chunk's map must not
+// serve the stale cached entry.
+func TestCacheInvalidationOnFlush(t *testing.T) {
+	s, err := Open(Config{ChunkCapacity: 1 << 20, CacheBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, err := s.Commit(types.InvalidVersion, Change{Puts: map[types.Key][]byte{
+		"a": []byte("a0"), "b": []byte("b0"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache.
+	if _, _, err := s.GetVersion(v0); err != nil {
+		t.Fatal(err)
+	}
+	// New version deletes a record and flushes: the old chunk's map gains
+	// v1 (minus the deleted slot) and is rewritten.
+	v1, err := s.Commit(v0, Change{Deletes: []types.Key{"b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := s.GetVersion(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].CK.Key != "a" {
+		t.Fatalf("stale cache served: %v", recs)
+	}
+}
+
+// TestCacheInvalidationOnMaterialize: a full repartition reassigns every
+// chunk id; stale entries must vanish.
+func TestCacheInvalidationOnMaterialize(t *testing.T) {
+	s, m := buildStore(t, Config{ChunkCapacity: 512, BatchSize: 4, CacheBytes: 16 << 20}, 12, 20, 52)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < s.NumVersions(); v++ {
+		if _, _, err := s.GetVersion(types.VersionID(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if cs := s.CacheStats(); cs.Entries != 0 {
+		t.Fatalf("cache survived materialize: %+v", cs)
+	}
+	checkAllVersions(t, s, m)
+}
+
+// TestCacheEviction: a tiny cache evicts under pressure and never exceeds
+// its byte budget.
+func TestCacheEviction(t *testing.T) {
+	s, m := buildStore(t, Config{ChunkCapacity: 512, CacheBytes: 2048}, 12, 30, 53)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		checkAllVersions(t, s, m)
+	}
+	cs := s.CacheStats()
+	if cs.Bytes > 2048 {
+		t.Fatalf("cache over budget: %+v", cs)
+	}
+	if cs.Misses == 0 {
+		t.Fatal("tiny cache produced no misses")
+	}
+}
+
+// TestCacheDisabledByDefault: zero config keeps behavior identical with no
+// cache state.
+func TestCacheDisabledByDefault(t *testing.T) {
+	s, _ := buildStore(t, Config{ChunkCapacity: 1024}, 8, 15, 54)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.GetVersion(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.GetVersion(0); err != nil {
+		t.Fatal(err)
+	}
+	if cs := s.CacheStats(); cs.Hits != 0 || cs.Entries != 0 {
+		t.Fatalf("disabled cache accumulated state: %+v", cs)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"rstore/internal/intset"
+	"rstore/internal/types"
+)
+
+// VersionDiff reports the record-level difference between two versions
+// (in the paper's delta terms: ∆⁺ = records in b but not a, ∆⁻ = records in
+// a but not b). The versions may lie on different branches; the diff is
+// computed over the in-memory corpus without touching the KVS, mirroring how
+// the application server's VCS commands present change sets.
+type VersionDiff struct {
+	// Added holds composite keys present in b but not a.
+	Added []types.CompositeKey
+	// Removed holds composite keys present in a but not b.
+	Removed []types.CompositeKey
+	// Modified holds the primary keys that appear on both sides with
+	// different origins (an Added/Removed pair of the same key).
+	Modified []types.Key
+}
+
+// Diff computes the symmetric difference between versions a and b.
+func (s *Store) Diff(a, b types.VersionID) (*VersionDiff, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.validVersion(a) {
+		return nil, &types.VersionUnknownError{Version: a}
+	}
+	if !s.validVersion(b) {
+		return nil, &types.VersionUnknownError{Version: b}
+	}
+	ma, err := s.corpus.Members(a)
+	if err != nil {
+		return nil, err
+	}
+	mb, err := s.corpus.Members(b)
+	if err != nil {
+		return nil, err
+	}
+	added := intset.Diff(mb, ma)
+	removed := intset.Diff(ma, mb)
+
+	d := &VersionDiff{}
+	removedKeys := make(map[types.Key]bool, len(removed))
+	for _, id := range removed {
+		ck := s.corpus.Record(id).CK
+		d.Removed = append(d.Removed, ck)
+		removedKeys[ck.Key] = true
+	}
+	for _, id := range added {
+		ck := s.corpus.Record(id).CK
+		d.Added = append(d.Added, ck)
+		if removedKeys[ck.Key] {
+			d.Modified = append(d.Modified, ck.Key)
+		}
+	}
+	types.SortCompositeKeys(d.Added)
+	types.SortCompositeKeys(d.Removed)
+	return d, nil
+}
+
+// LCA returns the lowest common ancestor of two versions in the version
+// tree — the natural merge base for three-way merges built on top of the
+// store.
+func (s *Store) LCA(a, b types.VersionID) (types.VersionID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.validVersion(a) {
+		return types.InvalidVersion, &types.VersionUnknownError{Version: a}
+	}
+	if !s.validVersion(b) {
+		return types.InvalidVersion, &types.VersionUnknownError{Version: b}
+	}
+	g := s.graph
+	for g.Depth(a) > g.Depth(b) {
+		a = g.Parent(a)
+	}
+	for g.Depth(b) > g.Depth(a) {
+		b = g.Parent(b)
+	}
+	for a != b {
+		a, b = g.Parent(a), g.Parent(b)
+	}
+	return a, nil
+}

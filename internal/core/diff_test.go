@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"rstore/internal/types"
+)
+
+func diffStore(t *testing.T) (*Store, types.VersionID, types.VersionID, types.VersionID) {
+	t.Helper()
+	s, err := Open(Config{ChunkCapacity: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, err := s.Commit(types.InvalidVersion, Change{Puts: map[types.Key][]byte{
+		"a": []byte("a0"), "b": []byte("b0"), "c": []byte("c0"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Branch 1: modify a, add d.
+	v1, err := s.Commit(v0, Change{Puts: map[types.Key][]byte{
+		"a": []byte("a1"), "d": []byte("d1"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Branch 2 (from v0): delete b, modify c.
+	v2, err := s.Commit(v0, Change{
+		Puts:    map[types.Key][]byte{"c": []byte("c2")},
+		Deletes: []types.Key{"b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, v0, v1, v2
+}
+
+func TestDiffLinear(t *testing.T) {
+	s, v0, v1, _ := diffStore(t)
+	d, err := s.Diff(v0, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v0→v1: +⟨a,1⟩ +⟨d,1⟩ −⟨a,0⟩; modified = {a}.
+	if len(d.Added) != 2 || len(d.Removed) != 1 {
+		t.Fatalf("diff: +%v -%v", d.Added, d.Removed)
+	}
+	if d.Added[0] != (types.CompositeKey{Key: "a", Version: v1}) {
+		t.Fatalf("added[0] = %v", d.Added[0])
+	}
+	if d.Removed[0] != (types.CompositeKey{Key: "a", Version: v0}) {
+		t.Fatalf("removed[0] = %v", d.Removed[0])
+	}
+	if len(d.Modified) != 1 || d.Modified[0] != "a" {
+		t.Fatalf("modified = %v", d.Modified)
+	}
+	// Reverse direction swaps the sets.
+	rd, err := s.Diff(v1, v0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rd.Added) != len(d.Removed) || len(rd.Removed) != len(d.Added) {
+		t.Fatal("reverse diff not symmetric")
+	}
+}
+
+func TestDiffAcrossBranches(t *testing.T) {
+	s, _, v1, v2 := diffStore(t)
+	d, err := s.Diff(v1, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1 = {a@1, b@0, c@0, d@1}; v2 = {a@0, c@2}.
+	// Added (in v2 not v1): a@0, c@2. Removed: a@1, b@0, c@0, d@1.
+	if len(d.Added) != 2 || len(d.Removed) != 4 {
+		t.Fatalf("cross-branch diff: +%v -%v", d.Added, d.Removed)
+	}
+	// a and c changed origin across the branches.
+	if len(d.Modified) != 2 {
+		t.Fatalf("modified = %v", d.Modified)
+	}
+}
+
+func TestDiffIdentity(t *testing.T) {
+	s, v0, _, _ := diffStore(t)
+	d, err := s.Diff(v0, v0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Added)+len(d.Removed)+len(d.Modified) != 0 {
+		t.Fatalf("self-diff not empty: %+v", d)
+	}
+	if _, err := s.Diff(v0, 99); !errors.Is(err, types.ErrVersionUnknown) {
+		t.Fatalf("unknown version: %v", err)
+	}
+}
+
+func TestLCA(t *testing.T) {
+	s, v0, v1, v2 := diffStore(t)
+	// Extend branch 1 once more.
+	v3, err := s.Commit(v1, Change{Puts: map[types.Key][]byte{"e": []byte("e3")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a, b, want types.VersionID
+	}{
+		{v1, v2, v0},
+		{v3, v2, v0},
+		{v3, v1, v1},
+		{v0, v3, v0},
+		{v2, v2, v2},
+	}
+	for _, c := range cases {
+		got, err := s.LCA(c.a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("LCA(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if _, err := s.LCA(0, 99); !errors.Is(err, types.ErrVersionUnknown) {
+		t.Fatalf("unknown version: %v", err)
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import "rstore/internal/types"
+
+// Info is a snapshot of store-level statistics, the numbers the paper
+// reports when sizing indexes and storage (§2.4).
+type Info struct {
+	// Versions is the number of committed versions.
+	Versions int
+	// PendingVersions is the number awaiting placement.
+	PendingVersions int
+	// Records is the number of distinct records (composite keys).
+	Records int
+	// Keys is the number of distinct primary keys.
+	Keys int
+	// Chunks is the number of materialized chunks.
+	Chunks int
+	// TotalVersionSpan is Σ_v |chunks(v)| — the partitioning-quality
+	// metric.
+	TotalVersionSpan int
+	// VersionIndexBytes / KeyIndexBytes are the in-memory projection
+	// footprints (the paper: "these indexes can easily fit in ... main
+	// memory").
+	VersionIndexBytes int64
+	KeyIndexBytes     int64
+	// Branches is the number of named branches.
+	Branches int
+}
+
+// Info returns current statistics.
+func (s *Store) Info() Info {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vb, kb := s.proj.SizeBytes()
+	return Info{
+		Versions:          s.graph.NumVersions(),
+		PendingVersions:   len(s.pending),
+		Records:           s.corpus.NumRecords(),
+		Keys:              s.corpus.NumKeys(),
+		Chunks:            int(s.numChunks),
+		TotalVersionSpan:  s.proj.TotalVersionSpan(),
+		VersionIndexBytes: vb,
+		KeyIndexBytes:     kb,
+		Branches:          len(s.branches),
+	}
+}
+
+// Versions lists all committed version ids in commit order.
+func (s *Store) Versions() []types.VersionID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]types.VersionID, s.graph.NumVersions())
+	for i := range out {
+		out[i] = types.VersionID(i)
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rstore/internal/chunk"
+	"rstore/internal/codec"
+	"rstore/internal/corpus"
+	"rstore/internal/index"
+	"rstore/internal/types"
+	"rstore/internal/vgraph"
+)
+
+// manifestKey is the single meta-table entry holding the manifest.
+const manifestKey = "manifest"
+
+// manifestVersion guards the on-disk format.
+const manifestVersion = 1
+
+// saveManifest persists everything needed to reopen the store against the
+// same KVS: the version graph with per-version composite-key deltas (values
+// live in chunks / the delta store), branches, chunk count, and the pending
+// set. Called under s.mu.
+func (s *Store) saveManifest() error {
+	var buf []byte
+	buf = codec.PutUvarint(buf, manifestVersion)
+	n := s.graph.NumVersions()
+	buf = codec.PutUvarint(buf, uint64(n))
+	for v := 0; v < n; v++ {
+		vv := types.VersionID(v)
+		parents := s.graph.Parents(vv)
+		buf = codec.PutUvarint(buf, uint64(len(parents)))
+		for _, p := range parents {
+			buf = codec.PutUvarint(buf, uint64(p))
+		}
+		adds := s.corpus.Adds(vv)
+		buf = codec.PutUvarint(buf, uint64(len(adds)))
+		for _, id := range adds {
+			buf = codec.PutCompositeKey(buf, s.corpus.Record(id).CK)
+		}
+		dels := s.corpus.Dels(vv)
+		buf = codec.PutUvarint(buf, uint64(len(dels)))
+		for _, id := range dels {
+			buf = codec.PutCompositeKey(buf, s.corpus.Record(id).CK)
+		}
+	}
+	buf = codec.PutUvarint(buf, uint64(s.numChunks))
+	buf = codec.PutUvarint(buf, uint64(len(s.pending)))
+	for _, v := range s.pending {
+		buf = codec.PutUvarint(buf, uint64(v))
+	}
+	names := make([]string, 0, len(s.branches))
+	for name := range s.branches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	buf = codec.PutUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		buf = codec.PutString(buf, name)
+		buf = codec.PutUvarint(buf, uint64(s.branches[name]))
+	}
+	return s.kv.Put(TableMeta, manifestKey, buf)
+}
+
+// Load reopens a store previously persisted to kv: the manifest restores the
+// graph and delta structure, record payloads are recovered from chunk
+// entries and the delta store, and the in-memory placement state (locations,
+// chunk maps, projections) is rebuilt.
+func Load(cfg Config) (*Store, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	kv := cfg.KV
+	raw, err := kv.Get(TableMeta, manifestKey)
+	if err != nil {
+		return nil, fmt.Errorf("rstore: load: %w", err)
+	}
+
+	// Recover record payloads: every placed record from chunk entries,
+	// every pending record from the delta store.
+	values := make(map[types.CompositeKey][]byte)
+	type slotLoc struct {
+		cid  chunk.ID
+		slot uint32
+	}
+	locOf := make(map[types.CompositeKey]slotLoc)
+	maps := make(map[chunk.ID]*chunk.Map)
+	var loadErr error
+	kv.Scan(TableChunks, func(key string, value []byte) bool {
+		var cid chunk.ID
+		if _, err := fmt.Sscanf(key, "c%08x", &cid); err != nil {
+			loadErr = fmt.Errorf("%w: bad chunk key %q", types.ErrCorrupt, key)
+			return false
+		}
+		payload, m, err := decodeChunkEntry(value)
+		if err != nil {
+			loadErr = err
+			return false
+		}
+		recs, err := chunk.DecodeChunk(payload)
+		if err != nil {
+			loadErr = err
+			return false
+		}
+		for slot, r := range recs {
+			values[r.CK] = r.Value
+			locOf[r.CK] = slotLoc{cid: cid, slot: uint32(slot)}
+		}
+		maps[cid] = m
+		return true
+	})
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	kv.Scan(TableDeltaStore, func(key string, value []byte) bool {
+		d, err := decodeDelta(value)
+		if err != nil {
+			loadErr = err
+			return false
+		}
+		for _, r := range d.Adds {
+			values[r.CK] = r.Value
+		}
+		return true
+	})
+	if loadErr != nil {
+		return nil, loadErr
+	}
+
+	s, err := decodeManifest(raw, cfg, values)
+	if err != nil {
+		return nil, err
+	}
+
+	// Rebuild placement state.
+	s.locs = make([]chunk.Loc, s.corpus.NumRecords())
+	for i := range s.locs {
+		s.locs[i] = chunk.Loc{Chunk: chunk.NoChunk}
+	}
+	for ck, sl := range locOf {
+		id, ok := s.corpus.IDForCK(ck)
+		if !ok {
+			return nil, fmt.Errorf("%w: chunked record %v not in manifest", types.ErrCorrupt, ck)
+		}
+		s.locs[id] = chunk.Loc{Chunk: sl.cid, Slot: sl.slot}
+	}
+	s.maps = make([]*chunk.Map, s.numChunks)
+	for cid, m := range maps {
+		if int(cid) >= len(s.maps) {
+			return nil, fmt.Errorf("%w: chunk %d beyond manifest count %d", types.ErrCorrupt, cid, s.numChunks)
+		}
+		s.maps[cid] = m
+	}
+	proj, err := index.Load(kv)
+	if err != nil {
+		return nil, err
+	}
+	s.proj = proj
+	return s, nil
+}
+
+// decodeManifest parses the manifest and replays the graph + corpus.
+func decodeManifest(buf []byte, cfg Config, values map[types.CompositeKey][]byte) (*Store, error) {
+	ver, rest, err := codec.Uvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	if ver != manifestVersion {
+		return nil, fmt.Errorf("%w: manifest version %d (want %d)", types.ErrCorrupt, ver, manifestVersion)
+	}
+	n, rest, err := codec.Uvarint(rest)
+	if err != nil {
+		return nil, err
+	}
+
+	g := vgraph.New()
+	c := corpus.New(g)
+	s := &Store{
+		cfg:        cfg,
+		kv:         cfg.KV,
+		graph:      g,
+		corpus:     c,
+		pendingSet: make(map[types.VersionID]bool),
+		keyStates:  newKeyStateCache(4),
+		branches:   make(map[string]types.VersionID),
+		cache:      newChunkCache(cfg.CacheBytes),
+	}
+
+	for v := uint64(0); v < n; v++ {
+		var np uint64
+		np, rest, err = codec.Uvarint(rest)
+		if err != nil {
+			return nil, err
+		}
+		parents := make([]types.VersionID, np)
+		for i := range parents {
+			var p uint64
+			p, rest, err = codec.Uvarint(rest)
+			if err != nil {
+				return nil, err
+			}
+			parents[i] = types.VersionID(p)
+		}
+		var id types.VersionID
+		if np == 0 {
+			id, err = g.AddRoot()
+		} else {
+			id, err = g.AddVersion(parents...)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if id != types.VersionID(v) {
+			return nil, fmt.Errorf("%w: manifest version %d decoded as %d", types.ErrCorrupt, v, id)
+		}
+
+		delta := &types.Delta{}
+		var na uint64
+		na, rest, err = codec.Uvarint(rest)
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < na; i++ {
+			var ck types.CompositeKey
+			ck, rest, err = codec.CompositeKey(rest)
+			if err != nil {
+				return nil, err
+			}
+			val, ok := values[ck]
+			if !ok {
+				return nil, fmt.Errorf("%w: no payload recovered for %v", types.ErrCorrupt, ck)
+			}
+			delta.Adds = append(delta.Adds, types.Record{CK: ck, Value: val})
+		}
+		var nd uint64
+		nd, rest, err = codec.Uvarint(rest)
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < nd; i++ {
+			var ck types.CompositeKey
+			ck, rest, err = codec.CompositeKey(rest)
+			if err != nil {
+				return nil, err
+			}
+			delta.Dels = append(delta.Dels, ck)
+		}
+		if err := c.AddVersionDelta(id, delta); err != nil {
+			return nil, err
+		}
+		s.noteNewKeys(delta)
+	}
+
+	nc, rest, err := codec.Uvarint(rest)
+	if err != nil {
+		return nil, err
+	}
+	s.numChunks = uint32(nc)
+	np, rest, err := codec.Uvarint(rest)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < np; i++ {
+		var v uint64
+		v, rest, err = codec.Uvarint(rest)
+		if err != nil {
+			return nil, err
+		}
+		s.pending = append(s.pending, types.VersionID(v))
+		s.pendingSet[types.VersionID(v)] = true
+	}
+	nb, rest, err := codec.Uvarint(rest)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nb; i++ {
+		var name string
+		name, rest, err = codec.String(rest)
+		if err != nil {
+			return nil, err
+		}
+		var v uint64
+		v, rest, err = codec.Uvarint(rest)
+		if err != nil {
+			return nil, err
+		}
+		s.branches[name] = types.VersionID(v)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing manifest bytes", types.ErrCorrupt, len(rest))
+	}
+	return s, nil
+}

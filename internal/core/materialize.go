@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"rstore/internal/chunk"
+	"rstore/internal/codec"
+	"rstore/internal/index"
+	"rstore/internal/subchunk"
+	"rstore/internal/types"
+)
+
+// Materialize runs the configured partitioning algorithm offline over the
+// entire corpus — sub-chunk construction (if k>1), chunking, chunk-map and
+// projection construction — and persists everything to the KVS. It is the
+// bulk-load path and doubles as the periodic full repartitioning that §4
+// recommends combining with online batching.
+func (s *Store) Materialize() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.mutable(); err != nil {
+		return err
+	}
+	return s.materializeLocked()
+}
+
+func (s *Store) materializeLocked() error {
+	if s.graph.NumVersions() == 0 {
+		return nil
+	}
+	res, err := subchunk.Build(s.corpus, s.cfg.SubChunkK, s.cfg.ChunkCapacity)
+	if err != nil {
+		return fmt.Errorf("rstore: materialize: %w", err)
+	}
+	res.In.Slack = s.cfg.Slack
+
+	assign, err := s.cfg.Partitioner.Partition(res.In)
+	if err != nil {
+		return fmt.Errorf("rstore: materialize: %s: %w", s.cfg.Partitioner.Name(), err)
+	}
+
+	proj := index.New()
+	built, err := chunk.Build(s.corpus, res.In.Items, assign.Chunks, proj)
+	if err != nil {
+		return fmt.Errorf("rstore: materialize: %w", err)
+	}
+	for id := 0; id < s.corpus.NumRecords(); id++ {
+		loc := built.Locs[id]
+		if loc.Chunk != chunk.NoChunk {
+			proj.AddKeyChunk(s.corpus.Record(uint32(id)).CK.Key, loc.Chunk)
+		}
+	}
+	proj.Normalize()
+
+	// A full repartition supersedes every previously written chunk and
+	// index entry; stale ones (e.g. chunks created by earlier online
+	// flushes beyond the new chunk count) must not survive, or a reload
+	// would resurrect them.
+	if err := s.clearTable(TableChunks); err != nil {
+		return err
+	}
+	if err := s.clearTable(index.TableVersionIndex); err != nil {
+		return err
+	}
+	if err := s.clearTable(index.TableKeyIndex); err != nil {
+		return err
+	}
+
+	// Persist chunk entries (payload + map in one value) and projections.
+	for cid := range built.Payloads {
+		entry := encodeChunkEntry(built.Payloads[cid], built.Maps[cid])
+		if err := s.kv.Put(TableChunks, chunk.KVKey(chunk.ID(cid)), entry); err != nil {
+			return err
+		}
+	}
+	if err := proj.Save(s.kv); err != nil {
+		return err
+	}
+	// Every version is now placed; drain the write store.
+	for _, v := range s.pending {
+		if err := s.kv.Delete(TableDeltaStore, deltaKey(v)); err != nil {
+			return err
+		}
+	}
+
+	s.locs = built.Locs
+	s.maps = built.Maps
+	s.proj = proj
+	s.numChunks = uint32(len(built.Payloads))
+	s.pending = nil
+	s.pendingSet = make(map[types.VersionID]bool)
+	s.cache.reset() // every chunk id was reassigned
+	return s.saveManifest()
+}
+
+// clearTable removes every entry of a KVS table.
+func (s *Store) clearTable(table string) error {
+	var keys []string
+	s.kv.Scan(table, func(k string, _ []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	for _, k := range keys {
+		if err := s.kv.Delete(table, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeChunkEntry packs a chunk payload and its chunk map into the single
+// KVS value stored under the chunk id.
+func encodeChunkEntry(payload []byte, m *chunk.Map) []byte {
+	var buf []byte
+	buf = codec.PutBytes(buf, payload)
+	return m.AppendBinary(buf)
+}
+
+// decodeChunkEntry splits a stored chunk entry.
+func decodeChunkEntry(entry []byte) (payload []byte, m *chunk.Map, err error) {
+	payload, rest, err := codec.Bytes(entry)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err = chunk.DecodeMap(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	return payload, m, nil
+}

@@ -1,0 +1,463 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rstore/internal/chunk"
+	"rstore/internal/kvstore"
+	"rstore/internal/types"
+)
+
+// GetVersion retrieves every record of version v (the paper's full version
+// retrieval, Q1): the version→chunk projection picks chunks, a parallel
+// MultiGet fetches them, and chunk maps extract the member records. Versions
+// still pending in the write store are served by overlaying their deltas on
+// the nearest placed ancestor.
+func (s *Store) GetVersion(v types.VersionID) ([]types.Record, QueryStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var stats QueryStats
+	if !s.validVersion(v) {
+		return nil, stats, &types.VersionUnknownError{Version: v}
+	}
+	anchor, overlayPath := s.anchorOf(v)
+
+	recs := make(map[types.CompositeKey]types.Record)
+	if anchor != types.InvalidVersion {
+		if err := s.fetchVersionChunks(anchor, &stats, func(r types.Record) {
+			recs[r.CK] = r
+		}); err != nil {
+			return nil, stats, err
+		}
+	}
+	if err := s.applyOverlay(overlayPath, &stats, recs); err != nil {
+		return nil, stats, err
+	}
+
+	out := make([]types.Record, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, r)
+	}
+	types.SortRecords(out)
+	stats.Records = len(out)
+	return out, stats, nil
+}
+
+// GetRecord retrieves the record with the given primary key visible in
+// version v (point query): both projections are intersected ("index-ANDing",
+// §2.4) to pick candidate chunks.
+func (s *Store) GetRecord(key types.Key, v types.VersionID) (types.Record, QueryStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var stats QueryStats
+	if !s.validVersion(v) {
+		return types.Record{}, stats, &types.VersionUnknownError{Version: v}
+	}
+	anchor, overlayPath := s.anchorOf(v)
+
+	// Newest-first through the pending deltas: the first touch of the key
+	// decides.
+	if len(overlayPath) > 0 {
+		deltas, err := s.fetchDeltas(overlayPath, &stats)
+		if err != nil {
+			return types.Record{}, stats, err
+		}
+		for i := len(deltas) - 1; i >= 0; i-- {
+			d := deltas[i]
+			for _, r := range d.Adds {
+				if r.CK.Key == key {
+					stats.Records = 1
+					return r, stats, nil
+				}
+			}
+			for _, ck := range d.Dels {
+				if ck.Key == key {
+					return types.Record{}, stats, &types.KeyNotFoundError{Key: key, Version: v}
+				}
+			}
+		}
+	}
+	if anchor == types.InvalidVersion {
+		return types.Record{}, stats, &types.KeyNotFoundError{Key: key, Version: v}
+	}
+
+	cids := s.proj.Intersect(key, anchor)
+	if len(cids) == 0 {
+		return types.Record{}, stats, &types.KeyNotFoundError{Key: key, Version: v}
+	}
+	entries, err := s.fetchChunks(cids, &stats)
+	if err != nil {
+		return types.Record{}, stats, err
+	}
+	for i, e := range entries {
+		if e == nil {
+			continue
+		}
+		found, rec, err := extractKeyAtVersion(e, anchor, key)
+		if err != nil {
+			return types.Record{}, stats, err
+		}
+		s.chargeScan(e, &stats)
+		if found {
+			stats.Records = 1
+			// Remaining fetched chunks were wasted (lossy projection).
+			stats.WastedChunks += len(entries) - i - 1
+			return rec, stats, nil
+		}
+		stats.WastedChunks++
+	}
+	return types.Record{}, stats, &types.KeyNotFoundError{Key: key, Version: v}
+}
+
+// GetRange retrieves the records of version v whose keys fall in [lo, hi)
+// (partial version retrieval, Q2).
+func (s *Store) GetRange(lo, hi types.Key, v types.VersionID) ([]types.Record, QueryStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var stats QueryStats
+	if !s.validVersion(v) {
+		return nil, stats, &types.VersionUnknownError{Version: v}
+	}
+	anchor, overlayPath := s.anchorOf(v)
+
+	recs := make(map[types.CompositeKey]types.Record)
+	if anchor != types.InvalidVersion {
+		// Union of key-projection entries over the range, intersected with
+		// the version projection.
+		inVersion := make(map[chunk.ID]bool)
+		for _, cid := range s.proj.VersionChunks(anchor) {
+			inVersion[cid] = true
+		}
+		cidSet := make(map[chunk.ID]bool)
+		for _, k := range s.keysInRange(lo, hi) {
+			for _, cid := range s.proj.KeyChunks(k) {
+				if inVersion[cid] {
+					cidSet[cid] = true
+				}
+			}
+		}
+		cids := make([]chunk.ID, 0, len(cidSet))
+		for cid := range cidSet {
+			cids = append(cids, cid)
+		}
+		sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+
+		entries, err := s.fetchChunks(cids, &stats)
+		if err != nil {
+			return nil, stats, err
+		}
+		decoded, err := decodeEntries(entries)
+		if err != nil {
+			return nil, stats, err
+		}
+		for i, e := range entries {
+			if e == nil {
+				continue
+			}
+			matched, err := extractSlots(e, decoded[i], anchor, func(r types.Record) {
+				if r.CK.Key >= lo && r.CK.Key < hi {
+					recs[r.CK] = r
+				}
+			})
+			if err != nil {
+				return nil, stats, err
+			}
+			s.chargeScan(e, &stats)
+			if !matched {
+				stats.WastedChunks++
+			}
+		}
+	}
+	if err := s.applyOverlay(overlayPath, &stats, recs); err != nil {
+		return nil, stats, err
+	}
+	out := make([]types.Record, 0, len(recs))
+	for _, r := range recs {
+		if r.CK.Key >= lo && r.CK.Key < hi {
+			out = append(out, r)
+		}
+	}
+	types.SortRecords(out)
+	stats.Records = len(out)
+	return out, stats, nil
+}
+
+// GetHistory retrieves every record carrying the given primary key across
+// all versions (record evolution, Q3), ordered by origin version.
+func (s *Store) GetHistory(key types.Key) ([]types.Record, QueryStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var stats QueryStats
+
+	seen := make(map[types.CompositeKey]types.Record)
+	cids := s.proj.KeyChunks(key)
+	entries, err := s.fetchChunks(cids, &stats)
+	if err != nil {
+		return nil, stats, err
+	}
+	decoded, err := decodeEntries(entries)
+	if err != nil {
+		return nil, stats, err
+	}
+	for i, e := range entries {
+		if e == nil {
+			continue
+		}
+		s.chargeScan(e, &stats)
+		matched := false
+		for _, r := range decoded[i] {
+			if r.CK.Key == key {
+				seen[r.CK] = r
+				matched = true
+			}
+		}
+		if !matched {
+			stats.WastedChunks++
+		}
+	}
+
+	// Pending records of this key live in the write store.
+	var pendingVersions []types.VersionID
+	for _, id := range s.corpus.KeyRecords(key) {
+		if int(id) < len(s.locs) && s.locs[id].Chunk == chunk.NoChunk {
+			pendingVersions = append(pendingVersions, s.corpus.Record(id).CK.Version)
+		}
+	}
+	if len(pendingVersions) > 0 {
+		deltas, err := s.fetchDeltas(pendingVersions, &stats)
+		if err != nil {
+			return nil, stats, err
+		}
+		for _, d := range deltas {
+			for _, r := range d.Adds {
+				if r.CK.Key == key {
+					seen[r.CK] = r
+				}
+			}
+		}
+	}
+	if len(seen) == 0 {
+		return nil, stats, &types.KeyNotFoundError{Key: key, Version: types.InvalidVersion}
+	}
+
+	out := make([]types.Record, 0, len(seen))
+	for _, r := range seen {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CK.Version < out[j].CK.Version })
+	stats.Records = len(out)
+	return out, stats, nil
+}
+
+// --- shared plumbing ---
+
+func (s *Store) validVersion(v types.VersionID) bool {
+	return v != types.InvalidVersion && s.graph.Valid(v) && int(v) < s.corpus.NumVersions()
+}
+
+// anchorOf walks up from v to the nearest placed (non-pending) version and
+// returns it plus the pending path (anchor-exclusive, ordered root→v).
+// Anchor is InvalidVersion when the whole path is pending.
+func (s *Store) anchorOf(v types.VersionID) (types.VersionID, []types.VersionID) {
+	var overlay []types.VersionID
+	cur := v
+	for cur != types.InvalidVersion && s.pendingSet[cur] {
+		overlay = append(overlay, cur)
+		cur = s.graph.Parent(cur)
+	}
+	// Reverse to root→v order.
+	for i, j := 0, len(overlay)-1; i < j; i, j = i+1, j-1 {
+		overlay[i], overlay[j] = overlay[j], overlay[i]
+	}
+	return cur, overlay
+}
+
+// chunkEntry is a fetched chunk: payload + map.
+type chunkEntry struct {
+	id      chunk.ID
+	payload []byte
+	m       *chunk.Map
+}
+
+// fetchChunks resolves chunk entries through the AS cache, multigetting
+// only the misses. Span counts every chunk consulted; Requests/BytesRead
+// reflect actual backend traffic. Missing chunks indicate corruption
+// (projections are authoritative) and surface as errors.
+func (s *Store) fetchChunks(cids []chunk.ID, stats *QueryStats) ([]*chunkEntry, error) {
+	if len(cids) == 0 {
+		return nil, nil
+	}
+	stats.Span += len(cids)
+	out := make([]*chunkEntry, len(cids))
+
+	var missIdx []int
+	var keys []string
+	for i, cid := range cids {
+		if e, ok := s.cache.get(cid); ok {
+			out[i] = e
+			continue
+		}
+		missIdx = append(missIdx, i)
+		keys = append(keys, chunk.KVKey(cid))
+	}
+	if len(keys) == 0 {
+		return out, nil
+	}
+
+	res, err := s.kv.MultiGet(TableChunks, keys)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Missing) > 0 {
+		return nil, fmt.Errorf("%w: chunk %s missing", types.ErrCorrupt, keys[res.Missing[0]])
+	}
+	s.bookMultiGet(res, stats)
+	for j, val := range res.Values {
+		i := missIdx[j]
+		payload, m, err := decodeChunkEntry(val)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = &chunkEntry{id: cids[i], payload: payload, m: m}
+		s.cache.put(cids[i], payload, m)
+	}
+	return out, nil
+}
+
+// fetchVersionChunks fetches version v's chunks, decodes them in parallel,
+// and streams its member records to fn.
+func (s *Store) fetchVersionChunks(v types.VersionID, stats *QueryStats, fn func(types.Record)) error {
+	entries, err := s.fetchChunks(s.proj.VersionChunks(v), stats)
+	if err != nil {
+		return err
+	}
+	decoded, err := decodeEntries(entries)
+	if err != nil {
+		return err
+	}
+	for i, e := range entries {
+		matched, err := extractSlots(e, decoded[i], v, fn)
+		if err != nil {
+			return err
+		}
+		s.chargeScan(e, stats)
+		if !matched {
+			stats.WastedChunks++
+		}
+	}
+	return nil
+}
+
+// corruptSlotError reports a chunk-map slot outside the decoded payload.
+func corruptSlotError(id chunk.ID, slot uint32) error {
+	return fmt.Errorf("%w: chunk %d slot %d out of range", types.ErrCorrupt, id, slot)
+}
+
+// extractKeyAtVersion finds the record with the given key among version v's
+// slots of one chunk.
+func extractKeyAtVersion(e *chunkEntry, v types.VersionID, key types.Key) (bool, types.Record, error) {
+	slots := e.m.SlotsOf(v)
+	if slots == nil {
+		return false, types.Record{}, nil
+	}
+	recs, err := chunk.DecodeChunk(e.payload)
+	if err != nil {
+		return false, types.Record{}, err
+	}
+	var out types.Record
+	found := false
+	slots.ForEach(func(slot uint32) bool {
+		if int(slot) < len(recs) && recs[slot].CK.Key == key {
+			out = recs[slot]
+			found = true
+			return false
+		}
+		return true
+	})
+	return found, out, nil
+}
+
+// fetchDeltas multigets pending deltas from the write store.
+func (s *Store) fetchDeltas(versions []types.VersionID, stats *QueryStats) ([]*types.Delta, error) {
+	keys := make([]string, len(versions))
+	for i, v := range versions {
+		keys[i] = deltaKey(v)
+	}
+	res, err := s.kv.MultiGet(TableDeltaStore, keys)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Missing) > 0 {
+		return nil, fmt.Errorf("%w: pending delta %s missing", types.ErrCorrupt, keys[res.Missing[0]])
+	}
+	s.bookMultiGet(res, stats)
+	stats.Span += len(versions)
+	out := make([]*types.Delta, len(versions))
+	for i, val := range res.Values {
+		d, err := decodeDelta(val)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// applyOverlay fetches and applies pending deltas (root→v order) over recs.
+func (s *Store) applyOverlay(path []types.VersionID, stats *QueryStats, recs map[types.CompositeKey]types.Record) error {
+	if len(path) == 0 {
+		return nil
+	}
+	deltas, err := s.fetchDeltas(path, stats)
+	if err != nil {
+		return err
+	}
+	for _, d := range deltas {
+		for _, ck := range d.Dels {
+			delete(recs, ck)
+		}
+		for _, r := range d.Adds {
+			recs[r.CK] = r
+		}
+	}
+	return nil
+}
+
+func (s *Store) bookMultiGet(res *kvstore.MultiGetResult, stats *QueryStats) {
+	stats.Requests += res.Requests
+	stats.BytesRead += res.BytesRead
+	stats.SimElapsed += res.Elapsed
+}
+
+func (s *Store) chargeScan(e *chunkEntry, stats *QueryStats) {
+	stats.SimElapsed += s.kv.ChargeScan(len(e.payload))
+}
+
+// keysInRange returns the known primary keys in [lo, hi).
+func (s *Store) keysInRange(lo, hi types.Key) []types.Key {
+	i := sort.Search(len(s.sortedKeys), func(i int) bool { return s.sortedKeys[i] >= lo })
+	j := sort.Search(len(s.sortedKeys), func(i int) bool { return s.sortedKeys[i] >= hi })
+	return s.sortedKeys[i:j]
+}
+
+// VersionSpan exposes the placed span of a version (for experiments).
+func (s *Store) VersionSpan(v types.VersionID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.proj.VersionSpan(v)
+}
+
+// KeySpan exposes the key span (for experiments).
+func (s *Store) KeySpan(key types.Key) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.proj.KeySpan(key)
+}
+
+// TotalVersionSpan sums spans across versions (for experiments).
+func (s *Store) TotalVersionSpan() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.proj.TotalVersionSpan()
+}

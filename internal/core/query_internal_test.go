@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"rstore/internal/types"
+)
+
+// TestAnchorOf exercises the pending-overlay path resolution directly.
+func TestAnchorOf(t *testing.T) {
+	s, err := Open(Config{ChunkCapacity: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := s.Commit(types.InvalidVersion, Change{Puts: map[types.Key][]byte{"a": []byte("0")}})
+	v1, _ := s.Commit(v0, Change{Puts: map[types.Key][]byte{"a": []byte("1")}})
+	v2, _ := s.Commit(v1, Change{Puts: map[types.Key][]byte{"a": []byte("2")}})
+
+	// Everything pending: anchor invalid, overlay = full path.
+	anchor, overlay := s.anchorOf(v2)
+	if anchor != types.InvalidVersion || len(overlay) != 3 {
+		t.Fatalf("all-pending: anchor %v overlay %v", anchor, overlay)
+	}
+	if overlay[0] != v0 || overlay[2] != v2 {
+		t.Fatalf("overlay order: %v", overlay)
+	}
+
+	// Flush v0..v2, commit one more: anchor = v2, overlay = [v3].
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	v3, _ := s.Commit(v2, Change{Puts: map[types.Key][]byte{"a": []byte("3")}})
+	anchor, overlay = s.anchorOf(v3)
+	if anchor != v2 || len(overlay) != 1 || overlay[0] != v3 {
+		t.Fatalf("partial: anchor %v overlay %v", anchor, overlay)
+	}
+	// A placed version anchors at itself with no overlay.
+	anchor, overlay = s.anchorOf(v1)
+	if anchor != v1 || len(overlay) != 0 {
+		t.Fatalf("placed: anchor %v overlay %v", anchor, overlay)
+	}
+}
+
+// TestKeysInRange exercises the sorted-key range resolution.
+func TestKeysInRange(t *testing.T) {
+	s, err := Open(Config{ChunkCapacity: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	puts := map[types.Key][]byte{}
+	for _, k := range []types.Key{"m", "a", "z", "c", "q"} {
+		puts[k] = []byte("v")
+	}
+	if _, err := s.Commit(types.InvalidVersion, Change{Puts: puts}); err != nil {
+		t.Fatal(err)
+	}
+	got := s.keysInRange("b", "r")
+	if len(got) != 3 || got[0] != "c" || got[1] != "m" || got[2] != "q" {
+		t.Fatalf("keysInRange = %v", got)
+	}
+	if len(s.keysInRange("zz", "zzz")) != 0 {
+		t.Fatal("empty range not empty")
+	}
+	// Full range covers everything.
+	if len(s.keysInRange("", "\xff")) != 5 {
+		t.Fatal("full range")
+	}
+}
+
+// TestWastedChunksCounted forces a lossy-projection miss: a key+version
+// intersection that selects a chunk holding the key only in other versions.
+func TestWastedChunksCounted(t *testing.T) {
+	s, err := Open(Config{ChunkCapacity: 1 << 20}) // one big chunk
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := s.Commit(types.InvalidVersion, Change{Puts: map[types.Key][]byte{
+		"a": []byte("a0"), "b": []byte("b0"),
+	}})
+	v1, _ := s.Commit(v0, Change{Deletes: []types.Key{"b"}})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// "b" is indexed to the chunk (it holds ⟨b,0⟩), and v1 is indexed to the
+	// chunk too (it holds ⟨a,0⟩) — but b has no record in v1: the fetch is
+	// wasted, and the error is ErrNotFound.
+	_, stats, err := s.GetRecord("b", v1)
+	if err == nil {
+		t.Fatal("deleted key found")
+	}
+	if stats.Span == 0 {
+		t.Fatal("no chunk fetched — expected a lossy-projection fetch")
+	}
+	if stats.WastedChunks == 0 {
+		t.Fatalf("wasted fetch not counted: %+v", stats)
+	}
+}
+
+// TestEmptyVersionQueries: a version whose records were all deleted.
+func TestEmptyVersionQueries(t *testing.T) {
+	s, err := Open(Config{ChunkCapacity: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := s.Commit(types.InvalidVersion, Change{Puts: map[types.Key][]byte{"only": []byte("1")}})
+	v1, _ := s.Commit(v0, Change{Deletes: []types.Key{"only"}})
+	for _, flush := range []bool{false, true} {
+		if flush {
+			if err := s.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recs, _, err := s.GetVersion(v1)
+		if err != nil {
+			t.Fatalf("flush=%v: %v", flush, err)
+		}
+		if len(recs) != 0 {
+			t.Fatalf("flush=%v: empty version returned %d records", flush, len(recs))
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"rstore/internal/kvstore"
+	"rstore/internal/types"
+)
+
+// TestReadReplica opens a second, read-only application server over the
+// same cluster (the paper's multi-AS deployment, §2.4): it serves every
+// query but rejects all mutations.
+func TestReadReplica(t *testing.T) {
+	kv, err := kvstore.Open(kvstore.Config{Nodes: 3, ReplicationFactor: 2, Cost: kvstore.DefaultCostModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary, m := buildStore(t, Config{KV: kv, ChunkCapacity: 1024, BatchSize: 5}, 14, 25, 31)
+	if err := primary.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	replica, err := Load(Config{KV: kv, ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllVersions(t, replica, m)
+
+	// Every mutation is rejected with ErrReadOnly.
+	if _, err := replica.Commit(0, Change{Puts: map[types.Key][]byte{"x": []byte("1")}}); !errors.Is(err, types.ErrReadOnly) {
+		t.Fatalf("Commit: %v", err)
+	}
+	if _, err := replica.CommitDelta([]types.VersionID{0}, &types.Delta{}); !errors.Is(err, types.ErrReadOnly) {
+		t.Fatalf("CommitDelta: %v", err)
+	}
+	if err := replica.Flush(); !errors.Is(err, types.ErrReadOnly) {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := replica.Materialize(); !errors.Is(err, types.ErrReadOnly) {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if err := replica.SetBranch("x", 0); !errors.Is(err, types.ErrReadOnly) {
+		t.Fatalf("SetBranch: %v", err)
+	}
+	// Close works without attempting a flush.
+	if err := replica.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// The primary keeps writing; a freshly loaded replica sees the update.
+	v, err := primary.Commit(0, Change{Puts: map[types.Key][]byte{key(0): []byte("newer")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.commit(0, Change{Puts: map[types.Key][]byte{key(0): []byte("newer")}}, v)
+	if err := primary.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	replica2, err := Load(Config{KV: kv, ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllVersions(t, replica2, m)
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rstore/internal/chunk"
+	"rstore/internal/codec"
+	"rstore/internal/corpus"
+	"rstore/internal/index"
+	"rstore/internal/kvstore"
+	"rstore/internal/types"
+	"rstore/internal/vgraph"
+)
+
+// Store is the RStore engine instance.
+type Store struct {
+	mu  sync.RWMutex
+	cfg Config
+	kv  *kvstore.Store
+
+	graph  *vgraph.Graph
+	corpus *corpus.Corpus
+	proj   *index.Projections
+
+	// Physical placement state.
+	locs      []chunk.Loc  // record id → chunk/slot (NoChunk while pending)
+	maps      []*chunk.Map // in-memory chunk maps, index = chunk id
+	numChunks uint32
+
+	// Pending versions (committed, not yet partitioned).
+	pending    []types.VersionID
+	pendingSet map[types.VersionID]bool
+
+	// stagedPayloads holds chunk payloads built by the current flush until
+	// they are written.
+	stagedPayloads map[chunk.ID][]byte
+
+	// batchesSinceRepartition counts online flushes toward
+	// Config.RepartitionEvery.
+	batchesSinceRepartition int
+
+	// cache holds hot chunk entries (nil when disabled).
+	cache *chunkCache
+
+	// keyStates caches resolved key→record maps for recent commit parents.
+	keyStates *keyStateCache
+
+	// sortedKeys supports range retrieval.
+	sortedKeys []types.Key
+
+	branches map[string]types.VersionID
+	closed   bool
+}
+
+// Open creates an empty store.
+func Open(cfg Config) (*Store, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	g := vgraph.New()
+	return &Store{
+		cfg:        cfg,
+		kv:         cfg.KV,
+		graph:      g,
+		corpus:     corpus.New(g),
+		proj:       index.New(),
+		pendingSet: make(map[types.VersionID]bool),
+		keyStates:  newKeyStateCache(4),
+		branches:   map[string]types.VersionID{"main": types.InvalidVersion},
+		cache:      newChunkCache(cfg.CacheBytes),
+	}, nil
+}
+
+// KV exposes the backing cluster (stats, cost model).
+func (s *Store) KV() *kvstore.Store { return s.kv }
+
+// Graph exposes the version graph for provenance queries.
+func (s *Store) Graph() *vgraph.Graph { return s.graph }
+
+// NumVersions returns the number of committed versions.
+func (s *Store) NumVersions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.graph.NumVersions()
+}
+
+// NumChunks returns the number of chunks materialized so far.
+func (s *Store) NumChunks() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int(s.numChunks)
+}
+
+// PendingVersions returns how many committed versions await placement.
+func (s *Store) PendingVersions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pending)
+}
+
+// Close flushes pending versions (writable stores only) and marks the
+// store closed.
+func (s *Store) Close() error {
+	if !s.cfg.ReadOnly {
+		if err := s.Flush(); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// Commit ingests a new version derived from parent. For the first commit
+// parent must be types.InvalidVersion (creating the root). The generated
+// version id is returned once the delta is durably in the delta store;
+// placement happens in batches (§4). Commit never reuses version ids, even
+// for identical contents.
+func (s *Store) Commit(parent types.VersionID, ch Change) (types.VersionID, error) {
+	return s.CommitMerge([]types.VersionID{parent}, ch)
+}
+
+// CommitMerge ingests a version with multiple parents; parents[0] is the
+// primary parent the change is expressed against (the version-tree edge of
+// §2.5). Secondary parents record provenance and are not consulted for
+// contents.
+func (s *Store) CommitMerge(parents []types.VersionID, ch Change) (types.VersionID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.mutable(); err != nil {
+		return types.InvalidVersion, err
+	}
+	if len(parents) == 0 {
+		return types.InvalidVersion, fmt.Errorf("rstore: commit needs a parent")
+	}
+
+	// Validate everything against the PREDICTED version id before touching
+	// the graph: a failed commit must leave no trace (the graph has no
+	// rollback, and a graph/corpus mismatch would corrupt the store).
+	v := types.VersionID(s.graph.NumVersions())
+	if parents[0] == types.InvalidVersion {
+		if s.graph.NumVersions() != 0 {
+			return types.InvalidVersion, fmt.Errorf("rstore: root version already exists")
+		}
+		if len(ch.Deletes) != 0 {
+			return types.InvalidVersion, fmt.Errorf("rstore: root commit cannot delete keys")
+		}
+	} else {
+		for _, p := range parents {
+			if !s.graph.Valid(p) {
+				return types.InvalidVersion, &types.VersionUnknownError{Version: p}
+			}
+		}
+	}
+	delta, state, err := s.deriveDelta(parents, v, ch)
+	if err != nil {
+		return types.InvalidVersion, fmt.Errorf("rstore: commit: %w", err)
+	}
+
+	var got types.VersionID
+	if parents[0] == types.InvalidVersion {
+		got, err = s.graph.AddRoot()
+	} else {
+		got, err = s.graph.AddVersion(parents...)
+	}
+	if err != nil {
+		return types.InvalidVersion, err
+	}
+	if got != v {
+		return types.InvalidVersion, fmt.Errorf("rstore: internal: version id drift (%d vs %d)", got, v)
+	}
+	if err := s.corpus.AddVersionDelta(v, delta); err != nil {
+		// Unreachable for deltas derived above; a failure here means a
+		// corrupted store and must surface loudly.
+		return types.InvalidVersion, fmt.Errorf("rstore: internal: graph/corpus desync at version %d: %w", v, err)
+	}
+	s.keyStates.put(v, state)
+	s.noteNewKeys(delta)
+	for i := len(s.locs); i < s.corpus.NumRecords(); i++ {
+		s.locs = append(s.locs, chunk.Loc{Chunk: chunk.NoChunk})
+	}
+
+	// Persist the delta in the write store.
+	if err := s.kv.Put(TableDeltaStore, deltaKey(v), encodeDelta(delta)); err != nil {
+		return types.InvalidVersion, err
+	}
+	s.pending = append(s.pending, v)
+	s.pendingSet[v] = true
+
+	if s.cfg.BatchSize > 0 && len(s.pending) >= s.cfg.BatchSize {
+		if err := s.flushLocked(); err != nil {
+			return types.InvalidVersion, err
+		}
+	}
+	return v, nil
+}
+
+// deriveDelta turns a user Change into a composite-key delta against the
+// primary parent, resolving the old record of every touched key.
+func (s *Store) deriveDelta(parents []types.VersionID, v types.VersionID, ch Change) (*types.Delta, map[types.Key]types.CompositeKey, error) {
+	delta := &types.Delta{}
+	var state map[types.Key]types.CompositeKey
+	if parents[0] == types.InvalidVersion {
+		state = make(map[types.Key]types.CompositeKey, len(ch.Puts))
+	} else {
+		parentState, err := s.resolveKeyState(parents[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		state = cloneKeyState(parentState)
+	}
+
+	// Deterministic ordering: sorted keys.
+	putKeys := make([]types.Key, 0, len(ch.Puts))
+	for k := range ch.Puts {
+		putKeys = append(putKeys, k)
+	}
+	sort.Slice(putKeys, func(i, j int) bool { return putKeys[i] < putKeys[j] })
+
+	for _, k := range putKeys {
+		if old, ok := state[k]; ok {
+			delta.Dels = append(delta.Dels, old)
+		}
+		ck := types.CompositeKey{Key: k, Version: v}
+		delta.Adds = append(delta.Adds, types.Record{CK: ck, Value: ch.Puts[k]})
+		state[k] = ck
+	}
+	for _, k := range ch.Deletes {
+		if _, doubled := ch.Puts[k]; doubled {
+			return nil, nil, fmt.Errorf("rstore: key %q both put and deleted", string(k))
+		}
+		old, ok := state[k]
+		if !ok {
+			return nil, nil, &types.KeyNotFoundError{Key: k, Version: parents[0]}
+		}
+		delta.Dels = append(delta.Dels, old)
+		delete(state, k)
+	}
+	return delta, state, nil
+}
+
+// resolveKeyState returns the key→composite-key map of a version, from the
+// commit cache or by materializing through the corpus.
+func (s *Store) resolveKeyState(v types.VersionID) (map[types.Key]types.CompositeKey, error) {
+	if st, ok := s.keyStates.get(v); ok {
+		return st, nil
+	}
+	members, err := s.corpus.Members(v)
+	if err != nil {
+		return nil, err
+	}
+	st := make(map[types.Key]types.CompositeKey, len(members))
+	for _, id := range members {
+		r := s.corpus.Record(id)
+		st[r.CK.Key] = r.CK
+	}
+	s.keyStates.put(v, st)
+	return st, nil
+}
+
+// noteNewKeys maintains the sorted key list for range queries.
+func (s *Store) noteNewKeys(delta *types.Delta) {
+	for _, r := range delta.Adds {
+		k := r.CK.Key
+		i := sort.Search(len(s.sortedKeys), func(i int) bool { return s.sortedKeys[i] >= k })
+		if i < len(s.sortedKeys) && s.sortedKeys[i] == k {
+			continue
+		}
+		s.sortedKeys = append(s.sortedKeys, "")
+		copy(s.sortedKeys[i+1:], s.sortedKeys[i:])
+		s.sortedKeys[i] = k
+	}
+}
+
+// Branch management: lightweight named pointers, VCS-style (§2.4 AS
+// commands).
+
+// SetBranch points a branch name at a version and persists the manifest.
+func (s *Store) SetBranch(name string, v types.VersionID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.mutable(); err != nil {
+		return err
+	}
+	if v != types.InvalidVersion && !s.graph.Valid(v) {
+		return &types.VersionUnknownError{Version: v}
+	}
+	s.branches[name] = v
+	return s.saveManifest()
+}
+
+// mutable reports whether writes are currently allowed. Callers hold s.mu.
+func (s *Store) mutable() error {
+	if s.closed {
+		return types.ErrClosed
+	}
+	if s.cfg.ReadOnly {
+		return types.ErrReadOnly
+	}
+	return nil
+}
+
+// Tip returns the version a branch points at.
+func (s *Store) Tip(name string) (types.VersionID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.branches[name]
+	if !ok {
+		return types.InvalidVersion, fmt.Errorf("rstore: no branch %q", name)
+	}
+	return v, nil
+}
+
+// Branches lists branch names.
+func (s *Store) Branches() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.branches))
+	for n := range s.branches {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// keyStateCache is a tiny LRU of version → key state used by commit chains.
+type keyStateCache struct {
+	cap   int
+	order []types.VersionID
+	m     map[types.VersionID]map[types.Key]types.CompositeKey
+}
+
+func newKeyStateCache(cap int) *keyStateCache {
+	return &keyStateCache{cap: cap, m: make(map[types.VersionID]map[types.Key]types.CompositeKey)}
+}
+
+func (c *keyStateCache) get(v types.VersionID) (map[types.Key]types.CompositeKey, bool) {
+	st, ok := c.m[v]
+	return st, ok
+}
+
+func (c *keyStateCache) put(v types.VersionID, st map[types.Key]types.CompositeKey) {
+	if _, ok := c.m[v]; !ok {
+		c.order = append(c.order, v)
+		if len(c.order) > c.cap {
+			evict := c.order[0]
+			c.order = c.order[1:]
+			delete(c.m, evict)
+		}
+	}
+	c.m[v] = st
+}
+
+func cloneKeyState(st map[types.Key]types.CompositeKey) map[types.Key]types.CompositeKey {
+	out := make(map[types.Key]types.CompositeKey, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+// deltaKey renders the delta-store key of a version.
+func deltaKey(v types.VersionID) string { return fmt.Sprintf("d%08x", uint32(v)) }
+
+// encodeDelta / decodeDelta persist deltas in the write store.
+func encodeDelta(d *types.Delta) []byte { return codec.PutDelta(nil, d) }
+
+func decodeDelta(buf []byte) (*types.Delta, error) { return codec.DecodeDelta(buf) }

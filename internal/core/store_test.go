@@ -1,0 +1,402 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rstore/internal/kvstore"
+	"rstore/internal/partition"
+	"rstore/internal/types"
+)
+
+// model is an in-test oracle: full version contents tracked naively.
+type model struct {
+	versions []map[types.Key]types.Record // per version: visible record per key
+	parents  []types.VersionID
+}
+
+func newModel() *model { return &model{} }
+
+func (m *model) commit(parent types.VersionID, ch Change, v types.VersionID) {
+	var base map[types.Key]types.Record
+	if parent == types.InvalidVersion {
+		base = map[types.Key]types.Record{}
+	} else {
+		base = m.versions[parent]
+	}
+	next := make(map[types.Key]types.Record, len(base))
+	for k, r := range base {
+		next[k] = r
+	}
+	for k, val := range ch.Puts {
+		next[k] = types.Record{CK: types.CompositeKey{Key: k, Version: v}, Value: val}
+	}
+	for _, k := range ch.Deletes {
+		delete(next, k)
+	}
+	m.versions = append(m.versions, next)
+	m.parents = append(m.parents, parent)
+}
+
+func (m *model) history(key types.Key) map[types.CompositeKey][]byte {
+	out := make(map[types.CompositeKey][]byte)
+	for _, ver := range m.versions {
+		if r, ok := ver[key]; ok {
+			out[r.CK] = r.Value
+		}
+	}
+	return out
+}
+
+// buildStore commits a randomized branched history and returns store+oracle.
+func buildStore(t *testing.T, cfg Config, versions, baseRecords int, seed int64) (*Store, *model) {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := newModel()
+
+	root := Change{Puts: map[types.Key][]byte{}}
+	for i := 0; i < baseRecords; i++ {
+		root.Puts[key(i)] = payload(rng, i, 0)
+	}
+	v, err := s.Commit(types.InvalidVersion, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.commit(types.InvalidVersion, root, v)
+	nextKey := baseRecords
+
+	for i := 1; i < versions; i++ {
+		parent := types.VersionID(rng.Intn(s.NumVersions()))
+		ch := Change{Puts: map[types.Key][]byte{}}
+		live := m.versions[parent]
+		// Deterministic iteration (map range order would desynchronize
+		// repeated builds with equal seeds).
+		liveKeys := make([]types.Key, 0, len(live))
+		for k := range live {
+			liveKeys = append(liveKeys, k)
+		}
+		sort.Slice(liveKeys, func(a, b int) bool { return liveKeys[a] < liveKeys[b] })
+		// A few modifications of live keys.
+		for _, k := range liveKeys {
+			if rng.Float64() < 0.15 {
+				ch.Puts[k] = payload(rng, int(parent), i)
+			}
+			if len(ch.Puts) > baseRecords/4 {
+				break
+			}
+		}
+		// Occasionally delete a live key not being modified.
+		for _, k := range liveKeys {
+			if _, mod := ch.Puts[k]; !mod && rng.Float64() < 0.05 {
+				ch.Deletes = append(ch.Deletes, k)
+				break
+			}
+		}
+		// Occasionally insert.
+		if rng.Float64() < 0.5 {
+			ch.Puts[key(nextKey)] = payload(rng, nextKey, i)
+			nextKey++
+		}
+		v, err := s.Commit(parent, ch)
+		if err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+		m.commit(parent, ch, v)
+	}
+	return s, m
+}
+
+func key(i int) types.Key { return types.Key(fmt.Sprintf("k%05d", i)) }
+
+func payload(rng *rand.Rand, a, b int) []byte {
+	return []byte(fmt.Sprintf(`{"a":%d,"b":%d,"r":%d}`, a, b, rng.Int63()))
+}
+
+// checkAllVersions compares GetVersion against the oracle for every version.
+func checkAllVersions(t *testing.T, s *Store, m *model) {
+	t.Helper()
+	for v := range m.versions {
+		recs, _, err := s.GetVersion(types.VersionID(v))
+		if err != nil {
+			t.Fatalf("GetVersion(%d): %v", v, err)
+		}
+		want := m.versions[v]
+		if len(recs) != len(want) {
+			t.Fatalf("GetVersion(%d): %d records, want %d", v, len(recs), len(want))
+		}
+		for _, r := range recs {
+			w, ok := want[r.CK.Key]
+			if !ok {
+				t.Fatalf("GetVersion(%d): unexpected key %s", v, r.CK.Key)
+			}
+			if w.CK != r.CK || string(w.Value) != string(r.Value) {
+				t.Fatalf("GetVersion(%d): key %s mismatch: got %v want %v", v, r.CK.Key, r.CK, w.CK)
+			}
+		}
+	}
+}
+
+func TestEngineMaterializeAndQueries(t *testing.T) {
+	for _, k := range []int{1, 3} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			s, m := buildStore(t, Config{ChunkCapacity: 1024, SubChunkK: k}, 25, 40, 1)
+			if err := s.Materialize(); err != nil {
+				t.Fatal(err)
+			}
+			checkAllVersions(t, s, m)
+		})
+	}
+}
+
+func TestEngineOnlineFlushQueries(t *testing.T) {
+	s, m := buildStore(t, Config{ChunkCapacity: 1024, BatchSize: 5}, 23, 30, 2)
+	// Some versions remain pending (23 % 5 != 0) — queries must still be
+	// exact via the delta-store overlay.
+	if s.PendingVersions() == 0 {
+		t.Fatal("expected pending versions for overlay coverage")
+	}
+	checkAllVersions(t, s, m)
+	// Flush the rest and re-verify.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s.PendingVersions() != 0 {
+		t.Fatalf("still %d pending after flush", s.PendingVersions())
+	}
+	checkAllVersions(t, s, m)
+}
+
+func TestEnginePendingOnlyQueries(t *testing.T) {
+	// No flush at all: everything served from the write store.
+	s, m := buildStore(t, Config{ChunkCapacity: 1024}, 10, 20, 3)
+	if s.PendingVersions() != 10 {
+		t.Fatalf("want 10 pending, got %d", s.PendingVersions())
+	}
+	checkAllVersions(t, s, m)
+}
+
+func TestEngineGetRecord(t *testing.T) {
+	s, m := buildStore(t, Config{ChunkCapacity: 512, BatchSize: 4}, 20, 25, 4)
+	for v := range m.versions {
+		for k, want := range m.versions[v] {
+			got, _, err := s.GetRecord(k, types.VersionID(v))
+			if err != nil {
+				t.Fatalf("GetRecord(%s, %d): %v", k, v, err)
+			}
+			if got.CK != want.CK || string(got.Value) != string(want.Value) {
+				t.Fatalf("GetRecord(%s, %d): got %v want %v", k, v, got.CK, want.CK)
+			}
+		}
+		// A key absent from this version must return ErrNotFound.
+		probe := key(99999)
+		if _, _, err := s.GetRecord(probe, types.VersionID(v)); !errors.Is(err, types.ErrNotFound) {
+			t.Fatalf("GetRecord(absent, %d): err = %v, want ErrNotFound", v, err)
+		}
+	}
+}
+
+func TestEngineGetRange(t *testing.T) {
+	s, m := buildStore(t, Config{ChunkCapacity: 512, BatchSize: 6}, 18, 30, 5)
+	lo, hi := key(5), key(15)
+	for v := range m.versions {
+		recs, _, err := s.GetRange(lo, hi, types.VersionID(v))
+		if err != nil {
+			t.Fatalf("GetRange v%d: %v", v, err)
+		}
+		want := 0
+		for k := range m.versions[v] {
+			if k >= lo && k < hi {
+				want++
+			}
+		}
+		if len(recs) != want {
+			t.Fatalf("GetRange v%d: %d records, want %d", v, len(recs), want)
+		}
+		for _, r := range recs {
+			if r.CK.Key < lo || r.CK.Key >= hi {
+				t.Fatalf("GetRange v%d: key %s outside range", v, r.CK.Key)
+			}
+			w := m.versions[v][r.CK.Key]
+			if w.CK != r.CK {
+				t.Fatalf("GetRange v%d: key %s got %v want %v", v, r.CK.Key, r.CK, w.CK)
+			}
+		}
+	}
+}
+
+func TestEngineGetHistory(t *testing.T) {
+	s, m := buildStore(t, Config{ChunkCapacity: 512, BatchSize: 7}, 20, 20, 6)
+	for i := 0; i < 20; i++ {
+		k := key(i)
+		want := m.history(k)
+		recs, _, err := s.GetHistory(k)
+		if len(want) == 0 {
+			if !errors.Is(err, types.ErrNotFound) {
+				t.Fatalf("GetHistory(%s): err = %v, want ErrNotFound", k, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("GetHistory(%s): %v", k, err)
+		}
+		if len(recs) != len(want) {
+			t.Fatalf("GetHistory(%s): %d records, want %d", k, len(recs), len(want))
+		}
+		for _, r := range recs {
+			if string(want[r.CK]) != string(r.Value) {
+				t.Fatalf("GetHistory(%s): %v mismatch", k, r.CK)
+			}
+		}
+	}
+}
+
+func TestEngineReload(t *testing.T) {
+	kv, err := kvstore.Open(kvstore.Config{Nodes: 3, ReplicationFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{KV: kv, ChunkCapacity: 1024, BatchSize: 5}
+	s, m := buildStore(t, cfg, 17, 25, 7)
+	if err := s.SetBranch("dev", 3); err != nil {
+		t.Fatal(err)
+	}
+	// Persist current state (Commit/Flush already saved manifests on
+	// flush; force one more for the pending tail).
+	s.mu.Lock()
+	if err := s.saveManifest(); err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	s.mu.Unlock()
+
+	re, err := Load(Config{KV: kv, ChunkCapacity: 1024, BatchSize: 5})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	checkAllVersions(t, re, m)
+	if tip, err := re.Tip("dev"); err != nil || tip != 3 {
+		t.Fatalf("reloaded branch dev = %v, %v", tip, err)
+	}
+	// The reloaded store must accept new commits and flushes.
+	v, err := re.Commit(types.VersionID(0), Change{Puts: map[types.Key][]byte{key(0): []byte("post-reload")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.commit(0, Change{Puts: map[types.Key][]byte{key(0): []byte("post-reload")}}, v)
+	if err := re.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	checkAllVersions(t, re, m)
+}
+
+func TestEngineCommitValidation(t *testing.T) {
+	s, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First commit must target InvalidVersion.
+	if _, err := s.Commit(0, Change{}); err == nil {
+		t.Fatal("commit to version 0 of empty store should fail")
+	}
+	v0, err := s.Commit(types.InvalidVersion, Change{Puts: map[types.Key][]byte{"a": []byte("1")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second root forbidden.
+	if _, err := s.Commit(types.InvalidVersion, Change{}); err == nil {
+		t.Fatal("second root commit should fail")
+	}
+	// Deleting a missing key fails.
+	if _, err := s.Commit(v0, Change{Deletes: []types.Key{"nope"}}); !errors.Is(err, types.ErrNotFound) {
+		t.Fatalf("delete of missing key: %v", err)
+	}
+	// Put+Delete of the same key fails.
+	if _, err := s.Commit(v0, Change{
+		Puts:    map[types.Key][]byte{"a": []byte("2")},
+		Deletes: []types.Key{"a"},
+	}); err == nil {
+		t.Fatal("put+delete same key should fail")
+	}
+	// Unknown version queries fail cleanly.
+	if _, _, err := s.GetVersion(99); !errors.Is(err, types.ErrVersionUnknown) {
+		t.Fatalf("GetVersion(99): %v", err)
+	}
+}
+
+func TestEnginePartitionerChoices(t *testing.T) {
+	for _, algo := range []partition.Algorithm{
+		partition.BottomUp{}, partition.Shingle{Seed: 3}, partition.DepthFirst{},
+	} {
+		s, m := buildStore(t, Config{ChunkCapacity: 768, Partitioner: algo}, 15, 25, 8)
+		if err := s.Materialize(); err != nil {
+			t.Fatalf("%s: %v", algo.Name(), err)
+		}
+		checkAllVersions(t, s, m)
+	}
+}
+
+func TestEngineMergeCommit(t *testing.T) {
+	s, err := Open(Config{ChunkCapacity: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newModel()
+	root := Change{Puts: map[types.Key][]byte{"a": []byte("a0"), "b": []byte("b0")}}
+	v0, _ := s.Commit(types.InvalidVersion, root)
+	m.commit(types.InvalidVersion, root, v0)
+
+	chA := Change{Puts: map[types.Key][]byte{"a": []byte("a1")}}
+	v1, err := s.Commit(v0, chA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.commit(v0, chA, v1)
+
+	chB := Change{Puts: map[types.Key][]byte{"b": []byte("b1")}}
+	v2, err := s.Commit(v0, chB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.commit(v0, chB, v2)
+
+	// Merge: primary parent v1, bring in v2's b. The client resolves the
+	// merge contents (the engine records provenance only).
+	chM := Change{Puts: map[types.Key][]byte{"b": []byte("b1")}}
+	v3, err := s.CommitMerge([]types.VersionID{v1, v2}, chM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.commit(v1, chM, v3)
+
+	if got := s.Graph().Parents(v3); len(got) != 2 || got[0] != v1 || got[1] != v2 {
+		t.Fatalf("merge parents = %v", got)
+	}
+	if err := s.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	checkAllVersions(t, s, m)
+}
+
+func TestEngineQueryStatsSanity(t *testing.T) {
+	s, _ := buildStore(t, Config{ChunkCapacity: 1024, BatchSize: 5}, 20, 40, 9)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := s.GetVersion(types.VersionID(s.NumVersions() - 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Span == 0 || stats.Requests == 0 || stats.BytesRead == 0 {
+		t.Fatalf("implausible stats: %+v", stats)
+	}
+	if stats.SimElapsed <= 0 {
+		t.Fatalf("no simulated time accrued: %+v", stats)
+	}
+}

@@ -1,0 +1,267 @@
+// Package corpus maintains the id-space view of a versioned dataset that the
+// partitioning algorithms and the query engine operate on: every distinct
+// record (composite key) receives a dense uint32 id, and every version's
+// tree-edge delta is kept as sorted id sets. This is the in-memory
+// counterpart of the paper's record/version bookkeeping: version membership
+// is never materialized per version (that would be the full 3-D matrix of
+// Fig 3); it is derived from deltas on demand.
+package corpus
+
+import (
+	"fmt"
+
+	"rstore/internal/bitset"
+	"rstore/internal/intset"
+	"rstore/internal/types"
+	"rstore/internal/vgraph"
+)
+
+// Corpus is the registry of records and per-version deltas for one dataset.
+// It is not safe for concurrent mutation; readers may share it after loading.
+type Corpus struct {
+	graph *vgraph.Graph
+
+	recs []types.Record // by record id
+	byCK map[types.CompositeKey]uint32
+
+	adds [][]uint32 // by version: record ids added on the tree edge (sorted)
+	dels [][]uint32 // by version: record ids removed on the tree edge (sorted)
+
+	keyIDs  map[types.Key]uint32 // key → dense key id
+	keyList []types.Key          // key id → key
+	keyRecs [][]uint32           // key id → record ids in registration order
+}
+
+// New returns an empty corpus over the given graph. Versions must be
+// registered with AddVersionDelta in id order as they are added to the graph.
+func New(g *vgraph.Graph) *Corpus {
+	return &Corpus{
+		graph:  g,
+		byCK:   make(map[types.CompositeKey]uint32),
+		keyIDs: make(map[types.Key]uint32),
+	}
+}
+
+// Graph returns the underlying version graph.
+func (c *Corpus) Graph() *vgraph.Graph { return c.graph }
+
+// NumRecords returns the number of distinct records registered.
+func (c *Corpus) NumRecords() int { return len(c.recs) }
+
+// NumVersions returns the number of versions registered.
+func (c *Corpus) NumVersions() int { return len(c.adds) }
+
+// NumKeys returns the number of distinct primary keys seen.
+func (c *Corpus) NumKeys() int { return len(c.keyList) }
+
+// Record returns the record with the given id.
+func (c *Corpus) Record(id uint32) types.Record { return c.recs[id] }
+
+// IDForCK resolves a composite key to its record id.
+func (c *Corpus) IDForCK(ck types.CompositeKey) (uint32, bool) {
+	id, ok := c.byCK[ck]
+	return id, ok
+}
+
+// KeyOf returns the dense key id of record id.
+func (c *Corpus) KeyOf(id uint32) uint32 { return c.keyIDs[c.recs[id].CK.Key] }
+
+// Key returns the primary key with dense id k.
+func (c *Corpus) Key(k uint32) types.Key { return c.keyList[k] }
+
+// KeyRecords returns the record ids carrying the given primary key, in
+// registration (commit) order. The slice is shared; callers must not mutate.
+func (c *Corpus) KeyRecords(key types.Key) []uint32 {
+	ki, ok := c.keyIDs[key]
+	if !ok {
+		return nil
+	}
+	return c.keyRecs[ki]
+}
+
+// Keys returns all primary keys in dense-id order. The slice is shared.
+func (c *Corpus) Keys() []types.Key { return c.keyList }
+
+// Adds returns the sorted record ids added at version v relative to its tree
+// parent (for the root: all initial records). Shared slice.
+func (c *Corpus) Adds(v types.VersionID) intset.Set { return c.adds[v] }
+
+// Dels returns the sorted record ids removed at version v relative to its
+// tree parent. Shared slice.
+func (c *Corpus) Dels(v types.VersionID) intset.Set { return c.dels[v] }
+
+// AddVersionDelta registers version v's delta. v must equal NumVersions()
+// (versions register densely, in commit order) and must already exist in the
+// graph. Added records receive fresh ids unless their composite key is
+// already registered (which happens for records arriving through merge
+// edges: the tree delta re-adds an existing record). Deleted composite keys
+// must be registered.
+func (c *Corpus) AddVersionDelta(v types.VersionID, delta *types.Delta) error {
+	if int(v) != len(c.adds) {
+		return fmt.Errorf("corpus: version %d registered out of order (have %d)", v, len(c.adds))
+	}
+	if !c.graph.Valid(v) {
+		return &types.VersionUnknownError{Version: v}
+	}
+	if !delta.IsConsistent() {
+		return fmt.Errorf("%w: version %d", types.ErrInconsistentDelta, v)
+	}
+	addIDs := make([]uint32, 0, len(delta.Adds))
+	for _, r := range delta.Adds {
+		id, ok := c.byCK[r.CK]
+		if !ok {
+			id = uint32(len(c.recs))
+			c.recs = append(c.recs, r)
+			c.byCK[r.CK] = id
+			ki, ok := c.keyIDs[r.CK.Key]
+			if !ok {
+				ki = uint32(len(c.keyList))
+				c.keyIDs[r.CK.Key] = ki
+				c.keyList = append(c.keyList, r.CK.Key)
+				c.keyRecs = append(c.keyRecs, nil)
+			}
+			c.keyRecs[ki] = append(c.keyRecs[ki], id)
+		}
+		addIDs = append(addIDs, id)
+	}
+	delIDs := make([]uint32, 0, len(delta.Dels))
+	for _, ck := range delta.Dels {
+		id, ok := c.byCK[ck]
+		if !ok {
+			return fmt.Errorf("%w: delete of unknown record %v in version %d", types.ErrNotFound, ck, v)
+		}
+		delIDs = append(delIDs, id)
+	}
+	c.adds = append(c.adds, intset.FromUnsorted(addIDs))
+	c.dels = append(c.dels, intset.FromUnsorted(delIDs))
+	return nil
+}
+
+// Members materializes the record-id set of version v by walking the tree
+// path from the root and applying deltas. Cost is proportional to the total
+// delta volume on the path.
+func (c *Corpus) Members(v types.VersionID) (intset.Set, error) {
+	if !c.graph.Valid(v) || int(v) >= len(c.adds) {
+		return nil, &types.VersionUnknownError{Version: v}
+	}
+	var cur intset.Set
+	for _, u := range c.graph.PathFromRoot(v) {
+		cur = intset.Union(intset.Diff(cur, c.dels[u]), c.adds[u])
+	}
+	return cur, nil
+}
+
+// ForEachVersion walks the version tree in pre-order, presenting each
+// version's full membership bitmap to fn. The bitmap is mutated in place
+// across calls (delta apply on descent, undo on backtrack), so fn must not
+// retain it. Total cost is proportional to the total delta volume in the
+// tree — this is the single pass used to build chunk maps (paper §3.1).
+// fn returning false stops the walk.
+func (c *Corpus) ForEachVersion(fn func(v types.VersionID, members *bitset.BitSet) bool) {
+	if c.graph.NumVersions() == 0 {
+		return
+	}
+	members := bitset.New(len(c.recs))
+	stopped := false
+	var walk func(v types.VersionID)
+	walk = func(v types.VersionID) {
+		if stopped {
+			return
+		}
+		for _, id := range c.dels[v] {
+			members.Clear(id)
+		}
+		for _, id := range c.adds[v] {
+			members.Set(id)
+		}
+		if !fn(v, members) {
+			stopped = true
+		}
+		if !stopped {
+			for _, ch := range c.graph.Children(v) {
+				if int(ch) < len(c.adds) {
+					walk(ch)
+				}
+			}
+		}
+		// Undo on backtrack. Order matters: a record both deleted and
+		// re-added cannot occur within one consistent delta, so the two
+		// loops commute; still, mirror the apply order reversed.
+		for _, id := range c.adds[v] {
+			members.Clear(id)
+		}
+		for _, id := range c.dels[v] {
+			members.Set(id)
+		}
+	}
+	walk(0)
+}
+
+// VersionBytes returns the total payload volume of version v.
+func (c *Corpus) VersionBytes(v types.VersionID) (int64, error) {
+	members, err := c.Members(v)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, id := range members {
+		total += int64(c.recs[id].Size())
+	}
+	return total, nil
+}
+
+// TotalBytes returns the total payload volume across all distinct records —
+// the "size of unique records" statistic of Table 2.
+func (c *Corpus) TotalBytes() int64 {
+	var total int64
+	for _, r := range c.recs {
+		total += int64(r.Size())
+	}
+	return total
+}
+
+// Validate cross-checks structural invariants: every delete targets a record
+// present in the parent version and every add is absent from it. Cost is
+// proportional to total delta volume (uses ForEachVersion); intended for
+// tests and loaders.
+func (c *Corpus) Validate() error {
+	if err := c.graph.Validate(); err != nil {
+		return err
+	}
+	if c.graph.NumVersions() != len(c.adds) {
+		return fmt.Errorf("corpus: %d versions in graph, %d deltas", c.graph.NumVersions(), len(c.adds))
+	}
+	var firstErr error
+	members := bitset.New(len(c.recs))
+	var walk func(v types.VersionID) bool
+	walk = func(v types.VersionID) bool {
+		for _, id := range c.dels[v] {
+			if !members.Contains(id) {
+				firstErr = fmt.Errorf("corpus: version %d deletes %v not present in parent", v, c.recs[id].CK)
+				return false
+			}
+			members.Clear(id)
+		}
+		for _, id := range c.adds[v] {
+			if members.Contains(id) {
+				firstErr = fmt.Errorf("corpus: version %d adds %v already present", v, c.recs[id].CK)
+				return false
+			}
+			members.Set(id)
+		}
+		for _, ch := range c.graph.Children(v) {
+			if !walk(ch) {
+				return false
+			}
+		}
+		for _, id := range c.adds[v] {
+			members.Clear(id)
+		}
+		for _, id := range c.dels[v] {
+			members.Set(id)
+		}
+		return true
+	}
+	walk(0)
+	return firstErr
+}

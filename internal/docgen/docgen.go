@@ -1,0 +1,123 @@
+// Package docgen generates and mutates the JSON documents used as record
+// payloads (paper §5.1: "each record is created as a JSON document ... a
+// randomly generated value of the requisite size"), and supports the P_d
+// knob of §5.3: when a record is updated, the change relative to the parent
+// record is limited to a bounded percentage of its bytes, which controls how
+// compressible co-grouped record versions are.
+package docgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rstore/internal/types"
+)
+
+// Generator produces deterministic document payloads.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// New returns a generator seeded deterministically.
+func New(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+// fieldValueLen is the length of each generated field value; fields are the
+// mutation granularity, mirroring "only a single attribute may be updated in
+// a large JSON document" (§2.2).
+const fieldValueLen = 16
+
+// Document generates a JSON document for the given primary key with
+// approximately size bytes of payload, structured as an object with an id
+// field and enough fixed-width data fields to reach the target size.
+func (g *Generator) Document(key types.Key, size int) []byte {
+	buf := make([]byte, 0, size+64)
+	buf = append(buf, `{"id":"`...)
+	buf = append(buf, key...)
+	buf = append(buf, `"`...)
+	i := 0
+	for len(buf) < size {
+		buf = append(buf, fmt.Sprintf(`,"f%04d":"`, i)...)
+		for j := 0; j < fieldValueLen; j++ {
+			buf = append(buf, alphabet[g.rng.Intn(len(alphabet))])
+		}
+		buf = append(buf, '"')
+		i++
+	}
+	buf = append(buf, '}')
+	return buf
+}
+
+// Mutate returns a new version of doc in which at most pd (fraction in
+// (0,1]) of the payload bytes are rewritten, by overwriting whole field
+// values in place. pd ≤ 0 rewrites a single field; pd ≥ 1 regenerates all
+// fields. The returned slice is a fresh copy.
+func (g *Generator) Mutate(doc []byte, pd float64) []byte {
+	out := make([]byte, len(doc))
+	copy(out, doc)
+	// Locate field value regions: spans of fieldValueLen between `:"` and
+	// `"` following ",\"fNNNN\"". A structural scan keeps this robust to
+	// any document our generator produced.
+	var spans [][2]int
+	for i := 0; i+1 < len(out); i++ {
+		if out[i] == ':' && out[i+1] == '"' {
+			start := i + 2
+			end := start
+			for end < len(out) && out[end] != '"' {
+				end++
+			}
+			// Skip the id field (first span, holds the primary key, must
+			// stay stable).
+			spans = append(spans, [2]int{start, end})
+			i = end
+		}
+	}
+	if len(spans) <= 1 {
+		return out
+	}
+	spans = spans[1:] // drop id field
+	budget := int(pd * float64(len(out)))
+	if budget < fieldValueLen {
+		budget = fieldValueLen
+	}
+	changed := 0
+	// Rewrite random distinct fields until the byte budget is exhausted.
+	perm := g.rng.Perm(len(spans))
+	for _, si := range perm {
+		if changed+fieldValueLen > budget {
+			break
+		}
+		s := spans[si]
+		for j := s[0]; j < s[1]; j++ {
+			out[j] = alphabet[g.rng.Intn(len(alphabet))]
+		}
+		changed += s[1] - s[0]
+	}
+	return out
+}
+
+// DiffFraction measures the fraction of byte positions at which a and b
+// differ (over the longer length) — used by tests to verify the P_d bound.
+func DiffFraction(a, b []byte) float64 {
+	long := len(a)
+	if len(b) > long {
+		long = len(b)
+	}
+	if long == 0 {
+		return 0
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	diff := long - n
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			diff++
+		}
+	}
+	return float64(diff) / float64(long)
+}

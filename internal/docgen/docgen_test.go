@@ -1,0 +1,102 @@
+package docgen
+
+import (
+	"encoding/json"
+	"testing"
+
+	"rstore/internal/types"
+)
+
+func TestDocumentIsValidJSON(t *testing.T) {
+	g := New(1)
+	for _, size := range []int{64, 256, 1024, 8192} {
+		doc := g.Document(types.Key("k-1"), size)
+		var parsed map[string]any
+		if err := json.Unmarshal(doc, &parsed); err != nil {
+			t.Fatalf("size %d: invalid JSON: %v\n%s", size, err, doc)
+		}
+		if parsed["id"] != "k-1" {
+			t.Fatalf("size %d: id = %v", size, parsed["id"])
+		}
+		if len(doc) < size {
+			t.Fatalf("size %d: document only %d bytes", size, len(doc))
+		}
+		if len(doc) > size+64 {
+			t.Fatalf("size %d: document overshoots to %d bytes", size, len(doc))
+		}
+	}
+}
+
+func TestDocumentDeterminism(t *testing.T) {
+	a := New(7).Document("k", 512)
+	b := New(7).Document("k", 512)
+	if string(a) != string(b) {
+		t.Fatal("same seed produced different documents")
+	}
+	c := New(8).Document("k", 512)
+	if string(a) == string(c) {
+		t.Fatal("different seeds produced identical documents")
+	}
+}
+
+func TestMutateStaysValidJSONAndBounded(t *testing.T) {
+	g := New(2)
+	doc := g.Document("key-9", 2048)
+	for _, pd := range []float64{0.01, 0.05, 0.10, 0.5} {
+		mut := g.Mutate(doc, pd)
+		var parsed map[string]any
+		if err := json.Unmarshal(mut, &parsed); err != nil {
+			t.Fatalf("pd=%.2f: mutated doc invalid: %v", pd, err)
+		}
+		if parsed["id"] != "key-9" {
+			t.Fatalf("pd=%.2f: id changed to %v", pd, parsed["id"])
+		}
+		frac := DiffFraction(doc, mut)
+		if frac == 0 {
+			t.Fatalf("pd=%.2f: no change applied", pd)
+		}
+		// The bound: changed bytes ≤ pd budget + one field of slack (the
+		// generator rewrites whole fields).
+		bound := pd + float64(2*fieldValueLen)/float64(len(doc))
+		if frac > bound {
+			t.Fatalf("pd=%.2f: changed fraction %.4f exceeds bound %.4f", pd, frac, bound)
+		}
+	}
+}
+
+func TestMutateDoesNotAliasInput(t *testing.T) {
+	g := New(3)
+	doc := g.Document("k", 256)
+	orig := string(doc)
+	_ = g.Mutate(doc, 0.5)
+	if string(doc) != orig {
+		t.Fatal("Mutate modified its input")
+	}
+}
+
+func TestMutateTinyDocument(t *testing.T) {
+	g := New(4)
+	// A document with only the id field cannot be mutated; must not panic
+	// and must return an equal copy.
+	doc := g.Document("k", 1)
+	mut := g.Mutate(doc, 0.5)
+	if string(mut) != string(doc) {
+		t.Fatalf("tiny doc mutated: %s", mut)
+	}
+}
+
+func TestDiffFraction(t *testing.T) {
+	if DiffFraction(nil, nil) != 0 {
+		t.Fatal("empty diff")
+	}
+	if DiffFraction([]byte("aaaa"), []byte("aaaa")) != 0 {
+		t.Fatal("identical diff")
+	}
+	if got := DiffFraction([]byte("aaaa"), []byte("aaab")); got != 0.25 {
+		t.Fatalf("one-of-four diff = %v", got)
+	}
+	// Length differences count as differences.
+	if got := DiffFraction([]byte("aa"), []byte("aaaa")); got != 0.5 {
+		t.Fatalf("length diff = %v", got)
+	}
+}

@@ -1,0 +1,80 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+
+	"rstore/internal/types"
+)
+
+func populated(n int) *Projections {
+	p := New()
+	for v := types.VersionID(0); int(v) < n; v++ {
+		// Overlapping runs of chunk ids: realistic adjacency (consecutive
+		// versions share most chunks).
+		base := uint32(v) / 4
+		for c := base; c < base+12; c++ {
+			p.ObserveVersionChunk(v, c)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := types.Key(fmt.Sprintf("key-%04d", i))
+		p.AddKeyChunk(k, uint32(i/4))
+		p.AddKeyChunk(k, uint32(i/4+7))
+	}
+	p.Normalize()
+	return p
+}
+
+func TestCompressedRoundTrip(t *testing.T) {
+	p := populated(200)
+	c := Compress(p)
+	for v := types.VersionID(0); v < 200; v++ {
+		a, b := p.VersionChunks(v), c.VersionChunks(v)
+		if len(a) != len(b) {
+			t.Fatalf("v%d: %v vs %v", v, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("v%d: %v vs %v", v, a, b)
+			}
+		}
+	}
+	k := types.Key("key-0042")
+	if got := c.KeyChunks(k); len(got) != len(p.KeyChunks(k)) {
+		t.Fatalf("key chunks: %v", got)
+	}
+	if c.VersionChunks(9999) != nil || c.KeyChunks("missing") != nil {
+		t.Fatal("absent entries non-nil")
+	}
+	// Intersect parity.
+	for v := types.VersionID(0); v < 200; v += 17 {
+		a := p.Intersect(k, v)
+		b := c.Intersect(k, v)
+		if len(a) != len(b) {
+			t.Fatalf("intersect at v%d: %v vs %v", v, a, b)
+		}
+	}
+	// Decompress restores everything.
+	back := Compress(c.Decompress())
+	if len(back.Versions()) != len(c.Versions()) {
+		t.Fatal("decompress lost versions")
+	}
+}
+
+func TestCompressedIsSmaller(t *testing.T) {
+	p := populated(500)
+	c := Compress(p)
+	pv, pk := p.SizeBytes()
+	cv, ck := c.SizeBytes()
+	if cv >= pv {
+		t.Fatalf("version index grew: %d → %d", pv, cv)
+	}
+	if ck >= pk {
+		t.Fatalf("key index grew: %d → %d", pk, ck)
+	}
+	// Gap-encoded consecutive runs should shrink substantially.
+	if float64(cv) > 0.5*float64(pv) {
+		t.Fatalf("version index compression only %d/%d", cv, pv)
+	}
+}

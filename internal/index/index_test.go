@@ -1,0 +1,114 @@
+package index
+
+import (
+	"testing"
+
+	"rstore/internal/kvstore"
+	"rstore/internal/types"
+)
+
+func TestProjectionsBasics(t *testing.T) {
+	p := New()
+	p.ObserveVersionChunk(1, 5)
+	p.ObserveVersionChunk(1, 5) // consecutive duplicate suppressed
+	p.ObserveVersionChunk(1, 2)
+	p.ObserveVersionChunk(2, 7)
+	p.AddKeyChunk("a", 5)
+	p.AddKeyChunk("a", 2)
+	p.AddKeyChunk("b", 7)
+	p.Normalize()
+
+	if got := p.VersionChunks(1); len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("VersionChunks(1) = %v", got)
+	}
+	if got := p.KeyChunks("a"); len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("KeyChunks(a) = %v", got)
+	}
+	if p.VersionChunks(9) != nil || p.KeyChunks("zz") != nil {
+		t.Fatal("unknown entries non-nil")
+	}
+	if p.VersionSpan(1) != 2 || p.KeySpan("b") != 1 {
+		t.Fatal("span accessors")
+	}
+	if p.TotalVersionSpan() != 3 || p.TotalKeySpan() != 3 {
+		t.Fatalf("totals: %d %d", p.TotalVersionSpan(), p.TotalKeySpan())
+	}
+	if p.NumVersions() != 2 || p.NumKeys() != 2 {
+		t.Fatal("counts")
+	}
+	vb, kb := p.SizeBytes()
+	if vb != 12 || kb != 4*3+2 {
+		t.Fatalf("SizeBytes = %d, %d", vb, kb)
+	}
+}
+
+func TestNormalizeDedupes(t *testing.T) {
+	p := New()
+	// Non-consecutive duplicates survive until Normalize.
+	p.ObserveVersionChunk(1, 5)
+	p.ObserveVersionChunk(1, 2)
+	p.ObserveVersionChunk(1, 5)
+	p.Normalize()
+	if got := p.VersionChunks(1); len(got) != 2 {
+		t.Fatalf("normalize left %v", got)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	p := New()
+	for _, c := range []uint32{1, 3, 5, 9} {
+		p.ObserveVersionChunk(4, c)
+	}
+	for _, c := range []uint32{2, 3, 9, 12} {
+		p.AddKeyChunk("k", c)
+	}
+	p.Normalize()
+	got := p.Intersect("k", 4)
+	if len(got) != 2 || got[0] != 3 || got[1] != 9 {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if p.Intersect("zz", 4) != nil {
+		t.Fatal("intersect with unknown key")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	kv, err := kvstore.Open(kvstore.Config{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New()
+	for v := types.VersionID(0); v < 50; v++ {
+		for c := uint32(0); c < uint32(v%7)+1; c++ {
+			p.ObserveVersionChunk(v, c*3)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		k := types.Key([]byte{byte('a' + i%26), byte('0' + i/26)})
+		p.AddKeyChunk(k, uint32(i))
+		p.AddKeyChunk(k, uint32(i+5))
+	}
+	p.Normalize()
+	if err := p.Save(kv); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalVersionSpan() != p.TotalVersionSpan() || got.TotalKeySpan() != p.TotalKeySpan() {
+		t.Fatalf("spans differ after reload: %d/%d vs %d/%d",
+			got.TotalVersionSpan(), got.TotalKeySpan(), p.TotalVersionSpan(), p.TotalKeySpan())
+	}
+	for v := types.VersionID(0); v < 50; v++ {
+		a, b := p.VersionChunks(v), got.VersionChunks(v)
+		if len(a) != len(b) {
+			t.Fatalf("v%d: %v vs %v", v, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("v%d: %v vs %v", v, a, b)
+			}
+		}
+	}
+}

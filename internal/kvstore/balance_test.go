@@ -1,0 +1,87 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestReadBalanceSpreadsLoad verifies that with replication and read
+// balancing on, a multi-get batch spreads over more nodes (shorter serial
+// queues → lower simulated elapsed) than primary-only reads.
+func TestReadBalanceSpreadsLoad(t *testing.T) {
+	mk := func(balance bool) *Store {
+		s, err := Open(Config{
+			Nodes: 4, ReplicationFactor: 3, ReadBalance: balance,
+			Cost: DefaultCostModel(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			if err := s.Put("t", fmt.Sprintf("k%04d", i), make([]byte, 256)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	keys := make([]string, 300)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%04d", i)
+	}
+
+	plain := mk(false)
+	balanced := mk(true)
+	rp, err := plain.MultiGet("t", keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := balanced.MultiGet("t", keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rb.Missing) != 0 || len(rp.Missing) != 0 {
+		t.Fatalf("missing keys: %v %v", rp.Missing, rb.Missing)
+	}
+	// Same data either way.
+	for i := range keys {
+		if len(rb.Values[i]) != len(rp.Values[i]) {
+			t.Fatalf("value %d differs", i)
+		}
+	}
+	// Balanced reads must not be slower; with rf=3 over 4 nodes they
+	// should be measurably faster (near-even queues).
+	if rb.Elapsed > rp.Elapsed {
+		t.Fatalf("balanced %v slower than primary-only %v", rb.Elapsed, rp.Elapsed)
+	}
+}
+
+// TestReadBalanceAvoidsDeadNodes: balancing only considers live replicas.
+func TestReadBalanceAvoidsDeadNodes(t *testing.T) {
+	s, err := Open(Config{Nodes: 3, ReplicationFactor: 2, ReadBalance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for i := 0; i < 60; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		keys = append(keys, k)
+		if err := s.Put("t", k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SetNodeUp(1, false); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.MultiGet("t", keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Missing) != 0 {
+		t.Fatalf("missing after node death: %v", res.Missing)
+	}
+	for i, v := range res.Values {
+		if string(v) != keys[i] {
+			t.Fatalf("value %d = %q", i, v)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package kvstore
+
+import (
+	"sync"
+)
+
+// node is a single storage server. Data lives in per-table maps guarded by a
+// read-write mutex; values are copied on write and on read so callers can
+// never alias the node's internal state (the same isolation a networked
+// store provides).
+type node struct {
+	id   int
+	mu   sync.RWMutex
+	up   bool
+	data map[string]map[string][]byte // table → key → value
+	// bytesStored tracks the resident payload volume for storage accounting.
+	bytesStored int64
+}
+
+func newNode(id int) *node {
+	return &node{id: id, up: true, data: make(map[string]map[string][]byte)}
+}
+
+func (n *node) put(table, key string, value []byte) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.up {
+		return false
+	}
+	t, ok := n.data[table]
+	if !ok {
+		t = make(map[string][]byte)
+		n.data[table] = t
+	}
+	if old, ok := t[key]; ok {
+		n.bytesStored -= int64(len(old))
+	}
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	t[key] = cp
+	n.bytesStored += int64(len(cp))
+	return true
+}
+
+func (n *node) get(table, key string) ([]byte, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if !n.up {
+		return nil, false
+	}
+	v, ok := n.data[table][key]
+	if !ok {
+		return nil, false
+	}
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return cp, true
+}
+
+func (n *node) delete(table, key string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.up {
+		return false
+	}
+	if old, ok := n.data[table][key]; ok {
+		n.bytesStored -= int64(len(old))
+		delete(n.data[table], key)
+	}
+	return true
+}
+
+// scan visits every key/value of a table in unspecified order under the read
+// lock. Values passed to fn alias internal storage; fn must not retain or
+// mutate them.
+func (n *node) scan(table string, fn func(key string, value []byte) bool) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if !n.up {
+		return false
+	}
+	for k, v := range n.data[table] {
+		if !fn(k, v) {
+			break
+		}
+	}
+	return true
+}
+
+func (n *node) stored() int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.bytesStored
+}
+
+func (n *node) setUp(up bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.up = up
+}
+
+func (n *node) isUp() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.up
+}

@@ -1,0 +1,123 @@
+package kvstore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"rstore/internal/codec"
+	"rstore/internal/types"
+)
+
+// Snapshot support: the cluster's full contents can be serialized to a
+// stream and restored into a fresh cluster (of any size — keys re-hash onto
+// the new ring). This gives single-process tools durable state and gives
+// tests a migration/recovery path.
+
+const snapshotMagic = "rstorekv1"
+
+// Dump writes every table's contents to w. Iteration is deterministic
+// (sorted tables and keys) so snapshots of equal state are byte-identical.
+func (s *Store) Dump(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+
+	// Collect table names across nodes.
+	tableSet := make(map[string]struct{})
+	for _, n := range s.nodes {
+		n.mu.RLock()
+		for t := range n.data {
+			tableSet[t] = struct{}{}
+		}
+		n.mu.RUnlock()
+	}
+	tables := make([]string, 0, len(tableSet))
+	for t := range tableSet {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+
+	var buf []byte
+	buf = codec.PutUvarint(buf, uint64(len(tables)))
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	for _, table := range tables {
+		type kvPair struct {
+			k string
+			v []byte
+		}
+		var pairs []kvPair
+		s.Scan(table, func(k string, v []byte) bool {
+			pairs = append(pairs, kvPair{k, v})
+			return true
+		})
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+
+		buf = buf[:0]
+		buf = codec.PutString(buf, table)
+		buf = codec.PutUvarint(buf, uint64(len(pairs)))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+		for _, p := range pairs {
+			buf = buf[:0]
+			buf = codec.PutString(buf, p.k)
+			buf = codec.PutBytes(buf, p.v)
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore loads a snapshot produced by Dump into this (empty) cluster.
+func (s *Store) Restore(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	if len(data) < len(snapshotMagic) || string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return fmt.Errorf("%w: not a kvstore snapshot", types.ErrCorrupt)
+	}
+	rest := data[len(snapshotMagic):]
+	nTables, rest, err := codec.Uvarint(rest)
+	if err != nil {
+		return err
+	}
+	for t := uint64(0); t < nTables; t++ {
+		var table string
+		table, rest, err = codec.String(rest)
+		if err != nil {
+			return err
+		}
+		var nKeys uint64
+		nKeys, rest, err = codec.Uvarint(rest)
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < nKeys; i++ {
+			var k string
+			k, rest, err = codec.String(rest)
+			if err != nil {
+				return err
+			}
+			var v []byte
+			v, rest, err = codec.Bytes(rest)
+			if err != nil {
+				return err
+			}
+			if err := s.Put(table, k, v); err != nil {
+				return err
+			}
+		}
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing snapshot bytes", types.ErrCorrupt, len(rest))
+	}
+	return nil
+}

@@ -1,0 +1,313 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rstore/internal/types"
+)
+
+// Config configures a cluster.
+type Config struct {
+	// Nodes is the cluster size. Defaults to 1.
+	Nodes int
+	// ReplicationFactor is the number of replicas per key. Defaults to 1,
+	// capped at Nodes.
+	ReplicationFactor int
+	// ReadBalance spreads multi-get reads across live replicas (token-aware
+	// round-robin, like Cassandra drivers) instead of always reading the
+	// primary. With ReplicationFactor > 1 this shortens the per-node serial
+	// queue that bounds batch retrieval — the replication effect the
+	// paper's conclusion flags for future study.
+	ReadBalance bool
+	// Cost is the latency model; zero value disables simulated timing.
+	Cost CostModel
+}
+
+// Store is an in-process distributed key-value store: the substrate RStore
+// persists chunks, chunk maps, indexes, and delta batches into. It exposes
+// only the basic get/put/delete interface the paper assumes, plus a parallel
+// MultiGet (issuing point gets concurrently, exactly what RStore's query
+// module does) and an administrative Scan used for index rebuilds.
+type Store struct {
+	cfg   Config
+	ring  *ring
+	nodes []*node
+
+	// Virtual clock and counters (atomics; Store is safe for concurrent
+	// use).
+	simClock  atomic.Int64 // accumulated simulated time, ns
+	reqCount  atomic.Int64
+	bytesRead atomic.Int64
+	bytesPut  atomic.Int64
+}
+
+// Open creates a cluster.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = 1
+	}
+	if cfg.ReplicationFactor > cfg.Nodes {
+		cfg.ReplicationFactor = cfg.Nodes
+	}
+	s := &Store{cfg: cfg, ring: newRing(cfg.Nodes)}
+	for i := 0; i < cfg.Nodes; i++ {
+		s.nodes = append(s.nodes, newNode(i))
+	}
+	return s, nil
+}
+
+// Nodes returns the cluster size.
+func (s *Store) Nodes() int { return s.cfg.Nodes }
+
+// Cost returns the configured cost model.
+func (s *Store) Cost() CostModel { return s.cfg.Cost }
+
+// Put stores value under (table, key) on all replicas.
+func (s *Store) Put(table, key string, value []byte) error {
+	replicas := s.ring.replicas(key, s.cfg.ReplicationFactor)
+	ok := false
+	for _, n := range replicas {
+		if s.nodes[n].put(table, key, value) {
+			ok = true
+		}
+	}
+	if !ok {
+		return fmt.Errorf("kvstore: put %s/%s: all replicas down", table, key)
+	}
+	s.bytesPut.Add(int64(len(value)))
+	s.simClock.Add(int64(s.cfg.Cost.requestCost(len(value))))
+	s.reqCount.Add(1)
+	return nil
+}
+
+// Get retrieves the value under (table, key), trying replicas in preference
+// order. It returns types.ErrNotFound if no live replica has the key.
+func (s *Store) Get(table, key string) ([]byte, error) {
+	replicas := s.ring.replicas(key, s.cfg.ReplicationFactor)
+	anyUp := false
+	for _, n := range replicas {
+		if !s.nodes[n].isUp() {
+			continue
+		}
+		anyUp = true
+		if v, ok := s.nodes[n].get(table, key); ok {
+			s.account(1, len(v))
+			return v, nil
+		}
+		break // live primary authoritative: missing means missing
+	}
+	if !anyUp {
+		return nil, fmt.Errorf("kvstore: get %s/%s: all replicas down", table, key)
+	}
+	s.account(1, 0)
+	return nil, fmt.Errorf("%w: %s/%s", types.ErrNotFound, table, key)
+}
+
+// Delete removes (table, key) from all replicas. Deleting a missing key is
+// not an error.
+func (s *Store) Delete(table, key string) error {
+	for _, n := range s.ring.replicas(key, s.cfg.ReplicationFactor) {
+		s.nodes[n].delete(table, key)
+	}
+	s.account(1, 0)
+	return nil
+}
+
+// MultiGetResult reports the outcome of a parallel multi-key fetch.
+type MultiGetResult struct {
+	// Values holds one entry per requested key, in request order; missing
+	// keys yield nil entries.
+	Values [][]byte
+	// Missing lists the indexes of keys that were not found.
+	Missing []int
+	// Requests is the number of point requests issued.
+	Requests int
+	// BytesRead is the total response volume.
+	BytesRead int64
+	// Elapsed is the simulated wall time of the batch under the cost model
+	// (parallel lanes, per-node serialization).
+	Elapsed time.Duration
+}
+
+// MultiGet fetches many keys from one table, issuing the point reads
+// concurrently grouped by owning node — the access pattern of RStore's
+// query processing module. Missing keys are reported, not errors, because
+// the projections RStore consults are lossy (§2.4).
+func (s *Store) MultiGet(table string, keys []string) (*MultiGetResult, error) {
+	res := &MultiGetResult{Values: make([][]byte, len(keys))}
+	if len(keys) == 0 {
+		return res, nil
+	}
+
+	// Group request indexes by serving replica: the primary by default, or
+	// the least-loaded live replica when read balancing is on.
+	byNode := make(map[int][]int)
+	for i, k := range keys {
+		n := -1
+		if s.cfg.ReadBalance {
+			best := -1
+			for _, r := range s.ring.replicas(k, s.cfg.ReplicationFactor) {
+				if !s.nodes[r].isUp() {
+					continue
+				}
+				if best == -1 || len(byNode[r]) < len(byNode[best]) {
+					best = r
+				}
+			}
+			n = best
+		} else {
+			n = s.pickReplica(k)
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("kvstore: multiget %s: all replicas down for %q", table, k)
+		}
+		byNode[n] = append(byNode[n], i)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards res.Missing
+	for nid, idxs := range byNode {
+		wg.Add(1)
+		go func(nid int, idxs []int) {
+			defer wg.Done()
+			for _, i := range idxs {
+				v, ok := s.nodes[nid].get(table, keys[i])
+				if ok {
+					res.Values[i] = v
+				} else {
+					mu.Lock()
+					res.Missing = append(res.Missing, i)
+					mu.Unlock()
+				}
+			}
+		}(nid, idxs)
+	}
+	wg.Wait()
+	sort.Ints(res.Missing)
+
+	// Simulated timing: per-node serial service, client-side lanes.
+	perNode := make(map[int][]int, len(byNode))
+	for nid, idxs := range byNode {
+		sizes := make([]int, len(idxs))
+		for j, i := range idxs {
+			sizes[j] = len(res.Values[i])
+		}
+		perNode[nid] = sizes
+	}
+	res.Requests = len(keys)
+	for _, v := range res.Values {
+		res.BytesRead += int64(len(v))
+	}
+	res.Elapsed = s.cfg.Cost.batchElapsed(perNode)
+	s.reqCount.Add(int64(res.Requests))
+	s.bytesRead.Add(res.BytesRead)
+	s.simClock.Add(int64(res.Elapsed))
+	return res, nil
+}
+
+// pickReplica returns the first live replica for key, or -1.
+func (s *Store) pickReplica(key string) int {
+	for _, n := range s.ring.replicas(key, s.cfg.ReplicationFactor) {
+		if s.nodes[n].isUp() {
+			return n
+		}
+	}
+	return -1
+}
+
+// Scan visits every key/value in a table across all live nodes, restricted
+// to each node's primarily-owned keys so replicated entries are visited
+// once. Values are copied before fn sees them.
+func (s *Store) Scan(table string, fn func(key string, value []byte) bool) {
+	stop := false
+	for _, n := range s.nodes {
+		if stop {
+			return
+		}
+		n.scan(table, func(k string, v []byte) bool {
+			if s.ring.primary(k) != n.id {
+				return true // visited via its primary owner
+			}
+			cp := make([]byte, len(v))
+			copy(cp, v)
+			if !fn(k, cp) {
+				stop = true
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// account books a sequential operation.
+func (s *Store) account(reqs, bytes int) {
+	s.reqCount.Add(int64(reqs))
+	s.bytesRead.Add(int64(bytes))
+	s.simClock.Add(int64(s.cfg.Cost.requestCost(bytes)))
+}
+
+// ChargeScan adds client-side scan cost for n bytes to the virtual clock and
+// returns the charged duration. The query module calls it when extracting
+// records from retrieved chunks.
+func (s *Store) ChargeScan(n int) time.Duration {
+	d := s.cfg.Cost.scanCost(n)
+	s.simClock.Add(int64(d))
+	return d
+}
+
+// Stats is a snapshot of cluster counters.
+type Stats struct {
+	Requests    int64
+	BytesRead   int64
+	BytesPut    int64
+	SimElapsed  time.Duration
+	BytesStored int64 // resident across nodes (including replicas)
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Requests:   s.reqCount.Load(),
+		BytesRead:  s.bytesRead.Load(),
+		BytesPut:   s.bytesPut.Load(),
+		SimElapsed: time.Duration(s.simClock.Load()),
+	}
+	for _, n := range s.nodes {
+		st.BytesStored += n.stored()
+	}
+	return st
+}
+
+// ResetClock zeroes the virtual clock and counters (between experiment
+// phases).
+func (s *Store) ResetClock() {
+	s.simClock.Store(0)
+	s.reqCount.Store(0)
+	s.bytesRead.Store(0)
+	s.bytesPut.Store(0)
+}
+
+// SetNodeUp marks a node up or down, for failure-injection tests.
+func (s *Store) SetNodeUp(id int, up bool) error {
+	if id < 0 || id >= len(s.nodes) {
+		return fmt.Errorf("kvstore: no node %d", id)
+	}
+	s.nodes[id].setUp(up)
+	return nil
+}
+
+// NodeBytes returns resident bytes per node, for balance checks.
+func (s *Store) NodeBytes() []int64 {
+	out := make([]int64, len(s.nodes))
+	for i, n := range s.nodes {
+		out[i] = n.stored()
+	}
+	return out
+}

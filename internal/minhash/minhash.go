@@ -1,0 +1,118 @@
+// Package minhash implements the min-hash shingle computation of paper
+// Algorithm 1: for each record's set of containing versions, l pairwise-
+// independent hash functions are applied and the minimum hash under each
+// function forms the record's shingle vector. Records with similar version
+// sets receive lexicographically close shingle vectors, so sorting by
+// shingles places co-occurring records next to each other (Algorithm 2).
+package minhash
+
+import "math/rand"
+
+// Family is a set of l pairwise-independent hash functions over uint32
+// version ids. Each function is h_i(v) = (a_i*v + b_i) mod p for a large
+// prime p, the classic universal hashing construction.
+type Family struct {
+	a, b []uint64
+}
+
+// prime is a Mersenne prime > 2^32, allowing (a*v+b) mod p without overflow
+// in uint64 arithmetic for 32-bit v.
+const prime = (1 << 61) - 1
+
+// NewFamily creates l hash functions seeded deterministically.
+func NewFamily(l int, seed int64) *Family {
+	rng := rand.New(rand.NewSource(seed))
+	f := &Family{a: make([]uint64, l), b: make([]uint64, l)}
+	for i := 0; i < l; i++ {
+		f.a[i] = rng.Uint64()%(prime-1) + 1 // a ∈ [1, p-1]
+		f.b[i] = rng.Uint64() % prime       // b ∈ [0, p-1]
+	}
+	return f
+}
+
+// Size returns the number of hash functions l.
+func (f *Family) Size() int { return len(f.a) }
+
+// Hash applies function i to version id v.
+func (f *Family) Hash(i int, v uint32) uint64 {
+	// (a*v + b) mod p. a < 2^61 times v < 2^32 would overflow uint64, so
+	// the product is reduced by splitting a (see mulmod). Both operands of
+	// the final sum are < p < 2^61, so the addition cannot overflow.
+	return (mulmod(f.a[i], uint64(v)) + f.b[i]) % prime
+}
+
+// mulmod computes (a*b) mod prime without 128-bit multiply by splitting a
+// into 30-bit halves (b fits in 32 bits).
+func mulmod(a, b uint64) uint64 {
+	const mask30 = (1 << 30) - 1
+	lo := a & mask30
+	hi := a >> 30
+	// a*b = hi*2^30*b + lo*b. hi < 2^31, b < 2^32 ⇒ hi*b < 2^63: safe.
+	t := (hi * b) % prime
+	t = (t << 30) % prime
+	return (t + lo*b) % prime
+}
+
+// Signature is a record's shingle vector: the i-th entry is the minimum of
+// h_i over the record's version set.
+type Signature []uint64
+
+// NewSignature returns a signature initialized to +∞ in every slot, ready
+// for incremental Observe calls.
+func NewSignature(l int) Signature {
+	s := make(Signature, l)
+	for i := range s {
+		s[i] = ^uint64(0)
+	}
+	return s
+}
+
+// Observe folds version v into the signature: s[i] = min(s[i], h_i(v)).
+// Observing versions one at a time lets the partitioner build all record
+// signatures in a single pass over the version graph instead of
+// materializing the record→versions map.
+func (s Signature) Observe(f *Family, v uint32) {
+	for i := range s {
+		if h := f.Hash(i, v); h < s[i] {
+			s[i] = h
+		}
+	}
+}
+
+// Compare orders signatures lexicographically: -1, 0, or 1.
+func Compare(a, b Signature) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// Similarity estimates the Jaccard similarity of the underlying version sets
+// as the fraction of agreeing min-hash slots.
+func Similarity(a, b Signature) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	match := 0
+	for i := range a {
+		if a[i] == b[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(len(a))
+}

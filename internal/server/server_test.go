@@ -1,0 +1,272 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"rstore/internal/core"
+	"rstore/internal/types"
+)
+
+func newServer(t *testing.T) (*httptest.Server, *core.Store) {
+	t.Helper()
+	st, err := core.Open(core.Config{ChunkCapacity: 4096, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(st))
+	t.Cleanup(ts.Close)
+	return ts, st
+}
+
+func postJSON(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestHTTPCommitAndQueries(t *testing.T) {
+	ts, _ := newServer(t)
+
+	// Root commit advancing main.
+	var cr CommitResponse
+	resp := postJSON(t, ts.URL+"/commit", CommitRequest{
+		Parent: -1,
+		Puts:   map[string][]byte{"doc-a": []byte(`{"v":0}`), "doc-b": []byte(`{"v":0}`)},
+		Branch: "main",
+	}, &cr)
+	if resp.StatusCode != 200 || cr.Version != 0 {
+		t.Fatalf("root commit: %d %+v", resp.StatusCode, cr)
+	}
+
+	// Child commit.
+	postJSON(t, ts.URL+"/commit", CommitRequest{
+		Parent:  0,
+		Puts:    map[string][]byte{"doc-a": []byte(`{"v":1}`)},
+		Deletes: []string{"doc-b"},
+		Branch:  "main",
+	}, &cr)
+	if cr.Version != 1 {
+		t.Fatalf("second commit version %d", cr.Version)
+	}
+
+	// Full version by id and by branch name.
+	for _, ref := range []string{"1", "main"} {
+		var qr QueryResponse
+		resp = getJSON(t, ts.URL+"/version/"+ref, &qr)
+		if resp.StatusCode != 200 || len(qr.Records) != 1 {
+			t.Fatalf("version/%s: %d, %d records", ref, resp.StatusCode, len(qr.Records))
+		}
+		if qr.Records[0].Key != "doc-a" || string(qr.Records[0].Value) != `{"v":1}` {
+			t.Fatalf("version/%s record: %+v", ref, qr.Records[0])
+		}
+		if qr.Stats.Span == 0 {
+			t.Fatalf("version/%s: zero span", ref)
+		}
+	}
+
+	// Point query at the old version still sees the old value.
+	var qr QueryResponse
+	getJSON(t, ts.URL+"/version/0/record/doc-a", &qr)
+	if len(qr.Records) != 1 || string(qr.Records[0].Value) != `{"v":0}` {
+		t.Fatalf("old record: %+v", qr.Records)
+	}
+
+	// Missing key → 404.
+	resp = getJSON(t, ts.URL+"/version/0/record/ghost", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost record: %d", resp.StatusCode)
+	}
+
+	// Range retrieval.
+	getJSON(t, ts.URL+"/version/0/range?lo=doc-a&hi=doc-b", &qr)
+	if len(qr.Records) != 1 || qr.Records[0].Key != "doc-a" {
+		t.Fatalf("range: %+v", qr.Records)
+	}
+
+	// History.
+	getJSON(t, ts.URL+"/history/doc-a", &qr)
+	if len(qr.Records) != 2 {
+		t.Fatalf("history: %d records", len(qr.Records))
+	}
+
+	// Branches.
+	var branches map[string]int64
+	getJSON(t, ts.URL+"/branches", &branches)
+	if branches["main"] != 1 {
+		t.Fatalf("branches: %v", branches)
+	}
+
+	// Flush + stats.
+	resp = postJSON(t, ts.URL+"/flush", struct{}{}, nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("flush: %d", resp.StatusCode)
+	}
+	var stats map[string]any
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats["versions"].(float64) != 2 || stats["pending"].(float64) != 0 {
+		t.Fatalf("stats: %v", stats)
+	}
+}
+
+func TestHTTPSetBranch(t *testing.T) {
+	ts, st := newServer(t)
+	if _, err := st.Commit(types.InvalidVersion, core.Change{}); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/branch/dev",
+		bytes.NewReader([]byte(`{"version":0}`)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("set branch: %d", resp.StatusCode)
+	}
+	tip, err := st.Tip("dev")
+	if err != nil || tip != 0 {
+		t.Fatalf("tip: %v %v", tip, err)
+	}
+	// Unknown version rejected.
+	req, _ = http.NewRequest(http.MethodPut, ts.URL+"/branch/dev",
+		bytes.NewReader([]byte(`{"version":99}`)))
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		t.Fatal("unknown version accepted")
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	ts, _ := newServer(t)
+	// Commit with bad JSON.
+	resp, err := http.Post(ts.URL+"/commit", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: %d", resp.StatusCode)
+	}
+	// Query on empty store.
+	resp = getJSON(t, ts.URL+"/version/0", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("empty store query: %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPMergeCommit(t *testing.T) {
+	ts, st := newServer(t)
+	var cr CommitResponse
+	postJSON(t, ts.URL+"/commit", CommitRequest{
+		Parent: -1, Puts: map[string][]byte{"a": []byte("0")},
+	}, &cr)
+	postJSON(t, ts.URL+"/commit", CommitRequest{
+		Parent: 0, Puts: map[string][]byte{"a": []byte("1")},
+	}, &cr)
+	postJSON(t, ts.URL+"/commit", CommitRequest{
+		Parent: 0, Puts: map[string][]byte{"b": []byte("2")},
+	}, &cr)
+	// Merge v1 (primary) + v2.
+	resp := postJSON(t, ts.URL+"/commit", CommitRequest{
+		Parent: 1, Parents: []int64{2},
+		Puts: map[string][]byte{"b": []byte("2")},
+	}, &cr)
+	if resp.StatusCode != 200 {
+		t.Fatalf("merge commit: %d", resp.StatusCode)
+	}
+	parents := st.Graph().Parents(types.VersionID(cr.Version))
+	if len(parents) != 2 || parents[0] != 1 || parents[1] != 2 {
+		t.Fatalf("merge parents: %v", parents)
+	}
+	var qr QueryResponse
+	getJSON(t, fmt.Sprintf("%s/version/%d", ts.URL, cr.Version), &qr)
+	if len(qr.Records) != 2 {
+		t.Fatalf("merge contents: %d records", len(qr.Records))
+	}
+}
+
+func TestHTTPDiff(t *testing.T) {
+	ts, _ := newServer(t)
+	var cr CommitResponse
+	postJSON(t, ts.URL+"/commit", CommitRequest{
+		Parent: -1, Puts: map[string][]byte{"a": []byte("0"), "b": []byte("0")},
+	}, &cr)
+	postJSON(t, ts.URL+"/commit", CommitRequest{
+		Parent: 0, Puts: map[string][]byte{"a": []byte("1")}, Deletes: []string{"b"},
+	}, &cr)
+
+	var d DiffJSON
+	resp := getJSON(t, ts.URL+"/diff?a=0&b=1", &d)
+	if resp.StatusCode != 200 {
+		t.Fatalf("diff status %d", resp.StatusCode)
+	}
+	if len(d.Added) != 1 || len(d.Removed) != 2 || len(d.Modified) != 1 {
+		t.Fatalf("diff: %+v", d)
+	}
+	if d.Added[0].Key != "a" || d.Added[0].OriginVersion != 1 {
+		t.Fatalf("added: %+v", d.Added)
+	}
+	// Unknown version refs 404.
+	if resp := getJSON(t, ts.URL+"/diff?a=0&b=99", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("diff with bad version: %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/diff?a=nope&b=0", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("diff with bad ref: %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPRangeDefaults(t *testing.T) {
+	ts, _ := newServer(t)
+	var cr CommitResponse
+	postJSON(t, ts.URL+"/commit", CommitRequest{
+		Parent: -1, Puts: map[string][]byte{"a": []byte("1"), "z": []byte("2")},
+	}, &cr)
+	// No hi bound: defaults to the max key.
+	var qr QueryResponse
+	resp := getJSON(t, ts.URL+"/version/0/range?lo=a", &qr)
+	if resp.StatusCode != 200 || len(qr.Records) != 2 {
+		t.Fatalf("open-ended range: %d, %d records", resp.StatusCode, len(qr.Records))
+	}
+	// Bad version in range 404s.
+	if resp := getJSON(t, ts.URL+"/version/42/range?lo=a", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("range bad version: %d", resp.StatusCode)
+	}
+	// History of a missing key 404s.
+	if resp := getJSON(t, ts.URL+"/history/ghost", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost history: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,48 @@
+package subchunk_test
+
+import (
+	"fmt"
+	"strings"
+
+	"rstore/internal/corpus"
+	"rstore/internal/subchunk"
+	"rstore/internal/types"
+	"rstore/internal/vgraph"
+)
+
+// Example groups three versions of one document into a single sub-chunk:
+// the first revision stored raw, the others as binary deltas against their
+// parent revision.
+func Example() {
+	g := vgraph.New()
+	v0, _ := g.AddRoot()
+	v1, _ := g.AddVersion(v0)
+	v2, _ := g.AddVersion(v1)
+
+	body := strings.Repeat("lorem ipsum dolor sit amet ", 30)
+	base := []byte(`{"title":"intro","body":"` + body + `"}`)
+	rev1 := []byte(`{"title":"intro","body":"` + body + ` EDITED"}`)
+	rev2 := []byte(`{"title":"intro v2","body":"` + body + ` EDITED"}`)
+
+	c := corpus.New(g)
+	_ = c.AddVersionDelta(v0, &types.Delta{Adds: []types.Record{
+		{CK: types.CompositeKey{Key: "doc", Version: v0}, Value: base},
+	}})
+	_ = c.AddVersionDelta(v1, &types.Delta{
+		Adds: []types.Record{{CK: types.CompositeKey{Key: "doc", Version: v1}, Value: rev1}},
+		Dels: []types.CompositeKey{{Key: "doc", Version: v0}},
+	})
+	_ = c.AddVersionDelta(v2, &types.Delta{
+		Adds: []types.Record{{CK: types.CompositeKey{Key: "doc", Version: v2}, Value: rev2}},
+		Dels: []types.CompositeKey{{Key: "doc", Version: v1}},
+	})
+
+	res, _ := subchunk.Build(c, 3, 1<<20)
+	fmt.Printf("sub-chunks: %d\n", len(res.In.Items))
+	fmt.Printf("members: %d\n", len(res.In.Items[0].Members))
+	fmt.Printf("compression ratio > 2: %v\n", res.CompressionRatio() > 2)
+	// Output:
+	// sub-chunks: 1
+	// members: 3
+	// compression ratio > 2: true
+}

@@ -1,0 +1,237 @@
+package subchunk
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"rstore/internal/corpus"
+	"rstore/internal/types"
+	"rstore/internal/vgraph"
+	"rstore/internal/workload"
+)
+
+func rec(k string, v types.VersionID) types.Record {
+	return types.Record{CK: types.CompositeKey{Key: types.Key(k), Version: v}, Value: []byte(k + "-payload")}
+}
+
+func ck(k string, v types.VersionID) types.CompositeKey {
+	return types.CompositeKey{Key: types.Key(k), Version: v}
+}
+
+// buildFig7 reproduces the paper's Fig 7(a) original version tree exactly:
+// seven versions, keys K0–K5.
+func buildFig7(t *testing.T) *corpus.Corpus {
+	t.Helper()
+	g := vgraph.New()
+	v0, _ := g.AddRoot()
+	v1, _ := g.AddVersion(v0)
+	v2, _ := g.AddVersion(v1)
+	v3, _ := g.AddVersion(v1)
+	v4, _ := g.AddVersion(v2)
+	v5, _ := g.AddVersion(v2)
+	v6, _ := g.AddVersion(v3)
+	_ = v4
+	_ = v5
+	_ = v6
+
+	c := corpus.New(g)
+	deltas := []*types.Delta{
+		{Adds: []types.Record{rec("K0", 0), rec("K1", 0), rec("K2", 0), rec("K3", 0)}},
+		{Adds: []types.Record{rec("K0", 1), rec("K2", 1)},
+			Dels: []types.CompositeKey{ck("K0", 0), ck("K2", 0)}},
+		{Adds: []types.Record{rec("K0", 2), rec("K3", 2)},
+			Dels: []types.CompositeKey{ck("K0", 1), ck("K3", 0)}},
+		{Adds: []types.Record{rec("K1", 3), rec("K4", 3)},
+			Dels: []types.CompositeKey{ck("K1", 0)}},
+		{Adds: []types.Record{rec("K0", 4), rec("K3", 4)},
+			Dels: []types.CompositeKey{ck("K0", 2), ck("K3", 2)}},
+		{Adds: []types.Record{rec("K1", 5), rec("K2", 5), rec("K3", 5), rec("K5", 5)},
+			Dels: []types.CompositeKey{ck("K1", 0), ck("K2", 1), ck("K3", 2)}},
+		{Adds: []types.Record{rec("K3", 6), rec("K2", 6)},
+			Dels: []types.CompositeKey{ck("K3", 0), ck("K2", 1)}},
+	}
+	for v, d := range deltas {
+		if err := c.AddVersionDelta(types.VersionID(v), d); err != nil {
+			t.Fatalf("V%d: %v", v, err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestFig7SubchunksExact asserts Algorithm 5 with k=3 produces exactly the
+// paper's Fig 7(c) sub-chunk list (as sets, with the paper's representative
+// composite keys).
+func TestFig7SubchunksExact(t *testing.T) {
+	c := buildFig7(t)
+	res, err := Build(c, 3, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]types.CompositeKey{ // representative → members
+		"⟨K0,V1⟩": {ck("K0", 1), ck("K0", 2), ck("K0", 4)}, // SC0
+		"⟨K0,V0⟩": {ck("K0", 0)},                           // SC1
+		"⟨K1,V0⟩": {ck("K1", 0), ck("K1", 3), ck("K1", 5)}, // SC2
+		"⟨K2,V1⟩": {ck("K2", 1), ck("K2", 5), ck("K2", 6)}, // SC3
+		"⟨K2,V0⟩": {ck("K2", 0)},                           // SC4
+		"⟨K3,V2⟩": {ck("K3", 2), ck("K3", 4), ck("K3", 5)}, // SC5
+		"⟨K3,V0⟩": {ck("K3", 0), ck("K3", 6)},              // SC6
+		"⟨K4,V3⟩": {ck("K4", 3)},                           // SC7
+		"⟨K5,V5⟩": {ck("K5", 5)},                           // SC8
+	}
+	if len(res.In.Items) != len(want) {
+		t.Fatalf("%d sub-chunks, want %d", len(res.In.Items), len(want))
+	}
+	for _, it := range res.In.Items {
+		repr := fmt.Sprintf("⟨%s,V%d⟩", it.CK.Key, it.CK.Version)
+		wantMembers, ok := want[repr]
+		if !ok {
+			t.Fatalf("unexpected sub-chunk with representative %s", repr)
+		}
+		var got []types.CompositeKey
+		for _, id := range it.Members {
+			got = append(got, c.Record(id).CK)
+		}
+		sortCKs(got)
+		sortCKs(wantMembers)
+		if len(got) != len(wantMembers) {
+			t.Fatalf("%s: members %v, want %v", repr, got, wantMembers)
+		}
+		for i := range got {
+			if got[i] != wantMembers[i] {
+				t.Fatalf("%s: members %v, want %v", repr, got, wantMembers)
+			}
+		}
+		// The representative is the first member.
+		if c.Record(it.Members[0]).CK != it.CK {
+			t.Fatalf("%s: representative not first member", repr)
+		}
+	}
+}
+
+// TestFig7TransformedTree asserts the Fig 7(b) transformation: V4 and V6 are
+// duplicates and dropped; V5 re-parents under V2's transformed id; V5's
+// item-level delta is exactly {+SC8}.
+func TestFig7TransformedTree(t *testing.T) {
+	c := buildFig7(t)
+	res, err := Build(c, 3, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedVersions != 2 {
+		t.Fatalf("dropped %d versions, want 2 (V4, V6)", res.DroppedVersions)
+	}
+	tg := res.In.Graph
+	if tg.NumVersions() != 5 {
+		t.Fatalf("transformed tree has %d versions, want 5", tg.NumVersions())
+	}
+	// V4 maps to V2's transformed version, V6 to V3's.
+	if res.TransformedOf[4] != res.TransformedOf[2] {
+		t.Fatalf("V4 → %d, want V2's %d", res.TransformedOf[4], res.TransformedOf[2])
+	}
+	if res.TransformedOf[6] != res.TransformedOf[3] {
+		t.Fatalf("V6 → %d, want V3's %d", res.TransformedOf[6], res.TransformedOf[3])
+	}
+	// V5 is kept, parented at transformed V2, and adds exactly one item
+	// (SC8 = ⟨K5,V5⟩).
+	t5 := res.TransformedOf[5]
+	if tg.Parent(t5) != res.TransformedOf[2] {
+		t.Fatalf("transformed V5 parent = %d, want transformed V2", tg.Parent(t5))
+	}
+	adds := res.In.Adds[t5]
+	if len(adds) != 1 || len(res.In.Dels[t5]) != 0 {
+		t.Fatalf("transformed V5 delta: +%v -%v, want one add", adds, res.In.Dels[t5])
+	}
+	if got := res.In.Items[adds[0]].CK; got != ck("K5", 5) {
+		t.Fatalf("transformed V5 adds %v, want ⟨K5,V5⟩", got)
+	}
+	if err := tg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupConnectivity property: on generated datasets, every sub-chunk's
+// member origins form a connected subgraph of the version tree (the §3.4
+// constraint).
+func TestGroupConnectivity(t *testing.T) {
+	c, err := workload.Generate(workload.Spec{
+		Name: "conn", Versions: 60, AvgDepth: 15, RecordsPerVersion: 80,
+		UpdatePct: 0.3, Update: workload.RandomUpdate, RecordSize: 96, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 3, 8} {
+		res, err := Build(c, k, 1<<20)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		g := c.Graph()
+		for ii, it := range res.In.Items {
+			if len(it.Members) > k {
+				t.Fatalf("k=%d: item %d has %d members", k, ii, len(it.Members))
+			}
+			// Each member's delta parent must be an ancestor (in the
+			// version tree) of the member's origin: connectivity via the
+			// parent chain.
+			for mi := 1; mi < len(it.Members); mi++ {
+				child := c.Record(it.Members[mi]).CK.Version
+				parent := c.Record(it.Members[it.Parents[mi]]).CK.Version
+				if !isAncestor(g, parent, child) {
+					t.Fatalf("k=%d item %d: member %d origin V%d not descendant of its parent V%d",
+						k, ii, mi, child, parent)
+				}
+			}
+		}
+	}
+}
+
+func isAncestor(g *vgraph.Graph, a, v types.VersionID) bool {
+	for g.Depth(v) > g.Depth(a) {
+		v = g.Parent(v)
+	}
+	return v == a
+}
+
+// TestEveryRecordInExactlyOneItem across k values on a generated dataset.
+func TestEveryRecordInExactlyOneItem(t *testing.T) {
+	c, err := workload.Generate(workload.Spec{
+		Name: "cover", Versions: 40, AvgDepth: 10, RecordsPerVersion: 50,
+		UpdatePct: 0.25, Update: workload.SkewedUpdate, RecordSize: 80, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 4, 16, 100} {
+		res, err := Build(c, k, 1<<20)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		seen := make([]int, c.NumRecords())
+		for _, it := range res.In.Items {
+			for _, m := range it.Members {
+				seen[m]++
+			}
+		}
+		for id, n := range seen {
+			if n != 1 {
+				t.Fatalf("k=%d: record %d in %d items", k, id, n)
+			}
+		}
+		// ItemOf agrees with the item lists.
+		for ii, it := range res.In.Items {
+			for _, m := range it.Members {
+				if res.ItemOf[m] != uint32(ii) {
+					t.Fatalf("k=%d: ItemOf[%d] = %d, want %d", k, m, res.ItemOf[m], ii)
+				}
+			}
+		}
+	}
+}
+
+func sortCKs(cks []types.CompositeKey) {
+	sort.Slice(cks, func(i, j int) bool { return cks[i].Less(cks[j]) })
+}

@@ -1,0 +1,175 @@
+package subchunk
+
+import (
+	"fmt"
+
+	"rstore/internal/chunk"
+	"rstore/internal/corpus"
+	"rstore/internal/partition"
+	"rstore/internal/types"
+	"rstore/internal/vgraph"
+)
+
+// transformTree derives the transformed version tree of Fig 7: versions are
+// re-expressed in sub-chunk (item) space — an item is live at a version when
+// at least one of its member records is — and versions whose item-level
+// delta is empty are duplicates of their parent and dropped. The remaining
+// versions, re-parented to their nearest kept ancestor and densely
+// renumbered, form the instance the partitioning algorithms run on.
+func transformTree(c *corpus.Corpus, items []chunk.Item, itemOf []uint32, capacity int) (*partition.Input, int, []types.VersionID, error) {
+	g := c.Graph()
+	n := g.NumVersions()
+
+	// One apply/undo walk over the original tree computes each version's
+	// item-level delta: member liveness counts per item; 0→1 transitions
+	// are item adds, 1→0 are item dels. An item both deleted and re-added
+	// within one version (a member replaced by another member of the same
+	// sub-chunk — the Fig 7 V4 case) nets out to no change.
+	itemAdds := make([][]uint32, n)
+	itemDels := make([][]uint32, n)
+	liveCount := make([]int32, len(items))
+
+	var walk func(v types.VersionID)
+	walk = func(v types.VersionID) {
+		var adds, dels []uint32
+		for _, rec := range c.Dels(v) {
+			it := itemOf[rec]
+			liveCount[it]--
+			if liveCount[it] == 0 {
+				dels = append(dels, it)
+			}
+		}
+		for _, rec := range c.Adds(v) {
+			it := itemOf[rec]
+			liveCount[it]++
+			if liveCount[it] == 1 {
+				adds = append(adds, it)
+			}
+		}
+		// Net out items that both died and revived within this version.
+		adds, dels = cancelCommon(adds, dels)
+		itemAdds[v], itemDels[v] = adds, dels
+
+		for _, ch := range g.Children(v) {
+			walk(ch)
+		}
+		for _, rec := range c.Adds(v) {
+			liveCount[itemOf[rec]]--
+		}
+		for _, rec := range c.Dels(v) {
+			liveCount[itemOf[rec]]++
+		}
+	}
+	if n > 0 {
+		walk(0)
+	}
+
+	// Keep versions with a non-empty item delta; the root is always kept.
+	kept := make([]bool, n)
+	newID := make([]types.VersionID, n)
+	nearestKept := make([]types.VersionID, n)
+	transformedOf := make([]types.VersionID, n)
+	tg := vgraph.New()
+	dropped := 0
+	var tAdds, tDels [][]uint32
+	for v := 0; v < n; v++ {
+		vv := types.VersionID(v)
+		if v == 0 {
+			kept[0] = true
+			nearestKept[0] = 0
+			id, err := tg.AddRoot()
+			if err != nil {
+				return nil, 0, nil, err
+			}
+			newID[0] = id
+			transformedOf[0] = id
+			tAdds = append(tAdds, dedupSorted(itemAdds[0]))
+			tDels = append(tDels, dedupSorted(itemDels[0]))
+			continue
+		}
+		parent := g.Parent(vv)
+		if len(itemAdds[v]) == 0 && len(itemDels[v]) == 0 {
+			// Duplicate of its parent in item space (Fig 7's V4/V6).
+			kept[v] = false
+			nearestKept[v] = nearestKept[parent]
+			transformedOf[v] = newID[nearestKept[parent]]
+			dropped++
+			continue
+		}
+		kept[v] = true
+		nearestKept[v] = vv
+		tp := newID[nearestKept[parent]]
+		id, err := tg.AddVersion(tp)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		newID[v] = id
+		transformedOf[v] = id
+		tAdds = append(tAdds, dedupSorted(itemAdds[v]))
+		tDels = append(tDels, dedupSorted(itemDels[v]))
+	}
+
+	in := &partition.Input{
+		Graph:    tg,
+		Items:    items,
+		Adds:     tAdds,
+		Dels:     tDels,
+		Capacity: capacity,
+	}
+	if err := in.Validate(); err != nil {
+		return nil, 0, nil, fmt.Errorf("subchunk: transformed instance invalid: %w", err)
+	}
+	return in, dropped, transformedOf, nil
+}
+
+// cancelCommon removes ids present in both lists (multiset-safe: ids appear
+// at most once per list because liveness transitions fire once per version).
+func cancelCommon(a, b []uint32) ([]uint32, []uint32) {
+	if len(a) == 0 || len(b) == 0 {
+		return a, b
+	}
+	inB := make(map[uint32]struct{}, len(b))
+	for _, x := range b {
+		inB[x] = struct{}{}
+	}
+	var outA []uint32
+	removed := make(map[uint32]struct{})
+	for _, x := range a {
+		if _, ok := inB[x]; ok {
+			removed[x] = struct{}{}
+			continue
+		}
+		outA = append(outA, x)
+	}
+	if len(removed) == 0 {
+		return a, b
+	}
+	var outB []uint32
+	for _, x := range b {
+		if _, ok := removed[x]; !ok {
+			outB = append(outB, x)
+		}
+	}
+	return outA, outB
+}
+
+// dedupSorted sorts and deduplicates an id list in place semantics.
+func dedupSorted(ids []uint32) []uint32 {
+	if len(ids) < 2 {
+		return ids
+	}
+	// Insertion sort: lists are small and nearly sorted (ids discovered in
+	// record-id order within a version).
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	out := ids[:1]
+	for _, v := range ids[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

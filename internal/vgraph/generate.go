@@ -1,0 +1,122 @@
+package vgraph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rstore/internal/types"
+)
+
+// GenerateOptions controls synthetic version-graph growth, following the
+// process of [4] (Bhattacherjee et al., PVLDB'15) referenced by paper §5.1:
+// versions are committed one at a time; most commits extend the tip of an
+// existing branch, and with probability BranchProb a commit forks a new
+// branch from a uniformly random existing version. With probability
+// MergeProb a commit merges two random branch tips instead.
+type GenerateOptions struct {
+	// Versions is the total number of versions to generate (including the
+	// root). Must be ≥ 1.
+	Versions int
+	// BranchProb is the per-commit probability of starting a new branch.
+	// 0 yields a linear chain.
+	BranchProb float64
+	// MergeProb is the per-commit probability of creating a merge commit
+	// joining two branch tips. The paper's partitioning experiments use
+	// merge-free trees; merges exercise the DAG→tree conversion.
+	MergeProb float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// OptionsForDepth derives a BranchProb that targets the given average leaf
+// depth for n versions. Because forks start at the depth of their fork
+// point, the depth/branch-probability relationship is nonlinear; since graph
+// generation is O(n), the options are calibrated by a short binary search of
+// pilot generations under the same seed (so the calibrated statistics are
+// exactly what the caller will get).
+func OptionsForDepth(n int, avgDepth float64, seed int64) GenerateOptions {
+	if avgDepth <= 0 || float64(n) <= avgDepth {
+		return GenerateOptions{Versions: n, Seed: seed}
+	}
+	lo, hi := 0.0, 0.5
+	best := GenerateOptions{Versions: n, Seed: seed}
+	bestErr := -1.0
+	for iter := 0; iter < 14; iter++ {
+		mid := (lo + hi) / 2
+		opts := GenerateOptions{Versions: n, BranchProb: mid, Seed: seed}
+		g, err := Generate(opts)
+		if err != nil {
+			break
+		}
+		got := g.AvgLeafDepth()
+		relErr := got/avgDepth - 1
+		if relErr < 0 {
+			relErr = -relErr
+		}
+		if bestErr < 0 || relErr < bestErr {
+			bestErr = relErr
+			best = opts
+		}
+		if relErr < 0.05 {
+			break
+		}
+		// Higher branch probability → shallower trees.
+		if got > avgDepth {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return best
+}
+
+// Generate grows a version graph.
+func Generate(opts GenerateOptions) (*Graph, error) {
+	if opts.Versions < 1 {
+		return nil, fmt.Errorf("vgraph: Versions must be ≥ 1, got %d", opts.Versions)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	g := New()
+	root, err := g.AddRoot()
+	if err != nil {
+		return nil, err
+	}
+	tips := []types.VersionID{root}
+	for i := 1; i < opts.Versions; i++ {
+		r := rng.Float64()
+		switch {
+		case r < opts.MergeProb && len(tips) >= 2:
+			// Merge two distinct random tips; the merge becomes the tip of
+			// the primary parent's branch and retires the other tip.
+			a := rng.Intn(len(tips))
+			b := rng.Intn(len(tips) - 1)
+			if b >= a {
+				b++
+			}
+			id, err := g.AddVersion(tips[a], tips[b])
+			if err != nil {
+				return nil, err
+			}
+			tips[a] = id
+			tips[b] = tips[len(tips)-1]
+			tips = tips[:len(tips)-1]
+		case r < opts.MergeProb+opts.BranchProb:
+			// Fork a new branch from a uniformly random existing version.
+			parent := types.VersionID(rng.Intn(g.NumVersions()))
+			id, err := g.AddVersion(parent)
+			if err != nil {
+				return nil, err
+			}
+			tips = append(tips, id)
+		default:
+			// Extend a uniformly random branch tip.
+			ti := rng.Intn(len(tips))
+			id, err := g.AddVersion(tips[ti])
+			if err != nil {
+				return nil, err
+			}
+			tips[ti] = id
+		}
+	}
+	return g, nil
+}

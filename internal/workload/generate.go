@@ -1,0 +1,253 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rstore/internal/corpus"
+	"rstore/internal/docgen"
+	"rstore/internal/types"
+	"rstore/internal/vgraph"
+)
+
+// Generate builds the dataset described by spec: the version graph, every
+// version's delta, and the corpus registering them. Generation walks the
+// tree depth-first with apply/undo state so memory stays proportional to one
+// version plus the total delta volume.
+func Generate(spec Spec) (*corpus.Corpus, error) {
+	spec = spec.withDefaults()
+	if spec.Versions < 1 {
+		return nil, fmt.Errorf("workload: dataset %q needs at least 1 version", spec.Name)
+	}
+	if spec.UpdatePct < 0 || spec.UpdatePct > 1 {
+		return nil, fmt.Errorf("workload: update pct %.2f out of range", spec.UpdatePct)
+	}
+
+	opts := vgraph.OptionsForDepth(spec.Versions, spec.AvgDepth, spec.Seed)
+	opts.MergeProb = spec.MergeProb
+	g, err := vgraph.Generate(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	gen := newDeltaGen(spec, g)
+	deltas, err := gen.run()
+	if err != nil {
+		return nil, err
+	}
+
+	c := corpus.New(g)
+	for v := 0; v < g.NumVersions(); v++ {
+		if err := c.AddVersionDelta(types.VersionID(v), deltas[v]); err != nil {
+			return nil, fmt.Errorf("workload: dataset %q version %d: %w", spec.Name, v, err)
+		}
+	}
+	return c, nil
+}
+
+// deltaGen carries the mutable generation state during the tree walk.
+type deltaGen struct {
+	spec Spec
+	g    *vgraph.Graph
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	docs *docgen.Generator
+
+	state   map[types.Key]types.Record // visible record per live key
+	live    []types.Key                // live keys, deterministic order
+	keyPos  map[types.Key]int
+	nextKey int
+
+	deltas []*types.Delta
+}
+
+func newDeltaGen(spec Spec, g *vgraph.Graph) *deltaGen {
+	rng := rand.New(rand.NewSource(spec.Seed + 1))
+	return &deltaGen{
+		spec:   spec,
+		g:      g,
+		rng:    rng,
+		zipf:   rand.NewZipf(rng, 1.2, 1, uint64(1<<31)),
+		docs:   docgen.New(spec.Seed + 2),
+		state:  make(map[types.Key]types.Record),
+		keyPos: make(map[types.Key]int),
+		deltas: make([]*types.Delta, g.NumVersions()),
+	}
+}
+
+// undoEntry records one inverse operation for backtracking.
+type undoEntry struct {
+	key      types.Key
+	prior    types.Record // record visible before this version touched key
+	hadPrior bool
+	// liveOp: 0 none, 1 = key was inserted (remove on undo),
+	// 2 = key was removed at position idx (restore on undo).
+	liveOp int
+	idx    int
+}
+
+func (d *deltaGen) run() ([]*types.Delta, error) {
+	var walk func(v types.VersionID) error
+	walk = func(v types.VersionID) error {
+		delta, undo := d.makeDelta(v)
+		d.deltas[v] = delta
+		for _, ch := range d.g.Children(v) {
+			if err := walk(ch); err != nil {
+				return err
+			}
+		}
+		d.applyUndo(undo)
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return nil, err
+	}
+	return d.deltas, nil
+}
+
+// makeDelta creates and applies the delta of version v against the current
+// state (its tree parent's contents), returning the undo log.
+func (d *deltaGen) makeDelta(v types.VersionID) (*types.Delta, []undoEntry) {
+	delta := &types.Delta{}
+	var undo []undoEntry
+
+	insert := func() {
+		key := KeyFor(d.nextKey)
+		d.nextKey++
+		rec := types.Record{
+			CK:    types.CompositeKey{Key: key, Version: v},
+			Value: d.docs.Document(key, d.spec.RecordSize),
+		}
+		delta.Adds = append(delta.Adds, rec)
+		undo = append(undo, undoEntry{key: key, liveOp: 1})
+		d.state[key] = rec
+		d.keyPos[key] = len(d.live)
+		d.live = append(d.live, key)
+	}
+
+	if v == 0 {
+		for i := 0; i < d.spec.RecordsPerVersion; i++ {
+			insert()
+		}
+		return delta, undo
+	}
+
+	u := int(d.spec.UpdatePct * float64(len(d.live)))
+	if u < 1 {
+		u = 1
+	}
+	nDel := int(d.spec.DeleteFrac * float64(u))
+	nIns := int(d.spec.InsertFrac * float64(u))
+	nMod := u - nDel - nIns
+	if nMod < 0 {
+		nMod = 0
+	}
+
+	// Draw distinct victim keys for modifications and deletions.
+	victims := d.pickDistinct(nMod + nDel)
+	for i, key := range victims {
+		old := d.state[key]
+		if i < nMod {
+			// Modification: a new record of the same key originates at v.
+			rec := types.Record{
+				CK:    types.CompositeKey{Key: key, Version: v},
+				Value: d.docs.Mutate(old.Value, d.pd()),
+			}
+			delta.Adds = append(delta.Adds, rec)
+			delta.Dels = append(delta.Dels, old.CK)
+			undo = append(undo, undoEntry{key: key, prior: old, hadPrior: true})
+			d.state[key] = rec
+			continue
+		}
+		// Deletion.
+		delta.Dels = append(delta.Dels, old.CK)
+		idx := d.keyPos[key]
+		undo = append(undo, undoEntry{key: key, prior: old, hadPrior: true, liveOp: 2, idx: idx})
+		last := len(d.live) - 1
+		moved := d.live[last]
+		d.live[idx] = moved
+		d.keyPos[moved] = idx
+		d.live = d.live[:last]
+		delete(d.keyPos, key)
+		delete(d.state, key)
+	}
+	for i := 0; i < nIns; i++ {
+		insert()
+	}
+	return delta, undo
+}
+
+func (d *deltaGen) pd() float64 {
+	if d.spec.Pd <= 0 || d.spec.Pd > 1 {
+		return 1
+	}
+	return d.spec.Pd
+}
+
+// pickDistinct draws n distinct live keys under the spec's distribution.
+func (d *deltaGen) pickDistinct(n int) []types.Key {
+	if n >= len(d.live) {
+		out := make([]types.Key, len(d.live))
+		copy(out, d.live)
+		return out
+	}
+	picked := make(map[int]struct{}, n)
+	out := make([]types.Key, 0, n)
+	attempts := 0
+	maxAttempts := 20*n + 100
+	for len(out) < n {
+		var idx int
+		if d.spec.Update == SkewedUpdate {
+			idx = int(d.zipf.Uint64() % uint64(len(d.live)))
+		} else {
+			idx = d.rng.Intn(len(d.live))
+		}
+		attempts++
+		if _, dup := picked[idx]; dup {
+			if attempts > maxAttempts {
+				// Zipf with few live keys can stall on hot indexes; fall
+				// back to a linear sweep for the remainder.
+				for i := 0; i < len(d.live) && len(out) < n; i++ {
+					if _, dup := picked[i]; !dup {
+						picked[i] = struct{}{}
+						out = append(out, d.live[i])
+					}
+				}
+				break
+			}
+			continue
+		}
+		picked[idx] = struct{}{}
+		out = append(out, d.live[idx])
+	}
+	return out
+}
+
+// applyUndo reverts one version's effects in reverse order.
+func (d *deltaGen) applyUndo(undo []undoEntry) {
+	for i := len(undo) - 1; i >= 0; i-- {
+		e := undo[i]
+		switch e.liveOp {
+		case 1: // inserted here: must currently be the last live key
+			last := len(d.live) - 1
+			d.live = d.live[:last]
+			delete(d.keyPos, e.key)
+			delete(d.state, e.key)
+		case 2: // removed here at e.idx: restore the swap-remove
+			last := len(d.live)
+			d.live = append(d.live, e.key)
+			if e.idx < last {
+				moved := d.live[e.idx] // the element swapped into idx
+				d.live[last] = moved
+				d.keyPos[moved] = last
+				d.live[e.idx] = e.key
+			}
+			d.keyPos[e.key] = e.idx
+			d.state[e.key] = e.prior
+		default: // modification: restore prior record
+			if e.hadPrior {
+				d.state[e.key] = e.prior
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"math/rand"
+
+	"rstore/internal/corpus"
+	"rstore/internal/types"
+)
+
+// QueryKind enumerates the paper's retrieval queries (§2.1, §5.4).
+type QueryKind int
+
+const (
+	// FullVersion is Q1: retrieve every record of one version.
+	FullVersion QueryKind = iota
+	// PartialVersion is Q2: retrieve records of one version within a
+	// primary-key range.
+	PartialVersion
+	// RecordEvolution is Q3: retrieve every record with a given primary
+	// key across all versions.
+	RecordEvolution
+	// PointRecord retrieves one record: a key within a version.
+	PointRecord
+)
+
+// Query is one workload element.
+type Query struct {
+	Kind    QueryKind
+	Version types.VersionID
+	Key     types.Key
+	// LoKey/HiKey bound a PartialVersion range, inclusive/exclusive.
+	LoKey, HiKey types.Key
+}
+
+// Workload generates a random query mix over a generated corpus,
+// reproducing the "randomly generated workload" of §5.4.
+type Workload struct {
+	rng *rand.Rand
+	c   *corpus.Corpus
+}
+
+// NewWorkload returns a deterministic workload generator.
+func NewWorkload(c *corpus.Corpus, seed int64) *Workload {
+	return &Workload{rng: rand.New(rand.NewSource(seed)), c: c}
+}
+
+// FullVersionQueries draws n uniformly random version-retrieval queries.
+func (w *Workload) FullVersionQueries(n int) []Query {
+	out := make([]Query, n)
+	for i := range out {
+		out[i] = Query{Kind: FullVersion, Version: w.randomVersion()}
+	}
+	return out
+}
+
+// PartialVersionQueries draws n range-retrieval queries; each covers
+// approximately frac of the key space of a random version.
+func (w *Workload) PartialVersionQueries(n int, frac float64) []Query {
+	keys := w.c.Keys()
+	out := make([]Query, n)
+	for i := range out {
+		width := int(frac * float64(len(keys)))
+		if width < 1 {
+			width = 1
+		}
+		start := w.rng.Intn(len(keys))
+		end := start + width
+		hi := types.Key("\xff")
+		if end < len(keys) {
+			hi = KeyFor(keyIndexOf(keys[start]) + width)
+		}
+		out[i] = Query{
+			Kind:    PartialVersion,
+			Version: w.randomVersion(),
+			LoKey:   keys[start],
+			HiKey:   hi,
+		}
+	}
+	return out
+}
+
+// RecordEvolutionQueries draws n evolution queries over random keys.
+func (w *Workload) RecordEvolutionQueries(n int) []Query {
+	keys := w.c.Keys()
+	out := make([]Query, n)
+	for i := range out {
+		out[i] = Query{Kind: RecordEvolution, Key: keys[w.rng.Intn(len(keys))]}
+	}
+	return out
+}
+
+// PointQueries draws n single-record lookups with keys guaranteed live in
+// the queried version (the interesting case; missing keys short-circuit in
+// the index).
+func (w *Workload) PointQueries(n int) []Query {
+	out := make([]Query, 0, n)
+	for len(out) < n {
+		v := w.randomVersion()
+		members, err := w.c.Members(v)
+		if err != nil || len(members) == 0 {
+			continue
+		}
+		rec := w.c.Record(members[w.rng.Intn(len(members))])
+		out = append(out, Query{Kind: PointRecord, Version: v, Key: rec.CK.Key})
+	}
+	return out
+}
+
+func (w *Workload) randomVersion() types.VersionID {
+	return types.VersionID(w.rng.Intn(w.c.NumVersions()))
+}
+
+// keyIndexOf parses the auto-increment ordinal back out of a generated key.
+func keyIndexOf(k types.Key) int {
+	n := 0
+	for _, c := range string(k)[1:] {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+
+	"rstore/internal/corpus"
+	"rstore/internal/docgen"
+	"rstore/internal/types"
+)
+
+func TestCatalogIntegrity(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Catalog() {
+		if seen[s.Name] {
+			t.Fatalf("duplicate dataset %s", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Versions <= 0 || s.RecordsPerVersion <= 0 || s.UpdatePct <= 0 || s.UpdatePct > 1 {
+			t.Fatalf("%s: bad parameters %+v", s.Name, s)
+		}
+	}
+	for _, name := range []string{"A0", "B1", "C0", "D2", "E", "F"} {
+		if _, err := SpecByName(name); err != nil {
+			t.Fatalf("SpecByName(%s): %v", name, err)
+		}
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s, _ := SpecByName("C0")
+	sc := s.Scaled(0.01, 0.01, 0.5)
+	if sc.Versions != 100 || sc.RecordsPerVersion != 200 {
+		t.Fatalf("scaled: %+v", sc)
+	}
+	if sc.AvgDepth >= s.AvgDepth {
+		t.Fatal("depth not scaled")
+	}
+	// Floors hold.
+	tiny := s.Scaled(0.00001, 0.00001, 0.00001)
+	if tiny.Versions < 3 || tiny.RecordsPerVersion < 8 || tiny.RecordSize < 64 {
+		t.Fatalf("floors violated: %+v", tiny)
+	}
+}
+
+func genSmall(t testing.TB, spec Spec) *corpusT {
+	t.Helper()
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("%s: corpus invalid: %v", spec.Name, err)
+	}
+	return c
+}
+
+func TestGeneratedDatasetShape(t *testing.T) {
+	spec := Spec{
+		Name: "shape", Versions: 50, AvgDepth: 12, RecordsPerVersion: 200,
+		UpdatePct: 0.10, Update: RandomUpdate, RecordSize: 128, Seed: 3,
+	}
+	c := genSmall(t, spec)
+	if c.NumVersions() != 50 {
+		t.Fatalf("versions = %d", c.NumVersions())
+	}
+	// Version cardinality stays approximately constant (deletes ≈ inserts).
+	for _, v := range []types.VersionID{0, 25, 49} {
+		m, err := c.Members(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m) < 180 || len(m) > 220 {
+			t.Fatalf("V%d has %d records, want ≈200", v, len(m))
+		}
+	}
+	// Update volume per version ≈ UpdatePct.
+	adds := len(c.Adds(20))
+	if adds < 10 || adds > 40 {
+		t.Fatalf("V20 has %d adds, want ≈20", adds)
+	}
+	// Root adds exactly RecordsPerVersion.
+	if len(c.Adds(0)) != 200 {
+		t.Fatalf("root adds %d", len(c.Adds(0)))
+	}
+	// Payloads are valid JSON documents.
+	var parsed map[string]any
+	if err := json.Unmarshal(c.Record(0).Value, &parsed); err != nil {
+		t.Fatalf("payload not JSON: %v", err)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	spec := Spec{
+		Name: "det", Versions: 30, AvgDepth: 8, RecordsPerVersion: 60,
+		UpdatePct: 0.2, Update: SkewedUpdate, RecordSize: 96, Seed: 7,
+	}
+	a := genSmall(t, spec)
+	b := genSmall(t, spec)
+	if a.NumRecords() != b.NumRecords() {
+		t.Fatalf("record counts differ: %d vs %d", a.NumRecords(), b.NumRecords())
+	}
+	for id := 0; id < a.NumRecords(); id++ {
+		ra, rb := a.Record(uint32(id)), b.Record(uint32(id))
+		if ra.CK != rb.CK || string(ra.Value) != string(rb.Value) {
+			t.Fatalf("record %d differs", id)
+		}
+	}
+}
+
+func TestPdBoundsMutations(t *testing.T) {
+	spec := Spec{
+		Name: "pd", Versions: 20, RecordsPerVersion: 50,
+		UpdatePct: 0.3, Update: RandomUpdate, RecordSize: 2048, Pd: 0.05, Seed: 9,
+	}
+	c := genSmall(t, spec)
+	// For every modified record (key exists with an earlier origin), the
+	// byte-difference from its predecessor stays near Pd.
+	checked := 0
+	for _, key := range c.Keys() {
+		ids := c.KeyRecords(key)
+		for i := 1; i < len(ids); i++ {
+			prev, cur := c.Record(ids[i-1]).Value, c.Record(ids[i]).Value
+			frac := docgen.DiffFraction(prev, cur)
+			if frac > 0.08 { // Pd + one field of slack
+				t.Fatalf("key %s rev %d: %.3f byte change (Pd=0.05)", key, i, frac)
+			}
+			checked++
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d modifications checked", checked)
+	}
+}
+
+func TestSkewedUpdatesConcentrate(t *testing.T) {
+	random := genSmall(t, Spec{
+		Name: "r", Versions: 60, RecordsPerVersion: 300,
+		UpdatePct: 0.1, Update: RandomUpdate, RecordSize: 64, Seed: 11,
+	})
+	skewed := genSmall(t, Spec{
+		Name: "s", Versions: 60, RecordsPerVersion: 300,
+		UpdatePct: 0.1, Update: SkewedUpdate, RecordSize: 64, Seed: 11,
+	})
+	// Zipf updates hit fewer distinct keys: the hottest key accumulates
+	// more revisions than under uniform selection.
+	maxRevs := func(c *corpusT) int {
+		best := 0
+		for _, k := range c.Keys() {
+			if n := len(c.KeyRecords(k)); n > best {
+				best = n
+			}
+		}
+		return best
+	}
+	if maxRevs(skewed) <= maxRevs(random) {
+		t.Fatalf("skew not visible: skewed max revs %d vs random %d",
+			maxRevs(skewed), maxRevs(random))
+	}
+}
+
+func TestWorkloadQueries(t *testing.T) {
+	c := genSmall(t, Spec{
+		Name: "q", Versions: 25, AvgDepth: 6, RecordsPerVersion: 40,
+		UpdatePct: 0.2, Update: RandomUpdate, RecordSize: 64, Seed: 13,
+	})
+	w := NewWorkload(c, 1)
+	q1 := w.FullVersionQueries(20)
+	if len(q1) != 20 {
+		t.Fatal("q1 count")
+	}
+	for _, q := range q1 {
+		if int(q.Version) >= c.NumVersions() {
+			t.Fatalf("q1 version %d out of range", q.Version)
+		}
+	}
+	q2 := w.PartialVersionQueries(20, 0.1)
+	for _, q := range q2 {
+		if q.LoKey >= q.HiKey {
+			t.Fatalf("q2 range [%s, %s) empty", q.LoKey, q.HiKey)
+		}
+	}
+	q3 := w.RecordEvolutionQueries(20)
+	for _, q := range q3 {
+		if len(c.KeyRecords(q.Key)) == 0 {
+			t.Fatalf("q3 key %s unknown", q.Key)
+		}
+	}
+	pq := w.PointQueries(10)
+	for _, q := range pq {
+		members, _ := c.Members(q.Version)
+		found := false
+		for _, id := range members {
+			if c.Record(id).CK.Key == q.Key {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("point query key %s not live in v%d", q.Key, q.Version)
+		}
+	}
+}
+
+func TestKeyFor(t *testing.T) {
+	if KeyFor(1) >= KeyFor(2) || KeyFor(99) >= KeyFor(100) {
+		t.Fatal("keys not lexicographically ordered by index")
+	}
+}
+
+// corpusT aliases the generated corpus type for test readability.
+type corpusT = corpus.Corpus

@@ -1,0 +1,124 @@
+// Package rstore is a distributed multi-version document store: a layer on
+// top of a distributed key-value store that compactly stores a large number
+// of versions (snapshots) of a collection of keyed documents while
+// efficiently answering record, full-version, partial-version, and
+// record-evolution queries.
+//
+// It is an independent reproduction of "RStore: A Distributed Multi-version
+// Document Store" (Bhattacherjee & Deshpande, ICDE 2018; arXiv:1802.07693).
+//
+// # Model
+//
+// The unit of storage is an immutable record identified by a composite key
+// ⟨primary key, origin version⟩. A commit derives a new version from a
+// parent by adding, modifying, and deleting records; version histories form
+// a branched graph. Records are deduplicated across versions and grouped
+// into approximately fixed-size chunks by a partitioning algorithm that
+// exploits the version graph, minimizing the number of chunks (the "span")
+// any retrieval has to touch. Multiple versions of one record can be
+// delta-compressed together in sub-chunks.
+//
+// # Quick start
+//
+//	st, _ := rstore.Open(rstore.Config{})
+//	v0, _ := st.Commit(rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
+//		"patient-1": []byte(`{"age":52}`),
+//	}})
+//	v1, _ := st.Commit(v0, rstore.Change{Puts: map[rstore.Key][]byte{
+//		"patient-1": []byte(`{"age":53}`),
+//	}})
+//	rec, _, _ := st.GetRecord("patient-1", v1)
+//
+// See examples/ for complete programs and internal/bench for the harness
+// that regenerates the paper's evaluation.
+package rstore
+
+import (
+	"rstore/internal/core"
+	"rstore/internal/kvstore"
+	"rstore/internal/partition"
+	"rstore/internal/types"
+)
+
+// Re-exported model types.
+type (
+	// Key is a record's primary key.
+	Key = types.Key
+	// VersionID identifies a committed version.
+	VersionID = types.VersionID
+	// CompositeKey is ⟨primary key, origin version⟩ — the global record id.
+	CompositeKey = types.CompositeKey
+	// Record is an immutable stored document.
+	Record = types.Record
+	// Delta is a set of record-level changes between two versions.
+	Delta = types.Delta
+	// Change is the commit payload: new values and deleted keys.
+	Change = core.Change
+	// Config configures a Store; the zero value is usable.
+	Config = core.Config
+	// Store is the versioned document store.
+	Store = core.Store
+	// QueryStats reports per-query retrieval costs.
+	QueryStats = core.QueryStats
+	// VersionDiff is the record-level difference between two versions.
+	VersionDiff = core.VersionDiff
+	// CacheStats reports chunk-cache effectiveness.
+	CacheStats = core.CacheStats
+	// Info is a snapshot of store-level statistics.
+	Info = core.Info
+)
+
+// NoParent is the parent of the first (root) commit.
+const NoParent = types.InvalidVersion
+
+// Sentinel errors (match with errors.Is).
+var (
+	ErrNotFound          = types.ErrNotFound
+	ErrVersionUnknown    = types.ErrVersionUnknown
+	ErrInconsistentDelta = types.ErrInconsistentDelta
+	ErrClosed            = types.ErrClosed
+	ErrReadOnly          = types.ErrReadOnly
+)
+
+// Open creates a store. With a zero Config it runs on a private single-node
+// in-process cluster with the calibrated cost model, Bottom-Up partitioning,
+// 1 MiB chunks, and no record-level compression.
+func Open(cfg Config) (*Store, error) { return core.Open(cfg) }
+
+// Load reopens a store persisted in cfg.KV.
+func Load(cfg Config) (*Store, error) { return core.Load(cfg) }
+
+// Cluster options for Config.KV.
+
+// ClusterConfig configures the backing key-value cluster.
+type ClusterConfig = kvstore.Config
+
+// CostModel is the cluster's simulated network cost model.
+type CostModel = kvstore.CostModel
+
+// OpenCluster creates an in-process distributed key-value cluster to back
+// one or more stores.
+func OpenCluster(cfg ClusterConfig) (*kvstore.Store, error) { return kvstore.Open(cfg) }
+
+// DefaultCostModel returns the Cassandra-calibrated cost model (see
+// internal/kvstore).
+func DefaultCostModel() CostModel { return kvstore.DefaultCostModel() }
+
+// Partitioning algorithms for Config.Partitioner.
+
+// Partitioner is a chunking algorithm.
+type Partitioner = partition.Algorithm
+
+// BottomUp returns the paper's Bottom-Up tree partitioner (§3.2), the
+// default and uniformly strongest choice. beta bounds the per-subtree set
+// count (0 = unlimited).
+func BottomUp(beta int) Partitioner { return partition.BottomUp{Beta: beta} }
+
+// Shingle returns the min-hash partitioner (§3.1).
+func Shingle(seed int64) Partitioner { return partition.Shingle{Seed: seed} }
+
+// DepthFirst returns the greedy DFS traversal partitioner (§3.3).
+func DepthFirst() Partitioner { return partition.DepthFirst{} }
+
+// BreadthFirst returns the greedy BFS traversal partitioner (§3.3).
+func BreadthFirst() Partitioner { return partition.BreadthFirst{} }

@@ -1,0 +1,148 @@
+package rstore_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rstore"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface.
+func TestFacadeEndToEnd(t *testing.T) {
+	kv, err := rstore.OpenCluster(rstore.ClusterConfig{
+		Nodes: 3, ReplicationFactor: 2, Cost: rstore.DefaultCostModel(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := rstore.Open(rstore.Config{
+		KV: kv, Partitioner: rstore.BottomUp(0), ChunkCapacity: 4096, SubChunkK: 2, BatchSize: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v0, err := st.Commit(rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
+		"x": []byte("x0"), "y": []byte("y0"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := st.Commit(v0, rstore.Change{Puts: map[rstore.Key][]byte{"x": []byte("x1")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := st.Commit(v1, rstore.Change{Deletes: []rstore.Key{"y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recs, stats, err := st.GetVersion(v2)
+	if err != nil || len(recs) != 1 || stats.Records != 1 {
+		t.Fatalf("GetVersion: %d records, %v", len(recs), err)
+	}
+	if string(recs[0].Value) != "x1" {
+		t.Fatalf("v2 x = %q", recs[0].Value)
+	}
+	if _, _, err := st.GetRecord("y", v2); !errors.Is(err, rstore.ErrNotFound) {
+		t.Fatalf("deleted key: %v", err)
+	}
+	hist, _, err := st.GetHistory("x")
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("history: %d, %v", len(hist), err)
+	}
+	if err := st.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.GetRecord("x", v0); err != nil {
+		t.Fatalf("after materialize: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Commit(v2, rstore.Change{}); !errors.Is(err, rstore.ErrClosed) {
+		t.Fatalf("commit after close: %v", err)
+	}
+}
+
+// Example demonstrates the basic commit/retrieve cycle.
+func Example() {
+	st, _ := rstore.Open(rstore.Config{})
+	v0, _ := st.Commit(rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
+		"patient-1": []byte(`{"age":52}`),
+	}})
+	v1, _ := st.Commit(v0, rstore.Change{Puts: map[rstore.Key][]byte{
+		"patient-1": []byte(`{"age":53}`),
+	}})
+	rec, _, _ := st.GetRecord("patient-1", v1)
+	old, _, _ := st.GetRecord("patient-1", v0)
+	fmt.Printf("now: %s, then: %s\n", rec.Value, old.Value)
+	// Output: now: {"age":53}, then: {"age":52}
+}
+
+// ExampleStore_GetHistory shows record-evolution retrieval.
+func ExampleStore_GetHistory() {
+	st, _ := rstore.Open(rstore.Config{})
+	parent := rstore.NoParent
+	for i := 0; i < 3; i++ {
+		v, _ := st.Commit(parent, rstore.Change{Puts: map[rstore.Key][]byte{
+			"doc": []byte(fmt.Sprintf(`{"rev":%d}`, i)),
+		}})
+		parent = v
+	}
+	history, _, _ := st.GetHistory("doc")
+	for _, r := range history {
+		fmt.Printf("v%d: %s\n", r.CK.Version, r.Value)
+	}
+	// Output:
+	// v0: {"rev":0}
+	// v1: {"rev":1}
+	// v2: {"rev":2}
+}
+
+// ExampleStore_GetRange shows partial version retrieval.
+func ExampleStore_GetRange() {
+	st, _ := rstore.Open(rstore.Config{})
+	v0, _ := st.Commit(rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
+		"a1": []byte("1"), "a2": []byte("2"), "b1": []byte("3"),
+	}})
+	recs, _, _ := st.GetRange("a", "b", v0)
+	for _, r := range recs {
+		fmt.Printf("%s=%s\n", r.CK.Key, r.Value)
+	}
+	// Output:
+	// a1=1
+	// a2=2
+}
+
+// TestFacadeBranchWorkflow exercises the VCS-style surface.
+func TestFacadeBranchWorkflow(t *testing.T) {
+	st, err := rstore.Open(rstore.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := st.Commit(rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{"d": []byte("0")}})
+	if err := st.SetBranch("main", v0); err != nil {
+		t.Fatal(err)
+	}
+	main, _ := st.Tip("main")
+	vExp, _ := st.Commit(main, rstore.Change{Puts: map[rstore.Key][]byte{"d": []byte("exp")}})
+	if err := st.SetBranch("experiment", vExp); err != nil {
+		t.Fatal(err)
+	}
+	// Merge experiment back.
+	vm, err := st.CommitMerge([]rstore.VersionID{main, vExp}, rstore.Change{
+		Puts: map[rstore.Key][]byte{"d": []byte("exp")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Graph().IsMerge(vm) {
+		t.Fatal("merge not recorded")
+	}
+	bs := st.Branches()
+	if len(bs) != 2 {
+		t.Fatalf("branches: %v", bs)
+	}
+}
