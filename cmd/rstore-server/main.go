@@ -5,6 +5,12 @@
 // Usage:
 //
 //	rstore-server -addr :8080 -nodes 4 -rf 2 [-store data.rstore]
+//	rstore-server -addr :8080 -backend disklog -data /var/lib/rstore
+//
+// With -backend disklog every node's data lives under the -data directory
+// and survives restarts: the server replays the segment files on boot and
+// reopens the store if one was previously committed there. The -store
+// snapshot file applies to the memory backend only.
 //
 // API (JSON):
 //
@@ -38,12 +44,15 @@ func main() {
 		batch     = flag.Int("batch", 16, "online partitioning batch size")
 		k         = flag.Int("k", 1, "max sub-chunk size (record compression)")
 		chunkKB   = flag.Int("chunk-kb", 1024, "chunk capacity in KiB")
-		storePath = flag.String("store", "", "snapshot file to restore from (optional)")
+		backend   = flag.String("backend", "memory", "storage backend: memory|disklog")
+		dataDir   = flag.String("data", "rstore-data", "data directory for -backend disklog")
+		storePath = flag.String("store", "", "snapshot file to restore from (memory backend only)")
 	)
 	flag.Parse()
 
 	kv, err := rstore.OpenCluster(rstore.ClusterConfig{
 		Nodes: *nodes, ReplicationFactor: *rf, Cost: rstore.DefaultCostModel(),
+		Engine: *backend, Dir: *dataDir,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -53,7 +62,21 @@ func main() {
 	}
 
 	var st *rstore.Store
-	if *storePath != "" {
+	switch {
+	case *backend == rstore.EngineDisklog:
+		// The data directory is the store; reopen it if one was committed.
+		exists, err := rstore.Exists(kv)
+		if err != nil {
+			log.Fatalf("probe %s: %v", *dataDir, err)
+		}
+		if exists {
+			st, err = rstore.Load(cfg)
+			if err != nil {
+				log.Fatalf("load %s: %v", *dataDir, err)
+			}
+			log.Printf("reopened %d versions from %s", st.NumVersions(), *dataDir)
+		}
+	case *storePath != "":
 		if f, err := os.Open(*storePath); err == nil {
 			if err := kv.Restore(f); err != nil {
 				log.Fatalf("restore %s: %v", *storePath, err)
@@ -71,11 +94,19 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if *backend == rstore.EngineDisklog {
+			// Establish the recovery root immediately: without a manifest,
+			// commits acknowledged before the first flush/SetBranch could
+			// not be replayed after a crash.
+			if err := st.Checkpoint(); err != nil {
+				log.Fatalf("checkpoint %s: %v", *dataDir, err)
+			}
+		}
 	}
 
 	h := server.New(st)
-	log.Printf("rstore-server listening on %s (nodes=%d rf=%d batch=%d k=%d)",
-		*addr, *nodes, *rf, *batch, *k)
+	log.Printf("rstore-server listening on %s (nodes=%d rf=%d batch=%d k=%d backend=%s)",
+		*addr, *nodes, *rf, *batch, *k, *backend)
 	if err := http.ListenAndServe(*addr, h); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -2,12 +2,19 @@
 // mirroring the application-server commands of paper §2.4: init, commit,
 // checkout (pull a version), get, history, log, and branch.
 //
-// State persists in a single snapshot file (default .rstore) via the
-// cluster's Dump/Restore; every mutating command rewrites it.
+// Two persistence modes, selected by -backend:
+//
+//   - memory (default): state persists in a single snapshot file (default
+//     .rstore) via the cluster's Dump/Restore; every mutating command
+//     rewrites it.
+//   - disklog: state lives in the log-structured data directory (-data,
+//     default <store>.d); every command reopens the cluster by replaying
+//     the segment files, and mutations are fsynced per batch.
 //
 // Usage:
 //
 //	rstore -store data.rstore init
+//	rstore -backend disklog -data data.d init
 //	rstore commit -branch main -put doc1=@file.json -put doc2='{"x":1}' -del doc3
 //	rstore log
 //	rstore checkout -version 3 -out dir/
@@ -36,9 +43,18 @@ func main() {
 
 func run(args []string) error {
 	global := flag.NewFlagSet("rstore", flag.ContinueOnError)
-	storePath := global.String("store", ".rstore", "snapshot file")
+	storePath := global.String("store", ".rstore", "snapshot file (memory backend)")
+	backend := global.String("backend", "memory", "storage backend: memory|disklog")
+	dataDir := global.String("data", "", "data directory for -backend disklog (default <store>.d)")
 	if err := global.Parse(args); err != nil {
 		return err
+	}
+	env := cliEnv{store: *storePath, backend: *backend, data: *dataDir}
+	if env.backend != rstore.EngineMemory && env.backend != rstore.EngineDisklog {
+		return fmt.Errorf("unknown -backend %q (want memory or disklog)", env.backend)
+	}
+	if env.data == "" {
+		env.data = env.store + ".d"
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
@@ -47,9 +63,24 @@ func run(args []string) error {
 	cmd, cmdArgs := rest[0], rest[1:]
 
 	if cmd == "init" {
-		kv, err := rstore.OpenCluster(rstore.ClusterConfig{Nodes: 1})
+		kv, err := env.openCluster()
 		if err != nil {
 			return err
+		}
+		// Idempotent with persist's close; releases the disklog directory
+		// lock on every error path too.
+		defer kv.Close()
+		if env.backend == rstore.EngineDisklog {
+			// A point probe, not a full Load: only a cleanly-missing
+			// manifest means "not initialized"; I/O errors must surface,
+			// not be silently re-initialized over.
+			exists, err := rstore.Exists(kv)
+			if err != nil {
+				return err
+			}
+			if exists {
+				return fmt.Errorf("store already initialized in %s", env.data)
+			}
 		}
 		st, err := rstore.Open(rstore.Config{KV: kv})
 		if err != nil {
@@ -64,17 +95,22 @@ func run(args []string) error {
 		if err := st.SetBranch("main", 0); err != nil {
 			return err
 		}
-		if err := save(kv, st, *storePath); err != nil {
+		if err := env.persist(kv, st); err != nil {
 			return err
 		}
-		fmt.Printf("initialized empty store at %s (root version 0, branch main)\n", *storePath)
+		where := env.store
+		if env.backend == rstore.EngineDisklog {
+			where = env.data
+		}
+		fmt.Printf("initialized empty store at %s (root version 0, branch main)\n", where)
 		return nil
 	}
 
-	kv, st, err := load(*storePath)
+	kv, st, err := env.load()
 	if err != nil {
 		return err
 	}
+	defer kv.Close() // no-op for memory; syncs and releases disklog files
 
 	switch cmd {
 	case "commit":
@@ -120,7 +156,7 @@ func run(args []string) error {
 		if err := st.SetBranch(*branch, v); err != nil {
 			return err
 		}
-		if err := save(kv, st, *storePath); err != nil {
+		if err := env.persist(kv, st); err != nil {
 			return err
 		}
 		fmt.Printf("committed version %d on %s (%d puts, %d deletes)\n",
@@ -227,7 +263,7 @@ func run(args []string) error {
 		if err := st.SetBranch(*name, rstore.VersionID(*version)); err != nil {
 			return err
 		}
-		if err := save(kv, st, *storePath); err != nil {
+		if err := env.persist(kv, st); err != nil {
 			return err
 		}
 		fmt.Printf("branch %s -> v%d\n", *name, *version)
@@ -266,13 +302,43 @@ func sanitize(key string) string {
 	}, key)
 }
 
-func load(path string) (*kvstore.Store, *rstore.Store, error) {
-	f, err := os.Open(path)
+// cliEnv is the persistence environment the global flags select.
+type cliEnv struct {
+	store   string // snapshot file (memory backend)
+	backend string // "memory" or "disklog"
+	data    string // disklog data directory
+}
+
+// openCluster opens the single-node cluster in the configured backend
+// (validated up front in run).
+func (e cliEnv) openCluster() (*kvstore.Store, error) {
+	return rstore.OpenCluster(rstore.ClusterConfig{Nodes: 1, Engine: e.backend, Dir: e.data})
+}
+
+// load reopens the persisted store: from the snapshot file (memory) or by
+// replaying the data directory's segment files (disklog).
+func (e cliEnv) load() (*kvstore.Store, *rstore.Store, error) {
+	if e.backend == rstore.EngineDisklog {
+		if _, err := os.Stat(e.data); err != nil {
+			return nil, nil, fmt.Errorf("open store %s (run init first): %w", e.data, err)
+		}
+		kv, err := e.openCluster()
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := rstore.Load(rstore.Config{KV: kv})
+		if err != nil {
+			kv.Close()
+			return nil, nil, fmt.Errorf("open store %s (run init first): %w", e.data, err)
+		}
+		return kv, st, nil
+	}
+	f, err := os.Open(e.store)
 	if err != nil {
-		return nil, nil, fmt.Errorf("open store %s (run init first): %w", path, err)
+		return nil, nil, fmt.Errorf("open store %s (run init first): %w", e.store, err)
 	}
 	defer f.Close()
-	kv, err := rstore.OpenCluster(rstore.ClusterConfig{Nodes: 1})
+	kv, err := e.openCluster()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -286,12 +352,17 @@ func load(path string) (*kvstore.Store, *rstore.Store, error) {
 	return kv, st, nil
 }
 
-// save atomically rewrites the snapshot file.
-func save(kv *kvstore.Store, st *rstore.Store, path string) error {
+// persist makes the store durable: flush pending versions, then rewrite the
+// snapshot file (memory) or fsync-and-release the segment files (disklog —
+// the flush itself committed every write durably; Close catches strays).
+func (e cliEnv) persist(kv *kvstore.Store, st *rstore.Store) error {
 	if err := st.Flush(); err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
+	if e.backend == rstore.EngineDisklog {
+		return kv.Close()
+	}
+	tmp := e.store + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
@@ -303,7 +374,7 @@ func save(kv *kvstore.Store, st *rstore.Store, path string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	return os.Rename(tmp, e.store)
 }
 
 // multiFlag collects repeatable string flags.

@@ -73,6 +73,79 @@ func TestCLILifecycle(t *testing.T) {
 	}
 }
 
+// runDiskCLI drives the command in disklog mode against a data directory.
+func runDiskCLI(t *testing.T, data string, args ...string) error {
+	t.Helper()
+	return run(append([]string{"-backend", "disklog", "-data", data}, args...))
+}
+
+// TestCLIDisklogLifecycle is the acceptance path: a store committed through
+// the CLI on the disklog backend is closed at the end of every command and
+// reopened (segment replay) by the next one, and must return identical
+// results throughout.
+func TestCLIDisklogLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "store.d")
+
+	if err := runDiskCLI(t, data, "init"); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(data, "node-0")); err != nil {
+		t.Fatalf("data directory missing: %v", err)
+	}
+	if err := runDiskCLI(t, data, "init"); err == nil {
+		t.Fatal("double init succeeded")
+	}
+
+	if err := runDiskCLI(t, data, "commit", "-put", `a={"x":1}`, "-put", "b=bee"); err != nil {
+		t.Fatalf("commit 1: %v", err)
+	}
+	if err := runDiskCLI(t, data, "commit", "-put", `a={"x":2}`, "-del", "b"); err != nil {
+		t.Fatalf("commit 2: %v", err)
+	}
+
+	// Every invocation is a full close + reopen; reads must serve the
+	// committed state.
+	for _, cmd := range [][]string{
+		{"log"},
+		{"get", "-key", "a", "-branch", "main"},
+		{"history", "-key", "a"},
+		{"stats"},
+	} {
+		if err := runDiskCLI(t, data, cmd...); err != nil {
+			t.Fatalf("%v: %v", cmd, err)
+		}
+	}
+
+	// Version-scan results across reopen: checkout of the tip and of the
+	// older version return the exact committed contents.
+	out := filepath.Join(dir, "co-tip")
+	if err := runDiskCLI(t, data, "checkout", "-branch", "main", "-out", out); err != nil {
+		t.Fatalf("checkout tip: %v", err)
+	}
+	if got, err := os.ReadFile(filepath.Join(out, "a")); err != nil || string(got) != `{"x":2}` {
+		t.Fatalf("tip a = %q, %v", got, err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "b")); err == nil {
+		t.Fatal("deleted key b materialized at tip")
+	}
+	outOld := filepath.Join(dir, "co-old")
+	if err := runDiskCLI(t, data, "checkout", "-version", "1", "-out", outOld); err != nil {
+		t.Fatalf("checkout old: %v", err)
+	}
+	if got, err := os.ReadFile(filepath.Join(outOld, "a")); err != nil || string(got) != `{"x":1}` {
+		t.Fatalf("old a = %q, %v", got, err)
+	}
+	if got, err := os.ReadFile(filepath.Join(outOld, "b")); err != nil || string(got) != "bee" {
+		t.Fatalf("old b = %q, %v", got, err)
+	}
+
+	// Commands before init on a fresh directory fail cleanly.
+	if err := runDiskCLI(t, filepath.Join(dir, "nope.d"), "log"); err == nil {
+		t.Fatal("log before init succeeded")
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	dir := t.TempDir()
 	store := filepath.Join(dir, "x.rstore")
@@ -85,6 +158,9 @@ func TestCLIErrors(t *testing.T) {
 	}
 	if err := runCLI(t, store, "bogus"); err == nil {
 		t.Fatal("unknown command accepted")
+	}
+	if err := run([]string{"-backend", "lsm", "log"}); err == nil || !strings.Contains(err.Error(), "backend") {
+		t.Fatalf("unknown backend: %v", err)
 	}
 	if err := runCLI(t, store, "init"); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,3 @@
+module rstore
+
+go 1.22

@@ -6,6 +6,7 @@ import (
 
 	"rstore/internal/chunk"
 	"rstore/internal/corpus"
+	"rstore/internal/kvstore"
 	"rstore/internal/types"
 )
 
@@ -104,7 +105,7 @@ func (s *Store) CommitDelta(parents []types.VersionID, delta *types.Delta) (type
 	for i := len(s.locs); i < s.corpus.NumRecords(); i++ {
 		s.locs = append(s.locs, chunk.Loc{Chunk: chunk.NoChunk})
 	}
-	if err := s.kv.Put(TableDeltaStore, deltaKey(v), encodeDelta(delta)); err != nil {
+	if err := s.kv.BatchPut(TableDeltaStore, []kvstore.Entry{{Key: deltaKey(v), Value: encodeDeltaEntry(parents, delta)}}); err != nil {
 		return types.InvalidVersion, err
 	}
 	s.pending = append(s.pending, v)
@@ -118,11 +119,15 @@ func (s *Store) CommitDelta(parents []types.VersionID, delta *types.Delta) (type
 }
 
 // ChunkStorageBytes sums the persisted chunk entry sizes (payloads + maps).
+// A backend scan failure reports zero; it is a stats helper, not a source of
+// truth.
 func (s *Store) ChunkStorageBytes() int64 {
 	var total int64
-	s.kv.Scan(TableChunks, func(_ string, value []byte) bool {
+	if err := s.kv.Scan(TableChunks, func(_ string, value []byte) bool {
 		total += int64(len(value))
 		return true
-	})
+	}); err != nil {
+		return 0
+	}
 	return total
 }

@@ -29,8 +29,17 @@ import (
 
 // Config configures a Store.
 type Config struct {
-	// KV is the backing cluster. Nil creates a private single-node store.
+	// KV is the backing cluster. Nil creates a private single-node store
+	// whose backend Engine and DataDir select; the Store then owns that
+	// cluster and closes it on Close.
 	KV *kvstore.Store
+	// Engine selects the storage backend of the private cluster created
+	// when KV is nil: kvstore.EngineMemory (default) or
+	// kvstore.EngineDisklog. Ignored when KV is set.
+	Engine string
+	// DataDir is the data directory for disk-backed engines of the private
+	// cluster. Required when Engine is kvstore.EngineDisklog.
+	DataDir string
 	// Partitioner is the chunking algorithm; nil means BottomUp.
 	Partitioner partition.Algorithm
 	// ChunkCapacity is the nominal chunk size C in bytes (default 1 MiB,
@@ -64,13 +73,22 @@ type Config struct {
 	CacheBytes int64
 }
 
-func (c Config) withDefaults() (Config, error) {
+// withDefaults fills in defaults; ownsKV reports that a private cluster was
+// created for this store and should be closed with it.
+func (c Config) withDefaults() (Config, bool, error) {
+	ownsKV := false
 	if c.KV == nil {
-		kv, err := kvstore.Open(kvstore.Config{Nodes: 1, Cost: kvstore.DefaultCostModel()})
+		kv, err := kvstore.Open(kvstore.Config{
+			Nodes:  1,
+			Cost:   kvstore.DefaultCostModel(),
+			Engine: c.Engine,
+			Dir:    c.DataDir,
+		})
 		if err != nil {
-			return c, err
+			return c, false, err
 		}
 		c.KV = kv
+		ownsKV = true
 	}
 	if c.Partitioner == nil {
 		c.Partitioner = partition.BottomUp{}
@@ -84,7 +102,7 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Slack <= 0 {
 		c.Slack = partition.DefaultSlack
 	}
-	return c, nil
+	return c, ownsKV, nil
 }
 
 // KVS table names used by the engine.

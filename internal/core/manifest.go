@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -8,6 +9,7 @@ import (
 	"rstore/internal/codec"
 	"rstore/internal/corpus"
 	"rstore/internal/index"
+	"rstore/internal/kvstore"
 	"rstore/internal/types"
 	"rstore/internal/vgraph"
 )
@@ -60,35 +62,78 @@ func (s *Store) saveManifest() error {
 		buf = codec.PutString(buf, name)
 		buf = codec.PutUvarint(buf, uint64(s.branches[name]))
 	}
-	return s.kv.Put(TableMeta, manifestKey, buf)
+	// BatchPut rather than Put: the manifest is the recovery root, and the
+	// batch path is the one durable backends fsync before acknowledging.
+	return s.kv.BatchPut(TableMeta, []kvstore.Entry{{Key: manifestKey, Value: buf}})
+}
+
+// Exists reports whether kv holds a persisted store (a manifest entry),
+// without the cost — or the repair side effects — of a full Load.
+func Exists(kv *kvstore.Store) (bool, error) {
+	_, err := kv.Get(TableMeta, manifestKey)
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, types.ErrNotFound) {
+		return false, nil
+	}
+	return false, err
+}
+
+// Checkpoint persists the manifest without running placement. Open writes
+// nothing, so a durable deployment must checkpoint once after creating a
+// fresh store: the manifest is the recovery root that Load replays
+// later-acknowledged commits against (flush and SetBranch refresh it as a
+// side effect).
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.mutable(); err != nil {
+		return err
+	}
+	return s.saveManifest()
 }
 
 // Load reopens a store previously persisted to kv: the manifest restores the
 // graph and delta structure, record payloads are recovered from chunk
 // entries and the delta store, and the in-memory placement state (locations,
 // chunk maps, projections) is rebuilt.
+//
+// Load also finishes what a crash interrupted. Flush persists in the order
+// chunks → projections → manifest → delta-store drain, so a crash leaves at
+// most (a) orphan chunk entries past the manifest's chunk count and stale
+// projection references to them — skipped, pruned, and (on writable stores)
+// deleted here, after which the still-pending versions simply re-flush — and
+// (b) leftover delta entries for versions the manifest already placed —
+// ignored and cleaned up. Commits acknowledged after the last manifest save
+// are replayed from their self-describing delta entries.
 func Load(cfg Config) (*Store, error) {
-	cfg, err := cfg.withDefaults()
+	cfg, ownsKV, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	kv := cfg.KV
+	fail := func(err error) (*Store, error) {
+		if ownsKV {
+			kv.Close()
+		}
+		return nil, err
+	}
 	raw, err := kv.Get(TableMeta, manifestKey)
 	if err != nil {
-		return nil, fmt.Errorf("rstore: load: %w", err)
+		return fail(fmt.Errorf("rstore: load: %w", err))
 	}
 
-	// Recover record payloads: every placed record from chunk entries,
-	// every pending record from the delta store.
+	// Recover record payloads and per-chunk state. Which chunks are live is
+	// only known once the manifest decodes, so collect everything first.
 	values := make(map[types.CompositeKey][]byte)
-	type slotLoc struct {
-		cid  chunk.ID
-		slot uint32
+	type chunkState struct {
+		recs []types.CompositeKey // slot → composite key
+		m    *chunk.Map
 	}
-	locOf := make(map[types.CompositeKey]slotLoc)
-	maps := make(map[chunk.ID]*chunk.Map)
+	chunks := make(map[chunk.ID]*chunkState)
 	var loadErr error
-	kv.Scan(TableChunks, func(key string, value []byte) bool {
+	scanErr := kv.Scan(TableChunks, func(key string, value []byte) bool {
 		var cid chunk.ID
 		if _, err := fmt.Sscanf(key, "c%08x", &cid); err != nil {
 			loadErr = fmt.Errorf("%w: bad chunk key %q", types.ErrCorrupt, key)
@@ -104,18 +149,35 @@ func Load(cfg Config) (*Store, error) {
 			loadErr = err
 			return false
 		}
+		cs := &chunkState{m: m, recs: make([]types.CompositeKey, len(recs))}
 		for slot, r := range recs {
 			values[r.CK] = r.Value
-			locOf[r.CK] = slotLoc{cid: cid, slot: uint32(slot)}
+			cs.recs[slot] = r.CK
 		}
-		maps[cid] = m
+		chunks[cid] = cs
 		return true
 	})
-	if loadErr != nil {
-		return nil, loadErr
+	if scanErr != nil {
+		return fail(scanErr)
 	}
-	kv.Scan(TableDeltaStore, func(key string, value []byte) bool {
-		d, err := decodeDelta(value)
+	if loadErr != nil {
+		return fail(loadErr)
+	}
+
+	// Delta store: record payloads for pending versions, plus whole entries
+	// keyed by version for the replay of unmanifested commits below.
+	type deltaEntry struct {
+		parents []types.VersionID
+		delta   *types.Delta
+	}
+	deltas := make(map[types.VersionID]deltaEntry)
+	scanErr = kv.Scan(TableDeltaStore, func(key string, value []byte) bool {
+		var v uint32
+		if _, err := fmt.Sscanf(key, "d%08x", &v); err != nil {
+			loadErr = fmt.Errorf("%w: bad delta key %q", types.ErrCorrupt, key)
+			return false
+		}
+		parents, d, err := decodeDeltaEntry(value)
 		if err != nil {
 			loadErr = err
 			return false
@@ -123,41 +185,100 @@ func Load(cfg Config) (*Store, error) {
 		for _, r := range d.Adds {
 			values[r.CK] = r.Value
 		}
+		deltas[types.VersionID(v)] = deltaEntry{parents: parents, delta: d}
 		return true
 	})
+	if scanErr != nil {
+		return fail(scanErr)
+	}
 	if loadErr != nil {
-		return nil, loadErr
+		return fail(loadErr)
 	}
 
 	s, err := decodeManifest(raw, cfg, values)
 	if err != nil {
-		return nil, err
+		return fail(err)
+	}
+	s.ownsKV = ownsKV
+
+	// Replay commits acknowledged after the last manifest save: contiguous
+	// delta entries starting at the manifest's version count. They rejoin
+	// the pending set and place on the next flush.
+	manifestVersions := types.VersionID(s.graph.NumVersions())
+	for v := manifestVersions; ; v++ {
+		e, ok := deltas[v]
+		if !ok {
+			break
+		}
+		var got types.VersionID
+		if len(e.parents) > 0 && e.parents[0] == types.InvalidVersion {
+			got, err = s.graph.AddRoot()
+		} else {
+			got, err = s.graph.AddVersion(e.parents...)
+		}
+		if err != nil {
+			return fail(fmt.Errorf("%w: replaying commit %d: %v", types.ErrCorrupt, v, err))
+		}
+		if got != v {
+			return fail(fmt.Errorf("%w: replayed commit %d got id %d", types.ErrCorrupt, v, got))
+		}
+		if err := s.corpus.AddVersionDelta(v, e.delta); err != nil {
+			return fail(fmt.Errorf("%w: replaying commit %d: %v", types.ErrCorrupt, v, err))
+		}
+		s.noteNewKeys(e.delta)
+		s.pending = append(s.pending, v)
+		s.pendingSet[v] = true
 	}
 
-	// Rebuild placement state.
+	// Rebuild placement state from the live chunks; entries at or past the
+	// manifest's chunk count are orphans of an interrupted flush (their
+	// versions are still pending, so nothing is lost by dropping them).
 	s.locs = make([]chunk.Loc, s.corpus.NumRecords())
 	for i := range s.locs {
 		s.locs[i] = chunk.Loc{Chunk: chunk.NoChunk}
 	}
-	for ck, sl := range locOf {
-		id, ok := s.corpus.IDForCK(ck)
-		if !ok {
-			return nil, fmt.Errorf("%w: chunked record %v not in manifest", types.ErrCorrupt, ck)
-		}
-		s.locs[id] = chunk.Loc{Chunk: sl.cid, Slot: sl.slot}
-	}
 	s.maps = make([]*chunk.Map, s.numChunks)
-	for cid, m := range maps {
-		if int(cid) >= len(s.maps) {
-			return nil, fmt.Errorf("%w: chunk %d beyond manifest count %d", types.ErrCorrupt, cid, s.numChunks)
+	var orphanChunks []chunk.ID
+	for cid, cs := range chunks {
+		if uint32(cid) >= s.numChunks {
+			orphanChunks = append(orphanChunks, cid)
+			continue
 		}
-		s.maps[cid] = m
+		for slot, ck := range cs.recs {
+			id, ok := s.corpus.IDForCK(ck)
+			if !ok {
+				return fail(fmt.Errorf("%w: chunked record %v not in manifest", types.ErrCorrupt, ck))
+			}
+			s.locs[id] = chunk.Loc{Chunk: cid, Slot: uint32(slot)}
+		}
+		s.maps[cid] = cs.m
 	}
 	proj, err := index.Load(kv)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
+	// Projection references to orphan chunks (a crash between the
+	// projection save and the manifest save) would index past s.maps.
+	proj.PruneChunks(chunk.ID(s.numChunks))
 	s.proj = proj
+
+	// Repair: writable stores drop the crash leftovers so they cannot
+	// collide with the chunk ids the next flush assigns. Read-only replicas
+	// only pruned in memory, which queries never look past.
+	if !cfg.ReadOnly {
+		for _, cid := range orphanChunks {
+			if err := kv.Delete(TableChunks, chunk.KVKey(cid)); err != nil {
+				return fail(err)
+			}
+		}
+		for v := range deltas {
+			if v < manifestVersions && !s.pendingSet[v] {
+				if err := kv.Delete(TableDeltaStore, deltaKey(v)); err != nil {
+					return fail(err)
+				}
+			}
+		}
+	}
 	return s, nil
 }
 

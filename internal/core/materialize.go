@@ -6,6 +6,7 @@ import (
 	"rstore/internal/chunk"
 	"rstore/internal/codec"
 	"rstore/internal/index"
+	"rstore/internal/kvstore"
 	"rstore/internal/subchunk"
 	"rstore/internal/types"
 )
@@ -53,36 +54,46 @@ func (s *Store) materializeLocked() error {
 	proj.Normalize()
 
 	// A full repartition supersedes every previously written chunk and
-	// index entry; stale ones (e.g. chunks created by earlier online
-	// flushes beyond the new chunk count) must not survive, or a reload
-	// would resurrect them.
-	if err := s.clearTable(TableChunks); err != nil {
+	// index entry. New entries overwrite in place (chunk ids restart at 0);
+	// stale leftovers past the new counts are deleted only after the new
+	// manifest commits, so a crash during cleanup loses nothing. NOTE: a
+	// crash while the chunk entries themselves are being overwritten can
+	// still strand the old manifest against new chunk contents — making the
+	// offline repartition fully crash-safe needs epoch-prefixed chunk keys
+	// (see ROADMAP); the hot online flush path has no such window.
+	staleChunks, err := s.tableKeys(TableChunks)
+	if err != nil {
 		return err
 	}
-	if err := s.clearTable(index.TableVersionIndex); err != nil {
+	staleVIdx, err := s.tableKeys(index.TableVersionIndex)
+	if err != nil {
 		return err
 	}
-	if err := s.clearTable(index.TableKeyIndex); err != nil {
+	staleKIdx, err := s.tableKeys(index.TableKeyIndex)
+	if err != nil {
 		return err
 	}
 
-	// Persist chunk entries (payload + map in one value) and projections.
+	// Persist chunk entries (payload + map in one value) as one batched
+	// write, then projections, then the manifest (the commit point).
+	entries := make([]kvstore.Entry, 0, len(built.Payloads))
+	newChunkKeys := make(map[string]bool, len(built.Payloads))
 	for cid := range built.Payloads {
-		entry := encodeChunkEntry(built.Payloads[cid], built.Maps[cid])
-		if err := s.kv.Put(TableChunks, chunk.KVKey(chunk.ID(cid)), entry); err != nil {
-			return err
-		}
+		key := chunk.KVKey(chunk.ID(cid))
+		newChunkKeys[key] = true
+		entries = append(entries, kvstore.Entry{
+			Key:   key,
+			Value: encodeChunkEntry(built.Payloads[cid], built.Maps[cid]),
+		})
+	}
+	if err := s.kv.BatchPut(TableChunks, entries); err != nil {
+		return err
 	}
 	if err := proj.Save(s.kv); err != nil {
 		return err
 	}
-	// Every version is now placed; drain the write store.
-	for _, v := range s.pending {
-		if err := s.kv.Delete(TableDeltaStore, deltaKey(v)); err != nil {
-			return err
-		}
-	}
 
+	flushed := s.pending
 	s.locs = built.Locs
 	s.maps = built.Maps
 	s.proj = proj
@@ -90,22 +101,62 @@ func (s *Store) materializeLocked() error {
 	s.pending = nil
 	s.pendingSet = make(map[types.VersionID]bool)
 	s.cache.reset() // every chunk id was reassigned
-	return s.saveManifest()
+	if err := s.saveManifest(); err != nil {
+		return err
+	}
+
+	// Cleanup after the commit point: superseded chunk/index entries and
+	// the drained write store.
+	vKeys, kKeys := proj.EntryKeys()
+	if err := s.deleteStale(TableChunks, staleChunks, newChunkKeys); err != nil {
+		return err
+	}
+	if err := s.deleteStale(index.TableVersionIndex, staleVIdx, stringSet(vKeys)); err != nil {
+		return err
+	}
+	if err := s.deleteStale(index.TableKeyIndex, staleKIdx, stringSet(kKeys)); err != nil {
+		return err
+	}
+	for _, v := range flushed {
+		if err := s.kv.Delete(TableDeltaStore, deltaKey(v)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// clearTable removes every entry of a KVS table.
-func (s *Store) clearTable(table string) error {
+// tableKeys lists every key of a KVS table.
+func (s *Store) tableKeys(table string) ([]string, error) {
 	var keys []string
-	s.kv.Scan(table, func(k string, _ []byte) bool {
+	if err := s.kv.Scan(table, func(k string, _ []byte) bool {
 		keys = append(keys, k)
 		return true
-	})
-	for _, k := range keys {
+	}); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}
+
+// deleteStale removes the keys of a table that the new generation did not
+// overwrite.
+func (s *Store) deleteStale(table string, old []string, live map[string]bool) error {
+	for _, k := range old {
+		if live[k] {
+			continue
+		}
 		if err := s.kv.Delete(table, k); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+func stringSet(keys []string) map[string]bool {
+	out := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		out[k] = true
+	}
+	return out
 }
 
 // encodeChunkEntry packs a chunk payload and its chunk map into the single

@@ -7,6 +7,7 @@ import (
 	"rstore/internal/bitset"
 	"rstore/internal/chunk"
 	"rstore/internal/codec"
+	"rstore/internal/kvstore"
 	"rstore/internal/partition"
 	"rstore/internal/types"
 	"rstore/internal/vgraph"
@@ -100,22 +101,40 @@ func (s *Store) flushLocked() error {
 	s.proj.Normalize()
 
 	// Persist: every touched chunk entry is rewritten once per batch (the
-	// paper's rebuild-instead-of-fetch optimization), then projections for
-	// the affected versions/keys, then the write store drains.
+	// paper's rebuild-instead-of-fetch optimization) in one batched write —
+	// grouped per replica node, one durability sync per node — then
+	// projections for the affected versions/keys, then the write store
+	// drains.
+	entries := make([]kvstore.Entry, 0, len(touched))
 	for cid := range touched {
 		payload, err := s.payloadOf(cid)
 		if err != nil {
 			return err
 		}
-		entry := encodeChunkEntry(payload, s.maps[cid])
-		if err := s.kv.Put(TableChunks, chunk.KVKey(cid), entry); err != nil {
-			return err
-		}
+		entries = append(entries, kvstore.Entry{
+			Key:   chunk.KVKey(cid),
+			Value: encodeChunkEntry(payload, s.maps[cid]),
+		})
+	}
+	if err := s.kv.BatchPut(TableChunks, entries); err != nil {
+		return err
 	}
 	if err := s.proj.Save(s.kv); err != nil {
 		return err
 	}
-	for _, v := range s.pending {
+	// Commit point: the manifest must land BEFORE the write store drains.
+	// Crash-ordering contract with Load: chunks → projections → manifest →
+	// delta deletes. A crash before the manifest leaves orphan chunks and
+	// stale projection rows that Load skips/prunes (the versions are still
+	// pending and re-flush); a crash after it leaves only stale delta
+	// entries that Load garbage-collects.
+	flushed := s.pending
+	s.pending = nil
+	s.pendingSet = make(map[types.VersionID]bool)
+	if err := s.saveManifest(); err != nil {
+		return err
+	}
+	for _, v := range flushed {
 		if err := s.kv.Delete(TableDeltaStore, deltaKey(v)); err != nil {
 			return err
 		}
@@ -123,11 +142,6 @@ func (s *Store) flushLocked() error {
 	// Rewritten chunk entries must not be served from cache.
 	for cid := range touched {
 		s.cache.invalidate(cid)
-	}
-	s.pending = nil
-	s.pendingSet = make(map[types.VersionID]bool)
-	if err := s.saveManifest(); err != nil {
-		return err
 	}
 
 	// Periodic full repartitioning (§4's pragmatic combination).

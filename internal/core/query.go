@@ -395,7 +395,7 @@ func (s *Store) fetchDeltas(versions []types.VersionID, stats *QueryStats) ([]*t
 	stats.Span += len(versions)
 	out := make([]*types.Delta, len(versions))
 	for i, val := range res.Values {
-		d, err := decodeDelta(val)
+		_, d, err := decodeDeltaEntry(val)
 		if err != nil {
 			return nil, err
 		}

@@ -52,11 +52,15 @@ type Store struct {
 
 	branches map[string]types.VersionID
 	closed   bool
+
+	// ownsKV marks a private cluster created by withDefaults; Close closes
+	// it along with the store.
+	ownsKV bool
 }
 
 // Open creates an empty store.
 func Open(cfg Config) (*Store, error) {
-	cfg, err := cfg.withDefaults()
+	cfg, ownsKV, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
@@ -71,6 +75,7 @@ func Open(cfg Config) (*Store, error) {
 		keyStates:  newKeyStateCache(4),
 		branches:   map[string]types.VersionID{"main": types.InvalidVersion},
 		cache:      newChunkCache(cfg.CacheBytes),
+		ownsKV:     ownsKV,
 	}, nil
 }
 
@@ -101,17 +106,24 @@ func (s *Store) PendingVersions() int {
 	return len(s.pending)
 }
 
-// Close flushes pending versions (writable stores only) and marks the
-// store closed.
+// Close flushes pending versions (writable stores only), marks the store
+// closed, and — when the store created its own private cluster — closes the
+// cluster's backends too. Closing twice is a no-op.
 func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
 	if !s.cfg.ReadOnly {
-		if err := s.Flush(); err != nil {
+		if err := s.flushLocked(); err != nil {
 			return err
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.closed = true
+	if s.ownsKV {
+		return s.kv.Close()
+	}
 	return nil
 }
 
@@ -184,8 +196,10 @@ func (s *Store) CommitMerge(parents []types.VersionID, ch Change) (types.Version
 		s.locs = append(s.locs, chunk.Loc{Chunk: chunk.NoChunk})
 	}
 
-	// Persist the delta in the write store.
-	if err := s.kv.Put(TableDeltaStore, deltaKey(v), encodeDelta(delta)); err != nil {
+	// Persist the delta in the write store. Commit promises the delta is
+	// durable once the version id is returned, so this goes through the
+	// batch path (the one durable backends fsync before acknowledging).
+	if err := s.kv.BatchPut(TableDeltaStore, []kvstore.Entry{{Key: deltaKey(v), Value: encodeDeltaEntry(parents, delta)}}); err != nil {
 		return types.InvalidVersion, err
 	}
 	s.pending = append(s.pending, v)
@@ -366,7 +380,35 @@ func cloneKeyState(st map[types.Key]types.CompositeKey) map[types.Key]types.Comp
 // deltaKey renders the delta-store key of a version.
 func deltaKey(v types.VersionID) string { return fmt.Sprintf("d%08x", uint32(v)) }
 
-// encodeDelta / decodeDelta persist deltas in the write store.
-func encodeDelta(d *types.Delta) []byte { return codec.PutDelta(nil, d) }
+// encodeDeltaEntry / decodeDeltaEntry persist a version's parents and delta
+// in the write store. Carrying the parents makes each entry self-describing:
+// a commit acknowledged after the last manifest save is replayed on Load
+// from its delta entry alone, honoring Commit's durability promise.
+func encodeDeltaEntry(parents []types.VersionID, d *types.Delta) []byte {
+	buf := codec.PutUvarint(nil, uint64(len(parents)))
+	for _, p := range parents {
+		buf = codec.PutUvarint(buf, uint64(uint32(p)))
+	}
+	return codec.PutDelta(buf, d)
+}
 
-func decodeDelta(buf []byte) (*types.Delta, error) { return codec.DecodeDelta(buf) }
+func decodeDeltaEntry(buf []byte) ([]types.VersionID, *types.Delta, error) {
+	np, rest, err := codec.Uvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	parents := make([]types.VersionID, np)
+	for i := range parents {
+		var p uint64
+		p, rest, err = codec.Uvarint(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		parents[i] = types.VersionID(uint32(p))
+	}
+	d, err := codec.DecodeDelta(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	return parents, d, nil
+}

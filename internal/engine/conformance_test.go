@@ -1,0 +1,313 @@
+// Conformance suite: every engine.Backend implementation must pass these
+// semantics — put/get/delete/batch/scan behavior, overwrite accounting,
+// value isolation, table isolation, and concurrent access. New backends
+// (pebble, tiered, remote) get their correctness contract by adding a row
+// to backends().
+package engine_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"rstore/internal/engine"
+	"rstore/internal/engine/disklog"
+	"rstore/internal/engine/memory"
+)
+
+// backends enumerates every implementation under test. Each factory returns
+// a fresh empty backend; cleanup is the test's TempDir/Close machinery.
+func backends(t *testing.T) map[string]func(t *testing.T) engine.Backend {
+	t.Helper()
+	return map[string]func(t *testing.T) engine.Backend{
+		"memory": func(t *testing.T) engine.Backend { return memory.New() },
+		"disklog": func(t *testing.T) engine.Backend {
+			b, err := disklog.Open(t.TempDir(), disklog.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		},
+	}
+}
+
+// forEachBackend runs fn against every backend implementation.
+func forEachBackend(t *testing.T, fn func(t *testing.T, b engine.Backend)) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			b := mk(t)
+			defer b.Close()
+			fn(t, b)
+		})
+	}
+}
+
+func mustGet(t *testing.T, b engine.Backend, table, key string) []byte {
+	t.Helper()
+	v, ok, err := b.Get(table, key)
+	if err != nil {
+		t.Fatalf("Get(%s,%s): %v", table, key, err)
+	}
+	if !ok {
+		t.Fatalf("Get(%s,%s): missing", table, key)
+	}
+	return v
+}
+
+func mustMissing(t *testing.T, b engine.Backend, table, key string) {
+	t.Helper()
+	if _, ok, err := b.Get(table, key); err != nil || ok {
+		t.Fatalf("Get(%s,%s) = present, err=%v; want missing", table, key, err)
+	}
+}
+
+func TestConformancePutGetOverwrite(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b engine.Backend) {
+		if err := b.Put("t", "k1", []byte("hello")); err != nil {
+			t.Fatal(err)
+		}
+		if got := mustGet(t, b, "t", "k1"); string(got) != "hello" {
+			t.Fatalf("got %q", got)
+		}
+		if n := b.BytesStored(); n != 5 {
+			t.Fatalf("BytesStored = %d, want 5", n)
+		}
+		// Overwrite replaces the accounting, not adds to it.
+		if err := b.Put("t", "k1", []byte("hi")); err != nil {
+			t.Fatal(err)
+		}
+		if got := mustGet(t, b, "t", "k1"); string(got) != "hi" {
+			t.Fatalf("after overwrite: %q", got)
+		}
+		if n := b.BytesStored(); n != 2 {
+			t.Fatalf("BytesStored after overwrite = %d, want 2", n)
+		}
+		mustMissing(t, b, "t", "nope")
+		// Empty values are legal and distinct from missing.
+		if err := b.Put("t", "empty", nil); err != nil {
+			t.Fatal(err)
+		}
+		if v := mustGet(t, b, "t", "empty"); len(v) != 0 {
+			t.Fatalf("empty value = %q", v)
+		}
+	})
+}
+
+func TestConformanceDelete(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b engine.Backend) {
+		if err := b.Put("t", "k", []byte("vvvv")); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Delete("t", "k"); err != nil {
+			t.Fatal(err)
+		}
+		mustMissing(t, b, "t", "k")
+		if n := b.BytesStored(); n != 0 {
+			t.Fatalf("BytesStored after delete = %d", n)
+		}
+		// Deleting a missing key is a no-op, repeatedly.
+		if err := b.Delete("t", "k"); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Delete("other", "never-existed"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestConformanceBatchPut(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b engine.Backend) {
+		var entries []engine.Entry
+		for i := 0; i < 50; i++ {
+			entries = append(entries, engine.Entry{
+				Key:   fmt.Sprintf("k%02d", i),
+				Value: []byte(fmt.Sprintf("value-%02d", i)),
+			})
+		}
+		// A duplicate key inside one batch: the later entry wins.
+		entries = append(entries, engine.Entry{Key: "k00", Value: []byte("winner")})
+		if err := b.BatchPut("t", entries); err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < 50; i++ {
+			want := fmt.Sprintf("value-%02d", i)
+			if got := mustGet(t, b, "t", fmt.Sprintf("k%02d", i)); string(got) != want {
+				t.Fatalf("k%02d = %q, want %q", i, got, want)
+			}
+		}
+		if got := mustGet(t, b, "t", "k00"); string(got) != "winner" {
+			t.Fatalf("k00 = %q, want winner (last entry wins)", got)
+		}
+		// Empty batch is a no-op.
+		if err := b.BatchPut("t", nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestConformanceScan(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b engine.Backend) {
+		want := map[string]string{}
+		for i := 0; i < 40; i++ {
+			k := fmt.Sprintf("k%02d", i)
+			want[k] = "v" + k
+			if err := b.Put("t", k, []byte("v"+k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := map[string]int{}
+		if err := b.Scan("t", func(k string, v []byte) bool {
+			got[k]++
+			if string(v) != want[k] {
+				t.Fatalf("scan %s = %q, want %q", k, v, want[k])
+			}
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("scanned %d keys, want %d", len(got), len(want))
+		}
+		for k, n := range got {
+			if n != 1 {
+				t.Fatalf("key %s visited %d times", k, n)
+			}
+		}
+		// Early stop.
+		count := 0
+		if err := b.Scan("t", func(string, []byte) bool { count++; return count < 5 }); err != nil {
+			t.Fatal(err)
+		}
+		if count != 5 {
+			t.Fatalf("early stop visited %d", count)
+		}
+		// Scanning an absent table visits nothing.
+		if err := b.Scan("absent", func(string, []byte) bool {
+			t.Fatal("visited a key of an absent table")
+			return false
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestConformanceTableIsolation(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b engine.Backend) {
+		if err := b.Put("t1", "k", []byte("one")); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Put("t2", "k", []byte("two")); err != nil {
+			t.Fatal(err)
+		}
+		if got := mustGet(t, b, "t1", "k"); string(got) != "one" {
+			t.Fatalf("t1/k = %q", got)
+		}
+		if got := mustGet(t, b, "t2", "k"); string(got) != "two" {
+			t.Fatalf("t2/k = %q", got)
+		}
+		if err := b.Delete("t1", "k"); err != nil {
+			t.Fatal(err)
+		}
+		mustMissing(t, b, "t1", "k")
+		if got := mustGet(t, b, "t2", "k"); string(got) != "two" {
+			t.Fatalf("t2/k after deleting t1/k = %q", got)
+		}
+		tables, err := b.Tables()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tables) != 1 || tables[0] != "t2" {
+			t.Fatalf("Tables = %v, want [t2]", tables)
+		}
+	})
+}
+
+func TestConformanceValueIsolation(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b engine.Backend) {
+		v := []byte("mutable")
+		if err := b.Put("t", "k", v); err != nil {
+			t.Fatal(err)
+		}
+		v[0] = 'X' // caller mutates after put
+		if got := mustGet(t, b, "t", "k"); string(got) != "mutable" {
+			t.Fatal("put did not defend against caller mutation")
+		}
+		got := mustGet(t, b, "t", "k")
+		got[0] = 'Y' // caller mutates the response
+		if again := mustGet(t, b, "t", "k"); string(again) != "mutable" {
+			t.Fatal("get returned aliased storage")
+		}
+		// Same for the batch path.
+		bv := []byte("batched")
+		if err := b.BatchPut("t", []engine.Entry{{Key: "bk", Value: bv}}); err != nil {
+			t.Fatal(err)
+		}
+		bv[0] = 'Z'
+		if got := mustGet(t, b, "t", "bk"); string(got) != "batched" {
+			t.Fatal("batch put did not defend against caller mutation")
+		}
+	})
+}
+
+func TestConformanceConcurrentAccess(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b engine.Backend) {
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					k := fmt.Sprintf("w%d-k%d", w, i)
+					if err := b.Put("t", k, []byte(k)); err != nil {
+						t.Error(err)
+						return
+					}
+					v, ok, err := b.Get("t", k)
+					if err != nil || !ok || string(v) != k {
+						t.Errorf("%s: %q %v %v", k, v, ok, err)
+						return
+					}
+					if i%10 == 0 {
+						if err := b.Scan("t", func(string, []byte) bool { return false }); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if n := b.BytesStored(); n <= 0 {
+			t.Fatalf("BytesStored = %d after concurrent writes", n)
+		}
+	})
+}
+
+func TestConformanceClosedOperationsFail(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b engine.Backend) {
+		if err := b.Put("t", "k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Put("t", "k2", []byte("v")); err == nil {
+			t.Fatal("Put after Close succeeded")
+		}
+		if _, _, err := b.Get("t", "k"); err == nil {
+			t.Fatal("Get after Close succeeded")
+		}
+		if err := b.Delete("t", "k"); err == nil {
+			t.Fatal("Delete after Close succeeded")
+		}
+		if err := b.BatchPut("t", []engine.Entry{{Key: "x", Value: nil}}); err == nil {
+			t.Fatal("BatchPut after Close succeeded")
+		}
+		if err := b.Scan("t", func(string, []byte) bool { return true }); err == nil {
+			t.Fatal("Scan after Close succeeded")
+		}
+		if _, err := b.Tables(); err == nil {
+			t.Fatal("Tables after Close succeeded")
+		}
+	})
+}

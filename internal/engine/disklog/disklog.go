@@ -1,0 +1,503 @@
+// Package disklog implements engine.Backend as a log-structured disk store:
+// writes append length-prefixed, checksummed records to segment files, an
+// in-memory index maps each live (table, key) to the position of its value
+// on disk, and opening a directory replays the segments to rebuild the index
+// (LSM-style recovery, without compaction yet — dead record space is
+// reclaimed only by copying into a fresh backend).
+//
+// Durability contract: BatchPut fsyncs before acknowledging (fsync-on-batch,
+// the unit RStore's flush path commits in), Close fsyncs, and single Put /
+// Delete are durable no later than the next batch or Close. A torn write
+// from a crash can therefore only affect the un-acknowledged tail of the
+// last segment; replay detects it by checksum/length and truncates it.
+//
+// On-disk format, per segment file (seg-NNNNNN.log):
+//
+//	record  := length(uint32 LE) crc32(uint32 LE, of body) body
+//	body    := kind(1 byte) table(uvarint-len string) key(uvarint-len string) value
+//	kind    := 1 (put: value is the rest of the body) | 2 (delete: empty value)
+package disklog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"syscall"
+
+	"rstore/internal/codec"
+	"rstore/internal/engine"
+	"rstore/internal/types"
+)
+
+const (
+	recPut = 1
+	recDel = 2
+
+	// frameSize is the fixed record prefix: body length + body checksum.
+	frameSize = 8
+
+	// maxBody bounds a single record body (1 GiB); larger lengths during
+	// replay are treated as corruption rather than allocated.
+	maxBody = 1 << 30
+
+	// DefaultSegmentBytes is the segment rotation threshold.
+	DefaultSegmentBytes = 64 << 20
+)
+
+// Options tunes a disklog backend. The zero value gives defaults.
+type Options struct {
+	// SegmentBytes is the rotation threshold: a batch that would grow the
+	// active segment past it opens a new segment first. A single batch
+	// larger than the threshold still lands in one segment. Default 64 MiB.
+	SegmentBytes int64
+}
+
+// ref locates one live value on disk.
+type ref struct {
+	seg int   // index into Backend.segs
+	off int64 // byte offset of the value within the segment file
+	len int   // value length in bytes
+}
+
+// segment is one append-only log file.
+type segment struct {
+	id   int
+	f    *os.File
+	size int64 // append offset
+}
+
+// Backend is a log-structured disk engine.Backend.
+type Backend struct {
+	mu     sync.RWMutex
+	dir    string
+	opts   Options
+	lock   *os.File   // flock-held LOCK file; released on Close
+	segs   []*segment // ordered by id; the last one is the active writer
+	index  map[string]map[string]ref
+	bytes  int64 // live value bytes (BytesStored)
+	closed bool
+}
+
+var _ engine.Backend = (*Backend)(nil)
+
+// Open opens (creating if needed) a disklog backend rooted at dir, replaying
+// existing segments to rebuild the key index. The directory is exclusively
+// flock-ed for the lifetime of the backend: two processes appending to the
+// same segments with independent offsets would corrupt committed records.
+func Open(dir string, opts Options) (*Backend, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disklog: %w", err)
+	}
+	lock, err := acquireLock(dir)
+	if err != nil {
+		return nil, err
+	}
+	b := &Backend{dir: dir, opts: opts, lock: lock, index: make(map[string]map[string]ref)}
+
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		b.closeFiles()
+		return nil, fmt.Errorf("disklog: %w", err)
+	}
+	ids := make([]int, 0, len(names))
+	for _, name := range names {
+		var id int
+		if _, err := fmt.Sscanf(filepath.Base(name), "seg-%06d.log", &id); err != nil {
+			b.closeFiles()
+			return nil, fmt.Errorf("disklog: stray segment file %q", name)
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	for i, id := range ids {
+		f, err := os.OpenFile(b.segPath(id), os.O_RDWR, 0)
+		if err != nil {
+			b.closeFiles()
+			return nil, fmt.Errorf("disklog: %w", err)
+		}
+		seg := &segment{id: id, f: f}
+		b.segs = append(b.segs, seg)
+		if err := b.replay(seg, i, i == len(ids)-1); err != nil {
+			b.closeFiles()
+			return nil, err
+		}
+	}
+	if len(b.segs) == 0 {
+		if err := b.addSegment(0); err != nil {
+			b.closeFiles()
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// acquireLock takes an exclusive, non-blocking flock on dir/LOCK. The lock
+// dies with the process, so a crash never wedges the directory.
+func acquireLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("disklog: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disklog: %s is in use by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+func (b *Backend) segPath(id int) string {
+	return filepath.Join(b.dir, fmt.Sprintf("seg-%06d.log", id))
+}
+
+// addSegment creates and activates a fresh segment file, fsyncing the
+// directory so the new entry itself survives a power failure.
+func (b *Backend) addSegment(id int) error {
+	f, err := os.OpenFile(b.segPath(id), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("disklog: %w", err)
+	}
+	if err := syncDir(b.dir); err != nil {
+		f.Close()
+		return err
+	}
+	b.segs = append(b.segs, &segment{id: id, f: f})
+	return nil
+}
+
+// syncDir fsyncs a directory, making its entries durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("disklog: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("disklog: %w", err)
+	}
+	return nil
+}
+
+func (b *Backend) closeFiles() {
+	for _, s := range b.segs {
+		s.f.Close()
+	}
+	if b.lock != nil {
+		b.lock.Close() // releases the flock
+	}
+}
+
+// replay scans one segment, applying its records to the index. Corruption at
+// the tail of the last segment is a torn write: the segment is truncated to
+// the last whole record. Corruption anywhere else is fatal.
+func (b *Backend) replay(seg *segment, si int, last bool) error {
+	info, err := seg.f.Stat()
+	if err != nil {
+		return fmt.Errorf("disklog: %w", err)
+	}
+	size := info.Size()
+	var off int64
+	var hdr [frameSize]byte
+	body := make([]byte, 0, 4096)
+	for off < size {
+		good := false
+		if size-off >= frameSize {
+			if _, err := seg.f.ReadAt(hdr[:], off); err != nil {
+				return fmt.Errorf("disklog: %w", err)
+			}
+			n := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+			sum := binary.LittleEndian.Uint32(hdr[4:8])
+			if n <= maxBody && off+frameSize+n <= size {
+				if int64(cap(body)) < n {
+					body = make([]byte, n)
+				}
+				body = body[:n]
+				if _, err := seg.f.ReadAt(body, off+frameSize); err != nil {
+					return fmt.Errorf("disklog: %w", err)
+				}
+				if crc32.ChecksumIEEE(body) == sum {
+					if err := b.applyRecord(body, si, off+frameSize); err != nil {
+						return err
+					}
+					off += frameSize + n
+					good = true
+				}
+			}
+		}
+		if !good {
+			if !last {
+				return fmt.Errorf("%w: disklog segment %d corrupt at offset %d", types.ErrCorrupt, seg.id, off)
+			}
+			// Torn tail from a crash mid-append: drop it.
+			if err := seg.f.Truncate(off); err != nil {
+				return fmt.Errorf("disklog: %w", err)
+			}
+			size = off
+			break
+		}
+	}
+	seg.size = size
+	return nil
+}
+
+// applyRecord replays one record body located at absolute offset bodyOff in
+// segment si.
+func (b *Backend) applyRecord(body []byte, si int, bodyOff int64) error {
+	if len(body) < 1 {
+		return fmt.Errorf("%w: disklog empty record body", types.ErrCorrupt)
+	}
+	kind := body[0]
+	table, rest, err := codec.String(body[1:])
+	if err != nil {
+		return fmt.Errorf("%w: disklog record table", types.ErrCorrupt)
+	}
+	key, rest, err := codec.String(rest)
+	if err != nil {
+		return fmt.Errorf("%w: disklog record key", types.ErrCorrupt)
+	}
+	switch kind {
+	case recPut:
+		valOff := bodyOff + int64(len(body)-len(rest))
+		b.indexPut(table, key, ref{seg: si, off: valOff, len: len(rest)})
+	case recDel:
+		b.indexDelete(table, key)
+	default:
+		return fmt.Errorf("%w: disklog record kind %d", types.ErrCorrupt, kind)
+	}
+	return nil
+}
+
+// indexPut installs a ref, maintaining the live-bytes count.
+func (b *Backend) indexPut(table, key string, r ref) {
+	t, ok := b.index[table]
+	if !ok {
+		t = make(map[string]ref)
+		b.index[table] = t
+	}
+	if old, ok := t[key]; ok {
+		b.bytes -= int64(old.len)
+	}
+	t[key] = r
+	b.bytes += int64(r.len)
+}
+
+// indexDelete removes a key, maintaining the live-bytes count.
+func (b *Backend) indexDelete(table, key string) {
+	if old, ok := b.index[table][key]; ok {
+		b.bytes -= int64(old.len)
+		delete(b.index[table], key)
+	}
+}
+
+// appendRecord appends one framed record for (kind, table, key, value) to
+// buf and returns the extended buffer plus the offset of the value bytes
+// relative to the start of buf.
+func appendRecord(buf []byte, kind byte, table, key string, value []byte) (out []byte, valRel int) {
+	frameAt := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	bodyAt := len(buf)
+	buf = append(buf, kind)
+	buf = codec.PutString(buf, table)
+	buf = codec.PutString(buf, key)
+	valRel = len(buf)
+	buf = append(buf, value...)
+	body := buf[bodyAt:]
+	binary.LittleEndian.PutUint32(buf[frameAt:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(buf[frameAt+4:], crc32.ChecksumIEEE(body))
+	return buf, valRel
+}
+
+// write appends buf to the active segment (rotating first if the batch would
+// overflow it) and returns the segment index and the absolute offset buf was
+// written at. Callers hold b.mu.
+func (b *Backend) write(buf []byte) (si int, base int64, err error) {
+	seg := b.segs[len(b.segs)-1]
+	if seg.size > 0 && seg.size+int64(len(buf)) > b.opts.SegmentBytes {
+		if err := seg.f.Sync(); err != nil {
+			return 0, 0, fmt.Errorf("disklog: %w", err)
+		}
+		if err := b.addSegment(seg.id + 1); err != nil {
+			return 0, 0, err
+		}
+		seg = b.segs[len(b.segs)-1]
+	}
+	base = seg.size
+	if _, err := seg.f.WriteAt(buf, base); err != nil {
+		return 0, 0, fmt.Errorf("disklog: %w", err)
+	}
+	seg.size += int64(len(buf))
+	return len(b.segs) - 1, base, nil
+}
+
+// Put appends one record. It is durable no later than the next BatchPut or
+// Close.
+func (b *Backend) Put(table, key string, value []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return types.ErrClosed
+	}
+	buf, valRel := appendRecord(nil, recPut, table, key, value)
+	si, base, err := b.write(buf)
+	if err != nil {
+		return err
+	}
+	b.indexPut(table, key, ref{seg: si, off: base + int64(valRel), len: len(value)})
+	return nil
+}
+
+// BatchPut appends all entries as consecutive records in one write and
+// fsyncs before acknowledging.
+func (b *Backend) BatchPut(table string, entries []engine.Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return types.ErrClosed
+	}
+	var buf []byte
+	rels := make([]int, len(entries))
+	for i, e := range entries {
+		buf, rels[i] = appendRecord(buf, recPut, table, e.Key, e.Value)
+	}
+	si, base, err := b.write(buf)
+	if err != nil {
+		return err
+	}
+	if err := b.segs[si].f.Sync(); err != nil {
+		return fmt.Errorf("disklog: %w", err)
+	}
+	for i, e := range entries {
+		b.indexPut(table, e.Key, ref{seg: si, off: base + int64(rels[i]), len: len(e.Value)})
+	}
+	return nil
+}
+
+// Get reads the value under (table, key) from disk.
+func (b *Backend) Get(table, key string) ([]byte, bool, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return nil, false, types.ErrClosed
+	}
+	r, ok := b.index[table][key]
+	if !ok {
+		return nil, false, nil
+	}
+	v, err := b.readRef(r)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// readRef fetches one value from disk; callers hold b.mu (any mode).
+func (b *Backend) readRef(r ref) ([]byte, error) {
+	v := make([]byte, r.len)
+	if _, err := b.segs[r.seg].f.ReadAt(v, r.off); err != nil {
+		return nil, fmt.Errorf("disklog: %w", err)
+	}
+	return v, nil
+}
+
+// Delete appends a tombstone; deleting a missing key writes nothing.
+func (b *Backend) Delete(table, key string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return types.ErrClosed
+	}
+	if _, ok := b.index[table][key]; !ok {
+		return nil
+	}
+	buf, _ := appendRecord(nil, recDel, table, key, nil)
+	if _, _, err := b.write(buf); err != nil {
+		return err
+	}
+	b.indexDelete(table, key)
+	return nil
+}
+
+// Scan visits every live key of a table, reading each value from disk.
+func (b *Backend) Scan(table string, fn func(key string, value []byte) bool) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return types.ErrClosed
+	}
+	for k, r := range b.index[table] {
+		v, err := b.readRef(r)
+		if err != nil {
+			return err
+		}
+		if !fn(k, v) {
+			break
+		}
+	}
+	return nil
+}
+
+// Tables lists tables that hold at least one live key.
+func (b *Backend) Tables() ([]string, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return nil, types.ErrClosed
+	}
+	out := make([]string, 0, len(b.index))
+	for t, kv := range b.index {
+		if len(kv) > 0 {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// BytesStored reports the summed length of all live values (excluding
+// framing, dead versions, and tombstones).
+func (b *Backend) BytesStored() int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.bytes
+}
+
+// Segments reports how many segment files back the log, for rotation tests
+// and ops introspection.
+func (b *Backend) Segments() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.segs)
+}
+
+// Close fsyncs the active segment, closes all files, and releases the
+// directory lock.
+func (b *Backend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	err := b.segs[len(b.segs)-1].f.Sync()
+	for _, s := range b.segs {
+		if cerr := s.f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if cerr := b.lock.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("disklog: %w", err)
+	}
+	return nil
+}

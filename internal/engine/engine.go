@@ -1,0 +1,59 @@
+// Package engine defines the storage-backend seam of the simulated cluster:
+// every kvstore node owns one Backend and delegates all data operations to
+// it. The paper's design point is that RStore layers on an off-the-shelf
+// key-value substrate (§2.4); this interface is our substrate boundary, so
+// alternative engines (in-memory maps, a log-structured disk store, and in
+// the future pebble/remote/tiered backends) can be swapped under the same
+// cluster, core, and query layers.
+//
+// Implementations must be safe for concurrent use. Values passed to Put and
+// BatchPut must be copied (or otherwise made immune to caller mutation)
+// before the call returns, and values returned by Get must not alias backend
+// state. Scan is the one exception: the values it passes to the callback may
+// alias internal buffers and must not be retained or mutated.
+package engine
+
+// Entry is one key/value pair of a batched write.
+type Entry struct {
+	Key   string
+	Value []byte
+}
+
+// Backend is a per-node storage engine: a durable (or simulated) map of
+// (table, key) → value with batched writes and full-table scans.
+type Backend interface {
+	// Put stores value under (table, key), overwriting any previous value.
+	Put(table, key string, value []byte) error
+
+	// Get returns the value under (table, key). The second result reports
+	// whether the key was present; the error is reserved for engine
+	// failures (I/O errors, closed backend), not for missing keys.
+	Get(table, key string) ([]byte, bool, error)
+
+	// Delete removes (table, key). Deleting a missing key is a no-op.
+	Delete(table, key string) error
+
+	// BatchPut applies all entries to one table atomically with respect to
+	// durability: a durable backend must not acknowledge the batch until
+	// every entry is on stable storage (fsync-on-batch). Entries are applied
+	// in order, so a later entry for the same key wins.
+	BatchPut(table string, entries []Entry) error
+
+	// Scan visits every key/value of a table in unspecified order until fn
+	// returns false. Values passed to fn may alias internal storage; fn
+	// must not retain or mutate them.
+	Scan(table string, fn func(key string, value []byte) bool) error
+
+	// Tables lists the tables that currently hold at least one key, in
+	// unspecified order.
+	Tables() ([]string, error)
+
+	// BytesStored reports the resident live payload volume: the summed
+	// length of all current values, excluding per-key overhead, dead
+	// versions, and tombstones.
+	BytesStored() int64
+
+	// Close releases the backend's resources, flushing anything buffered to
+	// stable storage first. Operations after Close fail.
+	Close() error
+}

@@ -1,0 +1,148 @@
+// Package memory implements engine.Backend with per-table in-process maps —
+// the original substrate of the simulated cluster, now behind the backend
+// seam. It is the default engine: nothing persists, but it is fast and
+// allocation-exact, which the cost-model experiments depend on.
+package memory
+
+import (
+	"sync"
+
+	"rstore/internal/engine"
+	"rstore/internal/types"
+)
+
+// Backend is an in-memory engine.Backend. The zero value is not usable; call
+// New.
+type Backend struct {
+	mu     sync.RWMutex
+	closed bool
+	data   map[string]map[string][]byte // table → key → value
+	// bytesStored tracks the resident payload volume for storage accounting.
+	bytesStored int64
+}
+
+// New returns an empty in-memory backend.
+func New() *Backend {
+	return &Backend{data: make(map[string]map[string][]byte)}
+}
+
+var _ engine.Backend = (*Backend)(nil)
+
+// Put stores a copy of value under (table, key).
+func (b *Backend) Put(table, key string, value []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return types.ErrClosed
+	}
+	b.putLocked(table, key, value)
+	return nil
+}
+
+// putLocked installs a defensive copy of value; callers hold b.mu.
+func (b *Backend) putLocked(table, key string, value []byte) {
+	t, ok := b.data[table]
+	if !ok {
+		t = make(map[string][]byte)
+		b.data[table] = t
+	}
+	if old, ok := t[key]; ok {
+		b.bytesStored -= int64(len(old))
+	}
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	t[key] = cp
+	b.bytesStored += int64(len(cp))
+}
+
+// Get returns a copy of the value under (table, key).
+func (b *Backend) Get(table, key string) ([]byte, bool, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return nil, false, types.ErrClosed
+	}
+	v, ok := b.data[table][key]
+	if !ok {
+		return nil, false, nil
+	}
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return cp, true, nil
+}
+
+// Delete removes (table, key); deleting a missing key is a no-op.
+func (b *Backend) Delete(table, key string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return types.ErrClosed
+	}
+	if old, ok := b.data[table][key]; ok {
+		b.bytesStored -= int64(len(old))
+		delete(b.data[table], key)
+	}
+	return nil
+}
+
+// BatchPut applies all entries under one lock acquisition. Memory is always
+// "durable", so the batch contract reduces to atomicity against concurrent
+// readers.
+func (b *Backend) BatchPut(table string, entries []engine.Entry) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return types.ErrClosed
+	}
+	for _, e := range entries {
+		b.putLocked(table, e.Key, e.Value)
+	}
+	return nil
+}
+
+// Scan visits every key/value of a table under the read lock. Values passed
+// to fn alias internal storage; fn must not retain or mutate them.
+func (b *Backend) Scan(table string, fn func(key string, value []byte) bool) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return types.ErrClosed
+	}
+	for k, v := range b.data[table] {
+		if !fn(k, v) {
+			break
+		}
+	}
+	return nil
+}
+
+// Tables lists tables that hold at least one key.
+func (b *Backend) Tables() ([]string, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return nil, types.ErrClosed
+	}
+	out := make([]string, 0, len(b.data))
+	for t, kv := range b.data {
+		if len(kv) > 0 {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// BytesStored reports the summed length of all live values.
+func (b *Backend) BytesStored() int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.bytesStored
+}
+
+// Close marks the backend closed; subsequent operations fail.
+func (b *Backend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	return nil
+}

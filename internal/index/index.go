@@ -164,27 +164,71 @@ const (
 	TableKeyIndex     = "idx_key"
 )
 
-// Save persists both projections.
+// Save persists both projections, each table committed as one batched write
+// (one durability sync per table instead of one per version/key).
 func (p *Projections) Save(kv *kvstore.Store) error {
+	vEntries := make([]kvstore.Entry, 0, len(p.versionChunks))
 	for v, l := range p.versionChunks {
-		key := fmt.Sprintf("v%08x", uint32(v))
-		if err := kv.Put(TableVersionIndex, key, codec.PutPostingList(nil, l)); err != nil {
-			return err
-		}
+		vEntries = append(vEntries, kvstore.Entry{
+			Key:   fmt.Sprintf("v%08x", uint32(v)),
+			Value: codec.PutPostingList(nil, l),
+		})
+	}
+	if err := kv.BatchPut(TableVersionIndex, vEntries); err != nil {
+		return err
+	}
+	kEntries := make([]kvstore.Entry, 0, len(p.keyChunks))
+	for k, l := range p.keyChunks {
+		kEntries = append(kEntries, kvstore.Entry{
+			Key:   string(k),
+			Value: codec.PutPostingList(nil, l),
+		})
+	}
+	return kv.BatchPut(TableKeyIndex, kEntries)
+}
+
+// EntryKeys returns the KVS keys Save writes for each projection table, so
+// a full repartition can delete the superseded rows afterwards.
+func (p *Projections) EntryKeys() (version []string, key []string) {
+	version = make([]string, 0, len(p.versionChunks))
+	for v := range p.versionChunks {
+		version = append(version, fmt.Sprintf("v%08x", uint32(v)))
+	}
+	key = make([]string, 0, len(p.keyChunks))
+	for k := range p.keyChunks {
+		key = append(key, string(k))
+	}
+	return version, key
+}
+
+// PruneChunks drops references to chunk ids at or past n from both
+// projections. Core uses it on load to discard references a crashed flush
+// saved for chunks that never made it into the manifest.
+func (p *Projections) PruneChunks(n chunk.ID) {
+	for v, l := range p.versionChunks {
+		p.versionChunks[v] = pruneList(l, n)
 	}
 	for k, l := range p.keyChunks {
-		if err := kv.Put(TableKeyIndex, string(k), codec.PutPostingList(nil, l)); err != nil {
-			return err
+		p.keyChunks[k] = pruneList(l, n)
+	}
+}
+
+// pruneList filters ids >= n in place.
+func pruneList(l []chunk.ID, n chunk.ID) []chunk.ID {
+	out := l[:0]
+	for _, id := range l {
+		if id < n {
+			out = append(out, id)
 		}
 	}
-	return nil
+	return out
 }
 
 // Load rebuilds projections from the KVS tables.
 func Load(kv *kvstore.Store) (*Projections, error) {
 	p := New()
 	var firstErr error
-	kv.Scan(TableVersionIndex, func(key string, value []byte) bool {
+	err := kv.Scan(TableVersionIndex, func(key string, value []byte) bool {
 		var v uint32
 		if _, err := fmt.Sscanf(key, "v%08x", &v); err != nil {
 			firstErr = fmt.Errorf("%w: bad version index key %q", types.ErrCorrupt, key)
@@ -198,10 +242,13 @@ func Load(kv *kvstore.Store) (*Projections, error) {
 		p.versionChunks[types.VersionID(v)] = l
 		return true
 	})
+	if err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	kv.Scan(TableKeyIndex, func(key string, value []byte) bool {
+	err = kv.Scan(TableKeyIndex, func(key string, value []byte) bool {
 		l, _, err := codec.PostingList(value)
 		if err != nil {
 			firstErr = err
@@ -210,6 +257,9 @@ func Load(kv *kvstore.Store) (*Projections, error) {
 		p.keyChunks[types.Key(key)] = l
 		return true
 	})
+	if err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

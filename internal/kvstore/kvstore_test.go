@@ -194,6 +194,26 @@ func TestRingBalance(t *testing.T) {
 	}
 }
 
+// TestRingBalanceSequentialKeys pins the splitmix64 finalizer in
+// hashString: the store's real key families are a fixed prefix plus a
+// counter ("c%08x" chunk ids, "d%08x" delta ids), which raw FNV clusters
+// onto a single node.
+func TestRingBalanceSequentialKeys(t *testing.T) {
+	r := newRing(4)
+	counts := map[int]int{}
+	for i := 0; i < 256; i++ {
+		counts[r.primary(fmt.Sprintf("c%08x", i))]++
+	}
+	for n := 0; n < 4; n++ {
+		if counts[n] == 0 {
+			t.Fatalf("node %d owns no sequential keys: %v", n, counts)
+		}
+		if counts[n] > 256/2 {
+			t.Fatalf("node %d owns %d/256 sequential keys: badly clustered", n, counts[n])
+		}
+	}
+}
+
 func TestReplicasDistinctAndStable(t *testing.T) {
 	r := newRing(5)
 	for i := 0; i < 100; i++ {

@@ -1,96 +1,77 @@
 package kvstore
 
 import (
+	"errors"
 	"sync"
+
+	"rstore/internal/engine"
 )
 
-// node is a single storage server. Data lives in per-table maps guarded by a
-// read-write mutex; values are copied on write and on read so callers can
-// never alias the node's internal state (the same isolation a networked
-// store provides).
+// errNodeDown reports an operation against a node marked down by failure
+// injection. The Store routes around it; it never escapes to callers.
+var errNodeDown = errors.New("kvstore: node down")
+
+// node is a single storage server: an up/down flag (for failure-injection
+// tests) in front of a storage engine that owns the actual data. Isolation
+// guarantees (callers never alias node state) are the backend's contract;
+// see engine.Backend.
 type node struct {
-	id   int
-	mu   sync.RWMutex
-	up   bool
-	data map[string]map[string][]byte // table → key → value
-	// bytesStored tracks the resident payload volume for storage accounting.
-	bytesStored int64
+	id int
+	mu sync.RWMutex // guards up
+	up bool
+	be engine.Backend
 }
 
-func newNode(id int) *node {
-	return &node{id: id, up: true, data: make(map[string]map[string][]byte)}
+func newNode(id int, be engine.Backend) *node {
+	return &node{id: id, up: true, be: be}
 }
 
-func (n *node) put(table, key string, value []byte) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if !n.up {
-		return false
+func (n *node) put(table, key string, value []byte) error {
+	if !n.isUp() {
+		return errNodeDown
 	}
-	t, ok := n.data[table]
-	if !ok {
-		t = make(map[string][]byte)
-		n.data[table] = t
-	}
-	if old, ok := t[key]; ok {
-		n.bytesStored -= int64(len(old))
-	}
-	cp := make([]byte, len(value))
-	copy(cp, value)
-	t[key] = cp
-	n.bytesStored += int64(len(cp))
-	return true
+	return n.be.Put(table, key, value)
 }
 
-func (n *node) get(table, key string) ([]byte, bool) {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	if !n.up {
-		return nil, false
+func (n *node) batchPut(table string, entries []engine.Entry) error {
+	if !n.isUp() {
+		return errNodeDown
 	}
-	v, ok := n.data[table][key]
-	if !ok {
-		return nil, false
-	}
-	cp := make([]byte, len(v))
-	copy(cp, v)
-	return cp, true
+	return n.be.BatchPut(table, entries)
 }
 
-func (n *node) delete(table, key string) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if !n.up {
-		return false
+func (n *node) get(table, key string) ([]byte, bool, error) {
+	if !n.isUp() {
+		return nil, false, errNodeDown
 	}
-	if old, ok := n.data[table][key]; ok {
-		n.bytesStored -= int64(len(old))
-		delete(n.data[table], key)
-	}
-	return true
+	return n.be.Get(table, key)
 }
 
-// scan visits every key/value of a table in unspecified order under the read
-// lock. Values passed to fn alias internal storage; fn must not retain or
-// mutate them.
-func (n *node) scan(table string, fn func(key string, value []byte) bool) bool {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	if !n.up {
-		return false
+func (n *node) delete(table, key string) error {
+	if !n.isUp() {
+		return errNodeDown
 	}
-	for k, v := range n.data[table] {
-		if !fn(k, v) {
-			break
-		}
+	return n.be.Delete(table, key)
+}
+
+// scan visits every key/value of a table. Values passed to fn may alias
+// backend storage; fn must not retain or mutate them.
+func (n *node) scan(table string, fn func(key string, value []byte) bool) error {
+	if !n.isUp() {
+		return errNodeDown
 	}
-	return true
+	return n.be.Scan(table, fn)
+}
+
+func (n *node) tables() ([]string, error) {
+	if !n.isUp() {
+		return nil, errNodeDown
+	}
+	return n.be.Tables()
 }
 
 func (n *node) stored() int64 {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.bytesStored
+	return n.be.BytesStored()
 }
 
 func (n *node) setUp(up bool) {

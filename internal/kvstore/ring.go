@@ -81,8 +81,14 @@ func (r *ring) primary(key string) int {
 	return r.replicas(key, 1)[0]
 }
 
+// hashString positions a key on the ring. Raw FNV-64a clusters keys that
+// share a prefix and differ only in a trailing counter (the store's chunk
+// keys "c%08x", delta keys "d%08x", …): the final byte perturbs the hash by
+// at most ~2^46, far less than the ~2^55 average gap between ring points, so
+// whole key families would collapse onto one node. The splitmix64 finalizer
+// restores avalanche over all 64 bits.
 func hashString(s string) uint64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(s))
-	return h.Sum64()
+	return mix64(h.Sum64())
 }

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -28,11 +29,16 @@ func (s *Store) Dump(w io.Writer) error {
 	// Collect table names across nodes.
 	tableSet := make(map[string]struct{})
 	for _, n := range s.nodes {
-		n.mu.RLock()
-		for t := range n.data {
+		ts, err := n.tables()
+		if err != nil {
+			if errors.Is(err, errNodeDown) {
+				continue
+			}
+			return err
+		}
+		for _, t := range ts {
 			tableSet[t] = struct{}{}
 		}
-		n.mu.RUnlock()
 	}
 	tables := make([]string, 0, len(tableSet))
 	for t := range tableSet {
@@ -51,10 +57,12 @@ func (s *Store) Dump(w io.Writer) error {
 			v []byte
 		}
 		var pairs []kvPair
-		s.Scan(table, func(k string, v []byte) bool {
+		if err := s.Scan(table, func(k string, v []byte) bool {
 			pairs = append(pairs, kvPair{k, v})
 			return true
-		})
+		}); err != nil {
+			return err
+		}
 		sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
 
 		buf = buf[:0]

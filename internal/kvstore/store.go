@@ -1,13 +1,28 @@
 package kvstore
 
 import (
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"rstore/internal/engine"
+	"rstore/internal/engine/disklog"
+	"rstore/internal/engine/memory"
 	"rstore/internal/types"
+)
+
+// Engine names accepted by Config.Engine.
+const (
+	// EngineMemory is the default in-process map backend; nothing persists.
+	EngineMemory = "memory"
+	// EngineDisklog is the log-structured disk backend; each node's
+	// segments live under Config.Dir/node-N and survive restarts.
+	EngineDisklog = "disklog"
 )
 
 // Config configures a cluster.
@@ -25,13 +40,106 @@ type Config struct {
 	ReadBalance bool
 	// Cost is the latency model; zero value disables simulated timing.
 	Cost CostModel
+	// Engine selects the per-node storage backend: EngineMemory (the
+	// default) or EngineDisklog.
+	Engine string
+	// Dir is the data directory for disk-backed engines; node i stores its
+	// data under Dir/node-i. Required when Engine is EngineDisklog.
+	Dir string
+	// NewBackend, when set, overrides Engine/Dir with a custom backend
+	// factory (tests, out-of-tree engines).
+	NewBackend func(nodeID int) (engine.Backend, error)
+}
+
+// backendFactory resolves the per-node backend constructor.
+func (cfg Config) backendFactory() (func(int) (engine.Backend, error), error) {
+	if cfg.NewBackend != nil {
+		return cfg.NewBackend, nil
+	}
+	switch cfg.Engine {
+	case "", EngineMemory:
+		return func(int) (engine.Backend, error) { return memory.New(), nil }, nil
+	case EngineDisklog:
+		if cfg.Dir == "" {
+			return nil, fmt.Errorf("kvstore: engine %q needs Config.Dir", cfg.Engine)
+		}
+		return func(id int) (engine.Backend, error) {
+			return disklog.Open(filepath.Join(cfg.Dir, fmt.Sprintf("node-%d", id)), disklog.Options{})
+		}, nil
+	default:
+		return nil, fmt.Errorf("kvstore: unknown engine %q (want %q or %q)", cfg.Engine, EngineMemory, EngineDisklog)
+	}
+}
+
+// Entry is one key/value pair of a batched write.
+type Entry = engine.Entry
+
+// geometryFile records the cluster shape a disk-backed data directory was
+// created with. Keys hash onto nodes by the ring, so reopening a directory
+// with a different node count would look up keys on the wrong nodes and
+// silently present a partial (or empty) store; refuse instead. The
+// replication factor is not pinned: the primary replica stays first under
+// any rf, so reads keep finding their data.
+const geometryFile = "GEOMETRY"
+
+func checkGeometry(dir string, nodes int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("kvstore: %w", err)
+	}
+	path := filepath.Join(dir, geometryFile)
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return writeGeometry(dir, path, nodes)
+	}
+	if err != nil {
+		return fmt.Errorf("kvstore: %w", err)
+	}
+	var got int
+	if _, err := fmt.Sscanf(string(b), "nodes=%d", &got); err != nil {
+		return fmt.Errorf("kvstore: corrupt geometry file %s: %q", path, b)
+	}
+	if got != nodes {
+		return fmt.Errorf("kvstore: data directory %s was created with %d nodes, reopened with %d", dir, got, nodes)
+	}
+	return nil
+}
+
+// writeGeometry durably records the node count (file and directory entry
+// both fsynced — the pin is worthless if a power failure can drop it).
+func writeGeometry(dir, path string, nodes int) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("kvstore: %w", err)
+	}
+	if _, err := fmt.Fprintf(f, "nodes=%d\n", nodes); err != nil {
+		f.Close()
+		return fmt.Errorf("kvstore: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("kvstore: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("kvstore: %w", err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("kvstore: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("kvstore: %w", err)
+	}
+	return nil
 }
 
 // Store is an in-process distributed key-value store: the substrate RStore
 // persists chunks, chunk maps, indexes, and delta batches into. It exposes
 // only the basic get/put/delete interface the paper assumes, plus a parallel
 // MultiGet (issuing point gets concurrently, exactly what RStore's query
-// module does) and an administrative Scan used for index rebuilds.
+// module does), a replica-batched BatchPut (the unit the engine's flush path
+// commits in), and an administrative Scan used for index rebuilds. Each node
+// delegates its data to an engine.Backend selected by Config.Engine.
 type Store struct {
 	cfg   Config
 	ring  *ring
@@ -45,7 +153,7 @@ type Store struct {
 	bytesPut  atomic.Int64
 }
 
-// Open creates a cluster.
+// Open creates a cluster, opening one backend per node.
 func Open(cfg Config) (*Store, error) {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1
@@ -56,11 +164,36 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.ReplicationFactor > cfg.Nodes {
 		cfg.ReplicationFactor = cfg.Nodes
 	}
+	factory, err := cfg.backendFactory()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NewBackend == nil && cfg.Engine == EngineDisklog {
+		if err := checkGeometry(cfg.Dir, cfg.Nodes); err != nil {
+			return nil, err
+		}
+	}
 	s := &Store{cfg: cfg, ring: newRing(cfg.Nodes)}
 	for i := 0; i < cfg.Nodes; i++ {
-		s.nodes = append(s.nodes, newNode(i))
+		be, err := factory(i)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("kvstore: open node %d: %w", i, err)
+		}
+		s.nodes = append(s.nodes, newNode(i, be))
 	}
 	return s, nil
+}
+
+// Close closes every node's backend, flushing disk-backed engines.
+func (s *Store) Close() error {
+	var first error
+	for _, n := range s.nodes {
+		if err := n.be.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Nodes returns the cluster size.
@@ -74,8 +207,13 @@ func (s *Store) Put(table, key string, value []byte) error {
 	replicas := s.ring.replicas(key, s.cfg.ReplicationFactor)
 	ok := false
 	for _, n := range replicas {
-		if s.nodes[n].put(table, key, value) {
+		switch err := s.nodes[n].put(table, key, value); {
+		case err == nil:
 			ok = true
+		case errors.Is(err, errNodeDown):
+			// Routed around; the key survives on other replicas.
+		default:
+			return fmt.Errorf("kvstore: put %s/%s: %w", table, key, err)
 		}
 	}
 	if !ok {
@@ -87,17 +225,77 @@ func (s *Store) Put(table, key string, value []byte) error {
 	return nil
 }
 
+// BatchPut stores many values in one table, grouping the writes per replica
+// node and committing each group through the node's backend in a single
+// call — one durability sync per node per batch instead of one per key.
+// Like Put, it fails only if some entry has no live replica or a backend
+// errors; simulated timing follows the MultiGet batch model (per-node serial
+// service, parallel client lanes).
+func (s *Store) BatchPut(table string, entries []Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	perNode := make(map[int][]int)
+	primaries := make([]int, len(entries))
+	for i, e := range entries {
+		replicas := s.ring.replicas(e.Key, s.cfg.ReplicationFactor)
+		primaries[i] = replicas[0]
+		for _, n := range replicas {
+			perNode[n] = append(perNode[n], i)
+		}
+	}
+	committed := make([]bool, len(entries))
+	for nid, idxs := range perNode {
+		group := make([]engine.Entry, len(idxs))
+		for j, i := range idxs {
+			group[j] = entries[i]
+		}
+		switch err := s.nodes[nid].batchPut(table, group); {
+		case err == nil:
+			for _, i := range idxs {
+				committed[i] = true
+			}
+		case errors.Is(err, errNodeDown):
+			// Routed around; entries survive on other replicas.
+		default:
+			return fmt.Errorf("kvstore: batchput %s: node %d: %w", table, nid, err)
+		}
+	}
+	var bytes int64
+	for i, e := range entries {
+		if !committed[i] {
+			return fmt.Errorf("kvstore: batchput %s/%s: all replicas down", table, e.Key)
+		}
+		bytes += int64(len(e.Value))
+	}
+
+	// Simulated timing: per-primary serial service, client-side lanes
+	// (replica fan-out is free, matching Put's accounting).
+	perPrimary := make(map[int][]int)
+	for i, e := range entries {
+		perPrimary[primaries[i]] = append(perPrimary[primaries[i]], len(e.Value))
+	}
+	s.bytesPut.Add(bytes)
+	s.reqCount.Add(int64(len(entries)))
+	s.simClock.Add(int64(s.cfg.Cost.batchElapsed(perPrimary)))
+	return nil
+}
+
 // Get retrieves the value under (table, key), trying replicas in preference
 // order. It returns types.ErrNotFound if no live replica has the key.
 func (s *Store) Get(table, key string) ([]byte, error) {
 	replicas := s.ring.replicas(key, s.cfg.ReplicationFactor)
 	anyUp := false
 	for _, n := range replicas {
-		if !s.nodes[n].isUp() {
+		v, ok, err := s.nodes[n].get(table, key)
+		if errors.Is(err, errNodeDown) {
 			continue
 		}
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: get %s/%s: %w", table, key, err)
+		}
 		anyUp = true
-		if v, ok := s.nodes[n].get(table, key); ok {
+		if ok {
 			s.account(1, len(v))
 			return v, nil
 		}
@@ -111,10 +309,21 @@ func (s *Store) Get(table, key string) ([]byte, error) {
 }
 
 // Delete removes (table, key) from all replicas. Deleting a missing key is
-// not an error.
+// not an error, but — matching Put — deleting while every replica is down
+// is: the tombstone took hold nowhere.
 func (s *Store) Delete(table, key string) error {
+	ok := false
 	for _, n := range s.ring.replicas(key, s.cfg.ReplicationFactor) {
-		s.nodes[n].delete(table, key)
+		switch err := s.nodes[n].delete(table, key); {
+		case err == nil:
+			ok = true
+		case errors.Is(err, errNodeDown):
+		default:
+			return fmt.Errorf("kvstore: delete %s/%s: %w", table, key, err)
+		}
+	}
+	if !ok {
+		return fmt.Errorf("kvstore: delete %s/%s: all replicas down", table, key)
 	}
 	s.account(1, 0)
 	return nil
@@ -172,16 +381,26 @@ func (s *Store) MultiGet(table string, keys []string) (*MultiGetResult, error) {
 	}
 
 	var wg sync.WaitGroup
-	var mu sync.Mutex // guards res.Missing
+	var mu sync.Mutex // guards res.Missing and firstErr
+	var firstErr error
 	for nid, idxs := range byNode {
 		wg.Add(1)
 		go func(nid int, idxs []int) {
 			defer wg.Done()
 			for _, i := range idxs {
-				v, ok := s.nodes[nid].get(table, keys[i])
+				v, ok, err := s.nodes[nid].get(table, keys[i])
+				if err != nil && !errors.Is(err, errNodeDown) {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("kvstore: multiget %s/%s: %w", table, keys[i], err)
+					}
+					mu.Unlock()
+					return
+				}
 				if ok {
 					res.Values[i] = v
 				} else {
+					// Missing, or the node died mid-batch.
 					mu.Lock()
 					res.Missing = append(res.Missing, i)
 					mu.Unlock()
@@ -190,6 +409,9 @@ func (s *Store) MultiGet(table string, keys []string) (*MultiGetResult, error) {
 		}(nid, idxs)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
 	sort.Ints(res.Missing)
 
 	// Simulated timing: per-node serial service, client-side lanes.
@@ -224,14 +446,15 @@ func (s *Store) pickReplica(key string) int {
 
 // Scan visits every key/value in a table across all live nodes, restricted
 // to each node's primarily-owned keys so replicated entries are visited
-// once. Values are copied before fn sees them.
-func (s *Store) Scan(table string, fn func(key string, value []byte) bool) {
+// once. Values are copied before fn sees them. Backend failures surface as
+// the returned error; down nodes are skipped.
+func (s *Store) Scan(table string, fn func(key string, value []byte) bool) error {
 	stop := false
 	for _, n := range s.nodes {
 		if stop {
-			return
+			return nil
 		}
-		n.scan(table, func(k string, v []byte) bool {
+		err := n.scan(table, func(k string, v []byte) bool {
 			if s.ring.primary(k) != n.id {
 				return true // visited via its primary owner
 			}
@@ -243,7 +466,11 @@ func (s *Store) Scan(table string, fn func(key string, value []byte) bool) {
 			}
 			return true
 		})
+		if err != nil && !errors.Is(err, errNodeDown) {
+			return fmt.Errorf("kvstore: scan %s: %w", table, err)
+		}
 	}
+	return nil
 }
 
 // account books a sequential operation.

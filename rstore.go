@@ -88,10 +88,23 @@ func Open(cfg Config) (*Store, error) { return core.Open(cfg) }
 // Load reopens a store persisted in cfg.KV.
 func Load(cfg Config) (*Store, error) { return core.Load(cfg) }
 
+// Exists reports whether kv holds a persisted store, without the cost of a
+// full Load.
+func Exists(kv *kvstore.Store) (bool, error) { return core.Exists(kv) }
+
 // Cluster options for Config.KV.
 
 // ClusterConfig configures the backing key-value cluster.
 type ClusterConfig = kvstore.Config
+
+// Backend engine names for ClusterConfig.Engine / Config.Engine.
+const (
+	// EngineMemory is the default in-process map backend; nothing persists.
+	EngineMemory = kvstore.EngineMemory
+	// EngineDisklog is the log-structured disk backend: append-only segment
+	// files with fsync-on-batch durability, replayed on open.
+	EngineDisklog = kvstore.EngineDisklog
+)
 
 // CostModel is the cluster's simulated network cost model.
 type CostModel = kvstore.CostModel
