@@ -17,17 +17,25 @@ import (
 	"os"
 	"time"
 
+	"rstore"
 	"rstore/internal/bench"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run carries the real main so deferred cleanup (the auto-created disklog
+// temp directory) survives every exit path.
+func run() int {
 	var (
-		exp     = flag.String("exp", "", "experiment id (see -list)")
-		all     = flag.Bool("all", false, "run every experiment")
-		list    = flag.Bool("list", false, "list experiments")
-		scale   = flag.String("scale", "quick", "dataset scale: quick|full")
-		queries = flag.Int("queries", 0, "override query sample size")
-		seed    = flag.Int64("seed", 0, "override RNG seed")
+		exp       = flag.String("exp", "", "experiment id (see -list)")
+		all       = flag.Bool("all", false, "run every experiment")
+		list      = flag.Bool("list", false, "list experiments")
+		scale     = flag.String("scale", "quick", "dataset scale: quick|full")
+		queries   = flag.Int("queries", 0, "override query sample size")
+		seed      = flag.Int64("seed", 0, "override RNG seed")
+		backend   = flag.String("backend", "memory", "cluster storage backend: memory|disklog|remote")
+		dataDir   = flag.String("data", "", "data directory for -backend disklog (each cluster gets a subdirectory)")
+		nodeAddrs = flag.String("node-addrs", "", "comma-separated rstore-node addresses for -backend remote\n(the address list fixes the node count; daemons must start empty, and since every\ncluster a run opens shares them, storage columns are only clean for the first)")
 	)
 	flag.Parse()
 
@@ -35,7 +43,7 @@ func main() {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-16s %s\n", e.ID, e.Description)
 		}
-		return
+		return 0
 	}
 
 	opts := bench.Quick()
@@ -48,6 +56,31 @@ func main() {
 	if *seed != 0 {
 		opts.Seed = *seed
 	}
+	switch *backend {
+	case "", "memory":
+	case "disklog":
+		opts.Engine = *backend
+		opts.DataDir = *dataDir
+		if opts.DataDir == "" {
+			d, err := os.MkdirTemp("", "rstore-bench-")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rstore-bench:", err)
+				return 1
+			}
+			defer os.RemoveAll(d)
+			opts.DataDir = d
+		}
+	case "remote":
+		opts.Engine = *backend
+		opts.NodeAddrs = rstore.SplitNodeAddrs(*nodeAddrs)
+		if len(opts.NodeAddrs) == 0 {
+			fmt.Fprintln(os.Stderr, "rstore-bench: -backend remote needs -node-addrs")
+			return 2
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "rstore-bench: unknown -backend %q\n", *backend)
+		return 2
+	}
 
 	var runs []bench.Experiment
 	switch {
@@ -57,12 +90,12 @@ func main() {
 		e, err := bench.ByID(*exp)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		runs = []bench.Experiment{e}
 	default:
 		fmt.Fprintln(os.Stderr, "rstore-bench: need -exp <id>, -all, or -list")
-		os.Exit(2)
+		return 2
 	}
 
 	for _, e := range runs {
@@ -70,11 +103,12 @@ func main() {
 		tables, err := e.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rstore-bench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			return 1
 		}
 		for _, t := range tables {
 			t.Fprint(os.Stdout)
 		}
 		fmt.Printf("(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

@@ -6,11 +6,15 @@
 //
 //	rstore-server -addr :8080 -nodes 4 -rf 2 [-store data.rstore]
 //	rstore-server -addr :8080 -backend disklog -data /var/lib/rstore
+//	rstore-server -addr :8080 -rf 2 -backend remote -node-addrs host1:7420,host2:7420,host3:7420
 //
 // With -backend disklog every node's data lives under the -data directory
 // and survives restarts: the server replays the segment files on boot and
-// reopens the store if one was previously committed there. The -store
-// snapshot file applies to the memory backend only.
+// reopens the store if one was previously committed there. With -backend
+// remote the cluster is one rstore-node daemon per -node-addrs entry (the
+// address list fixes the node count; -nodes is ignored) and the store is
+// likewise reopened from the nodes' contents on boot. The -store snapshot
+// file applies to the memory backend only.
 //
 // API (JSON):
 //
@@ -31,6 +35,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 
 	"rstore"
 	"rstore/internal/server"
@@ -44,16 +49,25 @@ func main() {
 		batch     = flag.Int("batch", 16, "online partitioning batch size")
 		k         = flag.Int("k", 1, "max sub-chunk size (record compression)")
 		chunkKB   = flag.Int("chunk-kb", 1024, "chunk capacity in KiB")
-		backend   = flag.String("backend", "memory", "storage backend: memory|disklog")
+		backend   = flag.String("backend", "memory", "storage backend: memory|disklog|remote")
 		dataDir   = flag.String("data", "rstore-data", "data directory for -backend disklog")
+		nodeAddrs = flag.String("node-addrs", "", "comma-separated rstore-node addresses for -backend remote")
 		storePath = flag.String("store", "", "snapshot file to restore from (memory backend only)")
 	)
 	flag.Parse()
 
-	kv, err := rstore.OpenCluster(rstore.ClusterConfig{
+	cluster := rstore.ClusterConfig{
 		Nodes: *nodes, ReplicationFactor: *rf, Cost: rstore.DefaultCostModel(),
 		Engine: *backend, Dir: *dataDir,
-	})
+	}
+	if *backend == rstore.EngineRemote {
+		cluster.NodeAddrs = rstore.SplitNodeAddrs(*nodeAddrs)
+		if len(cluster.NodeAddrs) == 0 {
+			log.Fatal("-backend remote needs -node-addrs host:port[,host:port...]")
+		}
+		cluster.Nodes = 0 // the address list is the cluster shape
+	}
+	kv, err := rstore.OpenCluster(cluster)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,20 +75,27 @@ func main() {
 		KV: kv, BatchSize: *batch, SubChunkK: *k, ChunkCapacity: *chunkKB << 10,
 	}
 
+	// Durable backends hold the store in the backend itself (data
+	// directory or remote nodes); reopen it if one was committed there.
+	durable := *backend == rstore.EngineDisklog || *backend == rstore.EngineRemote
+	where := *dataDir
+	if *backend == rstore.EngineRemote {
+		where = "nodes " + strings.Join(cluster.NodeAddrs, ",")
+	}
+
 	var st *rstore.Store
 	switch {
-	case *backend == rstore.EngineDisklog:
-		// The data directory is the store; reopen it if one was committed.
+	case durable:
 		exists, err := rstore.Exists(kv)
 		if err != nil {
-			log.Fatalf("probe %s: %v", *dataDir, err)
+			log.Fatalf("probe %s: %v", where, err)
 		}
 		if exists {
 			st, err = rstore.Load(cfg)
 			if err != nil {
-				log.Fatalf("load %s: %v", *dataDir, err)
+				log.Fatalf("load %s: %v", where, err)
 			}
-			log.Printf("reopened %d versions from %s", st.NumVersions(), *dataDir)
+			log.Printf("reopened %d versions from %s", st.NumVersions(), where)
 		}
 	case *storePath != "":
 		if f, err := os.Open(*storePath); err == nil {
@@ -94,12 +115,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if *backend == rstore.EngineDisklog {
+		if durable {
 			// Establish the recovery root immediately: without a manifest,
 			// commits acknowledged before the first flush/SetBranch could
 			// not be replayed after a crash.
 			if err := st.Checkpoint(); err != nil {
-				log.Fatalf("checkpoint %s: %v", *dataDir, err)
+				log.Fatalf("checkpoint %s: %v", where, err)
 			}
 		}
 	}

@@ -2,7 +2,7 @@
 // mirroring the application-server commands of paper §2.4: init, commit,
 // checkout (pull a version), get, history, log, and branch.
 //
-// Two persistence modes, selected by -backend:
+// Three persistence modes, selected by -backend:
 //
 //   - memory (default): state persists in a single snapshot file (default
 //     .rstore) via the cluster's Dump/Restore; every mutating command
@@ -10,11 +10,14 @@
 //   - disklog: state lives in the log-structured data directory (-data,
 //     default <store>.d); every command reopens the cluster by replaying
 //     the segment files, and mutations are fsynced per batch.
+//   - remote: state lives on rstore-node daemons (-node-addrs, one node
+//     per address); every command talks to them over the wire.
 //
 // Usage:
 //
 //	rstore -store data.rstore init
 //	rstore -backend disklog -data data.d init
+//	rstore -backend remote -node-addrs host1:7420,host2:7420 init
 //	rstore commit -branch main -put doc1=@file.json -put doc2='{"x":1}' -del doc3
 //	rstore log
 //	rstore checkout -version 3 -out dir/
@@ -44,14 +47,21 @@ func main() {
 func run(args []string) error {
 	global := flag.NewFlagSet("rstore", flag.ContinueOnError)
 	storePath := global.String("store", ".rstore", "snapshot file (memory backend)")
-	backend := global.String("backend", "memory", "storage backend: memory|disklog")
+	backend := global.String("backend", "memory", "storage backend: memory|disklog|remote")
 	dataDir := global.String("data", "", "data directory for -backend disklog (default <store>.d)")
+	nodeAddrs := global.String("node-addrs", "", "comma-separated rstore-node addresses for -backend remote")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
-	env := cliEnv{store: *storePath, backend: *backend, data: *dataDir}
-	if env.backend != rstore.EngineMemory && env.backend != rstore.EngineDisklog {
-		return fmt.Errorf("unknown -backend %q (want memory or disklog)", env.backend)
+	env := cliEnv{store: *storePath, backend: *backend, data: *dataDir, addrs: rstore.SplitNodeAddrs(*nodeAddrs)}
+	switch env.backend {
+	case rstore.EngineMemory, rstore.EngineDisklog:
+	case rstore.EngineRemote:
+		if len(env.addrs) == 0 {
+			return fmt.Errorf("-backend remote needs -node-addrs host:port[,host:port...]")
+		}
+	default:
+		return fmt.Errorf("unknown -backend %q (want memory, disklog, or remote)", env.backend)
 	}
 	if env.data == "" {
 		env.data = env.store + ".d"
@@ -70,7 +80,7 @@ func run(args []string) error {
 		// Idempotent with persist's close; releases the disklog directory
 		// lock on every error path too.
 		defer kv.Close()
-		if env.backend == rstore.EngineDisklog {
+		if env.durable() {
 			// A point probe, not a full Load: only a cleanly-missing
 			// manifest means "not initialized"; I/O errors must surface,
 			// not be silently re-initialized over.
@@ -79,7 +89,7 @@ func run(args []string) error {
 				return err
 			}
 			if exists {
-				return fmt.Errorf("store already initialized in %s", env.data)
+				return fmt.Errorf("store already initialized in %s", env.where())
 			}
 		}
 		st, err := rstore.Open(rstore.Config{KV: kv})
@@ -98,11 +108,7 @@ func run(args []string) error {
 		if err := env.persist(kv, st); err != nil {
 			return err
 		}
-		where := env.store
-		if env.backend == rstore.EngineDisklog {
-			where = env.data
-		}
-		fmt.Printf("initialized empty store at %s (root version 0, branch main)\n", where)
+		fmt.Printf("initialized empty store at %s (root version 0, branch main)\n", env.where())
 		return nil
 	}
 
@@ -304,23 +310,47 @@ func sanitize(key string) string {
 
 // cliEnv is the persistence environment the global flags select.
 type cliEnv struct {
-	store   string // snapshot file (memory backend)
-	backend string // "memory" or "disklog"
-	data    string // disklog data directory
+	store   string   // snapshot file (memory backend)
+	backend string   // "memory", "disklog", or "remote"
+	data    string   // disklog data directory
+	addrs   []string // rstore-node addresses (remote backend)
 }
 
-// openCluster opens the single-node cluster in the configured backend
-// (validated up front in run).
+// durable reports that store state lives in the backend itself (a data
+// directory or a set of storage daemons) rather than a snapshot file.
+func (e cliEnv) durable() bool { return e.backend != rstore.EngineMemory }
+
+// where names the place the store lives, for messages.
+func (e cliEnv) where() string {
+	switch e.backend {
+	case rstore.EngineDisklog:
+		return e.data
+	case rstore.EngineRemote:
+		return "nodes " + strings.Join(e.addrs, ",")
+	default:
+		return e.store
+	}
+}
+
+// openCluster opens the cluster in the configured backend (validated up
+// front in run): single-node for the local engines, one node per daemon
+// address for remote.
 func (e cliEnv) openCluster() (*kvstore.Store, error) {
+	if e.backend == rstore.EngineRemote {
+		return rstore.OpenCluster(rstore.ClusterConfig{Engine: e.backend, NodeAddrs: e.addrs})
+	}
 	return rstore.OpenCluster(rstore.ClusterConfig{Nodes: 1, Engine: e.backend, Dir: e.data})
 }
 
-// load reopens the persisted store: from the snapshot file (memory) or by
-// replaying the data directory's segment files (disklog).
+// load reopens the persisted store: from the snapshot file (memory), by
+// replaying the data directory's segment files (disklog), or from the
+// remote nodes' contents.
 func (e cliEnv) load() (*kvstore.Store, *rstore.Store, error) {
-	if e.backend == rstore.EngineDisklog {
-		if _, err := os.Stat(e.data); err != nil {
-			return nil, nil, fmt.Errorf("open store %s (run init first): %w", e.data, err)
+	if e.durable() {
+		if e.backend == rstore.EngineDisklog {
+			if _, err := os.Stat(e.data); err != nil {
+				return nil, nil, fmt.Errorf("open store %s (run init first): %w", e.data, err)
+			}
 		}
 		kv, err := e.openCluster()
 		if err != nil {
@@ -329,7 +359,7 @@ func (e cliEnv) load() (*kvstore.Store, *rstore.Store, error) {
 		st, err := rstore.Load(rstore.Config{KV: kv})
 		if err != nil {
 			kv.Close()
-			return nil, nil, fmt.Errorf("open store %s (run init first): %w", e.data, err)
+			return nil, nil, fmt.Errorf("open store %s (run init first): %w", e.where(), err)
 		}
 		return kv, st, nil
 	}
@@ -353,13 +383,13 @@ func (e cliEnv) load() (*kvstore.Store, *rstore.Store, error) {
 }
 
 // persist makes the store durable: flush pending versions, then rewrite the
-// snapshot file (memory) or fsync-and-release the segment files (disklog —
-// the flush itself committed every write durably; Close catches strays).
+// snapshot file (memory) or release the backend (disklog/remote — the flush
+// itself committed every write durably; Close catches strays).
 func (e cliEnv) persist(kv *kvstore.Store, st *rstore.Store) error {
 	if err := st.Flush(); err != nil {
 		return err
 	}
-	if e.backend == rstore.EngineDisklog {
+	if e.durable() {
 		return kv.Close()
 	}
 	tmp := e.store + ".tmp"

@@ -163,7 +163,7 @@ func RunAblationCache(opts Options) ([]*Table, error) {
 			return nil, err
 		}
 		st, err := core.Open(core.Config{
-			KV:            mustKV(4),
+			KV:            mustKV(opts, 4),
 			ChunkCapacity: chunkCapacityFor(spec),
 			CacheBytes:    cacheBytes,
 		})
@@ -231,7 +231,7 @@ func RunAblationReplication(opts Options) ([]*Table, error) {
 		rf      int
 		balance bool
 	}{{1, false}, {2, false}, {2, true}, {3, true}} {
-		kv, err := kvstore.Open(kvstore.Config{
+		kv, err := opts.OpenCluster(kvstore.Config{
 			Nodes: 8, ReplicationFactor: cfg.rf, ReadBalance: cfg.balance,
 			Cost: kvstore.DefaultCostModel(),
 		})

@@ -8,10 +8,16 @@ package bench
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"strings"
+	"sync/atomic"
+
+	"rstore/internal/core"
+	"rstore/internal/kvstore"
 )
 
-// Options controls experiment scale. Zero fields take Quick() values.
+// Options controls experiment scale and the storage substrate the
+// experiment clusters run on.  Zero scale fields take Quick() values.
 type Options struct {
 	// VersionFrac and RecordFrac scale dataset versions / records per
 	// version relative to the paper's Table 2 parameters.
@@ -24,6 +30,71 @@ type Options struct {
 	Queries int
 	// Seed drives all generators.
 	Seed int64
+
+	// Engine overrides the storage backend every experiment cluster runs
+	// on: kvstore.EngineMemory (the default — allocation-exact, what the
+	// calibrated cost model assumes), kvstore.EngineDisklog (each cluster
+	// gets a fresh subdirectory of DataDir), or kvstore.EngineRemote (the
+	// cluster runs on the rstore-node daemons in NodeAddrs — the address
+	// list fixes the node count, overriding each experiment's nominal
+	// topology). Remote is a functional smoke substrate, not a clean-room
+	// one: the daemons must start empty, and because every cluster a run
+	// opens lands on the same daemons, storage-volume columns are only
+	// trustworthy for the first cluster of the process (there is no wipe
+	// op in the wire protocol yet — see ROADMAP).
+	Engine string
+	// DataDir hosts per-cluster data directories when Engine is
+	// kvstore.EngineDisklog.
+	DataDir string
+	// NodeAddrs lists rstore-node addresses when Engine is
+	// kvstore.EngineRemote.
+	NodeAddrs []string
+}
+
+// clusterSeq hands each disk-backed experiment cluster a fresh directory:
+// disklog directories are single-cluster (LOCK, GEOMETRY pinning).
+var clusterSeq atomic.Int64
+
+// substrate resolves the engine override into (engine, data directory,
+// node addresses) — the single source of truth for both helpers below.
+// Empty engine means the experiment's nominal in-memory cluster stands.
+func (o Options) substrate() (eng, dir string, addrs []string) {
+	switch o.Engine {
+	case "", kvstore.EngineMemory:
+		return "", "", nil
+	case kvstore.EngineRemote:
+		return kvstore.EngineRemote, "", o.NodeAddrs
+	default:
+		// Disklog and any future disk-backed engine: fresh directory per
+		// cluster.
+		return o.Engine, filepath.Join(o.DataDir, fmt.Sprintf("cluster-%03d", clusterSeq.Add(1))), nil
+	}
+}
+
+// OpenCluster opens an experiment cluster of the nominal shape cfg on the
+// backend Options selects.
+func (o Options) OpenCluster(cfg kvstore.Config) (*kvstore.Store, error) {
+	eng, dir, addrs := o.substrate()
+	if eng != "" {
+		cfg.Engine, cfg.Dir, cfg.NodeAddrs = eng, dir, addrs
+		if eng == kvstore.EngineRemote {
+			cfg.Nodes = 0 // the address list is the cluster shape
+		}
+	}
+	return kvstore.Open(cfg)
+}
+
+// OpenStore opens a store whose private cluster (cfg.KV == nil) runs on
+// the backend Options selects. The store owns that cluster, so the usual
+// st.Close() cleans it up.
+func (o Options) OpenStore(cfg core.Config) (*core.Store, error) {
+	if cfg.KV == nil {
+		eng, dir, addrs := o.substrate()
+		if eng != "" {
+			cfg.Engine, cfg.DataDir, cfg.NodeAddrs = eng, dir, addrs
+		}
+	}
+	return core.Open(cfg)
 }
 
 // Quick returns the fast-iteration scale used by `go test -bench` defaults:

@@ -42,7 +42,7 @@ func RunFig13(opts Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			st, err := core.Open(core.Config{ChunkCapacity: capacity})
+			st, err := opts.OpenStore(core.Config{ChunkCapacity: capacity})
 			if err != nil {
 				return nil, err
 			}
@@ -70,7 +70,7 @@ func RunFig13(opts Options) ([]*Table, error) {
 			if batch < 1 {
 				batch = 1
 			}
-			st, err := core.Open(core.Config{ChunkCapacity: capacity, BatchSize: batch})
+			st, err := opts.OpenStore(core.Config{ChunkCapacity: capacity, BatchSize: batch})
 			if err != nil {
 				return nil, err
 			}

@@ -74,7 +74,7 @@ func RunFig8(opts Options) ([]*Table, error) {
 				}
 				row = append(row, d(partition.TotalSpan(in, a)))
 			}
-			row = append(row, d(deltaSpan(c, capacity)))
+			row = append(row, d(deltaSpan(opts, c, capacity)))
 			t.AddRow(row...)
 		}
 		tables = append(tables, t)
@@ -84,8 +84,8 @@ func RunFig8(opts Options) ([]*Table, error) {
 
 // deltaSpan computes the DELTA baseline's total version span without
 // issuing queries.
-func deltaSpan(c *corpus.Corpus, capacity int) int {
-	kv, err := kvstore.Open(kvstore.Config{Nodes: 1})
+func deltaSpan(opts Options, c *corpus.Corpus, capacity int) int {
+	kv, err := opts.OpenCluster(kvstore.Config{Nodes: 1})
 	if err != nil {
 		return -1
 	}

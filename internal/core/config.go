@@ -34,12 +34,16 @@ type Config struct {
 	// cluster and closes it on Close.
 	KV *kvstore.Store
 	// Engine selects the storage backend of the private cluster created
-	// when KV is nil: kvstore.EngineMemory (default) or
-	// kvstore.EngineDisklog. Ignored when KV is set.
+	// when KV is nil: kvstore.EngineMemory (default), kvstore.EngineDisklog,
+	// or kvstore.EngineRemote. Ignored when KV is set.
 	Engine string
 	// DataDir is the data directory for disk-backed engines of the private
 	// cluster. Required when Engine is kvstore.EngineDisklog.
 	DataDir string
+	// NodeAddrs lists the storage daemon addresses of the private cluster
+	// (one node per address, in ring order). Required when Engine is
+	// kvstore.EngineRemote.
+	NodeAddrs []string
 	// Partitioner is the chunking algorithm; nil means BottomUp.
 	Partitioner partition.Algorithm
 	// ChunkCapacity is the nominal chunk size C in bytes (default 1 MiB,
@@ -78,11 +82,16 @@ type Config struct {
 func (c Config) withDefaults() (Config, bool, error) {
 	ownsKV := false
 	if c.KV == nil {
+		nodes := 1
+		if c.Engine == kvstore.EngineRemote {
+			nodes = len(c.NodeAddrs) // the address list is the cluster shape
+		}
 		kv, err := kvstore.Open(kvstore.Config{
-			Nodes:  1,
-			Cost:   kvstore.DefaultCostModel(),
-			Engine: c.Engine,
-			Dir:    c.DataDir,
+			Nodes:     nodes,
+			Cost:      kvstore.DefaultCostModel(),
+			Engine:    c.Engine,
+			Dir:       c.DataDir,
+			NodeAddrs: c.NodeAddrs,
 		})
 		if err != nil {
 			return c, false, err

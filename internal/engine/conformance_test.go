@@ -13,6 +13,8 @@ import (
 	"rstore/internal/engine"
 	"rstore/internal/engine/disklog"
 	"rstore/internal/engine/memory"
+	"rstore/internal/engine/remote"
+	"rstore/internal/engine/remote/engined"
 )
 
 // backends enumerates every implementation under test. Each factory returns
@@ -27,6 +29,20 @@ func backends(t *testing.T) map[string]func(t *testing.T) engine.Backend {
 				t.Fatal(err)
 			}
 			return b
+		},
+		// The wire client against an engined server over real TCP: the
+		// remote seam must be indistinguishable from a local backend.
+		"remote": func(t *testing.T) engine.Backend {
+			srv, err := engined.Start("127.0.0.1:0", memory.New())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { srv.Close() })
+			c, err := remote.Dial(srv.Addr().String(), remote.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
 		},
 	}
 }

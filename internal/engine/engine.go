@@ -13,6 +13,17 @@
 // alias internal buffers and must not be retained or mutated.
 package engine
 
+import "errors"
+
+// ErrUnavailable classifies a backend failure as transient unavailability:
+// the node could not be reached (connection refused, dial timeout, a
+// connection that died mid-request) or is administratively down, as opposed
+// to a hard engine error (corruption, I/O failure, closed backend) that
+// reached the node and failed there. Layers above route around unavailable
+// replicas and retry; hard errors abort the operation. Implementations wrap
+// transport-level failures so errors.Is(err, ErrUnavailable) holds.
+var ErrUnavailable = errors.New("engine: backend unavailable")
+
 // Entry is one key/value pair of a batched write.
 type Entry struct {
 	Key   string

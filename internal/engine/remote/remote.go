@@ -1,0 +1,438 @@
+// Package remote implements engine.Backend as a client of a storage node
+// served by internal/engine/remote/engined: every operation is a framed,
+// checksummed request over TCP (see internal/engine/remote/wire). This is
+// the seam that turns the in-process cluster simulator into a deployable
+// system — the layers above see the same Backend contract whether the node
+// is a map in this process or a disklog daemon on another machine.
+//
+// Connections are pooled and re-dialed on demand, so a node that restarts
+// is picked up transparently. Transport-level failures (dial errors, a
+// connection dying mid-request) are retried with exponential backoff and,
+// if they persist, surface wrapped in engine.ErrUnavailable so the cluster
+// layer can route around the node; errors the node itself returned are
+// passed through as hard errors. Retrying a possibly-applied write is safe
+// because every Backend operation is idempotent (puts overwrite, deletes
+// tolerate missing keys).
+package remote
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rstore/internal/codec"
+	"rstore/internal/engine"
+	"rstore/internal/engine/remote/wire"
+	"rstore/internal/types"
+)
+
+// Options tunes a client. The zero value gives defaults.
+type Options struct {
+	// PoolSize is the number of idle connections kept for reuse; more may
+	// be open at once under concurrency. Default 4.
+	PoolSize int
+	// DialTimeout bounds one connection attempt. Default 2s.
+	DialTimeout time.Duration
+	// Attempts is how many times an operation is tried before reporting
+	// the node unavailable; each attempt uses a fresh connection when the
+	// previous one failed. Default 3.
+	Attempts int
+	// Backoff is the delay before the second attempt; it doubles per
+	// further attempt. Default 25ms.
+	Backoff time.Duration
+	// IOTimeout bounds each request/response exchange (refreshed per
+	// streamed Scan frame). Default 30s.
+	IOTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.PoolSize <= 0 {
+		o.PoolSize = 4
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.Attempts <= 0 {
+		o.Attempts = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 25 * time.Millisecond
+	}
+	if o.IOTimeout <= 0 {
+		o.IOTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// Client is an engine.Backend served by a remote storage node.
+type Client struct {
+	addr string
+	opts Options
+
+	mu     sync.Mutex
+	idle   []*conn
+	closed bool
+}
+
+var _ engine.Backend = (*Client)(nil)
+
+// conn is one pooled connection with its buffered reader and reusable
+// receive buffer.
+type conn struct {
+	nc  net.Conn
+	br  *bufio.Reader
+	buf []byte
+}
+
+// Dial creates a client for the node at addr (host:port). Connecting is
+// lazy — a node that is down at Dial time is simply unavailable until it
+// comes up — so only the address syntax is validated here.
+func Dial(addr string, opts Options) (*Client, error) {
+	if _, _, err := net.SplitHostPort(addr); err != nil {
+		return nil, fmt.Errorf("remote: bad node address %q: %w", addr, err)
+	}
+	return &Client{addr: addr, opts: opts.withDefaults()}, nil
+}
+
+// Addr returns the node address this client speaks to.
+func (c *Client) Addr() string { return c.addr }
+
+// unavailable wraps a transport-level failure for route-around handling.
+func (c *Client) unavailable(err error) error {
+	return fmt.Errorf("remote %s: %w: %v", c.addr, engine.ErrUnavailable, err)
+}
+
+// checkout returns a pooled connection or dials a new one.
+func (c *Client) checkout() (*conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, types.ErrClosed
+	}
+	if n := len(c.idle); n > 0 {
+		cn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cn, nil
+	}
+	c.mu.Unlock()
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{nc: nc, br: bufio.NewReader(nc)}, nil
+}
+
+// release returns a healthy connection to the pool (or closes it when the
+// pool is full or the client closed).
+func (c *Client) release(cn *conn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.opts.PoolSize {
+		c.idle = append(c.idle, cn)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	cn.nc.Close()
+}
+
+// exchange sends req and feeds response frames to handle until it reports
+// done. A false done with nil error reads another frame (Scan streaming).
+// The returned abandon reports that the connection must not be pooled even
+// though the operation did not fail (early-stopped Scan).
+func (cn *conn) exchange(iot time.Duration, req []byte, handle func(status byte, body []byte) (done, abandon bool, err error)) (abandon bool, err error) {
+	cn.nc.SetDeadline(time.Now().Add(iot))
+	if err := wire.WriteFrame(cn.nc, req); err != nil {
+		return false, transportErr(err)
+	}
+	for {
+		payload, err := wire.ReadFrame(cn.br, cn.buf)
+		if err != nil {
+			return false, transportErr(err)
+		}
+		if cap(payload) > cap(cn.buf) {
+			cn.buf = payload[:0]
+		}
+		if len(payload) == 0 {
+			return false, transportErr(fmt.Errorf("%w: empty response frame", types.ErrCorrupt))
+		}
+		done, abandon, err := handle(payload[0], payload[1:])
+		if err != nil || done {
+			return abandon, err
+		}
+		cn.nc.SetDeadline(time.Now().Add(iot)) // streaming: refresh per frame
+	}
+}
+
+// transportError marks failures that warrant a retry on a fresh connection.
+type transportError struct{ err error }
+
+func (e transportError) Error() string { return e.err.Error() }
+func (e transportError) Unwrap() error { return e.err }
+
+func transportErr(err error) error { return transportError{err} }
+
+// do runs one operation with pooling, retry, and backoff: transport-level
+// failures are retried on a fresh connection (idempotent operations make
+// this safe) until attempts run out, then surface as unavailable; errors
+// the handler returns are hard and abort immediately. A non-nil canRetry
+// vetoes retries for operations whose effects already partially reached
+// the caller (a Scan that delivered entries).
+func (c *Client) do(req []byte, canRetry func() bool, handle func(status byte, body []byte) (done, abandon bool, err error)) error {
+	if len(req) > wire.MaxFrame {
+		// A request no frame can carry is a hard caller error, not node
+		// unavailability — retrying cannot help.
+		return fmt.Errorf("remote %s: request of %d bytes exceeds the %d-byte frame limit", c.addr, len(req), wire.MaxFrame)
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.opts.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.opts.Backoff << (attempt - 1))
+		}
+		cn, err := c.checkout()
+		if err != nil {
+			if errors.Is(err, types.ErrClosed) {
+				return err
+			}
+			lastErr = err // dial failure: transient by definition
+			continue
+		}
+		abandon, err := cn.exchange(c.opts.IOTimeout, req, handle)
+		if err == nil {
+			if abandon {
+				cn.nc.Close()
+			} else {
+				c.release(cn)
+			}
+			return nil
+		}
+		cn.nc.Close()
+		te, transient := err.(transportError)
+		if !transient {
+			return err
+		}
+		lastErr = te.err
+		// Pooled siblings of a broken connection usually broke with it
+		// (node restart): drop them so retries dial fresh.
+		c.flushIdle()
+		if canRetry != nil && !canRetry() {
+			break
+		}
+	}
+	return c.unavailable(lastErr)
+}
+
+// flushIdle discards all pooled connections.
+func (c *Client) flushIdle() {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, cn := range idle {
+		cn.nc.Close()
+	}
+}
+
+// okOrErr handles the single OK/Err response of mutating operations.
+func okOrErr(status byte, body []byte) (bool, bool, error) {
+	switch status {
+	case wire.StOK:
+		return true, false, nil
+	case wire.StErr:
+		return true, false, decodeErr(body)
+	default:
+		return true, false, transportErr(fmt.Errorf("%w: unexpected response status %d", types.ErrCorrupt, status))
+	}
+}
+
+// decodeErr reconstructs a node-side error. It stays a hard error; sentinel
+// identity does not survive the wire except for closed-backend errors,
+// which are mapped back so callers can match types.ErrClosed.
+func decodeErr(body []byte) error {
+	msg := string(body)
+	if msg == types.ErrClosed.Error() {
+		return types.ErrClosed
+	}
+	return fmt.Errorf("remote node: %s", msg)
+}
+
+// Put stores value under (table, key) on the node.
+func (c *Client) Put(table, key string, value []byte) error {
+	req := []byte{wire.OpPut}
+	req = codec.PutString(req, table)
+	req = codec.PutString(req, key)
+	req = append(req, value...)
+	return c.do(req, nil, okOrErr)
+}
+
+// Get returns the value under (table, key).
+func (c *Client) Get(table, key string) ([]byte, bool, error) {
+	req := []byte{wire.OpGet}
+	req = codec.PutString(req, table)
+	req = codec.PutString(req, key)
+	var value []byte
+	found := false
+	err := c.do(req, nil, func(status byte, body []byte) (bool, bool, error) {
+		switch status {
+		case wire.StOK:
+			value = append([]byte(nil), body...) // body aliases the receive buffer
+			found = true
+			return true, false, nil
+		case wire.StNotFound:
+			return true, false, nil
+		case wire.StErr:
+			return true, false, decodeErr(body)
+		default:
+			return true, false, transportErr(fmt.Errorf("%w: unexpected response status %d", types.ErrCorrupt, status))
+		}
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return value, found, nil
+}
+
+// Delete removes (table, key); deleting a missing key is a no-op.
+func (c *Client) Delete(table, key string) error {
+	req := []byte{wire.OpDelete}
+	req = codec.PutString(req, table)
+	req = codec.PutString(req, key)
+	return c.do(req, nil, okOrErr)
+}
+
+// BatchPut applies all entries to one table with the node's batch
+// durability (one fsync per batch on a disklog node).
+func (c *Client) BatchPut(table string, entries []engine.Entry) error {
+	req := []byte{wire.OpBatchPut}
+	req = codec.PutString(req, table)
+	req = codec.PutUvarint(req, uint64(len(entries)))
+	for _, e := range entries {
+		req = codec.PutString(req, e.Key)
+		req = codec.PutBytes(req, e.Value)
+	}
+	return c.do(req, nil, okOrErr)
+}
+
+// Scan streams every key/value of a table from the node. Values passed to
+// fn alias the receive buffer (the engine.Backend Scan contract). Once
+// entries have been delivered a broken stream is not retried — the caller
+// would see duplicates — and surfaces as unavailable.
+func (c *Client) Scan(table string, fn func(key string, value []byte) bool) error {
+	req := []byte{wire.OpScan}
+	req = codec.PutString(req, table)
+	delivered := false
+	return c.do(req, func() bool { return !delivered }, func(status byte, body []byte) (bool, bool, error) {
+		switch status {
+		case wire.StEntry:
+			key, rest, err := codec.String(body)
+			if err != nil {
+				return true, false, transportErr(err)
+			}
+			delivered = true
+			if !fn(key, rest) {
+				// Abandon the connection: the node is still streaming.
+				return true, true, nil
+			}
+			return false, false, nil
+		case wire.StEnd:
+			return true, false, nil
+		case wire.StErr:
+			return true, false, decodeErr(body)
+		default:
+			return true, false, transportErr(fmt.Errorf("%w: unexpected response status %d", types.ErrCorrupt, status))
+		}
+	})
+}
+
+// Tables lists the node's non-empty tables.
+func (c *Client) Tables() ([]string, error) {
+	var tables []string
+	err := c.do([]byte{wire.OpTables}, nil, func(status byte, body []byte) (bool, bool, error) {
+		switch status {
+		case wire.StOK:
+			n, rest, err := codec.Uvarint(body)
+			if err != nil {
+				return true, false, transportErr(err)
+			}
+			// Each table name needs at least its length prefix in the
+			// body; don't size an allocation from a corrupt count.
+			if n > uint64(len(rest))+1 {
+				return true, false, transportErr(fmt.Errorf("%w: table count %d exceeds body", types.ErrCorrupt, n))
+			}
+			tables = make([]string, 0, n)
+			for i := uint64(0); i < n; i++ {
+				var t string
+				t, rest, err = codec.String(rest)
+				if err != nil {
+					return true, false, transportErr(err)
+				}
+				tables = append(tables, t)
+			}
+			return true, false, nil
+		case wire.StErr:
+			return true, false, decodeErr(body)
+		default:
+			return true, false, transportErr(fmt.Errorf("%w: unexpected response status %d", types.ErrCorrupt, status))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tables, nil
+}
+
+// Stored reports the node's resident live payload volume, with the error
+// BytesStored's signature cannot carry.
+func (c *Client) Stored() (int64, error) {
+	var n int64
+	err := c.do([]byte{wire.OpBytesStored}, nil, func(status byte, body []byte) (bool, bool, error) {
+		switch status {
+		case wire.StOK:
+			v, _, err := codec.Uvarint(body)
+			if err != nil {
+				return true, false, transportErr(err)
+			}
+			n = int64(v)
+			return true, false, nil
+		case wire.StErr:
+			return true, false, decodeErr(body)
+		default:
+			return true, false, transportErr(fmt.Errorf("%w: unexpected response status %d", types.ErrCorrupt, status))
+		}
+	})
+	return n, err
+}
+
+// BytesStored implements engine.Backend; an unreachable node reports 0.
+func (c *Client) BytesStored() int64 {
+	n, err := c.Stored()
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Ping round-trips a no-op request, reporting node reachability.
+func (c *Client) Ping() error {
+	return c.do([]byte{wire.OpPing}, nil, okOrErr)
+}
+
+// Close releases the client's connections. The node and its data are
+// unaffected — a remote backend's lifecycle belongs to its daemon. Closing
+// twice is a no-op.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for _, cn := range c.idle {
+		cn.nc.Close()
+	}
+	c.idle = nil
+	return nil
+}

@@ -1,0 +1,102 @@
+// Package wire defines the binary protocol a remote storage node speaks:
+// the framing and message encodings shared by the client
+// (internal/engine/remote) and the server (internal/engine/remote/engined).
+//
+// Every message — request or response — travels in one frame:
+//
+//	frame   := length(uint32 LE, of payload) crc32(uint32 LE, IEEE of payload) payload
+//
+// The checksum makes a half-written or bit-flipped frame detectable at the
+// receiver instead of being decoded into garbage operations, mirroring the
+// per-record checksums of the disklog segment format.
+//
+// Request payloads start with an op byte; response payloads start with a
+// status byte. Strings and byte strings are uvarint-length-prefixed
+// (internal/codec). One request yields exactly one response frame, except
+// Scan, which streams StEntry frames and terminates with StEnd (or StErr).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"rstore/internal/types"
+)
+
+// Request opcodes (first byte of a request payload).
+const (
+	OpPut byte = iota + 1
+	OpGet
+	OpDelete
+	OpBatchPut
+	OpScan
+	OpTables
+	OpBytesStored
+	OpPing
+)
+
+// Response statuses (first byte of a response payload).
+const (
+	// StOK acknowledges the request; op-specific results follow.
+	StOK byte = iota + 1
+	// StErr reports a backend error; the error text follows. The operation
+	// reached the node and failed there — a hard error, not unavailability.
+	StErr
+	// StNotFound is Get's "key absent" result (not an error; matches the
+	// engine.Backend contract).
+	StNotFound
+	// StEntry carries one streamed Scan key/value.
+	StEntry
+	// StEnd terminates a Scan stream.
+	StEnd
+)
+
+// frameHeader is the fixed prefix of every frame: payload length + checksum.
+const frameHeader = 8
+
+// MaxFrame bounds a single payload (1 GiB, matching disklog's maxBody):
+// larger announced lengths are treated as stream corruption rather than
+// allocated.
+const MaxFrame = 1 << 30
+
+// WriteFrame frames payload onto w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame from r, verifying the checksum. The payload is
+// read into buf when it fits (the returned slice then aliases buf), so a
+// caller looping over frames can reuse one buffer.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: wire frame announces %d bytes", types.ErrCorrupt, n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	payload := buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	if got := crc32.ChecksumIEEE(payload); got != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, fmt.Errorf("%w: wire frame checksum mismatch", types.ErrCorrupt)
+	}
+	return payload, nil
+}

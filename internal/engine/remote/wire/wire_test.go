@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"rstore/internal/types"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{
+		{OpPing},
+		[]byte("hello frames"),
+		make([]byte, 1<<16), // bigger than any bufio boundary
+		{},                  // empty payloads are legal at the framing layer
+	}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var reuse []byte
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf, reuse)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+		reuse = got[:0]
+	}
+	if _, err := ReadFrame(&buf, nil); !errors.Is(err, io.EOF) {
+		t.Fatalf("read past last frame: %v", err)
+	}
+}
+
+func TestFrameChecksumDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("precious payload")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0x40 // flip a payload bit; header stays intact
+	_, err := ReadFrame(bytes.NewReader(raw), nil)
+	if !errors.Is(err, types.ErrCorrupt) || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupted frame: %v", err)
+	}
+}
+
+func TestFrameRejectsHugeLength(t *testing.T) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], MaxFrame+1)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]), nil)
+	if !errors.Is(err, types.ErrCorrupt) {
+		t.Fatalf("oversized announcement: %v", err)
+	}
+}
+
+func TestFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("truncated in flight")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadFrame(bytes.NewReader(raw), nil); err == nil {
+		t.Fatal("truncated frame decoded cleanly")
+	}
+}

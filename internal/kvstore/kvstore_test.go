@@ -305,8 +305,10 @@ func TestStatsAndClock(t *testing.T) {
 	if st.Requests < 2 || st.BytesRead < 1000 || st.BytesPut < 1000 || st.SimElapsed <= 0 {
 		t.Fatalf("stats: %+v", st)
 	}
-	if st.BytesStored != 1000 {
-		t.Fatalf("BytesStored = %d", st.BytesStored)
+	// Resident bytes include the per-key LWW envelope; payload counters
+	// (BytesPut/BytesRead) do not.
+	if st.BytesStored != 1000+EnvelopeOverhead {
+		t.Fatalf("BytesStored = %d, want %d", st.BytesStored, 1000+EnvelopeOverhead)
 	}
 	s.ResetClock()
 	st = s.Stats()

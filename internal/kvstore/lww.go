@@ -1,0 +1,76 @@
+package kvstore
+
+import (
+	"fmt"
+	"time"
+
+	"rstore/internal/types"
+)
+
+// Last-write-wins envelopes.
+//
+// With replication, a node that was down (or partitioned) while its peers
+// accepted writes comes back *stale but present*: it happily serves an old
+// value for an overwritten key, or a resurrected value for a deleted one.
+// A boolean up/down flag cannot catch this — the node is genuinely up. So
+// every value the cluster stores is wrapped in a small envelope carrying a
+// write timestamp and a tombstone flag, and reads at replication factor
+// > 1 consult every live replica and take the newest version (Cassandra's
+// conflict rule, without its background repair — a stale replica stays
+// stale on disk until overwritten; see ROADMAP "replication repair").
+//
+// Envelope layout: flag (1 byte: value|tombstone) | timestamp (8 bytes LE,
+// nanoseconds) | payload. Timestamps come from a per-cluster-client hybrid
+// clock (wall time, forced monotonic), so writes from a reopened client
+// order after the previous client's as long as wall clocks move forward.
+// Deletes are tombstone writes: a replica that missed the delete is
+// outvoted by the tombstone's newer timestamp instead of resurrecting the
+// value. Tombstones are currently kept forever (deletes are rare in
+// RStore: repartition cleanup and delta drains).
+
+const (
+	envValue     = 0
+	envTombstone = 1
+
+	// EnvelopeOverhead is the per-key byte cost of the envelope; it shows
+	// up in BytesStored (which reports resident backend bytes) but not in
+	// BytesPut/BytesRead (which report client payload traffic).
+	EnvelopeOverhead = 9
+)
+
+// nextTS returns a timestamp strictly greater than any this Store handed
+// out before, tracking wall time when it moves forward.
+func (s *Store) nextTS() uint64 {
+	for {
+		last := s.lastTS.Load()
+		ts := uint64(time.Now().UnixNano())
+		if ts <= last {
+			ts = last + 1
+		}
+		if s.lastTS.CompareAndSwap(last, ts) {
+			return ts
+		}
+	}
+}
+
+// envelope wraps payload for storage.
+func envelope(flag byte, ts uint64, payload []byte) []byte {
+	out := make([]byte, EnvelopeOverhead+len(payload))
+	out[0] = flag
+	for i := 0; i < 8; i++ {
+		out[1+i] = byte(ts >> (8 * i))
+	}
+	copy(out[EnvelopeOverhead:], payload)
+	return out
+}
+
+// unenvelope splits a stored value. The payload aliases b.
+func unenvelope(b []byte) (payload []byte, ts uint64, tombstone bool, err error) {
+	if len(b) < EnvelopeOverhead || b[0] > envTombstone {
+		return nil, 0, false, fmt.Errorf("%w: %d-byte value is not an LWW envelope", types.ErrCorrupt, len(b))
+	}
+	for i := 0; i < 8; i++ {
+		ts |= uint64(b[1+i]) << (8 * i)
+	}
+	return b[EnvelopeOverhead:], ts, b[0] == envTombstone, nil
+}

@@ -1,87 +1,50 @@
 package kvstore
 
-import (
-	"errors"
-	"sync"
+import "rstore/internal/engine"
 
-	"rstore/internal/engine"
-)
-
-// errNodeDown reports an operation against a node marked down by failure
-// injection. The Store routes around it; it never escapes to callers.
-var errNodeDown = errors.New("kvstore: node down")
-
-// node is a single storage server: an up/down flag (for failure-injection
-// tests) in front of a storage engine that owns the actual data. Isolation
-// guarantees (callers never alias node state) are the backend's contract;
-// see engine.Backend.
+// node is a single storage server of the cluster. All data operations
+// route through its transport — a local engine.Backend behind the
+// failure-injection gate, or a remote daemon behind a wire client — so the
+// Store's replication and routing logic cannot tell a simulated node from
+// a real one. Isolation guarantees (callers never alias node state) are
+// the backend's contract; see engine.Backend.
 type node struct {
 	id int
-	mu sync.RWMutex // guards up
-	up bool
-	be engine.Backend
+	tr transport
 }
 
-func newNode(id int, be engine.Backend) *node {
-	return &node{id: id, up: true, be: be}
+func newNode(id int, tr transport) *node {
+	return &node{id: id, tr: tr}
 }
 
 func (n *node) put(table, key string, value []byte) error {
-	if !n.isUp() {
-		return errNodeDown
-	}
-	return n.be.Put(table, key, value)
+	return n.tr.put(table, key, value)
 }
 
 func (n *node) batchPut(table string, entries []engine.Entry) error {
-	if !n.isUp() {
-		return errNodeDown
-	}
-	return n.be.BatchPut(table, entries)
+	return n.tr.batchPut(table, entries)
 }
 
 func (n *node) get(table, key string) ([]byte, bool, error) {
-	if !n.isUp() {
-		return nil, false, errNodeDown
-	}
-	return n.be.Get(table, key)
-}
-
-func (n *node) delete(table, key string) error {
-	if !n.isUp() {
-		return errNodeDown
-	}
-	return n.be.Delete(table, key)
+	return n.tr.get(table, key)
 }
 
 // scan visits every key/value of a table. Values passed to fn may alias
 // backend storage; fn must not retain or mutate them.
 func (n *node) scan(table string, fn func(key string, value []byte) bool) error {
-	if !n.isUp() {
-		return errNodeDown
-	}
-	return n.be.Scan(table, fn)
+	return n.tr.scan(table, fn)
 }
 
 func (n *node) tables() ([]string, error) {
-	if !n.isUp() {
-		return nil, errNodeDown
-	}
-	return n.be.Tables()
+	return n.tr.tables()
 }
 
-func (n *node) stored() int64 {
-	return n.be.BytesStored()
-}
-
-func (n *node) setUp(up bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.up = up
+// stored reports the node's resident bytes; a down or unreachable node
+// errors (unavailable) instead of touching storage it cannot see.
+func (n *node) stored() (int64, error) {
+	return n.tr.stored()
 }
 
 func (n *node) isUp() bool {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.up
+	return n.tr.available()
 }

@@ -1,0 +1,413 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rstore/internal/engine"
+	"rstore/internal/engine/memory"
+	"rstore/internal/engine/remote"
+	"rstore/internal/engine/remote/engined"
+	"rstore/internal/types"
+)
+
+// testNode is one in-process storage daemon for cluster tests.
+type testNode struct {
+	be  engine.Backend
+	srv *engined.Server
+}
+
+// startNodes boots n daemons over memory backends and returns their
+// addresses. kill/restart simulate real process death and recovery.
+func startNodes(t *testing.T, n int) ([]string, []*testNode) {
+	t.Helper()
+	addrs := make([]string, n)
+	nodes := make([]*testNode, n)
+	for i := range nodes {
+		be := memory.New()
+		srv, err := engined.Start("127.0.0.1:0", be)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = &testNode{be: be, srv: srv}
+		addrs[i] = srv.Addr().String()
+		t.Cleanup(func() { srv.Close() })
+	}
+	return addrs, nodes
+}
+
+func (tn *testNode) kill() { tn.srv.Close() }
+
+func (tn *testNode) restart(t *testing.T, addr string) {
+	t.Helper()
+	srv, err := engined.Start(addr, tn.be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.srv = srv
+	t.Cleanup(func() { srv.Close() })
+}
+
+// remoteOpts keeps retry latency test-friendly.
+func remoteOpts() remote.Options {
+	return remote.Options{Attempts: 2, Backoff: 1e6 /* 1ms */}
+}
+
+func openRemote(t *testing.T, addrs []string, rf int) *Store {
+	t.Helper()
+	s, err := Open(Config{Engine: EngineRemote, NodeAddrs: addrs, ReplicationFactor: rf, Remote: remoteOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestRemoteClusterBasicOps(t *testing.T) {
+	addrs, _ := startNodes(t, 3)
+	s := openRemote(t, addrs, 2)
+	if s.Nodes() != 3 {
+		t.Fatalf("Nodes = %d", s.Nodes())
+	}
+
+	var keys []string
+	var entries []Entry
+	for i := 0; i < 60; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		keys = append(keys, k)
+		entries = append(entries, Entry{Key: k, Value: []byte("v-" + k)})
+	}
+	if err := s.BatchPut("t", entries); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		v, err := s.Get("t", k)
+		if err != nil || string(v) != "v-"+k {
+			t.Fatalf("%s: %q %v", k, v, err)
+		}
+	}
+	res, err := s.MultiGet("t", keys)
+	if err != nil || len(res.Missing) != 0 {
+		t.Fatalf("multiget: %v missing=%v", err, res.Missing)
+	}
+	if _, err := s.Get("t", "absent"); !errors.Is(err, types.ErrNotFound) {
+		t.Fatalf("absent key: %v", err)
+	}
+	if err := s.Delete("t", keys[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("t", keys[0]); !errors.Is(err, types.ErrNotFound) {
+		t.Fatalf("deleted key: %v", err)
+	}
+	// Scan sees each surviving key exactly once despite replication.
+	got := map[string]int{}
+	if err := s.Scan("t", func(k string, v []byte) bool { got[k]++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys)-1 {
+		t.Fatalf("scanned %d keys, want %d", len(got), len(keys)-1)
+	}
+	for k, n := range got {
+		if n != 1 {
+			t.Fatalf("%s visited %d times", k, n)
+		}
+	}
+	if st := s.Stats(); st.BytesStored <= 0 {
+		t.Fatalf("BytesStored = %d", st.BytesStored)
+	}
+}
+
+func TestRemoteClusterNodeCountFromAddrs(t *testing.T) {
+	addrs, _ := startNodes(t, 2)
+	if _, err := Open(Config{Engine: EngineRemote, NodeAddrs: addrs, Nodes: 5}); err == nil {
+		t.Fatal("node count / address list mismatch accepted")
+	}
+	if _, err := Open(Config{Engine: EngineRemote}); err == nil {
+		t.Fatal("remote engine with no addresses accepted")
+	}
+}
+
+func TestRemoteClusterRoutesAroundDeadNode(t *testing.T) {
+	addrs, nodes := startNodes(t, 3)
+	s := openRemote(t, addrs, 2)
+
+	var keys []string
+	for i := 0; i < 40; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		keys = append(keys, k)
+		if err := s.Put("t", k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Kill a real process: connection refused, not a flag.
+	nodes[1].kill()
+
+	// Reads recover from surviving replicas.
+	for _, k := range keys {
+		if v, err := s.Get("t", k); err != nil || string(v) != k {
+			t.Fatalf("get %s with node down: %q %v", k, v, err)
+		}
+	}
+	res, err := s.MultiGet("t", keys)
+	if err != nil || len(res.Missing) != 0 {
+		t.Fatalf("multiget with node down: %v missing=%v", err, res.Missing)
+	}
+
+	// Writes route around the dead node (every key keeps one live replica
+	// at rf=2 with one of three nodes down).
+	var entries []Entry
+	for i := 0; i < 40; i++ {
+		k := fmt.Sprintf("new%03d", i)
+		keys = append(keys, k)
+		entries = append(entries, Entry{Key: k, Value: []byte(k)})
+	}
+	if err := s.BatchPut("t", entries); err != nil {
+		t.Fatalf("batchput with node down: %v", err)
+	}
+
+	// Stats skip the unreachable node instead of blocking or lying.
+	if st := s.Stats(); st.BytesStored <= 0 {
+		t.Fatalf("BytesStored with node down = %d", st.BytesStored)
+	}
+	if nb := s.NodeBytes(); nb[1] != 0 {
+		t.Fatalf("dead node reports %d bytes", nb[1])
+	}
+
+	// Restart: the node comes back (stale for writes made while down —
+	// reads fall back across replicas, so every key is still served).
+	nodes[1].restart(t, addrs[1])
+	for _, k := range keys {
+		if v, err := s.Get("t", k); err != nil || string(v) != k {
+			t.Fatalf("get %s after restart: %q %v", k, v, err)
+		}
+	}
+	res, err = s.MultiGet("t", keys)
+	if err != nil || len(res.Missing) != 0 {
+		t.Fatalf("multiget after restart: %v missing=%v", err, res.Missing)
+	}
+}
+
+func TestRemoteClusterAllReplicasDownIsAnError(t *testing.T) {
+	addrs, nodes := startNodes(t, 2)
+	s := openRemote(t, addrs, 1)
+	if err := s.Put("t", "a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	owner := s.ring.primary("a")
+	nodes[owner].kill()
+	if _, err := s.Get("t", "a"); err == nil || !strings.Contains(err.Error(), "all replicas down") {
+		t.Fatalf("read from fully-dead replica set: %v", err)
+	}
+	if err := s.Put("t", "a", []byte("2")); err == nil {
+		t.Fatal("write to fully-dead replica set succeeded")
+	}
+}
+
+func TestRemoteClusterRejectsFailureInjection(t *testing.T) {
+	addrs, _ := startNodes(t, 1)
+	s := openRemote(t, addrs, 1)
+	if err := s.SetNodeUp(0, false); err == nil {
+		t.Fatal("failure injection on a remote node accepted")
+	}
+}
+
+// Satellite: Close is idempotent and aggregates per-node errors.
+
+// failingCloseBackend wraps memory with a Close that always errors.
+type failingCloseBackend struct {
+	engine.Backend
+	id int
+}
+
+func (b failingCloseBackend) Close() error { return fmt.Errorf("sync of node %d failed", b.id) }
+
+func TestCloseIdempotentAndAggregated(t *testing.T) {
+	s, err := Open(Config{Nodes: 3, NewBackend: func(id int) (engine.Backend, error) {
+		return failingCloseBackend{Backend: memory.New(), id: id}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Close()
+	if err == nil {
+		t.Fatal("aggregated close error lost")
+	}
+	// errors.Join: every node's failure is present, not just the first.
+	for id := 0; id < 3; id++ {
+		if !strings.Contains(err.Error(), fmt.Sprintf("sync of node %d failed", id)) {
+			t.Fatalf("close error lost node %d: %v", id, err)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("close node %d", id)) {
+			t.Fatalf("close error not annotated with node id: %v", err)
+		}
+	}
+	// Second close: no-op, backends not re-touched.
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// Satellite: stats skip down nodes instead of touching their backend.
+
+// pollingBackend counts BytesStored calls so the test can prove a down
+// node's backend is never consulted.
+type pollingBackend struct {
+	engine.Backend
+	polls *int
+}
+
+func (b pollingBackend) BytesStored() int64 { *b.polls++; return b.Backend.BytesStored() }
+
+func TestStatsSkipDownNodes(t *testing.T) {
+	polls := make([]int, 2)
+	s, err := Open(Config{Nodes: 2, NewBackend: func(id int) (engine.Backend, error) {
+		return pollingBackend{Backend: memory.New(), polls: &polls[id]}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 32; i++ {
+		if err := s.Put("t", fmt.Sprintf("k%02d", i), []byte("xxxx")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := s.Stats().BytesStored
+	if all <= 0 {
+		t.Fatalf("BytesStored = %d", all)
+	}
+	if err := s.SetNodeUp(1, false); err != nil {
+		t.Fatal(err)
+	}
+	polls[1] = 0
+	down := s.Stats().BytesStored
+	if down <= 0 || down >= all {
+		t.Fatalf("BytesStored with node 1 down = %d (all up: %d)", down, all)
+	}
+	if nb := s.NodeBytes(); nb[1] != 0 {
+		t.Fatalf("down node reports %d bytes", nb[1])
+	}
+	if polls[1] != 0 {
+		t.Fatalf("down node's backend polled %d times", polls[1])
+	}
+}
+
+// Scan feeds recovery and snapshots, so it must refuse to present a
+// truncated view instead of silently skipping nodes whose keys have no
+// other replica.
+func TestScanRefusesIncompleteView(t *testing.T) {
+	s, err := Open(Config{Nodes: 3, ReplicationFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 60; i++ {
+		if err := s.Put("t", fmt.Sprintf("k%02d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := func() (int, error) {
+		n := 0
+		err := s.Scan("t", func(string, []byte) bool { n++; return true })
+		return n, err
+	}
+	// One node down at rf=2: every key still has a live replica, so the
+	// sweep is complete.
+	if err := s.SetNodeUp(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := count(); err != nil || n != 60 {
+		t.Fatalf("scan with 1/3 nodes down: n=%d err=%v", n, err)
+	}
+	// Two nodes down at rf=2: some key's whole replica set may be gone.
+	if err := s.SetNodeUp(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := count(); err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Fatalf("scan with 2/3 nodes down at rf=2: %v", err)
+	}
+}
+
+func TestUnreplicatedScanRefusesDownNode(t *testing.T) {
+	s, err := Open(Config{Nodes: 2, ReplicationFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 20; i++ {
+		if err := s.Put("t", fmt.Sprintf("k%02d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SetNodeUp(1, false); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Scan("t", func(string, []byte) bool { return true })
+	if err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Fatalf("unreplicated scan with a down node: %v", err)
+	}
+}
+
+// The remote counterpart of the GEOMETRY pin: reopening the same daemons
+// with the address list reordered (or resized) must be refused — keys
+// would hash to the wrong nodes.
+func TestRemoteClusterRefusesReorderedAddresses(t *testing.T) {
+	addrs, _ := startNodes(t, 3)
+	s := openRemote(t, addrs, 1)
+	if err := s.Put("t", "a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	swapped := []string{addrs[1], addrs[0], addrs[2]}
+	if _, err := Open(Config{Engine: EngineRemote, NodeAddrs: swapped, Remote: remoteOpts()}); err == nil ||
+		!strings.Contains(err.Error(), "reordered or resized") {
+		t.Fatalf("reordered address list: %v", err)
+	}
+	shrunk := addrs[:2]
+	if _, err := Open(Config{Engine: EngineRemote, NodeAddrs: shrunk, Remote: remoteOpts()}); err == nil {
+		t.Fatal("resized address list accepted")
+	}
+
+	// The correct list keeps working, and snapshots exclude the pin.
+	s2, err := Open(Config{Engine: EngineRemote, NodeAddrs: addrs, Remote: remoteOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, err := s2.Get("t", "a"); err != nil || string(v) != "1" {
+		t.Fatalf("reopen with correct order: %q %v", v, err)
+	}
+	var buf strings.Builder
+	if err := s2.Dump(&dumpWriter{&buf}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), clusterTable) {
+		t.Fatal("snapshot contains the per-daemon identity table")
+	}
+}
+
+// dumpWriter adapts strings.Builder to io.Writer.
+type dumpWriter struct{ b *strings.Builder }
+
+func (w *dumpWriter) Write(p []byte) (int, error) { return w.b.Write(p) }
+
+// A data directory from before the LWW value format must be refused with
+// a clear message, not misparsed.
+func TestDisklogRefusesPreLWWDirectory(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "GEOMETRY"), []byte("nodes=1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(Config{Engine: EngineDisklog, Dir: dir})
+	if err == nil || !strings.Contains(err.Error(), "pre-lww1 value format") {
+		t.Fatalf("pre-LWW directory: %v", err)
+	}
+}

@@ -2,7 +2,6 @@ package kvstore
 
 import (
 	"bufio"
-	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -31,12 +30,15 @@ func (s *Store) Dump(w io.Writer) error {
 	for _, n := range s.nodes {
 		ts, err := n.tables()
 		if err != nil {
-			if errors.Is(err, errNodeDown) {
+			if isUnavailable(err) {
 				continue
 			}
 			return err
 		}
 		for _, t := range ts {
+			if t == clusterTable {
+				continue // per-daemon identity records are not data
+			}
 			tableSet[t] = struct{}{}
 		}
 	}

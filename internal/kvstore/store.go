@@ -13,6 +13,7 @@ import (
 	"rstore/internal/engine"
 	"rstore/internal/engine/disklog"
 	"rstore/internal/engine/memory"
+	"rstore/internal/engine/remote"
 	"rstore/internal/types"
 )
 
@@ -23,6 +24,10 @@ const (
 	// EngineDisklog is the log-structured disk backend; each node's
 	// segments live under Config.Dir/node-N and survive restarts.
 	EngineDisklog = "disklog"
+	// EngineRemote speaks the engine wire protocol to one storage daemon
+	// (cmd/rstore-node) per entry of Config.NodeAddrs: a real cluster
+	// instead of the in-process simulator.
+	EngineRemote = "remote"
 )
 
 // Config configures a cluster.
@@ -46,28 +51,57 @@ type Config struct {
 	// Dir is the data directory for disk-backed engines; node i stores its
 	// data under Dir/node-i. Required when Engine is EngineDisklog.
 	Dir string
+	// NodeAddrs lists one daemon address (host:port) per node for
+	// EngineRemote, in node-id order. The address list is the cluster
+	// shape: Nodes defaults to len(NodeAddrs) and must match it when set,
+	// because keys hash onto nodes by position on the ring.
+	NodeAddrs []string
+	// Remote tunes the wire clients of EngineRemote (pooling, retries,
+	// timeouts); the zero value gives defaults.
+	Remote remote.Options
 	// NewBackend, when set, overrides Engine/Dir with a custom backend
 	// factory (tests, out-of-tree engines).
 	NewBackend func(nodeID int) (engine.Backend, error)
 }
 
-// backendFactory resolves the per-node backend constructor.
-func (cfg Config) backendFactory() (func(int) (engine.Backend, error), error) {
+// transportFactory resolves the per-node transport constructor.
+func (cfg Config) transportFactory() (func(int) (transport, error), error) {
+	local := func(mk func(id int) (engine.Backend, error)) func(int) (transport, error) {
+		return func(id int) (transport, error) {
+			be, err := mk(id)
+			if err != nil {
+				return nil, err
+			}
+			return newLocalTransport(be), nil
+		}
+	}
 	if cfg.NewBackend != nil {
-		return cfg.NewBackend, nil
+		return local(cfg.NewBackend), nil
 	}
 	switch cfg.Engine {
 	case "", EngineMemory:
-		return func(int) (engine.Backend, error) { return memory.New(), nil }, nil
+		return local(func(int) (engine.Backend, error) { return memory.New(), nil }), nil
 	case EngineDisklog:
 		if cfg.Dir == "" {
 			return nil, fmt.Errorf("kvstore: engine %q needs Config.Dir", cfg.Engine)
 		}
-		return func(id int) (engine.Backend, error) {
+		return local(func(id int) (engine.Backend, error) {
 			return disklog.Open(filepath.Join(cfg.Dir, fmt.Sprintf("node-%d", id)), disklog.Options{})
+		}), nil
+	case EngineRemote:
+		if len(cfg.NodeAddrs) == 0 {
+			return nil, fmt.Errorf("kvstore: engine %q needs Config.NodeAddrs", cfg.Engine)
+		}
+		return func(id int) (transport, error) {
+			c, err := remote.Dial(cfg.NodeAddrs[id], cfg.Remote)
+			if err != nil {
+				return nil, err
+			}
+			return &remoteTransport{c: c}, nil
 		}, nil
 	default:
-		return nil, fmt.Errorf("kvstore: unknown engine %q (want %q or %q)", cfg.Engine, EngineMemory, EngineDisklog)
+		return nil, fmt.Errorf("kvstore: unknown engine %q (want %q, %q, or %q)",
+			cfg.Engine, EngineMemory, EngineDisklog, EngineRemote)
 	}
 }
 
@@ -75,12 +109,21 @@ func (cfg Config) backendFactory() (func(int) (engine.Backend, error), error) {
 type Entry = engine.Entry
 
 // geometryFile records the cluster shape a disk-backed data directory was
-// created with. Keys hash onto nodes by the ring, so reopening a directory
-// with a different node count would look up keys on the wrong nodes and
-// silently present a partial (or empty) store; refuse instead. The
-// replication factor is not pinned: the primary replica stays first under
-// any rf, so reads keep finding their data.
-const geometryFile = "GEOMETRY"
+// created with, plus the stored-value format. Keys hash onto nodes by the
+// ring, so reopening a directory with a different node count would look up
+// keys on the wrong nodes and silently present a partial (or empty) store;
+// refuse instead. The format tag exists because raw (pre-LWW) values would
+// not fail cleanly through unenvelope — a raw value starting with a 0x00
+// or 0x01 byte would be silently misparsed — so a directory without the
+// current tag must be refused outright, not read. The replication factor
+// is not pinned: the primary replica stays first under any rf, so reads
+// keep finding their data.
+const (
+	geometryFile = "GEOMETRY"
+	// storedFormat names the on-backend value encoding; bump when it
+	// changes incompatibly. "lww1" is the envelope of lww.go.
+	storedFormat = "lww1"
+)
 
 func checkGeometry(dir string, nodes int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -95,8 +138,17 @@ func checkGeometry(dir string, nodes int) error {
 		return fmt.Errorf("kvstore: %w", err)
 	}
 	var got int
-	if _, err := fmt.Sscanf(string(b), "nodes=%d", &got); err != nil {
+	var format string
+	if _, err := fmt.Sscanf(string(b), "nodes=%d format=%s", &got, &format); err != nil {
+		// A bare "nodes=N" line is a directory written before value
+		// formats existed (raw values, unreadable now).
+		if _, err := fmt.Sscanf(string(b), "nodes=%d", &got); err == nil {
+			return fmt.Errorf("kvstore: data directory %s was written with a pre-%s value format and cannot be read; recreate it", dir, storedFormat)
+		}
 		return fmt.Errorf("kvstore: corrupt geometry file %s: %q", path, b)
+	}
+	if format != storedFormat {
+		return fmt.Errorf("kvstore: data directory %s uses value format %q, this build reads %q", dir, format, storedFormat)
 	}
 	if got != nodes {
 		return fmt.Errorf("kvstore: data directory %s was created with %d nodes, reopened with %d", dir, got, nodes)
@@ -111,7 +163,7 @@ func writeGeometry(dir, path string, nodes int) error {
 	if err != nil {
 		return fmt.Errorf("kvstore: %w", err)
 	}
-	if _, err := fmt.Fprintf(f, "nodes=%d\n", nodes); err != nil {
+	if _, err := fmt.Fprintf(f, "nodes=%d format=%s\n", nodes, storedFormat); err != nil {
 		f.Close()
 		return fmt.Errorf("kvstore: %w", err)
 	}
@@ -141,9 +193,15 @@ func writeGeometry(dir, path string, nodes int) error {
 // commits in), and an administrative Scan used for index rebuilds. Each node
 // delegates its data to an engine.Backend selected by Config.Engine.
 type Store struct {
-	cfg   Config
-	ring  *ring
-	nodes []*node
+	cfg    Config
+	ring   *ring
+	nodes  []*node
+	closed atomic.Bool
+	lastTS atomic.Uint64 // LWW write clock (see lww.go)
+	// fanout enables concurrent replica reads in lwwGet: worth a goroutine
+	// per replica when each read is a network round trip (remote engine),
+	// pure overhead when it is an in-process map lookup.
+	fanout bool
 
 	// Virtual clock and counters (atomics; Store is safe for concurrent
 	// use).
@@ -153,8 +211,17 @@ type Store struct {
 	bytesPut  atomic.Int64
 }
 
-// Open creates a cluster, opening one backend per node.
+// Open creates a cluster, opening one backend (or wire client) per node.
 func Open(cfg Config) (*Store, error) {
+	if cfg.Engine == EngineRemote && cfg.NewBackend == nil {
+		// The address list defines the cluster shape.
+		if cfg.Nodes <= 0 {
+			cfg.Nodes = len(cfg.NodeAddrs)
+		}
+		if cfg.Nodes != len(cfg.NodeAddrs) {
+			return nil, fmt.Errorf("kvstore: Nodes=%d but %d node addresses", cfg.Nodes, len(cfg.NodeAddrs))
+		}
+	}
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1
 	}
@@ -164,7 +231,7 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.ReplicationFactor > cfg.Nodes {
 		cfg.ReplicationFactor = cfg.Nodes
 	}
-	factory, err := cfg.backendFactory()
+	factory, err := cfg.transportFactory()
 	if err != nil {
 		return nil, err
 	}
@@ -173,27 +240,86 @@ func Open(cfg Config) (*Store, error) {
 			return nil, err
 		}
 	}
-	s := &Store{cfg: cfg, ring: newRing(cfg.Nodes)}
+	s := &Store{cfg: cfg, ring: newRing(cfg.Nodes), fanout: cfg.Engine == EngineRemote && cfg.NewBackend == nil}
 	for i := 0; i < cfg.Nodes; i++ {
-		be, err := factory(i)
+		tr, err := factory(i)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("kvstore: open node %d: %w", i, err)
 		}
-		s.nodes = append(s.nodes, newNode(i, be))
+		s.nodes = append(s.nodes, newNode(i, tr))
+	}
+	if cfg.Engine == EngineRemote && cfg.NewBackend == nil {
+		if err := s.pinRemoteGeometry(); err != nil {
+			s.Close()
+			return nil, err
+		}
 	}
 	return s, nil
 }
 
-// Close closes every node's backend, flushing disk-backed engines.
-func (s *Store) Close() error {
-	var first error
+// clusterTable is a kvstore-private table holding per-daemon identity
+// records. It is written and read directly per node (bypassing the ring)
+// and excluded from Dump, so snapshots stay portable across cluster
+// shapes.
+const (
+	clusterTable = "!cluster"
+	nodeIDKey    = "node-id"
+)
+
+// pinRemoteGeometry is the remote counterpart of the disklog GEOMETRY
+// file: each daemon records which ring position (and cluster size) it
+// serves, so reopening the same daemons with the address list reordered
+// or resized is refused instead of silently mislocating every key.
+// Unreachable daemons are skipped — opening with a node down is allowed,
+// and a mismatched daemon will still be caught on any open that can reach
+// it.
+func (s *Store) pinRemoteGeometry() error {
 	for _, n := range s.nodes {
-		if err := n.be.Close(); err != nil && first == nil {
-			first = err
+		want := fmt.Sprintf("%d of %d format=%s", n.id, len(s.nodes), storedFormat)
+		raw, ok, err := n.get(clusterTable, nodeIDKey)
+		if isUnavailable(err) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("kvstore: node %d geometry probe: %w", n.id, err)
+		}
+		if ok {
+			payload, _, tomb, err := unenvelope(raw)
+			if err != nil {
+				return fmt.Errorf("kvstore: node %d geometry probe: %w", n.id, err)
+			}
+			if !tomb {
+				if string(payload) != want {
+					return fmt.Errorf("kvstore: daemon %s is pinned as node %q but the address list opens it as %q: node addresses reordered or resized",
+						s.cfg.NodeAddrs[n.id], payload, want)
+				}
+				continue
+			}
+		}
+		env := envelope(envValue, s.nextTS(), []byte(want))
+		if err := n.put(clusterTable, nodeIDKey, env); err != nil && !isUnavailable(err) {
+			return fmt.Errorf("kvstore: node %d geometry pin: %w", n.id, err)
 		}
 	}
-	return first
+	return nil
+}
+
+// Close closes every node's backend, flushing disk-backed engines and
+// releasing remote connections. All nodes are closed even when some fail;
+// the per-node errors are aggregated. Closing twice is a no-op — backends
+// are not re-touched.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	var errs []error
+	for _, n := range s.nodes {
+		if err := n.tr.close(); err != nil {
+			errs = append(errs, fmt.Errorf("kvstore: close node %d: %w", n.id, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Nodes returns the cluster size.
@@ -205,12 +331,13 @@ func (s *Store) Cost() CostModel { return s.cfg.Cost }
 // Put stores value under (table, key) on all replicas.
 func (s *Store) Put(table, key string, value []byte) error {
 	replicas := s.ring.replicas(key, s.cfg.ReplicationFactor)
+	env := envelope(envValue, s.nextTS(), value)
 	ok := false
 	for _, n := range replicas {
-		switch err := s.nodes[n].put(table, key, value); {
+		switch err := s.nodes[n].put(table, key, env); {
 		case err == nil:
 			ok = true
-		case errors.Is(err, errNodeDown):
+		case isUnavailable(err):
 			// Routed around; the key survives on other replicas.
 		default:
 			return fmt.Errorf("kvstore: put %s/%s: %w", table, key, err)
@@ -244,18 +371,25 @@ func (s *Store) BatchPut(table string, entries []Entry) error {
 			perNode[n] = append(perNode[n], i)
 		}
 	}
+	// One envelope per entry (one timestamp per batch), shared across the
+	// replica groups.
+	ts := s.nextTS()
+	envs := make([][]byte, len(entries))
+	for i, e := range entries {
+		envs[i] = envelope(envValue, ts, e.Value)
+	}
 	committed := make([]bool, len(entries))
 	for nid, idxs := range perNode {
 		group := make([]engine.Entry, len(idxs))
 		for j, i := range idxs {
-			group[j] = entries[i]
+			group[j] = engine.Entry{Key: entries[i].Key, Value: envs[i]}
 		}
 		switch err := s.nodes[nid].batchPut(table, group); {
 		case err == nil:
 			for _, i := range idxs {
 				committed[i] = true
 			}
-		case errors.Is(err, errNodeDown):
+		case isUnavailable(err):
 			// Routed around; entries survive on other replicas.
 		default:
 			return fmt.Errorf("kvstore: batchput %s: node %d: %w", table, nid, err)
@@ -281,43 +415,103 @@ func (s *Store) BatchPut(table string, entries []Entry) error {
 	return nil
 }
 
-// Get retrieves the value under (table, key), trying replicas in preference
-// order. It returns types.ErrNotFound if no live replica has the key.
+// Get retrieves the value under (table, key). It returns types.ErrNotFound
+// if no live replica has the key (or the newest version is a tombstone),
+// and an error when every replica is down.
 func (s *Store) Get(table, key string) ([]byte, error) {
-	replicas := s.ring.replicas(key, s.cfg.ReplicationFactor)
-	anyUp := false
-	for _, n := range replicas {
-		v, ok, err := s.nodes[n].get(table, key)
-		if errors.Is(err, errNodeDown) {
-			continue
-		}
-		if err != nil {
-			return nil, fmt.Errorf("kvstore: get %s/%s: %w", table, key, err)
-		}
-		anyUp = true
-		if ok {
-			s.account(1, len(v))
-			return v, nil
-		}
-		break // live primary authoritative: missing means missing
+	v, ok, anyUp, err := s.lwwGet(table, key)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: get %s/%s: %w", table, key, err)
 	}
 	if !anyUp {
 		return nil, fmt.Errorf("kvstore: get %s/%s: all replicas down", table, key)
+	}
+	if ok {
+		s.account(1, len(v))
+		return v, nil
 	}
 	s.account(1, 0)
 	return nil, fmt.Errorf("%w: %s/%s", types.ErrNotFound, table, key)
 }
 
-// Delete removes (table, key) from all replicas. Deleting a missing key is
-// not an error, but — matching Put — deleting while every replica is down
-// is: the tombstone took hold nowhere.
+// lwwGet reads (table, key) from every live replica and resolves the
+// newest version by write timestamp — a node that restarted stale (it was
+// down while peers accepted overwrites or deletes) is outvoted instead of
+// believed; see lww.go. On remote clusters the replicas are consulted
+// concurrently so one dead node's dial-retry latency does not stack in
+// front of the others. Cost accounting charges one request per key
+// regardless: replica consultation is modeled as free digest reads,
+// mirroring how Put charges once despite its replica fan-out. It reports
+// whether any replica was reachable; err is a hard engine error.
+func (s *Store) lwwGet(table, key string) (v []byte, ok, anyUp bool, err error) {
+	replicas := s.ring.replicas(key, s.cfg.ReplicationFactor)
+	type result struct {
+		raw     []byte
+		present bool
+		err     error
+	}
+	results := make([]result, len(replicas))
+	if s.fanout && len(replicas) > 1 {
+		var wg sync.WaitGroup
+		for j, n := range replicas {
+			wg.Add(1)
+			go func(j, n int) {
+				defer wg.Done()
+				r := &results[j]
+				r.raw, r.present, r.err = s.nodes[n].get(table, key)
+			}(j, n)
+		}
+		wg.Wait()
+	} else {
+		for j, n := range replicas {
+			r := &results[j]
+			r.raw, r.present, r.err = s.nodes[n].get(table, key)
+		}
+	}
+
+	var best []byte
+	var bestTS uint64
+	found, tombstone := false, false
+	for i := range results {
+		r := &results[i]
+		if isUnavailable(r.err) {
+			continue
+		}
+		if r.err != nil {
+			return nil, false, true, r.err
+		}
+		anyUp = true
+		if !r.present {
+			continue
+		}
+		payload, ts, tomb, err := unenvelope(r.raw)
+		if err != nil {
+			return nil, false, true, err
+		}
+		if !found || ts > bestTS {
+			found, bestTS, tombstone, best = true, ts, tomb, payload
+		}
+	}
+	if !found || tombstone {
+		return nil, false, anyUp, nil
+	}
+	return best, true, anyUp, nil
+}
+
+// Delete removes (table, key) from all replicas by writing a tombstone:
+// a replica that misses the delete (down at the time) is outvoted by the
+// tombstone's newer timestamp when it comes back, instead of resurrecting
+// the value. Deleting a missing key is not an error, but — matching Put —
+// deleting while every replica is down is: the tombstone took hold
+// nowhere.
 func (s *Store) Delete(table, key string) error {
+	env := envelope(envTombstone, s.nextTS(), nil)
 	ok := false
 	for _, n := range s.ring.replicas(key, s.cfg.ReplicationFactor) {
-		switch err := s.nodes[n].delete(table, key); {
+		switch err := s.nodes[n].put(table, key, env); {
 		case err == nil:
 			ok = true
-		case errors.Is(err, errNodeDown):
+		case isUnavailable(err):
 		default:
 			return fmt.Errorf("kvstore: delete %s/%s: %w", table, key, err)
 		}
@@ -356,7 +550,9 @@ func (s *Store) MultiGet(table string, keys []string) (*MultiGetResult, error) {
 	}
 
 	// Group request indexes by serving replica: the primary by default, or
-	// the least-loaded live replica when read balancing is on.
+	// the least-loaded live replica when read balancing is on. available()
+	// is only a hint (a remote node's liveness is discovered per request),
+	// so the per-key fetch below still falls back across replicas.
 	byNode := make(map[int][]int)
 	for i, k := range keys {
 		n := -1
@@ -383,24 +579,33 @@ func (s *Store) MultiGet(table string, keys []string) (*MultiGetResult, error) {
 	var wg sync.WaitGroup
 	var mu sync.Mutex // guards res.Missing and firstErr
 	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
 	for nid, idxs := range byNode {
 		wg.Add(1)
 		go func(nid int, idxs []int) {
 			defer wg.Done()
 			for _, i := range idxs {
-				v, ok, err := s.nodes[nid].get(table, keys[i])
-				if err != nil && !errors.Is(err, errNodeDown) {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("kvstore: multiget %s/%s: %w", table, keys[i], err)
-					}
-					mu.Unlock()
+				// The node grouping above schedules the batch; the actual
+				// read consults every live replica and takes the newest
+				// version (the scheduled node may have died mid-batch, or
+				// restarted stale).
+				v, ok, anyUp, err := s.lwwGet(table, keys[i])
+				switch {
+				case err != nil:
+					fail(fmt.Errorf("kvstore: multiget %s/%s: %w", table, keys[i], err))
 					return
-				}
-				if ok {
+				case !anyUp:
+					fail(fmt.Errorf("kvstore: multiget %s/%s: all replicas down", table, keys[i]))
+					return
+				case ok:
 					res.Values[i] = v
-				} else {
-					// Missing, or the node died mid-batch.
+				default:
 					mu.Lock()
 					res.Missing = append(res.Missing, i)
 					mu.Unlock()
@@ -444,31 +649,133 @@ func (s *Store) pickReplica(key string) int {
 	return -1
 }
 
-// Scan visits every key/value in a table across all live nodes, restricted
-// to each node's primarily-owned keys so replicated entries are visited
-// once. Values are copied before fn sees them. Backend failures surface as
-// the returned error; down nodes are skipped.
+// Scan visits every live key/value of a table exactly once, in unspecified
+// order, skipping tombstones; values are copied before fn sees them.
+// Backend failures surface as the returned error.
+//
+// Scan feeds recovery (core's Load), snapshots, and index rebuilds, so it
+// must not silently present a partial table: if enough nodes are
+// unreachable that some key's entire replica set may have been
+// unobservable (at ReplicationFactor 1, any down node), Scan errors
+// instead of returning a truncated view — a Load over a truncated view
+// would re-issue version ids and overwrite acknowledged commits. With
+// fewer failures the sweep is complete and proceeds.
+//
+// Without replication each node streams its own keys. With replication the
+// primary-owned restriction would be wrong twice over — a key's primary may
+// be down (its replicas still hold the data) or freshly restarted and stale
+// (holding an old version) — so Scan sweeps every reachable node and keeps
+// the newest version of each key by LWW timestamp.
 func (s *Store) Scan(table string, fn func(key string, value []byte) bool) error {
-	stop := false
+	if s.cfg.ReplicationFactor <= 1 {
+		return s.scanUnreplicated(table, fn)
+	}
+
+	// Sweep all reachable replicas, retaining a copy of each key's newest
+	// version (scan values alias backend buffers, so the winner must be
+	// copied; losers are overwritten in place; tombstone winners buffer
+	// only their timestamp). Holding the winners in memory is deliberate:
+	// the alternative — resolve timestamps first, then re-read each winner
+	// — costs one network round trip per key, and Scan's consumers (Load,
+	// Dump, index rebuilds) are whole-table operations that buffer
+	// comparable state themselves. A streaming merge-scan would need
+	// ordered per-node iteration, which engine.Backend does not promise.
+	type winner struct {
+		ts    uint64
+		tomb  bool
+		value []byte
+	}
+	best := make(map[string]*winner)
+	unavailable := 0
+	var envErr error
 	for _, n := range s.nodes {
-		if stop {
+		err := n.scan(table, func(k string, v []byte) bool {
+			payload, ts, tomb, err := unenvelope(v)
+			if err != nil {
+				envErr = err
+				return false
+			}
+			w, ok := best[k]
+			if ok && ts <= w.ts {
+				return true
+			}
+			if !ok {
+				w = &winner{}
+				best[k] = w
+			}
+			w.ts, w.tomb = ts, tomb
+			w.value = append(w.value[:0], payload...)
+			return true
+		})
+		if envErr != nil {
+			return fmt.Errorf("kvstore: scan %s: %w", table, envErr)
+		}
+		if isUnavailable(err) {
+			unavailable++
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("kvstore: scan %s: %w", table, err)
+		}
+	}
+	if unavailable >= s.cfg.ReplicationFactor {
+		// Every key has ReplicationFactor distinct replicas, so with fewer
+		// nodes down each key was observable on at least one; at or past
+		// that threshold some key may have had no reachable replica.
+		return fmt.Errorf("kvstore: scan %s: %d nodes unavailable at replication factor %d: view would be incomplete",
+			table, unavailable, s.cfg.ReplicationFactor)
+	}
+
+	for k, w := range best {
+		if w.tomb {
+			continue
+		}
+		if !fn(k, w.value) {
 			return nil
+		}
+	}
+	return nil
+}
+
+// scanUnreplicated streams each node's primarily-owned keys — with one
+// replica per key there is nothing to reconcile, so no buffering is
+// needed, but any unreachable node makes the view incomplete.
+func (s *Store) scanUnreplicated(table string, fn func(key string, value []byte) bool) error {
+	stop := false
+	var envErr error
+	for _, n := range s.nodes {
+		if stop || envErr != nil {
+			break
 		}
 		err := n.scan(table, func(k string, v []byte) bool {
 			if s.ring.primary(k) != n.id {
 				return true // visited via its primary owner
 			}
-			cp := make([]byte, len(v))
-			copy(cp, v)
+			payload, _, tomb, err := unenvelope(v)
+			if err != nil {
+				envErr = err
+				return false
+			}
+			if tomb {
+				return true
+			}
+			cp := make([]byte, len(payload))
+			copy(cp, payload)
 			if !fn(k, cp) {
 				stop = true
 				return false
 			}
 			return true
 		})
-		if err != nil && !errors.Is(err, errNodeDown) {
+		if isUnavailable(err) {
+			return fmt.Errorf("kvstore: scan %s: node %d unavailable with no replicas: view would be incomplete", table, n.id)
+		}
+		if err != nil {
 			return fmt.Errorf("kvstore: scan %s: %w", table, err)
 		}
+	}
+	if envErr != nil {
+		return fmt.Errorf("kvstore: scan %s: %w", table, envErr)
 	}
 	return nil
 }
@@ -498,7 +805,8 @@ type Stats struct {
 	BytesStored int64 // resident across nodes (including replicas)
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. Down or unreachable nodes
+// contribute zero to BytesStored — their storage cannot be observed.
 func (s *Store) Stats() Stats {
 	st := Stats{
 		Requests:   s.reqCount.Load(),
@@ -507,7 +815,9 @@ func (s *Store) Stats() Stats {
 		SimElapsed: time.Duration(s.simClock.Load()),
 	}
 	for _, n := range s.nodes {
-		st.BytesStored += n.stored()
+		if b, err := n.stored(); err == nil {
+			st.BytesStored += b
+		}
 	}
 	return st
 }
@@ -521,20 +831,24 @@ func (s *Store) ResetClock() {
 	s.bytesPut.Store(0)
 }
 
-// SetNodeUp marks a node up or down, for failure-injection tests.
+// SetNodeUp marks a node up or down, for failure-injection tests. Remote
+// nodes refuse: their availability is a property of the real process, not
+// a flag (stop the daemon instead).
 func (s *Store) SetNodeUp(id int, up bool) error {
 	if id < 0 || id >= len(s.nodes) {
 		return fmt.Errorf("kvstore: no node %d", id)
 	}
-	s.nodes[id].setUp(up)
-	return nil
+	return s.nodes[id].tr.injectFault(up)
 }
 
-// NodeBytes returns resident bytes per node, for balance checks.
+// NodeBytes returns resident bytes per node, for balance checks; down or
+// unreachable nodes report zero.
 func (s *Store) NodeBytes() []int64 {
 	out := make([]int64, len(s.nodes))
 	for i, n := range s.nodes {
-		out[i] = n.stored()
+		if b, err := n.stored(); err == nil {
+			out[i] = b
+		}
 	}
 	return out
 }

@@ -1,0 +1,180 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"rstore/internal/engine"
+	"rstore/internal/engine/remote"
+)
+
+// transport is what a node routes every operation through: a local backend
+// fronted by the failure-injection flag, or a remote storage node reached
+// over the wire. The seam keeps the Store's routing logic identical for
+// both — a node being "down" is one error class (engine.ErrUnavailable)
+// whether it comes from an injected flag or a refused connection.
+type transport interface {
+	// Note there is no delete: the replication layer deletes by writing
+	// LWW tombstones (see lww.go), so only puts travel the seam.
+	put(table, key string, value []byte) error
+	get(table, key string) ([]byte, bool, error)
+	batchPut(table string, entries []engine.Entry) error
+	// scan visits every key/value of a table. Values passed to fn may alias
+	// transport-internal buffers; fn must not retain or mutate them.
+	scan(table string, fn func(key string, value []byte) bool) error
+	tables() ([]string, error)
+	// stored reports resident bytes; unavailable nodes error instead of
+	// blocking on (or lying about) storage they cannot see.
+	stored() (int64, error)
+	// available is a cheap best-effort liveness hint used to pick read
+	// replicas; the authoritative signal is an ErrUnavailable result.
+	available() bool
+	// injectFault forces the node down/up for failure-injection tests.
+	injectFault(up bool) error
+	close() error
+}
+
+// errNodeDown reports an operation against a node marked down by failure
+// injection. It is one cause of unavailability — real transports produce
+// others (connection refused, node process gone) — and the Store routes
+// around all of them uniformly via isUnavailable.
+var errNodeDown = fmt.Errorf("kvstore: node down (injected): %w", engine.ErrUnavailable)
+
+// isUnavailable classifies an error as transient node unavailability:
+// routed around by replication rather than surfaced, in contrast to hard
+// engine errors (corruption, I/O failure), which abort the operation.
+func isUnavailable(err error) bool { return errors.Is(err, engine.ErrUnavailable) }
+
+// localTransport fronts an in-process engine.Backend with the up/down flag
+// of failure-injection tests.
+type localTransport struct {
+	mu sync.RWMutex // guards up
+	up bool
+	be engine.Backend
+}
+
+func newLocalTransport(be engine.Backend) *localTransport {
+	return &localTransport{up: true, be: be}
+}
+
+func (t *localTransport) gate() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if !t.up {
+		return errNodeDown
+	}
+	return nil
+}
+
+func (t *localTransport) put(table, key string, value []byte) error {
+	if err := t.gate(); err != nil {
+		return err
+	}
+	return t.be.Put(table, key, value)
+}
+
+func (t *localTransport) get(table, key string) ([]byte, bool, error) {
+	if err := t.gate(); err != nil {
+		return nil, false, err
+	}
+	return t.be.Get(table, key)
+}
+
+func (t *localTransport) batchPut(table string, entries []engine.Entry) error {
+	if err := t.gate(); err != nil {
+		return err
+	}
+	return t.be.BatchPut(table, entries)
+}
+
+func (t *localTransport) scan(table string, fn func(key string, value []byte) bool) error {
+	if err := t.gate(); err != nil {
+		return err
+	}
+	return t.be.Scan(table, fn)
+}
+
+func (t *localTransport) tables() ([]string, error) {
+	if err := t.gate(); err != nil {
+		return nil, err
+	}
+	return t.be.Tables()
+}
+
+func (t *localTransport) stored() (int64, error) {
+	// The gate applies here too: a down node's storage must not be
+	// touched — with a real dead backend the call could block or fault.
+	if err := t.gate(); err != nil {
+		return 0, err
+	}
+	return t.be.BytesStored(), nil
+}
+
+func (t *localTransport) available() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.up
+}
+
+func (t *localTransport) injectFault(up bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.up = up
+	return nil
+}
+
+func (t *localTransport) close() error { return t.be.Close() }
+
+// remoteTransport routes a node's operations to a storage daemon over TCP.
+// Liveness is discovered per operation (the client retries and classifies),
+// so there is no flag to flip: failure injection means killing the real
+// process.
+type remoteTransport struct {
+	c *remote.Client
+}
+
+func (t *remoteTransport) put(table, key string, value []byte) error {
+	return t.c.Put(table, key, value)
+}
+
+func (t *remoteTransport) get(table, key string) ([]byte, bool, error) {
+	return t.c.Get(table, key)
+}
+
+func (t *remoteTransport) batchPut(table string, entries []engine.Entry) error {
+	return t.c.BatchPut(table, entries)
+}
+
+func (t *remoteTransport) scan(table string, fn func(key string, value []byte) bool) error {
+	return t.c.Scan(table, fn)
+}
+
+func (t *remoteTransport) tables() ([]string, error) { return t.c.Tables() }
+
+func (t *remoteTransport) stored() (int64, error) { return t.c.Stored() }
+
+// available optimistically reports true: a remote node's liveness is only
+// truly known by talking to it, and the read paths all fall back across
+// replicas when the attempt comes back unavailable.
+func (t *remoteTransport) available() bool { return true }
+
+func (t *remoteTransport) injectFault(bool) error {
+	return fmt.Errorf("kvstore: failure injection is not supported for remote node %s (stop the daemon instead)", t.c.Addr())
+}
+
+func (t *remoteTransport) close() error { return t.c.Close() }
+
+// SplitNodeAddrs parses a comma-separated daemon address list into
+// Config.NodeAddrs form, trimming whitespace and dropping empty elements.
+// The CLIs share it so -node-addrs handling cannot diverge.
+func SplitNodeAddrs(list string) []string {
+	var out []string
+	for _, a := range strings.Split(list, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}

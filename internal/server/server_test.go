@@ -270,3 +270,156 @@ func TestHTTPRangeDefaults(t *testing.T) {
 		t.Fatalf("ghost history: %d", resp.StatusCode)
 	}
 }
+
+// Error-path coverage: the JSON API must translate malformed input and
+// unknown names into the right status codes with a JSON error body, and
+// /stats must keep its wire shape.
+
+// errBody decodes the {"error": ...} payload every failure returns.
+func errBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("error body is not JSON: %v", err)
+	}
+	if out["error"] == "" {
+		t.Fatal("error body missing the error field")
+	}
+	return out["error"]
+}
+
+func TestHTTPMalformedCommitJSON(t *testing.T) {
+	ts, _ := newServer(t)
+	resp, err := http.Post(ts.URL+"/commit", "application/json",
+		bytes.NewReader([]byte(`{"parent": -1, "puts": {`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated commit JSON: status %d", resp.StatusCode)
+	}
+	errBody(t, resp)
+
+	// Valid JSON, wrong shape for the puts map: still a 400, not a panic.
+	resp2, err := http.Post(ts.URL+"/commit", "application/json",
+		bytes.NewReader([]byte(`{"parent": -1, "puts": ["not","a","map"]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mistyped commit JSON: status %d", resp2.StatusCode)
+	}
+	errBody(t, resp2)
+}
+
+func TestHTTPSetBranchErrors(t *testing.T) {
+	ts, _ := newServer(t)
+	var cr CommitResponse
+	if resp := postJSON(t, ts.URL+"/commit", CommitRequest{Parent: -1, Branch: "main"}, &cr); resp.StatusCode != 200 {
+		t.Fatalf("root commit: %d", resp.StatusCode)
+	}
+
+	put := func(name, body string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/branch/"+name, bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Garbage body.
+	resp := put("dev", `{"version": `)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage branch body: status %d", resp.StatusCode)
+	}
+	errBody(t, resp)
+
+	// Unknown version.
+	resp = put("dev", `{"version": 999}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("branch to unknown version: status %d", resp.StatusCode)
+	}
+	errBody(t, resp)
+
+	// The failed attempts must not have created the branch.
+	var branches map[string]int64
+	getJSON(t, ts.URL+"/branches", &branches)
+	if _, ok := branches["dev"]; ok {
+		t.Fatal("failed PUT /branch created the branch anyway")
+	}
+
+	// Queries against the unknown branch name: 404, not a parse panic.
+	r2 := getJSON(t, ts.URL+"/version/dev", nil)
+	if r2.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown branch: status %d", r2.StatusCode)
+	}
+}
+
+func TestHTTPRangeErrors(t *testing.T) {
+	ts, _ := newServer(t)
+	var cr CommitResponse
+	postJSON(t, ts.URL+"/commit", CommitRequest{
+		Parent: -1, Branch: "main",
+		Puts: map[string][]byte{"a": []byte("1"), "b": []byte("2"), "z": []byte("3")},
+	}, &cr)
+
+	// Unknown version in the path.
+	if resp := getJSON(t, ts.URL+"/version/42/range?lo=a&hi=z", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("range on unknown version: status %d", resp.StatusCode)
+	}
+	// Inverted bounds select nothing — an empty result, not an error.
+	var q QueryResponse
+	if resp := getJSON(t, ts.URL+"/version/0/range?lo=z&hi=a", &q); resp.StatusCode != http.StatusOK {
+		t.Fatalf("inverted range: status %d", resp.StatusCode)
+	}
+	if len(q.Records) != 0 {
+		t.Fatalf("inverted range returned %d records", len(q.Records))
+	}
+	// Omitted hi defaults to the top of the keyspace.
+	q = QueryResponse{}
+	if resp := getJSON(t, ts.URL+"/version/0/range?lo=b", &q); resp.StatusCode != http.StatusOK {
+		t.Fatalf("open range: status %d", resp.StatusCode)
+	}
+	if len(q.Records) != 2 {
+		t.Fatalf("open range returned %d records, want 2 (b, z)", len(q.Records))
+	}
+}
+
+func TestHTTPStatsShape(t *testing.T) {
+	ts, _ := newServer(t)
+	postJSON(t, ts.URL+"/commit", CommitRequest{
+		Parent: -1, Branch: "main", Puts: map[string][]byte{"k": []byte("v")},
+	}, nil)
+	var stats map[string]json.Number
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber()
+	if err := dec.Decode(&stats); err != nil {
+		t.Fatalf("stats not JSON: %v", err)
+	}
+	for _, field := range []string{"versions", "chunks", "pending", "total_span", "bytes_stored", "requests"} {
+		n, ok := stats[field]
+		if !ok {
+			t.Fatalf("stats missing %q (got %v)", field, stats)
+		}
+		if _, err := n.Int64(); err != nil {
+			t.Fatalf("stats %q is not numeric: %v", field, n)
+		}
+	}
+	if v, _ := stats["versions"].Int64(); v != 1 {
+		t.Fatalf("versions = %v, want 1", stats["versions"])
+	}
+}

@@ -104,14 +104,24 @@ const (
 	// EngineDisklog is the log-structured disk backend: append-only segment
 	// files with fsync-on-batch durability, replayed on open.
 	EngineDisklog = kvstore.EngineDisklog
+	// EngineRemote speaks the engine wire protocol to one storage daemon
+	// (cmd/rstore-node) per ClusterConfig.NodeAddrs entry: a real
+	// distributed cluster instead of the in-process simulator. Transient
+	// node unavailability is retried and routed around by replication.
+	EngineRemote = kvstore.EngineRemote
 )
 
 // CostModel is the cluster's simulated network cost model.
 type CostModel = kvstore.CostModel
 
-// OpenCluster creates an in-process distributed key-value cluster to back
-// one or more stores.
+// OpenCluster creates a distributed key-value cluster (in-process or, with
+// EngineRemote, over real storage daemons) to back one or more stores.
 func OpenCluster(cfg ClusterConfig) (*kvstore.Store, error) { return kvstore.Open(cfg) }
+
+// SplitNodeAddrs parses a comma-separated daemon address list into
+// ClusterConfig.NodeAddrs form (whitespace trimmed, empty elements
+// dropped).
+func SplitNodeAddrs(list string) []string { return kvstore.SplitNodeAddrs(list) }
 
 // DefaultCostModel returns the Cassandra-calibrated cost model (see
 // internal/kvstore).
