@@ -9,6 +9,7 @@ package rstore_test
 //	go test -bench=BenchmarkFig8 -v        # print the regenerated table
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -124,7 +125,7 @@ func BenchmarkCommit(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	parent, err := st.Commit(rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
+	parent, err := st.Commit(context.Background(), rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
 		"seed": []byte("s"),
 	}})
 	if err != nil {
@@ -136,7 +137,7 @@ func BenchmarkCommit(b *testing.B) {
 		ch := rstore.Change{Puts: map[rstore.Key][]byte{
 			rstore.Key(fmt.Sprintf("k%06d", i%1000)): []byte(fmt.Sprintf(`{"i":%d}`, i)),
 		}}
-		v, err := st.Commit(parent, ch)
+		v, err := st.Commit(context.Background(), parent, ch)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -153,7 +154,7 @@ func queryBenchStore(b *testing.B) (*rstore.Store, *corpus.Corpus) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := st.BulkLoad(c); err != nil {
+	if err := st.BulkLoad(context.Background(), c); err != nil {
 		b.Fatal(err)
 	}
 	return st, c
@@ -164,7 +165,7 @@ func BenchmarkGetVersion(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := st.GetVersion(rstore.VersionID(i % c.NumVersions())); err != nil {
+		if _, _, err := st.GetVersionAll(context.Background(), rstore.VersionID(i%c.NumVersions())); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -186,7 +187,7 @@ func BenchmarkGetRecord(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := st.GetRecord(liveKeys[i%len(liveKeys)], last); err != nil {
+		if _, _, err := st.GetRecord(context.Background(), liveKeys[i%len(liveKeys)], last); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -198,7 +199,7 @@ func BenchmarkGetHistory(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := st.GetHistory(keys[i%len(keys)]); err != nil {
+		if _, _, err := st.GetHistoryAll(context.Background(), keys[i%len(keys)]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -219,13 +220,13 @@ func BenchmarkFlushBatch(b *testing.B) {
 			for r := 0; r < 32; r++ {
 				ch.Puts[rstore.Key(fmt.Sprintf("k%02d-%02d", v, r))] = []byte(`{"x":1}`)
 			}
-			parent, err = st.Commit(parent, ch)
+			parent, err = st.Commit(context.Background(), parent, ch)
 			if err != nil {
 				b.Fatal(err)
 			}
 		}
 		b.StartTimer()
-		if err := st.Flush(); err != nil {
+		if err := st.Flush(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

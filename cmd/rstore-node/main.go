@@ -11,18 +11,21 @@
 //	rstore-node -addr :7420 -data /var/lib/rstore-node
 //
 // The data directory is flock-ed against concurrent daemons and replayed
-// on start (torn tails truncated). SIGINT/SIGTERM shut down cleanly:
-// stop accepting, sever connections, sync and close the backend. Writes
-// are durable per batch regardless — a killed node loses only what it
-// never acknowledged.
+// on start (torn tails truncated). SIGINT/SIGTERM shut down gracefully:
+// stop accepting, drain in-flight requests (severing stragglers after a
+// grace period), then sync and close the backend. Writes are durable per
+// batch regardless — a killed node loses only what it never acknowledged.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"rstore/internal/engine/disklog"
 	"rstore/internal/engine/remote/engined"
@@ -54,9 +57,14 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("rstore-node shutting down")
-	srv.Close()
+	log.Printf("rstore-node draining")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("rstore-node: shutdown: %v", err)
+	}
 	if err := be.Close(); err != nil {
 		log.Fatalf("rstore-node: close %s: %v", *dataDir, err)
 	}
+	log.Printf("rstore-node stopped")
 }

@@ -16,26 +16,37 @@
 // likewise reopened from the nodes' contents on boot. The -store snapshot
 // file applies to the memory backend only.
 //
-// API (JSON):
+// API (JSON; the set-returning queries stream NDJSON — one
+// {"record":...} line per record as chunks arrive, a {"stats":...}
+// trailer, mid-stream failures as a terminating {"error":...} line —
+// and honor request cancellation end to end):
 //
 //	POST /commit                       {"parent":-1,"puts":{"k":"<base64>"},"branch":"main"}
-//	GET  /version/{id|branch}          full version retrieval
+//	GET  /version/{id|branch}          full version retrieval (NDJSON stream)
 //	GET  /version/{id}/record/{key}    point retrieval
-//	GET  /version/{id}/range?lo=&hi=   partial version retrieval
-//	GET  /history/{key}                record evolution
-//	GET  /branches                     branch tips
+//	GET  /version/{id}/range?lo=&hi=   partial version retrieval (NDJSON stream;
+//	                                   omit hi to read to the top of the keyspace)
+//	GET  /history/{key}                record evolution (NDJSON stream)
+//	GET  /branches                     branch tips (+ per-branch errors)
 //	PUT  /branch/{name}                {"version":3}
 //	POST /flush                        force online partitioning
 //	GET  /stats                        store statistics
+//
+// SIGINT/SIGTERM drain in-flight requests via http.Server.Shutdown
+// before closing the store.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"rstore"
 	"rstore/internal/server"
@@ -83,15 +94,17 @@ func main() {
 		where = "nodes " + strings.Join(cluster.NodeAddrs, ",")
 	}
 
+	ctx := context.Background()
+
 	var st *rstore.Store
 	switch {
 	case durable:
-		exists, err := rstore.Exists(kv)
+		exists, err := rstore.Exists(ctx, kv)
 		if err != nil {
 			log.Fatalf("probe %s: %v", where, err)
 		}
 		if exists {
-			st, err = rstore.Load(cfg)
+			st, err = rstore.Load(ctx, cfg)
 			if err != nil {
 				log.Fatalf("load %s: %v", where, err)
 			}
@@ -99,11 +112,11 @@ func main() {
 		}
 	case *storePath != "":
 		if f, err := os.Open(*storePath); err == nil {
-			if err := kv.Restore(f); err != nil {
+			if err := kv.Restore(ctx, f); err != nil {
 				log.Fatalf("restore %s: %v", *storePath, err)
 			}
 			f.Close()
-			st, err = rstore.Load(cfg)
+			st, err = rstore.Load(ctx, cfg)
 			if err != nil {
 				log.Fatalf("load: %v", err)
 			}
@@ -119,17 +132,52 @@ func main() {
 			// Establish the recovery root immediately: without a manifest,
 			// commits acknowledged before the first flush/SetBranch could
 			// not be replayed after a crash.
-			if err := st.Checkpoint(); err != nil {
+			if err := st.Checkpoint(ctx); err != nil {
 				log.Fatalf("checkpoint %s: %v", where, err)
 			}
 		}
 	}
 
-	h := server.New(st)
-	log.Printf("rstore-server listening on %s (nodes=%d rf=%d batch=%d k=%d backend=%s)",
-		*addr, *nodes, *rf, *batch, *k, *backend)
-	if err := http.ListenAndServe(*addr, h); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: server.New(st),
+		// A peer that opens a connection and never finishes its headers
+		// must not pin a handler goroutine forever.
+		ReadHeaderTimeout: 10 * time.Second,
 	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("rstore-server listening on %s (nodes=%d rf=%d batch=%d k=%d backend=%s)",
+			*addr, *nodes, *rf, *batch, *k, *backend)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("rstore-server: %v: draining", s)
+	}
+	// Drain in-flight requests (streaming queries included) before closing
+	// the store; stragglers are cut off at the deadline.
+	shutdownCtx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			// Shutdown stops listeners and idle connections but leaves
+			// active ones running; sever them hard, or a streaming handler
+			// still holding the store's read lock would block the store
+			// close below forever.
+			log.Printf("rstore-server: drain deadline passed, severing stragglers")
+			srv.Close()
+		} else {
+			log.Printf("rstore-server: shutdown: %v", err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		log.Fatalf("rstore-server: close store: %v", err)
+	}
+	log.Printf("rstore-server: stopped")
 }

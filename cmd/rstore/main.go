@@ -27,9 +27,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -38,13 +40,18 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C cancels in-flight queries (the streaming read path aborts
+	// mid-fetch); mutations run detached so an interrupt cannot leave a
+	// half-written store.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "rstore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	global := flag.NewFlagSet("rstore", flag.ContinueOnError)
 	storePath := global.String("store", ".rstore", "snapshot file (memory backend)")
 	backend := global.String("backend", "memory", "storage backend: memory|disklog|remote")
@@ -84,7 +91,7 @@ func run(args []string) error {
 			// A point probe, not a full Load: only a cleanly-missing
 			// manifest means "not initialized"; I/O errors must surface,
 			// not be silently re-initialized over.
-			exists, err := rstore.Exists(kv)
+			exists, err := rstore.Exists(ctx, kv)
 			if err != nil {
 				return err
 			}
@@ -96,13 +103,14 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		if _, err := st.Commit(rstore.NoParent, rstore.Change{}); err != nil {
+		mctx := context.WithoutCancel(ctx)
+		if _, err := st.Commit(mctx, rstore.NoParent, rstore.Change{}); err != nil {
 			return err
 		}
-		if err := st.Flush(); err != nil {
+		if err := st.Flush(mctx); err != nil {
 			return err
 		}
-		if err := st.SetBranch("main", 0); err != nil {
+		if err := st.SetBranch(mctx, "main", 0); err != nil {
 			return err
 		}
 		if err := env.persist(kv, st); err != nil {
@@ -112,7 +120,7 @@ func run(args []string) error {
 		return nil
 	}
 
-	kv, st, err := env.load()
+	kv, st, err := env.load(ctx)
 	if err != nil {
 		return err
 	}
@@ -152,14 +160,15 @@ func run(args []string) error {
 		for _, k := range dels {
 			ch.Deletes = append(ch.Deletes, rstore.Key(k))
 		}
-		v, err := st.Commit(parent, ch)
+		mctx := context.WithoutCancel(ctx)
+		v, err := st.Commit(mctx, parent, ch)
 		if err != nil {
 			return err
 		}
-		if err := st.Flush(); err != nil {
+		if err := st.Flush(mctx); err != nil {
 			return err
 		}
-		if err := st.SetBranch(*branch, v); err != nil {
+		if err := st.SetBranch(mctx, *branch, v); err != nil {
 			return err
 		}
 		if err := env.persist(kv, st); err != nil {
@@ -196,7 +205,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		recs, stats, err := st.GetVersion(v)
+		recs, stats, err := st.GetVersionAll(ctx, v)
 		if err != nil {
 			return err
 		}
@@ -230,7 +239,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		rec, _, err := st.GetRecord(rstore.Key(*key), v)
+		rec, _, err := st.GetRecord(ctx, rstore.Key(*key), v)
 		if err != nil {
 			return err
 		}
@@ -243,11 +252,12 @@ func run(args []string) error {
 		if err := fs.Parse(cmdArgs); err != nil {
 			return err
 		}
-		recs, _, err := st.GetHistory(rstore.Key(*key))
-		if err != nil {
-			return err
-		}
-		for _, r := range recs {
+		// Stream: revisions print as their chunks arrive.
+		cur := st.GetHistory(ctx, rstore.Key(*key))
+		for r, err := range cur.Records() {
+			if err != nil {
+				return err
+			}
 			fmt.Printf("v%-4d %s\n", r.CK.Version, r.Value)
 		}
 		return nil
@@ -266,7 +276,7 @@ func run(args []string) error {
 			}
 			return nil
 		}
-		if err := st.SetBranch(*name, rstore.VersionID(*version)); err != nil {
+		if err := st.SetBranch(context.WithoutCancel(ctx), *name, rstore.VersionID(*version)); err != nil {
 			return err
 		}
 		if err := env.persist(kv, st); err != nil {
@@ -276,7 +286,7 @@ func run(args []string) error {
 		return nil
 
 	case "stats":
-		s := kv.Stats()
+		s := kv.Stats(ctx)
 		fmt.Printf("versions:      %d\n", st.NumVersions())
 		fmt.Printf("chunks:        %d\n", st.NumChunks())
 		fmt.Printf("pending:       %d\n", st.PendingVersions())
@@ -345,7 +355,7 @@ func (e cliEnv) openCluster() (*kvstore.Store, error) {
 // load reopens the persisted store: from the snapshot file (memory), by
 // replaying the data directory's segment files (disklog), or from the
 // remote nodes' contents.
-func (e cliEnv) load() (*kvstore.Store, *rstore.Store, error) {
+func (e cliEnv) load(ctx context.Context) (*kvstore.Store, *rstore.Store, error) {
 	if e.durable() {
 		if e.backend == rstore.EngineDisklog {
 			if _, err := os.Stat(e.data); err != nil {
@@ -356,7 +366,7 @@ func (e cliEnv) load() (*kvstore.Store, *rstore.Store, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		st, err := rstore.Load(rstore.Config{KV: kv})
+		st, err := rstore.Load(ctx, rstore.Config{KV: kv})
 		if err != nil {
 			kv.Close()
 			return nil, nil, fmt.Errorf("open store %s (run init first): %w", e.where(), err)
@@ -372,10 +382,10 @@ func (e cliEnv) load() (*kvstore.Store, *rstore.Store, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := kv.Restore(f); err != nil {
+	if err := kv.Restore(ctx, f); err != nil {
 		return nil, nil, err
 	}
-	st, err := rstore.Load(rstore.Config{KV: kv})
+	st, err := rstore.Load(ctx, rstore.Config{KV: kv})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -386,7 +396,8 @@ func (e cliEnv) load() (*kvstore.Store, *rstore.Store, error) {
 // snapshot file (memory) or release the backend (disklog/remote — the flush
 // itself committed every write durably; Close catches strays).
 func (e cliEnv) persist(kv *kvstore.Store, st *rstore.Store) error {
-	if err := st.Flush(); err != nil {
+	ctx := context.Background() // durability point: never cancellable
+	if err := st.Flush(ctx); err != nil {
 		return err
 	}
 	if e.durable() {
@@ -397,7 +408,7 @@ func (e cliEnv) persist(kv *kvstore.Store, st *rstore.Store) error {
 	if err != nil {
 		return err
 	}
-	if err := kv.Dump(f); err != nil {
+	if err := kv.Dump(ctx, f); err != nil {
 		f.Close()
 		return err
 	}

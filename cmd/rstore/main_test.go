@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 // runCLI drives the command with a store file in a temp dir.
 func runCLI(t *testing.T, store string, args ...string) error {
 	t.Helper()
-	return run(append([]string{"-store", store}, args...))
+	return run(context.Background(), append([]string{"-store", store}, args...))
 }
 
 func TestCLILifecycle(t *testing.T) {
@@ -76,7 +77,7 @@ func TestCLILifecycle(t *testing.T) {
 // runDiskCLI drives the command in disklog mode against a data directory.
 func runDiskCLI(t *testing.T, data string, args ...string) error {
 	t.Helper()
-	return run(append([]string{"-backend", "disklog", "-data", data}, args...))
+	return run(context.Background(), append([]string{"-backend", "disklog", "-data", data}, args...))
 }
 
 // TestCLIDisklogLifecycle is the acceptance path: a store committed through
@@ -159,7 +160,7 @@ func TestCLIErrors(t *testing.T) {
 	if err := runCLI(t, store, "bogus"); err == nil {
 		t.Fatal("unknown command accepted")
 	}
-	if err := run([]string{"-backend", "lsm", "log"}); err == nil || !strings.Contains(err.Error(), "backend") {
+	if err := run(context.Background(), []string{"-backend", "lsm", "log"}); err == nil || !strings.Contains(err.Error(), "backend") {
 		t.Fatalf("unknown backend: %v", err)
 	}
 	if err := runCLI(t, store, "init"); err != nil {

@@ -2,6 +2,7 @@ package rstore_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -24,19 +25,19 @@ func TestDisklogStoreReopen(t *testing.T) {
 	doc := func(i, rev int) []byte {
 		return bytes.Repeat([]byte(fmt.Sprintf(`{"doc":%d,"rev":%d}`, i, rev)), 20)
 	}
-	v0, err := st.Commit(rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
+	v0, err := st.Commit(context.Background(), rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
 		"doc-0": doc(0, 0), "doc-1": doc(1, 0), "doc-2": doc(2, 0),
 	}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	v1, err := st.Commit(v0, rstore.Change{Puts: map[rstore.Key][]byte{
+	v1, err := st.Commit(context.Background(), v0, rstore.Change{Puts: map[rstore.Key][]byte{
 		"doc-1": doc(1, 1), "doc-3": doc(3, 1),
 	}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	v2, err := st.Commit(v1, rstore.Change{
+	v2, err := st.Commit(context.Background(), v1, rstore.Change{
 		Puts:    map[rstore.Key][]byte{"doc-0": doc(0, 2)},
 		Deletes: []rstore.Key{"doc-2"},
 	})
@@ -44,16 +45,16 @@ func TestDisklogStoreReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A branch off v0 exercises the non-linear graph on reload.
-	vb, err := st.Commit(v0, rstore.Change{Puts: map[rstore.Key][]byte{
+	vb, err := st.Commit(context.Background(), v0, rstore.Change{Puts: map[rstore.Key][]byte{
 		"doc-9": doc(9, 0),
 	}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.SetBranch("dev", vb); err != nil {
+	if err := st.SetBranch(context.Background(), "dev", vb); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.SetBranch("main", v2); err != nil {
+	if err := st.SetBranch(context.Background(), "main", v2); err != nil {
 		t.Fatal(err)
 	}
 
@@ -61,7 +62,7 @@ func TestDisklogStoreReopen(t *testing.T) {
 	snapshot := func(s *rstore.Store) map[rstore.VersionID]versionState {
 		out := make(map[rstore.VersionID]versionState)
 		for _, v := range []rstore.VersionID{v0, v1, v2, vb} {
-			recs, _, err := s.GetVersion(v)
+			recs, _, err := s.GetVersionAll(context.Background(), v)
 			if err != nil {
 				t.Fatalf("GetVersion(%d): %v", v, err)
 			}
@@ -74,7 +75,7 @@ func TestDisklogStoreReopen(t *testing.T) {
 		return out
 	}
 	before := snapshot(st)
-	histBefore, _, err := st.GetHistory("doc-1")
+	histBefore, _, err := st.GetHistoryAll(context.Background(), "doc-1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,11 +83,11 @@ func TestDisklogStoreReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The store is closed: its private cluster's files are released.
-	if _, err := st.Commit(v2, rstore.Change{}); !errors.Is(err, rstore.ErrClosed) {
+	if _, err := st.Commit(context.Background(), v2, rstore.Change{}); !errors.Is(err, rstore.ErrClosed) {
 		t.Fatalf("commit on closed store: %v", err)
 	}
 
-	re, err := rstore.Load(rstore.Config{Engine: rstore.EngineDisklog, DataDir: dir})
+	re, err := rstore.Load(context.Background(), rstore.Config{Engine: rstore.EngineDisklog, DataDir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestDisklogStoreReopen(t *testing.T) {
 			}
 		}
 	}
-	histAfter, _, err := re.GetHistory("doc-1")
+	histAfter, _, err := re.GetHistoryAll(context.Background(), "doc-1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,19 +125,19 @@ func TestDisklogStoreReopen(t *testing.T) {
 	}
 
 	// And the reopened store keeps working: new commits land durably too.
-	v3, err := re.Commit(v2, rstore.Change{Puts: map[rstore.Key][]byte{"doc-4": doc(4, 3)}})
+	v3, err := re.Commit(context.Background(), v2, rstore.Change{Puts: map[rstore.Key][]byte{"doc-4": doc(4, 3)}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := re.Close(); err != nil {
 		t.Fatal(err)
 	}
-	re2, err := rstore.Load(rstore.Config{Engine: rstore.EngineDisklog, DataDir: dir})
+	re2, err := rstore.Load(context.Background(), rstore.Config{Engine: rstore.EngineDisklog, DataDir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer re2.Close()
-	rec, _, err := re2.GetRecord("doc-4", v3)
+	rec, _, err := re2.GetRecord(context.Background(), "doc-4", v3)
 	if err != nil || !bytes.Equal(rec.Value, doc(4, 3)) {
 		t.Fatalf("doc-4@v3 after second reopen: %v", err)
 	}
@@ -145,7 +146,7 @@ func TestDisklogStoreReopen(t *testing.T) {
 // TestLoadMissingDisklogStore: loading an empty data directory fails with
 // ErrNotFound rather than fabricating an empty store.
 func TestLoadMissingDisklogStore(t *testing.T) {
-	_, err := rstore.Load(rstore.Config{Engine: rstore.EngineDisklog, DataDir: t.TempDir()})
+	_, err := rstore.Load(context.Background(), rstore.Config{Engine: rstore.EngineDisklog, DataDir: t.TempDir()})
 	if !errors.Is(err, rstore.ErrNotFound) {
 		t.Fatalf("load of empty dir: %v", err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -47,6 +48,7 @@ func render(title string, words []string) []byte {
 }
 
 func run(k int) (storageMB float64, q1ms, q3ms float64, span int) {
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(99))
 	st, err := rstore.Open(rstore.Config{ChunkCapacity: 64 << 10, SubChunkK: k})
 	if err != nil {
@@ -59,7 +61,7 @@ func run(k int) (storageMB float64, q1ms, q3ms float64, span int) {
 		bodies[i] = body(rng)
 		root.Puts[articleKey(i)] = render(fmt.Sprintf("article %d", i), bodies[i])
 	}
-	tip, err := st.Commit(rstore.NoParent, root)
+	tip, err := st.Commit(ctx, rstore.NoParent, root)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,20 +75,20 @@ func run(k int) (storageMB float64, q1ms, q3ms float64, span int) {
 			bodies[a] = edit(rng, bodies[a])
 			ch.Puts[articleKey(a)] = render(fmt.Sprintf("article %d", a), bodies[a])
 		}
-		tip, err = st.Commit(tip, ch)
+		tip, err = st.Commit(ctx, tip, ch)
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := st.Materialize(); err != nil {
+	if err := st.Materialize(ctx); err != nil {
 		log.Fatal(err)
 	}
 
-	_, q1, err := st.GetVersion(tip)
+	_, q1, err := st.GetVersionAll(ctx, tip)
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, q3, err := st.GetHistory(articleKey(7))
+	_, q3, err := st.GetHistoryAll(ctx, articleKey(7))
 	if err != nil {
 		log.Fatal(err)
 	}

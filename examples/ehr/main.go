@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -29,6 +30,7 @@ func ehr(rng *rand.Rand, id int, visits int, risk float64) []byte {
 }
 
 func main() {
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(7))
 	st, err := rstore.Open(rstore.Config{
 		ChunkCapacity: 8 << 10,
@@ -44,7 +46,7 @@ func main() {
 	for i := 0; i < patients; i++ {
 		intake.Puts[patientKey(i)] = ehr(rng, i, 1, 0)
 	}
-	v0, err := st.Commit(rstore.NoParent, intake)
+	v0, err := st.Commit(ctx, rstore.NoParent, intake)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,12 +62,12 @@ func main() {
 			p := rng.Intn(patients)
 			ch.Puts[patientKey(p)] = ehr(rng, p, 1+month, 0)
 		}
-		main, err = st.Commit(main, ch)
+		main, err = st.Commit(ctx, main, ch)
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := st.SetBranch("main", main); err != nil {
+	if err := st.SetBranch(ctx, "main", main); err != nil {
 		log.Fatal(err)
 	}
 
@@ -77,12 +79,12 @@ func main() {
 		for p := 0; p < patients; p += 7 { // the cardiology cohort
 			ch.Puts[patientKey(p)] = ehr(rng, p, 7, 0.1*float64(round+1))
 		}
-		cardio, err = st.Commit(cardio, ch)
+		cardio, err = st.Commit(ctx, cardio, ch)
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := st.SetBranch("cardio-model", cardio); err != nil {
+	if err := st.SetBranch(ctx, "cardio-model", cardio); err != nil {
 		log.Fatal(err)
 	}
 
@@ -92,23 +94,23 @@ func main() {
 		for p := 3; p < patients; p += 11 { // the diabetes cohort
 			ch.Puts[patientKey(p)] = ehr(rng, p, 7, 0.05*float64(round+1))
 		}
-		diabetes, err = st.Commit(diabetes, ch)
+		diabetes, err = st.Commit(ctx, diabetes, ch)
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := st.SetBranch("diabetes-model", diabetes); err != nil {
+	if err := st.SetBranch(ctx, "diabetes-model", diabetes); err != nil {
 		log.Fatal(err)
 	}
 
 	// Periodic full repartitioning (offline Bottom-Up over everything).
-	if err := st.Materialize(); err != nil {
+	if err := st.Materialize(ctx); err != nil {
 		log.Fatal(err)
 	}
 
 	// (1) Reproducibility: pull the exact snapshot the cardio model was
 	// trained on — even though main and diabetes moved on.
-	recs, stats, err := st.GetVersion(cardio)
+	recs, stats, err := st.GetVersionAll(ctx, cardio)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -117,14 +119,14 @@ func main() {
 
 	// (2) Partial version retrieval: one ward's slice of the roster.
 	lo, hi := patientKey(100), patientKey(150)
-	ward, stats2, err := st.GetRange(lo, hi, main)
+	ward, stats2, err := st.GetRangeAll(ctx, rstore.KeyRange(lo, hi), main)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("ward slice [%s, %s) at main: %d records, span=%d\n", lo, hi, len(ward), stats2.Span)
 
 	// (3) Audit: the full history of one patient across every branch.
-	history, stats3, err := st.GetHistory(patientKey(7))
+	history, stats3, err := st.GetHistoryAll(ctx, patientKey(7))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -134,7 +136,7 @@ func main() {
 	}
 
 	// (4) Storage accounting: records shared by branches are stored once.
-	kvStats := st.KV().Stats()
+	kvStats := st.KV().Stats(ctx)
 	fmt.Printf("\nversions=%d chunks=%d stored=%.2fMB (deduplicated, sub-chunk compressed)\n",
 		st.NumVersions(), st.NumChunks(), float64(kvStats.BytesStored)/(1<<20))
 	if err := st.Close(); err != nil {

@@ -1,8 +1,9 @@
 // Quickstart: commit a few versions of a small document collection, branch,
-// and run all four retrieval query kinds.
+// and run all four retrieval query kinds through the streaming cursor API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,13 +11,14 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	st, err := rstore.Open(rstore.Config{ChunkCapacity: 4096, BatchSize: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Root version: three documents.
-	v0, err := st.Commit(rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
+	v0, err := st.Commit(ctx, rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
 		"doc-a": []byte(`{"title":"alpha","rev":0}`),
 		"doc-b": []byte(`{"title":"beta","rev":0}`),
 		"doc-c": []byte(`{"title":"gamma","rev":0}`),
@@ -27,73 +29,78 @@ func main() {
 	fmt.Println("committed root:", v0)
 
 	// Two updates on main.
-	v1, err := st.Commit(v0, rstore.Change{Puts: map[rstore.Key][]byte{
+	v1, err := st.Commit(ctx, v0, rstore.Change{Puts: map[rstore.Key][]byte{
 		"doc-a": []byte(`{"title":"alpha","rev":1}`),
 	}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	v2, err := st.Commit(v1, rstore.Change{
+	v2, err := st.Commit(ctx, v1, rstore.Change{
 		Puts:    map[rstore.Key][]byte{"doc-d": []byte(`{"title":"delta","rev":0}`)},
 		Deletes: []rstore.Key{"doc-b"},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := st.SetBranch("main", v2); err != nil {
+	if err := st.SetBranch(ctx, "main", v2); err != nil {
 		log.Fatal(err)
 	}
 
 	// A branch off v1: a collaborator edits doc-c concurrently.
-	vb, err := st.Commit(v1, rstore.Change{Puts: map[rstore.Key][]byte{
+	vb, err := st.Commit(ctx, v1, rstore.Change{Puts: map[rstore.Key][]byte{
 		"doc-c": []byte(`{"title":"gamma","rev":1,"note":"experiment"}`),
 	}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := st.SetBranch("experiment", vb); err != nil {
+	if err := st.SetBranch(ctx, "experiment", vb); err != nil {
 		log.Fatal(err)
 	}
 
-	// Full version retrieval (Q1).
-	recs, stats, err := st.GetVersion(v2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nversion %d has %d records (span=%d, %d requests):\n",
-		v2, len(recs), stats.Span, stats.Requests)
-	for _, r := range recs {
+	// Full version retrieval (Q1), streamed: records arrive incrementally
+	// as chunks are fetched, and the stats are complete once the cursor is
+	// exhausted. Breaking out of the loop early (or cancelling ctx) would
+	// stop the remaining chunk fetches.
+	cur := st.GetVersion(ctx, v2)
+	fmt.Printf("\nversion %d records:\n", v2)
+	for r, err := range cur.Records() {
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  %-6s (origin v%d): %s\n", r.CK.Key, r.CK.Version, r.Value)
 	}
+	stats := cur.Stats()
+	fmt.Printf("  (%d records, span=%d, %d requests)\n", stats.Records, stats.Span, stats.Requests)
 
 	// Point retrieval.
-	rec, _, err := st.GetRecord("doc-a", v2)
+	rec, _, err := st.GetRecord(ctx, "doc-a", v2)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ndoc-a at v%d: %s\n", v2, rec.Value)
 
 	// The old version is still intact — v0's doc-a is rev 0.
-	rec0, _, err := st.GetRecord("doc-a", v0)
+	rec0, _, err := st.GetRecord(ctx, "doc-a", v0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("doc-a at v%d: %s\n", v0, rec0.Value)
 
-	// Range retrieval (Q2): keys in [doc-a, doc-c).
-	ranged, _, err := st.GetRange("doc-a", "doc-c", vb)
+	// Range retrieval (Q2): keys in [doc-a, doc-c). GetRangeAll is the
+	// buffered convenience wrapper over the cursor (sorted output);
+	// rstore.KeyRangeFrom("doc-a") would read to the top of the keyspace.
+	ranged, _, err := st.GetRangeAll(ctx, rstore.KeyRange("doc-a", "doc-c"), vb)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nrange [doc-a, doc-c) at branch tip v%d: %d records\n", vb, len(ranged))
 
-	// Record evolution (Q3): every revision of doc-a across all versions.
-	history, _, err := st.GetHistory("doc-a")
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Record evolution (Q3): every revision of doc-a, streamed.
 	fmt.Println("\nevolution of doc-a:")
-	for _, r := range history {
+	for r, err := range st.GetHistory(ctx, "doc-a").Records() {
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  originated v%d: %s\n", r.CK.Version, r.Value)
 	}
 

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// One shared 4-node cluster with replication.
 	kv, err := rstore.OpenCluster(rstore.ClusterConfig{
 		Nodes: 4, ReplicationFactor: 2, ReadBalance: true,
@@ -35,7 +37,7 @@ func main() {
 	writer := client.New(primarySrv.URL, nil)
 
 	// Ingest through the API.
-	v, err := writer.Commit(-1, map[string][]byte{
+	v, err := writer.Commit(ctx, -1, map[string][]byte{
 		"sensor-1": []byte(`{"temp":21.5}`),
 		"sensor-2": []byte(`{"temp":19.8}`),
 	}, nil, "main")
@@ -43,21 +45,21 @@ func main() {
 		log.Fatal(err)
 	}
 	for i := 0; i < 6; i++ {
-		v, err = writer.Commit(int64(v), map[string][]byte{
+		v, err = writer.Commit(ctx, int64(v), map[string][]byte{
 			"sensor-1": []byte(fmt.Sprintf(`{"temp":%0.1f}`, 21.5+float64(i))),
 		}, nil, "main")
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := writer.Flush(); err != nil {
+	if err := writer.Flush(ctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("primary ingested %d versions\n", v+1)
 
 	// Read-only replica over the same cluster: loads placement state from
 	// the KVS, serves every query, rejects writes.
-	replicaStore, err := rstore.Load(rstore.Config{KV: kv, ReadOnly: true})
+	replicaStore, err := rstore.Load(ctx, rstore.Config{KV: kv, ReadOnly: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,26 +67,36 @@ func main() {
 	defer replicaSrv.Close()
 	reader := client.New(replicaSrv.URL, nil)
 
-	recs, stats, err := reader.GetVersion("main")
+	// Stream the tip: the client decodes NDJSON records as the replica
+	// fetches chunks; the loop could stop (or ctx cancel) to abort the
+	// remaining fetches mid-flight.
+	cur, err := reader.GetVersion(ctx, "main")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("replica served tip: %d records, span=%d, %.2fms simulated\n",
-		len(recs), stats.Span, stats.SimElapsedMS)
+	n := 0
+	for _, err := range cur.Records() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		n++
+	}
+	fmt.Printf("replica streamed tip: %d records, span=%d, %.2fms simulated\n",
+		n, cur.Stats().Span, cur.Stats().SimElapsedMS)
 
-	history, _, err := reader.GetHistory("sensor-1")
+	history, _, err := reader.GetHistoryAll(ctx, "sensor-1")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("replica served history of sensor-1: %d revisions\n", len(history))
 
 	// Writes against the replica fail loudly, over the wire and directly.
-	_, err = reader.Commit(int64(v), map[string][]byte{"x": []byte("1")}, nil, "")
+	_, err = reader.Commit(ctx, int64(v), map[string][]byte{"x": []byte("1")}, nil, "")
 	var apiErr *client.APIError
 	if errors.As(err, &apiErr) {
 		fmt.Printf("replica rejected write over HTTP: status %d\n", apiErr.Status)
 	}
-	if _, err := replicaStore.Commit(rstore.VersionID(v), rstore.Change{}); errors.Is(err, rstore.ErrReadOnly) {
+	if _, err := replicaStore.Commit(ctx, rstore.VersionID(v), rstore.Change{}); errors.Is(err, rstore.ErrReadOnly) {
 		fmt.Println("replica rejected direct write: ErrReadOnly")
 	}
 }

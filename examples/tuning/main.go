@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -63,11 +64,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := st.BulkLoad(dataset()); err != nil {
+		if err := st.BulkLoad(context.Background(), dataset()); err != nil {
 			log.Fatal(err)
 		}
 		last := rstore.VersionID(st.NumVersions() - 1)
-		_, q1, err := st.GetVersion(last)
+		_, q1, err := st.GetVersionAll(context.Background(), last)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"rstore/internal/core"
 	"rstore/internal/corpus"
 	"rstore/internal/types"
@@ -23,26 +25,26 @@ func (e *Chunked) Name() string {
 }
 
 // Build implements Engine via bulk load + offline materialization.
-func (e *Chunked) Build(c *corpus.Corpus) error { return e.Store.BulkLoad(c) }
+func (e *Chunked) Build(c *corpus.Corpus) error { return e.Store.BulkLoad(context.Background(), c) }
 
 // GetVersion implements Engine.
 func (e *Chunked) GetVersion(v types.VersionID) ([]types.Record, Stats, error) {
-	return e.Store.GetVersion(v)
+	return e.Store.GetVersionAll(context.Background(), v)
 }
 
 // GetRecord implements Engine.
 func (e *Chunked) GetRecord(key types.Key, v types.VersionID) (types.Record, Stats, error) {
-	return e.Store.GetRecord(key, v)
+	return e.Store.GetRecord(context.Background(), key, v)
 }
 
 // GetRange implements Engine.
 func (e *Chunked) GetRange(lo, hi types.Key, v types.VersionID) ([]types.Record, Stats, error) {
-	return e.Store.GetRange(lo, hi, v)
+	return e.Store.GetRangeAll(context.Background(), core.KeyRange(lo, hi), v)
 }
 
 // GetHistory implements Engine.
 func (e *Chunked) GetHistory(key types.Key) ([]types.Record, Stats, error) {
-	return e.Store.GetHistory(key)
+	return e.Store.GetHistoryAll(context.Background(), key)
 }
 
 // StorageBytes implements Engine.

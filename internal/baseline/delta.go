@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"fmt"
 
 	"rstore/internal/codec"
@@ -69,7 +71,7 @@ func (d *Delta) putPieces(v types.VersionID, delta *types.Delta) (int, error) {
 			return nil
 		}
 		buf := codec.PutDelta(nil, cur)
-		if err := d.KV.Put(TableDelta, pieceKey(v, np), buf); err != nil {
+		if err := d.KV.Put(context.Background(), TableDelta, pieceKey(v, np), buf); err != nil {
 			return err
 		}
 		d.bytes += int64(len(buf))
@@ -103,7 +105,7 @@ func (d *Delta) putPieces(v types.VersionID, delta *types.Delta) (int, error) {
 		// Empty deltas (possible for no-op versions) still need one piece
 		// so reconstruction can verify presence.
 		buf := codec.PutDelta(nil, &types.Delta{})
-		if err := d.KV.Put(TableDelta, pieceKey(v, 0), buf); err != nil {
+		if err := d.KV.Put(context.Background(), TableDelta, pieceKey(v, 0), buf); err != nil {
 			return 0, err
 		}
 		d.bytes += int64(len(buf))
@@ -125,7 +127,7 @@ func (d *Delta) fetchPath(path []types.VersionID, stats *Stats) ([]*types.Delta,
 			keys = append(keys, pieceKey(u, i))
 		}
 	}
-	res, err := d.KV.MultiGet(TableDelta, keys)
+	res, err := d.KV.MultiGet(context.Background(), TableDelta, keys)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"sort"
 
 	"rstore/internal/corpus"
@@ -36,7 +38,7 @@ func (s *Single) Build(c *corpus.Corpus) error {
 	sort.Slice(s.keys, func(i, j int) bool { return s.keys[i] < s.keys[j] })
 	for id := 0; id < c.NumRecords(); id++ {
 		r := c.Record(uint32(id))
-		if err := s.KV.Put(TableSingle, ckKey(r.CK), r.Value); err != nil {
+		if err := s.KV.Put(context.Background(), TableSingle, ckKey(r.CK), r.Value); err != nil {
 			return err
 		}
 		s.bytes += int64(len(r.Value))
@@ -82,7 +84,7 @@ func (s *Single) fetch(cks []types.CompositeKey, stats *Stats) ([]types.Record, 
 	for i, ck := range cks {
 		keys[i] = ckKey(ck)
 	}
-	res, err := s.KV.MultiGet(TableSingle, keys)
+	res, err := s.KV.MultiGet(context.Background(), TableSingle, keys)
 	if err != nil {
 		return nil, err
 	}

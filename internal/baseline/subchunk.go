@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 
@@ -45,7 +47,7 @@ func (s *Subchunk) Build(c *corpus.Corpus) error {
 		if err != nil {
 			return err
 		}
-		if err := s.KV.Put(TableSubchunk, string(k), buf); err != nil {
+		if err := s.KV.Put(context.Background(), TableSubchunk, string(k), buf); err != nil {
 			return err
 		}
 		s.bytes += int64(len(buf))
@@ -113,7 +115,7 @@ func (s *Subchunk) fetchGroups(keys []types.Key, v types.VersionID, stats *Stats
 	for i, k := range keys {
 		kv[i] = string(k)
 	}
-	res, err := s.KV.MultiGet(TableSubchunk, kv)
+	res, err := s.KV.MultiGet(context.Background(), TableSubchunk, kv)
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +213,7 @@ func (s *Subchunk) GetRange(lo, hi types.Key, v types.VersionID) ([]types.Record
 // GetHistory implements Engine: one fetch returns everything.
 func (s *Subchunk) GetHistory(key types.Key) ([]types.Record, Stats, error) {
 	var stats Stats
-	val, err := s.KV.Get(TableSubchunk, string(key))
+	val, err := s.KV.Get(context.Background(), TableSubchunk, string(key))
 	if err != nil {
 		return nil, stats, &types.KeyNotFoundError{Key: key, Version: types.InvalidVersion}
 	}

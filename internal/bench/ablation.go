@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"fmt"
 
 	"rstore/internal/baseline"
@@ -182,7 +184,7 @@ func RunAblationCache(opts Options) ([]*Table, error) {
 		n := 0
 		for round := 0; round < 8; round++ {
 			for _, q := range hot {
-				_, qs, err := st.GetVersion(q.Version)
+				_, qs, err := st.GetVersionAll(context.Background(), q.Version)
 				if err != nil {
 					return nil, err
 				}
@@ -258,7 +260,7 @@ func RunAblationReplication(opts Options) ([]*Table, error) {
 		if cfg.balance {
 			balance = "on"
 		}
-		t.AddRow(d(cfg.rf), balance, fmtDur(runQueries(eng, q1)), mb(kv.Stats().BytesStored))
+		t.AddRow(d(cfg.rf), balance, fmtDur(runQueries(eng, q1)), mb(kv.Stats(context.Background()).BytesStored))
 	}
 	return []*Table{t}, nil
 }

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"fmt"
 
 	"rstore/internal/core"
@@ -46,7 +48,7 @@ func RunFig13(opts Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := st.BulkLoad(prefix); err != nil {
+			if err := st.BulkLoad(context.Background(), prefix); err != nil {
 				return nil, err
 			}
 			offline[cp] = st.TotalVersionSpan()
@@ -83,11 +85,11 @@ func RunFig13(opts Options) ([]*Table, error) {
 				if v != 0 {
 					parents = append([]types.VersionID(nil), c.Graph().Parents(vv)...)
 				}
-				if _, err := st.CommitDelta(parents, delta); err != nil {
+				if _, err := st.CommitDelta(context.Background(), parents, delta); err != nil {
 					return nil, fmt.Errorf("fig13: %s batch=%d v=%d: %w", dsName, batch, v, err)
 				}
 				if next < len(checkpoints) && v+1 == checkpoints[next] {
-					if err := st.Flush(); err != nil {
+					if err := st.Flush(context.Background()); err != nil {
 						return nil, err
 					}
 					ratio := float64(st.TotalVersionSpan()) / float64(offline[checkpoints[next]])

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -13,7 +14,7 @@ import (
 // BulkLoad adopts a pre-built corpus (e.g. a generated dataset or an export
 // from another system) into an empty store and materializes it offline with
 // the configured partitioner. The store takes ownership of the corpus.
-func (s *Store) BulkLoad(c *corpus.Corpus) error {
+func (s *Store) BulkLoad(ctx context.Context, c *corpus.Corpus) error {
 	s.mu.Lock()
 	if err := s.mutable(); err != nil {
 		s.mu.Unlock()
@@ -36,7 +37,7 @@ func (s *Store) BulkLoad(c *corpus.Corpus) error {
 	s.sortedKeys = append([]types.Key(nil), c.Keys()...)
 	sort.Slice(s.sortedKeys, func(i, j int) bool { return s.sortedKeys[i] < s.sortedKeys[j] })
 	s.mu.Unlock()
-	return s.Materialize()
+	return s.Materialize(ctx)
 }
 
 // CommitDelta ingests a version whose delta the client computed itself —
@@ -45,7 +46,7 @@ func (s *Store) BulkLoad(c *corpus.Corpus) error {
 // Added records must carry the new version id in their composite keys unless
 // they re-introduce an existing record (merge traffic). The first commit
 // (parents = [InvalidVersion]) creates the root.
-func (s *Store) CommitDelta(parents []types.VersionID, delta *types.Delta) (types.VersionID, error) {
+func (s *Store) CommitDelta(ctx context.Context, parents []types.VersionID, delta *types.Delta) (types.VersionID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.mutable(); err != nil {
@@ -61,12 +62,8 @@ func (s *Store) CommitDelta(parents []types.VersionID, delta *types.Delta) (type
 		if s.graph.NumVersions() != 0 {
 			return types.InvalidVersion, fmt.Errorf("rstore: root version already exists")
 		}
-	} else {
-		for _, p := range parents {
-			if !s.graph.Valid(p) {
-				return types.InvalidVersion, &types.VersionUnknownError{Version: p}
-			}
-		}
+	} else if err := validParents(s.graph, parents); err != nil {
+		return types.InvalidVersion, err
 	}
 	if !delta.IsConsistent() {
 		return types.InvalidVersion, fmt.Errorf("%w: version %d", types.ErrInconsistentDelta, v)
@@ -83,6 +80,12 @@ func (s *Store) CommitDelta(parents []types.VersionID, delta *types.Delta) (type
 		if _, ok := s.corpus.IDForCK(ck); !ok {
 			return types.InvalidVersion, fmt.Errorf("%w: delta deletes unknown record %v", types.ErrNotFound, ck)
 		}
+	}
+
+	// Durable write first (see CommitMerge): a failure or cancellation here
+	// leaves no in-memory trace.
+	if err := s.kv.BatchPut(ctx, TableDeltaStore, []kvstore.Entry{{Key: deltaKey(v), Value: encodeDeltaEntry(parents, delta)}}); err != nil {
+		return types.InvalidVersion, err
 	}
 
 	var got types.VersionID
@@ -105,13 +108,13 @@ func (s *Store) CommitDelta(parents []types.VersionID, delta *types.Delta) (type
 	for i := len(s.locs); i < s.corpus.NumRecords(); i++ {
 		s.locs = append(s.locs, chunk.Loc{Chunk: chunk.NoChunk})
 	}
-	if err := s.kv.BatchPut(TableDeltaStore, []kvstore.Entry{{Key: deltaKey(v), Value: encodeDeltaEntry(parents, delta)}}); err != nil {
-		return types.InvalidVersion, err
-	}
 	s.pending = append(s.pending, v)
 	s.pendingSet[v] = true
 	if s.cfg.BatchSize > 0 && len(s.pending) >= s.cfg.BatchSize {
-		if err := s.flushLocked(); err != nil {
+		// Detached from the caller's cancellation (see CommitMerge): the
+		// commit stands; the batch flush must not be wedgeable by a
+		// per-request ctx.
+		if err := s.flushLocked(context.WithoutCancel(ctx)); err != nil {
 			return types.InvalidVersion, err
 		}
 	}
@@ -123,7 +126,7 @@ func (s *Store) CommitDelta(parents []types.VersionID, delta *types.Delta) (type
 // truth.
 func (s *Store) ChunkStorageBytes() int64 {
 	var total int64
-	if err := s.kv.Scan(TableChunks, func(_ string, value []byte) bool {
+	if err := s.kv.Scan(context.Background(), TableChunks, func(_ string, value []byte) bool {
 		total += int64(len(value))
 		return true
 	}); err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestBulkLoadAndQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.BulkLoad(c); err != nil {
+	if err := s.BulkLoad(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 	if s.PendingVersions() != 0 {
@@ -35,7 +36,7 @@ func TestBulkLoadAndQueries(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		recs, _, err := s.GetVersion(vv)
+		recs, _, err := s.GetVersionAll(context.Background(), vv)
 		if err != nil {
 			t.Fatalf("GetVersion(%d): %v", v, err)
 		}
@@ -51,7 +52,7 @@ func TestBulkLoadAndQueries(t *testing.T) {
 		t.Fatal("span accessors")
 	}
 	// Bulk load twice is rejected.
-	if err := s.BulkLoad(c); err == nil {
+	if err := s.BulkLoad(context.Background(), c); err == nil {
 		t.Fatal("second bulk load accepted")
 	}
 }
@@ -65,7 +66,7 @@ func TestCommitDeltaValidation(t *testing.T) {
 	root := &types.Delta{Adds: []types.Record{
 		{CK: types.CompositeKey{Key: "a", Version: 0}, Value: []byte("a0")},
 	}}
-	v0, err := s.CommitDelta([]types.VersionID{types.InvalidVersion}, root)
+	v0, err := s.CommitDelta(context.Background(), []types.VersionID{types.InvalidVersion}, root)
 	if err != nil || v0 != 0 {
 		t.Fatalf("root: %v %v", v0, err)
 	}
@@ -73,7 +74,7 @@ func TestCommitDeltaValidation(t *testing.T) {
 	bad := &types.Delta{Adds: []types.Record{
 		{CK: types.CompositeKey{Key: "b", Version: 99}, Value: []byte("b")},
 	}}
-	if _, err := s.CommitDelta([]types.VersionID{v0}, bad); err == nil {
+	if _, err := s.CommitDelta(context.Background(), []types.VersionID{v0}, bad); err == nil {
 		t.Fatal("wrong-origin add accepted")
 	}
 	// Proper child delta.
@@ -81,19 +82,19 @@ func TestCommitDeltaValidation(t *testing.T) {
 		Adds: []types.Record{{CK: types.CompositeKey{Key: "a", Version: 1}, Value: []byte("a1")}},
 		Dels: []types.CompositeKey{{Key: "a", Version: 0}},
 	}
-	v1, err := s.CommitDelta([]types.VersionID{v0}, good)
+	v1, err := s.CommitDelta(context.Background(), []types.VersionID{v0}, good)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	rec, _, err := s.GetRecord("a", v1)
+	rec, _, err := s.GetRecord(context.Background(), "a", v1)
 	if err != nil || string(rec.Value) != "a1" {
 		t.Fatalf("after delta commit: %q %v", rec.Value, err)
 	}
 	// Empty parents rejected.
-	if _, err := s.CommitDelta(nil, &types.Delta{}); err == nil {
+	if _, err := s.CommitDelta(context.Background(), nil, &types.Delta{}); err == nil {
 		t.Fatal("no-parent delta accepted")
 	}
 	// KV accessor exposed for stats.
@@ -121,22 +122,22 @@ func TestFailedCommitLeavesNoTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v0, err := s.Commit(types.InvalidVersion, Change{Puts: map[types.Key][]byte{"a": []byte("0")}})
+	v0, err := s.Commit(context.Background(), types.InvalidVersion, Change{Puts: map[types.Key][]byte{"a": []byte("0")}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := s.NumVersions()
 
 	// Three distinct rejection paths.
-	if _, err := s.Commit(v0, Change{Deletes: []types.Key{"missing"}}); err == nil {
+	if _, err := s.Commit(context.Background(), v0, Change{Deletes: []types.Key{"missing"}}); err == nil {
 		t.Fatal("delete of missing key accepted")
 	}
-	if _, err := s.Commit(v0, Change{
+	if _, err := s.Commit(context.Background(), v0, Change{
 		Puts: map[types.Key][]byte{"a": []byte("1")}, Deletes: []types.Key{"a"},
 	}); err == nil {
 		t.Fatal("put+delete accepted")
 	}
-	if _, err := s.CommitDelta([]types.VersionID{v0}, &types.Delta{
+	if _, err := s.CommitDelta(context.Background(), []types.VersionID{v0}, &types.Delta{
 		Adds: []types.Record{{CK: types.CompositeKey{Key: "x", Version: 77}}},
 	}); err == nil {
 		t.Fatal("wrong-origin delta accepted")
@@ -146,17 +147,17 @@ func TestFailedCommitLeavesNoTrace(t *testing.T) {
 		t.Fatalf("failed commits grew the graph: %d → %d", before, s.NumVersions())
 	}
 	// The store remains fully functional: the next id is consecutive.
-	v1, err := s.Commit(v0, Change{Puts: map[types.Key][]byte{"a": []byte("1")}})
+	v1, err := s.Commit(context.Background(), v0, Change{Puts: map[types.Key][]byte{"a": []byte("1")}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if int(v1) != before {
 		t.Fatalf("version id after failures: %d, want %d", v1, before)
 	}
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	rec, _, err := s.GetRecord("a", v1)
+	rec, _, err := s.GetRecord(context.Background(), "a", v1)
 	if err != nil || string(rec.Value) != "1" {
 		t.Fatalf("store unusable after failed commits: %q %v", rec.Value, err)
 	}

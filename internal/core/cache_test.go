@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"rstore/internal/types"
@@ -10,19 +11,19 @@ import (
 // no further KVS requests; answers stay identical.
 func TestCacheCutsBackendRequests(t *testing.T) {
 	s, m := buildStore(t, Config{ChunkCapacity: 1024, CacheBytes: 16 << 20}, 15, 30, 51)
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	v := types.VersionID(s.NumVersions() - 1)
 
-	_, cold, err := s.GetVersion(v)
+	_, cold, err := s.GetVersionAll(context.Background(), v)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cold.Requests == 0 {
 		t.Fatal("cold query issued no requests")
 	}
-	recs, warm, err := s.GetVersion(v)
+	recs, warm, err := s.GetVersionAll(context.Background(), v)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,29 +49,29 @@ func TestCacheInvalidationOnFlush(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v0, err := s.Commit(types.InvalidVersion, Change{Puts: map[types.Key][]byte{
+	v0, err := s.Commit(context.Background(), types.InvalidVersion, Change{Puts: map[types.Key][]byte{
 		"a": []byte("a0"), "b": []byte("b0"),
 	}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Warm the cache.
-	if _, _, err := s.GetVersion(v0); err != nil {
+	if _, _, err := s.GetVersionAll(context.Background(), v0); err != nil {
 		t.Fatal(err)
 	}
 	// New version deletes a record and flushes: the old chunk's map gains
 	// v1 (minus the deleted slot) and is rewritten.
-	v1, err := s.Commit(v0, Change{Deletes: []types.Key{"b"}})
+	v1, err := s.Commit(context.Background(), v0, Change{Deletes: []types.Key{"b"}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	recs, _, err := s.GetVersion(v1)
+	recs, _, err := s.GetVersionAll(context.Background(), v1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,15 +84,15 @@ func TestCacheInvalidationOnFlush(t *testing.T) {
 // chunk id; stale entries must vanish.
 func TestCacheInvalidationOnMaterialize(t *testing.T) {
 	s, m := buildStore(t, Config{ChunkCapacity: 512, BatchSize: 4, CacheBytes: 16 << 20}, 12, 20, 52)
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for v := 0; v < s.NumVersions(); v++ {
-		if _, _, err := s.GetVersion(types.VersionID(v)); err != nil {
+		if _, _, err := s.GetVersionAll(context.Background(), types.VersionID(v)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := s.Materialize(); err != nil {
+	if err := s.Materialize(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if cs := s.CacheStats(); cs.Entries != 0 {
@@ -104,7 +105,7 @@ func TestCacheInvalidationOnMaterialize(t *testing.T) {
 // its byte budget.
 func TestCacheEviction(t *testing.T) {
 	s, m := buildStore(t, Config{ChunkCapacity: 512, CacheBytes: 2048}, 12, 30, 53)
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for round := 0; round < 3; round++ {
@@ -123,13 +124,13 @@ func TestCacheEviction(t *testing.T) {
 // cache state.
 func TestCacheDisabledByDefault(t *testing.T) {
 	s, _ := buildStore(t, Config{ChunkCapacity: 1024}, 8, 15, 54)
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.GetVersion(0); err != nil {
+	if _, _, err := s.GetVersionAll(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.GetVersion(0); err != nil {
+	if _, _, err := s.GetVersionAll(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	if cs := s.CacheStats(); cs.Hits != 0 || cs.Entries != 0 {

@@ -75,6 +75,12 @@ type Config struct {
 	// per-request cost). 0 disables caching. Placement changes invalidate
 	// affected entries.
 	CacheBytes int64
+	// QueryFetchBatch is the number of chunks a streaming query fetches
+	// from the KVS per round (default 8). Smaller batches surface the
+	// first records sooner and bound per-query server memory tighter;
+	// larger batches recover more of the fetch parallelism of the old
+	// materialize-everything path.
+	QueryFetchBatch int
 }
 
 // withDefaults fills in defaults; ownsKV reports that a private cluster was
@@ -110,6 +116,9 @@ func (c Config) withDefaults() (Config, bool, error) {
 	}
 	if c.Slack <= 0 {
 		c.Slack = partition.DefaultSlack
+	}
+	if c.QueryFetchBatch <= 0 {
+		c.QueryFetchBatch = 8
 	}
 	return c, ownsKV, nil
 }

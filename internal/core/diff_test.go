@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -13,21 +14,21 @@ func diffStore(t *testing.T) (*Store, types.VersionID, types.VersionID, types.Ve
 	if err != nil {
 		t.Fatal(err)
 	}
-	v0, err := s.Commit(types.InvalidVersion, Change{Puts: map[types.Key][]byte{
+	v0, err := s.Commit(context.Background(), types.InvalidVersion, Change{Puts: map[types.Key][]byte{
 		"a": []byte("a0"), "b": []byte("b0"), "c": []byte("c0"),
 	}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Branch 1: modify a, add d.
-	v1, err := s.Commit(v0, Change{Puts: map[types.Key][]byte{
+	v1, err := s.Commit(context.Background(), v0, Change{Puts: map[types.Key][]byte{
 		"a": []byte("a1"), "d": []byte("d1"),
 	}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Branch 2 (from v0): delete b, modify c.
-	v2, err := s.Commit(v0, Change{
+	v2, err := s.Commit(context.Background(), v0, Change{
 		Puts:    map[types.Key][]byte{"c": []byte("c2")},
 		Deletes: []types.Key{"b"},
 	})
@@ -100,7 +101,7 @@ func TestDiffIdentity(t *testing.T) {
 func TestLCA(t *testing.T) {
 	s, v0, v1, v2 := diffStore(t)
 	// Extend branch 1 once more.
-	v3, err := s.Commit(v1, Change{Puts: map[types.Key][]byte{"e": []byte("e3")}})
+	v3, err := s.Commit(context.Background(), v1, Change{Puts: map[types.Key][]byte{"e": []byte("e3")}})
 	if err != nil {
 		t.Fatal(err)
 	}

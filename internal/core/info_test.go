@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"rstore/internal/types"
@@ -8,7 +9,7 @@ import (
 
 func TestInfo(t *testing.T) {
 	s, m := buildStore(t, Config{ChunkCapacity: 1024, BatchSize: 4}, 12, 20, 21)
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	info := s.Info()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -24,7 +25,7 @@ const manifestVersion = 1
 // same KVS: the version graph with per-version composite-key deltas (values
 // live in chunks / the delta store), branches, chunk count, and the pending
 // set. Called under s.mu.
-func (s *Store) saveManifest() error {
+func (s *Store) saveManifest(ctx context.Context) error {
 	var buf []byte
 	buf = codec.PutUvarint(buf, manifestVersion)
 	n := s.graph.NumVersions()
@@ -64,13 +65,13 @@ func (s *Store) saveManifest() error {
 	}
 	// BatchPut rather than Put: the manifest is the recovery root, and the
 	// batch path is the one durable backends fsync before acknowledging.
-	return s.kv.BatchPut(TableMeta, []kvstore.Entry{{Key: manifestKey, Value: buf}})
+	return s.kv.BatchPut(ctx, TableMeta, []kvstore.Entry{{Key: manifestKey, Value: buf}})
 }
 
 // Exists reports whether kv holds a persisted store (a manifest entry),
 // without the cost — or the repair side effects — of a full Load.
-func Exists(kv *kvstore.Store) (bool, error) {
-	_, err := kv.Get(TableMeta, manifestKey)
+func Exists(ctx context.Context, kv *kvstore.Store) (bool, error) {
+	_, err := kv.Get(ctx, TableMeta, manifestKey)
 	if err == nil {
 		return true, nil
 	}
@@ -85,13 +86,13 @@ func Exists(kv *kvstore.Store) (bool, error) {
 // fresh store: the manifest is the recovery root that Load replays
 // later-acknowledged commits against (flush and SetBranch refresh it as a
 // side effect).
-func (s *Store) Checkpoint() error {
+func (s *Store) Checkpoint(ctx context.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.mutable(); err != nil {
 		return err
 	}
-	return s.saveManifest()
+	return s.saveManifest(ctx)
 }
 
 // Load reopens a store previously persisted to kv: the manifest restores the
@@ -107,7 +108,7 @@ func (s *Store) Checkpoint() error {
 // (b) leftover delta entries for versions the manifest already placed —
 // ignored and cleaned up. Commits acknowledged after the last manifest save
 // are replayed from their self-describing delta entries.
-func Load(cfg Config) (*Store, error) {
+func Load(ctx context.Context, cfg Config) (*Store, error) {
 	cfg, ownsKV, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -119,7 +120,7 @@ func Load(cfg Config) (*Store, error) {
 		}
 		return nil, err
 	}
-	raw, err := kv.Get(TableMeta, manifestKey)
+	raw, err := kv.Get(ctx, TableMeta, manifestKey)
 	if err != nil {
 		return fail(fmt.Errorf("rstore: load: %w", err))
 	}
@@ -133,7 +134,7 @@ func Load(cfg Config) (*Store, error) {
 	}
 	chunks := make(map[chunk.ID]*chunkState)
 	var loadErr error
-	scanErr := kv.Scan(TableChunks, func(key string, value []byte) bool {
+	scanErr := kv.Scan(ctx, TableChunks, func(key string, value []byte) bool {
 		var cid chunk.ID
 		if _, err := fmt.Sscanf(key, "c%08x", &cid); err != nil {
 			loadErr = fmt.Errorf("%w: bad chunk key %q", types.ErrCorrupt, key)
@@ -171,7 +172,7 @@ func Load(cfg Config) (*Store, error) {
 		delta   *types.Delta
 	}
 	deltas := make(map[types.VersionID]deltaEntry)
-	scanErr = kv.Scan(TableDeltaStore, func(key string, value []byte) bool {
+	scanErr = kv.Scan(ctx, TableDeltaStore, func(key string, value []byte) bool {
 		var v uint32
 		if _, err := fmt.Sscanf(key, "d%08x", &v); err != nil {
 			loadErr = fmt.Errorf("%w: bad delta key %q", types.ErrCorrupt, key)
@@ -253,7 +254,7 @@ func Load(cfg Config) (*Store, error) {
 		}
 		s.maps[cid] = cs.m
 	}
-	proj, err := index.Load(kv)
+	proj, err := index.Load(ctx, kv)
 	if err != nil {
 		return fail(err)
 	}
@@ -267,13 +268,13 @@ func Load(cfg Config) (*Store, error) {
 	// only pruned in memory, which queries never look past.
 	if !cfg.ReadOnly {
 		for _, cid := range orphanChunks {
-			if err := kv.Delete(TableChunks, chunk.KVKey(cid)); err != nil {
+			if err := kv.Delete(ctx, TableChunks, chunk.KVKey(cid)); err != nil {
 				return fail(err)
 			}
 		}
 		for v := range deltas {
 			if v < manifestVersions && !s.pendingSet[v] {
-				if err := kv.Delete(TableDeltaStore, deltaKey(v)); err != nil {
+				if err := kv.Delete(ctx, TableDeltaStore, deltaKey(v)); err != nil {
 					return fail(err)
 				}
 			}

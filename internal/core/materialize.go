@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"rstore/internal/chunk"
@@ -16,16 +17,16 @@ import (
 // projection construction — and persists everything to the KVS. It is the
 // bulk-load path and doubles as the periodic full repartitioning that §4
 // recommends combining with online batching.
-func (s *Store) Materialize() error {
+func (s *Store) Materialize(ctx context.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.mutable(); err != nil {
 		return err
 	}
-	return s.materializeLocked()
+	return s.materializeLocked(ctx)
 }
 
-func (s *Store) materializeLocked() error {
+func (s *Store) materializeLocked(ctx context.Context) error {
 	if s.graph.NumVersions() == 0 {
 		return nil
 	}
@@ -61,15 +62,15 @@ func (s *Store) materializeLocked() error {
 	// still strand the old manifest against new chunk contents — making the
 	// offline repartition fully crash-safe needs epoch-prefixed chunk keys
 	// (see ROADMAP); the hot online flush path has no such window.
-	staleChunks, err := s.tableKeys(TableChunks)
+	staleChunks, err := s.tableKeys(ctx, TableChunks)
 	if err != nil {
 		return err
 	}
-	staleVIdx, err := s.tableKeys(index.TableVersionIndex)
+	staleVIdx, err := s.tableKeys(ctx, index.TableVersionIndex)
 	if err != nil {
 		return err
 	}
-	staleKIdx, err := s.tableKeys(index.TableKeyIndex)
+	staleKIdx, err := s.tableKeys(ctx, index.TableKeyIndex)
 	if err != nil {
 		return err
 	}
@@ -86,10 +87,10 @@ func (s *Store) materializeLocked() error {
 			Value: encodeChunkEntry(built.Payloads[cid], built.Maps[cid]),
 		})
 	}
-	if err := s.kv.BatchPut(TableChunks, entries); err != nil {
+	if err := s.kv.BatchPut(ctx, TableChunks, entries); err != nil {
 		return err
 	}
-	if err := proj.Save(s.kv); err != nil {
+	if err := proj.Save(ctx, s.kv); err != nil {
 		return err
 	}
 
@@ -101,24 +102,24 @@ func (s *Store) materializeLocked() error {
 	s.pending = nil
 	s.pendingSet = make(map[types.VersionID]bool)
 	s.cache.reset() // every chunk id was reassigned
-	if err := s.saveManifest(); err != nil {
+	if err := s.saveManifest(ctx); err != nil {
 		return err
 	}
 
 	// Cleanup after the commit point: superseded chunk/index entries and
 	// the drained write store.
 	vKeys, kKeys := proj.EntryKeys()
-	if err := s.deleteStale(TableChunks, staleChunks, newChunkKeys); err != nil {
+	if err := s.deleteStale(ctx, TableChunks, staleChunks, newChunkKeys); err != nil {
 		return err
 	}
-	if err := s.deleteStale(index.TableVersionIndex, staleVIdx, stringSet(vKeys)); err != nil {
+	if err := s.deleteStale(ctx, index.TableVersionIndex, staleVIdx, stringSet(vKeys)); err != nil {
 		return err
 	}
-	if err := s.deleteStale(index.TableKeyIndex, staleKIdx, stringSet(kKeys)); err != nil {
+	if err := s.deleteStale(ctx, index.TableKeyIndex, staleKIdx, stringSet(kKeys)); err != nil {
 		return err
 	}
 	for _, v := range flushed {
-		if err := s.kv.Delete(TableDeltaStore, deltaKey(v)); err != nil {
+		if err := s.kv.Delete(ctx, TableDeltaStore, deltaKey(v)); err != nil {
 			return err
 		}
 	}
@@ -126,9 +127,9 @@ func (s *Store) materializeLocked() error {
 }
 
 // tableKeys lists every key of a KVS table.
-func (s *Store) tableKeys(table string) ([]string, error) {
+func (s *Store) tableKeys(ctx context.Context, table string) ([]string, error) {
 	var keys []string
-	if err := s.kv.Scan(table, func(k string, _ []byte) bool {
+	if err := s.kv.Scan(ctx, table, func(k string, _ []byte) bool {
 		keys = append(keys, k)
 		return true
 	}); err != nil {
@@ -139,12 +140,12 @@ func (s *Store) tableKeys(table string) ([]string, error) {
 
 // deleteStale removes the keys of a table that the new generation did not
 // overwrite.
-func (s *Store) deleteStale(table string, old []string, live map[string]bool) error {
+func (s *Store) deleteStale(ctx context.Context, table string, old []string, live map[string]bool) error {
 	for _, k := range old {
 		if live[k] {
 			continue
 		}
-		if err := s.kv.Delete(table, k); err != nil {
+		if err := s.kv.Delete(ctx, table, k); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -18,16 +19,25 @@ import (
 // subtree, existing records keep their chunks (no re-partitioning), chunk
 // maps touched by the batch are rebuilt from in-memory state and written
 // back once, and the projections gain the new versions.
-func (s *Store) Flush() error {
+//
+// Flush honors ctx for its KVS writes. An error mid-flush — including a
+// cancellation — never corrupts the persisted state (the chunks →
+// projections → manifest → delta-drain crash ordering means Load repairs
+// it), but it can leave this process's in-memory placement ahead of what
+// was persisted; treat a failed Flush like a crash and reopen with Load
+// rather than continuing to serve from the same Store. Prefer a
+// non-cancellable context here unless abandoning the store on interruption
+// is acceptable.
+func (s *Store) Flush(ctx context.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.mutable(); err != nil {
 		return err
 	}
-	return s.flushLocked()
+	return s.flushLocked(ctx)
 }
 
-func (s *Store) flushLocked() error {
+func (s *Store) flushLocked(ctx context.Context) error {
 	if len(s.pending) == 0 {
 		return nil
 	}
@@ -107,7 +117,7 @@ func (s *Store) flushLocked() error {
 	// drains.
 	entries := make([]kvstore.Entry, 0, len(touched))
 	for cid := range touched {
-		payload, err := s.payloadOf(cid)
+		payload, err := s.payloadOf(ctx, cid)
 		if err != nil {
 			return err
 		}
@@ -116,10 +126,10 @@ func (s *Store) flushLocked() error {
 			Value: encodeChunkEntry(payload, s.maps[cid]),
 		})
 	}
-	if err := s.kv.BatchPut(TableChunks, entries); err != nil {
+	if err := s.kv.BatchPut(ctx, TableChunks, entries); err != nil {
 		return err
 	}
-	if err := s.proj.Save(s.kv); err != nil {
+	if err := s.proj.Save(ctx, s.kv); err != nil {
 		return err
 	}
 	// Commit point: the manifest must land BEFORE the write store drains.
@@ -131,11 +141,11 @@ func (s *Store) flushLocked() error {
 	flushed := s.pending
 	s.pending = nil
 	s.pendingSet = make(map[types.VersionID]bool)
-	if err := s.saveManifest(); err != nil {
+	if err := s.saveManifest(ctx); err != nil {
 		return err
 	}
 	for _, v := range flushed {
-		if err := s.kv.Delete(TableDeltaStore, deltaKey(v)); err != nil {
+		if err := s.kv.Delete(ctx, TableDeltaStore, deltaKey(v)); err != nil {
 			return err
 		}
 	}
@@ -148,7 +158,7 @@ func (s *Store) flushLocked() error {
 	s.batchesSinceRepartition++
 	if s.cfg.RepartitionEvery > 0 && s.batchesSinceRepartition >= s.cfg.RepartitionEvery {
 		s.batchesSinceRepartition = 0
-		return s.materializeLocked()
+		return s.materializeLocked(ctx)
 	}
 	return nil
 }
@@ -282,12 +292,12 @@ func (s *Store) chunkPayloadCache(cid chunk.ID, payload []byte) {
 
 // payloadOf returns a chunk's payload: staged (new this batch) or fetched
 // from the KVS (old chunk whose map is being rewritten).
-func (s *Store) payloadOf(cid chunk.ID) ([]byte, error) {
+func (s *Store) payloadOf(ctx context.Context, cid chunk.ID) ([]byte, error) {
 	if p, ok := s.stagedPayloads[cid]; ok {
 		delete(s.stagedPayloads, cid)
 		return p, nil
 	}
-	entry, err := s.kv.Get(TableChunks, chunk.KVKey(cid))
+	entry, err := s.kv.Get(ctx, TableChunks, chunk.KVKey(cid))
 	if err != nil {
 		return nil, fmt.Errorf("rstore: flush: chunk %d payload: %w", cid, err)
 	}

@@ -74,8 +74,9 @@ func decodeEntries(entries []*chunkEntry) ([][]types.Record, error) {
 	return out, nil
 }
 
-// extractSlots streams the records of version v from a decoded chunk.
-func extractSlots(e *chunkEntry, decoded []types.Record, v types.VersionID, fn func(types.Record)) (bool, error) {
+// extractSlots streams the records of version v from a decoded chunk; fn
+// returning false stops the walk (a consumer that has seen enough).
+func extractSlots(e *chunkEntry, decoded []types.Record, v types.VersionID, fn func(types.Record) bool) (bool, error) {
 	slots := e.m.SlotsOf(v)
 	if slots == nil || slots.Empty() {
 		return false, nil
@@ -87,9 +88,8 @@ func extractSlots(e *chunkEntry, decoded []types.Record, v types.VersionID, fn f
 			fail = corruptSlotError(e.id, slot)
 			return false
 		}
-		fn(decoded[slot])
 		matched = true
-		return true
+		return fn(decoded[slot])
 	})
 	return matched, fail
 }

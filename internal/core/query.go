@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"iter"
 	"sort"
 
 	"rstore/internal/chunk"
@@ -9,45 +12,257 @@ import (
 	"rstore/internal/types"
 )
 
-// GetVersion retrieves every record of version v (the paper's full version
-// retrieval, Q1): the version→chunk projection picks chunks, a parallel
-// MultiGet fetches them, and chunk maps extract the member records. Versions
-// still pending in the write store are served by overlaying their deltas on
-// the nearest placed ancestor.
-func (s *Store) GetVersion(v types.VersionID) ([]types.Record, QueryStats, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var stats QueryStats
-	if !s.validVersion(v) {
-		return nil, stats, &types.VersionUnknownError{Version: v}
-	}
-	anchor, overlayPath := s.anchorOf(v)
+// Range selects primary keys for range retrieval: the half-open interval
+// [Lo, Hi), or — with Unbounded set — every key at or above Lo. The
+// explicit unbounded form replaces the old practice of passing a "large"
+// sentinel key, which silently excluded keys sorting above the sentinel.
+type Range struct {
+	Lo types.Key
+	Hi types.Key
+	// Unbounded extends the range to the top of the keyspace; Hi is
+	// ignored.
+	Unbounded bool
+}
 
-	recs := make(map[types.CompositeKey]types.Record)
-	if anchor != types.InvalidVersion {
-		if err := s.fetchVersionChunks(anchor, &stats, func(r types.Record) {
-			recs[r.CK] = r
-		}); err != nil {
-			return nil, stats, err
+// KeyRange is the bounded range [lo, hi).
+func KeyRange(lo, hi types.Key) Range { return Range{Lo: lo, Hi: hi} }
+
+// KeyRangeFrom is the unbounded range [lo, ∞).
+func KeyRangeFrom(lo types.Key) Range { return Range{Lo: lo, Unbounded: true} }
+
+func (r Range) contains(k types.Key) bool {
+	return k >= r.Lo && (r.Unbounded || k < r.Hi)
+}
+
+// Cursor is the streaming result of a query (GetVersion, GetRange,
+// GetHistory): records are produced incrementally — chunks are fetched from
+// the KVS a batch at a time (Config.QueryFetchBatch) — so the first record
+// is available before the last chunk is fetched, and abandoning the cursor
+// (or cancelling the query's context) stops further fetches.
+//
+// Iterate with Records (usable once); Stats reports the retrieval costs
+// accumulated so far and is complete once the sequence ends. An error —
+// including the context's, when it ends mid-query — terminates the sequence
+// as the final pair's second value.
+//
+// The cursor holds the store's read lock while being iterated, so a
+// consumer that stalls between records delays concurrent commits; drain
+// promptly or use the ...All convenience wrappers.
+type Cursor struct {
+	stats QueryStats
+	run   func(c *Cursor, yield func(types.Record, error) bool)
+	spent bool
+}
+
+func newCursor(run func(c *Cursor, yield func(types.Record, error) bool)) *Cursor {
+	return &Cursor{run: run}
+}
+
+// Records returns the record sequence. It may be ranged over once; a
+// second iteration yields only an error.
+func (c *Cursor) Records() iter.Seq2[types.Record, error] {
+	return func(yield func(types.Record, error) bool) {
+		if c.spent {
+			yield(types.Record{}, errors.New("rstore: cursor already iterated"))
+			return
 		}
+		c.spent = true
+		c.run(c, yield)
 	}
-	if err := s.applyOverlay(overlayPath, &stats, recs); err != nil {
-		return nil, stats, err
-	}
+}
 
-	out := make([]types.Record, 0, len(recs))
-	for _, r := range recs {
+// Stats reports the retrieval costs accumulated so far; it is complete
+// once the record sequence has ended.
+func (c *Cursor) Stats() QueryStats { return c.stats }
+
+// All drains the cursor into a slice, in stream order. On error the
+// records delivered before it are returned alongside.
+func (c *Cursor) All() ([]types.Record, QueryStats, error) {
+	var out []types.Record
+	for r, err := range c.Records() {
+		if err != nil {
+			return out, c.stats, err
+		}
 		out = append(out, r)
 	}
-	types.SortRecords(out)
-	stats.Records = len(out)
-	return out, stats, nil
+	return out, c.stats, nil
+}
+
+// GetVersion streams every record of version v (the paper's full version
+// retrieval, Q1): the version→chunk projection picks chunks, batched
+// parallel MultiGets fetch them incrementally, and chunk maps extract the
+// member records as each batch lands. Versions still pending in the write
+// store are served by overlaying their deltas on the nearest placed
+// ancestor. Record order is unspecified (chunk order); GetVersionAll sorts.
+func (s *Store) GetVersion(ctx context.Context, v types.VersionID) *Cursor {
+	return newCursor(func(c *Cursor, yield func(types.Record, error) bool) {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if !s.validVersion(v) {
+			yield(types.Record{}, &types.VersionUnknownError{Version: v})
+			return
+		}
+		anchor, overlayPath := s.anchorOf(v)
+		ov, err := s.overlayEffect(ctx, overlayPath, &c.stats)
+		if err != nil {
+			yield(types.Record{}, err)
+			return
+		}
+		if anchor != types.InvalidVersion {
+			if !s.streamVersionChunks(ctx, c, anchor, s.proj.VersionChunks(anchor), ov, nil, yield) {
+				return
+			}
+		}
+		emitOverlayAdds(c, ov, nil, yield)
+	})
+}
+
+// GetVersionAll retrieves every record of version v as one sorted slice —
+// the buffered convenience form of GetVersion.
+func (s *Store) GetVersionAll(ctx context.Context, v types.VersionID) ([]types.Record, QueryStats, error) {
+	recs, stats, err := s.GetVersion(ctx, v).All()
+	types.SortRecords(recs)
+	return recs, stats, err
+}
+
+// GetRange streams the records of version v whose keys fall in r (partial
+// version retrieval, Q2). Record order is unspecified; GetRangeAll sorts.
+func (s *Store) GetRange(ctx context.Context, r Range, v types.VersionID) *Cursor {
+	return newCursor(func(c *Cursor, yield func(types.Record, error) bool) {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if !s.validVersion(v) {
+			yield(types.Record{}, &types.VersionUnknownError{Version: v})
+			return
+		}
+		anchor, overlayPath := s.anchorOf(v)
+		ov, err := s.overlayEffect(ctx, overlayPath, &c.stats)
+		if err != nil {
+			yield(types.Record{}, err)
+			return
+		}
+		filter := func(k types.Key) bool { return r.contains(k) }
+		if anchor != types.InvalidVersion {
+			// Union of key-projection entries over the range, intersected
+			// with the version projection.
+			inVersion := make(map[chunk.ID]bool)
+			for _, cid := range s.proj.VersionChunks(anchor) {
+				inVersion[cid] = true
+			}
+			cidSet := make(map[chunk.ID]bool)
+			for _, k := range s.keysInRange(r) {
+				for _, cid := range s.proj.KeyChunks(k) {
+					if inVersion[cid] {
+						cidSet[cid] = true
+					}
+				}
+			}
+			cids := make([]chunk.ID, 0, len(cidSet))
+			for cid := range cidSet {
+				cids = append(cids, cid)
+			}
+			sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+			if !s.streamVersionChunks(ctx, c, anchor, cids, ov, filter, yield) {
+				return
+			}
+		}
+		emitOverlayAdds(c, ov, filter, yield)
+	})
+}
+
+// GetRangeAll retrieves version v's records with keys in r as one sorted
+// slice — the buffered convenience form of GetRange.
+func (s *Store) GetRangeAll(ctx context.Context, r Range, v types.VersionID) ([]types.Record, QueryStats, error) {
+	recs, stats, err := s.GetRange(ctx, r, v).All()
+	types.SortRecords(recs)
+	return recs, stats, err
+}
+
+// GetHistory streams every record carrying the given primary key across all
+// versions (record evolution, Q3). Order is unspecified (chunk order);
+// GetHistoryAll sorts by origin version. A key with no records anywhere
+// ends the sequence with a KeyNotFoundError.
+func (s *Store) GetHistory(ctx context.Context, key types.Key) *Cursor {
+	return newCursor(func(c *Cursor, yield func(types.Record, error) bool) {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+
+		seen := make(map[types.CompositeKey]bool)
+		stopped, err := s.streamChunks(ctx, s.proj.KeyChunks(key), &c.stats, func(e *chunkEntry, decoded []types.Record) (bool, error) {
+			s.chargeScan(e, &c.stats)
+			matched := false
+			for _, r := range decoded {
+				if r.CK.Key != key {
+					continue
+				}
+				matched = true
+				if seen[r.CK] {
+					continue
+				}
+				seen[r.CK] = true
+				c.stats.Records++
+				if !yield(r, nil) {
+					return false, nil
+				}
+			}
+			if !matched {
+				c.stats.WastedChunks++
+			}
+			return true, nil
+		})
+		if err != nil {
+			yield(types.Record{}, err)
+			return
+		}
+		if stopped {
+			return
+		}
+
+		// Pending records of this key live in the write store.
+		var pendingVersions []types.VersionID
+		for _, id := range s.corpus.KeyRecords(key) {
+			if int(id) < len(s.locs) && s.locs[id].Chunk == chunk.NoChunk {
+				pendingVersions = append(pendingVersions, s.corpus.Record(id).CK.Version)
+			}
+		}
+		if len(pendingVersions) > 0 {
+			deltas, err := s.fetchDeltas(ctx, pendingVersions, &c.stats)
+			if err != nil {
+				yield(types.Record{}, err)
+				return
+			}
+			for _, d := range deltas {
+				for _, r := range d.Adds {
+					if r.CK.Key != key || seen[r.CK] {
+						continue
+					}
+					seen[r.CK] = true
+					c.stats.Records++
+					if !yield(r, nil) {
+						return
+					}
+				}
+			}
+		}
+		if len(seen) == 0 {
+			yield(types.Record{}, &types.KeyNotFoundError{Key: key, Version: types.InvalidVersion})
+		}
+	})
+}
+
+// GetHistoryAll retrieves every record of a key as one slice ordered by
+// origin version — the buffered convenience form of GetHistory.
+func (s *Store) GetHistoryAll(ctx context.Context, key types.Key) ([]types.Record, QueryStats, error) {
+	recs, stats, err := s.GetHistory(ctx, key).All()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].CK.Version < recs[j].CK.Version })
+	return recs, stats, err
 }
 
 // GetRecord retrieves the record with the given primary key visible in
 // version v (point query): both projections are intersected ("index-ANDing",
-// §2.4) to pick candidate chunks.
-func (s *Store) GetRecord(key types.Key, v types.VersionID) (types.Record, QueryStats, error) {
+// §2.4) to pick candidate chunks. A point query returns one record, so it
+// keeps the buffered shape rather than a cursor.
+func (s *Store) GetRecord(ctx context.Context, key types.Key, v types.VersionID) (types.Record, QueryStats, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var stats QueryStats
@@ -59,7 +274,7 @@ func (s *Store) GetRecord(key types.Key, v types.VersionID) (types.Record, Query
 	// Newest-first through the pending deltas: the first touch of the key
 	// decides.
 	if len(overlayPath) > 0 {
-		deltas, err := s.fetchDeltas(overlayPath, &stats)
+		deltas, err := s.fetchDeltas(ctx, overlayPath, &stats)
 		if err != nil {
 			return types.Record{}, stats, err
 		}
@@ -86,7 +301,7 @@ func (s *Store) GetRecord(key types.Key, v types.VersionID) (types.Record, Query
 	if len(cids) == 0 {
 		return types.Record{}, stats, &types.KeyNotFoundError{Key: key, Version: v}
 	}
-	entries, err := s.fetchChunks(cids, &stats)
+	entries, err := s.fetchChunks(ctx, cids, &stats)
 	if err != nil {
 		return types.Record{}, stats, err
 	}
@@ -108,146 +323,6 @@ func (s *Store) GetRecord(key types.Key, v types.VersionID) (types.Record, Query
 		stats.WastedChunks++
 	}
 	return types.Record{}, stats, &types.KeyNotFoundError{Key: key, Version: v}
-}
-
-// GetRange retrieves the records of version v whose keys fall in [lo, hi)
-// (partial version retrieval, Q2).
-func (s *Store) GetRange(lo, hi types.Key, v types.VersionID) ([]types.Record, QueryStats, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var stats QueryStats
-	if !s.validVersion(v) {
-		return nil, stats, &types.VersionUnknownError{Version: v}
-	}
-	anchor, overlayPath := s.anchorOf(v)
-
-	recs := make(map[types.CompositeKey]types.Record)
-	if anchor != types.InvalidVersion {
-		// Union of key-projection entries over the range, intersected with
-		// the version projection.
-		inVersion := make(map[chunk.ID]bool)
-		for _, cid := range s.proj.VersionChunks(anchor) {
-			inVersion[cid] = true
-		}
-		cidSet := make(map[chunk.ID]bool)
-		for _, k := range s.keysInRange(lo, hi) {
-			for _, cid := range s.proj.KeyChunks(k) {
-				if inVersion[cid] {
-					cidSet[cid] = true
-				}
-			}
-		}
-		cids := make([]chunk.ID, 0, len(cidSet))
-		for cid := range cidSet {
-			cids = append(cids, cid)
-		}
-		sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
-
-		entries, err := s.fetchChunks(cids, &stats)
-		if err != nil {
-			return nil, stats, err
-		}
-		decoded, err := decodeEntries(entries)
-		if err != nil {
-			return nil, stats, err
-		}
-		for i, e := range entries {
-			if e == nil {
-				continue
-			}
-			matched, err := extractSlots(e, decoded[i], anchor, func(r types.Record) {
-				if r.CK.Key >= lo && r.CK.Key < hi {
-					recs[r.CK] = r
-				}
-			})
-			if err != nil {
-				return nil, stats, err
-			}
-			s.chargeScan(e, &stats)
-			if !matched {
-				stats.WastedChunks++
-			}
-		}
-	}
-	if err := s.applyOverlay(overlayPath, &stats, recs); err != nil {
-		return nil, stats, err
-	}
-	out := make([]types.Record, 0, len(recs))
-	for _, r := range recs {
-		if r.CK.Key >= lo && r.CK.Key < hi {
-			out = append(out, r)
-		}
-	}
-	types.SortRecords(out)
-	stats.Records = len(out)
-	return out, stats, nil
-}
-
-// GetHistory retrieves every record carrying the given primary key across
-// all versions (record evolution, Q3), ordered by origin version.
-func (s *Store) GetHistory(key types.Key) ([]types.Record, QueryStats, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var stats QueryStats
-
-	seen := make(map[types.CompositeKey]types.Record)
-	cids := s.proj.KeyChunks(key)
-	entries, err := s.fetchChunks(cids, &stats)
-	if err != nil {
-		return nil, stats, err
-	}
-	decoded, err := decodeEntries(entries)
-	if err != nil {
-		return nil, stats, err
-	}
-	for i, e := range entries {
-		if e == nil {
-			continue
-		}
-		s.chargeScan(e, &stats)
-		matched := false
-		for _, r := range decoded[i] {
-			if r.CK.Key == key {
-				seen[r.CK] = r
-				matched = true
-			}
-		}
-		if !matched {
-			stats.WastedChunks++
-		}
-	}
-
-	// Pending records of this key live in the write store.
-	var pendingVersions []types.VersionID
-	for _, id := range s.corpus.KeyRecords(key) {
-		if int(id) < len(s.locs) && s.locs[id].Chunk == chunk.NoChunk {
-			pendingVersions = append(pendingVersions, s.corpus.Record(id).CK.Version)
-		}
-	}
-	if len(pendingVersions) > 0 {
-		deltas, err := s.fetchDeltas(pendingVersions, &stats)
-		if err != nil {
-			return nil, stats, err
-		}
-		for _, d := range deltas {
-			for _, r := range d.Adds {
-				if r.CK.Key == key {
-					seen[r.CK] = r
-				}
-			}
-		}
-	}
-	if len(seen) == 0 {
-		return nil, stats, &types.KeyNotFoundError{Key: key, Version: types.InvalidVersion}
-	}
-
-	out := make([]types.Record, 0, len(seen))
-	for _, r := range seen {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].CK.Version < out[j].CK.Version })
-	stats.Records = len(out)
-	return out, stats, nil
 }
 
 // --- shared plumbing ---
@@ -273,6 +348,91 @@ func (s *Store) anchorOf(v types.VersionID) (types.VersionID, []types.VersionID)
 	return cur, overlay
 }
 
+// overlayView is the net effect of the pending deltas between a queried
+// version and its placed anchor: which anchor records are hidden (deleted,
+// or superseded by a pending re-add) and which records the overlay itself
+// contributes. Pending deltas are small (they are the unflushed write
+// batch), so resolving them up front keeps the chunk stream single-pass.
+type overlayView struct {
+	masked map[types.CompositeKey]bool
+	adds   []types.Record // sorted by composite key
+}
+
+func (ov *overlayView) masks(ck types.CompositeKey) bool { return ov.masked[ck] }
+
+// overlayEffect fetches the pending deltas of path (root→v order) and folds
+// them into an overlayView.
+func (s *Store) overlayEffect(ctx context.Context, path []types.VersionID, stats *QueryStats) (*overlayView, error) {
+	ov := &overlayView{}
+	if len(path) == 0 {
+		return ov, nil
+	}
+	deltas, err := s.fetchDeltas(ctx, path, stats)
+	if err != nil {
+		return nil, err
+	}
+	addSet := make(map[types.CompositeKey]types.Record)
+	ov.masked = make(map[types.CompositeKey]bool)
+	for _, d := range deltas {
+		for _, ck := range d.Dels {
+			delete(addSet, ck)
+			ov.masked[ck] = true
+		}
+		for _, r := range d.Adds {
+			addSet[r.CK] = r
+			ov.masked[r.CK] = true // a re-add of a placed record is served from the overlay
+		}
+	}
+	ov.adds = make([]types.Record, 0, len(addSet))
+	for _, r := range addSet {
+		ov.adds = append(ov.adds, r)
+	}
+	types.SortRecords(ov.adds)
+	return ov, nil
+}
+
+// streamVersionChunks streams version v's member records out of cids
+// through yield, skipping overlay-masked records and keys failing filter
+// (nil = all). It reports whether the consumer wants more (false = stopped
+// early); errors are delivered to yield here.
+func (s *Store) streamVersionChunks(ctx context.Context, c *Cursor, v types.VersionID, cids []chunk.ID, ov *overlayView, filter func(types.Key) bool, yield func(types.Record, error) bool) bool {
+	stopped, err := s.streamChunks(ctx, cids, &c.stats, func(e *chunkEntry, decoded []types.Record) (bool, error) {
+		cont := true
+		matched, err := extractSlots(e, decoded, v, func(r types.Record) bool {
+			if ov.masks(r.CK) || (filter != nil && !filter(r.CK.Key)) {
+				return true
+			}
+			c.stats.Records++
+			cont = yield(r, nil)
+			return cont
+		})
+		s.chargeScan(e, &c.stats)
+		if !matched {
+			c.stats.WastedChunks++
+		}
+		return cont, err
+	})
+	if err != nil {
+		yield(types.Record{}, err)
+		return false
+	}
+	return !stopped
+}
+
+// emitOverlayAdds yields the overlay's own records (after the anchor's so
+// chunk streaming stays single-pass), filtered when filter is non-nil.
+func emitOverlayAdds(c *Cursor, ov *overlayView, filter func(types.Key) bool, yield func(types.Record, error) bool) {
+	for _, r := range ov.adds {
+		if filter != nil && !filter(r.CK.Key) {
+			continue
+		}
+		c.stats.Records++
+		if !yield(r, nil) {
+			return
+		}
+	}
+}
+
 // chunkEntry is a fetched chunk: payload + map.
 type chunkEntry struct {
 	id      chunk.ID
@@ -280,11 +440,48 @@ type chunkEntry struct {
 	m       *chunk.Map
 }
 
+// streamChunks feeds each chunk of cids (fetched in batches of
+// Config.QueryFetchBatch, decoded in parallel within a batch) to emit, in
+// cid order. This is what makes query results streams rather than
+// materialized slices: server memory per query is O(batch), the first
+// records surface before later chunks are fetched, and a context that ends
+// — or an emit that returns false — stops before the next batch fetch.
+func (s *Store) streamChunks(ctx context.Context, cids []chunk.ID, stats *QueryStats, emit func(e *chunkEntry, decoded []types.Record) (bool, error)) (stopped bool, err error) {
+	batch := s.cfg.QueryFetchBatch
+	for start := 0; start < len(cids); start += batch {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		end := min(start+batch, len(cids))
+		entries, err := s.fetchChunks(ctx, cids[start:end], stats)
+		if err != nil {
+			return false, err
+		}
+		decoded, err := decodeEntries(entries)
+		if err != nil {
+			return false, err
+		}
+		for i, e := range entries {
+			if e == nil {
+				continue
+			}
+			cont, err := emit(e, decoded[i])
+			if err != nil {
+				return false, err
+			}
+			if !cont {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
 // fetchChunks resolves chunk entries through the AS cache, multigetting
 // only the misses. Span counts every chunk consulted; Requests/BytesRead
 // reflect actual backend traffic. Missing chunks indicate corruption
 // (projections are authoritative) and surface as errors.
-func (s *Store) fetchChunks(cids []chunk.ID, stats *QueryStats) ([]*chunkEntry, error) {
+func (s *Store) fetchChunks(ctx context.Context, cids []chunk.ID, stats *QueryStats) ([]*chunkEntry, error) {
 	if len(cids) == 0 {
 		return nil, nil
 	}
@@ -305,7 +502,7 @@ func (s *Store) fetchChunks(cids []chunk.ID, stats *QueryStats) ([]*chunkEntry, 
 		return out, nil
 	}
 
-	res, err := s.kv.MultiGet(TableChunks, keys)
+	res, err := s.kv.MultiGet(ctx, TableChunks, keys)
 	if err != nil {
 		return nil, err
 	}
@@ -323,30 +520,6 @@ func (s *Store) fetchChunks(cids []chunk.ID, stats *QueryStats) ([]*chunkEntry, 
 		s.cache.put(cids[i], payload, m)
 	}
 	return out, nil
-}
-
-// fetchVersionChunks fetches version v's chunks, decodes them in parallel,
-// and streams its member records to fn.
-func (s *Store) fetchVersionChunks(v types.VersionID, stats *QueryStats, fn func(types.Record)) error {
-	entries, err := s.fetchChunks(s.proj.VersionChunks(v), stats)
-	if err != nil {
-		return err
-	}
-	decoded, err := decodeEntries(entries)
-	if err != nil {
-		return err
-	}
-	for i, e := range entries {
-		matched, err := extractSlots(e, decoded[i], v, fn)
-		if err != nil {
-			return err
-		}
-		s.chargeScan(e, stats)
-		if !matched {
-			stats.WastedChunks++
-		}
-	}
-	return nil
 }
 
 // corruptSlotError reports a chunk-map slot outside the decoded payload.
@@ -379,12 +552,12 @@ func extractKeyAtVersion(e *chunkEntry, v types.VersionID, key types.Key) (bool,
 }
 
 // fetchDeltas multigets pending deltas from the write store.
-func (s *Store) fetchDeltas(versions []types.VersionID, stats *QueryStats) ([]*types.Delta, error) {
+func (s *Store) fetchDeltas(ctx context.Context, versions []types.VersionID, stats *QueryStats) ([]*types.Delta, error) {
 	keys := make([]string, len(versions))
 	for i, v := range versions {
 		keys[i] = deltaKey(v)
 	}
-	res, err := s.kv.MultiGet(TableDeltaStore, keys)
+	res, err := s.kv.MultiGet(ctx, TableDeltaStore, keys)
 	if err != nil {
 		return nil, err
 	}
@@ -404,26 +577,6 @@ func (s *Store) fetchDeltas(versions []types.VersionID, stats *QueryStats) ([]*t
 	return out, nil
 }
 
-// applyOverlay fetches and applies pending deltas (root→v order) over recs.
-func (s *Store) applyOverlay(path []types.VersionID, stats *QueryStats, recs map[types.CompositeKey]types.Record) error {
-	if len(path) == 0 {
-		return nil
-	}
-	deltas, err := s.fetchDeltas(path, stats)
-	if err != nil {
-		return err
-	}
-	for _, d := range deltas {
-		for _, ck := range d.Dels {
-			delete(recs, ck)
-		}
-		for _, r := range d.Adds {
-			recs[r.CK] = r
-		}
-	}
-	return nil
-}
-
 func (s *Store) bookMultiGet(res *kvstore.MultiGetResult, stats *QueryStats) {
 	stats.Requests += res.Requests
 	stats.BytesRead += res.BytesRead
@@ -434,10 +587,16 @@ func (s *Store) chargeScan(e *chunkEntry, stats *QueryStats) {
 	stats.SimElapsed += s.kv.ChargeScan(len(e.payload))
 }
 
-// keysInRange returns the known primary keys in [lo, hi).
-func (s *Store) keysInRange(lo, hi types.Key) []types.Key {
-	i := sort.Search(len(s.sortedKeys), func(i int) bool { return s.sortedKeys[i] >= lo })
-	j := sort.Search(len(s.sortedKeys), func(i int) bool { return s.sortedKeys[i] >= hi })
+// keysInRange returns the known primary keys selected by r.
+func (s *Store) keysInRange(r Range) []types.Key {
+	i := sort.Search(len(s.sortedKeys), func(i int) bool { return s.sortedKeys[i] >= r.Lo })
+	j := len(s.sortedKeys)
+	if !r.Unbounded {
+		j = sort.Search(len(s.sortedKeys), func(i int) bool { return s.sortedKeys[i] >= r.Hi })
+		if j < i {
+			j = i
+		}
+	}
 	return s.sortedKeys[i:j]
 }
 

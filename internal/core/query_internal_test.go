@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"rstore/internal/types"
@@ -12,9 +13,9 @@ func TestAnchorOf(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v0, _ := s.Commit(types.InvalidVersion, Change{Puts: map[types.Key][]byte{"a": []byte("0")}})
-	v1, _ := s.Commit(v0, Change{Puts: map[types.Key][]byte{"a": []byte("1")}})
-	v2, _ := s.Commit(v1, Change{Puts: map[types.Key][]byte{"a": []byte("2")}})
+	v0, _ := s.Commit(context.Background(), types.InvalidVersion, Change{Puts: map[types.Key][]byte{"a": []byte("0")}})
+	v1, _ := s.Commit(context.Background(), v0, Change{Puts: map[types.Key][]byte{"a": []byte("1")}})
+	v2, _ := s.Commit(context.Background(), v1, Change{Puts: map[types.Key][]byte{"a": []byte("2")}})
 
 	// Everything pending: anchor invalid, overlay = full path.
 	anchor, overlay := s.anchorOf(v2)
@@ -26,10 +27,10 @@ func TestAnchorOf(t *testing.T) {
 	}
 
 	// Flush v0..v2, commit one more: anchor = v2, overlay = [v3].
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	v3, _ := s.Commit(v2, Change{Puts: map[types.Key][]byte{"a": []byte("3")}})
+	v3, _ := s.Commit(context.Background(), v2, Change{Puts: map[types.Key][]byte{"a": []byte("3")}})
 	anchor, overlay = s.anchorOf(v3)
 	if anchor != v2 || len(overlay) != 1 || overlay[0] != v3 {
 		t.Fatalf("partial: anchor %v overlay %v", anchor, overlay)
@@ -51,19 +52,26 @@ func TestKeysInRange(t *testing.T) {
 	for _, k := range []types.Key{"m", "a", "z", "c", "q"} {
 		puts[k] = []byte("v")
 	}
-	if _, err := s.Commit(types.InvalidVersion, Change{Puts: puts}); err != nil {
+	if _, err := s.Commit(context.Background(), types.InvalidVersion, Change{Puts: puts}); err != nil {
 		t.Fatal(err)
 	}
-	got := s.keysInRange("b", "r")
+	got := s.keysInRange(KeyRange("b", "r"))
 	if len(got) != 3 || got[0] != "c" || got[1] != "m" || got[2] != "q" {
 		t.Fatalf("keysInRange = %v", got)
 	}
-	if len(s.keysInRange("zz", "zzz")) != 0 {
+	if len(s.keysInRange(KeyRange("zz", "zzz"))) != 0 {
 		t.Fatal("empty range not empty")
 	}
 	// Full range covers everything.
-	if len(s.keysInRange("", "\xff")) != 5 {
+	if len(s.keysInRange(KeyRange("", "\xff"))) != 5 {
 		t.Fatal("full range")
+	}
+	// The unbounded form reaches keys above any sentinel.
+	if len(s.keysInRange(KeyRangeFrom(""))) != 5 {
+		t.Fatal("unbounded full range")
+	}
+	if got := s.keysInRange(KeyRangeFrom("q")); len(got) != 2 || got[0] != "q" || got[1] != "z" {
+		t.Fatalf("unbounded from q = %v", got)
 	}
 }
 
@@ -74,17 +82,17 @@ func TestWastedChunksCounted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v0, _ := s.Commit(types.InvalidVersion, Change{Puts: map[types.Key][]byte{
+	v0, _ := s.Commit(context.Background(), types.InvalidVersion, Change{Puts: map[types.Key][]byte{
 		"a": []byte("a0"), "b": []byte("b0"),
 	}})
-	v1, _ := s.Commit(v0, Change{Deletes: []types.Key{"b"}})
-	if err := s.Flush(); err != nil {
+	v1, _ := s.Commit(context.Background(), v0, Change{Deletes: []types.Key{"b"}})
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// "b" is indexed to the chunk (it holds ⟨b,0⟩), and v1 is indexed to the
 	// chunk too (it holds ⟨a,0⟩) — but b has no record in v1: the fetch is
 	// wasted, and the error is ErrNotFound.
-	_, stats, err := s.GetRecord("b", v1)
+	_, stats, err := s.GetRecord(context.Background(), "b", v1)
 	if err == nil {
 		t.Fatal("deleted key found")
 	}
@@ -102,15 +110,15 @@ func TestEmptyVersionQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v0, _ := s.Commit(types.InvalidVersion, Change{Puts: map[types.Key][]byte{"only": []byte("1")}})
-	v1, _ := s.Commit(v0, Change{Deletes: []types.Key{"only"}})
+	v0, _ := s.Commit(context.Background(), types.InvalidVersion, Change{Puts: map[types.Key][]byte{"only": []byte("1")}})
+	v1, _ := s.Commit(context.Background(), v0, Change{Deletes: []types.Key{"only"}})
 	for _, flush := range []bool{false, true} {
 		if flush {
-			if err := s.Flush(); err != nil {
+			if err := s.Flush(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 		}
-		recs, _, err := s.GetVersion(v1)
+		recs, _, err := s.GetVersionAll(context.Background(), v1)
 		if err != nil {
 			t.Fatalf("flush=%v: %v", flush, err)
 		}

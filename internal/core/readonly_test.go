@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -17,30 +18,30 @@ func TestReadReplica(t *testing.T) {
 		t.Fatal(err)
 	}
 	primary, m := buildStore(t, Config{KV: kv, ChunkCapacity: 1024, BatchSize: 5}, 14, 25, 31)
-	if err := primary.Flush(); err != nil {
+	if err := primary.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
-	replica, err := Load(Config{KV: kv, ReadOnly: true})
+	replica, err := Load(context.Background(), Config{KV: kv, ReadOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkAllVersions(t, replica, m)
 
 	// Every mutation is rejected with ErrReadOnly.
-	if _, err := replica.Commit(0, Change{Puts: map[types.Key][]byte{"x": []byte("1")}}); !errors.Is(err, types.ErrReadOnly) {
+	if _, err := replica.Commit(context.Background(), 0, Change{Puts: map[types.Key][]byte{"x": []byte("1")}}); !errors.Is(err, types.ErrReadOnly) {
 		t.Fatalf("Commit: %v", err)
 	}
-	if _, err := replica.CommitDelta([]types.VersionID{0}, &types.Delta{}); !errors.Is(err, types.ErrReadOnly) {
+	if _, err := replica.CommitDelta(context.Background(), []types.VersionID{0}, &types.Delta{}); !errors.Is(err, types.ErrReadOnly) {
 		t.Fatalf("CommitDelta: %v", err)
 	}
-	if err := replica.Flush(); !errors.Is(err, types.ErrReadOnly) {
+	if err := replica.Flush(context.Background()); !errors.Is(err, types.ErrReadOnly) {
 		t.Fatalf("Flush: %v", err)
 	}
-	if err := replica.Materialize(); !errors.Is(err, types.ErrReadOnly) {
+	if err := replica.Materialize(context.Background()); !errors.Is(err, types.ErrReadOnly) {
 		t.Fatalf("Materialize: %v", err)
 	}
-	if err := replica.SetBranch("x", 0); !errors.Is(err, types.ErrReadOnly) {
+	if err := replica.SetBranch(context.Background(), "x", 0); !errors.Is(err, types.ErrReadOnly) {
 		t.Fatalf("SetBranch: %v", err)
 	}
 	// Close works without attempting a flush.
@@ -49,15 +50,15 @@ func TestReadReplica(t *testing.T) {
 	}
 
 	// The primary keeps writing; a freshly loaded replica sees the update.
-	v, err := primary.Commit(0, Change{Puts: map[types.Key][]byte{key(0): []byte("newer")}})
+	v, err := primary.Commit(context.Background(), 0, Change{Puts: map[types.Key][]byte{key(0): []byte("newer")}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	m.commit(0, Change{Puts: map[types.Key][]byte{key(0): []byte("newer")}}, v)
-	if err := primary.Flush(); err != nil {
+	if err := primary.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	replica2, err := Load(Config{KV: kv, ReadOnly: true})
+	replica2, err := Load(context.Background(), Config{KV: kv, ReadOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -30,20 +31,20 @@ func openDiskStore(t *testing.T, dir string, cfg Config) (*kvstore.Store, *Store
 func TestLoadReplaysUnmanifestedCommits(t *testing.T) {
 	dir := t.TempDir()
 	kv, st := openDiskStore(t, dir, Config{})
-	v0, err := st.Commit(types.InvalidVersion, Change{Puts: map[types.Key][]byte{
+	v0, err := st.Commit(context.Background(), types.InvalidVersion, Change{Puts: map[types.Key][]byte{
 		"a": []byte("a0"),
 	}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Flush(); err != nil { // manifest now covers v0
+	if err := st.Flush(context.Background()); err != nil { // manifest now covers v0
 		t.Fatal(err)
 	}
-	v1, err := st.Commit(v0, Change{Puts: map[types.Key][]byte{"b": []byte("b1")}})
+	v1, err := st.Commit(context.Background(), v0, Change{Puts: map[types.Key][]byte{"b": []byte("b1")}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	v2, err := st.Commit(v1, Change{
+	v2, err := st.Commit(context.Background(), v1, Change{
 		Puts:    map[types.Key][]byte{"a": []byte("a2")},
 		Deletes: []types.Key{"b"},
 	})
@@ -60,7 +61,7 @@ func TestLoadReplaysUnmanifestedCommits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	re, err := Load(Config{KV: kv2})
+	re, err := Load(context.Background(), Config{KV: kv2})
 	if err != nil {
 		t.Fatalf("load after crash: %v", err)
 	}
@@ -70,14 +71,14 @@ func TestLoadReplaysUnmanifestedCommits(t *testing.T) {
 	if p := re.PendingVersions(); p != 2 {
 		t.Fatalf("%d pending after replay, want 2", p)
 	}
-	rec, _, err := re.GetRecord("a", v2)
+	rec, _, err := re.GetRecord(context.Background(), "a", v2)
 	if err != nil || string(rec.Value) != "a2" {
 		t.Fatalf("a@v2 = %v, %v", rec, err)
 	}
-	if _, _, err := re.GetRecord("b", v2); !errors.Is(err, types.ErrNotFound) {
+	if _, _, err := re.GetRecord(context.Background(), "b", v2); !errors.Is(err, types.ErrNotFound) {
 		t.Fatalf("deleted b@v2: %v", err)
 	}
-	rec, _, err = re.GetRecord("b", v1)
+	rec, _, err = re.GetRecord(context.Background(), "b", v1)
 	if err != nil || string(rec.Value) != "b1" {
 		t.Fatalf("b@v1 = %v, %v", rec, err)
 	}
@@ -93,14 +94,14 @@ func TestLoadReplaysUnmanifestedCommits(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer kv3.Close()
-	re2, err := Load(Config{KV: kv3})
+	re2, err := Load(context.Background(), Config{KV: kv3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if re2.PendingVersions() != 0 {
 		t.Fatalf("%d pending after clean close", re2.PendingVersions())
 	}
-	rec, _, err = re2.GetRecord("a", v2)
+	rec, _, err = re2.GetRecord(context.Background(), "a", v2)
 	if err != nil || string(rec.Value) != "a2" {
 		t.Fatalf("a@v2 after clean reopen = %v, %v", rec, err)
 	}
@@ -112,10 +113,10 @@ func TestLoadReplaysUnmanifestedCommits(t *testing.T) {
 func TestCheckpointEnablesRootReplay(t *testing.T) {
 	dir := t.TempDir()
 	kv, st := openDiskStore(t, dir, Config{})
-	if err := st.Checkpoint(); err != nil {
+	if err := st.Checkpoint(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	v0, err := st.Commit(types.InvalidVersion, Change{Puts: map[types.Key][]byte{
+	v0, err := st.Commit(context.Background(), types.InvalidVersion, Change{Puts: map[types.Key][]byte{
 		"a": []byte("a0"),
 	}})
 	if err != nil {
@@ -130,14 +131,14 @@ func TestCheckpointEnablesRootReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer kv2.Close()
-	re, err := Load(Config{KV: kv2})
+	re, err := Load(context.Background(), Config{KV: kv2})
 	if err != nil {
 		t.Fatalf("load after pre-flush crash: %v", err)
 	}
 	if re.NumVersions() != 1 || re.PendingVersions() != 1 {
 		t.Fatalf("replay: %d versions, %d pending", re.NumVersions(), re.PendingVersions())
 	}
-	rec, _, err := re.GetRecord("a", v0)
+	rec, _, err := re.GetRecord(context.Background(), "a", v0)
 	if err != nil || string(rec.Value) != "a0" {
 		t.Fatalf("a@v0 = %v, %v", rec, err)
 	}
@@ -156,13 +157,13 @@ func TestLoadToleratesInterruptedFlush(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v0, err := st.Commit(types.InvalidVersion, Change{Puts: map[types.Key][]byte{
+	v0, err := st.Commit(context.Background(), types.InvalidVersion, Change{Puts: map[types.Key][]byte{
 		"a": []byte("a0"),
 	}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Flush(); err != nil {
+	if err := st.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	numChunks := uint32(st.NumChunks())
@@ -176,7 +177,7 @@ func TestLoadToleratesInterruptedFlush(t *testing.T) {
 		t.Fatal(err)
 	}
 	payload := encodeChunkPayload([]chunk.Item{item})
-	if err := kv.Put(TableChunks, chunk.KVKey(orphanCID), encodeChunkEntry(payload, chunk.NewMap(1))); err != nil {
+	if err := kv.Put(context.Background(), TableChunks, chunk.KVKey(orphanCID), encodeChunkEntry(payload, chunk.NewMap(1))); err != nil {
 		t.Fatal(err)
 	}
 	// A crashed flush saves the full projection — existing refs plus the
@@ -184,32 +185,32 @@ func TestLoadToleratesInterruptedFlush(t *testing.T) {
 	st.proj.AddKeyChunk("a", orphanCID)
 	st.proj.ObserveVersionChunk(v0, orphanCID)
 	st.proj.Normalize()
-	if err := st.proj.Save(kv); err != nil {
+	if err := st.proj.Save(context.Background(), kv); err != nil {
 		t.Fatal(err)
 	}
 
-	re, err := Load(Config{KV: kv})
+	re, err := Load(context.Background(), Config{KV: kv})
 	if err != nil {
 		t.Fatalf("load with orphan chunk: %v", err)
 	}
-	rec, _, err := re.GetRecord("a", v0)
+	rec, _, err := re.GetRecord(context.Background(), "a", v0)
 	if err != nil || string(rec.Value) != "a0" {
 		t.Fatalf("a@v0 = %v, %v", rec, err)
 	}
 	// The repair removed the orphan entry.
-	if _, err := kv.Get(TableChunks, chunk.KVKey(orphanCID)); !errors.Is(err, types.ErrNotFound) {
+	if _, err := kv.Get(context.Background(), TableChunks, chunk.KVKey(orphanCID)); !errors.Is(err, types.ErrNotFound) {
 		t.Fatalf("orphan chunk entry survived repair: %v", err)
 	}
 	// And the store keeps committing/flushing cleanly — the next flush
 	// reuses the orphan's chunk id without collision.
-	v1, err := re.Commit(v0, Change{Puts: map[types.Key][]byte{"b": []byte("b1")}})
+	v1, err := re.Commit(context.Background(), v0, Change{Puts: map[types.Key][]byte{"b": []byte("b1")}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := re.Flush(); err != nil {
+	if err := re.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	rec, _, err = re.GetRecord("b", v1)
+	rec, _, err = re.GetRecord(context.Background(), "b", v1)
 	if err != nil || string(rec.Value) != "b1" {
 		t.Fatalf("b@v1 = %v, %v", rec, err)
 	}
@@ -227,33 +228,33 @@ func TestLoadCleansStaleDeltas(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v0, err := st.Commit(types.InvalidVersion, Change{Puts: map[types.Key][]byte{
+	v0, err := st.Commit(context.Background(), types.InvalidVersion, Change{Puts: map[types.Key][]byte{
 		"a": []byte("a0"),
 	}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Flush(); err != nil {
+	if err := st.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Re-create the already-drained delta entry, as a crash mid-drain would
 	// leave it.
 	d := &types.Delta{Adds: []types.Record{{CK: types.CompositeKey{Key: "a", Version: v0}, Value: []byte("a0")}}}
-	if err := kv.Put(TableDeltaStore, deltaKey(v0), encodeDeltaEntry([]types.VersionID{types.InvalidVersion}, d)); err != nil {
+	if err := kv.Put(context.Background(), TableDeltaStore, deltaKey(v0), encodeDeltaEntry([]types.VersionID{types.InvalidVersion}, d)); err != nil {
 		t.Fatal(err)
 	}
 
-	re, err := Load(Config{KV: kv})
+	re, err := Load(context.Background(), Config{KV: kv})
 	if err != nil {
 		t.Fatalf("load with stale delta: %v", err)
 	}
 	if re.PendingVersions() != 0 {
 		t.Fatalf("stale delta resurrected as pending")
 	}
-	if _, err := kv.Get(TableDeltaStore, deltaKey(v0)); !errors.Is(err, types.ErrNotFound) {
+	if _, err := kv.Get(context.Background(), TableDeltaStore, deltaKey(v0)); !errors.Is(err, types.ErrNotFound) {
 		t.Fatalf("stale delta survived repair: %v", err)
 	}
-	rec, _, err := re.GetRecord("a", v0)
+	rec, _, err := re.GetRecord(context.Background(), "a", v0)
 	if err != nil || string(rec.Value) != "a0" {
 		t.Fatalf("a@v0 = %v, %v", rec, err)
 	}
@@ -265,7 +266,7 @@ func TestCloseIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.Commit(types.InvalidVersion, Change{Puts: map[types.Key][]byte{
+	if _, err := st.Commit(context.Background(), types.InvalidVersion, Change{Puts: map[types.Key][]byte{
 		"a": []byte("x"),
 	}}); err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -13,7 +14,7 @@ import (
 // the store is static — the read paths must be race-free (run with -race).
 func TestConcurrentQueries(t *testing.T) {
 	s, m := buildStore(t, Config{ChunkCapacity: 1024, BatchSize: 6}, 20, 30, 11)
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -23,7 +24,7 @@ func TestConcurrentQueries(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				v := types.VersionID((w + i) % len(m.versions))
-				recs, _, err := s.GetVersion(v)
+				recs, _, err := s.GetVersionAll(context.Background(), v)
 				if err != nil {
 					t.Errorf("GetVersion(%d): %v", v, err)
 					return
@@ -32,7 +33,7 @@ func TestConcurrentQueries(t *testing.T) {
 					t.Errorf("GetVersion(%d): %d records, want %d", v, len(recs), len(m.versions[v]))
 					return
 				}
-				if _, _, err := s.GetHistory(key(w % 10)); err != nil {
+				if _, _, err := s.GetHistoryAll(context.Background(), key(w%10)); err != nil {
 					t.Errorf("GetHistory: %v", err)
 					return
 				}
@@ -53,7 +54,7 @@ func TestConcurrentCommitsAndQueries(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		root.Puts[key(i)] = []byte(fmt.Sprintf("base-%d", i))
 	}
-	v0, err := s.Commit(types.InvalidVersion, root)
+	v0, err := s.Commit(context.Background(), types.InvalidVersion, root)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestConcurrentCommitsAndQueries(t *testing.T) {
 		defer wg.Done()
 		parent := v0
 		for i := 0; i < 40; i++ {
-			v, err := s.Commit(parent, Change{Puts: map[types.Key][]byte{
+			v, err := s.Commit(context.Background(), parent, Change{Puts: map[types.Key][]byte{
 				key(i % 20): []byte(fmt.Sprintf("rev-%d", i)),
 			}})
 			if err != nil {
@@ -77,7 +78,7 @@ func TestConcurrentCommitsAndQueries(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 200; i++ {
-			recs, _, err := s.GetVersion(v0)
+			recs, _, err := s.GetVersionAll(context.Background(), v0)
 			if err != nil || len(recs) != 20 {
 				t.Errorf("read during writes: %d records, %v", len(recs), err)
 				return
@@ -98,7 +99,7 @@ func TestQueriesSurviveNodeFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	s, m := buildStore(t, Config{KV: kv, ChunkCapacity: 1024, BatchSize: 5}, 18, 25, 12)
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	checkAllVersions(t, s, m)
@@ -122,13 +123,13 @@ func TestUnreplicatedFailureSurfacesError(t *testing.T) {
 		t.Fatal(err)
 	}
 	s, _ := buildStore(t, Config{KV: kv, ChunkCapacity: 512, BatchSize: 4}, 12, 30, 13)
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for n := 0; n < 3; n++ {
 		kv.SetNodeUp(n, false)
 	}
-	if _, _, err := s.GetVersion(0); err == nil {
+	if _, _, err := s.GetVersionAll(context.Background(), 0); err == nil {
 		t.Fatal("query against fully-dead cluster succeeded")
 	}
 }
@@ -136,12 +137,12 @@ func TestUnreplicatedFailureSurfacesError(t *testing.T) {
 // TestFlushIdempotent: flushing with nothing pending is a no-op.
 func TestFlushIdempotent(t *testing.T) {
 	s, m := buildStore(t, Config{ChunkCapacity: 1024}, 10, 20, 14)
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	chunks := s.NumChunks()
 	for i := 0; i < 3; i++ {
-		if err := s.Flush(); err != nil {
+		if err := s.Flush(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -156,11 +157,11 @@ func TestFlushIdempotent(t *testing.T) {
 // the span.
 func TestMaterializeAfterOnlineFlushes(t *testing.T) {
 	s, m := buildStore(t, Config{ChunkCapacity: 1024, BatchSize: 3}, 21, 30, 15)
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	onlineSpan := s.TotalVersionSpan()
-	if err := s.Materialize(); err != nil {
+	if err := s.Materialize(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Neither placement dominates on arbitrary commit streams (Fig 13's
@@ -178,18 +179,18 @@ func TestMaterializeAfterOnlineFlushes(t *testing.T) {
 func TestOnlineEqualsOfflineAnswers(t *testing.T) {
 	online, m1 := buildStore(t, Config{ChunkCapacity: 768, BatchSize: 2}, 15, 25, 16)
 	offline, m2 := buildStore(t, Config{ChunkCapacity: 768}, 15, 25, 16)
-	if err := online.Flush(); err != nil {
+	if err := online.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if err := offline.Materialize(); err != nil {
+	if err := offline.Materialize(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for v := 0; v < 15; v++ {
-		a, _, err := online.GetVersion(types.VersionID(v))
+		a, _, err := online.GetVersionAll(context.Background(), types.VersionID(v))
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, _, err := offline.GetVersion(types.VersionID(v))
+		b, _, err := offline.GetVersionAll(context.Background(), types.VersionID(v))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -221,7 +222,7 @@ func TestAutoRepartition(t *testing.T) {
 		t.Fatal("no chunks after auto repartition")
 	}
 	// After a final flush everything is placed and still correct.
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	checkAllVersions(t, s, m)

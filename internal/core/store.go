@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -108,7 +109,9 @@ func (s *Store) PendingVersions() int {
 
 // Close flushes pending versions (writable stores only), marks the store
 // closed, and — when the store created its own private cluster — closes the
-// cluster's backends too. Closing twice is a no-op.
+// cluster's backends too. The final flush runs under the background
+// context: Close is a durability point, not a cancellable query. Closing
+// twice is a no-op.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -116,7 +119,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	if !s.cfg.ReadOnly {
-		if err := s.flushLocked(); err != nil {
+		if err := s.flushLocked(context.Background()); err != nil {
 			return err
 		}
 	}
@@ -131,16 +134,17 @@ func (s *Store) Close() error {
 // parent must be types.InvalidVersion (creating the root). The generated
 // version id is returned once the delta is durably in the delta store;
 // placement happens in batches (§4). Commit never reuses version ids, even
-// for identical contents.
-func (s *Store) Commit(parent types.VersionID, ch Change) (types.VersionID, error) {
-	return s.CommitMerge([]types.VersionID{parent}, ch)
+// for identical contents. A context that ends before the delta is durable
+// aborts with no trace; afterwards the commit stands.
+func (s *Store) Commit(ctx context.Context, parent types.VersionID, ch Change) (types.VersionID, error) {
+	return s.CommitMerge(ctx, []types.VersionID{parent}, ch)
 }
 
 // CommitMerge ingests a version with multiple parents; parents[0] is the
 // primary parent the change is expressed against (the version-tree edge of
 // §2.5). Secondary parents record provenance and are not consulted for
 // contents.
-func (s *Store) CommitMerge(parents []types.VersionID, ch Change) (types.VersionID, error) {
+func (s *Store) CommitMerge(ctx context.Context, parents []types.VersionID, ch Change) (types.VersionID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.mutable(); err != nil {
@@ -161,16 +165,24 @@ func (s *Store) CommitMerge(parents []types.VersionID, ch Change) (types.Version
 		if len(ch.Deletes) != 0 {
 			return types.InvalidVersion, fmt.Errorf("rstore: root commit cannot delete keys")
 		}
-	} else {
-		for _, p := range parents {
-			if !s.graph.Valid(p) {
-				return types.InvalidVersion, &types.VersionUnknownError{Version: p}
-			}
-		}
+	} else if err := validParents(s.graph, parents); err != nil {
+		return types.InvalidVersion, err
 	}
 	delta, state, err := s.deriveDelta(parents, v, ch)
 	if err != nil {
 		return types.InvalidVersion, fmt.Errorf("rstore: commit: %w", err)
+	}
+
+	// Persist the delta BEFORE touching in-memory state: a commit that
+	// fails here — including a context cancelled mid-write — leaves no
+	// trace, whereas mutating the graph first would strand a version whose
+	// delta never became durable (the graph has no rollback, and the next
+	// flush would find the delta missing). The entry is self-describing
+	// (it carries its parents), so a crash after this write replays it on
+	// Load, honoring Commit's durability promise. This goes through the
+	// batch path — the one durable backends fsync before acknowledging.
+	if err := s.kv.BatchPut(ctx, TableDeltaStore, []kvstore.Entry{{Key: deltaKey(v), Value: encodeDeltaEntry(parents, delta)}}); err != nil {
+		return types.InvalidVersion, err
 	}
 
 	var got types.VersionID
@@ -195,22 +207,39 @@ func (s *Store) CommitMerge(parents []types.VersionID, ch Change) (types.Version
 	for i := len(s.locs); i < s.corpus.NumRecords(); i++ {
 		s.locs = append(s.locs, chunk.Loc{Chunk: chunk.NoChunk})
 	}
-
-	// Persist the delta in the write store. Commit promises the delta is
-	// durable once the version id is returned, so this goes through the
-	// batch path (the one durable backends fsync before acknowledging).
-	if err := s.kv.BatchPut(TableDeltaStore, []kvstore.Entry{{Key: deltaKey(v), Value: encodeDeltaEntry(parents, delta)}}); err != nil {
-		return types.InvalidVersion, err
-	}
 	s.pending = append(s.pending, v)
 	s.pendingSet[v] = true
 
 	if s.cfg.BatchSize > 0 && len(s.pending) >= s.cfg.BatchSize {
-		if err := s.flushLocked(); err != nil {
+		// Detached from the caller's cancellation: the commit already
+		// stands (its delta is durable), and an interrupted flush leaves
+		// the in-memory placement ahead of the persisted state — a
+		// per-request ctx must not be able to wedge the store as a side
+		// effect of the commit that happened to close the batch.
+		if err := s.flushLocked(context.WithoutCancel(ctx)); err != nil {
 			return types.InvalidVersion, err
 		}
 	}
 	return v, nil
+}
+
+// validParents enforces every graph.AddVersion precondition — existing,
+// distinct parents — BEFORE the commit's durable delta write. The check
+// must be exhaustive: a delta entry written for a commit the graph then
+// rejects would sit at exactly the next version id, where Load's replay
+// would hit the same rejection and refuse to open the store.
+func validParents(g *vgraph.Graph, parents []types.VersionID) error {
+	for i, p := range parents {
+		if !g.Valid(p) {
+			return &types.VersionUnknownError{Version: p}
+		}
+		for _, q := range parents[:i] {
+			if p == q {
+				return fmt.Errorf("rstore: commit: duplicate parent %d", p)
+			}
+		}
+	}
+	return nil
 }
 
 // deriveDelta turns a user Change into a composite-key delta against the
@@ -294,7 +323,7 @@ func (s *Store) noteNewKeys(delta *types.Delta) {
 // commands).
 
 // SetBranch points a branch name at a version and persists the manifest.
-func (s *Store) SetBranch(name string, v types.VersionID) error {
+func (s *Store) SetBranch(ctx context.Context, name string, v types.VersionID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.mutable(); err != nil {
@@ -304,7 +333,7 @@ func (s *Store) SetBranch(name string, v types.VersionID) error {
 		return &types.VersionUnknownError{Version: v}
 	}
 	s.branches[name] = v
-	return s.saveManifest()
+	return s.saveManifest(ctx)
 }
 
 // mutable reports whether writes are currently allowed. Callers hold s.mu.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -65,7 +66,7 @@ func buildStore(t *testing.T, cfg Config, versions, baseRecords int, seed int64)
 	for i := 0; i < baseRecords; i++ {
 		root.Puts[key(i)] = payload(rng, i, 0)
 	}
-	v, err := s.Commit(types.InvalidVersion, root)
+	v, err := s.Commit(context.Background(), types.InvalidVersion, root)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func buildStore(t *testing.T, cfg Config, versions, baseRecords int, seed int64)
 			ch.Puts[key(nextKey)] = payload(rng, nextKey, i)
 			nextKey++
 		}
-		v, err := s.Commit(parent, ch)
+		v, err := s.Commit(context.Background(), parent, ch)
 		if err != nil {
 			t.Fatalf("commit %d: %v", i, err)
 		}
@@ -123,7 +124,7 @@ func payload(rng *rand.Rand, a, b int) []byte {
 func checkAllVersions(t *testing.T, s *Store, m *model) {
 	t.Helper()
 	for v := range m.versions {
-		recs, _, err := s.GetVersion(types.VersionID(v))
+		recs, _, err := s.GetVersionAll(context.Background(), types.VersionID(v))
 		if err != nil {
 			t.Fatalf("GetVersion(%d): %v", v, err)
 		}
@@ -147,7 +148,7 @@ func TestEngineMaterializeAndQueries(t *testing.T) {
 	for _, k := range []int{1, 3} {
 		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
 			s, m := buildStore(t, Config{ChunkCapacity: 1024, SubChunkK: k}, 25, 40, 1)
-			if err := s.Materialize(); err != nil {
+			if err := s.Materialize(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			checkAllVersions(t, s, m)
@@ -164,7 +165,7 @@ func TestEngineOnlineFlushQueries(t *testing.T) {
 	}
 	checkAllVersions(t, s, m)
 	// Flush the rest and re-verify.
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if s.PendingVersions() != 0 {
@@ -186,7 +187,7 @@ func TestEngineGetRecord(t *testing.T) {
 	s, m := buildStore(t, Config{ChunkCapacity: 512, BatchSize: 4}, 20, 25, 4)
 	for v := range m.versions {
 		for k, want := range m.versions[v] {
-			got, _, err := s.GetRecord(k, types.VersionID(v))
+			got, _, err := s.GetRecord(context.Background(), k, types.VersionID(v))
 			if err != nil {
 				t.Fatalf("GetRecord(%s, %d): %v", k, v, err)
 			}
@@ -196,7 +197,7 @@ func TestEngineGetRecord(t *testing.T) {
 		}
 		// A key absent from this version must return ErrNotFound.
 		probe := key(99999)
-		if _, _, err := s.GetRecord(probe, types.VersionID(v)); !errors.Is(err, types.ErrNotFound) {
+		if _, _, err := s.GetRecord(context.Background(), probe, types.VersionID(v)); !errors.Is(err, types.ErrNotFound) {
 			t.Fatalf("GetRecord(absent, %d): err = %v, want ErrNotFound", v, err)
 		}
 	}
@@ -206,7 +207,7 @@ func TestEngineGetRange(t *testing.T) {
 	s, m := buildStore(t, Config{ChunkCapacity: 512, BatchSize: 6}, 18, 30, 5)
 	lo, hi := key(5), key(15)
 	for v := range m.versions {
-		recs, _, err := s.GetRange(lo, hi, types.VersionID(v))
+		recs, _, err := s.GetRangeAll(context.Background(), KeyRange(lo, hi), types.VersionID(v))
 		if err != nil {
 			t.Fatalf("GetRange v%d: %v", v, err)
 		}
@@ -236,7 +237,7 @@ func TestEngineGetHistory(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		k := key(i)
 		want := m.history(k)
-		recs, _, err := s.GetHistory(k)
+		recs, _, err := s.GetHistoryAll(context.Background(), k)
 		if len(want) == 0 {
 			if !errors.Is(err, types.ErrNotFound) {
 				t.Fatalf("GetHistory(%s): err = %v, want ErrNotFound", k, err)
@@ -264,19 +265,19 @@ func TestEngineReload(t *testing.T) {
 	}
 	cfg := Config{KV: kv, ChunkCapacity: 1024, BatchSize: 5}
 	s, m := buildStore(t, cfg, 17, 25, 7)
-	if err := s.SetBranch("dev", 3); err != nil {
+	if err := s.SetBranch(context.Background(), "dev", 3); err != nil {
 		t.Fatal(err)
 	}
 	// Persist current state (Commit/Flush already saved manifests on
 	// flush; force one more for the pending tail).
 	s.mu.Lock()
-	if err := s.saveManifest(); err != nil {
+	if err := s.saveManifest(context.Background()); err != nil {
 		s.mu.Unlock()
 		t.Fatal(err)
 	}
 	s.mu.Unlock()
 
-	re, err := Load(Config{KV: kv, ChunkCapacity: 1024, BatchSize: 5})
+	re, err := Load(context.Background(), Config{KV: kv, ChunkCapacity: 1024, BatchSize: 5})
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
@@ -285,12 +286,12 @@ func TestEngineReload(t *testing.T) {
 		t.Fatalf("reloaded branch dev = %v, %v", tip, err)
 	}
 	// The reloaded store must accept new commits and flushes.
-	v, err := re.Commit(types.VersionID(0), Change{Puts: map[types.Key][]byte{key(0): []byte("post-reload")}})
+	v, err := re.Commit(context.Background(), types.VersionID(0), Change{Puts: map[types.Key][]byte{key(0): []byte("post-reload")}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	m.commit(0, Change{Puts: map[types.Key][]byte{key(0): []byte("post-reload")}}, v)
-	if err := re.Flush(); err != nil {
+	if err := re.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	checkAllVersions(t, re, m)
@@ -302,30 +303,30 @@ func TestEngineCommitValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	// First commit must target InvalidVersion.
-	if _, err := s.Commit(0, Change{}); err == nil {
+	if _, err := s.Commit(context.Background(), 0, Change{}); err == nil {
 		t.Fatal("commit to version 0 of empty store should fail")
 	}
-	v0, err := s.Commit(types.InvalidVersion, Change{Puts: map[types.Key][]byte{"a": []byte("1")}})
+	v0, err := s.Commit(context.Background(), types.InvalidVersion, Change{Puts: map[types.Key][]byte{"a": []byte("1")}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Second root forbidden.
-	if _, err := s.Commit(types.InvalidVersion, Change{}); err == nil {
+	if _, err := s.Commit(context.Background(), types.InvalidVersion, Change{}); err == nil {
 		t.Fatal("second root commit should fail")
 	}
 	// Deleting a missing key fails.
-	if _, err := s.Commit(v0, Change{Deletes: []types.Key{"nope"}}); !errors.Is(err, types.ErrNotFound) {
+	if _, err := s.Commit(context.Background(), v0, Change{Deletes: []types.Key{"nope"}}); !errors.Is(err, types.ErrNotFound) {
 		t.Fatalf("delete of missing key: %v", err)
 	}
 	// Put+Delete of the same key fails.
-	if _, err := s.Commit(v0, Change{
+	if _, err := s.Commit(context.Background(), v0, Change{
 		Puts:    map[types.Key][]byte{"a": []byte("2")},
 		Deletes: []types.Key{"a"},
 	}); err == nil {
 		t.Fatal("put+delete same key should fail")
 	}
 	// Unknown version queries fail cleanly.
-	if _, _, err := s.GetVersion(99); !errors.Is(err, types.ErrVersionUnknown) {
+	if _, _, err := s.GetVersionAll(context.Background(), 99); !errors.Is(err, types.ErrVersionUnknown) {
 		t.Fatalf("GetVersion(99): %v", err)
 	}
 }
@@ -335,7 +336,7 @@ func TestEnginePartitionerChoices(t *testing.T) {
 		partition.BottomUp{}, partition.Shingle{Seed: 3}, partition.DepthFirst{},
 	} {
 		s, m := buildStore(t, Config{ChunkCapacity: 768, Partitioner: algo}, 15, 25, 8)
-		if err := s.Materialize(); err != nil {
+		if err := s.Materialize(context.Background()); err != nil {
 			t.Fatalf("%s: %v", algo.Name(), err)
 		}
 		checkAllVersions(t, s, m)
@@ -349,18 +350,18 @@ func TestEngineMergeCommit(t *testing.T) {
 	}
 	m := newModel()
 	root := Change{Puts: map[types.Key][]byte{"a": []byte("a0"), "b": []byte("b0")}}
-	v0, _ := s.Commit(types.InvalidVersion, root)
+	v0, _ := s.Commit(context.Background(), types.InvalidVersion, root)
 	m.commit(types.InvalidVersion, root, v0)
 
 	chA := Change{Puts: map[types.Key][]byte{"a": []byte("a1")}}
-	v1, err := s.Commit(v0, chA)
+	v1, err := s.Commit(context.Background(), v0, chA)
 	if err != nil {
 		t.Fatal(err)
 	}
 	m.commit(v0, chA, v1)
 
 	chB := Change{Puts: map[types.Key][]byte{"b": []byte("b1")}}
-	v2, err := s.Commit(v0, chB)
+	v2, err := s.Commit(context.Background(), v0, chB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +370,7 @@ func TestEngineMergeCommit(t *testing.T) {
 	// Merge: primary parent v1, bring in v2's b. The client resolves the
 	// merge contents (the engine records provenance only).
 	chM := Change{Puts: map[types.Key][]byte{"b": []byte("b1")}}
-	v3, err := s.CommitMerge([]types.VersionID{v1, v2}, chM)
+	v3, err := s.CommitMerge(context.Background(), []types.VersionID{v1, v2}, chM)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +379,7 @@ func TestEngineMergeCommit(t *testing.T) {
 	if got := s.Graph().Parents(v3); len(got) != 2 || got[0] != v1 || got[1] != v2 {
 		t.Fatalf("merge parents = %v", got)
 	}
-	if err := s.Materialize(); err != nil {
+	if err := s.Materialize(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	checkAllVersions(t, s, m)
@@ -386,10 +387,10 @@ func TestEngineMergeCommit(t *testing.T) {
 
 func TestEngineQueryStatsSanity(t *testing.T) {
 	s, _ := buildStore(t, Config{ChunkCapacity: 1024, BatchSize: 5}, 20, 40, 9)
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	_, stats, err := s.GetVersion(types.VersionID(s.NumVersions() - 1))
+	_, stats, err := s.GetVersionAll(context.Background(), types.VersionID(s.NumVersions()-1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,5 +399,56 @@ func TestEngineQueryStatsSanity(t *testing.T) {
 	}
 	if stats.SimElapsed <= 0 {
 		t.Fatalf("no simulated time accrued: %+v", stats)
+	}
+}
+
+// A commit rejected by the version graph (duplicate parents) must leave no
+// trace — neither in memory nor, critically, in the delta store: a durably
+// written delta for a rejected commit would sit at exactly the next version
+// id, where Load's replay would hit the same rejection and refuse to open
+// the store forever.
+func TestCommitDuplicateParentsLeavesNoTrace(t *testing.T) {
+	ctx := context.Background()
+	kv, err := kvstore.Open(kvstore.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(Config{KV: kv, ChunkCapacity: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, err := s.Commit(ctx, types.InvalidVersion, Change{Puts: map[types.Key][]byte{"a": []byte("0")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.CommitMerge(ctx, []types.VersionID{v0, v0}, Change{Puts: map[types.Key][]byte{"a": []byte("1")}}); err == nil {
+		t.Fatal("duplicate parents accepted")
+	}
+	if _, err := s.CommitDelta(ctx, []types.VersionID{v0, v0}, &types.Delta{}); err == nil {
+		t.Fatal("CommitDelta duplicate parents accepted")
+	}
+	// No stranded delta entry at the would-be version id.
+	if _, err := kv.Get(ctx, TableDeltaStore, deltaKey(v0+1)); !errors.Is(err, types.ErrNotFound) {
+		t.Fatalf("rejected commit left a delta entry: %v", err)
+	}
+
+	// The store keeps working, and — the real regression — reopens.
+	v1, err := s.Commit(ctx, v0, Change{Puts: map[types.Key][]byte{"a": []byte("1")}})
+	if err != nil {
+		t.Fatalf("store wedged after rejected commit: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(ctx, Config{KV: kv})
+	if err != nil {
+		t.Fatalf("Load after rejected commit: %v", err)
+	}
+	if rec, _, err := re.GetRecord(ctx, "a", v1); err != nil || string(rec.Value) != "1" {
+		t.Fatalf("reopened store: %q %v", rec.Value, err)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -42,7 +43,7 @@ func TestTortureSoak(t *testing.T) {
 	for i := 0; i < 60; i++ {
 		root.Puts[key(i)] = payload(rng, i, 0)
 	}
-	v0, err := s.Commit(types.InvalidVersion, root)
+	v0, err := s.Commit(context.Background(), types.InvalidVersion, root)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestTortureSoak(t *testing.T) {
 		// Spot-check a random sample of versions (full check is O(n²)).
 		for trial := 0; trial < 12; trial++ {
 			v := types.VersionID(rng.Intn(len(m.versions)))
-			recs, _, err := s.GetVersion(v)
+			recs, _, err := s.GetVersionAll(context.Background(), v)
 			if err != nil {
 				t.Fatalf("%s: GetVersion(%d): %v", phase, v, err)
 			}
@@ -78,12 +79,12 @@ func TestTortureSoak(t *testing.T) {
 		sort.Slice(liveKeys, func(i, j int) bool { return liveKeys[i] < liveKeys[j] })
 		if len(liveKeys) > 0 {
 			k := liveKeys[rng.Intn(len(liveKeys))]
-			got, _, err := s.GetRecord(k, v)
+			got, _, err := s.GetRecord(context.Background(), k, v)
 			if err != nil || got.CK != m.versions[v][k].CK {
 				t.Fatalf("%s: GetRecord(%s, %d): %v %v", phase, k, v, got.CK, err)
 			}
 			lo, hi := key(10), key(40)
-			recs, _, err := s.GetRange(lo, hi, v)
+			recs, _, err := s.GetRangeAll(context.Background(), KeyRange(lo, hi), v)
 			if err != nil {
 				t.Fatalf("%s: GetRange: %v", phase, err)
 			}
@@ -96,7 +97,7 @@ func TestTortureSoak(t *testing.T) {
 			if len(recs) != want {
 				t.Fatalf("%s: GetRange v%d: %d records, want %d", phase, v, len(recs), want)
 			}
-			hist, _, err := s.GetHistory(k)
+			hist, _, err := s.GetHistoryAll(context.Background(), k)
 			if err != nil || len(hist) != len(m.history(k)) {
 				t.Fatalf("%s: GetHistory(%s): %d, want %d (%v)",
 					phase, k, len(hist), len(m.history(k)), err)
@@ -132,14 +133,14 @@ func TestTortureSoak(t *testing.T) {
 			ch.Puts[key(nextKey)] = payload(rng, nextKey, i)
 			nextKey++
 		}
-		v, err := s.Commit(parent, ch)
+		v, err := s.Commit(context.Background(), parent, ch)
 		if err != nil {
 			t.Fatalf("commit %d: %v", i, err)
 		}
 		m.commit(parent, ch, v)
 
 		if rng.Float64() < 0.1 {
-			if err := s.Flush(); err != nil {
+			if err := s.Flush(context.Background()); err != nil {
 				t.Fatalf("flush at %d: %v", i, err)
 			}
 		}
@@ -147,7 +148,7 @@ func TestTortureSoak(t *testing.T) {
 	checkpoint("after-commits")
 
 	// Phase 2: full repartition with compression.
-	if err := s.Materialize(); err != nil {
+	if err := s.Materialize(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	checkpoint("after-materialize")
@@ -170,18 +171,18 @@ func TestTortureSoak(t *testing.T) {
 		ch := Change{Puts: map[types.Key][]byte{key(rng.Intn(nextKey)): payload(rng, i, 99)}}
 		// The random key may not be live at parent — that is fine for Puts
 		// (insert-or-modify semantics).
-		v, err := s.Commit(parent, ch)
+		v, err := s.Commit(context.Background(), parent, ch)
 		if err != nil {
 			t.Fatalf("post-materialize commit %d: %v", i, err)
 		}
 		m.commit(parent, ch, v)
 	}
-	if err := s.Flush(); err != nil {
+	if err := s.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	checkpoint("after-more-commits")
 
-	re, err := Load(Config{KV: kv, ChunkCapacity: 2048, BatchSize: 7})
+	re, err := Load(context.Background(), Config{KV: kv, ChunkCapacity: 2048, BatchSize: 7})
 	if err != nil {
 		t.Fatalf("reload: %v", err)
 	}

@@ -6,6 +6,7 @@
 package engine_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -60,7 +61,7 @@ func forEachBackend(t *testing.T, fn func(t *testing.T, b engine.Backend)) {
 
 func mustGet(t *testing.T, b engine.Backend, table, key string) []byte {
 	t.Helper()
-	v, ok, err := b.Get(table, key)
+	v, ok, err := b.Get(context.Background(), table, key)
 	if err != nil {
 		t.Fatalf("Get(%s,%s): %v", table, key, err)
 	}
@@ -72,14 +73,14 @@ func mustGet(t *testing.T, b engine.Backend, table, key string) []byte {
 
 func mustMissing(t *testing.T, b engine.Backend, table, key string) {
 	t.Helper()
-	if _, ok, err := b.Get(table, key); err != nil || ok {
+	if _, ok, err := b.Get(context.Background(), table, key); err != nil || ok {
 		t.Fatalf("Get(%s,%s) = present, err=%v; want missing", table, key, err)
 	}
 }
 
 func TestConformancePutGetOverwrite(t *testing.T) {
 	forEachBackend(t, func(t *testing.T, b engine.Backend) {
-		if err := b.Put("t", "k1", []byte("hello")); err != nil {
+		if err := b.Put(context.Background(), "t", "k1", []byte("hello")); err != nil {
 			t.Fatal(err)
 		}
 		if got := mustGet(t, b, "t", "k1"); string(got) != "hello" {
@@ -89,7 +90,7 @@ func TestConformancePutGetOverwrite(t *testing.T) {
 			t.Fatalf("BytesStored = %d, want 5", n)
 		}
 		// Overwrite replaces the accounting, not adds to it.
-		if err := b.Put("t", "k1", []byte("hi")); err != nil {
+		if err := b.Put(context.Background(), "t", "k1", []byte("hi")); err != nil {
 			t.Fatal(err)
 		}
 		if got := mustGet(t, b, "t", "k1"); string(got) != "hi" {
@@ -100,7 +101,7 @@ func TestConformancePutGetOverwrite(t *testing.T) {
 		}
 		mustMissing(t, b, "t", "nope")
 		// Empty values are legal and distinct from missing.
-		if err := b.Put("t", "empty", nil); err != nil {
+		if err := b.Put(context.Background(), "t", "empty", nil); err != nil {
 			t.Fatal(err)
 		}
 		if v := mustGet(t, b, "t", "empty"); len(v) != 0 {
@@ -111,10 +112,10 @@ func TestConformancePutGetOverwrite(t *testing.T) {
 
 func TestConformanceDelete(t *testing.T) {
 	forEachBackend(t, func(t *testing.T, b engine.Backend) {
-		if err := b.Put("t", "k", []byte("vvvv")); err != nil {
+		if err := b.Put(context.Background(), "t", "k", []byte("vvvv")); err != nil {
 			t.Fatal(err)
 		}
-		if err := b.Delete("t", "k"); err != nil {
+		if err := b.Delete(context.Background(), "t", "k"); err != nil {
 			t.Fatal(err)
 		}
 		mustMissing(t, b, "t", "k")
@@ -122,10 +123,10 @@ func TestConformanceDelete(t *testing.T) {
 			t.Fatalf("BytesStored after delete = %d", n)
 		}
 		// Deleting a missing key is a no-op, repeatedly.
-		if err := b.Delete("t", "k"); err != nil {
+		if err := b.Delete(context.Background(), "t", "k"); err != nil {
 			t.Fatal(err)
 		}
-		if err := b.Delete("other", "never-existed"); err != nil {
+		if err := b.Delete(context.Background(), "other", "never-existed"); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -142,7 +143,7 @@ func TestConformanceBatchPut(t *testing.T) {
 		}
 		// A duplicate key inside one batch: the later entry wins.
 		entries = append(entries, engine.Entry{Key: "k00", Value: []byte("winner")})
-		if err := b.BatchPut("t", entries); err != nil {
+		if err := b.BatchPut(context.Background(), "t", entries); err != nil {
 			t.Fatal(err)
 		}
 		for i := 1; i < 50; i++ {
@@ -155,7 +156,7 @@ func TestConformanceBatchPut(t *testing.T) {
 			t.Fatalf("k00 = %q, want winner (last entry wins)", got)
 		}
 		// Empty batch is a no-op.
-		if err := b.BatchPut("t", nil); err != nil {
+		if err := b.BatchPut(context.Background(), "t", nil); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -167,12 +168,12 @@ func TestConformanceScan(t *testing.T) {
 		for i := 0; i < 40; i++ {
 			k := fmt.Sprintf("k%02d", i)
 			want[k] = "v" + k
-			if err := b.Put("t", k, []byte("v"+k)); err != nil {
+			if err := b.Put(context.Background(), "t", k, []byte("v"+k)); err != nil {
 				t.Fatal(err)
 			}
 		}
 		got := map[string]int{}
-		if err := b.Scan("t", func(k string, v []byte) bool {
+		if err := b.Scan(context.Background(), "t", func(k string, v []byte) bool {
 			got[k]++
 			if string(v) != want[k] {
 				t.Fatalf("scan %s = %q, want %q", k, v, want[k])
@@ -191,14 +192,14 @@ func TestConformanceScan(t *testing.T) {
 		}
 		// Early stop.
 		count := 0
-		if err := b.Scan("t", func(string, []byte) bool { count++; return count < 5 }); err != nil {
+		if err := b.Scan(context.Background(), "t", func(string, []byte) bool { count++; return count < 5 }); err != nil {
 			t.Fatal(err)
 		}
 		if count != 5 {
 			t.Fatalf("early stop visited %d", count)
 		}
 		// Scanning an absent table visits nothing.
-		if err := b.Scan("absent", func(string, []byte) bool {
+		if err := b.Scan(context.Background(), "absent", func(string, []byte) bool {
 			t.Fatal("visited a key of an absent table")
 			return false
 		}); err != nil {
@@ -209,10 +210,10 @@ func TestConformanceScan(t *testing.T) {
 
 func TestConformanceTableIsolation(t *testing.T) {
 	forEachBackend(t, func(t *testing.T, b engine.Backend) {
-		if err := b.Put("t1", "k", []byte("one")); err != nil {
+		if err := b.Put(context.Background(), "t1", "k", []byte("one")); err != nil {
 			t.Fatal(err)
 		}
-		if err := b.Put("t2", "k", []byte("two")); err != nil {
+		if err := b.Put(context.Background(), "t2", "k", []byte("two")); err != nil {
 			t.Fatal(err)
 		}
 		if got := mustGet(t, b, "t1", "k"); string(got) != "one" {
@@ -221,14 +222,14 @@ func TestConformanceTableIsolation(t *testing.T) {
 		if got := mustGet(t, b, "t2", "k"); string(got) != "two" {
 			t.Fatalf("t2/k = %q", got)
 		}
-		if err := b.Delete("t1", "k"); err != nil {
+		if err := b.Delete(context.Background(), "t1", "k"); err != nil {
 			t.Fatal(err)
 		}
 		mustMissing(t, b, "t1", "k")
 		if got := mustGet(t, b, "t2", "k"); string(got) != "two" {
 			t.Fatalf("t2/k after deleting t1/k = %q", got)
 		}
-		tables, err := b.Tables()
+		tables, err := b.Tables(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -241,7 +242,7 @@ func TestConformanceTableIsolation(t *testing.T) {
 func TestConformanceValueIsolation(t *testing.T) {
 	forEachBackend(t, func(t *testing.T, b engine.Backend) {
 		v := []byte("mutable")
-		if err := b.Put("t", "k", v); err != nil {
+		if err := b.Put(context.Background(), "t", "k", v); err != nil {
 			t.Fatal(err)
 		}
 		v[0] = 'X' // caller mutates after put
@@ -255,7 +256,7 @@ func TestConformanceValueIsolation(t *testing.T) {
 		}
 		// Same for the batch path.
 		bv := []byte("batched")
-		if err := b.BatchPut("t", []engine.Entry{{Key: "bk", Value: bv}}); err != nil {
+		if err := b.BatchPut(context.Background(), "t", []engine.Entry{{Key: "bk", Value: bv}}); err != nil {
 			t.Fatal(err)
 		}
 		bv[0] = 'Z'
@@ -274,17 +275,17 @@ func TestConformanceConcurrentAccess(t *testing.T) {
 				defer wg.Done()
 				for i := 0; i < 100; i++ {
 					k := fmt.Sprintf("w%d-k%d", w, i)
-					if err := b.Put("t", k, []byte(k)); err != nil {
+					if err := b.Put(context.Background(), "t", k, []byte(k)); err != nil {
 						t.Error(err)
 						return
 					}
-					v, ok, err := b.Get("t", k)
+					v, ok, err := b.Get(context.Background(), "t", k)
 					if err != nil || !ok || string(v) != k {
 						t.Errorf("%s: %q %v %v", k, v, ok, err)
 						return
 					}
 					if i%10 == 0 {
-						if err := b.Scan("t", func(string, []byte) bool { return false }); err != nil {
+						if err := b.Scan(context.Background(), "t", func(string, []byte) bool { return false }); err != nil {
 							t.Error(err)
 							return
 						}
@@ -301,28 +302,28 @@ func TestConformanceConcurrentAccess(t *testing.T) {
 
 func TestConformanceClosedOperationsFail(t *testing.T) {
 	forEachBackend(t, func(t *testing.T, b engine.Backend) {
-		if err := b.Put("t", "k", []byte("v")); err != nil {
+		if err := b.Put(context.Background(), "t", "k", []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 		if err := b.Close(); err != nil {
 			t.Fatal(err)
 		}
-		if err := b.Put("t", "k2", []byte("v")); err == nil {
+		if err := b.Put(context.Background(), "t", "k2", []byte("v")); err == nil {
 			t.Fatal("Put after Close succeeded")
 		}
-		if _, _, err := b.Get("t", "k"); err == nil {
+		if _, _, err := b.Get(context.Background(), "t", "k"); err == nil {
 			t.Fatal("Get after Close succeeded")
 		}
-		if err := b.Delete("t", "k"); err == nil {
+		if err := b.Delete(context.Background(), "t", "k"); err == nil {
 			t.Fatal("Delete after Close succeeded")
 		}
-		if err := b.BatchPut("t", []engine.Entry{{Key: "x", Value: nil}}); err == nil {
+		if err := b.BatchPut(context.Background(), "t", []engine.Entry{{Key: "x", Value: nil}}); err == nil {
 			t.Fatal("BatchPut after Close succeeded")
 		}
-		if err := b.Scan("t", func(string, []byte) bool { return true }); err == nil {
+		if err := b.Scan(context.Background(), "t", func(string, []byte) bool { return true }); err == nil {
 			t.Fatal("Scan after Close succeeded")
 		}
-		if _, err := b.Tables(); err == nil {
+		if _, err := b.Tables(context.Background()); err == nil {
 			t.Fatal("Tables after Close succeeded")
 		}
 	})

@@ -19,6 +19,7 @@
 package disklog
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -338,7 +339,10 @@ func (b *Backend) write(buf []byte) (si int, base int64, err error) {
 
 // Put appends one record. It is durable no later than the next BatchPut or
 // Close.
-func (b *Backend) Put(table, key string, value []byte) error {
+func (b *Backend) Put(ctx context.Context, table, key string, value []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -355,7 +359,10 @@ func (b *Backend) Put(table, key string, value []byte) error {
 
 // BatchPut appends all entries as consecutive records in one write and
 // fsyncs before acknowledging.
-func (b *Backend) BatchPut(table string, entries []engine.Entry) error {
+func (b *Backend) BatchPut(ctx context.Context, table string, entries []engine.Entry) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if len(entries) == 0 {
 		return nil
 	}
@@ -383,7 +390,10 @@ func (b *Backend) BatchPut(table string, entries []engine.Entry) error {
 }
 
 // Get reads the value under (table, key) from disk.
-func (b *Backend) Get(table, key string) ([]byte, bool, error) {
+func (b *Backend) Get(ctx context.Context, table, key string) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	if b.closed {
@@ -410,7 +420,10 @@ func (b *Backend) readRef(r ref) ([]byte, error) {
 }
 
 // Delete appends a tombstone; deleting a missing key writes nothing.
-func (b *Backend) Delete(table, key string) error {
+func (b *Backend) Delete(ctx context.Context, table, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -427,14 +440,19 @@ func (b *Backend) Delete(table, key string) error {
 	return nil
 }
 
-// Scan visits every live key of a table, reading each value from disk.
-func (b *Backend) Scan(table string, fn func(key string, value []byte) bool) error {
+// Scan visits every live key of a table, reading each value from disk. The
+// context is checked per entry: every iteration pays a disk read, so a
+// cancelled caller stops the sweep at the next key.
+func (b *Backend) Scan(ctx context.Context, table string, fn func(key string, value []byte) bool) error {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	if b.closed {
 		return types.ErrClosed
 	}
 	for k, r := range b.index[table] {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		v, err := b.readRef(r)
 		if err != nil {
 			return err
@@ -447,7 +465,10 @@ func (b *Backend) Scan(table string, fn func(key string, value []byte) bool) err
 }
 
 // Tables lists tables that hold at least one live key.
-func (b *Backend) Tables() ([]string, error) {
+func (b *Backend) Tables(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	if b.closed {

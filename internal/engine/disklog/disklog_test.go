@@ -1,6 +1,7 @@
 package disklog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -34,16 +35,16 @@ func TestReopenRecovers(t *testing.T) {
 			Value: []byte(fmt.Sprintf("value-%03d", i)),
 		})
 	}
-	if err := b.BatchPut("chunks", entries); err != nil {
+	if err := b.BatchPut(context.Background(), "chunks", entries); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Put("meta", "manifest", []byte("m1")); err != nil {
+	if err := b.Put(context.Background(), "meta", "manifest", []byte("m1")); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Put("meta", "manifest", []byte("manifest-2")); err != nil { // overwrite
+	if err := b.Put(context.Background(), "meta", "manifest", []byte("manifest-2")); err != nil { // overwrite
 		t.Fatal(err)
 	}
-	if err := b.Delete("chunks", "k050"); err != nil {
+	if err := b.Delete(context.Background(), "chunks", "k050"); err != nil {
 		t.Fatal(err)
 	}
 	wantBytes := b.BytesStored()
@@ -55,7 +56,7 @@ func TestReopenRecovers(t *testing.T) {
 	defer r.Close()
 	for i := 0; i < 100; i++ {
 		k := fmt.Sprintf("k%03d", i)
-		v, ok, err := r.Get("chunks", k)
+		v, ok, err := r.Get(context.Background(), "chunks", k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func TestReopenRecovers(t *testing.T) {
 			t.Fatalf("%s = %q (ok=%v), want %q", k, v, ok, want)
 		}
 	}
-	if v, ok, _ := r.Get("meta", "manifest"); !ok || string(v) != "manifest-2" {
+	if v, ok, _ := r.Get(context.Background(), "meta", "manifest"); !ok || string(v) != "manifest-2" {
 		t.Fatalf("manifest = %q (ok=%v)", v, ok)
 	}
 	if got := r.BytesStored(); got != wantBytes {
@@ -81,7 +82,7 @@ func TestSegmentRotationAndReopen(t *testing.T) {
 	dir := t.TempDir()
 	b := openT(t, dir, Options{SegmentBytes: 256})
 	for i := 0; i < 60; i++ {
-		if err := b.Put("t", fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("value-%02d", i))); err != nil {
+		if err := b.Put(context.Background(), "t", fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("value-%02d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -89,7 +90,7 @@ func TestSegmentRotationAndReopen(t *testing.T) {
 		t.Fatalf("no rotation happened: %d segments", n)
 	}
 	// Overwrites land in later segments and must shadow earlier ones.
-	if err := b.Put("t", "k00", []byte("new")); err != nil {
+	if err := b.Put(context.Background(), "t", "k00", []byte("new")); err != nil {
 		t.Fatal(err)
 	}
 	if err := b.Close(); err != nil {
@@ -101,12 +102,12 @@ func TestSegmentRotationAndReopen(t *testing.T) {
 	if r.Segments() < 2 {
 		t.Fatalf("reopen lost segments: %d", r.Segments())
 	}
-	if v, ok, _ := r.Get("t", "k00"); !ok || string(v) != "new" {
+	if v, ok, _ := r.Get(context.Background(), "t", "k00"); !ok || string(v) != "new" {
 		t.Fatalf("k00 = %q (ok=%v), want new", v, ok)
 	}
 	for i := 1; i < 60; i++ {
 		k := fmt.Sprintf("k%02d", i)
-		if v, ok, _ := r.Get("t", k); !ok || string(v) != fmt.Sprintf("value-%02d", i) {
+		if v, ok, _ := r.Get(context.Background(), "t", k); !ok || string(v) != fmt.Sprintf("value-%02d", i) {
 			t.Fatalf("%s = %q (ok=%v)", k, v, ok)
 		}
 	}
@@ -122,7 +123,7 @@ func TestTornTailTruncated(t *testing.T) {
 	} {
 		b := openT(t, t.TempDir(), Options{})
 		dir := b.dir
-		if err := b.Put("t", "committed", []byte("safe")); err != nil {
+		if err := b.Put(context.Background(), "t", "committed", []byte("safe")); err != nil {
 			t.Fatal(err)
 		}
 		if err := b.Close(); err != nil {
@@ -138,18 +139,18 @@ func TestTornTailTruncated(t *testing.T) {
 		f.Close()
 
 		r := openT(t, dir, Options{})
-		if v, ok, _ := r.Get("t", "committed"); !ok || string(v) != "safe" {
+		if v, ok, _ := r.Get(context.Background(), "t", "committed"); !ok || string(v) != "safe" {
 			t.Fatalf("committed record lost to torn tail: %q (ok=%v)", v, ok)
 		}
 		// The tail was truncated away, so appends resume cleanly.
-		if err := r.Put("t", "after", []byte("crash")); err != nil {
+		if err := r.Put(context.Background(), "t", "after", []byte("crash")); err != nil {
 			t.Fatal(err)
 		}
 		if err := r.Close(); err != nil {
 			t.Fatal(err)
 		}
 		r2 := openT(t, dir, Options{})
-		if v, ok, _ := r2.Get("t", "after"); !ok || string(v) != "crash" {
+		if v, ok, _ := r2.Get(context.Background(), "t", "after"); !ok || string(v) != "crash" {
 			t.Fatalf("post-truncation append lost: %q (ok=%v)", v, ok)
 		}
 		r2.Close()
@@ -163,7 +164,7 @@ func TestCorruptionInOlderSegmentIsFatal(t *testing.T) {
 	dir := t.TempDir()
 	b := openT(t, dir, Options{SegmentBytes: 128})
 	for i := 0; i < 30; i++ {
-		if err := b.Put("t", fmt.Sprintf("k%02d", i), []byte("vvvvvvvvvvvvvvvv")); err != nil {
+		if err := b.Put(context.Background(), "t", fmt.Sprintf("k%02d", i), []byte("vvvvvvvvvvvvvvvv")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -189,7 +190,7 @@ func TestCorruptionInOlderSegmentIsFatal(t *testing.T) {
 func TestDeleteMissingWritesNothing(t *testing.T) {
 	dir := t.TempDir()
 	b := openT(t, dir, Options{})
-	if err := b.Delete("t", "never-existed"); err != nil {
+	if err := b.Delete(context.Background(), "t", "never-existed"); err != nil {
 		t.Fatal(err)
 	}
 	if err := b.Close(); err != nil {

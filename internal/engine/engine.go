@@ -6,6 +6,14 @@
 // the future pebble/remote/tiered backends) can be swapped under the same
 // cluster, core, and query layers.
 //
+// Every data operation takes a context.Context as its first parameter and
+// must honor cancellation and deadlines: an implementation that can block —
+// on the network, on disk, or on a long scan — returns (an error wrapping)
+// ctx.Err() promptly once the context ends, instead of finishing work nobody
+// is waiting for. Purely in-memory implementations may only check the
+// context at natural yield points (per scanned entry); they must still not
+// start new work under a dead context.
+//
 // Implementations must be safe for concurrent use. Values passed to Put and
 // BatchPut must be copied (or otherwise made immune to caller mutation)
 // before the call returns, and values returned by Get must not alias backend
@@ -13,7 +21,10 @@
 // alias internal buffers and must not be retained or mutated.
 package engine
 
-import "errors"
+import (
+	"context"
+	"errors"
+)
 
 // ErrUnavailable classifies a backend failure as transient unavailability:
 // the node could not be reached (connection refused, dial timeout, a
@@ -22,6 +33,11 @@ import "errors"
 // reached the node and failed there. Layers above route around unavailable
 // replicas and retry; hard errors abort the operation. Implementations wrap
 // transport-level failures so errors.Is(err, ErrUnavailable) holds.
+//
+// A context that ends mid-operation also surfaces wrapped in ErrUnavailable
+// by the remote backend (the node was not proven reachable), with the
+// context's error preserved in the chain so errors.Is(err,
+// context.DeadlineExceeded) (or context.Canceled) holds too.
 var ErrUnavailable = errors.New("engine: backend unavailable")
 
 // Entry is one key/value pair of a batched write.
@@ -34,30 +50,33 @@ type Entry struct {
 // (table, key) → value with batched writes and full-table scans.
 type Backend interface {
 	// Put stores value under (table, key), overwriting any previous value.
-	Put(table, key string, value []byte) error
+	Put(ctx context.Context, table, key string, value []byte) error
 
 	// Get returns the value under (table, key). The second result reports
 	// whether the key was present; the error is reserved for engine
 	// failures (I/O errors, closed backend), not for missing keys.
-	Get(table, key string) ([]byte, bool, error)
+	Get(ctx context.Context, table, key string) ([]byte, bool, error)
 
 	// Delete removes (table, key). Deleting a missing key is a no-op.
-	Delete(table, key string) error
+	Delete(ctx context.Context, table, key string) error
 
 	// BatchPut applies all entries to one table atomically with respect to
 	// durability: a durable backend must not acknowledge the batch until
 	// every entry is on stable storage (fsync-on-batch). Entries are applied
-	// in order, so a later entry for the same key wins.
-	BatchPut(table string, entries []Entry) error
+	// in order, so a later entry for the same key wins. Cancellation must
+	// not break the atomicity contract: a batch either fails before any
+	// entry is durable or completes whole.
+	BatchPut(ctx context.Context, table string, entries []Entry) error
 
 	// Scan visits every key/value of a table in unspecified order until fn
-	// returns false. Values passed to fn may alias internal storage; fn
-	// must not retain or mutate them.
-	Scan(table string, fn func(key string, value []byte) bool) error
+	// returns false, the table is exhausted, or ctx ends (the scan then
+	// returns ctx's error). Values passed to fn may alias internal storage;
+	// fn must not retain or mutate them.
+	Scan(ctx context.Context, table string, fn func(key string, value []byte) bool) error
 
 	// Tables lists the tables that currently hold at least one key, in
 	// unspecified order.
-	Tables() ([]string, error)
+	Tables(ctx context.Context) ([]string, error)
 
 	// BytesStored reports the resident live payload volume: the summed
 	// length of all current values, excluding per-key overhead, dead

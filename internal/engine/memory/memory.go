@@ -5,6 +5,7 @@
 package memory
 
 import (
+	"context"
 	"sync"
 
 	"rstore/internal/engine"
@@ -29,7 +30,10 @@ func New() *Backend {
 var _ engine.Backend = (*Backend)(nil)
 
 // Put stores a copy of value under (table, key).
-func (b *Backend) Put(table, key string, value []byte) error {
+func (b *Backend) Put(ctx context.Context, table, key string, value []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -56,7 +60,10 @@ func (b *Backend) putLocked(table, key string, value []byte) {
 }
 
 // Get returns a copy of the value under (table, key).
-func (b *Backend) Get(table, key string) ([]byte, bool, error) {
+func (b *Backend) Get(ctx context.Context, table, key string) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	if b.closed {
@@ -72,7 +79,10 @@ func (b *Backend) Get(table, key string) ([]byte, bool, error) {
 }
 
 // Delete removes (table, key); deleting a missing key is a no-op.
-func (b *Backend) Delete(table, key string) error {
+func (b *Backend) Delete(ctx context.Context, table, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -88,7 +98,10 @@ func (b *Backend) Delete(table, key string) error {
 // BatchPut applies all entries under one lock acquisition. Memory is always
 // "durable", so the batch contract reduces to atomicity against concurrent
 // readers.
-func (b *Backend) BatchPut(table string, entries []engine.Entry) error {
+func (b *Backend) BatchPut(ctx context.Context, table string, entries []engine.Entry) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -101,14 +114,25 @@ func (b *Backend) BatchPut(table string, entries []engine.Entry) error {
 }
 
 // Scan visits every key/value of a table under the read lock. Values passed
-// to fn alias internal storage; fn must not retain or mutate them.
-func (b *Backend) Scan(table string, fn func(key string, value []byte) bool) error {
+// to fn alias internal storage; fn must not retain or mutate them. The
+// context is checked periodically so a cancelled caller does not pay for a
+// full sweep of a large table.
+func (b *Backend) Scan(ctx context.Context, table string, fn func(key string, value []byte) bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	if b.closed {
 		return types.ErrClosed
 	}
+	i := 0
 	for k, v := range b.data[table] {
+		if i++; i&0x3ff == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if !fn(k, v) {
 			break
 		}
@@ -117,7 +141,10 @@ func (b *Backend) Scan(table string, fn func(key string, value []byte) bool) err
 }
 
 // Tables lists tables that hold at least one key.
-func (b *Backend) Tables() ([]string, error) {
+func (b *Backend) Tables(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	if b.closed {

@@ -12,6 +12,7 @@ package engined
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -28,6 +29,12 @@ import (
 type Server struct {
 	be engine.Backend
 
+	// baseCtx scopes every backend operation the server issues; Close
+	// cancels it so in-flight work aborts, Shutdown leaves it live until
+	// the drain deadline passes.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
@@ -37,7 +44,8 @@ type Server struct {
 
 // New builds a server over a backend; call Serve to start it.
 func New(be engine.Backend) *Server {
-	return &Server{be: be, conns: make(map[net.Conn]struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{be: be, baseCtx: ctx, cancelBase: cancel, conns: make(map[net.Conn]struct{})}
 }
 
 // Start listens on addr (host:port; port 0 picks a free one) and serves in
@@ -113,9 +121,9 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops accepting, severs every open connection, and waits for the
-// per-connection goroutines. The backend is left open (the caller owns it).
-// Closing twice is a no-op.
+// Close stops accepting, severs every open connection, cancels in-flight
+// backend operations, and waits for the per-connection goroutines. The
+// backend is left open (the caller owns it). Closing twice is a no-op.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -128,11 +136,56 @@ func (s *Server) Close() error {
 		nc.Close()
 	}
 	s.mu.Unlock()
+	s.cancelBase()
 	if ln != nil {
 		ln.Close()
 	}
 	s.wg.Wait()
 	return nil
+}
+
+// Shutdown drains the server gracefully: it stops accepting, lets every
+// in-flight request finish writing its response, and closes connections as
+// they go idle (each pooled client connection is nudged with an immediate
+// read deadline, so blocked between-request reads return right away while
+// responses in progress complete — the read deadline only bites on the NEXT
+// request read). If ctx ends before the drain completes, the remaining
+// connections are severed hard and ctx's error is returned. The backend is
+// left open either way; Shutdown twice (or after Close) is a no-op.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for nc := range s.conns {
+		nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancelBase()
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for nc := range s.conns {
+			nc.Close()
+		}
+		s.mu.Unlock()
+		s.cancelBase()
+		<-done
+		return ctx.Err()
+	}
 }
 
 // handleConn serves framed requests until the peer hangs up or a frame is
@@ -206,7 +259,7 @@ func (s *Server) serveOp(nc net.Conn, bw *bufio.Writer, op byte, body, resp []by
 		if err != nil {
 			return resp, err
 		}
-		if err := s.be.Put(table, key, value); err != nil {
+		if err := s.be.Put(s.baseCtx, table, key, value); err != nil {
 			return replyErr(bw, resp, err)
 		}
 		return reply(bw, resp, wire.StOK, nil)
@@ -220,7 +273,7 @@ func (s *Server) serveOp(nc net.Conn, bw *bufio.Writer, op byte, body, resp []by
 		if err != nil {
 			return resp, err
 		}
-		value, ok, err := s.be.Get(table, key)
+		value, ok, err := s.be.Get(s.baseCtx, table, key)
 		if err != nil {
 			return replyErr(bw, resp, err)
 		}
@@ -238,7 +291,7 @@ func (s *Server) serveOp(nc net.Conn, bw *bufio.Writer, op byte, body, resp []by
 		if err != nil {
 			return resp, err
 		}
-		if err := s.be.Delete(table, key); err != nil {
+		if err := s.be.Delete(s.baseCtx, table, key); err != nil {
 			return replyErr(bw, resp, err)
 		}
 		return reply(bw, resp, wire.StOK, nil)
@@ -272,7 +325,7 @@ func (s *Server) serveOp(nc net.Conn, bw *bufio.Writer, op byte, body, resp []by
 			}
 			entries = append(entries, engine.Entry{Key: key, Value: value})
 		}
-		if err := s.be.BatchPut(table, entries); err != nil {
+		if err := s.be.BatchPut(s.baseCtx, table, entries); err != nil {
 			return replyErr(bw, resp, err)
 		}
 		return reply(bw, resp, wire.StOK, nil)
@@ -283,7 +336,7 @@ func (s *Server) serveOp(nc net.Conn, bw *bufio.Writer, op byte, body, resp []by
 			return resp, err
 		}
 		var streamErr error
-		scanErr := s.be.Scan(table, func(key string, value []byte) bool {
+		scanErr := s.be.Scan(s.baseCtx, table, func(key string, value []byte) bool {
 			// Refresh per entry: a progressing stream may legitimately
 			// outlast one writeTimeout; a stalled peer must not.
 			nc.SetWriteDeadline(time.Now().Add(writeTimeout))
@@ -304,7 +357,7 @@ func (s *Server) serveOp(nc net.Conn, bw *bufio.Writer, op byte, body, resp []by
 		return reply(bw, resp, wire.StEnd, nil)
 
 	case wire.OpTables:
-		tables, err := s.be.Tables()
+		tables, err := s.be.Tables(s.baseCtx)
 		if err != nil {
 			return replyErr(bw, resp, err)
 		}

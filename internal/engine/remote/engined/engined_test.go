@@ -1,0 +1,55 @@
+package engined_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rstore/internal/engine/memory"
+	"rstore/internal/engine/remote"
+	"rstore/internal/engine/remote/engined"
+)
+
+// Shutdown must drain promptly even with idle pooled client connections
+// parked in between-request reads, and be a no-op the second time.
+func TestShutdownDrainsIdleConnections(t *testing.T) {
+	be := memory.New()
+	srv, err := engined.Start("127.0.0.1:0", be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := remote.Dial(srv.Addr().String(), remote.Options{Attempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	// Leave an idle pooled connection behind.
+	if err := c.Put(ctx, "t", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("drain of an idle connection took %v", elapsed)
+	}
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close after shutdown: %v", err)
+	}
+
+	// The daemon is gone; the backend is untouched and still the caller's.
+	if err := c.Ping(ctx); err == nil {
+		t.Fatal("daemon still serving after shutdown")
+	}
+	if v, ok, err := be.Get(ctx, "t", "k"); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("backend state lost across shutdown: %q %v %v", v, ok, err)
+	}
+}

@@ -13,10 +13,20 @@
 // passed through as hard errors. Retrying a possibly-applied write is safe
 // because every Backend operation is idempotent (puts overwrite, deletes
 // tolerate missing keys).
+//
+// Every operation honors its context end to end: dials go through
+// net.Dialer.DialContext, retry backoff sleeps are interruptible, and a
+// context that ends mid-exchange slams the connection deadline so even a
+// blocked read (including between streamed Scan frames) returns promptly.
+// A context-terminated operation surfaces wrapped in engine.ErrUnavailable
+// with the context's error preserved in the chain, so callers can match
+// both errors.Is(err, engine.ErrUnavailable) and errors.Is(err,
+// context.DeadlineExceeded) / context.Canceled.
 package remote
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -34,7 +44,8 @@ type Options struct {
 	// PoolSize is the number of idle connections kept for reuse; more may
 	// be open at once under concurrency. Default 4.
 	PoolSize int
-	// DialTimeout bounds one connection attempt. Default 2s.
+	// DialTimeout bounds one connection attempt (a context deadline may
+	// shorten it further). Default 2s.
 	DialTimeout time.Duration
 	// Attempts is how many times an operation is tried before reporting
 	// the node unavailable; each attempt uses a fresh connection when the
@@ -44,7 +55,8 @@ type Options struct {
 	// further attempt. Default 25ms.
 	Backoff time.Duration
 	// IOTimeout bounds each request/response exchange (refreshed per
-	// streamed Scan frame). Default 30s.
+	// streamed Scan frame; a context deadline may shorten it further).
+	// Default 30s.
 	IOTimeout time.Duration
 }
 
@@ -101,12 +113,13 @@ func Dial(addr string, opts Options) (*Client, error) {
 func (c *Client) Addr() string { return c.addr }
 
 // unavailable wraps a transport-level failure for route-around handling.
+// err stays in the chain (%w) so context errors remain matchable.
 func (c *Client) unavailable(err error) error {
-	return fmt.Errorf("remote %s: %w: %v", c.addr, engine.ErrUnavailable, err)
+	return fmt.Errorf("remote %s: %w: %w", c.addr, engine.ErrUnavailable, err)
 }
 
-// checkout returns a pooled connection or dials a new one.
-func (c *Client) checkout() (*conn, error) {
+// checkout returns a pooled connection or dials a new one under ctx.
+func (c *Client) checkout(ctx context.Context) (*conn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -119,7 +132,8 @@ func (c *Client) checkout() (*conn, error) {
 		return cn, nil
 	}
 	c.mu.Unlock()
-	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	d := net.Dialer{Timeout: c.opts.DialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
 		return nil, err
 	}
@@ -142,9 +156,31 @@ func (c *Client) release(cn *conn) {
 // exchange sends req and feeds response frames to handle until it reports
 // done. A false done with nil error reads another frame (Scan streaming).
 // The returned abandon reports that the connection must not be pooled even
-// though the operation did not fail (early-stopped Scan).
-func (cn *conn) exchange(iot time.Duration, req []byte, handle func(status byte, body []byte) (done, abandon bool, err error)) (abandon bool, err error) {
-	cn.nc.SetDeadline(time.Now().Add(iot))
+// though the operation did not fail (early-stopped Scan). Context ends are
+// enforced two ways: the per-frame deadline is the earlier of IOTimeout and
+// the context deadline, and a cancellation mid-read slams the connection
+// deadline so the blocked read returns immediately.
+func (cn *conn) exchange(ctx context.Context, iot time.Duration, req []byte, handle func(status byte, body []byte) (done, abandon bool, err error)) (abandon bool, err error) {
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() { cn.nc.SetDeadline(time.Now()) })
+		defer func() {
+			if !stop() {
+				// The slam callback already started (cancellation raced a
+				// successful finish): the deadline may be set to the past
+				// at any moment, so this connection must not be pooled —
+				// the next operation to reuse it would fail spuriously.
+				abandon = true
+			}
+		}()
+	}
+	frameDeadline := func() time.Time {
+		d := time.Now().Add(iot)
+		if cd, ok := ctx.Deadline(); ok && cd.Before(d) {
+			d = cd
+		}
+		return d
+	}
+	cn.nc.SetDeadline(frameDeadline())
 	if err := wire.WriteFrame(cn.nc, req); err != nil {
 		return false, transportErr(err)
 	}
@@ -163,7 +199,14 @@ func (cn *conn) exchange(iot time.Duration, req []byte, handle func(status byte,
 		if err != nil || done {
 			return abandon, err
 		}
-		cn.nc.SetDeadline(time.Now().Add(iot)) // streaming: refresh per frame
+		// Between streamed frames the context is checked explicitly: frames
+		// already sitting in the receive buffer would otherwise keep a
+		// cancelled stream flowing (buffered reads never consult the
+		// connection deadline).
+		if err := ctx.Err(); err != nil {
+			return false, transportErr(err)
+		}
+		cn.nc.SetDeadline(frameDeadline()) // streaming: refresh per frame
 	}
 }
 
@@ -178,10 +221,13 @@ func transportErr(err error) error { return transportError{err} }
 // do runs one operation with pooling, retry, and backoff: transport-level
 // failures are retried on a fresh connection (idempotent operations make
 // this safe) until attempts run out, then surface as unavailable; errors
-// the handler returns are hard and abort immediately. A non-nil canRetry
-// vetoes retries for operations whose effects already partially reached
-// the caller (a Scan that delivered entries).
-func (c *Client) do(req []byte, canRetry func() bool, handle func(status byte, body []byte) (done, abandon bool, err error)) error {
+// the handler returns are hard and abort immediately. A context that ends —
+// before the first dial, during a dial, mid-exchange, or while backing off —
+// stops the operation at once and surfaces the context's error wrapped in
+// engine.ErrUnavailable. A non-nil canRetry vetoes retries for operations
+// whose effects already partially reached the caller (a Scan that delivered
+// entries).
+func (c *Client) do(ctx context.Context, req []byte, canRetry func() bool, handle func(status byte, body []byte) (done, abandon bool, err error)) error {
 	if len(req) > wire.MaxFrame {
 		// A request no frame can carry is a hard caller error, not node
 		// unavailability — retrying cannot help.
@@ -190,17 +236,29 @@ func (c *Client) do(req []byte, canRetry func() bool, handle func(status byte, b
 	var lastErr error
 	for attempt := 0; attempt < c.opts.Attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(c.opts.Backoff << (attempt - 1))
+			t := time.NewTimer(c.opts.Backoff << (attempt - 1))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return c.unavailable(ctx.Err())
+			case <-t.C:
+			}
 		}
-		cn, err := c.checkout()
+		if err := ctx.Err(); err != nil {
+			return c.unavailable(err)
+		}
+		cn, err := c.checkout(ctx)
 		if err != nil {
 			if errors.Is(err, types.ErrClosed) {
 				return err
 			}
+			if cerr := ctx.Err(); cerr != nil {
+				return c.unavailable(cerr)
+			}
 			lastErr = err // dial failure: transient by definition
 			continue
 		}
-		abandon, err := cn.exchange(c.opts.IOTimeout, req, handle)
+		abandon, err := cn.exchange(ctx, c.opts.IOTimeout, req, handle)
 		if err == nil {
 			if abandon {
 				cn.nc.Close()
@@ -213,6 +271,11 @@ func (c *Client) do(req []byte, canRetry func() bool, handle func(status byte, b
 		te, transient := err.(transportError)
 		if !transient {
 			return err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			// The transport failure is (or is indistinguishable from) our
+			// own deadline slam; the context's end is the real cause.
+			return c.unavailable(cerr)
 		}
 		lastErr = te.err
 		// Pooled siblings of a broken connection usually broke with it
@@ -260,22 +323,22 @@ func decodeErr(body []byte) error {
 }
 
 // Put stores value under (table, key) on the node.
-func (c *Client) Put(table, key string, value []byte) error {
+func (c *Client) Put(ctx context.Context, table, key string, value []byte) error {
 	req := []byte{wire.OpPut}
 	req = codec.PutString(req, table)
 	req = codec.PutString(req, key)
 	req = append(req, value...)
-	return c.do(req, nil, okOrErr)
+	return c.do(ctx, req, nil, okOrErr)
 }
 
 // Get returns the value under (table, key).
-func (c *Client) Get(table, key string) ([]byte, bool, error) {
+func (c *Client) Get(ctx context.Context, table, key string) ([]byte, bool, error) {
 	req := []byte{wire.OpGet}
 	req = codec.PutString(req, table)
 	req = codec.PutString(req, key)
 	var value []byte
 	found := false
-	err := c.do(req, nil, func(status byte, body []byte) (bool, bool, error) {
+	err := c.do(ctx, req, nil, func(status byte, body []byte) (bool, bool, error) {
 		switch status {
 		case wire.StOK:
 			value = append([]byte(nil), body...) // body aliases the receive buffer
@@ -296,16 +359,16 @@ func (c *Client) Get(table, key string) ([]byte, bool, error) {
 }
 
 // Delete removes (table, key); deleting a missing key is a no-op.
-func (c *Client) Delete(table, key string) error {
+func (c *Client) Delete(ctx context.Context, table, key string) error {
 	req := []byte{wire.OpDelete}
 	req = codec.PutString(req, table)
 	req = codec.PutString(req, key)
-	return c.do(req, nil, okOrErr)
+	return c.do(ctx, req, nil, okOrErr)
 }
 
 // BatchPut applies all entries to one table with the node's batch
 // durability (one fsync per batch on a disklog node).
-func (c *Client) BatchPut(table string, entries []engine.Entry) error {
+func (c *Client) BatchPut(ctx context.Context, table string, entries []engine.Entry) error {
 	req := []byte{wire.OpBatchPut}
 	req = codec.PutString(req, table)
 	req = codec.PutUvarint(req, uint64(len(entries)))
@@ -313,18 +376,20 @@ func (c *Client) BatchPut(table string, entries []engine.Entry) error {
 		req = codec.PutString(req, e.Key)
 		req = codec.PutBytes(req, e.Value)
 	}
-	return c.do(req, nil, okOrErr)
+	return c.do(ctx, req, nil, okOrErr)
 }
 
 // Scan streams every key/value of a table from the node. Values passed to
 // fn alias the receive buffer (the engine.Backend Scan contract). Once
 // entries have been delivered a broken stream is not retried — the caller
-// would see duplicates — and surfaces as unavailable.
-func (c *Client) Scan(table string, fn func(key string, value []byte) bool) error {
+// would see duplicates — and surfaces as unavailable. Cancelling ctx
+// mid-stream abandons the connection; the node notices the severed peer on
+// its next frame write and stops scanning.
+func (c *Client) Scan(ctx context.Context, table string, fn func(key string, value []byte) bool) error {
 	req := []byte{wire.OpScan}
 	req = codec.PutString(req, table)
 	delivered := false
-	return c.do(req, func() bool { return !delivered }, func(status byte, body []byte) (bool, bool, error) {
+	return c.do(ctx, req, func() bool { return !delivered }, func(status byte, body []byte) (bool, bool, error) {
 		switch status {
 		case wire.StEntry:
 			key, rest, err := codec.String(body)
@@ -348,9 +413,9 @@ func (c *Client) Scan(table string, fn func(key string, value []byte) bool) erro
 }
 
 // Tables lists the node's non-empty tables.
-func (c *Client) Tables() ([]string, error) {
+func (c *Client) Tables(ctx context.Context) ([]string, error) {
 	var tables []string
-	err := c.do([]byte{wire.OpTables}, nil, func(status byte, body []byte) (bool, bool, error) {
+	err := c.do(ctx, []byte{wire.OpTables}, nil, func(status byte, body []byte) (bool, bool, error) {
 		switch status {
 		case wire.StOK:
 			n, rest, err := codec.Uvarint(body)
@@ -386,9 +451,9 @@ func (c *Client) Tables() ([]string, error) {
 
 // Stored reports the node's resident live payload volume, with the error
 // BytesStored's signature cannot carry.
-func (c *Client) Stored() (int64, error) {
+func (c *Client) Stored(ctx context.Context) (int64, error) {
 	var n int64
-	err := c.do([]byte{wire.OpBytesStored}, nil, func(status byte, body []byte) (bool, bool, error) {
+	err := c.do(ctx, []byte{wire.OpBytesStored}, nil, func(status byte, body []byte) (bool, bool, error) {
 		switch status {
 		case wire.StOK:
 			v, _, err := codec.Uvarint(body)
@@ -408,7 +473,7 @@ func (c *Client) Stored() (int64, error) {
 
 // BytesStored implements engine.Backend; an unreachable node reports 0.
 func (c *Client) BytesStored() int64 {
-	n, err := c.Stored()
+	n, err := c.Stored(context.Background())
 	if err != nil {
 		return 0
 	}
@@ -416,8 +481,8 @@ func (c *Client) BytesStored() int64 {
 }
 
 // Ping round-trips a no-op request, reporting node reachability.
-func (c *Client) Ping() error {
-	return c.do([]byte{wire.OpPing}, nil, okOrErr)
+func (c *Client) Ping(ctx context.Context) error {
+	return c.do(ctx, []byte{wire.OpPing}, nil, okOrErr)
 }
 
 // Close releases the client's connections. The node and its data are

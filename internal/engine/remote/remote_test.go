@@ -5,6 +5,7 @@
 package remote_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -50,16 +51,16 @@ func TestDownNodeIsUnavailableNotHardError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Put("t", "k", []byte("v")); !errors.Is(err, engine.ErrUnavailable) {
+	if err := c.Put(context.Background(), "t", "k", []byte("v")); !errors.Is(err, engine.ErrUnavailable) {
 		t.Fatalf("put to dead node: %v", err)
 	}
-	if _, _, err := c.Get("t", "k"); !errors.Is(err, engine.ErrUnavailable) {
+	if _, _, err := c.Get(context.Background(), "t", "k"); !errors.Is(err, engine.ErrUnavailable) {
 		t.Fatalf("get from dead node: %v", err)
 	}
-	if err := c.Scan("t", func(string, []byte) bool { return true }); !errors.Is(err, engine.ErrUnavailable) {
+	if err := c.Scan(context.Background(), "t", func(string, []byte) bool { return true }); !errors.Is(err, engine.ErrUnavailable) {
 		t.Fatalf("scan of dead node: %v", err)
 	}
-	if _, err := c.Stored(); !errors.Is(err, engine.ErrUnavailable) {
+	if _, err := c.Stored(context.Background()); !errors.Is(err, engine.ErrUnavailable) {
 		t.Fatalf("stored of dead node: %v", err)
 	}
 }
@@ -77,7 +78,7 @@ func TestBackendErrorIsHardNotUnavailable(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	err = c.Put("t", "k", []byte("v"))
+	err = c.Put(context.Background(), "t", "k", []byte("v"))
 	if err == nil || errors.Is(err, engine.ErrUnavailable) {
 		t.Fatalf("node-side failure classified wrong: %v", err)
 	}
@@ -98,13 +99,13 @@ func TestClientSurvivesNodeRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Put("t", "k", []byte("before")); err != nil {
+	if err := c.Put(context.Background(), "t", "k", []byte("before")); err != nil {
 		t.Fatal(err)
 	}
 
 	// Kill the node: the pooled connection is now dead.
 	srv.Close()
-	if err := c.Put("t", "k2", []byte("while down")); !errors.Is(err, engine.ErrUnavailable) {
+	if err := c.Put(context.Background(), "t", "k2", []byte("while down")); !errors.Is(err, engine.ErrUnavailable) {
 		t.Fatalf("put while node down: %v", err)
 	}
 
@@ -115,7 +116,7 @@ func TestClientSurvivesNodeRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv2.Close()
-	v, ok, err := c.Get("t", "k")
+	v, ok, err := c.Get(context.Background(), "t", "k")
 	if err != nil || !ok || string(v) != "before" {
 		t.Fatalf("get after restart: %q %v %v", v, ok, err)
 	}
@@ -169,10 +170,10 @@ func TestRetryRedialsWithinOneOperation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Put("t", "k", []byte("v")); err != nil {
+	if err := c.Put(context.Background(), "t", "k", []byte("v")); err != nil {
 		t.Fatalf("put through flaky front: %v", err)
 	}
-	v, ok, err := c.Get("t", "k")
+	v, ok, err := c.Get(context.Background(), "t", "k")
 	if err != nil || !ok || string(v) != "v" {
 		t.Fatalf("get through flaky front: %q %v %v", v, ok, err)
 	}
@@ -208,7 +209,7 @@ func TestOperationsAfterClientClose(t *testing.T) {
 	if err := c.Close(); err != nil {
 		t.Fatalf("second close: %v", err)
 	}
-	if err := c.Put("t", "k", nil); !errors.Is(err, types.ErrClosed) {
+	if err := c.Put(context.Background(), "t", "k", nil); !errors.Is(err, types.ErrClosed) {
 		t.Fatalf("put after close: %v", err)
 	}
 }
@@ -231,11 +232,11 @@ func TestConcurrentClientsShareOnePool(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				k := fmt.Sprintf("w%d-%d", w, i)
-				if err := c.Put("t", k, []byte(k)); err != nil {
+				if err := c.Put(context.Background(), "t", k, []byte(k)); err != nil {
 					t.Error(err)
 					return
 				}
-				v, ok, err := c.Get("t", k)
+				v, ok, err := c.Get(context.Background(), "t", k)
 				if err != nil || !ok || string(v) != k {
 					t.Errorf("%s: %q %v %v", k, v, ok, err)
 					return
@@ -258,7 +259,7 @@ func TestScanEarlyStopLeavesClientUsable(t *testing.T) {
 	}
 	defer c.Close()
 	for i := 0; i < 200; i++ {
-		if err := c.Put("t", fmt.Sprintf("k%03d", i), []byte(strings.Repeat("x", 100))); err != nil {
+		if err := c.Put(context.Background(), "t", fmt.Sprintf("k%03d", i), []byte(strings.Repeat("x", 100))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -266,13 +267,13 @@ func TestScanEarlyStopLeavesClientUsable(t *testing.T) {
 	// keep serving requests on fresh connections.
 	for round := 0; round < 3; round++ {
 		n := 0
-		if err := c.Scan("t", func(string, []byte) bool { n++; return n < 5 }); err != nil {
+		if err := c.Scan(context.Background(), "t", func(string, []byte) bool { n++; return n < 5 }); err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
 		if n != 5 {
 			t.Fatalf("round %d visited %d", round, n)
 		}
-		if _, ok, err := c.Get("t", "k000"); err != nil || !ok {
+		if _, ok, err := c.Get(context.Background(), "t", "k000"); err != nil || !ok {
 			t.Fatalf("get after abandoned scan: %v %v", ok, err)
 		}
 	}
@@ -293,10 +294,10 @@ func TestBigValuesCrossTheWire(t *testing.T) {
 	for i := range big {
 		big[i] = byte(i * 31)
 	}
-	if err := c.BatchPut("t", []engine.Entry{{Key: "big", Value: big}}); err != nil {
+	if err := c.BatchPut(context.Background(), "t", []engine.Entry{{Key: "big", Value: big}}); err != nil {
 		t.Fatal(err)
 	}
-	v, ok, err := c.Get("t", "big")
+	v, ok, err := c.Get(context.Background(), "t", "big")
 	if err != nil || !ok || len(v) != len(big) {
 		t.Fatalf("big get: %d bytes, %v %v", len(v), ok, err)
 	}

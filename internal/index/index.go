@@ -12,6 +12,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -166,7 +167,7 @@ const (
 
 // Save persists both projections, each table committed as one batched write
 // (one durability sync per table instead of one per version/key).
-func (p *Projections) Save(kv *kvstore.Store) error {
+func (p *Projections) Save(ctx context.Context, kv *kvstore.Store) error {
 	vEntries := make([]kvstore.Entry, 0, len(p.versionChunks))
 	for v, l := range p.versionChunks {
 		vEntries = append(vEntries, kvstore.Entry{
@@ -174,7 +175,7 @@ func (p *Projections) Save(kv *kvstore.Store) error {
 			Value: codec.PutPostingList(nil, l),
 		})
 	}
-	if err := kv.BatchPut(TableVersionIndex, vEntries); err != nil {
+	if err := kv.BatchPut(ctx, TableVersionIndex, vEntries); err != nil {
 		return err
 	}
 	kEntries := make([]kvstore.Entry, 0, len(p.keyChunks))
@@ -184,7 +185,7 @@ func (p *Projections) Save(kv *kvstore.Store) error {
 			Value: codec.PutPostingList(nil, l),
 		})
 	}
-	return kv.BatchPut(TableKeyIndex, kEntries)
+	return kv.BatchPut(ctx, TableKeyIndex, kEntries)
 }
 
 // EntryKeys returns the KVS keys Save writes for each projection table, so
@@ -225,10 +226,10 @@ func pruneList(l []chunk.ID, n chunk.ID) []chunk.ID {
 }
 
 // Load rebuilds projections from the KVS tables.
-func Load(kv *kvstore.Store) (*Projections, error) {
+func Load(ctx context.Context, kv *kvstore.Store) (*Projections, error) {
 	p := New()
 	var firstErr error
-	err := kv.Scan(TableVersionIndex, func(key string, value []byte) bool {
+	err := kv.Scan(ctx, TableVersionIndex, func(key string, value []byte) bool {
 		var v uint32
 		if _, err := fmt.Sscanf(key, "v%08x", &v); err != nil {
 			firstErr = fmt.Errorf("%w: bad version index key %q", types.ErrCorrupt, key)
@@ -248,7 +249,7 @@ func Load(kv *kvstore.Store) (*Projections, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	err = kv.Scan(TableKeyIndex, func(key string, value []byte) bool {
+	err = kv.Scan(ctx, TableKeyIndex, func(key string, value []byte) bool {
 		l, _, err := codec.PostingList(value)
 		if err != nil {
 			firstErr = err

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"testing"
 
 	"rstore/internal/kvstore"
@@ -89,10 +90,10 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		p.AddKeyChunk(k, uint32(i+5))
 	}
 	p.Normalize()
-	if err := p.Save(kv); err != nil {
+	if err := p.Save(context.Background(), kv); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Load(kv)
+	got, err := Load(context.Background(), kv)
 	if err != nil {
 		t.Fatal(err)
 	}

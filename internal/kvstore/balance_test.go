@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -18,7 +19,7 @@ func TestReadBalanceSpreadsLoad(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 0; i < 300; i++ {
-			if err := s.Put("t", fmt.Sprintf("k%04d", i), make([]byte, 256)); err != nil {
+			if err := s.Put(context.Background(), "t", fmt.Sprintf("k%04d", i), make([]byte, 256)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -31,11 +32,11 @@ func TestReadBalanceSpreadsLoad(t *testing.T) {
 
 	plain := mk(false)
 	balanced := mk(true)
-	rp, err := plain.MultiGet("t", keys)
+	rp, err := plain.MultiGet(context.Background(), "t", keys)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := balanced.MultiGet("t", keys)
+	rb, err := balanced.MultiGet(context.Background(), "t", keys)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,14 +66,14 @@ func TestReadBalanceAvoidsDeadNodes(t *testing.T) {
 	for i := 0; i < 60; i++ {
 		k := fmt.Sprintf("k%03d", i)
 		keys = append(keys, k)
-		if err := s.Put("t", k, []byte(k)); err != nil {
+		if err := s.Put(context.Background(), "t", k, []byte(k)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if err := s.SetNodeUp(1, false); err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.MultiGet("t", keys)
+	res, err := s.MultiGet(context.Background(), "t", keys)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -15,16 +16,16 @@ func TestBatchPutReadBack(t *testing.T) {
 			Value: []byte(fmt.Sprintf("value-%03d", i)),
 		})
 	}
-	if err := s.BatchPut("t", entries); err != nil {
+	if err := s.BatchPut(context.Background(), "t", entries); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 120; i++ {
-		got, err := s.Get("t", fmt.Sprintf("k%03d", i))
+		got, err := s.Get(context.Background(), "t", fmt.Sprintf("k%03d", i))
 		if err != nil || string(got) != fmt.Sprintf("value-%03d", i) {
 			t.Fatalf("k%03d = %q, %v", i, got, err)
 		}
 	}
-	st := s.Stats()
+	st := s.Stats(context.Background())
 	if st.Requests < 120+120 { // 120 batched puts + 120 gets
 		t.Fatalf("Requests = %d", st.Requests)
 	}
@@ -32,7 +33,7 @@ func TestBatchPutReadBack(t *testing.T) {
 		t.Fatalf("stats: %+v", st)
 	}
 	// Empty batch is a no-op.
-	if err := s.BatchPut("t", nil); err != nil {
+	if err := s.BatchPut(context.Background(), "t", nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -44,13 +45,13 @@ func TestBatchPutAccountingMatchesPut(t *testing.T) {
 	a := open(t, 4, 2)
 	b := open(t, 4, 2)
 	val := make([]byte, 1000)
-	if err := a.Put("t", "k", val); err != nil {
+	if err := a.Put(context.Background(), "t", "k", val); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.BatchPut("t", []Entry{{Key: "k", Value: val}}); err != nil {
+	if err := b.BatchPut(context.Background(), "t", []Entry{{Key: "k", Value: val}}); err != nil {
 		t.Fatal(err)
 	}
-	sa, sb := a.Stats(), b.Stats()
+	sa, sb := a.Stats(context.Background()), b.Stats(context.Background())
 	if sa.Requests != sb.Requests || sa.BytesPut != sb.BytesPut || sa.SimElapsed != sb.SimElapsed {
 		t.Fatalf("Put %+v vs BatchPut %+v", sa, sb)
 	}
@@ -66,14 +67,14 @@ func TestBatchPutCheaperThanSequentialPuts(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		e := Entry{Key: fmt.Sprintf("k%03d", i), Value: make([]byte, 256)}
 		entries = append(entries, e)
-		if err := seq.Put("t", e.Key, e.Value); err != nil {
+		if err := seq.Put(context.Background(), "t", e.Key, e.Value); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := bat.BatchPut("t", entries); err != nil {
+	if err := bat.BatchPut(context.Background(), "t", entries); err != nil {
 		t.Fatal(err)
 	}
-	if s, b := seq.Stats().SimElapsed, bat.Stats().SimElapsed; b >= s {
+	if s, b := seq.Stats(context.Background()).SimElapsed, bat.Stats(context.Background()).SimElapsed; b >= s {
 		t.Fatalf("batch elapsed %v not cheaper than sequential %v", b, s)
 	}
 }
@@ -88,11 +89,11 @@ func TestBatchPutSurvivesReplicaFailure(t *testing.T) {
 		entries = append(entries, Entry{Key: fmt.Sprintf("k%03d", i), Value: []byte{byte(i)}})
 	}
 	// Every key still has one live replica (rf=2, one node down).
-	if err := s.BatchPut("t", entries); err != nil {
+	if err := s.BatchPut(context.Background(), "t", entries); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 100; i++ {
-		got, err := s.Get("t", fmt.Sprintf("k%03d", i))
+		got, err := s.Get(context.Background(), "t", fmt.Sprintf("k%03d", i))
 		if err != nil || got[0] != byte(i) {
 			t.Fatalf("k%03d = %v, %v", i, got, err)
 		}
@@ -105,7 +106,7 @@ func TestBatchPutAllReplicasDownIsAnError(t *testing.T) {
 	if err := s.SetNodeUp(owner, false); err != nil {
 		t.Fatal(err)
 	}
-	err := s.BatchPut("t", []Entry{{Key: "a", Value: []byte("1")}})
+	err := s.BatchPut(context.Background(), "t", []Entry{{Key: "a", Value: []byte("1")}})
 	if err == nil || !strings.Contains(err.Error(), "all replicas down") {
 		t.Fatalf("batch to fully-dead replica set: %v", err)
 	}
@@ -113,24 +114,24 @@ func TestBatchPutAllReplicasDownIsAnError(t *testing.T) {
 
 func TestDeleteAllReplicasDownIsAnError(t *testing.T) {
 	s := open(t, 2, 1)
-	if err := s.Put("t", "a", []byte("1")); err != nil {
+	if err := s.Put(context.Background(), "t", "a", []byte("1")); err != nil {
 		t.Fatal(err)
 	}
 	owner := s.ring.primary("a")
 	if err := s.SetNodeUp(owner, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Delete("t", "a"); err == nil {
+	if err := s.Delete(context.Background(), "t", "a"); err == nil {
 		t.Fatal("delete with every replica down succeeded (tombstone took hold nowhere)")
 	}
 	// Back up: delete works and is idempotent again.
 	if err := s.SetNodeUp(owner, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Delete("t", "a"); err != nil {
+	if err := s.Delete(context.Background(), "t", "a"); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Delete("t", "a"); err != nil {
+	if err := s.Delete(context.Background(), "t", "a"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -149,13 +150,13 @@ func TestClusterOnDisklog(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		entries = append(entries, Entry{Key: fmt.Sprintf("k%03d", i), Value: []byte(fmt.Sprintf("v%03d", i))})
 	}
-	if err := s.BatchPut("t", entries); err != nil {
+	if err := s.BatchPut(context.Background(), "t", entries); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Delete("t", "k007"); err != nil {
+	if err := s.Delete(context.Background(), "t", "k007"); err != nil {
 		t.Fatal(err)
 	}
-	stored := s.Stats().BytesStored
+	stored := s.Stats(context.Background()).BytesStored
 	if stored <= 0 {
 		t.Fatalf("BytesStored = %d", stored)
 	}
@@ -170,7 +171,7 @@ func TestClusterOnDisklog(t *testing.T) {
 	defer r.Close()
 	for i := 0; i < 200; i++ {
 		k := fmt.Sprintf("k%03d", i)
-		got, err := r.Get("t", k)
+		got, err := r.Get(context.Background(), "t", k)
 		if i == 7 {
 			if err == nil {
 				t.Fatalf("deleted key %s resurrected as %q", k, got)
@@ -181,13 +182,13 @@ func TestClusterOnDisklog(t *testing.T) {
 			t.Fatalf("%s = %q, %v", k, got, err)
 		}
 	}
-	if got := r.Stats().BytesStored; got != stored {
+	if got := r.Stats(context.Background()).BytesStored; got != stored {
 		t.Fatalf("BytesStored after reopen = %d, want %d", got, stored)
 	}
 	// The ring hashes identically across opens, so every node finds its own
 	// data; scans still visit each key exactly once.
 	seen := 0
-	if err := r.Scan("t", func(string, []byte) bool { seen++; return true }); err != nil {
+	if err := r.Scan(context.Background(), "t", func(string, []byte) bool { seen++; return true }); err != nil {
 		t.Fatal(err)
 	}
 	if seen != 199 {
@@ -213,7 +214,7 @@ func TestDisklogGeometryPinned(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put("t", "k", []byte("v")); err != nil {
+	if err := s.Put(context.Background(), "t", "k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
@@ -228,7 +229,7 @@ func TestDisklogGeometryPinned(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	if got, err := r.Get("t", "k"); err != nil || string(got) != "v" {
+	if got, err := r.Get(context.Background(), "t", "k"); err != nil || string(got) != "v" {
 		t.Fatalf("k = %q, %v", got, err)
 	}
 }

@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -18,7 +19,7 @@ func benchStore(b *testing.B, nodes, rf int, balance bool) (*Store, []string) {
 	val := make([]byte, 512)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("key-%05d", i)
-		if err := s.Put("t", keys[i], val); err != nil {
+		if err := s.Put(context.Background(), "t", keys[i], val); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -30,7 +31,7 @@ func BenchmarkGet(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Get("t", keys[i%len(keys)]); err != nil {
+		if _, err := s.Get(context.Background(), "t", keys[i%len(keys)]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -42,7 +43,7 @@ func BenchmarkPut(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := s.Put("t", fmt.Sprintf("w-%d", i%4096), val); err != nil {
+		if err := s.Put(context.Background(), "t", fmt.Sprintf("w-%d", i%4096), val); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -57,7 +58,7 @@ func BenchmarkMultiGet(b *testing.B) {
 		b.Run(cfg.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := s.MultiGet("t", keys)
+				res, err := s.MultiGet(context.Background(), "t", keys)
 				if err != nil || len(res.Missing) != 0 {
 					b.Fatalf("%v %v", res.Missing, err)
 				}
@@ -70,7 +71,7 @@ func BenchmarkSnapshotDump(b *testing.B) {
 	s, _ := benchStore(b, 4, 1, false)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := s.Dump(discard{}); err != nil {
+		if err := s.Dump(context.Background(), discard{}); err != nil {
 			b.Fatal(err)
 		}
 	}

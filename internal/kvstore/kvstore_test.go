@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -23,33 +24,33 @@ func open(t testing.TB, nodes, rf int) *Store {
 
 func TestPutGetDelete(t *testing.T) {
 	s := open(t, 4, 2)
-	if err := s.Put("t", "k1", []byte("v1")); err != nil {
+	if err := s.Put(context.Background(), "t", "k1", []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Get("t", "k1")
+	got, err := s.Get(context.Background(), "t", "k1")
 	if err != nil || string(got) != "v1" {
 		t.Fatalf("Get = %q, %v", got, err)
 	}
 	// Overwrite.
-	if err := s.Put("t", "k1", []byte("v2")); err != nil {
+	if err := s.Put(context.Background(), "t", "k1", []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
-	got, _ = s.Get("t", "k1")
+	got, _ = s.Get(context.Background(), "t", "k1")
 	if string(got) != "v2" {
 		t.Fatalf("after overwrite: %q", got)
 	}
 	// Missing key.
-	if _, err := s.Get("t", "nope"); !errors.Is(err, types.ErrNotFound) {
+	if _, err := s.Get(context.Background(), "t", "nope"); !errors.Is(err, types.ErrNotFound) {
 		t.Fatalf("missing key: %v", err)
 	}
 	// Delete (idempotent).
-	if err := s.Delete("t", "k1"); err != nil {
+	if err := s.Delete(context.Background(), "t", "k1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Delete("t", "k1"); err != nil {
+	if err := s.Delete(context.Background(), "t", "k1"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Get("t", "k1"); !errors.Is(err, types.ErrNotFound) {
+	if _, err := s.Get(context.Background(), "t", "k1"); !errors.Is(err, types.ErrNotFound) {
 		t.Fatalf("after delete: %v", err)
 	}
 }
@@ -57,14 +58,14 @@ func TestPutGetDelete(t *testing.T) {
 func TestValueIsolation(t *testing.T) {
 	s := open(t, 1, 1)
 	v := []byte("mutable")
-	s.Put("t", "k", v)
+	s.Put(context.Background(), "t", "k", v)
 	v[0] = 'X' // caller mutates after put
-	got, _ := s.Get("t", "k")
+	got, _ := s.Get(context.Background(), "t", "k")
 	if string(got) != "mutable" {
 		t.Fatal("put did not copy the value")
 	}
 	got[0] = 'Y' // caller mutates the response
-	again, _ := s.Get("t", "k")
+	again, _ := s.Get(context.Background(), "t", "k")
 	if string(again) != "mutable" {
 		t.Fatal("get returned aliased storage")
 	}
@@ -76,12 +77,12 @@ func TestMultiGet(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		k := fmt.Sprintf("key-%03d", i)
 		keys = append(keys, k)
-		if err := s.Put("t", k, []byte(k)); err != nil {
+		if err := s.Put(context.Background(), "t", k, []byte(k)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	keys = append(keys, "missing-1", "missing-2")
-	res, err := s.MultiGet("t", keys)
+	res, err := s.MultiGet(context.Background(), "t", keys)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestMultiGet(t *testing.T) {
 func TestReplicationSurvivesNodeFailure(t *testing.T) {
 	s := open(t, 4, 2)
 	for i := 0; i < 200; i++ {
-		if err := s.Put("t", fmt.Sprintf("k%03d", i), []byte{byte(i)}); err != nil {
+		if err := s.Put(context.Background(), "t", fmt.Sprintf("k%03d", i), []byte{byte(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -113,13 +114,13 @@ func TestReplicationSurvivesNodeFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 200; i++ {
-		got, err := s.Get("t", fmt.Sprintf("k%03d", i))
+		got, err := s.Get(context.Background(), "t", fmt.Sprintf("k%03d", i))
 		if err != nil || got[0] != byte(i) {
 			t.Fatalf("k%03d after failure: %v %v", i, got, err)
 		}
 	}
 	// MultiGet routes around the dead node too.
-	res, err := s.MultiGet("t", []string{"k000", "k001", "k002"})
+	res, err := s.MultiGet(context.Background(), "t", []string{"k000", "k001", "k002"})
 	if err != nil || len(res.Missing) != 0 {
 		t.Fatalf("MultiGet after failure: %v %v", res.Missing, err)
 	}
@@ -127,18 +128,18 @@ func TestReplicationSurvivesNodeFailure(t *testing.T) {
 	if err := s.SetNodeUp(2, true); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Get("t", "k000"); err != nil {
+	if _, err := s.Get(context.Background(), "t", "k000"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestUnreplicatedFailureIsAnError(t *testing.T) {
 	s := open(t, 2, 1)
-	s.Put("t", "a", []byte("1"))
+	s.Put(context.Background(), "t", "a", []byte("1"))
 	// Find which node holds "a" and kill it.
 	owner := s.ring.primary("a")
 	s.SetNodeUp(owner, false)
-	if _, err := s.Get("t", "a"); err == nil {
+	if _, err := s.Get(context.Background(), "t", "a"); err == nil {
 		t.Fatal("read from fully-dead replica set succeeded")
 	}
 }
@@ -149,10 +150,10 @@ func TestScanVisitsEachKeyOnce(t *testing.T) {
 	for i := 0; i < 150; i++ {
 		k := fmt.Sprintf("k%03d", i)
 		want[k] = k
-		s.Put("t", k, []byte(k))
+		s.Put(context.Background(), "t", k, []byte(k))
 	}
 	got := map[string]int{}
-	s.Scan("t", func(k string, v []byte) bool {
+	s.Scan(context.Background(), "t", func(k string, v []byte) bool {
 		got[k]++
 		if string(v) != want[k] {
 			t.Fatalf("scan %s = %q", k, v)
@@ -169,7 +170,7 @@ func TestScanVisitsEachKeyOnce(t *testing.T) {
 	}
 	// Early stop.
 	count := 0
-	s.Scan("t", func(string, []byte) bool { count++; return count < 5 })
+	s.Scan(context.Background(), "t", func(string, []byte) bool { count++; return count < 5 })
 	if count != 5 {
 		t.Fatalf("early stop visited %d", count)
 	}
@@ -179,9 +180,9 @@ func TestRingBalance(t *testing.T) {
 	s := open(t, 8, 1)
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 8000; i++ {
-		s.Put("t", fmt.Sprintf("key-%d-%d", i, rng.Int63()), make([]byte, 64))
+		s.Put(context.Background(), "t", fmt.Sprintf("key-%d-%d", i, rng.Int63()), make([]byte, 64))
 	}
-	per := s.NodeBytes()
+	per := s.NodeBytes(context.Background())
 	var total int64
 	for _, b := range per {
 		total += b
@@ -251,11 +252,11 @@ func TestConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				k := fmt.Sprintf("w%d-k%d", w, i)
-				if err := s.Put("t", k, []byte(k)); err != nil {
+				if err := s.Put(context.Background(), "t", k, []byte(k)); err != nil {
 					t.Error(err)
 					return
 				}
-				got, err := s.Get("t", k)
+				got, err := s.Get(context.Background(), "t", k)
 				if err != nil || string(got) != k {
 					t.Errorf("%s: %q %v", k, got, err)
 					return
@@ -264,7 +265,7 @@ func TestConcurrentAccess(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	if s.Stats().Requests == 0 {
+	if s.Stats(context.Background()).Requests == 0 {
 		t.Fatal("no requests accounted")
 	}
 }
@@ -298,10 +299,10 @@ func TestCostModelMath(t *testing.T) {
 
 func TestStatsAndClock(t *testing.T) {
 	s := open(t, 2, 1)
-	s.Put("t", "a", make([]byte, 1000))
-	s.Get("t", "a")
+	s.Put(context.Background(), "t", "a", make([]byte, 1000))
+	s.Get(context.Background(), "t", "a")
 	s.ChargeScan(1000)
-	st := s.Stats()
+	st := s.Stats(context.Background())
 	if st.Requests < 2 || st.BytesRead < 1000 || st.BytesPut < 1000 || st.SimElapsed <= 0 {
 		t.Fatalf("stats: %+v", st)
 	}
@@ -311,7 +312,7 @@ func TestStatsAndClock(t *testing.T) {
 		t.Fatalf("BytesStored = %d, want %d", st.BytesStored, 1000+EnvelopeOverhead)
 	}
 	s.ResetClock()
-	st = s.Stats()
+	st = s.Stats(context.Background())
 	if st.Requests != 0 || st.SimElapsed != 0 {
 		t.Fatalf("after reset: %+v", st)
 	}
@@ -328,18 +329,18 @@ func TestSnapshotRoundTrip(t *testing.T) {
 			k := fmt.Sprintf("%s-key-%03d", table, i)
 			v := fmt.Sprintf("val-%d", rng.Int63())
 			want[table][k] = v
-			if err := src.Put(table, k, []byte(v)); err != nil {
+			if err := src.Put(context.Background(), table, k, []byte(v)); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
 	var buf bytes.Buffer
-	if err := src.Dump(&buf); err != nil {
+	if err := src.Dump(context.Background(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	// Snapshots are deterministic.
 	var buf2 bytes.Buffer
-	if err := src.Dump(&buf2); err != nil {
+	if err := src.Dump(context.Background(), &buf2); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
@@ -348,19 +349,19 @@ func TestSnapshotRoundTrip(t *testing.T) {
 
 	// Restore into a DIFFERENT topology.
 	dst := open(t, 7, 3)
-	if err := dst.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+	if err := dst.Restore(context.Background(), bytes.NewReader(buf.Bytes())); err != nil {
 		t.Fatal(err)
 	}
 	for table, kv := range want {
 		for k, v := range kv {
-			got, err := dst.Get(table, k)
+			got, err := dst.Get(context.Background(), table, k)
 			if err != nil || string(got) != v {
 				t.Fatalf("restored %s/%s = %q, %v", table, k, got, err)
 			}
 		}
 	}
 	// Corrupt snapshots are rejected.
-	if err := open(t, 1, 1).Restore(bytes.NewReader([]byte("garbage"))); err == nil {
+	if err := open(t, 1, 1).Restore(context.Background(), bytes.NewReader([]byte("garbage"))); err == nil {
 		t.Fatal("garbage snapshot accepted")
 	}
 }

@@ -1,6 +1,10 @@
 package kvstore
 
-import "rstore/internal/engine"
+import (
+	"context"
+
+	"rstore/internal/engine"
+)
 
 // node is a single storage server of the cluster. All data operations
 // route through its transport — a local engine.Backend behind the
@@ -17,32 +21,32 @@ func newNode(id int, tr transport) *node {
 	return &node{id: id, tr: tr}
 }
 
-func (n *node) put(table, key string, value []byte) error {
-	return n.tr.put(table, key, value)
+func (n *node) put(ctx context.Context, table, key string, value []byte) error {
+	return n.tr.put(ctx, table, key, value)
 }
 
-func (n *node) batchPut(table string, entries []engine.Entry) error {
-	return n.tr.batchPut(table, entries)
+func (n *node) batchPut(ctx context.Context, table string, entries []engine.Entry) error {
+	return n.tr.batchPut(ctx, table, entries)
 }
 
-func (n *node) get(table, key string) ([]byte, bool, error) {
-	return n.tr.get(table, key)
+func (n *node) get(ctx context.Context, table, key string) ([]byte, bool, error) {
+	return n.tr.get(ctx, table, key)
 }
 
 // scan visits every key/value of a table. Values passed to fn may alias
 // backend storage; fn must not retain or mutate them.
-func (n *node) scan(table string, fn func(key string, value []byte) bool) error {
-	return n.tr.scan(table, fn)
+func (n *node) scan(ctx context.Context, table string, fn func(key string, value []byte) bool) error {
+	return n.tr.scan(ctx, table, fn)
 }
 
-func (n *node) tables() ([]string, error) {
-	return n.tr.tables()
+func (n *node) tables(ctx context.Context) ([]string, error) {
+	return n.tr.tables(ctx)
 }
 
 // stored reports the node's resident bytes; a down or unreachable node
 // errors (unavailable) instead of touching storage it cannot see.
-func (n *node) stored() (int64, error) {
-	return n.tr.stored()
+func (n *node) stored(ctx context.Context) (int64, error) {
+	return n.tr.stored(ctx)
 }
 
 func (n *node) isUp() bool {

@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -81,31 +82,31 @@ func TestRemoteClusterBasicOps(t *testing.T) {
 		keys = append(keys, k)
 		entries = append(entries, Entry{Key: k, Value: []byte("v-" + k)})
 	}
-	if err := s.BatchPut("t", entries); err != nil {
+	if err := s.BatchPut(context.Background(), "t", entries); err != nil {
 		t.Fatal(err)
 	}
 	for _, k := range keys {
-		v, err := s.Get("t", k)
+		v, err := s.Get(context.Background(), "t", k)
 		if err != nil || string(v) != "v-"+k {
 			t.Fatalf("%s: %q %v", k, v, err)
 		}
 	}
-	res, err := s.MultiGet("t", keys)
+	res, err := s.MultiGet(context.Background(), "t", keys)
 	if err != nil || len(res.Missing) != 0 {
 		t.Fatalf("multiget: %v missing=%v", err, res.Missing)
 	}
-	if _, err := s.Get("t", "absent"); !errors.Is(err, types.ErrNotFound) {
+	if _, err := s.Get(context.Background(), "t", "absent"); !errors.Is(err, types.ErrNotFound) {
 		t.Fatalf("absent key: %v", err)
 	}
-	if err := s.Delete("t", keys[0]); err != nil {
+	if err := s.Delete(context.Background(), "t", keys[0]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Get("t", keys[0]); !errors.Is(err, types.ErrNotFound) {
+	if _, err := s.Get(context.Background(), "t", keys[0]); !errors.Is(err, types.ErrNotFound) {
 		t.Fatalf("deleted key: %v", err)
 	}
 	// Scan sees each surviving key exactly once despite replication.
 	got := map[string]int{}
-	if err := s.Scan("t", func(k string, v []byte) bool { got[k]++; return true }); err != nil {
+	if err := s.Scan(context.Background(), "t", func(k string, v []byte) bool { got[k]++; return true }); err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != len(keys)-1 {
@@ -116,7 +117,7 @@ func TestRemoteClusterBasicOps(t *testing.T) {
 			t.Fatalf("%s visited %d times", k, n)
 		}
 	}
-	if st := s.Stats(); st.BytesStored <= 0 {
+	if st := s.Stats(context.Background()); st.BytesStored <= 0 {
 		t.Fatalf("BytesStored = %d", st.BytesStored)
 	}
 }
@@ -139,7 +140,7 @@ func TestRemoteClusterRoutesAroundDeadNode(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		k := fmt.Sprintf("k%03d", i)
 		keys = append(keys, k)
-		if err := s.Put("t", k, []byte(k)); err != nil {
+		if err := s.Put(context.Background(), "t", k, []byte(k)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -149,11 +150,11 @@ func TestRemoteClusterRoutesAroundDeadNode(t *testing.T) {
 
 	// Reads recover from surviving replicas.
 	for _, k := range keys {
-		if v, err := s.Get("t", k); err != nil || string(v) != k {
+		if v, err := s.Get(context.Background(), "t", k); err != nil || string(v) != k {
 			t.Fatalf("get %s with node down: %q %v", k, v, err)
 		}
 	}
-	res, err := s.MultiGet("t", keys)
+	res, err := s.MultiGet(context.Background(), "t", keys)
 	if err != nil || len(res.Missing) != 0 {
 		t.Fatalf("multiget with node down: %v missing=%v", err, res.Missing)
 	}
@@ -166,15 +167,15 @@ func TestRemoteClusterRoutesAroundDeadNode(t *testing.T) {
 		keys = append(keys, k)
 		entries = append(entries, Entry{Key: k, Value: []byte(k)})
 	}
-	if err := s.BatchPut("t", entries); err != nil {
+	if err := s.BatchPut(context.Background(), "t", entries); err != nil {
 		t.Fatalf("batchput with node down: %v", err)
 	}
 
 	// Stats skip the unreachable node instead of blocking or lying.
-	if st := s.Stats(); st.BytesStored <= 0 {
+	if st := s.Stats(context.Background()); st.BytesStored <= 0 {
 		t.Fatalf("BytesStored with node down = %d", st.BytesStored)
 	}
-	if nb := s.NodeBytes(); nb[1] != 0 {
+	if nb := s.NodeBytes(context.Background()); nb[1] != 0 {
 		t.Fatalf("dead node reports %d bytes", nb[1])
 	}
 
@@ -182,11 +183,11 @@ func TestRemoteClusterRoutesAroundDeadNode(t *testing.T) {
 	// reads fall back across replicas, so every key is still served).
 	nodes[1].restart(t, addrs[1])
 	for _, k := range keys {
-		if v, err := s.Get("t", k); err != nil || string(v) != k {
+		if v, err := s.Get(context.Background(), "t", k); err != nil || string(v) != k {
 			t.Fatalf("get %s after restart: %q %v", k, v, err)
 		}
 	}
-	res, err = s.MultiGet("t", keys)
+	res, err = s.MultiGet(context.Background(), "t", keys)
 	if err != nil || len(res.Missing) != 0 {
 		t.Fatalf("multiget after restart: %v missing=%v", err, res.Missing)
 	}
@@ -195,15 +196,15 @@ func TestRemoteClusterRoutesAroundDeadNode(t *testing.T) {
 func TestRemoteClusterAllReplicasDownIsAnError(t *testing.T) {
 	addrs, nodes := startNodes(t, 2)
 	s := openRemote(t, addrs, 1)
-	if err := s.Put("t", "a", []byte("1")); err != nil {
+	if err := s.Put(context.Background(), "t", "a", []byte("1")); err != nil {
 		t.Fatal(err)
 	}
 	owner := s.ring.primary("a")
 	nodes[owner].kill()
-	if _, err := s.Get("t", "a"); err == nil || !strings.Contains(err.Error(), "all replicas down") {
+	if _, err := s.Get(context.Background(), "t", "a"); err == nil || !strings.Contains(err.Error(), "all replicas down") {
 		t.Fatalf("read from fully-dead replica set: %v", err)
 	}
-	if err := s.Put("t", "a", []byte("2")); err == nil {
+	if err := s.Put(context.Background(), "t", "a", []byte("2")); err == nil {
 		t.Fatal("write to fully-dead replica set succeeded")
 	}
 }
@@ -273,11 +274,11 @@ func TestStatsSkipDownNodes(t *testing.T) {
 	}
 	defer s.Close()
 	for i := 0; i < 32; i++ {
-		if err := s.Put("t", fmt.Sprintf("k%02d", i), []byte("xxxx")); err != nil {
+		if err := s.Put(context.Background(), "t", fmt.Sprintf("k%02d", i), []byte("xxxx")); err != nil {
 			t.Fatal(err)
 		}
 	}
-	all := s.Stats().BytesStored
+	all := s.Stats(context.Background()).BytesStored
 	if all <= 0 {
 		t.Fatalf("BytesStored = %d", all)
 	}
@@ -285,11 +286,11 @@ func TestStatsSkipDownNodes(t *testing.T) {
 		t.Fatal(err)
 	}
 	polls[1] = 0
-	down := s.Stats().BytesStored
+	down := s.Stats(context.Background()).BytesStored
 	if down <= 0 || down >= all {
 		t.Fatalf("BytesStored with node 1 down = %d (all up: %d)", down, all)
 	}
-	if nb := s.NodeBytes(); nb[1] != 0 {
+	if nb := s.NodeBytes(context.Background()); nb[1] != 0 {
 		t.Fatalf("down node reports %d bytes", nb[1])
 	}
 	if polls[1] != 0 {
@@ -307,13 +308,13 @@ func TestScanRefusesIncompleteView(t *testing.T) {
 	}
 	defer s.Close()
 	for i := 0; i < 60; i++ {
-		if err := s.Put("t", fmt.Sprintf("k%02d", i), []byte("v")); err != nil {
+		if err := s.Put(context.Background(), "t", fmt.Sprintf("k%02d", i), []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 	}
 	count := func() (int, error) {
 		n := 0
-		err := s.Scan("t", func(string, []byte) bool { n++; return true })
+		err := s.Scan(context.Background(), "t", func(string, []byte) bool { n++; return true })
 		return n, err
 	}
 	// One node down at rf=2: every key still has a live replica, so the
@@ -340,14 +341,14 @@ func TestUnreplicatedScanRefusesDownNode(t *testing.T) {
 	}
 	defer s.Close()
 	for i := 0; i < 20; i++ {
-		if err := s.Put("t", fmt.Sprintf("k%02d", i), []byte("v")); err != nil {
+		if err := s.Put(context.Background(), "t", fmt.Sprintf("k%02d", i), []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if err := s.SetNodeUp(1, false); err != nil {
 		t.Fatal(err)
 	}
-	err = s.Scan("t", func(string, []byte) bool { return true })
+	err = s.Scan(context.Background(), "t", func(string, []byte) bool { return true })
 	if err == nil || !strings.Contains(err.Error(), "incomplete") {
 		t.Fatalf("unreplicated scan with a down node: %v", err)
 	}
@@ -359,7 +360,7 @@ func TestUnreplicatedScanRefusesDownNode(t *testing.T) {
 func TestRemoteClusterRefusesReorderedAddresses(t *testing.T) {
 	addrs, _ := startNodes(t, 3)
 	s := openRemote(t, addrs, 1)
-	if err := s.Put("t", "a", []byte("1")); err != nil {
+	if err := s.Put(context.Background(), "t", "a", []byte("1")); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
@@ -382,11 +383,11 @@ func TestRemoteClusterRefusesReorderedAddresses(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	if v, err := s2.Get("t", "a"); err != nil || string(v) != "1" {
+	if v, err := s2.Get(context.Background(), "t", "a"); err != nil || string(v) != "1" {
 		t.Fatalf("reopen with correct order: %q %v", v, err)
 	}
 	var buf strings.Builder
-	if err := s2.Dump(&dumpWriter{&buf}); err != nil {
+	if err := s2.Dump(context.Background(), &dumpWriter{&buf}); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(buf.String(), clusterTable) {

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -19,7 +20,7 @@ const snapshotMagic = "rstorekv1"
 
 // Dump writes every table's contents to w. Iteration is deterministic
 // (sorted tables and keys) so snapshots of equal state are byte-identical.
-func (s *Store) Dump(w io.Writer) error {
+func (s *Store) Dump(ctx context.Context, w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return err
@@ -28,7 +29,7 @@ func (s *Store) Dump(w io.Writer) error {
 	// Collect table names across nodes.
 	tableSet := make(map[string]struct{})
 	for _, n := range s.nodes {
-		ts, err := n.tables()
+		ts, err := n.tables(ctx)
 		if err != nil {
 			if isUnavailable(err) {
 				continue
@@ -59,7 +60,7 @@ func (s *Store) Dump(w io.Writer) error {
 			v []byte
 		}
 		var pairs []kvPair
-		if err := s.Scan(table, func(k string, v []byte) bool {
+		if err := s.Scan(ctx, table, func(k string, v []byte) bool {
 			pairs = append(pairs, kvPair{k, v})
 			return true
 		}); err != nil {
@@ -86,7 +87,7 @@ func (s *Store) Dump(w io.Writer) error {
 }
 
 // Restore loads a snapshot produced by Dump into this (empty) cluster.
-func (s *Store) Restore(r io.Reader) error {
+func (s *Store) Restore(ctx context.Context, r io.Reader) error {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return err
@@ -121,7 +122,7 @@ func (s *Store) Restore(r io.Reader) error {
 			if err != nil {
 				return err
 			}
-			if err := s.Put(table, k, v); err != nil {
+			if err := s.Put(ctx, table, k, v); err != nil {
 				return err
 			}
 		}

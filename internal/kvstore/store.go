@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -277,7 +278,7 @@ const (
 func (s *Store) pinRemoteGeometry() error {
 	for _, n := range s.nodes {
 		want := fmt.Sprintf("%d of %d format=%s", n.id, len(s.nodes), storedFormat)
-		raw, ok, err := n.get(clusterTable, nodeIDKey)
+		raw, ok, err := n.get(context.Background(), clusterTable, nodeIDKey)
 		if isUnavailable(err) {
 			continue
 		}
@@ -298,7 +299,7 @@ func (s *Store) pinRemoteGeometry() error {
 			}
 		}
 		env := envelope(envValue, s.nextTS(), []byte(want))
-		if err := n.put(clusterTable, nodeIDKey, env); err != nil && !isUnavailable(err) {
+		if err := n.put(context.Background(), clusterTable, nodeIDKey, env); err != nil && !isUnavailable(err) {
 			return fmt.Errorf("kvstore: node %d geometry pin: %w", n.id, err)
 		}
 	}
@@ -329,12 +330,12 @@ func (s *Store) Nodes() int { return s.cfg.Nodes }
 func (s *Store) Cost() CostModel { return s.cfg.Cost }
 
 // Put stores value under (table, key) on all replicas.
-func (s *Store) Put(table, key string, value []byte) error {
+func (s *Store) Put(ctx context.Context, table, key string, value []byte) error {
 	replicas := s.ring.replicas(key, s.cfg.ReplicationFactor)
 	env := envelope(envValue, s.nextTS(), value)
 	ok := false
 	for _, n := range replicas {
-		switch err := s.nodes[n].put(table, key, env); {
+		switch err := s.nodes[n].put(ctx, table, key, env); {
 		case err == nil:
 			ok = true
 		case isUnavailable(err):
@@ -344,7 +345,7 @@ func (s *Store) Put(table, key string, value []byte) error {
 		}
 	}
 	if !ok {
-		return fmt.Errorf("kvstore: put %s/%s: all replicas down", table, key)
+		return allDownErr(ctx, "kvstore: put %s/%s: all replicas down", table, key)
 	}
 	s.bytesPut.Add(int64(len(value)))
 	s.simClock.Add(int64(s.cfg.Cost.requestCost(len(value))))
@@ -358,7 +359,7 @@ func (s *Store) Put(table, key string, value []byte) error {
 // Like Put, it fails only if some entry has no live replica or a backend
 // errors; simulated timing follows the MultiGet batch model (per-node serial
 // service, parallel client lanes).
-func (s *Store) BatchPut(table string, entries []Entry) error {
+func (s *Store) BatchPut(ctx context.Context, table string, entries []Entry) error {
 	if len(entries) == 0 {
 		return nil
 	}
@@ -384,7 +385,7 @@ func (s *Store) BatchPut(table string, entries []Entry) error {
 		for j, i := range idxs {
 			group[j] = engine.Entry{Key: entries[i].Key, Value: envs[i]}
 		}
-		switch err := s.nodes[nid].batchPut(table, group); {
+		switch err := s.nodes[nid].batchPut(ctx, table, group); {
 		case err == nil:
 			for _, i := range idxs {
 				committed[i] = true
@@ -398,7 +399,7 @@ func (s *Store) BatchPut(table string, entries []Entry) error {
 	var bytes int64
 	for i, e := range entries {
 		if !committed[i] {
-			return fmt.Errorf("kvstore: batchput %s/%s: all replicas down", table, e.Key)
+			return allDownErr(ctx, "kvstore: batchput %s/%s: all replicas down", table, e.Key)
 		}
 		bytes += int64(len(e.Value))
 	}
@@ -418,13 +419,13 @@ func (s *Store) BatchPut(table string, entries []Entry) error {
 // Get retrieves the value under (table, key). It returns types.ErrNotFound
 // if no live replica has the key (or the newest version is a tombstone),
 // and an error when every replica is down.
-func (s *Store) Get(table, key string) ([]byte, error) {
-	v, ok, anyUp, err := s.lwwGet(table, key)
+func (s *Store) Get(ctx context.Context, table, key string) ([]byte, error) {
+	v, ok, anyUp, err := s.lwwGet(ctx, table, key)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: get %s/%s: %w", table, key, err)
 	}
 	if !anyUp {
-		return nil, fmt.Errorf("kvstore: get %s/%s: all replicas down", table, key)
+		return nil, allDownErr(ctx, "kvstore: get %s/%s: all replicas down", table, key)
 	}
 	if ok {
 		s.account(1, len(v))
@@ -443,7 +444,7 @@ func (s *Store) Get(table, key string) ([]byte, error) {
 // regardless: replica consultation is modeled as free digest reads,
 // mirroring how Put charges once despite its replica fan-out. It reports
 // whether any replica was reachable; err is a hard engine error.
-func (s *Store) lwwGet(table, key string) (v []byte, ok, anyUp bool, err error) {
+func (s *Store) lwwGet(ctx context.Context, table, key string) (v []byte, ok, anyUp bool, err error) {
 	replicas := s.ring.replicas(key, s.cfg.ReplicationFactor)
 	type result struct {
 		raw     []byte
@@ -458,14 +459,14 @@ func (s *Store) lwwGet(table, key string) (v []byte, ok, anyUp bool, err error) 
 			go func(j, n int) {
 				defer wg.Done()
 				r := &results[j]
-				r.raw, r.present, r.err = s.nodes[n].get(table, key)
+				r.raw, r.present, r.err = s.nodes[n].get(ctx, table, key)
 			}(j, n)
 		}
 		wg.Wait()
 	} else {
 		for j, n := range replicas {
 			r := &results[j]
-			r.raw, r.present, r.err = s.nodes[n].get(table, key)
+			r.raw, r.present, r.err = s.nodes[n].get(ctx, table, key)
 		}
 	}
 
@@ -504,11 +505,11 @@ func (s *Store) lwwGet(table, key string) (v []byte, ok, anyUp bool, err error) 
 // the value. Deleting a missing key is not an error, but — matching Put —
 // deleting while every replica is down is: the tombstone took hold
 // nowhere.
-func (s *Store) Delete(table, key string) error {
+func (s *Store) Delete(ctx context.Context, table, key string) error {
 	env := envelope(envTombstone, s.nextTS(), nil)
 	ok := false
 	for _, n := range s.ring.replicas(key, s.cfg.ReplicationFactor) {
-		switch err := s.nodes[n].put(table, key, env); {
+		switch err := s.nodes[n].put(ctx, table, key, env); {
 		case err == nil:
 			ok = true
 		case isUnavailable(err):
@@ -517,7 +518,7 @@ func (s *Store) Delete(table, key string) error {
 		}
 	}
 	if !ok {
-		return fmt.Errorf("kvstore: delete %s/%s: all replicas down", table, key)
+		return allDownErr(ctx, "kvstore: delete %s/%s: all replicas down", table, key)
 	}
 	s.account(1, 0)
 	return nil
@@ -543,10 +544,13 @@ type MultiGetResult struct {
 // concurrently grouped by owning node — the access pattern of RStore's
 // query processing module. Missing keys are reported, not errors, because
 // the projections RStore consults are lossy (§2.4).
-func (s *Store) MultiGet(table string, keys []string) (*MultiGetResult, error) {
+func (s *Store) MultiGet(ctx context.Context, table string, keys []string) (*MultiGetResult, error) {
 	res := &MultiGetResult{Values: make([][]byte, len(keys))}
 	if len(keys) == 0 {
 		return res, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("kvstore: multiget %s: %w", table, err)
 	}
 
 	// Group request indexes by serving replica: the primary by default, or
@@ -594,14 +598,19 @@ func (s *Store) MultiGet(table string, keys []string) (*MultiGetResult, error) {
 				// The node grouping above schedules the batch; the actual
 				// read consults every live replica and takes the newest
 				// version (the scheduled node may have died mid-batch, or
-				// restarted stale).
-				v, ok, anyUp, err := s.lwwGet(table, keys[i])
+				// restarted stale). A dead context stops the lane before
+				// the next point read.
+				if err := ctx.Err(); err != nil {
+					fail(fmt.Errorf("kvstore: multiget %s: %w", table, err))
+					return
+				}
+				v, ok, anyUp, err := s.lwwGet(ctx, table, keys[i])
 				switch {
 				case err != nil:
 					fail(fmt.Errorf("kvstore: multiget %s/%s: %w", table, keys[i], err))
 					return
 				case !anyUp:
-					fail(fmt.Errorf("kvstore: multiget %s/%s: all replicas down", table, keys[i]))
+					fail(allDownErr(ctx, "kvstore: multiget %s/%s: all replicas down", table, keys[i]))
 					return
 				case ok:
 					res.Values[i] = v
@@ -666,9 +675,9 @@ func (s *Store) pickReplica(key string) int {
 // be down (its replicas still hold the data) or freshly restarted and stale
 // (holding an old version) — so Scan sweeps every reachable node and keeps
 // the newest version of each key by LWW timestamp.
-func (s *Store) Scan(table string, fn func(key string, value []byte) bool) error {
+func (s *Store) Scan(ctx context.Context, table string, fn func(key string, value []byte) bool) error {
 	if s.cfg.ReplicationFactor <= 1 {
-		return s.scanUnreplicated(table, fn)
+		return s.scanUnreplicated(ctx, table, fn)
 	}
 
 	// Sweep all reachable replicas, retaining a copy of each key's newest
@@ -689,7 +698,7 @@ func (s *Store) Scan(table string, fn func(key string, value []byte) bool) error
 	unavailable := 0
 	var envErr error
 	for _, n := range s.nodes {
-		err := n.scan(table, func(k string, v []byte) bool {
+		err := n.scan(ctx, table, func(k string, v []byte) bool {
 			payload, ts, tomb, err := unenvelope(v)
 			if err != nil {
 				envErr = err
@@ -740,14 +749,14 @@ func (s *Store) Scan(table string, fn func(key string, value []byte) bool) error
 // scanUnreplicated streams each node's primarily-owned keys — with one
 // replica per key there is nothing to reconcile, so no buffering is
 // needed, but any unreachable node makes the view incomplete.
-func (s *Store) scanUnreplicated(table string, fn func(key string, value []byte) bool) error {
+func (s *Store) scanUnreplicated(ctx context.Context, table string, fn func(key string, value []byte) bool) error {
 	stop := false
 	var envErr error
 	for _, n := range s.nodes {
 		if stop || envErr != nil {
 			break
 		}
-		err := n.scan(table, func(k string, v []byte) bool {
+		err := n.scan(ctx, table, func(k string, v []byte) bool {
 			if s.ring.primary(k) != n.id {
 				return true // visited via its primary owner
 			}
@@ -780,6 +789,17 @@ func (s *Store) scanUnreplicated(table string, fn func(key string, value []byte)
 	return nil
 }
 
+// allDownErr renders an "all replicas down" failure. When the caller's
+// context ended, the context's error is the real cause (every replica
+// attempt died on it) and is kept matchable in the chain.
+func allDownErr(ctx context.Context, format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%s: %w", msg, err)
+	}
+	return errors.New(msg)
+}
+
 // account books a sequential operation.
 func (s *Store) account(reqs, bytes int) {
 	s.reqCount.Add(int64(reqs))
@@ -805,9 +825,11 @@ type Stats struct {
 	BytesStored int64 // resident across nodes (including replicas)
 }
 
-// Stats returns a snapshot of the counters. Down or unreachable nodes
-// contribute zero to BytesStored — their storage cannot be observed.
-func (s *Store) Stats() Stats {
+// Stats returns a snapshot of the counters; ctx bounds the per-node
+// storage probes (on a remote cluster each probe is a network round
+// trip with retries). Down or unreachable nodes contribute zero to
+// BytesStored — their storage cannot be observed.
+func (s *Store) Stats(ctx context.Context) Stats {
 	st := Stats{
 		Requests:   s.reqCount.Load(),
 		BytesRead:  s.bytesRead.Load(),
@@ -815,7 +837,7 @@ func (s *Store) Stats() Stats {
 		SimElapsed: time.Duration(s.simClock.Load()),
 	}
 	for _, n := range s.nodes {
-		if b, err := n.stored(); err == nil {
+		if b, err := n.stored(ctx); err == nil {
 			st.BytesStored += b
 		}
 	}
@@ -841,12 +863,12 @@ func (s *Store) SetNodeUp(id int, up bool) error {
 	return s.nodes[id].tr.injectFault(up)
 }
 
-// NodeBytes returns resident bytes per node, for balance checks; down or
-// unreachable nodes report zero.
-func (s *Store) NodeBytes() []int64 {
+// NodeBytes returns resident bytes per node, for balance checks; ctx
+// bounds the probes. Down or unreachable nodes report zero.
+func (s *Store) NodeBytes(ctx context.Context) []int64 {
 	out := make([]int64, len(s.nodes))
 	for i, n := range s.nodes {
-		if b, err := n.stored(); err == nil {
+		if b, err := n.stored(ctx); err == nil {
 			out[i] = b
 		}
 	}

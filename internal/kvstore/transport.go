@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -18,16 +19,16 @@ import (
 type transport interface {
 	// Note there is no delete: the replication layer deletes by writing
 	// LWW tombstones (see lww.go), so only puts travel the seam.
-	put(table, key string, value []byte) error
-	get(table, key string) ([]byte, bool, error)
-	batchPut(table string, entries []engine.Entry) error
+	put(ctx context.Context, table, key string, value []byte) error
+	get(ctx context.Context, table, key string) ([]byte, bool, error)
+	batchPut(ctx context.Context, table string, entries []engine.Entry) error
 	// scan visits every key/value of a table. Values passed to fn may alias
 	// transport-internal buffers; fn must not retain or mutate them.
-	scan(table string, fn func(key string, value []byte) bool) error
-	tables() ([]string, error)
+	scan(ctx context.Context, table string, fn func(key string, value []byte) bool) error
+	tables(ctx context.Context) ([]string, error)
 	// stored reports resident bytes; unavailable nodes error instead of
 	// blocking on (or lying about) storage they cannot see.
-	stored() (int64, error)
+	stored(ctx context.Context) (int64, error)
 	// available is a cheap best-effort liveness hint used to pick read
 	// replicas; the authoritative signal is an ErrUnavailable result.
 	available() bool
@@ -68,42 +69,42 @@ func (t *localTransport) gate() error {
 	return nil
 }
 
-func (t *localTransport) put(table, key string, value []byte) error {
+func (t *localTransport) put(ctx context.Context, table, key string, value []byte) error {
 	if err := t.gate(); err != nil {
 		return err
 	}
-	return t.be.Put(table, key, value)
+	return t.be.Put(ctx, table, key, value)
 }
 
-func (t *localTransport) get(table, key string) ([]byte, bool, error) {
+func (t *localTransport) get(ctx context.Context, table, key string) ([]byte, bool, error) {
 	if err := t.gate(); err != nil {
 		return nil, false, err
 	}
-	return t.be.Get(table, key)
+	return t.be.Get(ctx, table, key)
 }
 
-func (t *localTransport) batchPut(table string, entries []engine.Entry) error {
+func (t *localTransport) batchPut(ctx context.Context, table string, entries []engine.Entry) error {
 	if err := t.gate(); err != nil {
 		return err
 	}
-	return t.be.BatchPut(table, entries)
+	return t.be.BatchPut(ctx, table, entries)
 }
 
-func (t *localTransport) scan(table string, fn func(key string, value []byte) bool) error {
+func (t *localTransport) scan(ctx context.Context, table string, fn func(key string, value []byte) bool) error {
 	if err := t.gate(); err != nil {
 		return err
 	}
-	return t.be.Scan(table, fn)
+	return t.be.Scan(ctx, table, fn)
 }
 
-func (t *localTransport) tables() ([]string, error) {
+func (t *localTransport) tables(ctx context.Context) ([]string, error) {
 	if err := t.gate(); err != nil {
 		return nil, err
 	}
-	return t.be.Tables()
+	return t.be.Tables(ctx)
 }
 
-func (t *localTransport) stored() (int64, error) {
+func (t *localTransport) stored(context.Context) (int64, error) {
 	// The gate applies here too: a down node's storage must not be
 	// touched — with a real dead backend the call could block or fault.
 	if err := t.gate(); err != nil {
@@ -135,25 +136,25 @@ type remoteTransport struct {
 	c *remote.Client
 }
 
-func (t *remoteTransport) put(table, key string, value []byte) error {
-	return t.c.Put(table, key, value)
+func (t *remoteTransport) put(ctx context.Context, table, key string, value []byte) error {
+	return t.c.Put(ctx, table, key, value)
 }
 
-func (t *remoteTransport) get(table, key string) ([]byte, bool, error) {
-	return t.c.Get(table, key)
+func (t *remoteTransport) get(ctx context.Context, table, key string) ([]byte, bool, error) {
+	return t.c.Get(ctx, table, key)
 }
 
-func (t *remoteTransport) batchPut(table string, entries []engine.Entry) error {
-	return t.c.BatchPut(table, entries)
+func (t *remoteTransport) batchPut(ctx context.Context, table string, entries []engine.Entry) error {
+	return t.c.BatchPut(ctx, table, entries)
 }
 
-func (t *remoteTransport) scan(table string, fn func(key string, value []byte) bool) error {
-	return t.c.Scan(table, fn)
+func (t *remoteTransport) scan(ctx context.Context, table string, fn func(key string, value []byte) bool) error {
+	return t.c.Scan(ctx, table, fn)
 }
 
-func (t *remoteTransport) tables() ([]string, error) { return t.c.Tables() }
+func (t *remoteTransport) tables(ctx context.Context) ([]string, error) { return t.c.Tables(ctx) }
 
-func (t *remoteTransport) stored() (int64, error) { return t.c.Stored() }
+func (t *remoteTransport) stored(ctx context.Context) (int64, error) { return t.c.Stored(ctx) }
 
 // available optimistically reports true: a remote node's liveness is only
 // truly known by talking to it, and the read paths all fall back across

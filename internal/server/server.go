@@ -3,14 +3,32 @@
 // and branch management over one RStore instance. Multiple servers can front
 // the same backing cluster in read-only mode (the paper notes multi-writer
 // coordination is not supported).
+//
+// Query endpoints that return record sets (/version, /range, /history)
+// stream NDJSON: one {"record": ...} line per record as chunks arrive from
+// the storage nodes, a final {"stats": ...} trailer line once the stream is
+// complete, and — should the query fail after records were already sent — a
+// terminating {"error": ...} line. The handlers drive the store's cursor
+// API under the request's context, so a client that disconnects (or times
+// out) stops the node-side chunk fetches instead of making the store finish
+// a scan nobody is waiting for. Server memory per query is bounded by the
+// store's fetch batch, not the version size.
+//
+// Mutating endpoints (/commit, /flush, /branch) deliberately detach from
+// the request's cancellation (context.WithoutCancel): a client that gives
+// up mid-commit must not abort a durable write half-way.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"iter"
+	"log"
 	"net/http"
 	"strconv"
+	"time"
 
 	"rstore/internal/core"
 	"rstore/internal/types"
@@ -20,11 +38,15 @@ import (
 type Server struct {
 	store *core.Store
 	mux   *http.ServeMux
+	// logf reports server-side conditions that cannot reach the client
+	// (encode failures after headers are sent, skipped branch tips).
+	// Defaults to log.Printf; replace via SetLogf (tests, custom sinks).
+	logf func(format string, args ...any)
 }
 
 // New builds a server over a store.
 func New(store *core.Store) *Server {
-	s := &Server{store: store, mux: http.NewServeMux()}
+	s := &Server{store: store, mux: http.NewServeMux(), logf: log.Printf}
 	s.mux.HandleFunc("POST /commit", s.handleCommit)
 	s.mux.HandleFunc("GET /version/{id}", s.handleVersion)
 	s.mux.HandleFunc("GET /version/{id}/record/{key}", s.handleRecord)
@@ -36,6 +58,15 @@ func New(store *core.Store) *Server {
 	s.mux.HandleFunc("POST /flush", s.handleFlush)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
+}
+
+// SetLogf redirects the server's diagnostic log line sink (nil restores
+// log.Printf).
+func (s *Server) SetLogf(logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = log.Printf
+	}
+	s.logf = logf
 }
 
 // ServeHTTP implements http.Handler.
@@ -69,10 +100,20 @@ type CommitResponse struct {
 	Version uint32 `json:"version"`
 }
 
-// QueryResponse wraps records plus retrieval statistics.
+// QueryResponse wraps records plus retrieval statistics (point queries;
+// the set-returning endpoints stream StreamLines instead).
 type QueryResponse struct {
 	Records []RecordJSON `json:"records"`
 	Stats   StatsJSON    `json:"stats"`
+}
+
+// StreamLine is one NDJSON line of a streaming query response. Exactly one
+// field is set: a record, the closing stats trailer, or a terminating
+// error.
+type StreamLine struct {
+	Record *RecordJSON `json:"record,omitempty"`
+	Stats  *StatsJSON  `json:"stats,omitempty"`
+	Error  string      `json:"error,omitempty"`
 }
 
 // StatsJSON mirrors core.QueryStats.
@@ -93,6 +134,14 @@ func statsJSON(st core.QueryStats) StatsJSON {
 	}
 }
 
+// BranchesResponse lists branch tips (-1 = unset). Branches whose tip
+// lookup failed are reported under Errors instead of being silently
+// dropped.
+type BranchesResponse struct {
+	Branches map[string]int64  `json:"branches"`
+	Errors   map[string]string `json:"errors,omitempty"`
+}
+
 func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	var req CommitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -110,18 +159,21 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	for _, p := range req.Parents {
 		parents = append(parents, versionFromWire(p))
 	}
-	v, err := s.store.CommitMerge(parents, ch)
+	// Detached from the request's cancellation: once a commit starts its
+	// durable write, a dropped client must not abort it half-way.
+	ctx := context.WithoutCancel(r.Context())
+	v, err := s.store.CommitMerge(ctx, parents, ch)
 	if err != nil {
 		httpError(w, statusOf(err), err)
 		return
 	}
 	if req.Branch != "" {
-		if err := s.store.SetBranch(req.Branch, v); err != nil {
+		if err := s.store.SetBranch(ctx, req.Branch, v); err != nil {
 			httpError(w, statusOf(err), err)
 			return
 		}
 	}
-	writeJSON(w, CommitResponse{Version: uint32(v)})
+	s.writeJSON(w, CommitResponse{Version: uint32(v)})
 }
 
 func versionFromWire(v int64) types.VersionID {
@@ -146,12 +198,7 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
-	recs, st, err := s.store.GetVersion(v)
-	if err != nil {
-		httpError(w, statusOf(err), err)
-		return
-	}
-	writeRecords(w, recs, st)
+	s.streamRecords(w, r, s.store.GetVersion(r.Context(), v))
 }
 
 func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
@@ -160,12 +207,12 @@ func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
-	rec, st, err := s.store.GetRecord(types.Key(r.PathValue("key")), v)
+	rec, st, err := s.store.GetRecord(r.Context(), types.Key(r.PathValue("key")), v)
 	if err != nil {
 		httpError(w, statusOf(err), err)
 		return
 	}
-	writeRecords(w, []types.Record{rec}, st)
+	s.writeJSON(w, QueryResponse{Stats: statsJSON(st), Records: []RecordJSON{toJSON(rec)}})
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
@@ -174,26 +221,85 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
-	lo := types.Key(r.URL.Query().Get("lo"))
-	hi := types.Key(r.URL.Query().Get("hi"))
-	if hi == "" {
-		hi = types.Key([]byte{0xff, 0xff, 0xff, 0xff})
+	q := r.URL.Query()
+	// An ABSENT hi means "to the top of the keyspace" — an explicit
+	// unbounded range, not a sentinel key that large keys could sort
+	// past. A present-but-empty hi stays a bound, matching the library:
+	// [lo, "") selects nothing.
+	kr := core.KeyRangeFrom(types.Key(q.Get("lo")))
+	if q.Has("hi") {
+		kr = core.KeyRange(kr.Lo, types.Key(q.Get("hi")))
 	}
-	recs, st, err := s.store.GetRange(lo, hi, v)
-	if err != nil {
-		httpError(w, statusOf(err), err)
-		return
-	}
-	writeRecords(w, recs, st)
+	s.streamRecords(w, r, s.store.GetRange(r.Context(), kr, v))
 }
 
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
-	recs, st, err := s.store.GetHistory(types.Key(r.PathValue("key")))
-	if err != nil {
+	s.streamRecords(w, r, s.store.GetHistory(r.Context(), types.Key(r.PathValue("key"))))
+}
+
+// streamWriteTimeout bounds how long one NDJSON line may stall on a slow
+// reader. The cursor holds the store's read lock while streaming, so a
+// peer that accepts the response one byte a minute would otherwise pin
+// the lock (blocking commits, and behind them every new query)
+// indefinitely. Refreshed per line: a progressing stream may legitimately
+// run long, a stalled one may not.
+const streamWriteTimeout = 60 * time.Second
+
+// streamRecords drives a query cursor onto the wire as NDJSON. An error
+// before the first record still maps to a plain HTTP error status; once
+// records are flowing the status line is long gone, so a failure becomes a
+// terminating error line.
+func (s *Server) streamRecords(w http.ResponseWriter, r *http.Request, cur *core.Cursor) {
+	next, stop := iter.Pull2(cur.Records())
+	defer stop()
+
+	rec, err, ok := next()
+	if ok && err != nil {
 		httpError(w, statusOf(err), err)
 		return
 	}
-	writeRecords(w, recs, st)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	// The per-line deadline below lands on the CONNECTION, which outlives
+	// this response: without a WriteTimeout configured, net/http never
+	// resets it between keep-alive requests, so a stale deadline would
+	// poison the next request on the same connection. Clear it on every
+	// exit path.
+	defer rc.SetWriteDeadline(time.Time{})
+	emit := func(line StreamLine) bool {
+		if err := rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout)); err != nil && !errors.Is(err, http.ErrNotSupported) {
+			s.logf("rstore server: streaming write deadline: %v", err)
+		}
+		if err := enc.Encode(line); err != nil {
+			// The client is gone, stalled past the write deadline, or the
+			// connection broke; the cursor's context normally cancels
+			// alongside, this just stops sooner.
+			s.logf("rstore server: streaming response: %v", err)
+			return false
+		}
+		if flusher != nil {
+			// Flush per record: the first results must reach the client
+			// while later chunks are still being fetched.
+			flusher.Flush()
+		}
+		return true
+	}
+	for ok {
+		if err != nil {
+			emit(StreamLine{Error: err.Error()})
+			return
+		}
+		rj := toJSON(rec)
+		if !emit(StreamLine{Record: &rj}) {
+			return
+		}
+		rec, err, ok = next()
+	}
+	st := statsJSON(cur.Stats())
+	emit(StreamLine{Stats: &st})
 }
 
 // DiffJSON is the wire form of a version diff.
@@ -235,23 +341,30 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	for _, k := range d.Modified {
 		out.Modified = append(out.Modified, string(k))
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }
 
 func (s *Server) handleBranches(w http.ResponseWriter, r *http.Request) {
-	out := map[string]int64{}
+	out := BranchesResponse{Branches: map[string]int64{}}
 	for _, b := range s.store.Branches() {
 		tip, err := s.store.Tip(b)
 		if err != nil {
+			// Surface instead of silently skipping: the caller sees which
+			// branch failed, and the log records it server-side.
+			if out.Errors == nil {
+				out.Errors = map[string]string{}
+			}
+			out.Errors[b] = err.Error()
+			s.logf("rstore server: branch %q tip: %v", b, err)
 			continue
 		}
 		if tip == types.InvalidVersion {
-			out[b] = -1
+			out.Branches[b] = -1
 		} else {
-			out[b] = int64(tip)
+			out.Branches[b] = int64(tip)
 		}
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }
 
 func (s *Server) handleSetBranch(w http.ResponseWriter, r *http.Request) {
@@ -262,7 +375,7 @@ func (s *Server) handleSetBranch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.store.SetBranch(r.PathValue("name"), versionFromWire(req.Version)); err != nil {
+	if err := s.store.SetBranch(context.WithoutCancel(r.Context()), r.PathValue("name"), versionFromWire(req.Version)); err != nil {
 		httpError(w, statusOf(err), err)
 		return
 	}
@@ -270,7 +383,7 @@ func (s *Server) handleSetBranch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
-	if err := s.store.Flush(); err != nil {
+	if err := s.store.Flush(context.WithoutCancel(r.Context())); err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -278,8 +391,8 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	kv := s.store.KV().Stats()
-	writeJSON(w, map[string]any{
+	kv := s.store.KV().Stats(r.Context())
+	s.writeJSON(w, map[string]any{
 		"versions":     s.store.NumVersions(),
 		"chunks":       s.store.NumChunks(),
 		"pending":      s.store.PendingVersions(),
@@ -289,19 +402,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func writeRecords(w http.ResponseWriter, recs []types.Record, st core.QueryStats) {
-	out := QueryResponse{Stats: statsJSON(st), Records: make([]RecordJSON, len(recs))}
-	for i, r := range recs {
-		out.Records[i] = toJSON(r)
-	}
-	writeJSON(w, out)
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers already sent; nothing more to do.
-		_ = err
+		// Headers already sent; the failure cannot reach the client, so it
+		// must at least reach the operator.
+		s.logf("rstore server: encode response: %v", err)
 	}
 }
 

@@ -2,8 +2,10 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -40,6 +42,52 @@ func postJSON(t *testing.T, url string, body any, out any) *http.Response {
 		}
 	}
 	return resp
+}
+
+// getStream reads an NDJSON streaming query response, reassembling it into
+// the buffered QueryResponse shape for assertions. Failed requests (non-2xx)
+// return without decoding; a mid-stream error line is returned separately.
+func getStream(t *testing.T, url string) (*http.Response, QueryResponse, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr QueryResponse
+	if resp.StatusCode >= 300 {
+		return resp, qr, ""
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("streaming endpoint content type %q", ct)
+	}
+	dec := json.NewDecoder(resp.Body)
+	sawStats := false
+	for {
+		var line StreamLine
+		if err := dec.Decode(&line); err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatalf("stream line: %v", err)
+		}
+		switch {
+		case line.Record != nil:
+			if sawStats {
+				t.Fatal("record after the stats trailer")
+			}
+			qr.Records = append(qr.Records, *line.Record)
+		case line.Stats != nil:
+			qr.Stats = *line.Stats
+			sawStats = true
+		case line.Error != "":
+			return resp, qr, line.Error
+		}
+	}
+	if !sawStats {
+		t.Fatal("stream ended without a stats trailer")
+	}
+	return resp, qr, ""
 }
 
 func getJSON(t *testing.T, url string, out any) *http.Response {
@@ -82,10 +130,12 @@ func TestHTTPCommitAndQueries(t *testing.T) {
 		t.Fatalf("second commit version %d", cr.Version)
 	}
 
-	// Full version by id and by branch name.
+	// Full version by id and by branch name, streamed as NDJSON.
 	for _, ref := range []string{"1", "main"} {
-		var qr QueryResponse
-		resp = getJSON(t, ts.URL+"/version/"+ref, &qr)
+		resp, qr, errLine := getStream(t, ts.URL+"/version/"+ref)
+		if errLine != "" {
+			t.Fatalf("version/%s: error line %q", ref, errLine)
+		}
 		if resp.StatusCode != 200 || len(qr.Records) != 1 {
 			t.Fatalf("version/%s: %d, %d records", ref, resp.StatusCode, len(qr.Records))
 		}
@@ -94,6 +144,9 @@ func TestHTTPCommitAndQueries(t *testing.T) {
 		}
 		if qr.Stats.Span == 0 {
 			t.Fatalf("version/%s: zero span", ref)
+		}
+		if qr.Stats.Records != len(qr.Records) {
+			t.Fatalf("version/%s: trailer counts %d records, stream had %d", ref, qr.Stats.Records, len(qr.Records))
 		}
 	}
 
@@ -111,22 +164,22 @@ func TestHTTPCommitAndQueries(t *testing.T) {
 	}
 
 	// Range retrieval.
-	getJSON(t, ts.URL+"/version/0/range?lo=doc-a&hi=doc-b", &qr)
-	if len(qr.Records) != 1 || qr.Records[0].Key != "doc-a" {
-		t.Fatalf("range: %+v", qr.Records)
+	_, qr2, _ := getStream(t, ts.URL+"/version/0/range?lo=doc-a&hi=doc-b")
+	if len(qr2.Records) != 1 || qr2.Records[0].Key != "doc-a" {
+		t.Fatalf("range: %+v", qr2.Records)
 	}
 
 	// History.
-	getJSON(t, ts.URL+"/history/doc-a", &qr)
-	if len(qr.Records) != 2 {
-		t.Fatalf("history: %d records", len(qr.Records))
+	_, qr3, _ := getStream(t, ts.URL+"/history/doc-a")
+	if len(qr3.Records) != 2 {
+		t.Fatalf("history: %d records", len(qr3.Records))
 	}
 
 	// Branches.
-	var branches map[string]int64
+	var branches BranchesResponse
 	getJSON(t, ts.URL+"/branches", &branches)
-	if branches["main"] != 1 {
-		t.Fatalf("branches: %v", branches)
+	if branches.Branches["main"] != 1 || len(branches.Errors) != 0 {
+		t.Fatalf("branches: %+v", branches)
 	}
 
 	// Flush + stats.
@@ -143,7 +196,7 @@ func TestHTTPCommitAndQueries(t *testing.T) {
 
 func TestHTTPSetBranch(t *testing.T) {
 	ts, st := newServer(t)
-	if _, err := st.Commit(types.InvalidVersion, core.Change{}); err != nil {
+	if _, err := st.Commit(context.Background(), types.InvalidVersion, core.Change{}); err != nil {
 		t.Fatal(err)
 	}
 	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/branch/dev",
@@ -212,8 +265,7 @@ func TestHTTPMergeCommit(t *testing.T) {
 	if len(parents) != 2 || parents[0] != 1 || parents[1] != 2 {
 		t.Fatalf("merge parents: %v", parents)
 	}
-	var qr QueryResponse
-	getJSON(t, fmt.Sprintf("%s/version/%d", ts.URL, cr.Version), &qr)
+	_, qr, _ := getStream(t, fmt.Sprintf("%s/version/%d", ts.URL, cr.Version))
 	if len(qr.Records) != 2 {
 		t.Fatalf("merge contents: %d records", len(qr.Records))
 	}
@@ -255,9 +307,8 @@ func TestHTTPRangeDefaults(t *testing.T) {
 	postJSON(t, ts.URL+"/commit", CommitRequest{
 		Parent: -1, Puts: map[string][]byte{"a": []byte("1"), "z": []byte("2")},
 	}, &cr)
-	// No hi bound: defaults to the max key.
-	var qr QueryResponse
-	resp := getJSON(t, ts.URL+"/version/0/range?lo=a", &qr)
+	// No hi bound: the explicit unbounded range, not a sentinel key.
+	resp, qr, _ := getStream(t, ts.URL+"/version/0/range?lo=a")
 	if resp.StatusCode != 200 || len(qr.Records) != 2 {
 		t.Fatalf("open-ended range: %d, %d records", resp.StatusCode, len(qr.Records))
 	}
@@ -351,9 +402,9 @@ func TestHTTPSetBranchErrors(t *testing.T) {
 	errBody(t, resp)
 
 	// The failed attempts must not have created the branch.
-	var branches map[string]int64
+	var branches BranchesResponse
 	getJSON(t, ts.URL+"/branches", &branches)
-	if _, ok := branches["dev"]; ok {
+	if _, ok := branches.Branches["dev"]; ok {
 		t.Fatal("failed PUT /branch created the branch anyway")
 	}
 
@@ -377,20 +428,29 @@ func TestHTTPRangeErrors(t *testing.T) {
 		t.Fatalf("range on unknown version: status %d", resp.StatusCode)
 	}
 	// Inverted bounds select nothing — an empty result, not an error.
-	var q QueryResponse
-	if resp := getJSON(t, ts.URL+"/version/0/range?lo=z&hi=a", &q); resp.StatusCode != http.StatusOK {
+	resp, q, _ := getStream(t, ts.URL+"/version/0/range?lo=z&hi=a")
+	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("inverted range: status %d", resp.StatusCode)
 	}
 	if len(q.Records) != 0 {
 		t.Fatalf("inverted range returned %d records", len(q.Records))
 	}
-	// Omitted hi defaults to the top of the keyspace.
-	q = QueryResponse{}
-	if resp := getJSON(t, ts.URL+"/version/0/range?lo=b", &q); resp.StatusCode != http.StatusOK {
+	// Omitted hi reads to the top of the keyspace.
+	resp, q, _ = getStream(t, ts.URL+"/version/0/range?lo=b")
+	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("open range: status %d", resp.StatusCode)
 	}
 	if len(q.Records) != 2 {
 		t.Fatalf("open range returned %d records, want 2 (b, z)", len(q.Records))
+	}
+	// A present-but-empty hi stays a bound — [b, "") selects nothing,
+	// matching the library — instead of silently going unbounded.
+	resp, q, _ = getStream(t, ts.URL+"/version/0/range?lo=b&hi=")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty-hi range: status %d", resp.StatusCode)
+	}
+	if len(q.Records) != 0 {
+		t.Fatalf("empty-hi range returned %d records, want 0", len(q.Records))
 	}
 }
 

@@ -2,6 +2,7 @@ package rstore_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"path/filepath"
 	"reflect"
@@ -78,17 +79,17 @@ func TestRemoteClusterEndToEnd(t *testing.T) {
 				puts[rstore.Key(fmt.Sprintf("doc-%d", d))] = doc(d, rev)
 			}
 		}
-		v, err := st.Commit(parent, rstore.Change{Puts: puts})
+		v, err := st.Commit(context.Background(), parent, rstore.Change{Puts: puts})
 		if err != nil {
 			t.Fatalf("commit %d: %v", rev, err)
 		}
 		versions = append(versions, v)
 		parent = v
 	}
-	if err := st.Flush(); err != nil {
+	if err := st.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.SetBranch("main", parent); err != nil {
+	if err := st.SetBranch(context.Background(), "main", parent); err != nil {
 		t.Fatal(err)
 	}
 
@@ -104,7 +105,7 @@ func TestRemoteClusterEndToEnd(t *testing.T) {
 			History:  map[string][]string{},
 		}
 		for _, v := range versions {
-			recs, _, err := st.GetVersion(v)
+			recs, _, err := st.GetVersionAll(context.Background(), v)
 			if err != nil {
 				t.Fatalf("GetVersion(%d): %v", v, err)
 			}
@@ -116,7 +117,7 @@ func TestRemoteClusterEndToEnd(t *testing.T) {
 		}
 		for d := 0; d < 6; d++ {
 			key := fmt.Sprintf("doc-%d", d)
-			recs, _, err := st.GetHistory(rstore.Key(key))
+			recs, _, err := st.GetHistoryAll(context.Background(), rstore.Key(key))
 			if err != nil {
 				t.Fatalf("GetHistory(%s): %v", key, err)
 			}
@@ -148,17 +149,17 @@ func TestRemoteClusterEndToEnd(t *testing.T) {
 		for d := 0; d < 6; d++ {
 			puts[rstore.Key(fmt.Sprintf("doc-%d", d))] = doc(d, rev)
 		}
-		v, err := st.Commit(parent, rstore.Change{Puts: puts})
+		v, err := st.Commit(context.Background(), parent, rstore.Change{Puts: puts})
 		if err != nil {
 			t.Fatalf("commit %d with node down: %v", rev, err)
 		}
 		versions = append(versions, v)
 		parent = v
 	}
-	if err := st.Flush(); err != nil {
+	if err := st.Flush(context.Background()); err != nil {
 		t.Fatalf("flush with node down: %v", err)
 	}
-	if err := st.SetBranch("main", parent); err != nil {
+	if err := st.SetBranch(context.Background(), "main", parent); err != nil {
 		t.Fatal(err)
 	}
 
@@ -196,11 +197,11 @@ func TestRemoteClusterEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	exists, err := rstore.Exists(kv2)
+	exists, err := rstore.Exists(context.Background(), kv2)
 	if err != nil || !exists {
 		t.Fatalf("Exists after reopen: %v %v", exists, err)
 	}
-	st2, err := rstore.Load(rstore.Config{KV: kv2})
+	st2, err := rstore.Load(context.Background(), rstore.Config{KV: kv2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,20 +20,43 @@
 //
 // # Quick start
 //
+//	ctx := context.Background()
 //	st, _ := rstore.Open(rstore.Config{})
-//	v0, _ := st.Commit(rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
+//	v0, _ := st.Commit(ctx, rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
 //		"patient-1": []byte(`{"age":52}`),
 //	}})
-//	v1, _ := st.Commit(v0, rstore.Change{Puts: map[rstore.Key][]byte{
+//	v1, _ := st.Commit(ctx, v0, rstore.Change{Puts: map[rstore.Key][]byte{
 //		"patient-1": []byte(`{"age":53}`),
 //	}})
-//	rec, _, _ := st.GetRecord("patient-1", v1)
+//	rec, _, _ := st.GetRecord(ctx, "patient-1", v1)
+//
+// # Contexts and streaming queries
+//
+// Every operation that touches the backing cluster takes a
+// context.Context and honors cancellation and deadlines end to end — down
+// to the storage-node wire protocol when the cluster is remote. The
+// set-returning queries (GetVersion, GetRange, GetHistory) return a
+// *Cursor that streams records incrementally as chunks arrive:
+//
+//	for rec, err := range st.GetVersion(ctx, v1).Records() {
+//		if err != nil {
+//			return err
+//		}
+//		use(rec)
+//	}
+//
+// Abandoning the loop (or cancelling ctx) stops further chunk fetches.
+// The ...All convenience wrappers (GetVersionAll, GetRangeAll,
+// GetHistoryAll) drain the cursor into a sorted slice for callers that
+// want the old materialized shape.
 //
 // See examples/ for complete programs and internal/bench for the harness
 // that regenerates the paper's evaluation.
 package rstore
 
 import (
+	"context"
+
 	"rstore/internal/core"
 	"rstore/internal/kvstore"
 	"rstore/internal/partition"
@@ -60,6 +83,11 @@ type (
 	Store = core.Store
 	// QueryStats reports per-query retrieval costs.
 	QueryStats = core.QueryStats
+	// Cursor is a streaming query result; see Store.GetVersion.
+	Cursor = core.Cursor
+	// Range selects primary keys for GetRange; build with KeyRange or
+	// KeyRangeFrom.
+	Range = core.Range
 	// VersionDiff is the record-level difference between two versions.
 	VersionDiff = core.VersionDiff
 	// CacheStats reports chunk-cache effectiveness.
@@ -85,12 +113,19 @@ var (
 // 1 MiB chunks, and no record-level compression.
 func Open(cfg Config) (*Store, error) { return core.Open(cfg) }
 
-// Load reopens a store persisted in cfg.KV.
-func Load(cfg Config) (*Store, error) { return core.Load(cfg) }
+// Load reopens a store persisted in cfg.KV; ctx bounds the recovery scans.
+func Load(ctx context.Context, cfg Config) (*Store, error) { return core.Load(ctx, cfg) }
 
 // Exists reports whether kv holds a persisted store, without the cost of a
 // full Load.
-func Exists(kv *kvstore.Store) (bool, error) { return core.Exists(kv) }
+func Exists(ctx context.Context, kv *kvstore.Store) (bool, error) { return core.Exists(ctx, kv) }
+
+// KeyRange is the bounded key range [lo, hi) for Store.GetRange.
+func KeyRange(lo, hi Key) Range { return core.KeyRange(lo, hi) }
+
+// KeyRangeFrom is the unbounded key range [lo, ∞) for Store.GetRange —
+// the explicit way to read to the top of the keyspace (no sentinel key).
+func KeyRangeFrom(lo Key) Range { return core.KeyRangeFrom(lo) }
 
 // Cluster options for Config.KV.
 

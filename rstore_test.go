@@ -1,6 +1,7 @@
 package rstore_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -23,45 +24,45 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	v0, err := st.Commit(rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
+	v0, err := st.Commit(context.Background(), rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
 		"x": []byte("x0"), "y": []byte("y0"),
 	}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	v1, err := st.Commit(v0, rstore.Change{Puts: map[rstore.Key][]byte{"x": []byte("x1")}})
+	v1, err := st.Commit(context.Background(), v0, rstore.Change{Puts: map[rstore.Key][]byte{"x": []byte("x1")}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	v2, err := st.Commit(v1, rstore.Change{Deletes: []rstore.Key{"y"}})
+	v2, err := st.Commit(context.Background(), v1, rstore.Change{Deletes: []rstore.Key{"y"}})
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	recs, stats, err := st.GetVersion(v2)
+	recs, stats, err := st.GetVersionAll(context.Background(), v2)
 	if err != nil || len(recs) != 1 || stats.Records != 1 {
 		t.Fatalf("GetVersion: %d records, %v", len(recs), err)
 	}
 	if string(recs[0].Value) != "x1" {
 		t.Fatalf("v2 x = %q", recs[0].Value)
 	}
-	if _, _, err := st.GetRecord("y", v2); !errors.Is(err, rstore.ErrNotFound) {
+	if _, _, err := st.GetRecord(context.Background(), "y", v2); !errors.Is(err, rstore.ErrNotFound) {
 		t.Fatalf("deleted key: %v", err)
 	}
-	hist, _, err := st.GetHistory("x")
+	hist, _, err := st.GetHistoryAll(context.Background(), "x")
 	if err != nil || len(hist) != 2 {
 		t.Fatalf("history: %d, %v", len(hist), err)
 	}
-	if err := st.Materialize(); err != nil {
+	if err := st.Materialize(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := st.GetRecord("x", v0); err != nil {
+	if _, _, err := st.GetRecord(context.Background(), "x", v0); err != nil {
 		t.Fatalf("after materialize: %v", err)
 	}
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.Commit(v2, rstore.Change{}); !errors.Is(err, rstore.ErrClosed) {
+	if _, err := st.Commit(context.Background(), v2, rstore.Change{}); !errors.Is(err, rstore.ErrClosed) {
 		t.Fatalf("commit after close: %v", err)
 	}
 }
@@ -69,14 +70,14 @@ func TestFacadeEndToEnd(t *testing.T) {
 // Example demonstrates the basic commit/retrieve cycle.
 func Example() {
 	st, _ := rstore.Open(rstore.Config{})
-	v0, _ := st.Commit(rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
+	v0, _ := st.Commit(context.Background(), rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
 		"patient-1": []byte(`{"age":52}`),
 	}})
-	v1, _ := st.Commit(v0, rstore.Change{Puts: map[rstore.Key][]byte{
+	v1, _ := st.Commit(context.Background(), v0, rstore.Change{Puts: map[rstore.Key][]byte{
 		"patient-1": []byte(`{"age":53}`),
 	}})
-	rec, _, _ := st.GetRecord("patient-1", v1)
-	old, _, _ := st.GetRecord("patient-1", v0)
+	rec, _, _ := st.GetRecord(context.Background(), "patient-1", v1)
+	old, _, _ := st.GetRecord(context.Background(), "patient-1", v0)
 	fmt.Printf("now: %s, then: %s\n", rec.Value, old.Value)
 	// Output: now: {"age":53}, then: {"age":52}
 }
@@ -86,12 +87,12 @@ func ExampleStore_GetHistory() {
 	st, _ := rstore.Open(rstore.Config{})
 	parent := rstore.NoParent
 	for i := 0; i < 3; i++ {
-		v, _ := st.Commit(parent, rstore.Change{Puts: map[rstore.Key][]byte{
+		v, _ := st.Commit(context.Background(), parent, rstore.Change{Puts: map[rstore.Key][]byte{
 			"doc": []byte(fmt.Sprintf(`{"rev":%d}`, i)),
 		}})
 		parent = v
 	}
-	history, _, _ := st.GetHistory("doc")
+	history, _, _ := st.GetHistoryAll(context.Background(), "doc")
 	for _, r := range history {
 		fmt.Printf("v%d: %s\n", r.CK.Version, r.Value)
 	}
@@ -104,10 +105,10 @@ func ExampleStore_GetHistory() {
 // ExampleStore_GetRange shows partial version retrieval.
 func ExampleStore_GetRange() {
 	st, _ := rstore.Open(rstore.Config{})
-	v0, _ := st.Commit(rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
+	v0, _ := st.Commit(context.Background(), rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
 		"a1": []byte("1"), "a2": []byte("2"), "b1": []byte("3"),
 	}})
-	recs, _, _ := st.GetRange("a", "b", v0)
+	recs, _, _ := st.GetRangeAll(context.Background(), rstore.KeyRange("a", "b"), v0)
 	for _, r := range recs {
 		fmt.Printf("%s=%s\n", r.CK.Key, r.Value)
 	}
@@ -122,17 +123,17 @@ func TestFacadeBranchWorkflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v0, _ := st.Commit(rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{"d": []byte("0")}})
-	if err := st.SetBranch("main", v0); err != nil {
+	v0, _ := st.Commit(context.Background(), rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{"d": []byte("0")}})
+	if err := st.SetBranch(context.Background(), "main", v0); err != nil {
 		t.Fatal(err)
 	}
 	main, _ := st.Tip("main")
-	vExp, _ := st.Commit(main, rstore.Change{Puts: map[rstore.Key][]byte{"d": []byte("exp")}})
-	if err := st.SetBranch("experiment", vExp); err != nil {
+	vExp, _ := st.Commit(context.Background(), main, rstore.Change{Puts: map[rstore.Key][]byte{"d": []byte("exp")}})
+	if err := st.SetBranch(context.Background(), "experiment", vExp); err != nil {
 		t.Fatal(err)
 	}
 	// Merge experiment back.
-	vm, err := st.CommitMerge([]rstore.VersionID{main, vExp}, rstore.Change{
+	vm, err := st.CommitMerge(context.Background(), []rstore.VersionID{main, vExp}, rstore.Change{
 		Puts: map[rstore.Key][]byte{"d": []byte("exp")},
 	})
 	if err != nil {
