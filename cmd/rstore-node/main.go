@@ -10,6 +10,12 @@
 //
 //	rstore-node -addr :7420 -data /var/lib/rstore-node
 //
+// Besides data tables, a node may host cluster bookkeeping written by its
+// clients through the same engine seam: the !cluster ring-position pin and
+// the !hints table, where writes missed by a down peer are parked durably
+// until the peer returns (replication repair's hinted handoff). Both are
+// node-local and excluded from snapshots.
+//
 // The data directory is flock-ed against concurrent daemons and replayed
 // on start (torn tails truncated). SIGINT/SIGTERM shut down gracefully:
 // stop accepting, drain in-flight requests (severing stragglers after a

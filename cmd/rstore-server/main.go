@@ -64,12 +64,15 @@ func main() {
 		dataDir   = flag.String("data", "rstore-data", "data directory for -backend disklog")
 		nodeAddrs = flag.String("node-addrs", "", "comma-separated rstore-node addresses for -backend remote")
 		storePath = flag.String("store", "", "snapshot file to restore from (memory backend only)")
+		hintEvery = flag.Duration("hint-interval", 0, "hint drain cadence for replication repair (0 = default 1s)")
+		tombTTL   = flag.Duration("tombstone-ttl", 0, "collect tombstones older than this once all replicas agree (0 = ack-based GC only)")
 	)
 	flag.Parse()
 
 	cluster := rstore.ClusterConfig{
 		Nodes: *nodes, ReplicationFactor: *rf, Cost: rstore.DefaultCostModel(),
 		Engine: *backend, Dir: *dataDir,
+		Repair: rstore.RepairOptions{HintInterval: *hintEvery, TombstoneTTL: *tombTTL},
 	}
 	if *backend == rstore.EngineRemote {
 		cluster.NodeAddrs = rstore.SplitNodeAddrs(*nodeAddrs)

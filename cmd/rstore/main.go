@@ -18,6 +18,7 @@
 //	rstore -store data.rstore init
 //	rstore -backend disklog -data data.d init
 //	rstore -backend remote -node-addrs host1:7420,host2:7420 init
+//	rstore -backend remote -rf 2 -node-addrs host1:7420,host2:7420 init
 //	rstore commit -branch main -put doc1=@file.json -put doc2='{"x":1}' -del doc3
 //	rstore log
 //	rstore checkout -version 3 -out dir/
@@ -57,10 +58,16 @@ func run(ctx context.Context, args []string) error {
 	backend := global.String("backend", "memory", "storage backend: memory|disklog|remote")
 	dataDir := global.String("data", "", "data directory for -backend disklog (default <store>.d)")
 	nodeAddrs := global.String("node-addrs", "", "comma-separated rstore-node addresses for -backend remote")
+	rf := global.Int("rf", 1, "replication factor (-backend remote; repair keeps replicas converged).\nPass the SAME value on every command against a cluster: it is per-invocation\nclient config, and a lower value silently under-replicates new writes")
+	tombTTL := global.Duration("tombstone-ttl", 0, "collect tombstones older than this once all replicas agree (0 = ack-based GC only)")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
-	env := cliEnv{store: *storePath, backend: *backend, data: *dataDir, addrs: rstore.SplitNodeAddrs(*nodeAddrs)}
+	env := cliEnv{
+		store: *storePath, backend: *backend, data: *dataDir,
+		addrs: rstore.SplitNodeAddrs(*nodeAddrs), rf: *rf,
+		repair: rstore.RepairOptions{TombstoneTTL: *tombTTL},
+	}
 	switch env.backend {
 	case rstore.EngineMemory, rstore.EngineDisklog:
 	case rstore.EngineRemote:
@@ -324,6 +331,8 @@ type cliEnv struct {
 	backend string   // "memory", "disklog", or "remote"
 	data    string   // disklog data directory
 	addrs   []string // rstore-node addresses (remote backend)
+	rf      int      // replication factor (remote backend)
+	repair  rstore.RepairOptions
 }
 
 // durable reports that store state lives in the backend itself (a data
@@ -347,7 +356,10 @@ func (e cliEnv) where() string {
 // address for remote.
 func (e cliEnv) openCluster() (*kvstore.Store, error) {
 	if e.backend == rstore.EngineRemote {
-		return rstore.OpenCluster(rstore.ClusterConfig{Engine: e.backend, NodeAddrs: e.addrs})
+		return rstore.OpenCluster(rstore.ClusterConfig{
+			Engine: e.backend, NodeAddrs: e.addrs,
+			ReplicationFactor: e.rf, Repair: e.repair,
+		})
 	}
 	return rstore.OpenCluster(rstore.ClusterConfig{Nodes: 1, Engine: e.backend, Dir: e.data})
 }

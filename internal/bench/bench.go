@@ -211,6 +211,7 @@ func Experiments() []Experiment {
 		{"ablation-slack", "ablation: chunk slack allowance sweep", RunAblationSlack},
 		{"ablation-replication", "extension: replication + read balancing (paper future work)", RunAblationReplication},
 		{"ablation-cache", "extension: application-server chunk cache on hot versions", RunAblationCache},
+		{"repair", "extension: replication repair — hinted handoff + read repair convergence\n(always in-process: needs failure injection)", RunRepair},
 	}
 }
 

@@ -199,11 +199,23 @@ func TestBuildRejectsUnassignedLiveRecord(t *testing.T) {
 }
 
 func TestKVKeyFormats(t *testing.T) {
-	if KVKey(0) == KVKey(1) {
-		t.Fatal("chunk keys collide")
+	if KVKey(0, 0) == KVKey(0, 1) {
+		t.Fatal("chunk keys collide across ids")
 	}
-	if MVKey(1) == KVKey(1) {
+	if KVKey(0, 1) == KVKey(1, 1) {
+		t.Fatal("chunk keys collide across generations")
+	}
+	if MVKey(1) == KVKey(0, 1) {
 		t.Fatal("map key collides with chunk key")
+	}
+	gen, id, ok := ParseKVKey(KVKey(7, 0x1234))
+	if !ok || gen != 7 || id != 0x1234 {
+		t.Fatalf("ParseKVKey round trip: %d %d %v", gen, id, ok)
+	}
+	for _, bad := range []string{"", "c00000001", "g1-c2", "gzzzzzzzz-c00000001", "g00000001-c0000000g"} {
+		if _, _, ok := ParseKVKey(bad); ok {
+			t.Fatalf("ParseKVKey accepted %q", bad)
+		}
 	}
 }
 

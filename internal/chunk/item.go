@@ -11,6 +11,8 @@ package chunk
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"rstore/internal/bdiff"
 	"rstore/internal/codec"
@@ -22,8 +24,36 @@ import (
 // derived via KVKey.
 type ID = uint32
 
-// KVKey renders a chunk id as the backing-store key.
-func KVKey(id ID) string { return fmt.Sprintf("c%08x", id) }
+// KVKey renders a chunk id as the backing-store key, prefixed with the
+// placement generation that assigned it. Ids restart at 0 on every full
+// repartition, so without the epoch prefix a repartition would overwrite
+// chunk entries in place and a crash mid-rewrite would strand the old
+// manifest against new chunk contents; with it, each generation writes
+// fresh keys and the manifest swap (which records the generation) is the
+// atomic commit point. Load garbage-collects keys of superseded
+// generations.
+func KVKey(gen uint32, id ID) string { return fmt.Sprintf("g%08x-c%08x", gen, id) }
+
+// ParseKVKey recovers the generation and chunk id from a KVKey.
+func ParseKVKey(key string) (gen uint32, id ID, ok bool) {
+	rest, found := strings.CutPrefix(key, "g")
+	if !found {
+		return 0, 0, false
+	}
+	gs, cs, found := strings.Cut(rest, "-c")
+	if !found || len(gs) != 8 || len(cs) != 8 {
+		return 0, 0, false
+	}
+	g, err := strconv.ParseUint(gs, 16, 32)
+	if err != nil {
+		return 0, 0, false
+	}
+	c, err := strconv.ParseUint(cs, 16, 32)
+	if err != nil {
+		return 0, 0, false
+	}
+	return uint32(g), ID(c), true
+}
 
 // Item is the unit the partitioning algorithms assign to chunks: a sub-chunk
 // of one or more records sharing a primary key (paper §3.4). With

@@ -44,6 +44,15 @@ type Config struct {
 	// (one node per address, in ring order). Required when Engine is
 	// kvstore.EngineRemote.
 	NodeAddrs []string
+	// ReplicationFactor is the number of replicas per key in the private
+	// cluster (default 1; capped at the node count). With more than one
+	// replica the cluster self-heals divergence via replication repair —
+	// see Repair. Ignored when KV is set.
+	ReplicationFactor int
+	// Repair tunes the private cluster's replication repair (read repair,
+	// hinted handoff, tombstone GC); the zero value gives defaults.
+	// Ignored when KV is set.
+	Repair kvstore.RepairOptions
 	// Partitioner is the chunking algorithm; nil means BottomUp.
 	Partitioner partition.Algorithm
 	// ChunkCapacity is the nominal chunk size C in bytes (default 1 MiB,
@@ -93,11 +102,13 @@ func (c Config) withDefaults() (Config, bool, error) {
 			nodes = len(c.NodeAddrs) // the address list is the cluster shape
 		}
 		kv, err := kvstore.Open(kvstore.Config{
-			Nodes:     nodes,
-			Cost:      kvstore.DefaultCostModel(),
-			Engine:    c.Engine,
-			Dir:       c.DataDir,
-			NodeAddrs: c.NodeAddrs,
+			Nodes:             nodes,
+			ReplicationFactor: c.ReplicationFactor,
+			Cost:              kvstore.DefaultCostModel(),
+			Engine:            c.Engine,
+			Dir:               c.DataDir,
+			NodeAddrs:         c.NodeAddrs,
+			Repair:            c.Repair,
 		})
 		if err != nil {
 			return c, false, err

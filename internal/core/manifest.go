@@ -18,16 +18,19 @@ import (
 // manifestKey is the single meta-table entry holding the manifest.
 const manifestKey = "manifest"
 
-// manifestVersion guards the on-disk format.
-const manifestVersion = 1
+// manifestVersion guards the on-disk format. Version 2 added the placement
+// generation (epoch-prefixed chunk keys); version-1 stores used unprefixed
+// chunk keys and must be re-initialized, not misread.
+const manifestVersion = 2
 
 // saveManifest persists everything needed to reopen the store against the
-// same KVS: the version graph with per-version composite-key deltas (values
-// live in chunks / the delta store), branches, chunk count, and the pending
-// set. Called under s.mu.
+// same KVS: the placement generation, the version graph with per-version
+// composite-key deltas (values live in chunks / the delta store), branches,
+// chunk count, and the pending set. Called under s.mu.
 func (s *Store) saveManifest(ctx context.Context) error {
 	var buf []byte
 	buf = codec.PutUvarint(buf, manifestVersion)
+	buf = codec.PutUvarint(buf, uint64(s.gen))
 	n := s.graph.NumVersions()
 	buf = codec.PutUvarint(buf, uint64(n))
 	for v := 0; v < n; v++ {
@@ -124,21 +127,36 @@ func Load(ctx context.Context, cfg Config) (*Store, error) {
 	if err != nil {
 		return fail(fmt.Errorf("rstore: load: %w", err))
 	}
+	// The manifest's placement generation decides which chunk entries are
+	// live before the full decode (which needs the chunk contents).
+	gen, err := manifestGen(raw)
+	if err != nil {
+		return fail(err)
+	}
 
 	// Recover record payloads and per-chunk state. Which chunks are live is
 	// only known once the manifest decodes, so collect everything first.
+	// Entries of other generations are debris of an interrupted full
+	// repartition — a newer generation whose manifest never committed, or
+	// an older one whose cleanup was cut short — and are skipped here and
+	// garbage-collected below.
 	values := make(map[types.CompositeKey][]byte)
 	type chunkState struct {
 		recs []types.CompositeKey // slot → composite key
 		m    *chunk.Map
 	}
 	chunks := make(map[chunk.ID]*chunkState)
+	var staleGenKeys []string
 	var loadErr error
 	scanErr := kv.Scan(ctx, TableChunks, func(key string, value []byte) bool {
-		var cid chunk.ID
-		if _, err := fmt.Sscanf(key, "c%08x", &cid); err != nil {
+		g, cid, ok := chunk.ParseKVKey(key)
+		if !ok {
 			loadErr = fmt.Errorf("%w: bad chunk key %q", types.ErrCorrupt, key)
 			return false
+		}
+		if g != gen {
+			staleGenKeys = append(staleGenKeys, key)
+			return true
 		}
 		payload, m, err := decodeChunkEntry(value)
 		if err != nil {
@@ -254,21 +272,47 @@ func Load(ctx context.Context, cfg Config) (*Store, error) {
 		}
 		s.maps[cid] = cs.m
 	}
-	proj, err := index.Load(ctx, kv)
-	if err != nil {
-		return fail(err)
+	// Projections are REBUILT from the live chunks' maps and records, not
+	// read back from their persisted tables: the persisted rows are
+	// overwritten in place by flush and repartition, so a crash between
+	// the projection save and the manifest save would pair this manifest's
+	// chunks with the next layout's projections — whose references point
+	// at chunk ids holding different records, silently shrinking query
+	// results (the projections are lossy, so nothing would error). The
+	// chunk state decoded above is exactly what flush and Materialize
+	// derived the projections from, so the rebuild is both exact and free
+	// of that window; the persisted tables remain the paper's
+	// architectural artifact (§2.4) and feed nothing during recovery.
+	proj := index.New()
+	for cid, cs := range chunks {
+		if uint32(cid) >= s.numChunks {
+			continue // interrupted-flush orphan, dropped above
+		}
+		for v, bm := range cs.m.Versions {
+			if !bm.Empty() {
+				proj.ObserveVersionChunk(v, cid)
+			}
+		}
+		for _, ck := range cs.recs {
+			proj.AddKeyChunk(ck.Key, cid)
+		}
 	}
-	// Projection references to orphan chunks (a crash between the
-	// projection save and the manifest save) would index past s.maps.
-	proj.PruneChunks(chunk.ID(s.numChunks))
+	proj.Normalize()
 	s.proj = proj
 
 	// Repair: writable stores drop the crash leftovers so they cannot
-	// collide with the chunk ids the next flush assigns. Read-only replicas
-	// only pruned in memory, which queries never look past.
+	// collide with the chunk ids the next flush assigns — current-gen
+	// orphans past the manifest's chunk count, and whole superseded
+	// generations. Read-only replicas only pruned in memory, which queries
+	// never look past.
 	if !cfg.ReadOnly {
 		for _, cid := range orphanChunks {
-			if err := kv.Delete(ctx, TableChunks, chunk.KVKey(cid)); err != nil {
+			if err := kv.Delete(ctx, TableChunks, chunk.KVKey(gen, cid)); err != nil {
+				return fail(err)
+			}
+		}
+		for _, key := range staleGenKeys {
+			if err := kv.Delete(ctx, TableChunks, key); err != nil {
 				return fail(err)
 			}
 		}
@@ -283,6 +327,25 @@ func Load(ctx context.Context, cfg Config) (*Store, error) {
 	return s, nil
 }
 
+// manifestGen parses just the manifest header — format version and
+// placement generation — so Load can classify chunk entries before the
+// full decode.
+func manifestGen(buf []byte) (uint32, error) {
+	ver, rest, err := codec.Uvarint(buf)
+	if err != nil {
+		return 0, err
+	}
+	if ver != manifestVersion {
+		return 0, fmt.Errorf("%w: manifest version %d (this build reads %d; re-initialize the store)",
+			types.ErrCorrupt, ver, manifestVersion)
+	}
+	gen, _, err := codec.Uvarint(rest)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(gen), nil
+}
+
 // decodeManifest parses the manifest and replays the graph + corpus.
 func decodeManifest(buf []byte, cfg Config, values map[types.CompositeKey][]byte) (*Store, error) {
 	ver, rest, err := codec.Uvarint(buf)
@@ -291,6 +354,10 @@ func decodeManifest(buf []byte, cfg Config, values map[types.CompositeKey][]byte
 	}
 	if ver != manifestVersion {
 		return nil, fmt.Errorf("%w: manifest version %d (want %d)", types.ErrCorrupt, ver, manifestVersion)
+	}
+	gen, rest, err := codec.Uvarint(rest)
+	if err != nil {
+		return nil, err
 	}
 	n, rest, err := codec.Uvarint(rest)
 	if err != nil {
@@ -304,6 +371,7 @@ func decodeManifest(buf []byte, cfg Config, values map[types.CompositeKey][]byte
 		kv:         cfg.KV,
 		graph:      g,
 		corpus:     c,
+		gen:        uint32(gen),
 		pendingSet: make(map[types.VersionID]bool),
 		keyStates:  newKeyStateCache(4),
 		branches:   make(map[string]types.VersionID),

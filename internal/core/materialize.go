@@ -55,13 +55,14 @@ func (s *Store) materializeLocked(ctx context.Context) error {
 	proj.Normalize()
 
 	// A full repartition supersedes every previously written chunk and
-	// index entry. New entries overwrite in place (chunk ids restart at 0);
-	// stale leftovers past the new counts are deleted only after the new
-	// manifest commits, so a crash during cleanup loses nothing. NOTE: a
-	// crash while the chunk entries themselves are being overwritten can
-	// still strand the old manifest against new chunk contents — making the
-	// offline repartition fully crash-safe needs epoch-prefixed chunk keys
-	// (see ROADMAP); the hot online flush path has no such window.
+	// index entry. Chunk ids restart at 0, but the new entries land under
+	// the NEXT generation's keys (chunk.KVKey), so nothing is overwritten
+	// in place: until the manifest — which records the generation — commits
+	// below, the old manifest still pairs with the old generation's intact
+	// entries, and a crash anywhere in between leaves only superseded- or
+	// uncommitted-generation debris that Load garbage-collects. Stale
+	// leftovers (the whole previous generation, plus index entries the new
+	// projections did not rewrite) are deleted only after the commit point.
 	staleChunks, err := s.tableKeys(ctx, TableChunks)
 	if err != nil {
 		return err
@@ -76,11 +77,13 @@ func (s *Store) materializeLocked(ctx context.Context) error {
 	}
 
 	// Persist chunk entries (payload + map in one value) as one batched
-	// write, then projections, then the manifest (the commit point).
+	// write under the next generation's keys, then projections, then the
+	// manifest (the commit point, which adopts the new generation).
+	newGen := s.gen + 1
 	entries := make([]kvstore.Entry, 0, len(built.Payloads))
 	newChunkKeys := make(map[string]bool, len(built.Payloads))
 	for cid := range built.Payloads {
-		key := chunk.KVKey(chunk.ID(cid))
+		key := chunk.KVKey(newGen, chunk.ID(cid))
 		newChunkKeys[key] = true
 		entries = append(entries, kvstore.Entry{
 			Key:   key,
@@ -99,6 +102,7 @@ func (s *Store) materializeLocked(ctx context.Context) error {
 	s.maps = built.Maps
 	s.proj = proj
 	s.numChunks = uint32(len(built.Payloads))
+	s.gen = newGen
 	s.pending = nil
 	s.pendingSet = make(map[types.VersionID]bool)
 	s.cache.reset() // every chunk id was reassigned

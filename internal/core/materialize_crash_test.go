@@ -1,0 +1,244 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"rstore/internal/chunk"
+	"rstore/internal/engine"
+	"rstore/internal/engine/memory"
+	"rstore/internal/kvstore"
+	"rstore/internal/types"
+)
+
+// faultBackend wraps a memory backend and fails writes on demand — the
+// crash-injection seam for repartition tests. A BatchPut that fails leaves
+// nothing behind (the batch contract), so partial table state is produced
+// by failing SOME nodes' batches, and "crash between stages" by failing a
+// later stage's table.
+type faultBackend struct {
+	*memory.Backend
+	mu   sync.Mutex
+	fail func(table string) bool // nil = healthy
+}
+
+var errInjected = errors.New("injected crash")
+
+func (b *faultBackend) arm(fail func(table string) bool) {
+	b.mu.Lock()
+	b.fail = fail
+	b.mu.Unlock()
+}
+
+func (b *faultBackend) failing(table string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fail != nil && b.fail(table)
+}
+
+func (b *faultBackend) Put(ctx context.Context, table, key string, value []byte) error {
+	if b.failing(table) {
+		return errInjected
+	}
+	return b.Backend.Put(ctx, table, key, value)
+}
+
+func (b *faultBackend) BatchPut(ctx context.Context, table string, entries []engine.Entry) error {
+	if b.failing(table) {
+		return errInjected
+	}
+	return b.Backend.BatchPut(ctx, table, entries)
+}
+
+// openFaulty builds a store over fault-injectable backends.
+func openFaulty(t *testing.T, nodes int) (*Store, *kvstore.Store, []*faultBackend) {
+	t.Helper()
+	backends := make([]*faultBackend, nodes)
+	kv, err := kvstore.Open(kvstore.Config{
+		Nodes: nodes,
+		NewBackend: func(id int) (engine.Backend, error) {
+			backends[id] = &faultBackend{Backend: memory.New()}
+			return backends[id], nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(Config{KV: kv, ChunkCapacity: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, kv, backends
+}
+
+// seedStore commits versions with a flush after EVERY commit, so the
+// online placement produces many small per-batch chunks — a layout a full
+// repartition will consolidate into genuinely different chunks. The crash
+// tests depend on that divergence: debris of an uncommitted repartition
+// must not be mistakable for the live layout. Returns the expected
+// per-version contents.
+func seedStore(t *testing.T, st *Store) (map[types.VersionID]map[string]string, []types.VersionID) {
+	t.Helper()
+	ctx := context.Background()
+	want := map[types.VersionID]map[string]string{}
+	var versions []types.VersionID
+	parent := types.InvalidVersion
+	state := map[string]string{}
+	for rev := 0; rev < 8; rev++ {
+		puts := map[types.Key][]byte{}
+		for d := 0; d < 5; d++ {
+			if (rev+d)%2 == 0 {
+				v := fmt.Sprintf("doc-%d rev-%d content", d, rev)
+				puts[types.Key(fmt.Sprintf("doc-%d", d))] = []byte(v)
+				state[fmt.Sprintf("doc-%d", d)] = v
+			}
+		}
+		v, err := st.Commit(ctx, parent, Change{Puts: puts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+		cp := map[string]string{}
+		for k, s := range state {
+			cp[k] = s
+		}
+		want[v] = cp
+		versions = append(versions, v)
+		parent = v
+	}
+	return want, versions
+}
+
+func checkVersions(t *testing.T, st *Store, want map[types.VersionID]map[string]string) {
+	t.Helper()
+	for v, contents := range want {
+		recs, _, err := st.GetVersionAll(context.Background(), v)
+		if err != nil {
+			t.Fatalf("GetVersion(%d): %v", v, err)
+		}
+		got := map[string]string{}
+		for _, r := range recs {
+			got[string(r.CK.Key)] = string(r.Value)
+		}
+		if len(got) != len(contents) {
+			t.Fatalf("version %d: %d records, want %d", v, len(got), len(contents))
+		}
+		for k, val := range contents {
+			if got[k] != val {
+				t.Fatalf("version %d key %s = %q, want %q", v, k, got[k], val)
+			}
+		}
+	}
+}
+
+// scanChunkGens returns the set of generations present in the chunks table.
+func scanChunkGens(t *testing.T, kv *kvstore.Store) map[uint32]int {
+	t.Helper()
+	gens := map[uint32]int{}
+	if err := kv.Scan(context.Background(), TableChunks, func(key string, _ []byte) bool {
+		g, _, ok := chunk.ParseKVKey(key)
+		if !ok {
+			t.Fatalf("unparseable chunk key %q", key)
+		}
+		gens[g]++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return gens
+}
+
+// TestMaterializeCrashBeforeManifest is the regression test for the
+// in-place repartition hazard: a crash after the new chunk entries are
+// written but before the manifest commits must leave the old manifest
+// paired with the old, INTACT chunk generation. Load then serves the
+// pre-repartition state exactly and clears the uncommitted generation's
+// debris.
+func TestMaterializeCrashBeforeManifest(t *testing.T) {
+	st, kv, backends := openFaulty(t, 1)
+	want, _ := seedStore(t, st)
+	ctx := context.Background()
+
+	// Crash at the commit point: chunks (gen 1) and projections land, the
+	// manifest write dies.
+	backends[0].arm(func(table string) bool { return table == TableMeta })
+	if err := st.Materialize(ctx); !errors.Is(err, errInjected) {
+		t.Fatalf("materialize under meta fault: %v", err)
+	}
+	backends[0].arm(nil)
+	if gens := scanChunkGens(t, kv); gens[1] == 0 {
+		t.Fatalf("precondition: uncommitted generation debris expected, got %v", gens)
+	}
+
+	re, err := Load(ctx, Config{KV: kv})
+	if err != nil {
+		t.Fatalf("load after interrupted materialize: %v", err)
+	}
+	checkVersions(t, re, want)
+	// Debris of the uncommitted generation is gone; gen 0 survives.
+	gens := scanChunkGens(t, kv)
+	if gens[1] != 0 {
+		t.Fatalf("uncommitted generation survived load: %v", gens)
+	}
+	if gens[0] == 0 {
+		t.Fatalf("live generation collected: %v", gens)
+	}
+
+	// The reopened store repartitions cleanly; afterwards only the new
+	// generation remains.
+	if err := re.Materialize(ctx); err != nil {
+		t.Fatal(err)
+	}
+	checkVersions(t, re, want)
+	gens = scanChunkGens(t, kv)
+	if len(gens) != 1 || gens[1] == 0 {
+		t.Fatalf("after clean materialize: generations %v, want only gen 1", gens)
+	}
+	re2, err := Load(ctx, Config{KV: kv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkVersions(t, re2, want)
+}
+
+// TestMaterializeCrashMidChunkWrite crashes while the new generation's
+// chunk entries themselves are being written (some nodes' batches land,
+// others fail). Under in-place keys this was the unrecoverable window —
+// the old manifest's chunk contents were partially overwritten; under
+// epoch keys the old generation is untouched.
+func TestMaterializeCrashMidChunkWrite(t *testing.T) {
+	st, kv, backends := openFaulty(t, 3)
+	want, _ := seedStore(t, st)
+	ctx := context.Background()
+
+	// Nodes 1 and 2 die for chunk-table batches: the repartition writes a
+	// partial new generation and aborts.
+	for _, b := range backends[1:] {
+		b.arm(func(table string) bool { return table == TableChunks })
+	}
+	if err := st.Materialize(ctx); !errors.Is(err, errInjected) {
+		t.Fatalf("materialize under chunk fault: %v", err)
+	}
+	for _, b := range backends[1:] {
+		b.arm(nil)
+	}
+
+	re, err := Load(ctx, Config{KV: kv})
+	if err != nil {
+		t.Fatalf("load after mid-write crash: %v", err)
+	}
+	checkVersions(t, re, want)
+	if gens := scanChunkGens(t, kv); gens[1] != 0 {
+		t.Fatalf("partial generation survived load: %v", gens)
+	}
+	// And a rerun completes.
+	if err := re.Materialize(ctx); err != nil {
+		t.Fatal(err)
+	}
+	checkVersions(t, re, want)
+}

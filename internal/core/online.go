@@ -122,7 +122,7 @@ func (s *Store) flushLocked(ctx context.Context) error {
 			return err
 		}
 		entries = append(entries, kvstore.Entry{
-			Key:   chunk.KVKey(cid),
+			Key:   chunk.KVKey(s.gen, cid),
 			Value: encodeChunkEntry(payload, s.maps[cid]),
 		})
 	}
@@ -297,7 +297,7 @@ func (s *Store) payloadOf(ctx context.Context, cid chunk.ID) ([]byte, error) {
 		delete(s.stagedPayloads, cid)
 		return p, nil
 	}
-	entry, err := s.kv.Get(ctx, TableChunks, chunk.KVKey(cid))
+	entry, err := s.kv.Get(ctx, TableChunks, chunk.KVKey(s.gen, cid))
 	if err != nil {
 		return nil, fmt.Errorf("rstore: flush: chunk %d payload: %w", cid, err)
 	}

@@ -496,7 +496,7 @@ func (s *Store) fetchChunks(ctx context.Context, cids []chunk.ID, stats *QuerySt
 			continue
 		}
 		missIdx = append(missIdx, i)
-		keys = append(keys, chunk.KVKey(cid))
+		keys = append(keys, chunk.KVKey(s.gen, cid))
 	}
 	if len(keys) == 0 {
 		return out, nil

@@ -177,7 +177,7 @@ func TestLoadToleratesInterruptedFlush(t *testing.T) {
 		t.Fatal(err)
 	}
 	payload := encodeChunkPayload([]chunk.Item{item})
-	if err := kv.Put(context.Background(), TableChunks, chunk.KVKey(orphanCID), encodeChunkEntry(payload, chunk.NewMap(1))); err != nil {
+	if err := kv.Put(context.Background(), TableChunks, chunk.KVKey(st.gen, orphanCID), encodeChunkEntry(payload, chunk.NewMap(1))); err != nil {
 		t.Fatal(err)
 	}
 	// A crashed flush saves the full projection — existing refs plus the
@@ -198,7 +198,7 @@ func TestLoadToleratesInterruptedFlush(t *testing.T) {
 		t.Fatalf("a@v0 = %v, %v", rec, err)
 	}
 	// The repair removed the orphan entry.
-	if _, err := kv.Get(context.Background(), TableChunks, chunk.KVKey(orphanCID)); !errors.Is(err, types.ErrNotFound) {
+	if _, err := kv.Get(context.Background(), TableChunks, chunk.KVKey(st.gen, orphanCID)); !errors.Is(err, types.ErrNotFound) {
 		t.Fatalf("orphan chunk entry survived repair: %v", err)
 	}
 	// And the store keeps committing/flushing cleanly — the next flush

@@ -29,6 +29,13 @@ type Store struct {
 	locs      []chunk.Loc  // record id → chunk/slot (NoChunk while pending)
 	maps      []*chunk.Map // in-memory chunk maps, index = chunk id
 	numChunks uint32
+	// gen is the placement generation chunk KVS keys are prefixed with.
+	// The online path appends chunks within the current generation; a full
+	// repartition (Materialize) writes the next generation's keys and
+	// commits it atomically through the manifest, so a crash mid-rewrite
+	// can never pair an old manifest with new chunk contents (see
+	// chunk.KVKey).
+	gen uint32
 
 	// Pending versions (committed, not yet partitioned).
 	pending    []types.VersionID

@@ -16,8 +16,9 @@ import (
 // every value the cluster stores is wrapped in a small envelope carrying a
 // write timestamp and a tombstone flag, and reads at replication factor
 // > 1 consult every live replica and take the newest version (Cassandra's
-// conflict rule, without its background repair — a stale replica stays
-// stale on disk until overwritten; see ROADMAP "replication repair").
+// conflict rule). Outvoting alone leaves the losing replica wrong on disk;
+// the repair subsystem (repair.go) writes the winner back to losers (read
+// repair) and queues writes missed by down nodes (hinted handoff).
 //
 // Envelope layout: flag (1 byte: value|tombstone) | timestamp (8 bytes LE,
 // nanoseconds) | payload. Timestamps come from a per-cluster-client hybrid
@@ -25,8 +26,9 @@ import (
 // order after the previous client's as long as wall clocks move forward.
 // Deletes are tombstone writes: a replica that missed the delete is
 // outvoted by the tombstone's newer timestamp instead of resurrecting the
-// value. Tombstones are currently kept forever (deletes are rare in
-// RStore: repartition cleanup and delta drains).
+// value. Tombstones are garbage-collected once every replica of the key
+// has acknowledged one (or, optionally, after RepairOptions.TombstoneTTL);
+// see repair.go.
 
 const (
 	envValue     = 0
@@ -64,7 +66,31 @@ func envelope(flag byte, ts uint64, payload []byte) []byte {
 	return out
 }
 
-// unenvelope splits a stored value. The payload aliases b.
+// lwwNewer reports whether version (tsA, tombA) served by node nodeA beats
+// (tsB, tombB) served by nodeB. Newest timestamp wins; a timestamp tie —
+// possible when two cluster clients write through colliding wall clocks —
+// resolves deterministically instead of by replica iteration order: a
+// tombstone beats a value (the destructive read of a clock collision is
+// the one that cannot resurrect deleted data on a lagging replica), and
+// equal flags resolve to the lowest node id. Every reader picks the same
+// winner, so read repair converges replicas instead of flapping.
+func lwwNewer(tsA uint64, tombA bool, nodeA int, tsB uint64, tombB bool, nodeB int) bool {
+	if tsA != tsB {
+		return tsA > tsB
+	}
+	if tombA != tombB {
+		return tombA
+	}
+	return nodeA < nodeB
+}
+
+// unenvelope splits a stored value. The payload ALIASES b: callers that
+// retain it past the next operation on the backend that produced b (or
+// return it across the Store's public surface) must copy it first. Today's
+// call sites are audited against that rule — Get-path buffers are owned by
+// the caller (engine.Backend.Get returns copies), and every Scan-path
+// consumer copies before retaining, because Scan values may alias backend
+// storage (the memory engine's do).
 func unenvelope(b []byte) (payload []byte, ts uint64, tombstone bool, err error) {
 	if len(b) < EnvelopeOverhead || b[0] > envTombstone {
 		return nil, 0, false, fmt.Errorf("%w: %d-byte value is not an LWW envelope", types.ErrCorrupt, len(b))

@@ -33,6 +33,13 @@ func (n *node) get(ctx context.Context, table, key string) ([]byte, bool, error)
 	return n.tr.get(ctx, table, key)
 }
 
+// del physically removes (table, key) from this node's backend. Only the
+// repair subsystem calls it (tombstone GC, hint cleanup); the replication
+// layer's Delete writes tombstones instead.
+func (n *node) del(ctx context.Context, table, key string) error {
+	return n.tr.del(ctx, table, key)
+}
+
 // scan visits every key/value of a table. Values passed to fn may alias
 // backend storage; fn must not retain or mutate them.
 func (n *node) scan(ctx context.Context, table string, fn func(key string, value []byte) bool) error {

@@ -37,8 +37,10 @@ func (s *Store) Dump(ctx context.Context, w io.Writer) error {
 			return err
 		}
 		for _, t := range ts {
-			if t == clusterTable {
-				continue // per-daemon identity records are not data
+			if t == clusterTable || t == hintsTable {
+				// Per-daemon identity records and parked hints are
+				// node-local bookkeeping, not data.
+				continue
 			}
 			tableSet[t] = struct{}{}
 		}

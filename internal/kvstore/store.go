@@ -60,6 +60,10 @@ type Config struct {
 	// Remote tunes the wire clients of EngineRemote (pooling, retries,
 	// timeouts); the zero value gives defaults.
 	Remote remote.Options
+	// Repair tunes replication repair — read repair, hinted handoff, and
+	// tombstone GC (see repair.go). The zero value enables repair with
+	// defaults whenever ReplicationFactor > 1.
+	Repair RepairOptions
 	// NewBackend, when set, overrides Engine/Dir with a custom backend
 	// factory (tests, out-of-tree engines).
 	NewBackend func(nodeID int) (engine.Backend, error)
@@ -203,6 +207,9 @@ type Store struct {
 	// per replica when each read is a network round trip (remote engine),
 	// pure overhead when it is an in-process map lookup.
 	fanout bool
+	// repair is the replication-repair subsystem (repair.go); nil at
+	// ReplicationFactor 1, where replicas cannot diverge.
+	repair *repairer
 
 	// Virtual clock and counters (atomics; Store is safe for concurrent
 	// use).
@@ -255,6 +262,12 @@ func Open(cfg Config) (*Store, error) {
 			s.Close()
 			return nil, err
 		}
+	}
+	if cfg.ReplicationFactor > 1 {
+		s.repair = newRepairer(s, cfg.Repair)
+		// Resume draining hints a previous client parked (durable in the
+		// !hints tables); unreachable nodes are simply skipped.
+		s.repair.recoverHints(context.Background())
 	}
 	return s, nil
 }
@@ -314,6 +327,10 @@ func (s *Store) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	if s.repair != nil {
+		// Stop repair workers before their nodes' backends go away.
+		s.repair.close()
+	}
 	var errs []error
 	for _, n := range s.nodes {
 		if err := n.tr.close(); err != nil {
@@ -329,28 +346,52 @@ func (s *Store) Nodes() int { return s.cfg.Nodes }
 // Cost returns the configured cost model.
 func (s *Store) Cost() CostModel { return s.cfg.Cost }
 
-// Put stores value under (table, key) on all replicas.
+// Put stores value under (table, key) on all replicas. Replicas that are
+// down are routed around, and — with repair enabled — the missed write is
+// parked as a hint on a replica that took it, to be replayed when the
+// node returns (repair.go).
 func (s *Store) Put(ctx context.Context, table, key string, value []byte) error {
 	replicas := s.ring.replicas(key, s.cfg.ReplicationFactor)
 	env := envelope(envValue, s.nextTS(), value)
-	ok := false
-	for _, n := range replicas {
-		switch err := s.nodes[n].put(ctx, table, key, env); {
-		case err == nil:
-			ok = true
-		case isUnavailable(err):
-			// Routed around; the key survives on other replicas.
-		default:
-			return fmt.Errorf("kvstore: put %s/%s: %w", table, key, err)
-		}
+	park, missed, err := s.replicatedPut(ctx, replicas, table, key, env)
+	if err != nil {
+		return fmt.Errorf("kvstore: put %s/%s: %w", table, key, err)
 	}
-	if !ok {
+	if park < 0 {
 		return allDownErr(ctx, "kvstore: put %s/%s: all replicas down", table, key)
+	}
+	if s.repair != nil && len(missed) > 0 {
+		specs := make([]hintSpec, len(missed))
+		for i, n := range missed {
+			specs[i] = hintSpec{target: n, table: table, key: key, env: env}
+		}
+		s.repair.addHints(ctx, park, specs)
 	}
 	s.bytesPut.Add(int64(len(value)))
 	s.simClock.Add(int64(s.cfg.Cost.requestCost(len(value))))
 	s.reqCount.Add(1)
 	return nil
+}
+
+// replicatedPut writes one envelope to every replica, routing around down
+// nodes. It reports the first node that acknowledged (-1 if none — the
+// caller renders the all-down error) and the nodes that missed the write;
+// hard engine errors abort.
+func (s *Store) replicatedPut(ctx context.Context, replicas []int, table, key string, env []byte) (park int, missed []int, err error) {
+	park = -1
+	for _, n := range replicas {
+		switch err := s.nodes[n].put(ctx, table, key, env); {
+		case err == nil:
+			if park < 0 {
+				park = n
+			}
+		case isUnavailable(err):
+			missed = append(missed, n)
+		default:
+			return -1, nil, err
+		}
+	}
+	return park, missed, nil
 }
 
 // BatchPut stores many values in one table, grouping the writes per replica
@@ -379,7 +420,11 @@ func (s *Store) BatchPut(ctx context.Context, table string, entries []Entry) err
 	for i, e := range entries {
 		envs[i] = envelope(envValue, ts, e.Value)
 	}
-	committed := make([]bool, len(entries))
+	committed := make([]int, len(entries)) // first acking node, or -1
+	for i := range committed {
+		committed[i] = -1
+	}
+	var missedByNode map[int][]int // down node → entry indexes it missed
 	for nid, idxs := range perNode {
 		group := make([]engine.Entry, len(idxs))
 		for j, i := range idxs {
@@ -388,20 +433,43 @@ func (s *Store) BatchPut(ctx context.Context, table string, entries []Entry) err
 		switch err := s.nodes[nid].batchPut(ctx, table, group); {
 		case err == nil:
 			for _, i := range idxs {
-				committed[i] = true
+				if committed[i] < 0 {
+					committed[i] = nid
+				}
 			}
 		case isUnavailable(err):
 			// Routed around; entries survive on other replicas.
+			if missedByNode == nil {
+				missedByNode = make(map[int][]int)
+			}
+			missedByNode[nid] = idxs
 		default:
 			return fmt.Errorf("kvstore: batchput %s: node %d: %w", table, nid, err)
 		}
 	}
 	var bytes int64
 	for i, e := range entries {
-		if !committed[i] {
+		if committed[i] < 0 {
 			return allDownErr(ctx, "kvstore: batchput %s/%s: all replicas down", table, e.Key)
 		}
 		bytes += int64(len(e.Value))
+	}
+	if s.repair != nil && len(missedByNode) > 0 {
+		// Park the missed writes, batched per parking node (the first
+		// replica that acknowledged each entry) so the hint log costs one
+		// durable batch per park, not one per key.
+		perPark := make(map[int][]hintSpec)
+		for nid, idxs := range missedByNode {
+			for _, i := range idxs {
+				park := committed[i]
+				perPark[park] = append(perPark[park], hintSpec{
+					target: nid, table: table, key: entries[i].Key, env: envs[i],
+				})
+			}
+		}
+		for park, specs := range perPark {
+			s.repair.addHints(ctx, park, specs)
+		}
 	}
 
 	// Simulated timing: per-primary serial service, client-side lanes
@@ -438,18 +506,26 @@ func (s *Store) Get(ctx context.Context, table, key string) ([]byte, error) {
 // lwwGet reads (table, key) from every live replica and resolves the
 // newest version by write timestamp — a node that restarted stale (it was
 // down while peers accepted overwrites or deletes) is outvoted instead of
-// believed; see lww.go. On remote clusters the replicas are consulted
-// concurrently so one dead node's dial-retry latency does not stack in
-// front of the others. Cost accounting charges one request per key
-// regardless: replica consultation is modeled as free digest reads,
+// believed; see lww.go. Timestamp ties resolve deterministically
+// (tombstone first, then lowest node id — lwwNewer), so every reader and
+// every repair picks the same winner. On remote clusters the replicas are
+// consulted concurrently so one dead node's dial-retry latency does not
+// stack in front of the others. Cost accounting charges one request per
+// key regardless: replica consultation is modeled as free digest reads,
 // mirroring how Put charges once despite its replica fan-out. It reports
 // whether any replica was reachable; err is a hard engine error.
+//
+// Divergence observed here is also queued for read repair: live replicas
+// that returned an older version (or missed a live key, or hold a value a
+// tombstone deleted) get the winning envelope written back asynchronously.
 func (s *Store) lwwGet(ctx context.Context, table, key string) (v []byte, ok, anyUp bool, err error) {
 	replicas := s.ring.replicas(key, s.cfg.ReplicationFactor)
 	type result struct {
 		raw     []byte
 		present bool
 		err     error
+		ts      uint64
+		tomb    bool
 	}
 	results := make([]result, len(replicas))
 	if s.fanout && len(replicas) > 1 {
@@ -472,6 +548,7 @@ func (s *Store) lwwGet(ctx context.Context, table, key string) (v []byte, ok, an
 
 	var best []byte
 	var bestTS uint64
+	var bestNode int
 	found, tombstone := false, false
 	for i := range results {
 		r := &results[i]
@@ -489,10 +566,53 @@ func (s *Store) lwwGet(ctx context.Context, table, key string) (v []byte, ok, an
 		if err != nil {
 			return nil, false, true, err
 		}
-		if !found || ts > bestTS {
-			found, bestTS, tombstone, best = true, ts, tomb, payload
+		r.ts, r.tomb = ts, tomb
+		if !found || lwwNewer(ts, tomb, replicas[i], bestTS, tombstone, bestNode) {
+			found, bestTS, tombstone, bestNode, best = true, ts, tomb, replicas[i], payload
 		}
 	}
+
+	if s.repair != nil && found {
+		// complete = every replica was reachable and agrees with the
+		// winner. For a tombstone winner a replica that is missing the key
+		// also agrees in effect — it holds nothing the tombstone protects
+		// against — so it neither blocks TTL collection nor gets the
+		// tombstone re-created (which would undo GC).
+		complete := true
+		var losers []int
+		for i := range results {
+			r := &results[i]
+			if r.err != nil {
+				complete = false
+				continue
+			}
+			if r.present && r.ts == bestTS && r.tomb == tombstone {
+				continue // carries the winning version
+			}
+			if !r.present && tombstone {
+				continue
+			}
+			complete = false
+			losers = append(losers, replicas[i])
+		}
+		if len(losers) > 0 && !s.repair.opts.DisableReadRepair {
+			flag := byte(envValue)
+			if tombstone {
+				flag = envTombstone
+			}
+			// envelope() builds a fresh buffer, so the queued task owns its
+			// bytes (best may alias a result buffer).
+			s.repair.enqueue(repairTask{
+				table: table, key: key,
+				env: envelope(flag, bestTS, best), ts: bestTS, tomb: tombstone,
+				targets: losers,
+			})
+		}
+		if tombstone && complete {
+			s.repair.observeExpiredTombstone(table, key, bestTS, replicas)
+		}
+	}
+
 	if !found || tombstone {
 		return nil, false, anyUp, nil
 	}
@@ -502,23 +622,40 @@ func (s *Store) lwwGet(ctx context.Context, table, key string) (v []byte, ok, an
 // Delete removes (table, key) from all replicas by writing a tombstone:
 // a replica that misses the delete (down at the time) is outvoted by the
 // tombstone's newer timestamp when it comes back, instead of resurrecting
-// the value. Deleting a missing key is not an error, but — matching Put —
-// deleting while every replica is down is: the tombstone took hold
+// the value — and, with repair enabled, receives the tombstone by hint
+// replay. Once every replica has acknowledged the tombstone (now, or
+// later through hints and read repair), it is physically collected
+// (repair.go). Deleting a missing key is not an error, but — matching
+// Put — deleting while every replica is down is: the tombstone took hold
 // nowhere.
 func (s *Store) Delete(ctx context.Context, table, key string) error {
-	env := envelope(envTombstone, s.nextTS(), nil)
-	ok := false
-	for _, n := range s.ring.replicas(key, s.cfg.ReplicationFactor) {
-		switch err := s.nodes[n].put(ctx, table, key, env); {
-		case err == nil:
-			ok = true
-		case isUnavailable(err):
-		default:
-			return fmt.Errorf("kvstore: delete %s/%s: %w", table, key, err)
-		}
+	replicas := s.ring.replicas(key, s.cfg.ReplicationFactor)
+	ts := s.nextTS()
+	env := envelope(envTombstone, ts, nil)
+	park, missed, err := s.replicatedPut(ctx, replicas, table, key, env)
+	if err != nil {
+		return fmt.Errorf("kvstore: delete %s/%s: %w", table, key, err)
 	}
-	if !ok {
+	if park < 0 {
 		return allDownErr(ctx, "kvstore: delete %s/%s: all replicas down", table, key)
+	}
+	if s.repair != nil {
+		// Register the ack wait BEFORE parking hints: a hint replayed the
+		// instant it is parked (the target flapped back up mid-drain) must
+		// find the wait registered, or its acknowledgment would be dropped
+		// and the tombstone never collected.
+		pending := make(map[int]bool, len(missed))
+		for _, n := range missed {
+			pending[n] = true
+		}
+		s.repair.trackTombstone(table, key, ts, pending, replicas)
+		if len(missed) > 0 {
+			specs := make([]hintSpec, len(missed))
+			for i, n := range missed {
+				specs[i] = hintSpec{target: n, table: table, key: key, env: env}
+			}
+			s.repair.addHints(ctx, park, specs)
+		}
 	}
 	s.account(1, 0)
 	return nil
@@ -689,12 +826,14 @@ func (s *Store) Scan(ctx context.Context, table string, fn func(key string, valu
 	// Dump, index rebuilds) are whole-table operations that buffer
 	// comparable state themselves. A streaming merge-scan would need
 	// ordered per-node iteration, which engine.Backend does not promise.
-	type winner struct {
-		ts    uint64
-		tomb  bool
-		value []byte
-	}
-	best := make(map[string]*winner)
+	//
+	// The sweep doubles as a whole-table divergence detector: each winner
+	// tracks (in two bitmasks, clusters ≤ 64 nodes) which nodes reported
+	// it and which reported the winning version, so stale or missing
+	// replicas can be queued for read repair after the sweep.
+	detect := s.repair != nil && len(s.nodes) <= 64
+	var upMask uint64
+	best := make(map[string]*scanWinner)
 	unavailable := 0
 	var envErr error
 	for _, n := range s.nodes {
@@ -705,14 +844,23 @@ func (s *Store) Scan(ctx context.Context, table string, fn func(key string, valu
 				return false
 			}
 			w, ok := best[k]
-			if ok && ts <= w.ts {
-				return true
-			}
 			if !ok {
-				w = &winner{}
+				w = &scanWinner{}
 				best[k] = w
 			}
-			w.ts, w.tomb = ts, tomb
+			if detect {
+				w.reported |= 1 << n.id
+			}
+			if ok && !lwwNewer(ts, tomb, n.id, w.ts, w.tomb, w.node) {
+				if detect && ts == w.ts && tomb == w.tomb {
+					w.winners |= 1 << n.id
+				}
+				return true
+			}
+			w.ts, w.tomb, w.node = ts, tomb, n.id
+			if detect {
+				w.winners = 1 << n.id
+			}
 			w.value = append(w.value[:0], payload...)
 			return true
 		})
@@ -726,6 +874,9 @@ func (s *Store) Scan(ctx context.Context, table string, fn func(key string, valu
 		if err != nil {
 			return fmt.Errorf("kvstore: scan %s: %w", table, err)
 		}
+		if detect {
+			upMask |= 1 << n.id
+		}
 	}
 	if unavailable >= s.cfg.ReplicationFactor {
 		// Every key has ReplicationFactor distinct replicas, so with fewer
@@ -735,6 +886,9 @@ func (s *Store) Scan(ctx context.Context, table string, fn func(key string, valu
 			table, unavailable, s.cfg.ReplicationFactor)
 	}
 
+	if detect {
+		s.scanRepairs(table, best, upMask)
+	}
 	for k, w := range best {
 		if w.tomb {
 			continue
@@ -744,6 +898,62 @@ func (s *Store) Scan(ctx context.Context, table string, fn func(key string, valu
 		}
 	}
 	return nil
+}
+
+// scanWinner is a replicated Scan's per-key resolution state: the newest
+// observed version plus the divergence bitmasks scanRepairs consumes.
+type scanWinner struct {
+	ts    uint64
+	tomb  bool
+	node  int
+	value []byte
+	// winners = nodes that reported exactly the winning (ts, tomb);
+	// reported = nodes that reported any version of the key.
+	winners, reported uint64
+}
+
+// scanRepairs queues read repair for every key a replicated Scan found
+// divergent: reachable replicas that reported a losing version or missed
+// the key get the winner written back. Expired tombstones whose replicas
+// all agree are handed to TTL collection. Clusters past 64 nodes skip
+// detection (the masks are single words).
+func (s *Store) scanRepairs(table string, best map[string]*scanWinner, upMask uint64) {
+	for k, w := range best {
+		replicas := s.ring.replicas(k, s.cfg.ReplicationFactor)
+		complete := true
+		var losers []int
+		for _, n := range replicas {
+			bit := uint64(1) << n
+			if upMask&bit == 0 {
+				complete = false
+				continue // unreachable: nothing to fix now
+			}
+			if w.winners&bit != 0 {
+				continue
+			}
+			if w.reported&bit == 0 && w.tomb {
+				// Missing + tombstone winner: nothing to outvote, and in
+				// effect in agreement (mirrors lwwGet).
+				continue
+			}
+			complete = false
+			losers = append(losers, n)
+		}
+		if len(losers) > 0 && !s.repair.opts.DisableReadRepair {
+			flag := byte(envValue)
+			if w.tomb {
+				flag = envTombstone
+			}
+			s.repair.enqueue(repairTask{
+				table: table, key: k,
+				env: envelope(flag, w.ts, w.value), ts: w.ts, tomb: w.tomb,
+				targets: losers,
+			})
+		}
+		if w.tomb && complete {
+			s.repair.observeExpiredTombstone(table, k, w.ts, replicas)
+		}
+	}
 }
 
 // scanUnreplicated streams each node's primarily-owned keys — with one
@@ -816,13 +1026,24 @@ func (s *Store) ChargeScan(n int) time.Duration {
 	return d
 }
 
-// Stats is a snapshot of cluster counters.
+// Stats is a snapshot of cluster counters. The repair fields are zero
+// when replication repair is off (ReplicationFactor 1).
 type Stats struct {
 	Requests    int64
 	BytesRead   int64
 	BytesPut    int64
 	SimElapsed  time.Duration
 	BytesStored int64 // resident across nodes (including replicas)
+
+	// Replication repair (repair.go). Lifetime counters are per Store
+	// instance (a reopened client starts at zero, though it inherits and
+	// re-counts durable hints it recovers).
+	RepairWrites   int64 // winning envelopes written back to losing replicas
+	RepairDropped  int64 // repair tasks dropped on a full queue
+	HintsQueued    int64 // writes parked for down replicas (lifetime)
+	HintsReplayed  int64 // parked writes delivered to recovered replicas
+	HintsPending   int64 // parked writes currently awaiting replay
+	TombstonesGCed int64 // tombstones physically collected
 }
 
 // Stats returns a snapshot of the counters; ctx bounds the per-node
@@ -835,6 +1056,14 @@ func (s *Store) Stats(ctx context.Context) Stats {
 		BytesRead:  s.bytesRead.Load(),
 		BytesPut:   s.bytesPut.Load(),
 		SimElapsed: time.Duration(s.simClock.Load()),
+	}
+	if r := s.repair; r != nil {
+		st.RepairWrites = r.repairWrites.Load()
+		st.RepairDropped = r.repairDropped.Load()
+		st.HintsQueued = r.hintsQueued.Load()
+		st.HintsReplayed = r.hintsReplayed.Load()
+		st.HintsPending = r.hintsPending.Load()
+		st.TombstonesGCed = r.tombstonesGC.Load()
 	}
 	for _, n := range s.nodes {
 		if b, err := n.stored(ctx); err == nil {
@@ -855,12 +1084,17 @@ func (s *Store) ResetClock() {
 
 // SetNodeUp marks a node up or down, for failure-injection tests. Remote
 // nodes refuse: their availability is a property of the real process, not
-// a flag (stop the daemon instead).
+// a flag (stop the daemon instead). Reviving a node nudges the hint drain
+// loop so parked writes replay promptly.
 func (s *Store) SetNodeUp(id int, up bool) error {
 	if id < 0 || id >= len(s.nodes) {
 		return fmt.Errorf("kvstore: no node %d", id)
 	}
-	return s.nodes[id].tr.injectFault(up)
+	err := s.nodes[id].tr.injectFault(up)
+	if err == nil && up && s.repair != nil {
+		s.repair.kickDrain()
+	}
+	return err
 }
 
 // NodeBytes returns resident bytes per node, for balance checks; ctx

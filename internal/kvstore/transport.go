@@ -17,10 +17,13 @@ import (
 // both — a node being "down" is one error class (engine.ErrUnavailable)
 // whether it comes from an injected flag or a refused connection.
 type transport interface {
-	// Note there is no delete: the replication layer deletes by writing
-	// LWW tombstones (see lww.go), so only puts travel the seam.
+	// The replication layer deletes by writing LWW tombstones (see
+	// lww.go); del is the physical removal beneath that model, used only
+	// by the repair subsystem (tombstone GC, hint-log cleanup — see
+	// repair.go), never to delete user data directly.
 	put(ctx context.Context, table, key string, value []byte) error
 	get(ctx context.Context, table, key string) ([]byte, bool, error)
+	del(ctx context.Context, table, key string) error
 	batchPut(ctx context.Context, table string, entries []engine.Entry) error
 	// scan visits every key/value of a table. Values passed to fn may alias
 	// transport-internal buffers; fn must not retain or mutate them.
@@ -83,6 +86,13 @@ func (t *localTransport) get(ctx context.Context, table, key string) ([]byte, bo
 	return t.be.Get(ctx, table, key)
 }
 
+func (t *localTransport) del(ctx context.Context, table, key string) error {
+	if err := t.gate(); err != nil {
+		return err
+	}
+	return t.be.Delete(ctx, table, key)
+}
+
 func (t *localTransport) batchPut(ctx context.Context, table string, entries []engine.Entry) error {
 	if err := t.gate(); err != nil {
 		return err
@@ -142,6 +152,10 @@ func (t *remoteTransport) put(ctx context.Context, table, key string, value []by
 
 func (t *remoteTransport) get(ctx context.Context, table, key string) ([]byte, bool, error) {
 	return t.c.Get(ctx, table, key)
+}
+
+func (t *remoteTransport) del(ctx context.Context, table, key string) error {
+	return t.c.Delete(ctx, table, key)
 }
 
 func (t *remoteTransport) batchPut(ctx context.Context, table string, entries []engine.Entry) error {

@@ -399,6 +399,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"total_span":   s.store.TotalVersionSpan(),
 		"bytes_stored": kv.BytesStored,
 		"requests":     kv.Requests,
+		// Replication repair traffic (zero at replication factor 1).
+		"repair_writes":   kv.RepairWrites,
+		"hints_pending":   kv.HintsPending,
+		"hints_replayed":  kv.HintsReplayed,
+		"tombstones_gced": kv.TombstonesGCed,
 	})
 }
 

@@ -132,6 +132,16 @@ func KeyRangeFrom(lo Key) Range { return core.KeyRangeFrom(lo) }
 // ClusterConfig configures the backing key-value cluster.
 type ClusterConfig = kvstore.Config
 
+// RepairOptions tunes replication repair — read repair, hinted handoff,
+// and tombstone GC — for ClusterConfig.Repair (and Config.Repair on a
+// private cluster). The zero value enables repair with defaults whenever
+// ClusterConfig.ReplicationFactor > 1.
+type RepairOptions = kvstore.RepairOptions
+
+// ClusterStats is a snapshot of cluster counters, including replication
+// repair traffic (see kvstore.Store.Stats).
+type ClusterStats = kvstore.Stats
+
 // Backend engine names for ClusterConfig.Engine / Config.Engine.
 const (
 	// EngineMemory is the default in-process map backend; nothing persists.
