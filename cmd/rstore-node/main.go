@@ -9,6 +9,13 @@
 // Usage:
 //
 //	rstore-node -addr :7420 -data /var/lib/rstore-node
+//	rstore-node -addr :7420 -data /var/lib/rstore-node -compact-interval 5m -compact-live-ratio 0.6
+//
+// With -compact-interval set, the node periodically checks its segment
+// files' live ratio (live bytes / disk bytes) and runs a compaction — a
+// crash-safe merge of only-live records into a fresh segment — whenever the
+// ratio falls below -compact-live-ratio. Clients can also trigger a
+// compaction on demand through the wire protocol (kvstore.Store.Compact).
 //
 // Besides data tables, a node may host cluster bookkeeping written by its
 // clients through the same engine seam: the !cluster ring-position pin and
@@ -39,9 +46,11 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":7420", "listen address")
-		dataDir   = flag.String("data", "", "data directory (required)")
-		segmentMB = flag.Int("segment-mb", 0, "segment rotation threshold in MiB (0 = default 64)")
+		addr         = flag.String("addr", ":7420", "listen address")
+		dataDir      = flag.String("data", "", "data directory (required)")
+		segmentMB    = flag.Int("segment-mb", 0, "segment rotation threshold in MiB (0 = default 64)")
+		compactEvery = flag.Duration("compact-interval", 0, "check the live ratio and compact at this cadence (0 = only on client demand)")
+		compactRatio = flag.Float64("compact-live-ratio", 0.6, "compact when live bytes / disk bytes falls below this (with -compact-interval)")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -60,10 +69,47 @@ func main() {
 	log.Printf("rstore-node serving %s on %s (%d bytes resident)",
 		*dataDir, srv.Addr(), be.BytesStored())
 
+	// Background compaction: live-ratio-triggered so a write-once workload
+	// never pays a rewrite, while an overwrite-heavy one converges back to
+	// roughly its live volume every interval.
+	compactCtx, stopCompact := context.WithCancel(context.Background())
+	var compactDone chan struct{}
+	if *compactEvery > 0 {
+		compactDone = make(chan struct{})
+		go func() {
+			defer close(compactDone)
+			t := time.NewTicker(*compactEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-compactCtx.Done():
+					return
+				case <-t.C:
+				}
+				st, err := be.CompactionStats(compactCtx)
+				if err != nil || st.LiveRatio() >= *compactRatio {
+					continue
+				}
+				before := st.DiskBytes
+				st, err = be.Compact(compactCtx)
+				if err != nil {
+					log.Printf("rstore-node: compact: %v", err)
+					continue
+				}
+				log.Printf("rstore-node: compacted %s: %d -> %d disk bytes (live ratio %.2f)",
+					*dataDir, before, st.DiskBytes, st.LiveRatio())
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("rstore-node draining")
+	stopCompact()
+	if compactDone != nil {
+		<-compactDone
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -6,7 +6,14 @@
 //
 //	rstore-server -addr :8080 -nodes 4 -rf 2 [-store data.rstore]
 //	rstore-server -addr :8080 -backend disklog -data /var/lib/rstore
+//	rstore-server -addr :8080 -backend disklog -data /var/lib/rstore -compact-interval 10m
 //	rstore-server -addr :8080 -rf 2 -backend remote -node-addrs host1:7420,host2:7420,host3:7420
+//
+// With -compact-interval set (disklog or remote backends), the server
+// watches the cluster's live ratio (live bytes / disk bytes, on /stats)
+// and compacts every node's segment files whenever it falls below
+// -compact-live-ratio, reclaiming the dead bytes overwritten document
+// versions leave behind.
 //
 // With -backend disklog every node's data lives under the -data directory
 // and survives restarts: the server replays the segment files on boot and
@@ -66,6 +73,8 @@ func main() {
 		storePath = flag.String("store", "", "snapshot file to restore from (memory backend only)")
 		hintEvery = flag.Duration("hint-interval", 0, "hint drain cadence for replication repair (0 = default 1s)")
 		tombTTL   = flag.Duration("tombstone-ttl", 0, "collect tombstones older than this once all replicas agree (0 = ack-based GC only)")
+		compEvery = flag.Duration("compact-interval", 0, "check the cluster's live ratio and compact at this cadence (0 = off; disklog/remote backends)")
+		compRatio = flag.Float64("compact-live-ratio", 0.6, "compact when live bytes / disk bytes falls below this (with -compact-interval)")
 	)
 	flag.Parse()
 
@@ -141,6 +150,39 @@ func main() {
 		}
 	}
 
+	// Background storage reclaim: overwritten document versions and GC'd
+	// tombstones leave dead bytes in disklog segments; compact whenever the
+	// cluster-wide live ratio sinks below the threshold. Engines without
+	// compaction (memory) report nothing on disk and the loop never fires.
+	compactCtx, stopCompact := context.WithCancel(ctx)
+	var compactDone chan struct{}
+	if *compEvery > 0 {
+		compactDone = make(chan struct{})
+		go func() {
+			defer close(compactDone)
+			t := time.NewTicker(*compEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-compactCtx.Done():
+					return
+				case <-t.C:
+				}
+				cs := kv.Stats(compactCtx)
+				if cs.DiskBytes == 0 || cs.LiveRatio >= *compRatio {
+					continue
+				}
+				reclaimed, err := kv.Compact(compactCtx)
+				if err != nil {
+					log.Printf("rstore-server: compact: %v", err)
+				}
+				if reclaimed > 0 {
+					log.Printf("rstore-server: compacted %d bytes (live ratio was %.2f)", reclaimed, cs.LiveRatio)
+				}
+			}
+		}()
+	}
+
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: server.New(st),
@@ -162,6 +204,11 @@ func main() {
 		log.Fatal(err)
 	case s := <-sig:
 		log.Printf("rstore-server: %v: draining", s)
+	}
+	// Stop background compaction before the store (and its backends) close.
+	stopCompact()
+	if compactDone != nil {
+		<-compactDone
 	}
 	// Drain in-flight requests (streaming queries included) before closing
 	// the store; stragglers are cut off at the deadline.

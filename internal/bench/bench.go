@@ -212,6 +212,7 @@ func Experiments() []Experiment {
 		{"ablation-replication", "extension: replication + read balancing (paper future work)", RunAblationReplication},
 		{"ablation-cache", "extension: application-server chunk cache on hot versions", RunAblationCache},
 		{"repair", "extension: replication repair — hinted handoff + read repair convergence\n(always in-process: needs failure injection)", RunRepair},
+		{"compact", "extension: disklog segment compaction — disk bytes before/after an\noverwrite-heavy workload (always on a private disklog cluster)", RunCompact},
 	}
 }
 

@@ -17,6 +17,18 @@
 //     maps extract the requested records; pending (not yet partitioned)
 //     versions are served by overlaying delta-store contents on the nearest
 //     partitioned ancestor.
+//
+// A Store is safe for concurrent use, but it must be the only writer of its
+// underlying cluster: commits, flushes, and Materialize coordinate through
+// the Store's own locks, not through the storage layer, which offers no
+// cross-client atomicity (see the internal/engine and internal/kvstore
+// package comments on the one-logical-writer contract). Queries return
+// streaming cursors whose records are private copies — callers may retain
+// them freely.
+//
+// The layer diagram lives in docs/ARCHITECTURE.md; every on-disk format the
+// engine persists through the cluster (manifest v2, delta store, chunk
+// generations) is specified in docs/FORMATS.md.
 package core
 
 import (

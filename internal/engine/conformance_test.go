@@ -31,6 +31,16 @@ func backends(t *testing.T) map[string]func(t *testing.T) engine.Backend {
 			}
 			return b
 		},
+		// Disklog with a compaction forced after every mutation: segment
+		// rewrites, index swaps, and victim unlinks race the whole suite,
+		// and none of it may be observable through the Backend contract.
+		"disklog-compacting": func(t *testing.T) engine.Backend {
+			b, err := disklog.Open(t.TempDir(), disklog.Options{SegmentBytes: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return compactingBackend{b}
+		},
 		// The wire client against an engined server over real TCP: the
 		// remote seam must be indistinguishable from a local backend.
 		"remote": func(t *testing.T) engine.Backend {
@@ -46,6 +56,39 @@ func backends(t *testing.T) map[string]func(t *testing.T) engine.Backend {
 			return c
 		},
 	}
+}
+
+// compactingBackend wraps disklog so every successful mutation immediately
+// triggers a full compaction cycle. An aggressive-compaction backend must be
+// semantically indistinguishable from a quiescent one.
+type compactingBackend struct {
+	*disklog.Backend
+}
+
+func (c compactingBackend) compact(ctx context.Context) error {
+	_, err := c.Backend.Compact(ctx)
+	return err
+}
+
+func (c compactingBackend) Put(ctx context.Context, table, key string, value []byte) error {
+	if err := c.Backend.Put(ctx, table, key, value); err != nil {
+		return err
+	}
+	return c.compact(ctx)
+}
+
+func (c compactingBackend) BatchPut(ctx context.Context, table string, entries []engine.Entry) error {
+	if err := c.Backend.BatchPut(ctx, table, entries); err != nil {
+		return err
+	}
+	return c.compact(ctx)
+}
+
+func (c compactingBackend) Delete(ctx context.Context, table, key string) error {
+	if err := c.Backend.Delete(ctx, table, key); err != nil {
+		return err
+	}
+	return c.compact(ctx)
 }
 
 // forEachBackend runs fn against every backend implementation.

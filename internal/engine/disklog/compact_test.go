@@ -1,0 +1,377 @@
+package disklog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// overwriteWorkload fills b with an overwrite-heavy, multi-segment history:
+// nKeys keys written rounds+1 times each (latest revision wins), then the
+// first nKeys/10 deleted. It returns the expected live state: key -> value
+// for survivors; deleted keys are absent from the map.
+func overwriteWorkload(t *testing.T, b *Backend, nKeys, rounds int) map[string]string {
+	t.Helper()
+	ctx := context.Background()
+	key := func(i int) string { return fmt.Sprintf("k%04d", i) }
+	for rev := 0; rev <= rounds; rev++ {
+		for i := 0; i < nKeys; i++ {
+			v := fmt.Sprintf("%s rev-%d %s", key(i), rev, strings.Repeat("x", 64))
+			if err := b.Put(ctx, "t", key(i), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := make(map[string]string, nKeys)
+	for i := 0; i < nKeys; i++ {
+		want[key(i)] = fmt.Sprintf("%s rev-%d %s", key(i), rounds, strings.Repeat("x", 64))
+	}
+	for i := 0; i < nKeys/10; i++ {
+		if err := b.Delete(ctx, "t", key(i)); err != nil {
+			t.Fatal(err)
+		}
+		delete(want, key(i))
+	}
+	return want
+}
+
+// verifyState checks that b serves exactly want: every surviving key at its
+// last revision, every deleted key absent.
+func verifyState(t *testing.T, b *Backend, nKeys int, want map[string]string) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < nKeys; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		v, ok, err := b.Get(ctx, "t", k)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", k, err)
+		}
+		if wv, live := want[k]; live {
+			if !ok || string(v) != wv {
+				t.Fatalf("%s = %q (ok=%v), want %q", k, v, ok, wv)
+			}
+		} else if ok {
+			t.Fatalf("deleted key %s resurrected as %q", k, v)
+		}
+	}
+}
+
+func diskBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, name := range names {
+		info, err := os.Stat(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
+}
+
+// TestCompactReclaims is the headline contract: an overwrite-heavy history
+// compacts to a fraction of its on-disk volume with identical reads, the
+// stats account for the reclaim, and the compacted layout replays.
+func TestCompactReclaims(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	b := openT(t, dir, Options{SegmentBytes: 4 << 10})
+	const nKeys = 200
+	want := overwriteWorkload(t, b, nKeys, 4)
+
+	before, err := b.CompactionStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.LiveRatio() > 0.5 {
+		t.Fatalf("workload not dead-heavy enough: live ratio %.2f", before.LiveRatio())
+	}
+	st, err := b.Compact(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DiskBytes > before.DiskBytes/2 {
+		t.Fatalf("compaction reclaimed too little: %d -> %d disk bytes", before.DiskBytes, st.DiskBytes)
+	}
+	if st.CompactedBytes != before.DiskBytes-st.DiskBytes {
+		t.Fatalf("CompactedBytes = %d, want %d", st.CompactedBytes, before.DiskBytes-st.DiskBytes)
+	}
+	if got := diskBytes(t, dir); got != st.DiskBytes {
+		t.Fatalf("stats say %d disk bytes, filesystem says %d", st.DiskBytes, got)
+	}
+	verifyState(t, b, nKeys, want)
+
+	// Compacting again immediately must be a no-op: the compacted segment
+	// is fully live (marker records included), so re-selecting it as a
+	// victim would rewrite all data to reclaim nothing. Stats alone cannot
+	// tell a no-op from a useless full rewrite (both end with the same
+	// byte counts), so check the segment file identity too.
+	compactedSeg := filepath.Join(dir, fmt.Sprintf("seg-%06d.log", b.segs[0].id))
+	infoBefore, err := os.Stat(compactedSeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := b.Compact(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != st {
+		t.Fatalf("repeat compact was not a no-op: %+v -> %+v", st, again)
+	}
+	infoAfter, err := os.Stat(compactedSeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !os.SameFile(infoBefore, infoAfter) {
+		t.Fatal("repeat compact rewrote the fully-live compacted segment")
+	}
+
+	// The compacted layout must replay byte-for-byte equivalent state.
+	wantBytes := b.BytesStored()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openT(t, dir, Options{SegmentBytes: 4 << 10})
+	defer r.Close()
+	verifyState(t, r, nKeys, want)
+	if got := r.BytesStored(); got != wantBytes {
+		t.Fatalf("BytesStored after reopen = %d, want %d", got, wantBytes)
+	}
+}
+
+// TestCompactNothingToReclaim: a write-once history has no dead bytes, so
+// Compact must be a no-op — same files, no rewrite output.
+func TestCompactNothingToReclaim(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	b := openT(t, dir, Options{SegmentBytes: 4 << 10})
+	defer b.Close()
+	for i := 0; i < 100; i++ {
+		if err := b.Put(ctx, "t", fmt.Sprintf("k%03d", i), []byte(strings.Repeat("v", 64))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := b.CompactionStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := b.Compact(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != before {
+		t.Fatalf("no-op compact changed stats: %+v -> %+v", before, st)
+	}
+	if st.CompactedBytes != 0 {
+		t.Fatalf("no-op compact claims %d bytes reclaimed", st.CompactedBytes)
+	}
+}
+
+// TestCompactThenWrite: the log keeps accepting (and replaying) writes after
+// a compaction — the rewritten segment and the survivors form a consistent
+// id sequence.
+func TestCompactThenWrite(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	b := openT(t, dir, Options{SegmentBytes: 4 << 10})
+	const nKeys = 100
+	want := overwriteWorkload(t, b, nKeys, 3)
+	if _, err := b.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("post%03d", i)
+		if err := b.Put(ctx, "t", k, []byte("after-compact")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A second compaction over the mixed (compacted + fresh) layout.
+	if _, err := b.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	verifyState(t, b, nKeys, want)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openT(t, dir, Options{SegmentBytes: 4 << 10})
+	defer r.Close()
+	verifyState(t, r, nKeys, want)
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("post%03d", i)
+		if v, ok, _ := r.Get(ctx, "t", k); !ok || string(v) != "after-compact" {
+			t.Fatalf("%s = %q (ok=%v) after reopen", k, v, ok)
+		}
+	}
+}
+
+// TestCompactCrashRecovery injects a crash at each of Compact's dangerous
+// points and proves reopening the directory loses nothing:
+//
+//   - mid-rewrite: the .cmp output is half-written and unsealed; replay must
+//     discard it and serve from the intact victims.
+//   - sealed: the .cmp is complete and fsynced but the swap never happened;
+//     replay must adopt it (victims deleted, file renamed into place).
+//   - renamed: the rename committed but the victim unlink was interrupted;
+//     replay must delete the lower-numbered leftovers instead of replaying
+//     them (which would resurrect dropped tombstones).
+func TestCompactCrashRecovery(t *testing.T) {
+	const nKeys = 200
+	for _, point := range []string{"mid-rewrite", "sealed", "renamed"} {
+		t.Run(point, func(t *testing.T) {
+			ctx := context.Background()
+			dir := t.TempDir()
+			b := openT(t, dir, Options{SegmentBytes: 4 << 10})
+			want := overwriteWorkload(t, b, nKeys, 4)
+
+			b.compactCrash = point
+			if _, err := b.Compact(ctx); !errors.Is(err, errCompactCrash) {
+				t.Fatalf("crash hook %q did not fire: %v", point, err)
+			}
+			// Simulate process death: release fds and the flock without any
+			// of Close's graceful fsync work.
+			b.closeFiles()
+
+			r := openT(t, dir, Options{SegmentBytes: 4 << 10})
+			verifyState(t, r, nKeys, want)
+
+			// No compaction debris may survive recovery...
+			cmps, err := filepath.Glob(filepath.Join(dir, "seg-*.log"+cmpSuffix))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cmps) != 0 {
+				t.Fatalf("compaction debris survived recovery: %v", cmps)
+			}
+			// ...and the recovered store must compact successfully.
+			st, err := r.Compact(ctx)
+			if err != nil {
+				t.Fatalf("compact after %s recovery: %v", point, err)
+			}
+			if got := diskBytes(t, dir); got != st.DiskBytes {
+				t.Fatalf("stats say %d disk bytes, filesystem says %d", st.DiskBytes, got)
+			}
+			verifyState(t, r, nKeys, want)
+			if err := r.Close(); err != nil {
+				t.Fatal(err)
+			}
+			r2 := openT(t, dir, Options{SegmentBytes: 4 << 10})
+			defer r2.Close()
+			verifyState(t, r2, nKeys, want)
+		})
+	}
+}
+
+// TestCompactConcurrentWrites: writes racing a compaction land in the active
+// segment and are never lost or regressed by the index swap.
+func TestCompactConcurrentWrites(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	b := openT(t, dir, Options{SegmentBytes: 4 << 10})
+	defer b.Close()
+	const nKeys = 200
+	overwriteWorkload(t, b, nKeys, 4)
+
+	done := make(chan error, 1)
+	go func() {
+		// Overwrite a slice of the keyspace while the compaction runs; the
+		// swap's ref equality check must keep these newer values.
+		var err error
+		for rev := 0; rev < 20 && err == nil; rev++ {
+			for i := 50; i < 100 && err == nil; i++ {
+				k := fmt.Sprintf("k%04d", i)
+				err = b.Put(ctx, "t", k, []byte(fmt.Sprintf("%s racing-%d", k, rev)))
+			}
+		}
+		done <- err
+	}()
+	if _, err := b.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for i := 50; i < 100; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		v, ok, err := b.Get(ctx, "t", k)
+		if err != nil || !ok {
+			t.Fatalf("Get(%s) = ok=%v err=%v", k, ok, err)
+		}
+		if want := fmt.Sprintf("%s racing-19", k); string(v) != want {
+			t.Fatalf("%s = %q, want %q", k, v, want)
+		}
+	}
+}
+
+// TestTornCompactHeaderDoesNotSupersede: deciding that a segment is a
+// compacted one triggers deletion of every lower-numbered segment, so that
+// decision must never be made from a torn or corrupt first record — even
+// one whose kind byte happens to read recCompactBegin. A genuine compacted
+// segment's header always passes its CRC (the file is fsynced before the
+// committing rename).
+func TestTornCompactHeaderDoesNotSupersede(t *testing.T) {
+	dir := t.TempDir()
+	b := openT(t, dir, Options{SegmentBytes: 4 << 10})
+	const nKeys = 100
+	want := overwriteWorkload(t, b, nKeys, 2)
+	if b.Segments() < 2 {
+		t.Fatal("test needs multiple segments")
+	}
+	lastID := b.segs[len(b.segs)-1].id
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-first-write of a freshly rotated segment whose
+	// garbage kind byte reads recCompactBegin: frame length 3, bogus CRC,
+	// body {recCompactBegin, 0, 0}.
+	torn := []byte{3, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, recCompactBegin, 0, 0}
+	tornPath := filepath.Join(dir, fmt.Sprintf("seg-%06d.log", lastID+1))
+	if err := os.WriteFile(tornPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openT(t, dir, Options{SegmentBytes: 4 << 10})
+	defer r.Close()
+	verifyState(t, r, nKeys, want)
+}
+
+// TestCompactTinyDeadIsLeftInPlace: when the sealed dead bytes are smaller
+// than the marker framing a rewrite would add, compaction must decline —
+// otherwise it would grow the log and report a negative reclaim.
+func TestCompactTinyDeadIsLeftInPlace(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	b := openT(t, dir, Options{SegmentBytes: 4 << 10})
+	defer b.Close()
+	if err := b.Put(ctx, "t", "k", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(ctx, "t", "k", []byte("b")); err != nil { // ~14 dead bytes
+		t.Fatal(err)
+	}
+	before, err := b.CompactionStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := b.Compact(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CompactedBytes != 0 {
+		t.Fatalf("tiny-dead compact claims %d bytes reclaimed", st.CompactedBytes)
+	}
+	if st.DiskBytes > before.DiskBytes {
+		t.Fatalf("tiny-dead compact grew the log: %d -> %d", before.DiskBytes, st.DiskBytes)
+	}
+	if v, ok, _ := b.Get(ctx, "t", "k"); !ok || string(v) != "b" {
+		t.Fatalf("k = %q (ok=%v)", v, ok)
+	}
+}

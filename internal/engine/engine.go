@@ -19,6 +19,21 @@
 // before the call returns, and values returned by Get must not alias backend
 // state. Scan is the one exception: the values it passes to the callback may
 // alias internal buffers and must not be retained or mutated.
+//
+// # Deployment caveat: one logical writer
+//
+// A Backend serializes the individual operations it receives, but the seam
+// offers no compare-and-swap or compare-and-delete: read-then-write
+// sequences issued by DIFFERENT cluster clients against the same backend
+// can interleave. The layers above (kvstore's replication repair, core's
+// flush path) therefore assume each backend is driven by one logical
+// writer at a time — one cluster client per data directory (disklog
+// enforces this with an exclusive flock) or per remote daemon. Multiple
+// concurrent *reading* clients are fine; concurrent writing clients are
+// outside the contract (see the tombstone-GC follow-up in ROADMAP.md).
+//
+// Backends that reclaim dead storage additionally implement the optional
+// Compactor interface; callers discover it with a type assertion.
 package engine
 
 import (
@@ -86,4 +101,53 @@ type Backend interface {
 	// Close releases the backend's resources, flushing anything buffered to
 	// stable storage first. Operations after Close fail.
 	Close() error
+}
+
+// ErrNoCompaction reports that a backend does not implement Compactor (or,
+// over the wire, that the daemon's backend does not). Callers that compact
+// opportunistically match it with errors.Is and move on.
+var ErrNoCompaction = errors.New("engine: backend does not support compaction")
+
+// CompactionStats is a snapshot of a backend's storage-reclaim state. All
+// byte counts include record framing, so DiskBytes-LiveBytes is exactly the
+// volume a full compaction could reclaim from sealed storage.
+type CompactionStats struct {
+	// DiskBytes is the total size of the backend's log/segment files.
+	DiskBytes int64
+	// LiveBytes is the portion of DiskBytes that compaction cannot reclaim:
+	// records the key index still references, plus fixed structural
+	// overhead (e.g. disklog's compacted-segment markers). The rest is
+	// dead — overwritten values, tombstones, superseded records.
+	LiveBytes int64
+	// CompactedBytes is the cumulative volume reclaimed by compaction over
+	// the lifetime of this backend instance.
+	CompactedBytes int64
+	// Segments is the number of log files backing the store.
+	Segments int
+}
+
+// LiveRatio is LiveBytes/DiskBytes — the fraction of on-disk storage that
+// is live. An empty backend reports 1 (nothing is dead).
+func (s CompactionStats) LiveRatio() float64 {
+	if s.DiskBytes <= 0 {
+		return 1
+	}
+	return float64(s.LiveBytes) / float64(s.DiskBytes)
+}
+
+// Compactor is the optional storage-reclaim extension of Backend: log- or
+// LSM-structured engines accumulate dead bytes (overwritten values,
+// tombstones) that only a merge can give back to the filesystem. Callers
+// obtain it by type assertion; engines with nothing to compact (in-memory
+// maps) simply do not implement it.
+type Compactor interface {
+	// Compact merges dead-heavy storage, rewriting only live records, and
+	// returns the post-compaction stats. It is safe to call concurrently
+	// with reads and writes, must be crash-safe (a crash mid-compaction
+	// loses no acknowledged write), and is a no-op when nothing can be
+	// reclaimed.
+	Compact(ctx context.Context) (CompactionStats, error)
+
+	// CompactionStats reports the current reclaim state without compacting.
+	CompactionStats(ctx context.Context) (CompactionStats, error)
 }

@@ -373,6 +373,30 @@ func (s *Server) serveOp(nc net.Conn, bw *bufio.Writer, op byte, body, resp []by
 		resp = codec.PutUvarint(resp, uint64(s.be.BytesStored()))
 		return resp, wire.WriteFrame(bw, resp)
 
+	case wire.OpCompact, wire.OpCompactStats:
+		c, ok := s.be.(engine.Compactor)
+		if !ok {
+			// Reported with the sentinel's exact text so the client can map
+			// it back onto engine.ErrNoCompaction (mirrors ErrClosed).
+			return reply(bw, resp, wire.StErr, []byte(engine.ErrNoCompaction.Error()))
+		}
+		var st engine.CompactionStats
+		var err error
+		if op == wire.OpCompact {
+			st, err = c.Compact(s.baseCtx)
+		} else {
+			st, err = c.CompactionStats(s.baseCtx)
+		}
+		// A long merge may outlive the deadline set at dispatch; the
+		// response write gets a fresh one.
+		nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		if err != nil {
+			return replyErr(bw, resp, err)
+		}
+		resp = append(resp[:0], wire.StOK)
+		resp = wire.PutCompactionStats(resp, st)
+		return resp, wire.WriteFrame(bw, resp)
+
 	case wire.OpPing:
 		return reply(bw, resp, wire.StOK, nil)
 

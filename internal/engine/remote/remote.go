@@ -58,6 +58,12 @@ type Options struct {
 	// streamed Scan frame; a context deadline may shorten it further).
 	// Default 30s.
 	IOTimeout time.Duration
+	// CompactTimeout bounds the wait for an OpCompact response instead of
+	// IOTimeout: a segment merge over a large store legitimately runs for
+	// minutes, and timing it out client-side would both fail the call and
+	// queue a duplicate merge on every retry. A caller wanting a shorter
+	// bound sets a context deadline. Default 15m.
+	CompactTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -76,6 +82,9 @@ func (o Options) withDefaults() Options {
 	if o.IOTimeout <= 0 {
 		o.IOTimeout = 30 * time.Second
 	}
+	if o.CompactTimeout <= 0 {
+		o.CompactTimeout = 15 * time.Minute
+	}
 	return o
 }
 
@@ -89,7 +98,10 @@ type Client struct {
 	closed bool
 }
 
-var _ engine.Backend = (*Client)(nil)
+var (
+	_ engine.Backend   = (*Client)(nil)
+	_ engine.Compactor = (*Client)(nil)
+)
 
 // conn is one pooled connection with its buffered reader and reusable
 // receive buffer.
@@ -228,6 +240,12 @@ func transportErr(err error) error { return transportError{err} }
 // whose effects already partially reached the caller (a Scan that delivered
 // entries).
 func (c *Client) do(ctx context.Context, req []byte, canRetry func() bool, handle func(status byte, body []byte) (done, abandon bool, err error)) error {
+	return c.doTimeout(ctx, c.opts.IOTimeout, req, canRetry, handle)
+}
+
+// doTimeout is do with an explicit per-exchange deadline, for the rare op
+// (compaction) whose server-side work legitimately outlasts IOTimeout.
+func (c *Client) doTimeout(ctx context.Context, iot time.Duration, req []byte, canRetry func() bool, handle func(status byte, body []byte) (done, abandon bool, err error)) error {
 	if len(req) > wire.MaxFrame {
 		// A request no frame can carry is a hard caller error, not node
 		// unavailability — retrying cannot help.
@@ -258,7 +276,7 @@ func (c *Client) do(ctx context.Context, req []byte, canRetry func() bool, handl
 			lastErr = err // dial failure: transient by definition
 			continue
 		}
-		abandon, err := cn.exchange(ctx, c.opts.IOTimeout, req, handle)
+		abandon, err := cn.exchange(ctx, iot, req, handle)
 		if err == nil {
 			if abandon {
 				cn.nc.Close()
@@ -312,12 +330,16 @@ func okOrErr(status byte, body []byte) (bool, bool, error) {
 }
 
 // decodeErr reconstructs a node-side error. It stays a hard error; sentinel
-// identity does not survive the wire except for closed-backend errors,
-// which are mapped back so callers can match types.ErrClosed.
+// identity does not survive the wire except for closed-backend and
+// no-compaction errors, which are mapped back so callers can match
+// types.ErrClosed / engine.ErrNoCompaction.
 func decodeErr(body []byte) error {
 	msg := string(body)
-	if msg == types.ErrClosed.Error() {
+	switch msg {
+	case types.ErrClosed.Error():
 		return types.ErrClosed
+	case engine.ErrNoCompaction.Error():
+		return engine.ErrNoCompaction
 	}
 	return fmt.Errorf("remote node: %s", msg)
 }
@@ -478,6 +500,49 @@ func (c *Client) BytesStored() int64 {
 		return 0
 	}
 	return n
+}
+
+// compactOp round-trips OpCompact or OpCompactStats and decodes the stats
+// response. A node whose backend cannot compact surfaces as
+// engine.ErrNoCompaction (a hard error, not unavailability).
+func (c *Client) compactOp(ctx context.Context, op byte) (engine.CompactionStats, error) {
+	// Only the merge itself earns the long deadline; a stats read is a
+	// cheap point request, and Stats probes every node with it — a hung
+	// node must cost IOTimeout there, not CompactTimeout.
+	iot := c.opts.IOTimeout
+	if op == wire.OpCompact {
+		iot = c.opts.CompactTimeout
+	}
+	var st engine.CompactionStats
+	err := c.doTimeout(ctx, iot, []byte{op}, nil, func(status byte, body []byte) (bool, bool, error) {
+		switch status {
+		case wire.StOK:
+			var err error
+			st, err = wire.CompactionStats(body)
+			if err != nil {
+				return true, false, transportErr(err)
+			}
+			return true, false, nil
+		case wire.StErr:
+			return true, false, decodeErr(body)
+		default:
+			return true, false, transportErr(fmt.Errorf("%w: unexpected response status %d", types.ErrCorrupt, status))
+		}
+	})
+	return st, err
+}
+
+// Compact asks the node to compact its backend and returns the
+// post-compaction stats (engine.Compactor). A retried request is safe: a
+// second compaction over just-compacted storage finds nothing to reclaim.
+func (c *Client) Compact(ctx context.Context) (engine.CompactionStats, error) {
+	return c.compactOp(ctx, wire.OpCompact)
+}
+
+// CompactionStats reports the node's storage-reclaim state without
+// compacting (engine.Compactor).
+func (c *Client) CompactionStats(ctx context.Context) (engine.CompactionStats, error) {
+	return c.compactOp(ctx, wire.OpCompactStats)
 }
 
 // Ping round-trips a no-op request, reporting node reachability.

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"rstore/internal/engine"
+	"rstore/internal/engine/disklog"
 	"rstore/internal/engine/memory"
 	"rstore/internal/engine/remote"
 	"rstore/internal/engine/remote/engined"
@@ -305,5 +306,99 @@ func TestBigValuesCrossTheWire(t *testing.T) {
 		if v[i] != big[i] {
 			t.Fatalf("big value corrupted at byte %d", i)
 		}
+	}
+}
+
+// TestCompactOverTheWire: a disklog-backed daemon compacts on client demand,
+// the stats round-trip, and every value survives the rewrite.
+func TestCompactOverTheWire(t *testing.T) {
+	be, err := disklog.Open(t.TempDir(), disklog.Options{SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := engined.Start("127.0.0.1:0", be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := remote.Dial(srv.Addr().String(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Overwrite-heavy history: every key rewritten five times, a few deleted.
+	for rev := 0; rev < 5; rev++ {
+		for i := 0; i < 100; i++ {
+			k := fmt.Sprintf("k%03d", i)
+			v := fmt.Sprintf("%s rev-%d %s", k, rev, strings.Repeat("x", 64))
+			if err := c.Put(context.Background(), "t", k, []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.Delete(context.Background(), "t", fmt.Sprintf("k%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before, err := c.CompactionStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.DiskBytes == 0 || before.LiveRatio() > 0.5 {
+		t.Fatalf("workload not dead-heavy enough: %+v", before)
+	}
+	after, err := c.Compact(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.DiskBytes > before.DiskBytes/2 {
+		t.Fatalf("remote compact reclaimed too little: %d -> %d", before.DiskBytes, after.DiskBytes)
+	}
+	if after.CompactedBytes != before.DiskBytes-after.DiskBytes {
+		t.Fatalf("CompactedBytes = %d, want %d", after.CompactedBytes, before.DiskBytes-after.DiskBytes)
+	}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		v, ok, err := c.Get(context.Background(), "t", k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 10 {
+			if ok {
+				t.Fatalf("deleted %s resurrected as %q", k, v)
+			}
+			continue
+		}
+		if want := fmt.Sprintf("%s rev-4 %s", k, strings.Repeat("x", 64)); !ok || string(v) != want {
+			t.Fatalf("%s = %q (ok=%v) after remote compact", k, v, ok)
+		}
+	}
+}
+
+// TestCompactUnsupportedBackend: a daemon whose backend cannot compact must
+// report engine.ErrNoCompaction — a hard, matchable error, not
+// unavailability (retrying a different replica would not help).
+func TestCompactUnsupportedBackend(t *testing.T) {
+	srv, err := engined.Start("127.0.0.1:0", memory.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := remote.Dial(srv.Addr().String(), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Compact(context.Background()); !errors.Is(err, engine.ErrNoCompaction) {
+		t.Fatalf("Compact on memory-backed node: %v, want ErrNoCompaction", err)
+	}
+	if _, err := c.CompactionStats(context.Background()); !errors.Is(err, engine.ErrNoCompaction) {
+		t.Fatalf("CompactionStats on memory-backed node: %v, want ErrNoCompaction", err)
+	}
+	if errors.Is(engine.ErrNoCompaction, engine.ErrUnavailable) {
+		t.Fatal("ErrNoCompaction must not be unavailability")
 	}
 }

@@ -22,6 +22,8 @@ import (
 	"hash/crc32"
 	"io"
 
+	"rstore/internal/codec"
+	"rstore/internal/engine"
 	"rstore/internal/types"
 )
 
@@ -35,6 +37,12 @@ const (
 	OpTables
 	OpBytesStored
 	OpPing
+	// OpCompact asks the node to compact its backend (engine.Compactor) and
+	// reply with the post-compaction stats; OpCompactStats reads the stats
+	// without compacting. A node whose backend cannot compact replies StErr
+	// with the engine.ErrNoCompaction text.
+	OpCompact
+	OpCompactStats
 )
 
 // Response statuses (first byte of a response payload).
@@ -52,6 +60,43 @@ const (
 	// StEnd terminates a Scan stream.
 	StEnd
 )
+
+// PutCompactionStats appends the OpCompact/OpCompactStats response body —
+// four uvarints: disk bytes, live bytes, compacted bytes, segment count.
+// Shared by client and server so the encoding cannot diverge.
+func PutCompactionStats(buf []byte, st engine.CompactionStats) []byte {
+	buf = codec.PutUvarint(buf, uint64(st.DiskBytes))
+	buf = codec.PutUvarint(buf, uint64(st.LiveBytes))
+	buf = codec.PutUvarint(buf, uint64(st.CompactedBytes))
+	buf = codec.PutUvarint(buf, uint64(st.Segments))
+	return buf
+}
+
+// CompactionStats decodes the body PutCompactionStats produced.
+func CompactionStats(body []byte) (engine.CompactionStats, error) {
+	var st engine.CompactionStats
+	disk, rest, err := codec.Uvarint(body)
+	if err != nil {
+		return st, err
+	}
+	live, rest, err := codec.Uvarint(rest)
+	if err != nil {
+		return st, err
+	}
+	compacted, rest, err := codec.Uvarint(rest)
+	if err != nil {
+		return st, err
+	}
+	segs, _, err := codec.Uvarint(rest)
+	if err != nil {
+		return st, err
+	}
+	st.DiskBytes = int64(disk)
+	st.LiveBytes = int64(live)
+	st.CompactedBytes = int64(compacted)
+	st.Segments = int(segs)
+	return st, nil
+}
 
 // frameHeader is the fixed prefix of every frame: payload length + checksum.
 const frameHeader = 8

@@ -56,6 +56,17 @@ func (n *node) stored(ctx context.Context) (int64, error) {
 	return n.tr.stored(ctx)
 }
 
+// compact reclaims dead storage on the node's backend; compactStats reads
+// the reclaim state without compacting. Backends without compaction return
+// engine.ErrNoCompaction.
+func (n *node) compact(ctx context.Context) (engine.CompactionStats, error) {
+	return n.tr.compact(ctx)
+}
+
+func (n *node) compactStats(ctx context.Context) (engine.CompactionStats, error) {
+	return n.tr.compactStats(ctx)
+}
+
 func (n *node) isUp() bool {
 	return n.tr.available()
 }

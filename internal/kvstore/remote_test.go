@@ -412,3 +412,58 @@ func TestDisklogRefusesPreLWWDirectory(t *testing.T) {
 		t.Fatalf("pre-LWW directory: %v", err)
 	}
 }
+
+// The replication factor is pinned alongside the ring geometry: reopening
+// the same daemons with a different -rf would silently under- (or over-)
+// replicate every new write, so it must be refused, while legacy pins
+// written before rf was recorded are upgraded in place.
+func TestRemoteClusterRefusesReplicationFactorChange(t *testing.T) {
+	addrs, nodes := startNodes(t, 3)
+	s := openRemote(t, addrs, 2)
+	if err := s.Put(context.Background(), "t", "a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := Open(Config{Engine: EngineRemote, NodeAddrs: addrs, ReplicationFactor: 1, Remote: remoteOpts()})
+	if err == nil || !strings.Contains(err.Error(), "replication factor") {
+		t.Fatalf("rf change 2 -> 1: %v, want a pinned-replication-factor refusal", err)
+	}
+	_, err = Open(Config{Engine: EngineRemote, NodeAddrs: addrs, ReplicationFactor: 3, Remote: remoteOpts()})
+	if err == nil || !strings.Contains(err.Error(), "replication factor") {
+		t.Fatalf("rf change 2 -> 3: %v, want a pinned-replication-factor refusal", err)
+	}
+
+	// The pinned factor keeps working.
+	s2 := openRemote(t, addrs, 2)
+	if v, err := s2.Get(context.Background(), "t", "a"); err != nil || string(v) != "1" {
+		t.Fatalf("reopen at pinned rf: %q %v", v, err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A legacy pin (written before rf was recorded) with matching
+	// position/shape/format is adopted and upgraded, after which the
+	// adopted factor is enforced like any other.
+	for i, tn := range nodes {
+		legacy := fmt.Sprintf("%d of %d format=%s", i, len(nodes), storedFormat)
+		env := envelope(envValue, 1, []byte(legacy))
+		if err := tn.be.Put(context.Background(), clusterTable, nodeIDKey, env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s3 := openRemote(t, addrs, 3)
+	if v, err := s3.Get(context.Background(), "t", "a"); err != nil || string(v) != "1" {
+		t.Fatalf("reopen over legacy pins: %q %v", v, err)
+	}
+	if err := s3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Engine: EngineRemote, NodeAddrs: addrs, ReplicationFactor: 2, Remote: remoteOpts()}); err == nil ||
+		!strings.Contains(err.Error(), "replication factor") {
+		t.Fatalf("rf change after legacy upgrade: %v, want a refusal", err)
+	}
+}

@@ -1,10 +1,3 @@
-// Package kvstore implements the distributed key-value substrate that RStore
-// layers on (paper §2.4 "Backend Key-value Store"). It reproduces the
-// properties RStore depends on — basic get/put, key partitioning across
-// nodes, replication, parallel multi-key fetch — as an in-process cluster of
-// storage nodes behind a consistent-hash ring, plus a calibrated network
-// cost model that drives a virtual clock so experiments can report
-// Cassandra-like retrieval times deterministically.
 package kvstore
 
 import (

@@ -283,14 +283,18 @@ const (
 
 // pinRemoteGeometry is the remote counterpart of the disklog GEOMETRY
 // file: each daemon records which ring position (and cluster size) it
-// serves, so reopening the same daemons with the address list reordered
-// or resized is refused instead of silently mislocating every key.
-// Unreachable daemons are skipped — opening with a node down is allowed,
-// and a mismatched daemon will still be caught on any open that can reach
-// it.
+// serves plus the cluster's replication factor, so reopening the same
+// daemons with the address list reordered or resized — or with a different
+// -rf, which would silently under- (or over-) replicate every new write —
+// is refused instead of accepted. Unreachable daemons are skipped —
+// opening with a node down is allowed, and a mismatched daemon will still
+// be caught on any open that can reach it. Pins written before the
+// replication factor was recorded are upgraded in place when everything
+// they do pin matches.
 func (s *Store) pinRemoteGeometry() error {
 	for _, n := range s.nodes {
-		want := fmt.Sprintf("%d of %d format=%s", n.id, len(s.nodes), storedFormat)
+		want := fmt.Sprintf("%d of %d rf=%d format=%s", n.id, len(s.nodes), s.cfg.ReplicationFactor, storedFormat)
+		legacy := fmt.Sprintf("%d of %d format=%s", n.id, len(s.nodes), storedFormat)
 		raw, ok, err := n.get(context.Background(), clusterTable, nodeIDKey)
 		if isUnavailable(err) {
 			continue
@@ -298,25 +302,48 @@ func (s *Store) pinRemoteGeometry() error {
 		if err != nil {
 			return fmt.Errorf("kvstore: node %d geometry probe: %w", n.id, err)
 		}
+		writePin := !ok
 		if ok {
 			payload, _, tomb, err := unenvelope(raw)
 			if err != nil {
 				return fmt.Errorf("kvstore: node %d geometry probe: %w", n.id, err)
 			}
-			if !tomb {
-				if string(payload) != want {
-					return fmt.Errorf("kvstore: daemon %s is pinned as node %q but the address list opens it as %q: node addresses reordered or resized",
-						s.cfg.NodeAddrs[n.id], payload, want)
-				}
+			switch {
+			case tomb:
+				writePin = true
+			case string(payload) == want:
 				continue
+			case string(payload) == legacy:
+				// Pre-rf pin with matching position/shape/format: adopt this
+				// open's replication factor as the pinned one.
+				writePin = true
+			default:
+				var pid, pn, prf int
+				var pfmt string
+				if _, err := fmt.Sscanf(string(payload), "%d of %d rf=%d format=%s", &pid, &pn, &prf, &pfmt); err == nil &&
+					pid == n.id && pn == len(s.nodes) && pfmt == storedFormat && prf != s.cfg.ReplicationFactor {
+					return fmt.Errorf("kvstore: cluster is pinned at replication factor %d but was opened with %d: new writes would be %s-replicated (wipe the daemons or reopen with -rf %d)",
+						prf, s.cfg.ReplicationFactor, underOver(s.cfg.ReplicationFactor < prf), prf)
+				}
+				return fmt.Errorf("kvstore: daemon %s is pinned as node %q but the address list opens it as %q: node addresses reordered or resized",
+					s.cfg.NodeAddrs[n.id], payload, want)
 			}
 		}
-		env := envelope(envValue, s.nextTS(), []byte(want))
-		if err := n.put(context.Background(), clusterTable, nodeIDKey, env); err != nil && !isUnavailable(err) {
-			return fmt.Errorf("kvstore: node %d geometry pin: %w", n.id, err)
+		if writePin {
+			env := envelope(envValue, s.nextTS(), []byte(want))
+			if err := n.put(context.Background(), clusterTable, nodeIDKey, env); err != nil && !isUnavailable(err) {
+				return fmt.Errorf("kvstore: node %d geometry pin: %w", n.id, err)
+			}
 		}
 	}
 	return nil
+}
+
+func underOver(under bool) string {
+	if under {
+		return "under"
+	}
+	return "over"
 }
 
 // Close closes every node's backend, flushing disk-backed engines and
@@ -1044,6 +1071,15 @@ type Stats struct {
 	HintsReplayed  int64 // parked writes delivered to recovered replicas
 	HintsPending   int64 // parked writes currently awaiting replay
 	TombstonesGCed int64 // tombstones physically collected
+
+	// Storage reclaim, summed over reachable nodes whose backend supports
+	// compaction (the disklog engine, local or behind a daemon); all zero
+	// on a pure memory cluster. Byte counts include record framing, so
+	// DiskBytes-LiveBytes is exactly what a full compaction would reclaim.
+	DiskBytes      int64   // total segment-file bytes on disk
+	LiveBytes      int64   // portion of DiskBytes still referenced by live keys
+	CompactedBytes int64   // cumulative bytes reclaimed by compaction
+	LiveRatio      float64 // LiveBytes/DiskBytes; 1 when nothing is on disk
 }
 
 // Stats returns a snapshot of the counters; ctx bounds the per-node
@@ -1069,8 +1105,49 @@ func (s *Store) Stats(ctx context.Context) Stats {
 		if b, err := n.stored(ctx); err == nil {
 			st.BytesStored += b
 		}
+		// Unsupported or unreachable nodes contribute zero, mirroring the
+		// BytesStored probes.
+		if cs, err := n.compactStats(ctx); err == nil {
+			st.DiskBytes += cs.DiskBytes
+			st.LiveBytes += cs.LiveBytes
+			st.CompactedBytes += cs.CompactedBytes
+		}
+	}
+	st.LiveRatio = 1
+	if st.DiskBytes > 0 {
+		st.LiveRatio = float64(st.LiveBytes) / float64(st.DiskBytes)
 	}
 	return st
+}
+
+// Compact asks every node whose backend supports compaction
+// (engine.Compactor) to reclaim dead storage, and reports the bytes
+// reclaimed across the cluster by this call. Nodes without compaction
+// support are skipped; down or unreachable nodes are skipped too — like
+// Stats, storage that cannot be observed cannot be compacted, and the node
+// can be compacted again once it returns. Hard backend errors are
+// aggregated per node.
+func (s *Store) Compact(ctx context.Context) (reclaimed int64, err error) {
+	var errs []error
+	for _, n := range s.nodes {
+		before, err := n.compactStats(ctx)
+		if errors.Is(err, engine.ErrNoCompaction) || isUnavailable(err) {
+			continue
+		}
+		if err != nil {
+			errs = append(errs, fmt.Errorf("kvstore: compact node %d: %w", n.id, err))
+			continue
+		}
+		after, err := n.compact(ctx)
+		if err != nil {
+			if !isUnavailable(err) {
+				errs = append(errs, fmt.Errorf("kvstore: compact node %d: %w", n.id, err))
+			}
+			continue
+		}
+		reclaimed += after.CompactedBytes - before.CompactedBytes
+	}
+	return reclaimed, errors.Join(errs...)
 }
 
 // ResetClock zeroes the virtual clock and counters (between experiment

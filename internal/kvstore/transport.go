@@ -32,6 +32,12 @@ type transport interface {
 	// stored reports resident bytes; unavailable nodes error instead of
 	// blocking on (or lying about) storage they cannot see.
 	stored(ctx context.Context) (int64, error)
+	// compact reclaims dead storage on the node and returns the
+	// post-compaction stats; compactStats reads them without compacting.
+	// Nodes whose backend does not implement engine.Compactor return
+	// engine.ErrNoCompaction.
+	compact(ctx context.Context) (engine.CompactionStats, error)
+	compactStats(ctx context.Context) (engine.CompactionStats, error)
 	// available is a cheap best-effort liveness hint used to pick read
 	// replicas; the authoritative signal is an ErrUnavailable result.
 	available() bool
@@ -123,6 +129,28 @@ func (t *localTransport) stored(context.Context) (int64, error) {
 	return t.be.BytesStored(), nil
 }
 
+func (t *localTransport) compact(ctx context.Context) (engine.CompactionStats, error) {
+	if err := t.gate(); err != nil {
+		return engine.CompactionStats{}, err
+	}
+	c, ok := t.be.(engine.Compactor)
+	if !ok {
+		return engine.CompactionStats{}, engine.ErrNoCompaction
+	}
+	return c.Compact(ctx)
+}
+
+func (t *localTransport) compactStats(ctx context.Context) (engine.CompactionStats, error) {
+	if err := t.gate(); err != nil {
+		return engine.CompactionStats{}, err
+	}
+	c, ok := t.be.(engine.Compactor)
+	if !ok {
+		return engine.CompactionStats{}, engine.ErrNoCompaction
+	}
+	return c.CompactionStats(ctx)
+}
+
 func (t *localTransport) available() bool {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -169,6 +197,14 @@ func (t *remoteTransport) scan(ctx context.Context, table string, fn func(key st
 func (t *remoteTransport) tables(ctx context.Context) ([]string, error) { return t.c.Tables(ctx) }
 
 func (t *remoteTransport) stored(ctx context.Context) (int64, error) { return t.c.Stored(ctx) }
+
+func (t *remoteTransport) compact(ctx context.Context) (engine.CompactionStats, error) {
+	return t.c.Compact(ctx)
+}
+
+func (t *remoteTransport) compactStats(ctx context.Context) (engine.CompactionStats, error) {
+	return t.c.CompactionStats(ctx)
+}
 
 // available optimistically reports true: a remote node's liveness is only
 // truly known by talking to it, and the read paths all fall back across

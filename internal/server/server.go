@@ -404,6 +404,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"hints_pending":   kv.HintsPending,
 		"hints_replayed":  kv.HintsReplayed,
 		"tombstones_gced": kv.TombstonesGCed,
+		// Storage reclaim (zero on engines without compaction).
+		"disk_bytes":      kv.DiskBytes,
+		"live_ratio":      kv.LiveRatio,
+		"compacted_bytes": kv.CompactedBytes,
 	})
 }
 
