@@ -6,15 +6,21 @@
 //	rstore-bench -all                 # everything, paper order
 //	rstore-bench -all -scale full     # heavier datasets
 //	rstore-bench -list                # catalog of experiments
+//	rstore-bench -exp readheavy -json .   # also write BENCH_readheavy.json
 //
 // Output is printed as aligned text tables, one per paper artifact, each
-// annotated with the paper's reported shape for comparison.
+// annotated with the paper's reported shape for comparison. With -json, a
+// machine-readable BENCH_<exp>.json snapshot (backend, workload
+// parameters, tables, and key metrics such as throughput and latency
+// percentiles) is written per experiment into the given directory, so the
+// perf trajectory is tracked across changes instead of quoted in prose.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"rstore"
@@ -33,9 +39,10 @@ func run() int {
 		scale     = flag.String("scale", "quick", "dataset scale: quick|full")
 		queries   = flag.Int("queries", 0, "override query sample size")
 		seed      = flag.Int64("seed", 0, "override RNG seed")
-		backend   = flag.String("backend", "memory", "cluster storage backend: memory|disklog|remote")
-		dataDir   = flag.String("data", "", "data directory for -backend disklog (each cluster gets a subdirectory)")
-		nodeAddrs = flag.String("node-addrs", "", "comma-separated rstore-node addresses for -backend remote\n(the address list fixes the node count; daemons must start empty, and since every\ncluster a run opens shares them, storage columns are only clean for the first)")
+		backend   = flag.String("backend", "memory", "cluster storage backend: memory|disklog|lsm|remote")
+		dataDir   = flag.String("data", "", "data directory for -backend disklog/lsm (each cluster gets a subdirectory)")
+		nodeAddrs = flag.String("node-addrs", "", "comma-separated rstore-node addresses for -backend remote\n(the address list fixes the node count; each cluster a run opens wipes the\ndaemons first via the wire reset op, so one daemon set serves a whole run)")
+		jsonDir   = flag.String("json", "", "write a BENCH_<exp>.json snapshot per experiment into this directory")
 	)
 	flag.Parse()
 
@@ -58,7 +65,7 @@ func run() int {
 	}
 	switch *backend {
 	case "", "memory":
-	case "disklog":
+	case "disklog", "lsm":
 		opts.Engine = *backend
 		opts.DataDir = *dataDir
 		if opts.DataDir == "" {
@@ -108,7 +115,17 @@ func run() int {
 		for _, t := range tables {
 			t.Fprint(os.Stdout)
 		}
-		fmt.Printf("(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if *jsonDir != "" {
+			path := filepath.Join(*jsonDir, "BENCH_"+e.ID+".json")
+			snap := bench.NewSnapshot(e.ID, opts, elapsed, tables)
+			if err := snap.WriteFile(path); err != nil {
+				fmt.Fprintln(os.Stderr, "rstore-bench:", err)
+				return 1
+			}
+			fmt.Printf("(snapshot written to %s)\n", path)
+		}
+		fmt.Printf("(%s completed in %s)\n\n", e.ID, elapsed.Round(time.Millisecond))
 	}
 	return 0
 }

@@ -1,21 +1,26 @@
-// Command rstore-node runs one storage node: a durable disklog backend
-// served over TCP with the engine wire protocol, so a cluster of real
-// machines can replace the in-process simulator. Point a cluster at a set
-// of nodes with `-backend remote -node-addrs host1:7420,host2:7420,...` on
-// cmd/rstore, cmd/rstore-server, or cmd/rstore-bench (or
+// Command rstore-node runs one storage node: a durable backend (disklog by
+// default, or an LSM tree with -backend lsm) served over TCP with the
+// engine wire protocol, so a cluster of real machines can replace the
+// in-process simulator. Point a cluster at a set of nodes with `-backend
+// remote -node-addrs host1:7420,host2:7420,...` on cmd/rstore,
+// cmd/rstore-server, or cmd/rstore-bench (or
 // rstore.ClusterConfig{Engine: rstore.EngineRemote, NodeAddrs: ...} from
 // the library).
 //
 // Usage:
 //
 //	rstore-node -addr :7420 -data /var/lib/rstore-node
+//	rstore-node -addr :7420 -backend lsm -data /var/lib/rstore-node
 //	rstore-node -addr :7420 -data /var/lib/rstore-node -compact-interval 5m -compact-live-ratio 0.6
 //
-// With -compact-interval set, the node periodically checks its segment
-// files' live ratio (live bytes / disk bytes) and runs a compaction — a
-// crash-safe merge of only-live records into a fresh segment — whenever the
+// With -compact-interval set, the node periodically checks its storage's
+// live ratio (live bytes / disk bytes) and runs a compaction — a
+// crash-safe merge of only-live records into fresh files — whenever the
 // ratio falls below -compact-live-ratio. Clients can also trigger a
 // compaction on demand through the wire protocol (kvstore.Store.Compact).
+// A -backend memory node (volatile, for tests) does not compact; the
+// mismatch with -compact-interval is logged once at startup rather than
+// every tick.
 //
 // Besides data tables, a node may host cluster bookkeeping written by its
 // clients through the same engine seam: the !cluster ring-position pin and
@@ -40,24 +45,42 @@ import (
 	"syscall"
 	"time"
 
+	"rstore/internal/engine"
 	"rstore/internal/engine/disklog"
+	"rstore/internal/engine/lsm"
+	"rstore/internal/engine/memory"
 	"rstore/internal/engine/remote/engined"
 )
 
 func main() {
 	var (
 		addr         = flag.String("addr", ":7420", "listen address")
-		dataDir      = flag.String("data", "", "data directory (required)")
-		segmentMB    = flag.Int("segment-mb", 0, "segment rotation threshold in MiB (0 = default 64)")
+		backend      = flag.String("backend", "disklog", "storage backend: disklog|lsm|memory")
+		dataDir      = flag.String("data", "", "data directory (required for disklog/lsm)")
+		segmentMB    = flag.Int("segment-mb", 0, "disklog segment rotation threshold in MiB (0 = default 64)")
 		compactEvery = flag.Duration("compact-interval", 0, "check the live ratio and compact at this cadence (0 = only on client demand)")
 		compactRatio = flag.Float64("compact-live-ratio", 0.6, "compact when live bytes / disk bytes falls below this (with -compact-interval)")
 	)
 	flag.Parse()
-	if *dataDir == "" {
-		log.Fatal("rstore-node: -data is required")
-	}
 
-	be, err := disklog.Open(*dataDir, disklog.Options{SegmentBytes: int64(*segmentMB) << 20})
+	var be engine.Backend
+	var err error
+	where := *dataDir
+	switch *backend {
+	case "disklog", "lsm":
+		if *dataDir == "" {
+			log.Fatalf("rstore-node: -backend %s requires -data", *backend)
+		}
+		if *backend == "disklog" {
+			be, err = disklog.Open(*dataDir, disklog.Options{SegmentBytes: int64(*segmentMB) << 20})
+		} else {
+			be, err = lsm.Open(*dataDir, lsm.Options{})
+		}
+	case "memory":
+		be, where = memory.New(), "memory (volatile)"
+	default:
+		log.Fatalf("rstore-node: unknown -backend %q (want disklog, lsm, or memory)", *backend)
+	}
 	if err != nil {
 		log.Fatalf("rstore-node: open %s: %v", *dataDir, err)
 	}
@@ -67,14 +90,20 @@ func main() {
 		log.Fatalf("rstore-node: %v", err)
 	}
 	log.Printf("rstore-node serving %s on %s (%d bytes resident)",
-		*dataDir, srv.Addr(), be.BytesStored())
+		where, srv.Addr(), be.BytesStored())
 
 	// Background compaction: live-ratio-triggered so a write-once workload
 	// never pays a rewrite, while an overwrite-heavy one converges back to
-	// roughly its live volume every interval.
+	// roughly its live volume every interval. A backend without compaction
+	// support is reported once here, not on every tick.
 	compactCtx, stopCompact := context.WithCancel(context.Background())
 	var compactDone chan struct{}
-	if *compactEvery > 0 {
+	if c, ok := be.(engine.Compactor); !ok {
+		if *compactEvery > 0 {
+			log.Printf("rstore-node: -backend %s does not support compaction (%v); -compact-interval ignored",
+				*backend, engine.ErrNoCompaction)
+		}
+	} else if *compactEvery > 0 {
 		compactDone = make(chan struct{})
 		go func() {
 			defer close(compactDone)
@@ -86,18 +115,18 @@ func main() {
 					return
 				case <-t.C:
 				}
-				st, err := be.CompactionStats(compactCtx)
+				st, err := c.CompactionStats(compactCtx)
 				if err != nil || st.LiveRatio() >= *compactRatio {
 					continue
 				}
 				before := st.DiskBytes
-				st, err = be.Compact(compactCtx)
+				st, err = c.Compact(compactCtx)
 				if err != nil {
 					log.Printf("rstore-node: compact: %v", err)
 					continue
 				}
 				log.Printf("rstore-node: compacted %s: %d -> %d disk bytes (live ratio %.2f)",
-					*dataDir, before, st.DiskBytes, st.LiveRatio())
+					where, before, st.DiskBytes, st.LiveRatio())
 			}
 		}()
 	}
@@ -116,7 +145,7 @@ func main() {
 		log.Printf("rstore-node: shutdown: %v", err)
 	}
 	if err := be.Close(); err != nil {
-		log.Fatalf("rstore-node: close %s: %v", *dataDir, err)
+		log.Fatalf("rstore-node: close %s: %v", where, err)
 	}
 	log.Printf("rstore-node stopped")
 }

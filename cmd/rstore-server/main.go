@@ -6,17 +6,19 @@
 //
 //	rstore-server -addr :8080 -nodes 4 -rf 2 [-store data.rstore]
 //	rstore-server -addr :8080 -backend disklog -data /var/lib/rstore
+//	rstore-server -addr :8080 -backend lsm -data /var/lib/rstore
 //	rstore-server -addr :8080 -backend disklog -data /var/lib/rstore -compact-interval 10m
 //	rstore-server -addr :8080 -rf 2 -backend remote -node-addrs host1:7420,host2:7420,host3:7420
 //
-// With -compact-interval set (disklog or remote backends), the server
-// watches the cluster's live ratio (live bytes / disk bytes, on /stats)
-// and compacts every node's segment files whenever it falls below
+// With -compact-interval set (disklog, lsm, or remote backends), the
+// server watches the cluster's live ratio (live bytes / disk bytes, on
+// /stats) and compacts every node's storage whenever it falls below
 // -compact-live-ratio, reclaiming the dead bytes overwritten document
-// versions leave behind.
+// versions leave behind. A backend with nothing to compact is reported
+// once at startup instead of on every tick.
 //
-// With -backend disklog every node's data lives under the -data directory
-// and survives restarts: the server replays the segment files on boot and
+// With -backend disklog or -backend lsm every node's data lives under the
+// -data directory and survives restarts: the server replays it on boot and
 // reopens the store if one was previously committed there. With -backend
 // remote the cluster is one rstore-node daemon per -node-addrs entry (the
 // address list fixes the node count; -nodes is ignored) and the store is
@@ -67,8 +69,8 @@ func main() {
 		batch     = flag.Int("batch", 16, "online partitioning batch size")
 		k         = flag.Int("k", 1, "max sub-chunk size (record compression)")
 		chunkKB   = flag.Int("chunk-kb", 1024, "chunk capacity in KiB")
-		backend   = flag.String("backend", "memory", "storage backend: memory|disklog|remote")
-		dataDir   = flag.String("data", "rstore-data", "data directory for -backend disklog")
+		backend   = flag.String("backend", "memory", "storage backend: memory|disklog|lsm|remote")
+		dataDir   = flag.String("data", "rstore-data", "data directory for -backend disklog/lsm")
 		nodeAddrs = flag.String("node-addrs", "", "comma-separated rstore-node addresses for -backend remote")
 		storePath = flag.String("store", "", "snapshot file to restore from (memory backend only)")
 		hintEvery = flag.Duration("hint-interval", 0, "hint drain cadence for replication repair (0 = default 1s)")
@@ -100,7 +102,7 @@ func main() {
 
 	// Durable backends hold the store in the backend itself (data
 	// directory or remote nodes); reopen it if one was committed there.
-	durable := *backend == rstore.EngineDisklog || *backend == rstore.EngineRemote
+	durable := *backend == rstore.EngineDisklog || *backend == rstore.EngineLSM || *backend == rstore.EngineRemote
 	where := *dataDir
 	if *backend == rstore.EngineRemote {
 		where = "nodes " + strings.Join(cluster.NodeAddrs, ",")
@@ -151,17 +153,23 @@ func main() {
 	}
 
 	// Background storage reclaim: overwritten document versions and GC'd
-	// tombstones leave dead bytes in disklog segments; compact whenever the
-	// cluster-wide live ratio sinks below the threshold. Engines without
-	// compaction (memory) report nothing on disk and the loop never fires.
+	// tombstones leave dead bytes in disk-backed storage; compact whenever
+	// the cluster-wide live ratio sinks below the threshold. Engines without
+	// compaction are reported once — at startup for a local memory cluster,
+	// on first occurrence for remote daemons — instead of spamming the log
+	// on every tick.
 	compactCtx, stopCompact := context.WithCancel(ctx)
 	var compactDone chan struct{}
-	if *compEvery > 0 {
+	switch {
+	case *compEvery > 0 && *backend == rstore.EngineMemory:
+		log.Printf("rstore-server: backend memory does not support compaction; -compact-interval ignored")
+	case *compEvery > 0:
 		compactDone = make(chan struct{})
 		go func() {
 			defer close(compactDone)
 			t := time.NewTicker(*compEvery)
 			defer t.Stop()
+			loggedNoCompaction := false
 			for {
 				select {
 				case <-compactCtx.Done():
@@ -173,7 +181,13 @@ func main() {
 					continue
 				}
 				reclaimed, err := kv.Compact(compactCtx)
-				if err != nil {
+				switch {
+				case errors.Is(err, rstore.ErrNoCompaction):
+					if !loggedNoCompaction {
+						loggedNoCompaction = true
+						log.Printf("rstore-server: compact: %v (logged once)", err)
+					}
+				case err != nil:
 					log.Printf("rstore-server: compact: %v", err)
 				}
 				if reclaimed > 0 {

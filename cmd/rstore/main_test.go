@@ -160,7 +160,7 @@ func TestCLIErrors(t *testing.T) {
 	if err := runCLI(t, store, "bogus"); err == nil {
 		t.Fatal("unknown command accepted")
 	}
-	if err := run(context.Background(), []string{"-backend", "lsm", "log"}); err == nil || !strings.Contains(err.Error(), "backend") {
+	if err := run(context.Background(), []string{"-backend", "bogus", "log"}); err == nil || !strings.Contains(err.Error(), "backend") {
 		t.Fatalf("unknown backend: %v", err)
 	}
 	if err := runCLI(t, store, "init"); err != nil {

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"path/filepath"
@@ -13,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"rstore/internal/core"
+	"rstore/internal/engine/remote"
 	"rstore/internal/kvstore"
 )
 
@@ -33,18 +35,17 @@ type Options struct {
 
 	// Engine overrides the storage backend every experiment cluster runs
 	// on: kvstore.EngineMemory (the default — allocation-exact, what the
-	// calibrated cost model assumes), kvstore.EngineDisklog (each cluster
-	// gets a fresh subdirectory of DataDir), or kvstore.EngineRemote (the
-	// cluster runs on the rstore-node daemons in NodeAddrs — the address
-	// list fixes the node count, overriding each experiment's nominal
-	// topology). Remote is a functional smoke substrate, not a clean-room
-	// one: the daemons must start empty, and because every cluster a run
-	// opens lands on the same daemons, storage-volume columns are only
-	// trustworthy for the first cluster of the process (there is no wipe
-	// op in the wire protocol yet — see ROADMAP).
+	// calibrated cost model assumes), kvstore.EngineDisklog or
+	// kvstore.EngineLSM (each cluster gets a fresh subdirectory of
+	// DataDir), or kvstore.EngineRemote (the cluster runs on the
+	// rstore-node daemons in NodeAddrs — the address list fixes the node
+	// count, overriding each experiment's nominal topology). Every cluster
+	// a run opens wipes the daemons first through the wire protocol's
+	// reset op, so one running daemon set serves a whole run and each
+	// cluster still starts clean.
 	Engine string
 	// DataDir hosts per-cluster data directories when Engine is
-	// kvstore.EngineDisklog.
+	// kvstore.EngineDisklog or kvstore.EngineLSM.
 	DataDir string
 	// NodeAddrs lists rstore-node addresses when Engine is
 	// kvstore.EngineRemote.
@@ -79,6 +80,9 @@ func (o Options) OpenCluster(cfg kvstore.Config) (*kvstore.Store, error) {
 		cfg.Engine, cfg.Dir, cfg.NodeAddrs = eng, dir, addrs
 		if eng == kvstore.EngineRemote {
 			cfg.Nodes = 0 // the address list is the cluster shape
+			if err := resetDaemons(addrs); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return kvstore.Open(cfg)
@@ -92,9 +96,37 @@ func (o Options) OpenStore(cfg core.Config) (*core.Store, error) {
 		eng, dir, addrs := o.substrate()
 		if eng != "" {
 			cfg.Engine, cfg.DataDir, cfg.NodeAddrs = eng, dir, addrs
+			if eng == kvstore.EngineRemote {
+				if err := resetDaemons(addrs); err != nil {
+					return nil, err
+				}
+			}
 		}
 	}
 	return core.Open(cfg)
+}
+
+// resetDaemons wipes every remote daemon through the wire reset op so the
+// cluster about to open starts clean — data, geometry pins, and parked
+// hints from the previous experiment cluster all go. Raw engine clients
+// are used on purpose: a kvstore.Store cannot open until the stale pins
+// are gone.
+func resetDaemons(addrs []string) error {
+	ctx := context.Background()
+	for _, a := range addrs {
+		c, err := remote.Dial(a, remote.Options{})
+		if err != nil {
+			return fmt.Errorf("bench: reset daemon %s: %w", a, err)
+		}
+		err = c.Reset(ctx)
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("bench: reset daemon %s: %w", a, err)
+		}
+	}
+	return nil
 }
 
 // Quick returns the fast-iteration scale used by `go test -bench` defaults:
@@ -138,6 +170,10 @@ type Table struct {
 	PaperNote string
 	Headers   []string
 	Rows      [][]string
+	// Metrics holds the table's key numbers in machine-readable form for
+	// the BENCH_<exp>.json snapshots (see snapshot.go); nil when the
+	// rendered rows are the whole story.
+	Metrics map[string]float64
 }
 
 // AddRow appends a formatted row.
@@ -213,6 +249,7 @@ func Experiments() []Experiment {
 		{"ablation-cache", "extension: application-server chunk cache on hot versions", RunAblationCache},
 		{"repair", "extension: replication repair — hinted handoff + read repair convergence\n(always in-process: needs failure injection)", RunRepair},
 		{"compact", "extension: disklog segment compaction — disk bytes before/after an\noverwrite-heavy workload (always on a private disklog cluster)", RunCompact},
+		{"readheavy", "extension: read-heavy zipfian point gets — disklog vs lsm engines\nhead-to-head with p50/p95/p99 (always on private engine directories)", RunReadHeavy},
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"rstore/internal/engine"
 	"rstore/internal/engine/disklog"
+	"rstore/internal/engine/lsm"
 	"rstore/internal/engine/memory"
 	"rstore/internal/engine/remote"
 	"rstore/internal/engine/remote/engined"
@@ -41,6 +42,25 @@ func backends(t *testing.T) map[string]func(t *testing.T) engine.Backend {
 			}
 			return compactingBackend{b}
 		},
+		// LSM with a memtable small enough that the suite constantly
+		// flushes, so reads cross the memtable/SSTable boundary and the
+		// size-tiered compactor fires mid-test.
+		"lsm": func(t *testing.T) engine.Backend {
+			b, err := lsm.Open(t.TempDir(), lsm.Options{MemtableBytes: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		},
+		// LSM with a full merge forced after every mutation: flush, merge,
+		// MANIFEST commits, and victim unlinks race the whole suite.
+		"lsm-compacting": func(t *testing.T) engine.Backend {
+			b, err := lsm.Open(t.TempDir(), lsm.Options{MemtableBytes: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return compactingBackend{b}
+		},
 		// The wire client against an engined server over real TCP: the
 		// remote seam must be indistinguishable from a local backend.
 		"remote": func(t *testing.T) engine.Backend {
@@ -55,18 +75,37 @@ func backends(t *testing.T) map[string]func(t *testing.T) engine.Backend {
 			}
 			return c
 		},
+		// The same wire seam over the lsm engine, exercising OpCompact and
+		// friends against a backend whose compaction rewrites whole files.
+		"remote-lsm": func(t *testing.T) engine.Backend {
+			be, err := lsm.Open(t.TempDir(), lsm.Options{MemtableBytes: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv, err := engined.Start("127.0.0.1:0", be)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { srv.Close(); be.Close() })
+			c, err := remote.Dial(srv.Addr().String(), remote.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		},
 	}
 }
 
-// compactingBackend wraps disklog so every successful mutation immediately
-// triggers a full compaction cycle. An aggressive-compaction backend must be
-// semantically indistinguishable from a quiescent one.
+// compactingBackend wraps any compacting backend so every successful
+// mutation immediately triggers a full compaction cycle. An
+// aggressive-compaction backend must be semantically indistinguishable from
+// a quiescent one.
 type compactingBackend struct {
-	*disklog.Backend
+	engine.Backend
 }
 
 func (c compactingBackend) compact(ctx context.Context) error {
-	_, err := c.Backend.Compact(ctx)
+	_, err := c.Backend.(engine.Compactor).Compact(ctx)
 	return err
 }
 

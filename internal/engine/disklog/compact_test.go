@@ -2,62 +2,26 @@ package disklog
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"rstore/internal/engine/enginetest"
 )
 
-// overwriteWorkload fills b with an overwrite-heavy, multi-segment history:
-// nKeys keys written rounds+1 times each (latest revision wins), then the
-// first nKeys/10 deleted. It returns the expected live state: key -> value
-// for survivors; deleted keys are absent from the map.
+// overwriteWorkload and verifyState delegate to the shared crash-injection
+// harness helpers, so disklog and lsm prove the identical recovery contract
+// on the identical workload.
 func overwriteWorkload(t *testing.T, b *Backend, nKeys, rounds int) map[string]string {
 	t.Helper()
-	ctx := context.Background()
-	key := func(i int) string { return fmt.Sprintf("k%04d", i) }
-	for rev := 0; rev <= rounds; rev++ {
-		for i := 0; i < nKeys; i++ {
-			v := fmt.Sprintf("%s rev-%d %s", key(i), rev, strings.Repeat("x", 64))
-			if err := b.Put(ctx, "t", key(i), []byte(v)); err != nil {
-				t.Fatal(err)
-			}
-		}
-	}
-	want := make(map[string]string, nKeys)
-	for i := 0; i < nKeys; i++ {
-		want[key(i)] = fmt.Sprintf("%s rev-%d %s", key(i), rounds, strings.Repeat("x", 64))
-	}
-	for i := 0; i < nKeys/10; i++ {
-		if err := b.Delete(ctx, "t", key(i)); err != nil {
-			t.Fatal(err)
-		}
-		delete(want, key(i))
-	}
-	return want
+	return enginetest.OverwriteWorkload(t, b, nKeys, rounds)
 }
 
-// verifyState checks that b serves exactly want: every surviving key at its
-// last revision, every deleted key absent.
 func verifyState(t *testing.T, b *Backend, nKeys int, want map[string]string) {
 	t.Helper()
-	ctx := context.Background()
-	for i := 0; i < nKeys; i++ {
-		k := fmt.Sprintf("k%04d", i)
-		v, ok, err := b.Get(ctx, "t", k)
-		if err != nil {
-			t.Fatalf("Get(%s): %v", k, err)
-		}
-		if wv, live := want[k]; live {
-			if !ok || string(v) != wv {
-				t.Fatalf("%s = %q (ok=%v), want %q", k, v, ok, wv)
-			}
-		} else if ok {
-			t.Fatalf("deleted key %s resurrected as %q", k, v)
-		}
-	}
+	enginetest.VerifyState(t, b, nKeys, want)
 }
 
 func diskBytes(t *testing.T, dir string) int64 {
@@ -213,7 +177,8 @@ func TestCompactThenWrite(t *testing.T) {
 }
 
 // TestCompactCrashRecovery injects a crash at each of Compact's dangerous
-// points and proves reopening the directory loses nothing:
+// points (via the shared enginetest harness) and proves reopening the
+// directory loses nothing:
 //
 //   - mid-rewrite: the .cmp output is half-written and unsealed; replay must
 //     discard it and serve from the intact victims.
@@ -223,50 +188,15 @@ func TestCompactThenWrite(t *testing.T) {
 //     replay must delete the lower-numbered leftovers instead of replaying
 //     them (which would resurrect dropped tombstones).
 func TestCompactCrashRecovery(t *testing.T) {
-	const nKeys = 200
-	for _, point := range []string{"mid-rewrite", "sealed", "renamed"} {
-		t.Run(point, func(t *testing.T) {
-			ctx := context.Background()
-			dir := t.TempDir()
-			b := openT(t, dir, Options{SegmentBytes: 4 << 10})
-			want := overwriteWorkload(t, b, nKeys, 4)
-
-			b.compactCrash = point
-			if _, err := b.Compact(ctx); !errors.Is(err, errCompactCrash) {
-				t.Fatalf("crash hook %q did not fire: %v", point, err)
-			}
-			// Simulate process death: release fds and the flock without any
-			// of Close's graceful fsync work.
-			b.closeFiles()
-
-			r := openT(t, dir, Options{SegmentBytes: 4 << 10})
-			verifyState(t, r, nKeys, want)
-
-			// No compaction debris may survive recovery...
-			cmps, err := filepath.Glob(filepath.Join(dir, "seg-*.log"+cmpSuffix))
-			if err != nil {
-				t.Fatal(err)
-			}
-			if len(cmps) != 0 {
-				t.Fatalf("compaction debris survived recovery: %v", cmps)
-			}
-			// ...and the recovered store must compact successfully.
-			st, err := r.Compact(ctx)
-			if err != nil {
-				t.Fatalf("compact after %s recovery: %v", point, err)
-			}
-			if got := diskBytes(t, dir); got != st.DiskBytes {
-				t.Fatalf("stats say %d disk bytes, filesystem says %d", st.DiskBytes, got)
-			}
-			verifyState(t, r, nKeys, want)
-			if err := r.Close(); err != nil {
-				t.Fatal(err)
-			}
-			r2 := openT(t, dir, Options{SegmentBytes: 4 << 10})
-			defer r2.Close()
-			verifyState(t, r2, nKeys, want)
-		})
-	}
+	enginetest.CompactCrashRecovery(t, enginetest.Harness{
+		Open: func(t *testing.T, dir string) enginetest.Crasher {
+			return openT(t, dir, Options{SegmentBytes: 4 << 10})
+		},
+		Points:      []string{"mid-rewrite", "sealed", "renamed"},
+		CrashErr:    ErrCrashed,
+		DebrisGlobs: []string{"seg-*.log" + cmpSuffix},
+		DiskBytes:   diskBytes,
+	})
 }
 
 // TestCompactConcurrentWrites: writes racing a compaction land in the active

@@ -136,20 +136,27 @@ type Backend struct {
 	// it (they take mu, which compaction only holds briefly at its edges).
 	compactMu sync.Mutex
 	compacted int64 // cumulative bytes reclaimed by compaction
+	// epoch counts Resets. Compact snapshots it at phase 1 and abandons its
+	// output if a Reset intervened: the victim segments it rewrote no longer
+	// exist, and renaming the rewrite into place would resurrect wiped data.
+	epoch int64
 
-	// compactCrash, when set by in-package crash-injection tests, aborts
-	// Compact at the named point leaving the directory exactly as a power
-	// failure there would.
+	// compactCrash names the active crash-injection point (SetCrashPoint;
+	// "" in production): Compact aborts there with ErrCrashed, leaving the
+	// directory exactly as a power failure would.
 	compactCrash string
 }
 
 var (
 	_ engine.Backend   = (*Backend)(nil)
 	_ engine.Compactor = (*Backend)(nil)
+	_ engine.Resetter  = (*Backend)(nil)
 )
 
-// errCompactCrash reports a test-hook-induced abort of Compact.
-var errCompactCrash = errors.New("disklog: compaction aborted by crash hook")
+// ErrCrashed reports that a crash-injection point armed by SetCrashPoint
+// fired (tests only): Compact was aborted at the named step, leaving the
+// directory exactly as a power failure there would.
+var ErrCrashed = errors.New("disklog: injected crash")
 
 // Open opens (creating if needed) a disklog backend rooted at dir, replaying
 // existing segments to rebuild the key index. The directory is exclusively
@@ -788,6 +795,74 @@ func (b *Backend) Segments() int {
 	return len(b.segs)
 }
 
+// Reset drops every table and key (engine.Resetter): it activates a fresh
+// segment, empties the index, and unlinks every previous segment file.
+// Disklog has no manifest, so the wipe commits segment by segment rather
+// than atomically: a crash mid-reset replays whichever suffix of segments
+// survived — somewhere between the old contents and empty. Unlinking
+// oldest-first keeps even that partial state sound: a put can vanish before
+// the tombstone that shadows it, never the reverse, so deleted keys stay
+// deleted. The epoch bump makes an in-flight compaction abandon its output
+// instead of renaming it over a freed segment id.
+func (b *Backend) Reset(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return types.ErrClosed
+	}
+	old := b.segs
+	// Ids keep counting upward so the new active segment replays after any
+	// old segment a crash leaves behind, and never collides with a .cmp
+	// file an abandoned compaction is still holding.
+	if err := b.addSegment(old[len(old)-1].id + 1); err != nil {
+		return err
+	}
+	b.epoch++
+	b.segs = b.segs[len(b.segs)-1:]
+	b.segByID = map[int]*segment{b.segs[0].id: b.segs[0]}
+	b.index = make(map[string]map[string]ref)
+	b.bytes = 0
+	var firstErr error
+	for _, s := range old {
+		if err := s.f.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("disklog: %w", err)
+		}
+		if err := os.Remove(b.segPath(s.id)); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("disklog: %w", err)
+		}
+	}
+	if err := syncDir(b.dir); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// SetCrashPoint arms a crash-injection point (tests only): Compact aborts
+// with ErrCrashed at the named step, leaving the directory exactly as a
+// power failure there would. Recognized points: "mid-rewrite" (the .cmp
+// output half-written and unsealed), "sealed" (the .cmp complete and
+// fsynced but never swapped in), "renamed" (the rename committed but the
+// victim unlink interrupted). Empty disarms.
+func (b *Backend) SetCrashPoint(point string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.compactCrash = point
+}
+
+// Kill simulates process death (tests only): every descriptor and the
+// directory flock are dropped with no syncing and no cleanup, leaving the
+// on-disk state exactly as the crash left it. The backend is unusable
+// afterwards; reopen the directory with Open.
+func (b *Backend) Kill() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.closeFiles()
+}
+
 // statsLocked snapshots the reclaim state; callers hold b.mu (any mode).
 func (b *Backend) statsLocked() engine.CompactionStats {
 	st := engine.CompactionStats{CompactedBytes: b.compacted, Segments: len(b.segs)}
@@ -877,6 +952,7 @@ func (b *Backend) Compact(ctx context.Context) (engine.CompactionStats, error) {
 		victimIDs[v.id] = true
 	}
 	newID := victims[nVictims-1].id
+	epoch := b.epoch
 	var items []rewriteItem
 	for table, kv := range b.index {
 		for key, r := range kv {
@@ -933,7 +1009,7 @@ func (b *Backend) Compact(ctx context.Context) (engine.CompactionStats, error) {
 		if b.compactCrash == "mid-rewrite" && i == len(items)/2 {
 			w.Flush()
 			f.Close()
-			return engine.CompactionStats{}, errCompactCrash
+			return engine.CompactionStats{}, ErrCrashed
 		}
 		if cap(val) < it.old.len {
 			val = make([]byte, it.old.len)
@@ -943,6 +1019,14 @@ func (b *Backend) Compact(ctx context.Context) (engine.CompactionStats, error) {
 		if b.closed {
 			b.mu.RUnlock()
 			return abort(types.ErrClosed)
+		}
+		if b.epoch != epoch {
+			// A Reset unlinked the victims mid-rewrite; the output is moot.
+			st := b.statsLocked()
+			b.mu.RUnlock()
+			f.Close()
+			os.Remove(cmpPath)
+			return st, nil
 		}
 		_, rerr := b.segByID[it.old.seg].f.ReadAt(v, it.old.off)
 		b.mu.RUnlock()
@@ -971,7 +1055,7 @@ func (b *Backend) Compact(ctx context.Context) (engine.CompactionStats, error) {
 	}
 	if b.compactCrash == "sealed" {
 		f.Close()
-		return engine.CompactionStats{}, errCompactCrash
+		return engine.CompactionStats{}, ErrCrashed
 	}
 
 	// Phase 3 (locked): commit. The rename over seg-<newID>.log is the
@@ -985,6 +1069,13 @@ func (b *Backend) Compact(ctx context.Context) (engine.CompactionStats, error) {
 		os.Remove(cmpPath)
 		return engine.CompactionStats{}, types.ErrClosed
 	}
+	if b.epoch != epoch {
+		// A Reset intervened after the rewrite was sealed; renaming it into
+		// place would resurrect wiped data, so drop it instead.
+		f.Close()
+		os.Remove(cmpPath)
+		return b.statsLocked(), nil
+	}
 	if err := os.Rename(cmpPath, b.segPath(newID)); err != nil {
 		f.Close()
 		os.Remove(cmpPath)
@@ -992,7 +1083,7 @@ func (b *Backend) Compact(ctx context.Context) (engine.CompactionStats, error) {
 	}
 	if b.compactCrash == "renamed" {
 		f.Close()
-		return engine.CompactionStats{}, errCompactCrash
+		return engine.CompactionStats{}, ErrCrashed
 	}
 	// The marker records count as live, mirroring replay: a compacted
 	// segment whose every data record is still referenced has nothing to

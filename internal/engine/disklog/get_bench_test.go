@@ -1,0 +1,39 @@
+package disklog
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkGetHot measures the steady-state point-read path (index probe
+// plus one segment pread on a compacted store) — disklog's side of the
+// readheavy bench comparison.
+func BenchmarkGetHot(b *testing.B) {
+	ctx := context.Background()
+	be, err := Open(b.TempDir(), Options{SegmentBytes: 256 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer be.Close()
+	val := make([]byte, 256)
+	for i := 0; i < 5000; i++ {
+		if err := be.Put(ctx, "t", fmt.Sprintf("doc-%06d", i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := be.Compact(ctx); err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]string, 5000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("doc-%06d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, ok, err := be.Get(ctx, "t", keys[i%64])
+		if err != nil || !ok {
+			b.Fatal(err, ok)
+		}
+	}
+}

@@ -135,6 +135,21 @@ func (s CompactionStats) LiveRatio() float64 {
 	return float64(s.LiveBytes) / float64(s.DiskBytes)
 }
 
+// ErrNoReset reports that a backend does not implement Resetter (or, over
+// the wire, that the daemon's backend does not).
+var ErrNoReset = errors.New("engine: backend does not support reset")
+
+// Resetter is the optional wipe extension of Backend: Reset drops every
+// table and key, returning the backend to its freshly-opened empty state
+// without closing it. Benchmarks and end-to-end tests use it to reuse a
+// running daemon between phases instead of restarting the process.
+// Durable backends make the wipe crash-safe: a crash mid-reset recovers to
+// either the old contents or empty, never to a half-wiped hybrid that
+// resurrects deleted data.
+type Resetter interface {
+	Reset(ctx context.Context) error
+}
+
 // Compactor is the optional storage-reclaim extension of Backend: log- or
 // LSM-structured engines accumulate dead bytes (overwritten values,
 // tombstones) that only a merge can give back to the filesystem. Callers

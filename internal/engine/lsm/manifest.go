@@ -1,0 +1,103 @@
+package lsm
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"rstore/internal/types"
+)
+
+// The MANIFEST is the root of the tree: a small text file naming the live
+// WAL and every live SSTable in age order (oldest first), committed by
+// write-to-temp + fsync + rename + directory fsync. The rename is the
+// single commit point for flush, compaction, and reset — any sst-*.sst or
+// wal-*.log the MANIFEST does not reference is debris from a crash between
+// file creation and commit, and Open deletes it. Age order is what gives
+// reads and merges their shadowing rule: an entry in a younger table
+// supersedes the same key in any older one.
+//
+// Format, line by line:
+//
+//	rstore-lsm v1
+//	next <seq>      — next unused file sequence number
+//	wal <seq>       — the live write-ahead log, wal-<seq>.log
+//	sst <seq>       — one per live SSTable, oldest first
+const (
+	manifestName   = "MANIFEST"
+	manifestHeader = "rstore-lsm v1"
+)
+
+// writeManifest atomically commits a new manifest describing walSeq +
+// tables (age order) with nextSeq as the sequence floor.
+func writeManifest(dir string, nextSeq, walSeq int64, tables []*sstable) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\nnext %d\nwal %d\n", manifestHeader, nextSeq, walSeq)
+	for _, t := range tables {
+		fmt.Fprintf(&sb, "sst %d\n", t.seq)
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("lsm: %w", err)
+	}
+	if _, err := f.WriteString(sb.String()); err != nil {
+		f.Close()
+		return fmt.Errorf("lsm: manifest write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("lsm: manifest sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("lsm: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("lsm: manifest rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// readManifest parses dir/MANIFEST. exists is false when the file is absent
+// (a directory never initialized, or a crash before first commit); any
+// other defect is corruption, not a fresh start.
+func readManifest(dir string) (nextSeq, walSeq int64, ssts []int64, exists bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return 0, 0, nil, false, nil
+	}
+	if err != nil {
+		return 0, 0, nil, false, fmt.Errorf("lsm: %w", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) < 3 || lines[0] != manifestHeader {
+		return 0, 0, nil, false, fmt.Errorf("%w: lsm manifest header", types.ErrCorrupt)
+	}
+	field := func(line, key string) (int64, error) {
+		rest, ok := strings.CutPrefix(line, key+" ")
+		if !ok {
+			return 0, fmt.Errorf("%w: lsm manifest: want %q line, got %q", types.ErrCorrupt, key, line)
+		}
+		v, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("%w: lsm manifest %s %q", types.ErrCorrupt, key, rest)
+		}
+		return v, nil
+	}
+	if nextSeq, err = field(lines[1], "next"); err != nil {
+		return 0, 0, nil, false, err
+	}
+	if walSeq, err = field(lines[2], "wal"); err != nil {
+		return 0, 0, nil, false, err
+	}
+	for _, line := range lines[3:] {
+		seq, err := field(line, "sst")
+		if err != nil {
+			return 0, 0, nil, false, err
+		}
+		ssts = append(ssts, seq)
+	}
+	return nextSeq, walSeq, ssts, true, nil
+}

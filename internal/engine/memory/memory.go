@@ -27,7 +27,10 @@ func New() *Backend {
 	return &Backend{data: make(map[string]map[string][]byte)}
 }
 
-var _ engine.Backend = (*Backend)(nil)
+var (
+	_ engine.Backend  = (*Backend)(nil)
+	_ engine.Resetter = (*Backend)(nil)
+)
 
 // Put stores a copy of value under (table, key).
 func (b *Backend) Put(ctx context.Context, table, key string, value []byte) error {
@@ -164,6 +167,21 @@ func (b *Backend) BytesStored() int64 {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return b.bytesStored
+}
+
+// Reset drops every table and key (engine.Resetter).
+func (b *Backend) Reset(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return types.ErrClosed
+	}
+	b.data = make(map[string]map[string][]byte)
+	b.bytesStored = 0
+	return nil
 }
 
 // Close marks the backend closed; subsequent operations fail.

@@ -397,6 +397,22 @@ func (s *Server) serveOp(nc net.Conn, bw *bufio.Writer, op byte, body, resp []by
 		resp = wire.PutCompactionStats(resp, st)
 		return resp, wire.WriteFrame(bw, resp)
 
+	case wire.OpReset:
+		r, ok := s.be.(engine.Resetter)
+		if !ok {
+			// Exact sentinel text so the client maps it back onto
+			// engine.ErrNoReset (mirrors ErrNoCompaction above).
+			return reply(bw, resp, wire.StErr, []byte(engine.ErrNoReset.Error()))
+		}
+		err := r.Reset(s.baseCtx)
+		// A large wipe may outlive the deadline set at dispatch; the
+		// response write gets a fresh one.
+		nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		if err != nil {
+			return replyErr(bw, resp, err)
+		}
+		return reply(bw, resp, wire.StOK, nil)
+
 	case wire.OpPing:
 		return reply(bw, resp, wire.StOK, nil)
 

@@ -330,9 +330,9 @@ func okOrErr(status byte, body []byte) (bool, bool, error) {
 }
 
 // decodeErr reconstructs a node-side error. It stays a hard error; sentinel
-// identity does not survive the wire except for closed-backend and
-// no-compaction errors, which are mapped back so callers can match
-// types.ErrClosed / engine.ErrNoCompaction.
+// identity does not survive the wire except for closed-backend,
+// no-compaction, and no-reset errors, which are mapped back so callers can
+// match types.ErrClosed / engine.ErrNoCompaction / engine.ErrNoReset.
 func decodeErr(body []byte) error {
 	msg := string(body)
 	switch msg {
@@ -340,6 +340,8 @@ func decodeErr(body []byte) error {
 		return types.ErrClosed
 	case engine.ErrNoCompaction.Error():
 		return engine.ErrNoCompaction
+	case engine.ErrNoReset.Error():
+		return engine.ErrNoReset
 	}
 	return fmt.Errorf("remote node: %s", msg)
 }
@@ -543,6 +545,14 @@ func (c *Client) Compact(ctx context.Context) (engine.CompactionStats, error) {
 // compacting (engine.Compactor).
 func (c *Client) CompactionStats(ctx context.Context) (engine.CompactionStats, error) {
 	return c.compactOp(ctx, wire.OpCompactStats)
+}
+
+// Reset wipes the node's backend empty (engine.Resetter). A node whose
+// backend cannot reset surfaces as engine.ErrNoReset (a hard error, not
+// unavailability). The wipe deletes files, so it earns the compaction
+// deadline rather than the point-request one.
+func (c *Client) Reset(ctx context.Context) error {
+	return c.doTimeout(ctx, c.opts.CompactTimeout, []byte{wire.OpReset}, nil, okOrErr)
 }
 
 // Ping round-trips a no-op request, reporting node reachability.

@@ -43,6 +43,11 @@ const (
 	// with the engine.ErrNoCompaction text.
 	OpCompact
 	OpCompactStats
+	// OpReset asks the node to wipe its backend empty (engine.Resetter) so a
+	// running daemon can be reused between benchmark or test phases. A node
+	// whose backend cannot reset replies StErr with the engine.ErrNoReset
+	// text.
+	OpReset
 )
 
 // Response statuses (first byte of a response payload).

@@ -67,6 +67,12 @@ func (n *node) compactStats(ctx context.Context) (engine.CompactionStats, error)
 	return n.tr.compactStats(ctx)
 }
 
+// reset wipes the node's backend empty. Backends without reset support
+// return engine.ErrNoReset.
+func (n *node) reset(ctx context.Context) error {
+	return n.tr.reset(ctx)
+}
+
 func (n *node) isUp() bool {
 	return n.tr.available()
 }

@@ -433,6 +433,25 @@ func (r *repairer) addHints(ctx context.Context, park int, specs []hintSpec) {
 	r.ensureDrain()
 }
 
+// resetState drops all in-memory repair bookkeeping after a cluster wipe
+// (Store.Reset): parked-hint indexes, read-repair dedup state, and
+// tombstone waits all describe data that no longer exists, and replaying
+// a stale hint would resurrect it.
+func (r *repairer) resetState() {
+	r.hmu.Lock()
+	for _, q := range r.hints {
+		r.hintsPending.Add(-int64(len(q.pending)))
+	}
+	r.hints = make(map[int]*hintQueue)
+	r.hmu.Unlock()
+	r.mu.Lock()
+	r.inflight = make(map[string]bool)
+	r.mu.Unlock()
+	r.tmu.Lock()
+	r.tombs = make(map[string]*tombWait)
+	r.tmu.Unlock()
+}
+
 // recoverHints rebuilds the in-memory hint index from the !hints tables of
 // every reachable node, so a restarted cluster client resumes draining
 // hints a previous client parked. The nodes are scanned concurrently: this

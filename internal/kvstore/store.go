@@ -13,6 +13,7 @@ import (
 
 	"rstore/internal/engine"
 	"rstore/internal/engine/disklog"
+	"rstore/internal/engine/lsm"
 	"rstore/internal/engine/memory"
 	"rstore/internal/engine/remote"
 	"rstore/internal/types"
@@ -25,6 +26,12 @@ const (
 	// EngineDisklog is the log-structured disk backend; each node's
 	// segments live under Config.Dir/node-N and survive restarts.
 	EngineDisklog = "disklog"
+	// EngineLSM is the log-structured merge-tree disk backend (WAL +
+	// memtable + bloom-filtered SSTables); each node's tree lives under
+	// Config.Dir/node-N and survives restarts. All nodes of one cluster
+	// share a block cache, so the cache budget is per cluster, not per
+	// node.
+	EngineLSM = "lsm"
 	// EngineRemote speaks the engine wire protocol to one storage daemon
 	// (cmd/rstore-node) per entry of Config.NodeAddrs: a real cluster
 	// instead of the in-process simulator.
@@ -47,10 +54,11 @@ type Config struct {
 	// Cost is the latency model; zero value disables simulated timing.
 	Cost CostModel
 	// Engine selects the per-node storage backend: EngineMemory (the
-	// default) or EngineDisklog.
+	// default), EngineDisklog, EngineLSM, or EngineRemote.
 	Engine string
 	// Dir is the data directory for disk-backed engines; node i stores its
-	// data under Dir/node-i. Required when Engine is EngineDisklog.
+	// data under Dir/node-i. Required when Engine is EngineDisklog or
+	// EngineLSM.
 	Dir string
 	// NodeAddrs lists one daemon address (host:port) per node for
 	// EngineRemote, in node-id order. The address list is the cluster
@@ -93,6 +101,16 @@ func (cfg Config) transportFactory() (func(int) (transport, error), error) {
 		return local(func(id int) (engine.Backend, error) {
 			return disklog.Open(filepath.Join(cfg.Dir, fmt.Sprintf("node-%d", id)), disklog.Options{})
 		}), nil
+	case EngineLSM:
+		if cfg.Dir == "" {
+			return nil, fmt.Errorf("kvstore: engine %q needs Config.Dir", cfg.Engine)
+		}
+		// One cache for the whole cluster: hot blocks compete for a single
+		// budget instead of N private ones sized blind to each other.
+		cache := lsm.NewBlockCache(0)
+		return local(func(id int) (engine.Backend, error) {
+			return lsm.Open(filepath.Join(cfg.Dir, fmt.Sprintf("node-%d", id)), lsm.Options{Cache: cache})
+		}), nil
 	case EngineRemote:
 		if len(cfg.NodeAddrs) == 0 {
 			return nil, fmt.Errorf("kvstore: engine %q needs Config.NodeAddrs", cfg.Engine)
@@ -105,8 +123,8 @@ func (cfg Config) transportFactory() (func(int) (transport, error), error) {
 			return &remoteTransport{c: c}, nil
 		}, nil
 	default:
-		return nil, fmt.Errorf("kvstore: unknown engine %q (want %q, %q, or %q)",
-			cfg.Engine, EngineMemory, EngineDisklog, EngineRemote)
+		return nil, fmt.Errorf("kvstore: unknown engine %q (want %q, %q, %q, or %q)",
+			cfg.Engine, EngineMemory, EngineDisklog, EngineLSM, EngineRemote)
 	}
 }
 
@@ -243,7 +261,7 @@ func Open(cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.NewBackend == nil && cfg.Engine == EngineDisklog {
+	if cfg.NewBackend == nil && (cfg.Engine == EngineDisklog || cfg.Engine == EngineLSM) {
 		if err := checkGeometry(cfg.Dir, cfg.Nodes); err != nil {
 			return nil, err
 		}
@@ -1148,6 +1166,37 @@ func (s *Store) Compact(ctx context.Context) (reclaimed int64, err error) {
 		reclaimed += after.CompactedBytes - before.CompactedBytes
 	}
 	return reclaimed, errors.Join(errs...)
+}
+
+// Reset wipes every node's backend empty (engine.Resetter) so benchmarks
+// and end-to-end tests can reuse a running cluster — and, on a remote
+// cluster, its daemons — between phases instead of reopening everything.
+// The caller must quiesce concurrent writers first: a write racing the
+// wipe may land on either side of it. Nodes whose backend does not
+// implement Resetter surface engine.ErrNoReset, and any per-node failure
+// (including unavailability) is an error — a half-wiped cluster would
+// resurrect old data through replication repair — with failures
+// aggregated per node. In-memory repair bookkeeping (parked-hint indexes,
+// tombstone waits) is dropped alongside the data it describes, and remote
+// geometry pins, wiped with everything else, are re-pinned before
+// returning.
+func (s *Store) Reset(ctx context.Context) error {
+	var errs []error
+	for _, n := range s.nodes {
+		if err := n.reset(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("kvstore: reset node %d: %w", n.id, err))
+		}
+	}
+	if s.repair != nil {
+		s.repair.resetState()
+	}
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	if s.fanout {
+		return s.pinRemoteGeometry()
+	}
+	return nil
 }
 
 // ResetClock zeroes the virtual clock and counters (between experiment

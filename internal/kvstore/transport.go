@@ -38,6 +38,9 @@ type transport interface {
 	// engine.ErrNoCompaction.
 	compact(ctx context.Context) (engine.CompactionStats, error)
 	compactStats(ctx context.Context) (engine.CompactionStats, error)
+	// reset wipes the node's backend empty (engine.Resetter). Nodes whose
+	// backend does not implement it return engine.ErrNoReset.
+	reset(ctx context.Context) error
 	// available is a cheap best-effort liveness hint used to pick read
 	// replicas; the authoritative signal is an ErrUnavailable result.
 	available() bool
@@ -151,6 +154,17 @@ func (t *localTransport) compactStats(ctx context.Context) (engine.CompactionSta
 	return c.CompactionStats(ctx)
 }
 
+func (t *localTransport) reset(ctx context.Context) error {
+	if err := t.gate(); err != nil {
+		return err
+	}
+	r, ok := t.be.(engine.Resetter)
+	if !ok {
+		return engine.ErrNoReset
+	}
+	return r.Reset(ctx)
+}
+
 func (t *localTransport) available() bool {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -205,6 +219,8 @@ func (t *remoteTransport) compact(ctx context.Context) (engine.CompactionStats, 
 func (t *remoteTransport) compactStats(ctx context.Context) (engine.CompactionStats, error) {
 	return t.c.CompactionStats(ctx)
 }
+
+func (t *remoteTransport) reset(ctx context.Context) error { return t.c.Reset(ctx) }
 
 // available optimistically reports true: a remote node's liveness is only
 // truly known by talking to it, and the read paths all fall back across

@@ -11,6 +11,7 @@ import (
 
 	"rstore"
 	"rstore/internal/engine/disklog"
+	"rstore/internal/engine/lsm"
 	"rstore/internal/engine/remote"
 	"rstore/internal/engine/remote/engined"
 )
@@ -200,6 +201,189 @@ func TestRemoteClusterEndToEnd(t *testing.T) {
 	exists, err := rstore.Exists(context.Background(), kv2)
 	if err != nil || !exists {
 		t.Fatalf("Exists after reopen: %v %v", exists, err)
+	}
+	st2, err := rstore.Load(context.Background(), rstore.Config{KV: kv2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	defer kv2.Close()
+	if tip, err := st2.Tip("main"); err != nil || tip != parent {
+		t.Fatalf("Tip after reopen: %d %v", tip, err)
+	}
+	if got := capture(st2); !reflect.DeepEqual(afterRestart, got) {
+		t.Fatal("query results differ after close/reopen of the cluster")
+	}
+}
+
+// TestRemoteClusterLSMEndToEnd is the lsm twin of the disklog deployment
+// test: a full RStore on three lsm storage daemons behind TCP sockets. On
+// top of the kill/restart cycle it drives compaction over the wire —
+// OpCompact against every node through kvstore.Store.Compact — before and
+// after the crash, proving the merged SSTable layout the daemons converge
+// to serves identical query results. The killed node dies hard (descriptors
+// dropped unsynced, lsm.Backend.Kill), so its restart exercises real WAL
+// replay and debris recovery, not a graceful close.
+func TestRemoteClusterLSMEndToEnd(t *testing.T) {
+	const nNodes = 3
+
+	// Tiny memtables force every node into a multi-SSTable layout.
+	root := t.TempDir()
+	dirs := make([]string, nNodes)
+	backends := make([]*lsm.Backend, nNodes)
+	servers := make([]*engined.Server, nNodes)
+	addrs := make([]string, nNodes)
+	for i := 0; i < nNodes; i++ {
+		dirs[i] = filepath.Join(root, fmt.Sprintf("node-%d", i))
+		be, err := lsm.Open(dirs[i], lsm.Options{MemtableBytes: 4 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := engined.Start("127.0.0.1:0", be)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends[i], servers[i] = be, srv
+		addrs[i] = srv.Addr().String()
+	}
+	t.Cleanup(func() {
+		for i := range servers {
+			servers[i].Close()
+			backends[i].Close()
+		}
+	})
+
+	cluster := rstore.ClusterConfig{
+		Engine: rstore.EngineRemote, NodeAddrs: addrs, ReplicationFactor: 2,
+		Remote: remote.Options{Attempts: 2, Backoff: time.Millisecond},
+	}
+	kv, err := rstore.OpenCluster(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := rstore.Open(rstore.Config{KV: kv, BatchSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doc := func(i, rev int) []byte {
+		return bytes.Repeat([]byte(fmt.Sprintf(`{"doc":%d,"rev":%d}`, i, rev)), 20)
+	}
+
+	// An overwrite-heavy history: every document updated in every version,
+	// so the daemons accumulate shadowed chunk versions worth merging.
+	parent := rstore.NoParent
+	var versions []rstore.VersionID
+	for rev := 0; rev < 8; rev++ {
+		puts := map[rstore.Key][]byte{}
+		for d := 0; d < 6; d++ {
+			puts[rstore.Key(fmt.Sprintf("doc-%d", d))] = doc(d, rev)
+		}
+		v, err := st.Commit(context.Background(), parent, rstore.Change{Puts: puts})
+		if err != nil {
+			t.Fatalf("commit %d: %v", rev, err)
+		}
+		versions = append(versions, v)
+		parent = v
+	}
+	if err := st.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetBranch(context.Background(), "main", parent); err != nil {
+		t.Fatal(err)
+	}
+
+	capture := func(st *rstore.Store) map[rstore.VersionID]map[string]string {
+		t.Helper()
+		snap := map[rstore.VersionID]map[string]string{}
+		for _, v := range versions {
+			recs, _, err := st.GetVersionAll(context.Background(), v)
+			if err != nil {
+				t.Fatalf("GetVersion(%d): %v", v, err)
+			}
+			m := map[string]string{}
+			for _, r := range recs {
+				m[string(r.CK.Key)] = string(r.Value)
+			}
+			snap[v] = m
+		}
+		return snap
+	}
+	before := capture(st)
+	if len(before[versions[7]]) != 6 {
+		t.Fatalf("tip version has %d records, want 6", len(before[versions[7]]))
+	}
+
+	// Compact every daemon over the wire; results must not change.
+	if _, err := kv.Compact(context.Background()); err != nil {
+		t.Fatalf("compact over TCP: %v", err)
+	}
+	if got := capture(st); !reflect.DeepEqual(before, got) {
+		t.Fatal("query results changed after remote compaction")
+	}
+
+	// Kill node 1 hard: socket refused AND descriptors dropped unsynced.
+	servers[1].Close()
+	backends[1].Kill()
+
+	// Reads recover from surviving replicas; writes route around.
+	if got := capture(st); !reflect.DeepEqual(before, got) {
+		t.Fatal("query results changed with one node down")
+	}
+	for rev := 8; rev < 10; rev++ {
+		puts := map[rstore.Key][]byte{}
+		for d := 0; d < 6; d++ {
+			puts[rstore.Key(fmt.Sprintf("doc-%d", d))] = doc(d, rev)
+		}
+		v, err := st.Commit(context.Background(), parent, rstore.Change{Puts: puts})
+		if err != nil {
+			t.Fatalf("commit %d with node down: %v", rev, err)
+		}
+		versions = append(versions, v)
+		parent = v
+	}
+	if err := st.Flush(context.Background()); err != nil {
+		t.Fatalf("flush with node down: %v", err)
+	}
+	if err := st.SetBranch(context.Background(), "main", parent); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart node 1 from its directory: WAL replay + debris recovery.
+	be, err := lsm.Open(dirs[1], lsm.Options{MemtableBytes: 4 << 10})
+	if err != nil {
+		t.Fatalf("reopen killed node: %v", err)
+	}
+	srv, err := engined.Start(addrs[1], be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends[1], servers[1] = be, srv
+
+	// Compact again over TCP with the restarted (stale) node in rotation.
+	if _, err := kv.Compact(context.Background()); err != nil {
+		t.Fatalf("compact over TCP after restart: %v", err)
+	}
+	afterRestart := capture(st)
+	for _, v := range versions {
+		if len(afterRestart[v]) == 0 {
+			t.Fatalf("version %d empty after node restart", v)
+		}
+	}
+	if got := afterRestart[parent]; len(got) != 6 || got["doc-0"] != string(doc(0, 9)) {
+		t.Fatalf("tip after restart: %d records", len(got))
+	}
+
+	// Close the whole stack and reopen from the daemons: identical results.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	kv2, err := rstore.OpenCluster(cluster)
+	if err != nil {
+		t.Fatal(err)
 	}
 	st2, err := rstore.Load(context.Background(), rstore.Config{KV: kv2})
 	if err != nil {

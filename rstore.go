@@ -58,6 +58,7 @@ import (
 	"context"
 
 	"rstore/internal/core"
+	"rstore/internal/engine"
 	"rstore/internal/kvstore"
 	"rstore/internal/partition"
 	"rstore/internal/types"
@@ -106,6 +107,11 @@ var (
 	ErrInconsistentDelta = types.ErrInconsistentDelta
 	ErrClosed            = types.ErrClosed
 	ErrReadOnly          = types.ErrReadOnly
+	// ErrNoCompaction / ErrNoReset report that a cluster node's backend
+	// does not implement the optional compaction / wipe extensions (see
+	// kvstore.Store.Compact and kvstore.Store.Reset).
+	ErrNoCompaction = engine.ErrNoCompaction
+	ErrNoReset      = engine.ErrNoReset
 )
 
 // Open creates a store. With a zero Config it runs on a private single-node
@@ -149,6 +155,11 @@ const (
 	// EngineDisklog is the log-structured disk backend: append-only segment
 	// files with fsync-on-batch durability, replayed on open.
 	EngineDisklog = kvstore.EngineDisklog
+	// EngineLSM is the log-structured merge-tree disk backend: a WAL-backed
+	// memtable flushed into immutable, bloom-filtered, block-cached
+	// SSTables, with size-tiered compaction. Same durability contract as
+	// EngineDisklog; much faster point reads on overwrite-heavy data.
+	EngineLSM = kvstore.EngineLSM
 	// EngineRemote speaks the engine wire protocol to one storage daemon
 	// (cmd/rstore-node) per ClusterConfig.NodeAddrs entry: a real
 	// distributed cluster instead of the in-process simulator. Transient
