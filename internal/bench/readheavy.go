@@ -13,6 +13,9 @@ import (
 	"rstore/internal/engine"
 	"rstore/internal/engine/disklog"
 	"rstore/internal/engine/lsm"
+	"rstore/internal/engine/memory"
+	"rstore/internal/engine/remote/engined"
+	"rstore/internal/kvstore"
 )
 
 // RunReadHeavy measures the workload the paper's premise implies for the
@@ -87,7 +90,158 @@ func RunReadHeavy(opts Options) ([]*Table, error) {
 	speedup := rps["lsm"] / rps["disklog"]
 	t.Metrics["lsm_read_speedup_vs_disklog"] = speedup
 	t.AddRow("lsm/disklog", "-", fmt.Sprintf("%.2fx", speedup), "-", "-", "-", "-", "-")
-	return []*Table{t}, nil
+
+	remoteTbl, err := runReadHeavyRemote(ctx, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench readheavy: remote phase: %w", err)
+	}
+	return []*Table{t, remoteTbl}, nil
+}
+
+// runReadHeavyRemote measures the wire-level MultiGet batching win: an
+// rf=3 cluster of three in-process storage daemons behind real TCP
+// sockets, read zipfian in fixed-size batches through the batched path
+// (one OpMultiGet round trip per node per batch) and through the per-key
+// path (kvstore.Config.DisableReadBatching — one replicated point get per
+// key, the pre-batching behavior). Same daemons, same data, same access
+// sequence; only the read path differs.
+func runReadHeavyRemote(ctx context.Context, opts Options) (*Table, error) {
+	nKeys := scaled(20000, opts.RecordFrac, 400)
+	valSize := scaled(1024, opts.SizeFrac, 64)
+	const batchSize = 64
+	nBatches := 4 * nKeys / batchSize
+	if nBatches < 50 {
+		nBatches = 50
+	}
+
+	servers := make([]*engined.Server, 0, 3)
+	backends := make([]engine.Backend, 0, 3)
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+		for _, b := range backends {
+			b.Close()
+		}
+	}()
+	addrs := make([]string, 3)
+	for i := range addrs {
+		be := memory.New()
+		srv, err := engined.Start("127.0.0.1:0", be)
+		if err != nil {
+			return nil, err
+		}
+		backends = append(backends, be)
+		servers = append(servers, srv)
+		addrs[i] = srv.Addr().String()
+	}
+	open := func(perKey bool) (*kvstore.Store, error) {
+		return kvstore.Open(kvstore.Config{
+			Engine: kvstore.EngineRemote, NodeAddrs: addrs, ReplicationFactor: 3,
+			DisableReadBatching: perKey,
+		})
+	}
+
+	// Load once through the batched store; rf=3 on 3 nodes puts every key
+	// everywhere, so both read paths face identical replicas.
+	batched, err := open(false)
+	if err != nil {
+		return nil, err
+	}
+	defer batched.Close()
+	key := func(i int) string { return fmt.Sprintf("doc-%06d", i) }
+	mkval := func(i int) []byte {
+		b := make([]byte, valSize)
+		copy(b, fmt.Sprintf("doc-%06d:", i))
+		return b
+	}
+	ents := make([]kvstore.Entry, 0, 128)
+	for i := 0; i < nKeys; i++ {
+		ents = append(ents, kvstore.Entry{Key: key(i), Value: mkval(i)})
+		if len(ents) == cap(ents) || i == nKeys-1 {
+			if err := batched.BatchPut(ctx, "t", ents); err != nil {
+				return nil, err
+			}
+			ents = ents[:0]
+		}
+	}
+
+	// Precomputed zipfian batches, shared by both paths.
+	rnd := rand.New(rand.NewSource(opts.Seed))
+	zipf := rand.NewZipf(rnd, 1.1, 1, uint64(nKeys-1))
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	access := make([][]string, nBatches)
+	for b := range access {
+		access[b] = make([]string, batchSize)
+		for j := range access[b] {
+			access[b][j] = keys[zipf.Uint64()]
+		}
+	}
+
+	run := func(s *kvstore.Store) (time.Duration, []time.Duration, error) {
+		for i := 0; i < 3; i++ { // warm-up: conns dialed, caches touched
+			if _, err := s.MultiGet(ctx, "t", access[i%len(access)]); err != nil {
+				return 0, nil, err
+			}
+		}
+		lat := make([]time.Duration, 0, nBatches)
+		start := time.Now()
+		for _, b := range access {
+			t0 := time.Now()
+			res, err := s.MultiGet(ctx, "t", b)
+			lat = append(lat, time.Since(t0))
+			if err != nil {
+				return 0, nil, err
+			}
+			if len(res.Missing) != 0 {
+				return 0, nil, fmt.Errorf("multiget missing %d keys", len(res.Missing))
+			}
+		}
+		elapsed := time.Since(start)
+		sortDurations(lat)
+		return elapsed, lat, nil
+	}
+
+	t := &Table{
+		ID:        "readheavy-remote",
+		Title:     fmt.Sprintf("batched vs per-key MultiGet over TCP: rf=3 on 3 daemons, %d keys x %dB, %d batches x %d keys", nKeys, valSize, nBatches, batchSize),
+		PaperNote: "extension beyond the paper: one wire round trip per node per batch vs one replicated point get per key",
+		Headers:   []string{"read path", "keys/s", "batch p50", "batch p95", "batch p99"},
+		Metrics:   map[string]float64{},
+	}
+	kps := map[string]float64{}
+	paths := []struct {
+		name   string
+		perKey bool
+	}{{"batched", false}, {"per-key", true}}
+	for _, p := range paths {
+		s := batched
+		if p.perKey {
+			if s, err = open(true); err != nil {
+				return nil, err
+			}
+			defer s.Close()
+		}
+		elapsed, lat, err := run(s)
+		if err != nil {
+			return nil, fmt.Errorf("%s path: %w", p.name, err)
+		}
+		kps[p.name] = float64(nBatches*batchSize) / elapsed.Seconds()
+		p50, p95, p99 := pctl(lat, 0.50), pctl(lat, 0.95), pctl(lat, 0.99)
+		t.AddRow(p.name, fmt.Sprintf("%.0f", kps[p.name]), us(p50), us(p95), us(p99))
+		prefix := "multiget_" + p.name
+		t.Metrics[prefix+"_keys_per_sec"] = kps[p.name]
+		t.Metrics[prefix+"_batch_p50_us"] = usF(p50)
+		t.Metrics[prefix+"_batch_p95_us"] = usF(p95)
+		t.Metrics[prefix+"_batch_p99_us"] = usF(p99)
+	}
+	speedup := kps["batched"] / kps["per-key"]
+	t.Metrics["multiget_batched_speedup_vs_perkey"] = speedup
+	t.AddRow("batched/per-key", fmt.Sprintf("%.2fx", speedup), "-", "-", "-")
+	return t, nil
 }
 
 // rhResult is one engine's run of the readheavy workload.

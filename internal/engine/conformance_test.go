@@ -348,6 +348,76 @@ func TestConformanceValueIsolation(t *testing.T) {
 	})
 }
 
+func TestConformanceMultiGet(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b engine.Backend) {
+		mg, ok := b.(engine.MultiGetter)
+		if !ok {
+			// Optional interface; the remote rows exercise it (and with it
+			// the OpMultiGet wire op over real TCP).
+			t.Skip("backend does not implement engine.MultiGetter")
+		}
+		ctx := context.Background()
+		for i := 0; i < 20; i++ {
+			k := fmt.Sprintf("k%02d", i)
+			if err := b.Put(ctx, "t", k, []byte("v"+k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.Put(ctx, "t", "empty", nil); err != nil {
+			t.Fatal(err)
+		}
+
+		// Present, absent, duplicate, and empty-valued keys in one batch;
+		// results must come back in request order with count preserved.
+		keys := []string{"k03", "nope", "k17", "k03", "empty", "also-missing"}
+		values, present, err := mg.MultiGet(ctx, "t", keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(values) != len(keys) || len(present) != len(keys) {
+			t.Fatalf("got %d values, %d flags; want %d each", len(values), len(present), len(keys))
+		}
+		wantPresent := []bool{true, false, true, true, true, false}
+		wantValue := []string{"vk03", "", "vk17", "vk03", "", ""}
+		for i := range keys {
+			if present[i] != wantPresent[i] || string(values[i]) != wantValue[i] {
+				t.Fatalf("result %d (%s) = %q present=%v, want %q present=%v",
+					i, keys[i], values[i], present[i], wantValue[i], wantPresent[i])
+			}
+		}
+		// Absent keys yield nil values (empty values are present but empty).
+		if values[1] != nil || values[5] != nil {
+			t.Fatalf("absent keys returned non-nil values: %q %q", values[1], values[5])
+		}
+
+		// Batches against an absent table: every key absent, none an error.
+		values, present, err = mg.MultiGet(ctx, "absent", []string{"a", "b"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range present {
+			if present[i] || values[i] != nil {
+				t.Fatalf("absent table result %d = %q present=%v", i, values[i], present[i])
+			}
+		}
+
+		// Empty batch is a no-op.
+		if values, present, err = mg.MultiGet(ctx, "t", nil); err != nil || len(values) != 0 || len(present) != 0 {
+			t.Fatalf("empty batch: %v %v %v", values, present, err)
+		}
+
+		// Returned values must not alias backend state.
+		values, _, err = mg.MultiGet(ctx, "t", []string{"k05"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		values[0][0] = 'X'
+		if got := mustGet(t, b, "t", "k05"); string(got) != "vk05" {
+			t.Fatal("MultiGet returned aliased storage")
+		}
+	})
+}
+
 func TestConformanceConcurrentAccess(t *testing.T) {
 	forEachBackend(t, func(t *testing.T, b engine.Backend) {
 		var wg sync.WaitGroup

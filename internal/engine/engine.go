@@ -103,6 +103,20 @@ type Backend interface {
 	Close() error
 }
 
+// MultiGetter is the optional batched-read extension of Backend: MultiGet
+// resolves many keys of one table in a single call, returning values and
+// presence flags in request order (values[i] and present[i] answer keys[i]).
+// Returned values follow the Get contract — they must not alias backend
+// state. The error is all-or-nothing: a failing backend fails the whole
+// batch rather than returning partial results.
+//
+// The remote wire client implements it (one network round trip for the
+// whole batch instead of one per key); callers discover it by type
+// assertion and fall back to per-key Get when it is absent.
+type MultiGetter interface {
+	MultiGet(ctx context.Context, table string, keys []string) (values [][]byte, present []bool, err error)
+}
+
 // ErrNoCompaction reports that a backend does not implement Compactor (or,
 // over the wire, that the daemon's backend does not). Callers that compact
 // opportunistically match it with errors.Is and move on.

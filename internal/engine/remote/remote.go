@@ -14,6 +14,14 @@
 // because every Backend operation is idempotent (puts overwrite, deletes
 // tolerate missing keys).
 //
+// A failure detector watches those unavailability verdicts: after
+// Options.BreakerThreshold consecutive verdicts the node enters probation —
+// operations fail fast (still wrapped in engine.ErrUnavailable) while a
+// single background prober pings with exponential backoff, so a dead node
+// costs one dial per probe interval instead of a dial-retry schedule per
+// request. A successful probe closes the breaker and notifies the state
+// listener (see breaker.go).
+//
 // Every operation honors its context end to end: dials go through
 // net.Dialer.DialContext, retry backoff sleeps are interruptible, and a
 // context that ends mid-exchange slams the connection deadline so even a
@@ -64,6 +72,17 @@ type Options struct {
 	// queue a duplicate merge on every retry. A caller wanting a shorter
 	// bound sets a context deadline. Default 15m.
 	CompactTimeout time.Duration
+	// BreakerThreshold is how many consecutive unavailability verdicts trip
+	// the circuit breaker (see breaker.go): once tripped, operations fail
+	// fast while a background prober watches for recovery. Default 3 — one
+	// flaky exchange must not put a healthy node in probation.
+	BreakerThreshold int
+	// ProbeInterval is the delay before the breaker's first recovery probe;
+	// it doubles per failed probe up to ProbeMaxBackoff. Default 100ms.
+	ProbeInterval time.Duration
+	// ProbeMaxBackoff caps the probe backoff — the longest a recovered node
+	// waits before the breaker notices. Default 5s.
+	ProbeMaxBackoff time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +104,15 @@ func (o Options) withDefaults() Options {
 	if o.CompactTimeout <= 0 {
 		o.CompactTimeout = 15 * time.Minute
 	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 100 * time.Millisecond
+	}
+	if o.ProbeMaxBackoff <= 0 {
+		o.ProbeMaxBackoff = 5 * time.Second
+	}
 	return o
 }
 
@@ -92,6 +120,7 @@ func (o Options) withDefaults() Options {
 type Client struct {
 	addr string
 	opts Options
+	br   *breaker // failure detector (see breaker.go)
 
 	mu     sync.Mutex
 	idle   []*conn
@@ -99,8 +128,9 @@ type Client struct {
 }
 
 var (
-	_ engine.Backend   = (*Client)(nil)
-	_ engine.Compactor = (*Client)(nil)
+	_ engine.Backend     = (*Client)(nil)
+	_ engine.Compactor   = (*Client)(nil)
+	_ engine.MultiGetter = (*Client)(nil)
 )
 
 // conn is one pooled connection with its buffered reader and reusable
@@ -118,7 +148,9 @@ func Dial(addr string, opts Options) (*Client, error) {
 	if _, _, err := net.SplitHostPort(addr); err != nil {
 		return nil, fmt.Errorf("remote: bad node address %q: %w", addr, err)
 	}
-	return &Client{addr: addr, opts: opts.withDefaults()}, nil
+	c := &Client{addr: addr, opts: opts.withDefaults()}
+	c.br = newBreaker(c)
+	return c, nil
 }
 
 // Addr returns the node address this client speaks to.
@@ -251,6 +283,12 @@ func (c *Client) doTimeout(ctx context.Context, iot time.Duration, req []byte, c
 		// unavailability — retrying cannot help.
 		return fmt.Errorf("remote %s: request of %d bytes exceeds the %d-byte frame limit", c.addr, len(req), wire.MaxFrame)
 	}
+	if c.br.fastFail() {
+		// Probation: the failure detector already judged the node down, so
+		// fail without a dial. The background prober (breaker.go) is the one
+		// paying for reachability checks now.
+		return c.unavailable(errProbation)
+	}
 	var lastErr error
 	for attempt := 0; attempt < c.opts.Attempts; attempt++ {
 		if attempt > 0 {
@@ -278,6 +316,7 @@ func (c *Client) doTimeout(ctx context.Context, iot time.Duration, req []byte, c
 		}
 		abandon, err := cn.exchange(ctx, iot, req, handle)
 		if err == nil {
+			c.br.recordSuccess()
 			if abandon {
 				cn.nc.Close()
 			} else {
@@ -288,6 +327,9 @@ func (c *Client) doTimeout(ctx context.Context, iot time.Duration, req []byte, c
 		cn.nc.Close()
 		te, transient := err.(transportError)
 		if !transient {
+			// The node answered (with an error): reachable, so the failure
+			// detector's consecutive count resets.
+			c.br.recordSuccess()
 			return err
 		}
 		if cerr := ctx.Err(); cerr != nil {
@@ -303,6 +345,11 @@ func (c *Client) doTimeout(ctx context.Context, iot time.Duration, req []byte, c
 			break
 		}
 	}
+	// An exhausted retry schedule with a live context is one unavailability
+	// verdict for the failure detector. Context-terminated operations never
+	// reach here (they return above) — a caller giving up proves nothing
+	// about the node.
+	c.br.recordFailure()
 	return c.unavailable(lastErr)
 }
 
@@ -380,6 +427,66 @@ func (c *Client) Get(ctx context.Context, table, key string) ([]byte, bool, erro
 		return nil, false, err
 	}
 	return value, found, nil
+}
+
+// MultiGet reads many keys of one table in a single wire round trip
+// (engine.MultiGetter): values and presence flags come back in request
+// order. The whole batch shares one retry schedule, so a dead node costs
+// one operation's worth of attempts regardless of batch size.
+func (c *Client) MultiGet(ctx context.Context, table string, keys []string) ([][]byte, []bool, error) {
+	req := []byte{wire.OpMultiGet}
+	req = codec.PutString(req, table)
+	req = codec.PutUvarint(req, uint64(len(keys)))
+	for _, k := range keys {
+		req = codec.PutString(req, k)
+	}
+	var values [][]byte
+	var present []bool
+	err := c.do(ctx, req, nil, func(status byte, body []byte) (bool, bool, error) {
+		switch status {
+		case wire.StOK:
+			// Fresh slices per attempt: a retried exchange must not leak
+			// results of a half-decoded earlier response.
+			values = make([][]byte, len(keys))
+			present = make([]bool, len(keys))
+			n, rest, err := codec.Uvarint(body)
+			if err != nil {
+				return true, false, transportErr(err)
+			}
+			if n != uint64(len(keys)) {
+				return true, false, transportErr(fmt.Errorf("%w: multiget answered %d of %d keys", types.ErrCorrupt, n, len(keys)))
+			}
+			for i := uint64(0); i < n; i++ {
+				if len(rest) == 0 {
+					return true, false, transportErr(fmt.Errorf("%w: truncated multiget response", types.ErrCorrupt))
+				}
+				flag := rest[0]
+				rest = rest[1:]
+				switch flag {
+				case 0:
+				case 1:
+					var v []byte
+					v, rest, err = codec.Bytes(rest)
+					if err != nil {
+						return true, false, transportErr(err)
+					}
+					values[i] = append([]byte(nil), v...) // v aliases the receive buffer
+					present[i] = true
+				default:
+					return true, false, transportErr(fmt.Errorf("%w: multiget result flag %d", types.ErrCorrupt, flag))
+				}
+			}
+			return true, false, nil
+		case wire.StErr:
+			return true, false, decodeErr(body)
+		default:
+			return true, false, transportErr(fmt.Errorf("%w: unexpected response status %d", types.ErrCorrupt, status))
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return values, present, nil
 }
 
 // Delete removes (table, key); deleting a missing key is a no-op.
@@ -570,6 +677,7 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	c.br.close()
 	for _, cn := range c.idle {
 		cn.nc.Close()
 	}

@@ -48,6 +48,18 @@ const (
 	// whose backend cannot reset replies StErr with the engine.ErrNoReset
 	// text.
 	OpReset
+	// OpMultiGet reads N keys of one table in a single round trip:
+	//
+	//	request  := OpMultiGet table(string) count(uvarint) key(string)*count
+	//	response := StOK count(uvarint) result*count   |   StErr text
+	//	result   := 0x00                (key absent)
+	//	          | 0x01 value(bytes)   (key present)
+	//
+	// Results are returned in request order and count always equals the
+	// request's count. This is the batched read the cluster's MultiGet path
+	// rides on: one frame out, one frame back, instead of one exchange per
+	// key per replica.
+	OpMultiGet
 )
 
 // Response statuses (first byte of a response payload).

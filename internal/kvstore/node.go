@@ -33,6 +33,12 @@ func (n *node) get(ctx context.Context, table, key string) ([]byte, bool, error)
 	return n.tr.get(ctx, table, key)
 }
 
+// multiGet reads many keys in one transport call (a single wire round trip
+// on remote nodes); values and presence flags come back in request order.
+func (n *node) multiGet(ctx context.Context, table string, keys []string) ([][]byte, []bool, error) {
+	return n.tr.multiGet(ctx, table, keys)
+}
+
 // del physically removes (table, key) from this node's backend. Only the
 // repair subsystem calls it (tombstone GC, hint cleanup); the replication
 // layer's Delete writes tombstones instead.

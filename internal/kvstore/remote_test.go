@@ -193,6 +193,70 @@ func TestRemoteClusterRoutesAroundDeadNode(t *testing.T) {
 	}
 }
 
+// TestMultiGetBatchedMatchesPerKey: the batched read path (one OpMultiGet
+// per node) and the per-key path (Config.DisableReadBatching) must be
+// observationally identical — same values, same missing set — including
+// across tombstones and a dead node.
+func TestMultiGetBatchedMatchesPerKey(t *testing.T) {
+	addrs, nodes := startNodes(t, 3)
+	batched := openRemote(t, addrs, 2)
+	perKey, err := Open(Config{
+		Engine: EngineRemote, NodeAddrs: addrs, ReplicationFactor: 2,
+		Remote: remoteOpts(), DisableReadBatching: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { perKey.Close() })
+
+	var keys []string
+	for i := 0; i < 80; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		keys = append(keys, k)
+		if err := batched.Put(context.Background(), "t", k, []byte("v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tombstones and never-written keys must land in Missing on both paths.
+	for i := 0; i < 10; i++ {
+		if err := batched.Delete(context.Background(), "t", keys[i*7]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys = append(keys, "never-written-a", "never-written-b")
+
+	check := func(when string) {
+		t.Helper()
+		rb, err := batched.MultiGet(context.Background(), "t", keys)
+		if err != nil {
+			t.Fatalf("%s: batched multiget: %v", when, err)
+		}
+		rp, err := perKey.MultiGet(context.Background(), "t", keys)
+		if err != nil {
+			t.Fatalf("%s: per-key multiget: %v", when, err)
+		}
+		if len(rb.Values) != len(rp.Values) || fmt.Sprint(rb.Missing) != fmt.Sprint(rp.Missing) {
+			t.Fatalf("%s: missing sets differ: batched %v, per-key %v", when, rb.Missing, rp.Missing)
+		}
+		for i := range keys {
+			if string(rb.Values[i]) != string(rp.Values[i]) {
+				t.Fatalf("%s: %s = %q batched, %q per-key", when, keys[i], rb.Values[i], rp.Values[i])
+			}
+		}
+		if rb.Requests != len(keys) || rp.Requests != len(keys) {
+			t.Fatalf("%s: accounting differs: %d vs %d requests, want %d both",
+				when, rb.Requests, rp.Requests, len(keys))
+		}
+	}
+	check("all nodes up")
+
+	// One node dead at rf=2: both paths route to surviving replicas.
+	nodes[2].kill()
+	check("one node down")
+	nodes[2].restart(t, addrs[2])
+	check("after restart")
+}
+
 func TestRemoteClusterAllReplicasDownIsAnError(t *testing.T) {
 	addrs, nodes := startNodes(t, 2)
 	s := openRemote(t, addrs, 1)

@@ -51,6 +51,12 @@ type Config struct {
 	// queue that bounds batch retrieval — the replication effect the
 	// paper's conclusion flags for future study.
 	ReadBalance bool
+	// DisableReadBatching forces MultiGet through the per-key read path
+	// (one point get per key per replica) instead of one batched request
+	// per node. The batched path is strictly better on a wire transport;
+	// the knob exists so benchmarks can measure the difference against the
+	// same cluster.
+	DisableReadBatching bool
 	// Cost is the latency model; zero value disables simulated timing.
 	Cost CostModel
 	// Engine selects the per-node storage backend: EngineMemory (the
@@ -287,6 +293,19 @@ func Open(cfg Config) (*Store, error) {
 		// !hints tables); unreachable nodes are simply skipped.
 		s.repair.recoverHints(context.Background())
 	}
+	// A remote node recovering from probation (breaker closing) kicks hint
+	// drain so writes parked while it was down replay promptly — the wire
+	// counterpart of SetNodeUp's nudge. Wired last so the callback never
+	// observes a half-built Store.
+	for _, n := range s.nodes {
+		if rt, ok := n.tr.(*remoteTransport); ok {
+			rt.c.SetStateListener(func(up bool) {
+				if up && s.repair != nil {
+					s.repair.kickDrain()
+				}
+			})
+		}
+	}
 	return s, nil
 }
 
@@ -419,13 +438,30 @@ func (s *Store) Put(ctx context.Context, table, key string, value []byte) error 
 }
 
 // replicatedPut writes one envelope to every replica, routing around down
-// nodes. It reports the first node that acknowledged (-1 if none — the
-// caller renders the all-down error) and the nodes that missed the write;
-// hard engine errors abort.
+// nodes. The replica writes issue concurrently (one goroutine per extra
+// replica) so a dead node's dial-retry latency does not stack in front of
+// the live ones. It reports the acknowledging node earliest in replica
+// order (-1 if none — the caller renders the all-down error; the replica
+// order makes the park choice deterministic regardless of completion
+// order) and the nodes that missed the write; hard engine errors abort.
 func (s *Store) replicatedPut(ctx context.Context, replicas []int, table, key string, env []byte) (park int, missed []int, err error) {
+	errs := make([]error, len(replicas))
+	if len(replicas) > 1 {
+		var wg sync.WaitGroup
+		for j, n := range replicas {
+			wg.Add(1)
+			go func(j, n int) {
+				defer wg.Done()
+				errs[j] = s.nodes[n].put(ctx, table, key, env)
+			}(j, n)
+		}
+		wg.Wait()
+	} else {
+		errs[0] = s.nodes[replicas[0]].put(ctx, table, key, env)
+	}
 	park = -1
-	for _, n := range replicas {
-		switch err := s.nodes[n].put(ctx, table, key, env); {
+	for j, n := range replicas {
+		switch err := errs[j]; {
 		case err == nil:
 			if park < 0 {
 				park = n
@@ -450,11 +486,10 @@ func (s *Store) BatchPut(ctx context.Context, table string, entries []Entry) err
 		return nil
 	}
 	perNode := make(map[int][]int)
-	primaries := make([]int, len(entries))
+	replicasOf := make([][]int, len(entries))
 	for i, e := range entries {
-		replicas := s.ring.replicas(e.Key, s.cfg.ReplicationFactor)
-		primaries[i] = replicas[0]
-		for _, n := range replicas {
+		replicasOf[i] = s.ring.replicas(e.Key, s.cfg.ReplicationFactor)
+		for _, n := range replicasOf[i] {
 			perNode[n] = append(perNode[n], i)
 		}
 	}
@@ -465,35 +500,59 @@ func (s *Store) BatchPut(ctx context.Context, table string, entries []Entry) err
 	for i, e := range entries {
 		envs[i] = envelope(envValue, ts, e.Value)
 	}
-	committed := make([]int, len(entries)) // first acking node, or -1
-	for i := range committed {
-		committed[i] = -1
+	// The per-node groups issue concurrently (bounded by the node count:
+	// one goroutine per group), so a dead node's dial-retry latency does
+	// not serialize in front of the live groups. Hard errors are reported
+	// in node order for determinism.
+	nids := make([]int, 0, len(perNode))
+	for nid := range perNode {
+		nids = append(nids, nid)
 	}
-	var missedByNode map[int][]int // down node → entry indexes it missed
-	for nid, idxs := range perNode {
+	sort.Ints(nids)
+	groupErrs := make([]error, len(nids))
+	var wg sync.WaitGroup
+	for j, nid := range nids {
+		idxs := perNode[nid]
 		group := make([]engine.Entry, len(idxs))
-		for j, i := range idxs {
-			group[j] = engine.Entry{Key: entries[i].Key, Value: envs[i]}
+		for k, i := range idxs {
+			group[k] = engine.Entry{Key: entries[i].Key, Value: envs[i]}
 		}
-		switch err := s.nodes[nid].batchPut(ctx, table, group); {
+		wg.Add(1)
+		go func(j, nid int, group []engine.Entry) {
+			defer wg.Done()
+			groupErrs[j] = s.nodes[nid].batchPut(ctx, table, group)
+		}(j, nid, group)
+	}
+	wg.Wait()
+	nodeErr := make(map[int]error, len(nids))
+	var missedByNode map[int][]int // down node → entry indexes it missed
+	for j, nid := range nids {
+		switch err := groupErrs[j]; {
 		case err == nil:
-			for _, i := range idxs {
-				if committed[i] < 0 {
-					committed[i] = nid
-				}
-			}
+			nodeErr[nid] = nil
 		case isUnavailable(err):
 			// Routed around; entries survive on other replicas.
+			nodeErr[nid] = err
 			if missedByNode == nil {
 				missedByNode = make(map[int][]int)
 			}
-			missedByNode[nid] = idxs
+			missedByNode[nid] = perNode[nid]
 		default:
 			return fmt.Errorf("kvstore: batchput %s: node %d: %w", table, nid, err)
 		}
 	}
+	// committed[i] = acking node earliest in entry i's replica order, or -1
+	// (deterministic park choice, matching replicatedPut).
+	committed := make([]int, len(entries))
 	var bytes int64
 	for i, e := range entries {
+		committed[i] = -1
+		for _, n := range replicasOf[i] {
+			if nodeErr[n] == nil {
+				committed[i] = n
+				break
+			}
+		}
 		if committed[i] < 0 {
 			return allDownErr(ctx, "kvstore: batchput %s/%s: all replicas down", table, e.Key)
 		}
@@ -521,7 +580,8 @@ func (s *Store) BatchPut(ctx context.Context, table string, entries []Entry) err
 	// (replica fan-out is free, matching Put's accounting).
 	perPrimary := make(map[int][]int)
 	for i, e := range entries {
-		perPrimary[primaries[i]] = append(perPrimary[primaries[i]], len(e.Value))
+		p := replicasOf[i][0]
+		perPrimary[p] = append(perPrimary[p], len(e.Value))
 	}
 	s.bytesPut.Add(bytes)
 	s.reqCount.Add(int64(len(entries)))
@@ -565,14 +625,7 @@ func (s *Store) Get(ctx context.Context, table, key string) ([]byte, error) {
 // tombstone deleted) get the winning envelope written back asynchronously.
 func (s *Store) lwwGet(ctx context.Context, table, key string) (v []byte, ok, anyUp bool, err error) {
 	replicas := s.ring.replicas(key, s.cfg.ReplicationFactor)
-	type result struct {
-		raw     []byte
-		present bool
-		err     error
-		ts      uint64
-		tomb    bool
-	}
-	results := make([]result, len(replicas))
+	results := make([]readResult, len(replicas))
 	if s.fanout && len(replicas) > 1 {
 		var wg sync.WaitGroup
 		for j, n := range replicas {
@@ -590,7 +643,27 @@ func (s *Store) lwwGet(ctx context.Context, table, key string) (v []byte, ok, an
 			r.raw, r.present, r.err = s.nodes[n].get(ctx, table, key)
 		}
 	}
+	return s.resolveRead(table, key, replicas, results)
+}
 
+// readResult is one replica's answer for one key: a raw envelope (or its
+// absence), or the error the attempt returned. ts and tomb are filled in
+// by resolveRead.
+type readResult struct {
+	raw     []byte
+	present bool
+	err     error
+	ts      uint64
+	tomb    bool
+}
+
+// resolveRead LWW-merges one key's per-replica read results: the newest
+// version wins (ties resolved by lwwNewer), divergent live replicas are
+// queued for read repair, and fully-agreed expired tombstones are handed
+// to TTL collection. It is the shared resolution step of lwwGet and the
+// batched MultiGet path, so both observe divergence identically. results
+// must align with replicas (results[j] answers replicas[j]).
+func (s *Store) resolveRead(table, key string, replicas []int, results []readResult) (v []byte, ok, anyUp bool, err error) {
 	var best []byte
 	var bestTS uint64
 	var bestNode int
@@ -722,10 +795,15 @@ type MultiGetResult struct {
 	Elapsed time.Duration
 }
 
-// MultiGet fetches many keys from one table, issuing the point reads
-// concurrently grouped by owning node — the access pattern of RStore's
-// query processing module. Missing keys are reported, not errors, because
-// the projections RStore consults are lossy (§2.4).
+// MultiGet fetches many keys from one table — the access pattern of
+// RStore's query processing module. Keys are grouped by replica node and
+// each node's group is read in one batched request (a single wire round
+// trip per node on remote clusters), issued in parallel; each key's
+// replica answers are then LWW-merged exactly like a point Get. Keys
+// whose every replica batch came back unavailable fall back to per-key
+// reads, whose retry schedule re-discovers liveness. Missing keys are
+// reported, not errors, because the projections RStore consults are lossy
+// (§2.4).
 func (s *Store) MultiGet(ctx context.Context, table string, keys []string) (*MultiGetResult, error) {
 	res := &MultiGetResult{Values: make([][]byte, len(keys))}
 	if len(keys) == 0 {
@@ -736,78 +814,48 @@ func (s *Store) MultiGet(ctx context.Context, table string, keys []string) (*Mul
 	}
 
 	// Group request indexes by serving replica: the primary by default, or
-	// the least-loaded live replica when read balancing is on. available()
-	// is only a hint (a remote node's liveness is discovered per request),
-	// so the per-key fetch below still falls back across replicas.
+	// the least-loaded live replica when read balancing is on (tracked with
+	// O(1) per-replica load counters). available() is only a hint (a remote
+	// node's liveness is discovered per request), so the fetch paths below
+	// still fall back across replicas. The serving grouping drives the
+	// simulated batch cost; the physical reads consult every replica.
+	rf := s.cfg.ReplicationFactor
+	replicasOf := make([][]int, len(keys))
+	load := make([]int, len(s.nodes))
 	byNode := make(map[int][]int)
 	for i, k := range keys {
+		replicasOf[i] = s.ring.replicas(k, rf)
 		n := -1
-		if s.cfg.ReadBalance {
-			best := -1
-			for _, r := range s.ring.replicas(k, s.cfg.ReplicationFactor) {
-				if !s.nodes[r].isUp() {
-					continue
-				}
-				if best == -1 || len(byNode[r]) < len(byNode[best]) {
-					best = r
-				}
+		for _, r := range replicasOf[i] {
+			if !s.nodes[r].isUp() {
+				continue
 			}
-			n = best
-		} else {
-			n = s.pickReplica(k)
+			if !s.cfg.ReadBalance {
+				n = r
+				break
+			}
+			if n == -1 || load[r] < load[n] {
+				n = r
+			}
 		}
 		if n < 0 {
 			return nil, fmt.Errorf("kvstore: multiget %s: all replicas down for %q", table, k)
 		}
+		load[n]++
 		byNode[n] = append(byNode[n], i)
 	}
 
-	var wg sync.WaitGroup
-	var mu sync.Mutex // guards res.Missing and firstErr
-	var firstErr error
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
+	var missing []int
+	var err error
+	if s.cfg.DisableReadBatching {
+		missing, err = s.multiGetPerKey(ctx, table, keys, byNode, res)
+	} else {
+		missing, err = s.multiGetBatched(ctx, table, keys, replicasOf, res)
 	}
-	for nid, idxs := range byNode {
-		wg.Add(1)
-		go func(nid int, idxs []int) {
-			defer wg.Done()
-			for _, i := range idxs {
-				// The node grouping above schedules the batch; the actual
-				// read consults every live replica and takes the newest
-				// version (the scheduled node may have died mid-batch, or
-				// restarted stale). A dead context stops the lane before
-				// the next point read.
-				if err := ctx.Err(); err != nil {
-					fail(fmt.Errorf("kvstore: multiget %s: %w", table, err))
-					return
-				}
-				v, ok, anyUp, err := s.lwwGet(ctx, table, keys[i])
-				switch {
-				case err != nil:
-					fail(fmt.Errorf("kvstore: multiget %s/%s: %w", table, keys[i], err))
-					return
-				case !anyUp:
-					fail(allDownErr(ctx, "kvstore: multiget %s/%s: all replicas down", table, keys[i]))
-					return
-				case ok:
-					res.Values[i] = v
-				default:
-					mu.Lock()
-					res.Missing = append(res.Missing, i)
-					mu.Unlock()
-				}
-			}
-		}(nid, idxs)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
+	res.Missing = missing
 	sort.Ints(res.Missing)
 
 	// Simulated timing: per-node serial service, client-side lanes.
@@ -830,14 +878,152 @@ func (s *Store) MultiGet(ctx context.Context, table string, keys []string) (*Mul
 	return res, nil
 }
 
-// pickReplica returns the first live replica for key, or -1.
-func (s *Store) pickReplica(key string) int {
-	for _, n := range s.ring.replicas(key, s.cfg.ReplicationFactor) {
-		if s.nodes[n].isUp() {
-			return n
+// multiGetBatched issues one batched read per node covering every key the
+// node replicates, in parallel, then LWW-merges each key's answers across
+// its replicas' batches — the same resolution (and read-repair
+// observation) as the per-key path, at one wire round trip per node
+// instead of one per key per replica. A node whose batch failed as
+// unavailable contributes no answers (its keys merge from the replicas
+// that did answer, mirroring how lwwGet skips unavailable replicas); keys
+// with no answering replica at all are retried through per-key lwwGet,
+// whose per-operation retries re-discover liveness. Hard errors abort.
+func (s *Store) multiGetBatched(ctx context.Context, table string, keys []string, replicasOf [][]int, res *MultiGetResult) (missing []int, err error) {
+	// slot records where key i landed in each replica's batch, so its
+	// answers can be collected without searching.
+	type slot struct{ node, off int }
+	perNode := make(map[int][]int)
+	slots := make([][]slot, len(keys))
+	for i := range keys {
+		for _, r := range replicasOf[i] {
+			slots[i] = append(slots[i], slot{r, len(perNode[r])})
+			perNode[r] = append(perNode[r], i)
 		}
 	}
-	return -1
+
+	type batch struct {
+		vals    [][]byte
+		present []bool
+		err     error
+	}
+	batches := make(map[int]*batch, len(perNode))
+	var wg sync.WaitGroup
+	for nid, idxs := range perNode {
+		b := &batch{}
+		batches[nid] = b
+		ks := make([]string, len(idxs))
+		for j, i := range idxs {
+			ks[j] = keys[i]
+		}
+		wg.Add(1)
+		go func(nid int, ks []string, b *batch) {
+			defer wg.Done()
+			b.vals, b.present, b.err = s.nodes[nid].multiGet(ctx, table, ks)
+		}(nid, ks, b)
+	}
+	wg.Wait()
+	for nid, b := range batches {
+		if b.err != nil && !isUnavailable(b.err) {
+			return nil, fmt.Errorf("kvstore: multiget %s: node %d: %w", table, nid, b.err)
+		}
+	}
+
+	var fallback []int
+	for i := range keys {
+		results := make([]readResult, len(slots[i]))
+		answered := false
+		for j, sl := range slots[i] {
+			b := batches[sl.node]
+			if b.err != nil {
+				results[j].err = b.err
+				continue
+			}
+			answered = true
+			results[j].raw = b.vals[sl.off]
+			results[j].present = b.present[sl.off]
+		}
+		if !answered {
+			fallback = append(fallback, i)
+			continue
+		}
+		v, ok, _, err := s.resolveRead(table, keys[i], replicasOf[i], results)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: multiget %s/%s: %w", table, keys[i], err)
+		}
+		if ok {
+			res.Values[i] = v
+		} else {
+			missing = append(missing, i)
+		}
+	}
+
+	for _, i := range fallback {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("kvstore: multiget %s: %w", table, err)
+		}
+		v, ok, anyUp, err := s.lwwGet(ctx, table, keys[i])
+		switch {
+		case err != nil:
+			return nil, fmt.Errorf("kvstore: multiget %s/%s: %w", table, keys[i], err)
+		case !anyUp:
+			return nil, allDownErr(ctx, "kvstore: multiget %s/%s: all replicas down", table, keys[i])
+		case ok:
+			res.Values[i] = v
+		default:
+			missing = append(missing, i)
+		}
+	}
+	return missing, nil
+}
+
+// multiGetPerKey is the pre-batching read path: per-node lanes issuing
+// one replicated point read per key. Kept behind Config.DisableReadBatching
+// so benchmarks can measure the batching win against the same cluster.
+func (s *Store) multiGetPerKey(ctx context.Context, table string, keys []string, byNode map[int][]int, res *MultiGetResult) ([]int, error) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards missing and firstErr
+	var missing []int
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	// One lane per serving node; the reads inside consult all replicas.
+	for _, idxs := range byNode {
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			for _, i := range idxs {
+				// A dead context stops the lane before the next point read.
+				if err := ctx.Err(); err != nil {
+					fail(fmt.Errorf("kvstore: multiget %s: %w", table, err))
+					return
+				}
+				v, ok, anyUp, err := s.lwwGet(ctx, table, keys[i])
+				switch {
+				case err != nil:
+					fail(fmt.Errorf("kvstore: multiget %s/%s: %w", table, keys[i], err))
+					return
+				case !anyUp:
+					fail(allDownErr(ctx, "kvstore: multiget %s/%s: all replicas down", table, keys[i]))
+					return
+				case ok:
+					res.Values[i] = v
+				default:
+					mu.Lock()
+					missing = append(missing, i)
+					mu.Unlock()
+				}
+			}
+		}(idxs)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return missing, nil
 }
 
 // Scan visits every live key/value of a table exactly once, in unspecified
@@ -1098,6 +1284,13 @@ type Stats struct {
 	LiveBytes      int64   // portion of DiskBytes still referenced by live keys
 	CompactedBytes int64   // cumulative bytes reclaimed by compaction
 	LiveRatio      float64 // LiveBytes/DiskBytes; 1 when nothing is on disk
+
+	// Failure detector (remote clusters only; see remote.BreakerStats).
+	// Counters are summed over the cluster's wire clients.
+	BreakerOpen      int   // nodes currently in probation (breaker open)
+	BreakerTrips     int64 // closed→open transitions across all nodes
+	BreakerProbes    int64 // background reachability probes issued
+	BreakerFastFails int64 // operations rejected without touching the network
 }
 
 // Stats returns a snapshot of the counters; ctx bounds the per-node
@@ -1120,6 +1313,14 @@ func (s *Store) Stats(ctx context.Context) Stats {
 		st.TombstonesGCed = r.tombstonesGC.Load()
 	}
 	for _, n := range s.nodes {
+		if bs, ok := n.tr.breakerStats(); ok {
+			if bs.Open {
+				st.BreakerOpen++
+			}
+			st.BreakerTrips += bs.Trips
+			st.BreakerProbes += bs.Probes
+			st.BreakerFastFails += bs.FastFails
+		}
 		if b, err := n.stored(ctx); err == nil {
 			st.BytesStored += b
 		}

@@ -23,6 +23,11 @@ type transport interface {
 	// repair.go), never to delete user data directly.
 	put(ctx context.Context, table, key string, value []byte) error
 	get(ctx context.Context, table, key string) ([]byte, bool, error)
+	// multiGet reads many keys in one call: values and presence flags in
+	// request order. Over the wire this is a single round trip (OpMultiGet);
+	// locally it serves straight from the backend. All-or-nothing: a failing
+	// node fails the whole batch, never returns partial results.
+	multiGet(ctx context.Context, table string, keys []string) ([][]byte, []bool, error)
 	del(ctx context.Context, table, key string) error
 	batchPut(ctx context.Context, table string, entries []engine.Entry) error
 	// scan visits every key/value of a table. Values passed to fn may alias
@@ -46,6 +51,10 @@ type transport interface {
 	available() bool
 	// injectFault forces the node down/up for failure-injection tests.
 	injectFault(up bool) error
+	// breakerStats reports the node's failure-detector state; ok is false
+	// for transports without one (local nodes fail via the injection flag,
+	// not a breaker).
+	breakerStats() (remote.BreakerStats, bool)
 	close() error
 }
 
@@ -93,6 +102,25 @@ func (t *localTransport) get(ctx context.Context, table, key string) ([]byte, bo
 		return nil, false, err
 	}
 	return t.be.Get(ctx, table, key)
+}
+
+func (t *localTransport) multiGet(ctx context.Context, table string, keys []string) ([][]byte, []bool, error) {
+	if err := t.gate(); err != nil {
+		return nil, nil, err
+	}
+	if mg, ok := t.be.(engine.MultiGetter); ok {
+		return mg.MultiGet(ctx, table, keys)
+	}
+	values := make([][]byte, len(keys))
+	present := make([]bool, len(keys))
+	for i, k := range keys {
+		v, ok, err := t.be.Get(ctx, table, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		values[i], present[i] = v, ok
+	}
+	return values, present, nil
 }
 
 func (t *localTransport) del(ctx context.Context, table, key string) error {
@@ -178,6 +206,10 @@ func (t *localTransport) injectFault(up bool) error {
 	return nil
 }
 
+func (t *localTransport) breakerStats() (remote.BreakerStats, bool) {
+	return remote.BreakerStats{}, false
+}
+
 func (t *localTransport) close() error { return t.be.Close() }
 
 // remoteTransport routes a node's operations to a storage daemon over TCP.
@@ -194,6 +226,10 @@ func (t *remoteTransport) put(ctx context.Context, table, key string, value []by
 
 func (t *remoteTransport) get(ctx context.Context, table, key string) ([]byte, bool, error) {
 	return t.c.Get(ctx, table, key)
+}
+
+func (t *remoteTransport) multiGet(ctx context.Context, table string, keys []string) ([][]byte, []bool, error) {
+	return t.c.MultiGet(ctx, table, keys)
 }
 
 func (t *remoteTransport) del(ctx context.Context, table, key string) error {
@@ -222,13 +258,19 @@ func (t *remoteTransport) compactStats(ctx context.Context) (engine.CompactionSt
 
 func (t *remoteTransport) reset(ctx context.Context) error { return t.c.Reset(ctx) }
 
-// available optimistically reports true: a remote node's liveness is only
-// truly known by talking to it, and the read paths all fall back across
-// replicas when the attempt comes back unavailable.
-func (t *remoteTransport) available() bool { return true }
+// available reflects the wire client's failure detector: a node in
+// probation (circuit breaker open) is reported down so read placement
+// steers around it, a node not in probation is optimistically up. The
+// authoritative signal is still the per-operation result — the read paths
+// all fall back across replicas when an attempt comes back unavailable.
+func (t *remoteTransport) available() bool { return !t.c.BreakerOpen() }
 
 func (t *remoteTransport) injectFault(bool) error {
 	return fmt.Errorf("kvstore: failure injection is not supported for remote node %s (stop the daemon instead)", t.c.Addr())
+}
+
+func (t *remoteTransport) breakerStats() (remote.BreakerStats, bool) {
+	return t.c.BreakerStats(), true
 }
 
 func (t *remoteTransport) close() error { return t.c.Close() }

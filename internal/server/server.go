@@ -408,6 +408,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"disk_bytes":      kv.DiskBytes,
 		"live_ratio":      kv.LiveRatio,
 		"compacted_bytes": kv.CompactedBytes,
+		// Failure detector (zero on non-remote clusters).
+		"breaker_open":       kv.BreakerOpen,
+		"breaker_trips":      kv.BreakerTrips,
+		"breaker_probes":     kv.BreakerProbes,
+		"breaker_fast_fails": kv.BreakerFastFails,
 	})
 }
 

@@ -133,6 +133,16 @@ func TestRemoteClusterEndToEnd(t *testing.T) {
 		t.Fatalf("tip version has %d records, want 6", len(before.Versions[versions[7]]))
 	}
 
+	// Marker keys for the stale-replica check below: written now so every
+	// node (including the one about to die) holds the old revision.
+	mk := make([]string, 10)
+	for i := range mk {
+		mk[i] = fmt.Sprintf("marker-%d", i)
+		if err := kv.Put(context.Background(), "e2e", mk[i], []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
 	// Kill node 1: a real process death — socket refused, not a flag.
 	servers[1].Close()
 	if err := backends[1].Close(); err != nil {
@@ -164,6 +174,14 @@ func TestRemoteClusterEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Overwrite the marker keys while node 1 is down: its replicas of them
+	// are now permanently one revision behind.
+	for _, k := range mk {
+		if err := kv.Put(context.Background(), "e2e", k, []byte("new")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
 	// Restart node 1 from its data directory on the same address. It is
 	// stale for everything written while it was down; reads must fall back
 	// across replicas transparently.
@@ -176,6 +194,22 @@ func TestRemoteClusterEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	backends[1], servers[1] = be, srv
+
+	// The restarted replica still serves "old" for the markers it holds;
+	// the batched read path (one OpMultiGet per node, answers LWW-merged
+	// per key across the replica batches) must outvote it on every key.
+	mres, err := kv.MultiGet(context.Background(), "e2e", mk)
+	if err != nil {
+		t.Fatalf("multiget after stale restart: %v", err)
+	}
+	if len(mres.Missing) != 0 {
+		t.Fatalf("multiget after stale restart: missing %v", mres.Missing)
+	}
+	for i, v := range mres.Values {
+		if string(v) != "new" {
+			t.Fatalf("marker %d = %q after stale restart, want %q (stale replica not outvoted)", i, v, "new")
+		}
+	}
 
 	afterRestart := capture(st)
 	for _, v := range versions {
