@@ -121,7 +121,7 @@ func BenchmarkSubchunkBuild(b *testing.B) {
 // BenchmarkCommit measures online ingest throughput (delta store writes +
 // periodic batch flushes).
 func BenchmarkCommit(b *testing.B) {
-	st, err := rstore.Open(rstore.Config{ChunkCapacity: 64 << 10, BatchSize: 32})
+	st, err := rstore.Open(context.Background(), rstore.Config{ChunkCapacity: 64 << 10, BatchSize: 32})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func BenchmarkCommit(b *testing.B) {
 func queryBenchStore(b *testing.B) (*rstore.Store, *corpus.Corpus) {
 	b.Helper()
 	c := benchCorpus(b, 150, 400)
-	st, err := rstore.Open(rstore.Config{ChunkCapacity: 16 << 10})
+	st, err := rstore.Open(context.Background(), rstore.Config{ChunkCapacity: 16 << 10})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func BenchmarkFlushBatch(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		st, err := rstore.Open(rstore.Config{ChunkCapacity: 32 << 10})
+		st, err := rstore.Open(context.Background(), rstore.Config{ChunkCapacity: 32 << 10})
 		if err != nil {
 			b.Fatal(err)
 		}

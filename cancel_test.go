@@ -48,7 +48,7 @@ func TestRemoteClusterCancellationStopsNodeScans(t *testing.T) {
 		t.Cleanup(func() { srv.Close() })
 		addrs[i] = srv.Addr().String()
 	}
-	kv, err := rstore.OpenCluster(rstore.ClusterConfig{
+	kv, err := rstore.OpenCluster(context.Background(), rstore.ClusterConfig{
 		Engine: rstore.EngineRemote, NodeAddrs: addrs,
 		Remote: remote.Options{Attempts: 2, Backoff: time.Millisecond},
 	})
@@ -58,7 +58,7 @@ func TestRemoteClusterCancellationStopsNodeScans(t *testing.T) {
 	defer kv.Close()
 	// One chunk per fetch round, no cache: every chunk consult is a real
 	// node read the counter sees.
-	st, err := rstore.Open(rstore.Config{KV: kv, ChunkCapacity: 256, QueryFetchBatch: 1})
+	st, err := rstore.Open(context.Background(), rstore.Config{KV: kv, ChunkCapacity: 256, QueryFetchBatch: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

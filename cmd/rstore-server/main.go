@@ -92,7 +92,8 @@ func main() {
 		}
 		cluster.Nodes = 0 // the address list is the cluster shape
 	}
-	kv, err := rstore.OpenCluster(cluster)
+	ctx := context.Background()
+	kv, err := rstore.OpenCluster(ctx, cluster)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -107,8 +108,6 @@ func main() {
 	if *backend == rstore.EngineRemote {
 		where = "nodes " + strings.Join(cluster.NodeAddrs, ",")
 	}
-
-	ctx := context.Background()
 
 	var st *rstore.Store
 	switch {
@@ -138,7 +137,7 @@ func main() {
 		}
 	}
 	if st == nil {
-		st, err = rstore.Open(cfg)
+		st, err = rstore.Open(ctx, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,103 @@
+// Command rstore-vet runs the project's static-analysis suite
+// (docs/ANALYZERS.md): the crash-safety, error-classification, context,
+// locking, and clock-seam invariants the storage engines and the remote
+// path depend on, enforced mechanically instead of by reviewer memory.
+//
+// Two modes share the same analyzers and diagnostics:
+//
+//	rstore-vet ./...                     # standalone, from the module root
+//	go vet -vettool=$(pwd)/rstore-vet ./...  # unit mode, driven by cmd/go
+//
+// Standalone mode loads non-test packages itself (go list -export); unit
+// mode speaks cmd/go's vet.cfg protocol, which also covers test files and
+// test-variant packages — CI uses it for exactly that reason.
+//
+// Intentional violations are suppressed with a reasoned escape comment on
+// the offending line or the line above:
+//
+//	//lint:rstore-vet <analyzer>: <reason>
+//
+// The reason is mandatory; escapes without one are diagnostics themselves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rstore/internal/analysis"
+	"rstore/internal/analysis/rvet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("rstore-vet", flag.ContinueOnError)
+	fs.Usage = usage
+	listFlag := fs.Bool("list", false, "print each analyzer with its one-line doc and exit")
+	flagsFlag := fs.Bool("flags", false, "print the JSON flag description cmd/go's vet driver expects and exit")
+	versionFlag := fs.String("V", "", "print version information (cmd/go tool-ID handshake); -V=full is the form cmd/go uses")
+	jsonDummy := fs.Bool("json", false, "accepted for vet-driver compatibility (diagnostics are plain text)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	_ = jsonDummy
+
+	suite := analysis.All()
+	switch {
+	case *versionFlag != "":
+		// cmd/go fingerprints a -vettool by running it with -V=full and
+		// expects "<name> version <non-devel-version>" on stdout.
+		fmt.Printf("%s version go1-rstore-vet-1\n", filepath.Base(os.Args[0]))
+		return 0
+	case *flagsFlag:
+		// cmd/go interrogates the tool's analyzer flags before the first
+		// real run; the suite is not individually toggleable.
+		fmt.Println("[]")
+		return 0
+	case *listFlag:
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Summary())
+		}
+		fmt.Printf("\nescape hatch: //lint:rstore-vet <analyzer>: <reason>   (reason required)\n")
+		return 0
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return rvet.RunUnit(rest[0], suite)
+	}
+	if len(rest) == 0 {
+		usage()
+		return 1
+	}
+	pkgs, err := rvet.LoadPackages(".", rest)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rstore-vet: %v\n", err)
+		return 1
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, d := range rvet.Run(pkg, suite) {
+			fmt.Fprintln(os.Stderr, d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "rstore-vet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  rstore-vet [packages]          analyze packages (standalone; e.g. rstore-vet ./...)
+  rstore-vet -list               print the analyzer suite
+  go vet -vettool=<path> ./...   run under cmd/go (covers test files too)
+`)
+}

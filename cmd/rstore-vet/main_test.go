@@ -1,0 +1,83 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"rstore/internal/analysis"
+)
+
+// capture runs fn with os.Stdout redirected to a pipe and returns what it
+// printed.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestList checks that -list prints every analyzer with its one-line doc.
+func TestList(t *testing.T) {
+	var code int
+	out := capture(t, func() { code = run([]string{"-list"}) })
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing analyzer %q", a.Name)
+		}
+		if !strings.Contains(out, a.Summary()) {
+			t.Errorf("-list output missing %q's one-line doc %q", a.Name, a.Summary())
+		}
+	}
+	if !strings.Contains(out, "//lint:rstore-vet") {
+		t.Error("-list output does not document the escape hatch")
+	}
+}
+
+// TestVersionHandshake checks the cmd/go -vettool fingerprint protocol:
+// -V=full must print "<name> version <non-devel-version>".
+func TestVersionHandshake(t *testing.T) {
+	var code int
+	out := capture(t, func() { code = run([]string{"-V=full"}) })
+	if code != 0 {
+		t.Fatalf("-V=full exited %d", code)
+	}
+	fields := strings.Fields(out)
+	if len(fields) != 3 || fields[1] != "version" || fields[2] == "devel" {
+		t.Errorf("-V=full printed %q, want \"<name> version <version>\"", out)
+	}
+}
+
+// TestFlagsHandshake checks the vet driver's flag interrogation: -flags
+// must print a JSON array.
+func TestFlagsHandshake(t *testing.T) {
+	var code int
+	out := capture(t, func() { code = run([]string{"-flags"}) })
+	if code != 0 {
+		t.Fatalf("-flags exited %d", code)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("-flags printed %q, want \"[]\"", out)
+	}
+}
+
+func TestNoArgsUsage(t *testing.T) {
+	if code := run(nil); code != 1 {
+		t.Errorf("no-args run exited %d, want 1", code)
+	}
+}

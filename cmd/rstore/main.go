@@ -90,7 +90,7 @@ func run(ctx context.Context, args []string) error {
 	cmd, cmdArgs := rest[0], rest[1:]
 
 	if cmd == "init" {
-		kv, err := env.openCluster()
+		kv, err := env.openCluster(ctx)
 		if err != nil {
 			return err
 		}
@@ -109,7 +109,7 @@ func run(ctx context.Context, args []string) error {
 				return fmt.Errorf("store already initialized in %s", env.where())
 			}
 		}
-		st, err := rstore.Open(rstore.Config{KV: kv})
+		st, err := rstore.Open(ctx, rstore.Config{KV: kv})
 		if err != nil {
 			return err
 		}
@@ -362,14 +362,14 @@ func (e cliEnv) where() string {
 // openCluster opens the cluster in the configured backend (validated up
 // front in run): single-node for the local engines, one node per daemon
 // address for remote.
-func (e cliEnv) openCluster() (*kvstore.Store, error) {
+func (e cliEnv) openCluster(ctx context.Context) (*kvstore.Store, error) {
 	if e.backend == rstore.EngineRemote {
-		return rstore.OpenCluster(rstore.ClusterConfig{
+		return rstore.OpenCluster(ctx, rstore.ClusterConfig{
 			Engine: e.backend, NodeAddrs: e.addrs,
 			ReplicationFactor: e.rf, Repair: e.repair,
 		})
 	}
-	return rstore.OpenCluster(rstore.ClusterConfig{Nodes: 1, Engine: e.backend, Dir: e.data})
+	return rstore.OpenCluster(ctx, rstore.ClusterConfig{Nodes: 1, Engine: e.backend, Dir: e.data})
 }
 
 // load reopens the persisted store: from the snapshot file (memory), by
@@ -382,7 +382,7 @@ func (e cliEnv) load(ctx context.Context) (*kvstore.Store, *rstore.Store, error)
 				return nil, nil, fmt.Errorf("open store %s (run init first): %w", e.data, err)
 			}
 		}
-		kv, err := e.openCluster()
+		kv, err := e.openCluster(ctx)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -398,7 +398,7 @@ func (e cliEnv) load(ctx context.Context) (*kvstore.Store, *rstore.Store, error)
 		return nil, nil, fmt.Errorf("open store %s (run init first): %w", e.store, err)
 	}
 	defer f.Close()
-	kv, err := e.openCluster()
+	kv, err := e.openCluster(ctx)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -18,7 +18,7 @@ func TestDisklogStoreReopen(t *testing.T) {
 	dir := t.TempDir()
 	cfg := rstore.Config{Engine: rstore.EngineDisklog, DataDir: dir, BatchSize: 2}
 
-	st, err := rstore.Open(cfg)
+	st, err := rstore.Open(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

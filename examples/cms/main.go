@@ -50,7 +50,7 @@ func render(title string, words []string) []byte {
 func run(k int) (storageMB float64, q1ms, q3ms float64, span int) {
 	ctx := context.Background()
 	rng := rand.New(rand.NewSource(99))
-	st, err := rstore.Open(rstore.Config{ChunkCapacity: 64 << 10, SubChunkK: k})
+	st, err := rstore.Open(ctx, rstore.Config{ChunkCapacity: 64 << 10, SubChunkK: k})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func run(k int) (storageMB float64, q1ms, q3ms float64, span int) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	return float64(st.ChunkStorageBytes()) / (1 << 20),
+	return float64(st.ChunkStorageBytes(ctx)) / (1 << 20),
 		float64(q1.SimElapsed.Microseconds()) / 1000,
 		float64(q3.SimElapsed.Microseconds()) / 1000,
 		q1.Span

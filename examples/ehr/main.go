@@ -32,7 +32,7 @@ func ehr(rng *rand.Rand, id int, visits int, risk float64) []byte {
 func main() {
 	ctx := context.Background()
 	rng := rand.New(rand.NewSource(7))
-	st, err := rstore.Open(rstore.Config{
+	st, err := rstore.Open(ctx, rstore.Config{
 		ChunkCapacity: 8 << 10,
 		SubChunkK:     4, // compress up to 4 versions of a patient record together
 		BatchSize:     8,

@@ -12,7 +12,7 @@ import (
 
 func main() {
 	ctx := context.Background()
-	st, err := rstore.Open(rstore.Config{ChunkCapacity: 4096, BatchSize: 2})
+	st, err := rstore.Open(ctx, rstore.Config{ChunkCapacity: 4096, BatchSize: 2})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,7 +19,7 @@ import (
 func main() {
 	ctx := context.Background()
 	// One shared 4-node cluster with replication.
-	kv, err := rstore.OpenCluster(rstore.ClusterConfig{
+	kv, err := rstore.OpenCluster(ctx, rstore.ClusterConfig{
 		Nodes: 4, ReplicationFactor: 2, ReadBalance: true,
 		Cost: rstore.DefaultCostModel(),
 	})
@@ -28,7 +28,7 @@ func main() {
 	}
 
 	// Primary application server (writable).
-	primary, err := rstore.Open(rstore.Config{KV: kv, BatchSize: 4})
+	primary, err := rstore.Open(ctx, rstore.Config{KV: kv, BatchSize: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

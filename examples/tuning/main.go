@@ -58,7 +58,7 @@ func main() {
 	}
 
 	for _, kn := range knobs {
-		st, err := rstore.Open(rstore.Config{
+		st, err := rstore.Open(context.Background(), rstore.Config{
 			Partitioner: kn.p, ChunkCapacity: kn.cap, SubChunkK: kn.k,
 		})
 		if err != nil {
@@ -78,7 +78,7 @@ func main() {
 			kn.k,
 			st.NumChunks(),
 			st.TotalVersionSpan(),
-			fmt.Sprintf("%.2fMB", float64(st.ChunkStorageBytes())/(1<<20)),
+			fmt.Sprintf("%.2fMB", float64(st.ChunkStorageBytes(context.Background()))/(1<<20)),
 			fmt.Sprintf("%.2fms", float64(q1.SimElapsed.Microseconds())/1000),
 		)
 	}

@@ -1,0 +1,25 @@
+// Package analysis registers the rstore-vet analyzer suite: the project's
+// crash-safety, error-classification, context, locking, and clock
+// invariants as mechanical checks (docs/ANALYZERS.md). cmd/rstore-vet is
+// the driver; internal/analysis/rvet is the framework.
+package analysis
+
+import (
+	"rstore/internal/analysis/clockseam"
+	"rstore/internal/analysis/ctxfirst"
+	"rstore/internal/analysis/errclass"
+	"rstore/internal/analysis/fsyncrename"
+	"rstore/internal/analysis/lockio"
+	"rstore/internal/analysis/rvet"
+)
+
+// All returns the full suite in reporting order.
+func All() []*rvet.Analyzer {
+	return []*rvet.Analyzer{
+		clockseam.Analyzer,
+		ctxfirst.Analyzer,
+		errclass.Analyzer,
+		fsyncrename.Analyzer,
+		lockio.Analyzer,
+	}
+}

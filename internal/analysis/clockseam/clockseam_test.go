@@ -1,0 +1,50 @@
+package clockseam
+
+import (
+	"strings"
+	"testing"
+
+	"rstore/internal/analysis/rvet/rvettest"
+)
+
+func TestFixture(t *testing.T) {
+	rvettest.Run(t, Analyzer, "testdata/kvstore", "rstore/internal/kvstore")
+}
+
+// TestOutOfScope runs the same fixture under a path outside the kvstore
+// scope: nothing may fire.
+func TestOutOfScope(t *testing.T) {
+	diags := rvettest.Diagnostics(t, Analyzer, "testdata/escapes", "rstore/internal/bench")
+	for _, d := range diags {
+		if d.Analyzer == Analyzer.Name {
+			t.Errorf("out-of-scope package produced diagnostic: %s", d)
+		}
+	}
+}
+
+// TestEscapeRequiresReason proves a reason-less or misattributed escape is
+// itself reported and does not suppress the underlying finding.
+func TestEscapeRequiresReason(t *testing.T) {
+	diags := rvettest.Diagnostics(t, Analyzer, "testdata/escapes", "rstore/internal/kvstore")
+	var reasonless, unknown bool
+	findings := 0
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "requires a reason"):
+			reasonless = true
+		case strings.Contains(d.Message, "unknown analyzer"):
+			unknown = true
+		case d.Analyzer == Analyzer.Name:
+			findings++
+		}
+	}
+	if !reasonless {
+		t.Error("reason-less escape was not reported")
+	}
+	if !unknown {
+		t.Error("escape naming an unknown analyzer was not reported")
+	}
+	if findings != 2 {
+		t.Errorf("malformed escapes must not suppress: got %d findings, want 2 (diags: %v)", findings, diags)
+	}
+}

@@ -1,0 +1,13 @@
+package kvstore
+
+import "time"
+
+func reasonless() int64 {
+	//lint:rstore-vet clockseam:
+	return time.Now().UnixNano()
+}
+
+func unknownAnalyzer() int64 {
+	//lint:rstore-vet nosuchcheck: some reason
+	return time.Now().UnixNano()
+}

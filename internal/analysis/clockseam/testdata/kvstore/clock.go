@@ -1,0 +1,6 @@
+package kvstore
+
+import "time"
+
+// The designated seam file is the one place allowed to name time.Now.
+var walltime = time.Now

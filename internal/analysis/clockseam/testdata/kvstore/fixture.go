@@ -1,0 +1,24 @@
+package kvstore
+
+import "time"
+
+func stampBad() uint64 {
+	return uint64(time.Now().UnixNano()) // want "time.Now in an LWW/envelope/repair path"
+}
+
+func stampGood() uint64 {
+	return uint64(walltime().UnixNano())
+}
+
+func clockValueBad() func() time.Time {
+	return time.Now // want "time.Now in an LWW/envelope/repair path"
+}
+
+func stampEscaped() int64 {
+	//lint:rstore-vet clockseam: fixture exercising the reasoned escape hatch
+	return time.Now().UnixNano()
+}
+
+func stampEscapedTrailing() int64 {
+	return time.Now().UnixNano() //lint:rstore-vet clockseam: same-line escapes suppress too
+}

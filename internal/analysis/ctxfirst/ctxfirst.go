@@ -1,0 +1,109 @@
+// Package ctxfirst enforces the ctx-first public-surface contract
+// established in PR 3: a function that accepts a context.Context takes it
+// as the first parameter, and the core storage layers do not mint root
+// contexts with context.Background()/context.TODO() — they thread the
+// caller's. A Background() deep in kvstore or core detaches that operation
+// from every deadline and cancellation above it, which is exactly the bug
+// class the streaming/cancellation work eliminated.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"rstore/internal/analysis/rvet"
+)
+
+// Analyzer is the ctxfirst rule.
+var Analyzer = &rvet.Analyzer{
+	Name: "ctxfirst",
+	Doc: "context.Context parameters come first; core layers must not mint context.Background()\n\n" +
+		"The parameter-position rule applies to every function, method, and\n" +
+		"interface method in the module. The Background()/TODO() ban applies to\n" +
+		"rstore, rstore/internal/{core,kvstore,client} and rstore/internal/engine/...,\n" +
+		"excluding package main, _test.go files, and test-helper packages (a\n" +
+		"package name ending in \"test\"). Lifecycle roots that genuinely own a\n" +
+		"fresh context (daemon serve loops, io.Closer shims) carry a reasoned\n" +
+		"//lint:rstore-vet escape instead.",
+	Run: run,
+}
+
+// backgroundScope lists the path prefixes whose non-test code must thread
+// caller contexts instead of minting roots. The facade package itself
+// (import path exactly "rstore") is included separately in
+// inBackgroundScope, since as a prefix it would swallow the whole module.
+var backgroundScope = []string{
+	"rstore/internal/core",
+	"rstore/internal/kvstore",
+	"rstore/internal/engine",
+	"rstore/internal/client",
+}
+
+func run(pass *rvet.Pass) error {
+	info := pass.TypesInfo()
+	banBackground := inBackgroundScope(pass)
+	for _, f := range pass.Files() {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkParams(pass, info, n.Type)
+			case *ast.FuncLit:
+				checkParams(pass, info, n.Type)
+			case *ast.InterfaceType:
+				for _, m := range n.Methods.List {
+					if ft, ok := m.Type.(*ast.FuncType); ok {
+						checkParams(pass, info, ft)
+					}
+				}
+			case *ast.CallExpr:
+				if !banBackground {
+					return true
+				}
+				for _, name := range [2]string{"Background", "TODO"} {
+					if rvet.IsPkgCall(info, n, "context", name) {
+						pass.Reportf(n.Pos(), "context.%s() mints a root context in a core layer: thread the caller's ctx (or carry a reasoned escape for a lifecycle root)", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkParams flags a context.Context parameter anywhere but position 0.
+// Variadic or multi-name fields count each name as one position.
+func checkParams(pass *rvet.Pass, info *types.Info, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		tv, ok := info.Types[field.Type]
+		width := len(field.Names)
+		if width == 0 {
+			width = 1
+		}
+		if ok && rvet.IsContextType(tv.Type) && pos > 0 {
+			pass.Reportf(field.Type.Pos(), "context.Context must be the first parameter")
+		}
+		pos += width
+	}
+}
+
+// inBackgroundScope mirrors rvet.Pass.InScope but excludes package main and
+// test-helper packages, which legitimately own root contexts.
+func inBackgroundScope(pass *rvet.Pass) bool {
+	if pass.BasePath() != "rstore" && !pass.InScope(backgroundScope...) {
+		return false
+	}
+	name := pass.TypesPkg().Name()
+	if name == "main" || strings.HasSuffix(name, "test") {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,38 @@
+package ctxfirst
+
+import (
+	"strings"
+	"testing"
+
+	"rstore/internal/analysis/rvet/rvettest"
+)
+
+func TestCoreScope(t *testing.T) {
+	rvettest.Run(t, Analyzer, "testdata/core", "rstore/internal/core/fixture")
+}
+
+// TestUnscoped checks the split rule: parameter position applies
+// module-wide, the Background ban only inside the core layers.
+func TestUnscoped(t *testing.T) {
+	rvettest.Run(t, Analyzer, "testdata/unscoped", "rstore/internal/bench/fixture")
+}
+
+func TestEscapeRequiresReason(t *testing.T) {
+	diags := rvettest.Diagnostics(t, Analyzer, "testdata/escapes", "rstore/internal/core/fixture")
+	var reasonless bool
+	findings := 0
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "requires a reason"):
+			reasonless = true
+		case d.Analyzer == Analyzer.Name:
+			findings++
+		}
+	}
+	if !reasonless {
+		t.Error("reason-less escape was not reported")
+	}
+	if findings != 1 {
+		t.Errorf("a reason-less escape must not suppress: got %d findings, want 1 (diags: %v)", findings, diags)
+	}
+}

@@ -1,0 +1,36 @@
+package fixture
+
+import "context"
+
+func good(ctx context.Context, n int) error {
+	_ = n
+	return ctx.Err()
+}
+
+func bad(n int, ctx context.Context) error { // want "context.Context must be the first parameter"
+	_ = n
+	return ctx.Err()
+}
+
+type api interface {
+	Do(ctx context.Context, name string) error
+	DoBad(name string, ctx context.Context) error // want "context.Context must be the first parameter"
+}
+
+func litBad() {
+	f := func(n int, ctx context.Context) { // want "context.Context must be the first parameter"
+		_ = ctx
+	}
+	f(1, context.TODO()) // want "context.TODO\\(\\) mints a root context"
+}
+
+func mint() context.Context {
+	return context.Background() // want "context.Background\\(\\) mints a root context"
+}
+
+func lifecycleRoot() context.Context {
+	//lint:rstore-vet ctxfirst: fixture lifecycle root owning a fresh context
+	return context.Background()
+}
+
+var _ = api(nil)

@@ -1,0 +1,8 @@
+package fixture
+
+import "context"
+
+func reasonless() context.Context {
+	//lint:rstore-vet ctxfirst:
+	return context.Background()
+}

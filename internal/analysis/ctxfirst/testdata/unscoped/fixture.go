@@ -1,0 +1,14 @@
+package fixture
+
+import "context"
+
+// Outside the core layers, minting a root context is allowed (benches,
+// tools), but the parameter-position rule still holds module-wide.
+func mintAllowed() context.Context {
+	return context.Background()
+}
+
+func bad(n int, ctx context.Context) error { // want "context.Context must be the first parameter"
+	_ = n
+	return ctx.Err()
+}

@@ -1,0 +1,163 @@
+// Package errclass enforces the error-classification contract that the
+// breaker, retry, and repair layers depend on.
+//
+// Rule 1 (module-wide): sentinel errors — package-level `var ErrXxx` of
+// error type, like engine.ErrUnavailable, types.ErrClosed,
+// engine.ErrNoCompaction — must be matched with errors.Is, never compared
+// with == or !=, including as switch cases. Every layer wraps errors with
+// %w (the remote client alone adds two wrapping levels), so an identity
+// comparison silently stops matching the moment anyone adds context to the
+// chain; that is how sentinel-dropping error paths regressed before.
+//
+// Rule 2 (rstore/internal/engine/remote only): a transport-level error —
+// the error result of a net dial, a net.Conn operation, or a wire
+// frame read/write — must not be returned raw. It must flow through the
+// package's classifiers (transportErr for retry-then-classify, or
+// Client.unavailable / an explicit engine.ErrUnavailable wrap), because a
+// raw net error defeats errors.Is(err, engine.ErrUnavailable) and with it
+// the circuit breaker's verdict counting and the cluster's route-around
+// and hint-parking paths.
+package errclass
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rstore/internal/analysis/rvet"
+)
+
+// Analyzer is the errclass rule.
+var Analyzer = &rvet.Analyzer{
+	Name: "errclass",
+	Doc: "sentinel errors use errors.Is (never ==); remote transport errors must be classified before returning\n\n" +
+		"Sentinels are package-level `var ErrXxx` error variables. The transport\n" +
+		"rule applies to package rstore/internal/engine/remote: errors produced by\n" +
+		"net dials, net.Conn methods, or wire.ReadFrame/WriteFrame must pass\n" +
+		"through transportErr / Client.unavailable / an ErrUnavailable wrap before\n" +
+		"any return statement hands them to a caller.",
+	Run: run,
+}
+
+func run(pass *rvet.Pass) error {
+	info := pass.TypesInfo()
+	checkTransport := pass.BasePath() == "rstore/internal/engine/remote"
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op.String() == "==" || n.Op.String() == "!=" {
+					for _, operand := range [2]ast.Expr{n.X, n.Y} {
+						if obj := rvet.ExprObject(info, operand); obj != nil && rvet.IsErrorSentinel(obj) {
+							pass.Reportf(n.Pos(), "sentinel %s compared with %s: use errors.Is so wrapped chains still match", obj.Name(), n.Op)
+						}
+					}
+				}
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.FuncDecl:
+				if checkTransport && !pass.IsTestFile(n.Pos()) && n.Body != nil {
+					checkRawTransportReturns(pass, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSwitch flags `switch err { case ErrXxx: }` — the same identity
+// comparison as ==, in clause clothing.
+func checkSwitch(pass *rvet.Pass, sw *ast.SwitchStmt) {
+	info := pass.TypesInfo()
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if obj := rvet.ExprObject(info, e); obj != nil && rvet.IsErrorSentinel(obj) {
+				pass.Reportf(e.Pos(), "sentinel %s used as a switch case compares by identity: use errors.Is", obj.Name())
+			}
+		}
+	}
+}
+
+// transportOrigin reports whether call produces a transport-level error:
+// a net dial/listen, any method on a net package type (conns, listeners,
+// dialers), or a wire frame operation.
+func transportOrigin(pass *rvet.Pass, call *ast.CallExpr) bool {
+	info := pass.TypesInfo()
+	for _, name := range [3]string{"Dial", "DialTimeout", "Listen"} {
+		if rvet.IsPkgCall(info, call, "net", name) {
+			return true
+		}
+	}
+	if m := rvet.MethodOnPackageType(info, call, "net"); m != "" && m != "Close" {
+		// Close errors on teardown paths are discarded by convention, and a
+		// failed Close does not witness node unavailability.
+		return true
+	}
+	for _, name := range [2]string{"ReadFrame", "WriteFrame"} {
+		if rvet.IsPkgCall(info, call, "rstore/internal/engine/remote/wire", name) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRawTransportReturns walks one function body tracking, per error
+// variable, whether its latest assignment came from a transport origin, and
+// flags return statements that hand such a variable (or a transport call's
+// error result directly) to the caller unclassified. The tracking is
+// straight-line per body — good enough to catch the real shapes (assign,
+// test, return) without a full CFG.
+func checkRawTransportReturns(pass *rvet.Pass, body *ast.BlockStmt) {
+	transportVars := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			origin := false
+			if len(n.Rhs) == 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+					origin = transportOrigin(pass, call)
+				}
+			}
+			for _, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := identObject(pass, id); obj != nil {
+					transportVars[obj] = origin && isErrorType(obj.Type())
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				switch res := ast.Unparen(res).(type) {
+				case *ast.Ident:
+					if obj := identObject(pass, res); obj != nil && transportVars[obj] {
+						pass.Reportf(res.Pos(), "transport error %s returned unclassified: wrap it with transportErr or engine.ErrUnavailable so the breaker and route-around paths can match it", res.Name)
+					}
+				case *ast.CallExpr:
+					if transportOrigin(pass, res) {
+						pass.Reportf(res.Pos(), "transport call's error returned unclassified: wrap it with transportErr or engine.ErrUnavailable")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// identObject resolves id whether it is being defined (:=) or used.
+func identObject(pass *rvet.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo().Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo().Uses[id]
+}
+
+// isErrorType reports whether t is the error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}

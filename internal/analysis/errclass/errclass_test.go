@@ -1,0 +1,50 @@
+package errclass
+
+import (
+	"strings"
+	"testing"
+
+	"rstore/internal/analysis/rvet/rvettest"
+)
+
+// TestSentinels exercises the module-wide identity-comparison rule under an
+// arbitrary package path.
+func TestSentinels(t *testing.T) {
+	rvettest.Run(t, Analyzer, "testdata/sentinel", "rstore/internal/subchunk/fixture")
+}
+
+// TestTransport exercises the remote-package rule: raw transport errors
+// must be classified before they are returned.
+func TestTransport(t *testing.T) {
+	rvettest.Run(t, Analyzer, "testdata/remote", "rstore/internal/engine/remote")
+}
+
+// TestTransportOutOfScope runs the transport fixture under a non-remote
+// path: only the (absent) sentinel comparisons could fire, so the raw
+// returns must produce nothing.
+func TestTransportOutOfScope(t *testing.T) {
+	diags := rvettest.Diagnostics(t, Analyzer, "testdata/remote", "rstore/internal/server")
+	for _, d := range diags {
+		t.Errorf("out-of-scope package produced diagnostic: %s", d)
+	}
+}
+
+func TestEscapeRequiresReason(t *testing.T) {
+	diags := rvettest.Diagnostics(t, Analyzer, "testdata/escapes", "rstore/internal/subchunk/fixture")
+	var reasonless bool
+	findings := 0
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "requires a reason"):
+			reasonless = true
+		case d.Analyzer == Analyzer.Name:
+			findings++
+		}
+	}
+	if !reasonless {
+		t.Error("reason-less escape was not reported")
+	}
+	if findings != 1 {
+		t.Errorf("a reason-less escape must not suppress: got %d findings, want 1 (diags: %v)", findings, diags)
+	}
+}

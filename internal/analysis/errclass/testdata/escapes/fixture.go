@@ -1,0 +1,10 @@
+package fixture
+
+import "errors"
+
+var ErrGone = errors.New("gone")
+
+func reasonless(err error) bool {
+	//lint:rstore-vet errclass:
+	return err == ErrGone
+}

@@ -1,0 +1,39 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+)
+
+var errNodeDown = errors.New("node down")
+
+func dialRaw(addr string) (net.Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err // want "transport error err returned unclassified"
+	}
+	return nc, nil
+}
+
+func dialWrapped(addr string) (net.Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w: %w", addr, errNodeDown, err)
+	}
+	return nc, nil
+}
+
+func readDirect(nc net.Conn, buf []byte) (int, error) {
+	return nc.Read(buf) // want "transport call's error returned unclassified"
+}
+
+// reassignment through a classifier clears the transport origin.
+func reclassified(addr string) error {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		err = fmt.Errorf("%w: %w", errNodeDown, err)
+		return err
+	}
+	return nc.Close() // Close errors are discarded-by-convention, not verdicts
+}

@@ -1,0 +1,33 @@
+package fixture
+
+import "errors"
+
+var ErrGone = errors.New("gone")
+
+// notSentinel does not match the ErrXxx naming convention.
+var gone = errors.New("also gone")
+
+func compare(err error) bool {
+	if err == ErrGone { // want "sentinel ErrGone compared with =="
+		return true
+	}
+	if err != ErrGone { // want "sentinel ErrGone compared with !="
+		return false
+	}
+	if err == gone { // unexported non-Err name: not a sentinel
+		return true
+	}
+	if err == nil {
+		return false
+	}
+	switch err {
+	case ErrGone: // want "sentinel ErrGone used as a switch case"
+		return true
+	}
+	return errors.Is(err, ErrGone)
+}
+
+func escaped(err error) bool {
+	//lint:rstore-vet errclass: fixture exercising the reasoned escape hatch
+	return err == ErrGone
+}

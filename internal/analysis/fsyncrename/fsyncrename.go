@@ -1,0 +1,168 @@
+// Package fsyncrename enforces the commit discipline of the storage
+// engines (docs/FORMATS.md): an os.Rename that publishes durable state —
+// sealing a compacted segment, installing an SSTable, committing a
+// manifest — must be preceded, in the same function, by an fsync of the
+// file being renamed (directly via (*os.File).Sync or through a
+// package-local helper that transitively syncs, like sstWriter.finish),
+// and must be followed by a directory fsync (syncDir or a helper reaching
+// it) so the new directory entry itself is durable. Rename-before-sync is
+// the torn-header bug class: after a crash the name points at data the
+// disk never promised to keep.
+//
+// The analysis is intraprocedural over statement order with a
+// package-local call-graph closure for the sync sets — it proves presence
+// on the straight-line reading, not all-paths correctness. Functions that
+// rename files synced by an earlier phase (crash-recovery replay, commit
+// helpers fed a sealed temp file) carry a reasoned escape.
+package fsyncrename
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rstore/internal/analysis/rvet"
+)
+
+// Analyzer is the fsyncrename rule.
+var Analyzer = &rvet.Analyzer{
+	Name: "fsyncrename",
+	Doc: "os.Rename committing durable engine state needs a file Sync before and a directory fsync after\n\n" +
+		"Scope: rstore/internal/engine/..., non-test files. A call to a\n" +
+		"package-local function that (transitively) calls (*os.File).Sync counts\n" +
+		"as the file sync; a call reaching a function named syncDir counts as the\n" +
+		"directory fsync.",
+	Run: run,
+}
+
+func run(pass *rvet.Pass) error {
+	if !pass.InScope("rstore/internal/engine") {
+		return nil
+	}
+	info := pass.TypesInfo()
+
+	// Pass 1: package-local call graph and the directly-syncing functions.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files() {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	fileSyncers := closure(pass, decls, func(call *ast.CallExpr) bool {
+		return rvet.IsMethodCall(info, call, "os", "File", "Sync")
+	})
+	dirSyncers := closure(pass, decls, func(call *ast.CallExpr) bool {
+		fn := rvet.Callee(info, call)
+		return fn != nil && fn.Name() == "syncDir" && fn.Pkg() == pass.TypesPkg()
+	})
+
+	// Pass 2: per-function statement-order check around each os.Rename.
+	for fn, fd := range decls {
+		var renames []*ast.CallExpr
+		var fileSyncPos, dirSyncPos []token.Pos
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case rvet.IsPkgCall(info, call, "os", "Rename"):
+				renames = append(renames, call)
+			case rvet.IsMethodCall(info, call, "os", "File", "Sync"):
+				fileSyncPos = append(fileSyncPos, call.Pos())
+			}
+			if callee := rvet.Callee(info, call); callee != nil && callee != fn {
+				if fileSyncers[callee] {
+					fileSyncPos = append(fileSyncPos, call.Pos())
+				}
+				if dirSyncers[callee] || isSyncDir(pass, callee) {
+					dirSyncPos = append(dirSyncPos, call.Pos())
+				}
+			}
+			return true
+		})
+		for _, ren := range renames {
+			if !anyBefore(fileSyncPos, ren.Pos()) {
+				pass.Reportf(ren.Pos(), "os.Rename commits durable state with no preceding file Sync in this function: fsync the renamed file first (or escape with the phase that already sealed it)")
+			}
+			if !anyAfter(dirSyncPos, ren.Pos()) {
+				pass.Reportf(ren.Pos(), "os.Rename is not followed by a directory fsync in this function: call syncDir so the new entry survives a crash")
+			}
+		}
+	}
+	return nil
+}
+
+// isSyncDir matches the designated directory-fsync helper itself.
+func isSyncDir(pass *rvet.Pass, fn *types.Func) bool {
+	return fn.Name() == "syncDir" && fn.Pkg() == pass.TypesPkg()
+}
+
+// closure returns the set of package-local functions that directly satisfy
+// pred or (transitively, through package-local calls) reach one that does.
+func closure(pass *rvet.Pass, decls map[*types.Func]*ast.FuncDecl, pred func(*ast.CallExpr) bool) map[*types.Func]bool {
+	info := pass.TypesInfo()
+	direct := make(map[*types.Func]bool)
+	calls := make(map[*types.Func][]*types.Func)
+	for fn, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pred(call) {
+				direct[fn] = true
+			}
+			if callee := rvet.Callee(info, call); callee != nil {
+				if _, local := decls[callee]; local {
+					calls[fn] = append(calls[fn], callee)
+				}
+			}
+			return true
+		})
+	}
+	// Fixed point: propagate reachability up the call graph.
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			if direct[fn] {
+				continue
+			}
+			for _, callee := range callees {
+				if direct[callee] {
+					direct[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return direct
+}
+
+func anyBefore(positions []token.Pos, p token.Pos) bool {
+	for _, q := range positions {
+		if q < p {
+			return true
+		}
+	}
+	return false
+}
+
+func anyAfter(positions []token.Pos, p token.Pos) bool {
+	for _, q := range positions {
+		if q > p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,54 @@
+package fixture
+
+import "os"
+
+// syncDir is the package's designated directory-fsync helper, mirroring the
+// real engines.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// seal syncs a file; callers reaching it transitively count as having
+// synced.
+func seal(f *os.File) error { return f.Sync() }
+
+func commitGood(f *os.File, tmp, dst, dir string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func commitTransitive(f *os.File, tmp, dst, dir string) error {
+	if err := seal(f); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func commitNoSync(tmp, dst string) error {
+	return os.Rename(tmp, dst) // want "no preceding file Sync" "not followed by a directory fsync"
+}
+
+func commitNoDirSync(f *os.File, tmp, dst string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst) // want "not followed by a directory fsync"
+}
+
+func commitEscaped(tmp, dst string) error {
+	//lint:rstore-vet fsyncrename: fixture replay of a file sealed by a previous phase
+	return os.Rename(tmp, dst)
+}

@@ -1,0 +1,8 @@
+package fixture
+
+import "os"
+
+func reasonless(tmp, dst string) error {
+	//lint:rstore-vet fsyncrename:
+	return os.Rename(tmp, dst)
+}

@@ -1,0 +1,9 @@
+package fixture
+
+import "os"
+
+// Outside the engine tree the rename discipline does not apply (CLI tools,
+// benches moving scratch files).
+func moveScratch(tmp, dst string) error {
+	return os.Rename(tmp, dst)
+}

@@ -1,0 +1,49 @@
+package lockio
+
+import (
+	"strings"
+	"testing"
+
+	"rstore/internal/analysis/rvet/rvettest"
+)
+
+// TestNetworkRule applies everywhere; the fixture runs under an arbitrary
+// non-engine path.
+func TestNetworkRule(t *testing.T) {
+	rvettest.Run(t, Analyzer, "testdata/netpool", "rstore/internal/server")
+}
+
+// TestEngineReadLockRule covers the engine-scope supplement: file mutation
+// under a read lock.
+func TestEngineReadLockRule(t *testing.T) {
+	rvettest.Run(t, Analyzer, "testdata/engine", "rstore/internal/engine/fixture")
+}
+
+// TestReadLockRuleOutOfScope runs the engine fixture under a non-engine
+// path: the RLock file-write supplement must not fire there.
+func TestReadLockRuleOutOfScope(t *testing.T) {
+	diags := rvettest.Diagnostics(t, Analyzer, "testdata/engine", "rstore/internal/server")
+	for _, d := range diags {
+		t.Errorf("out-of-scope package produced diagnostic: %s", d)
+	}
+}
+
+func TestEscapeRequiresReason(t *testing.T) {
+	diags := rvettest.Diagnostics(t, Analyzer, "testdata/escapes", "rstore/internal/server")
+	var reasonless bool
+	findings := 0
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "requires a reason"):
+			reasonless = true
+		case d.Analyzer == Analyzer.Name:
+			findings++
+		}
+	}
+	if !reasonless {
+		t.Error("reason-less escape was not reported")
+	}
+	if findings != 1 {
+		t.Errorf("a reason-less escape must not suppress: got %d findings, want 1 (diags: %v)", findings, diags)
+	}
+}

@@ -1,0 +1,32 @@
+package fixture
+
+import (
+	"os"
+	"sync"
+)
+
+type backend struct {
+	rw sync.RWMutex
+}
+
+func (b *backend) writeUnderRLock(f *os.File, data []byte) error {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	_, err := f.Write(data) // want "file write/sync under a read lock"
+	return err
+}
+
+// Commit-under-the-write-lock is the engines' documented design; only the
+// read side is restricted.
+func (b *backend) writeUnderLockOK(f *os.File, data []byte) error {
+	b.rw.Lock()
+	defer b.rw.Unlock()
+	_, err := f.Write(data)
+	return err
+}
+
+func (b *backend) renameUnderRLock(tmp, dst string) error {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return os.Rename(tmp, dst) // want "os.Rename under a read lock"
+}

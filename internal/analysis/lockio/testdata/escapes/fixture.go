@@ -1,0 +1,19 @@
+package anyservice
+
+import (
+	"net"
+	"sync"
+)
+
+type pool struct {
+	mu sync.Mutex
+	nc net.Conn
+}
+
+func (p *pool) reasonless(buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//lint:rstore-vet lockio:
+	_, err := p.nc.Read(buf)
+	return err
+}

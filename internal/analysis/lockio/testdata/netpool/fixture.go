@@ -1,0 +1,56 @@
+package anyservice
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type pool struct {
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (p *pool) readUnderLock(buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err := p.conns[0].Read(buf) // want "net Read call while holding a mutex"
+	return err
+}
+
+func (p *pool) readOutsideLock(buf []byte) error {
+	p.mu.Lock()
+	nc := p.conns[0]
+	p.mu.Unlock()
+	_, err := nc.Read(buf)
+	return err
+}
+
+func (p *pool) deadlineUnderLockOK(t time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.conns[0].SetReadDeadline(t) // deadline setters do not block
+}
+
+func (p *pool) dialUnderLock(addr string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	net.Dial("tcp", addr) // want "net.Dial while holding a mutex"
+}
+
+// A goroutine launched under the lock runs on its own schedule; its body is
+// analyzed with an empty held set.
+func (p *pool) spawnOK() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		p.conns[0].Close()
+	}()
+}
+
+func (p *pool) closeEscaped() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//lint:rstore-vet lockio: fixture exercising the reasoned escape hatch
+	p.conns[0].Close()
+}

@@ -1,0 +1,128 @@
+package rvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves a call expression to the function or method object it
+// invokes, or nil for indirect calls (function values, conversions).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgCall reports whether call invokes the package-level function
+// pkgPath.name (e.g. "os".Rename, "time".Now).
+func IsPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := Callee(info, call)
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// ReceiverType returns the method receiver's type with any pointer
+// indirection removed, or nil if call is not a method call.
+func ReceiverType(info *types.Info, call *ast.CallExpr) types.Type {
+	fn := Callee(info, call)
+	if fn == nil {
+		return nil
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return t
+}
+
+// IsMethodCall reports whether call invokes a method named name whose
+// receiver is the named type pkgPath.typeName (through a pointer or not).
+func IsMethodCall(info *types.Info, call *ast.CallExpr, pkgPath, typeName, name string) bool {
+	fn := Callee(info, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	named, ok := ReceiverType(info, call).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// MethodOnPackageType returns the method name if call invokes a method
+// whose receiver's named type is declared in package pkgPath (interfaces
+// included), and "" otherwise. It answers "is this a call on some net.*
+// value" without enumerating net's concrete types.
+func MethodOnPackageType(info *types.Info, call *ast.CallExpr, pkgPath string) string {
+	fn := Callee(info, call)
+	if fn == nil {
+		return ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == pkgPath {
+			return fn.Name()
+		}
+	}
+	return ""
+}
+
+// IsErrorSentinel reports whether obj is a package-level error variable
+// following the ErrXxx naming convention — the sentinels errclass requires
+// errors.Is for.
+func IsErrorSentinel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	name := v.Name()
+	if len(name) < 4 || name[:3] != "Err" || name[3] < 'A' || name[3] > 'Z' {
+		return false
+	}
+	return types.Implements(v.Type(), errorInterface) || types.Implements(types.NewPointer(v.Type()), errorInterface)
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// ExprObject resolves an expression to the object it names: a bare
+// identifier or a pkg.Ident / recv.Field selector. Returns nil for
+// anything more structured.
+func ExprObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

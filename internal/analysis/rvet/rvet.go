@@ -1,0 +1,238 @@
+// Package rvet is the self-contained driver framework behind rstore-vet,
+// the project's static-analysis suite (see docs/ANALYZERS.md). It plays the
+// role golang.org/x/tools/go/analysis plays for upstream vet tools —
+// Analyzer values with a Run function over a type-checked package, a
+// diagnostic sink, a testdata harness (rvettest), and the `go vet -vettool`
+// unit protocol (unit.go) — but is built on the standard library alone, so
+// the zero-dependency module stays zero-dependency.
+//
+// The one deliberate extension over x/tools is the escape hatch: a finding
+// that is intentional is suppressed with a comment of the form
+//
+//	//lint:rstore-vet <analyzer>: <reason>
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory — an escape without one (or naming an unknown analyzer) is
+// itself a diagnostic, so suppressions stay auditable.
+package rvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant check. Doc's first line is the
+// one-line summary `rstore-vet -list` prints; the rest elaborates.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Summary returns the first line of Doc.
+func (a *Analyzer) Summary() string {
+	if i := strings.IndexByte(a.Doc, '\n'); i >= 0 {
+		return a.Doc[:i]
+	}
+	return a.Doc
+}
+
+// Diagnostic is one reported finding, already positioned.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path. Test variants keep their go/list
+	// spelling ("pkg [pkg.test]", "pkg_test"); scope checks use BasePath.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// BasePath is Path with test-variant decorations stripped: the
+// "pkg [pkg.test]" recompiled-for-test spelling and the "_test" external
+// test package suffix both reduce to the package under test, so analyzer
+// scoping by path prefix treats them alike.
+func (p *Package) BasePath() string {
+	path := p.Path
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return strings.TrimSuffix(path, "_test")
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	report  func(Diagnostic)
+	escapes *escapeIndex
+}
+
+// Fset, Files, Path, TypesPkg and TypesInfo are conveniences over Pkg.
+func (p *Pass) Fset() *token.FileSet     { return p.Pkg.Fset }
+func (p *Pass) Files() []*ast.File       { return p.Pkg.Files }
+func (p *Pass) Path() string             { return p.Pkg.Path }
+func (p *Pass) TypesInfo() *types.Info   { return p.Pkg.Info }
+func (p *Pass) TypesPkg() *types.Package { return p.Pkg.Types }
+
+// BasePath is Pkg.BasePath: the import path with test-variant decorations
+// stripped.
+func (p *Pass) BasePath() string { return p.Pkg.BasePath() }
+
+// InScope reports whether the package under analysis lives at or below any
+// of the given import-path prefixes.
+func (p *Pass) InScope(prefixes ...string) bool {
+	base := p.Pkg.BasePath()
+	for _, pre := range prefixes {
+		if base == pre || strings.HasPrefix(base, pre+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether pos sits in a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Pkg.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Reportf records a finding at pos unless a matching escape comment
+// suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.escapes.suppress(p.Analyzer.Name, position) {
+		return
+	}
+	p.report(Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// escapeName is the diagnostic "analyzer" name under which the framework
+// reports malformed escape comments; it is not suppressible.
+const escapeName = "rstore-vet"
+
+var escapeRe = regexp.MustCompile(`^//lint:rstore-vet\b(.*)$`)
+
+type escape struct {
+	analyzer string
+	reason   string
+}
+
+// escapeIndex maps (filename, line) to parsed escape comments.
+type escapeIndex struct {
+	byLine map[string]map[int]escape
+}
+
+// parseEscapes scans every comment of the package for escape-hatch
+// comments. Malformed escapes — missing analyzer name, unknown analyzer,
+// or an empty reason — are reported through sink immediately: a
+// suppression that cannot be attributed and justified is a finding, not a
+// suppression.
+func parseEscapes(pkg *Package, known []*Analyzer, sink func(Diagnostic)) *escapeIndex {
+	names := make(map[string]bool, len(known))
+	for _, a := range known {
+		names[a.Name] = true
+	}
+	idx := &escapeIndex{byLine: make(map[string]map[int]escape)}
+	bad := func(pos token.Pos, format string, args ...any) {
+		sink(Diagnostic{Pos: pkg.Fset.Position(pos), Analyzer: escapeName, Message: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := escapeRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				rest := strings.TrimSpace(m[1])
+				name, reason, ok := strings.Cut(rest, ":")
+				name = strings.TrimSpace(name)
+				reason = strings.TrimSpace(reason)
+				switch {
+				case !ok || name == "":
+					bad(c.Pos(), "escape comment must name an analyzer: //lint:rstore-vet <analyzer>: <reason>")
+					continue
+				case !names[name]:
+					bad(c.Pos(), "escape comment names unknown analyzer %q", name)
+					continue
+				case reason == "":
+					bad(c.Pos(), "escape comment for %q requires a reason after the colon", name)
+					continue
+				}
+				position := pkg.Fset.Position(c.Pos())
+				lines := idx.byLine[position.Filename]
+				if lines == nil {
+					lines = make(map[int]escape)
+					idx.byLine[position.Filename] = lines
+				}
+				lines[position.Line] = escape{analyzer: name, reason: reason}
+			}
+		}
+	}
+	return idx
+}
+
+// suppress reports whether an escape for analyzer sits on the diagnostic's
+// line or the line directly above it.
+func (idx *escapeIndex) suppress(analyzer string, pos token.Position) bool {
+	lines := idx.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if e, ok := lines[line]; ok && e.analyzer == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes every analyzer over pkg and returns the surviving
+// diagnostics sorted by position. An analyzer returning an error surfaces
+// as a diagnostic at the package's first file, so a broken check fails
+// loudly instead of silently passing.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	sink := func(d Diagnostic) { diags = append(diags, d) }
+	escapes := parseEscapes(pkg, analyzers, sink)
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg, report: sink, escapes: escapes}
+		if err := a.Run(pass); err != nil {
+			pos := token.Position{Filename: pkg.Path}
+			if len(pkg.Files) > 0 {
+				pos = pkg.Fset.Position(pkg.Files[0].Pos())
+			}
+			diags = append(diags, Diagnostic{Pos: pos, Analyzer: a.Name, Message: fmt.Sprintf("analyzer failed: %v", err)})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}

@@ -1,0 +1,213 @@
+// Package rvettest is the analysistest counterpart for rvet analyzers: it
+// type-checks a testdata fixture directory, runs one analyzer over it, and
+// matches the diagnostics against `// want "regexp"` comments in the
+// fixture sources. Every want must be hit and every diagnostic must be
+// wanted, so fixtures are exact: they fail without the analyzer (unmatched
+// wants) and pass with it.
+//
+// Because analyzers scope themselves by import path, the fixture is checked
+// under a caller-chosen fake import path (e.g. a fixture exercising the
+// fsyncrename rules is presented as a package under rstore/internal/engine).
+// Fixture imports resolve against the real module and standard library via
+// `go list -export`, exactly like the production drivers.
+package rvettest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"rstore/internal/analysis/rvet"
+)
+
+var wantRe = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)$`)
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run analyzes the fixture directory under importPath with analyzer a and
+// reports any mismatch between diagnostics and want comments through t.
+func Run(t *testing.T, a *rvet.Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg := load(t, dir, importPath)
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+	diags := rvet.Run(pkg, []*rvet.Analyzer{a})
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == filepath.Base(d.Pos.Filename) && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: want %q matched no diagnostic", w.file, w.line, w.re)
+		}
+	}
+}
+
+// Diagnostics loads dir like Run and returns the raw diagnostics without
+// want matching. Tests use it for diagnostics that cannot carry a trailing
+// want comment — notably malformed escape-hatch comments, which the
+// framework reports on the comment's own line.
+func Diagnostics(t *testing.T, a *rvet.Analyzer, dir, importPath string) []rvet.Diagnostic {
+	t.Helper()
+	return rvet.Run(load(t, dir, importPath), []*rvet.Analyzer{a})
+}
+
+// load parses and type-checks every fixture file in dir as one package
+// under the fake import path.
+func load(t *testing.T, dir, importPath string) *rvet.Package {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	exports, err := exportData(files)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+	pkg, err := rvet.CheckParsed(importPath, fset, files, nil, exports)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	return pkg
+}
+
+// collectWants parses `// want "re" ["re" ...]` comments. The want applies
+// to the comment's own line, so trailing comments annotate the offending
+// statement directly.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range splitQuoted(m[1]) {
+					pattern, err := unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pattern, err)
+					}
+					wants = append(wants, &want{file: filepath.Base(pos.Filename), line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if !strings.HasPrefix(s, `"`) {
+			return out
+		}
+		i := 1
+		for i < len(s) {
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(s) {
+			return out
+		}
+		out = append(out, s[:i+1])
+		s = s[i+1:]
+	}
+}
+
+func unquote(q string) (string, error) {
+	var s string
+	if err := json.Unmarshal([]byte(q), &s); err != nil {
+		return "", err
+	}
+	return s, nil
+}
+
+// exportData resolves the fixture's imports (and their dependencies) to
+// compiled export data via `go list -export`, run from the module so
+// rstore-internal imports resolve alongside the standard library.
+func exportData(files []*ast.File) (map[string]string, error) {
+	seen := make(map[string]bool)
+	var imports []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "unsafe" || seen[path] {
+				continue
+			}
+			seen[path] = true
+			imports = append(imports, path)
+		}
+	}
+	exports := make(map[string]string)
+	if len(imports) == 0 {
+		return exports, nil
+	}
+	sort.Strings(imports)
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, imports...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.Bytes())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

@@ -1,0 +1,88 @@
+package rvet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// unitConfig mirrors the JSON vet.cfg file cmd/go hands a -vettool binary
+// for each package unit (the same contract x/tools' unitchecker consumes).
+// Fields the suite does not use (facts inputs, ignored files) are parsed so
+// decoding stays strict about nothing and tolerant of everything.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit analyzes the single package unit described by the vet.cfg file at
+// cfgPath and returns the process exit code: 0 clean, 1 driver error, 2
+// findings. Diagnostics go to stderr in the standard file:line:col form so
+// `go vet` surfaces them verbatim.
+//
+// The suite carries no cross-package facts, so the facts output file (which
+// cmd/go caches and feeds back as PackageVetx on dependents) is a constant
+// marker, written unconditionally — including for units the suite skips —
+// because cmd/go expects it to exist after a successful run.
+func RunUnit(cfgPath string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rstore-vet: %v\n", err)
+		return 1
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "rstore-vet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("rstore-vet: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "rstore-vet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Only this module's packages carry rstore invariants; dependency units
+	// (the standard library) are acknowledged without the cost of a parse.
+	base := cfg.ImportPath
+	if i := strings.Index(base, " ["); i >= 0 {
+		base = base[:i]
+	}
+	if base != "rstore" && !strings.HasPrefix(base, "rstore/") {
+		return 0
+	}
+	if len(cfg.GoFiles) == 0 {
+		return 0
+	}
+	pkg, err := CheckPackage(cfg.ImportPath, cfg.GoFiles, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "rstore-vet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	diags := Run(pkg, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

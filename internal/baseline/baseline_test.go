@@ -1,6 +1,7 @@
 package baseline_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -27,13 +28,13 @@ func testCorpus(t testing.TB) *corpus.Corpus {
 func engines(t testing.TB) []baseline.Engine {
 	t.Helper()
 	newKV := func() *kvstore.Store {
-		kv, err := kvstore.Open(kvstore.Config{Nodes: 2, Cost: kvstore.DefaultCostModel()})
+		kv, err := kvstore.Open(context.Background(), kvstore.Config{Nodes: 2, Cost: kvstore.DefaultCostModel()})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return kv
 	}
-	st, err := core.Open(core.Config{KV: newKV(), ChunkCapacity: 2048})
+	st, err := core.Open(context.Background(), core.Config{KV: newKV(), ChunkCapacity: 2048})
 	if err != nil {
 		t.Fatal(err)
 	}

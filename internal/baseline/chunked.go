@@ -48,7 +48,7 @@ func (e *Chunked) GetHistory(key types.Key) ([]types.Record, Stats, error) {
 }
 
 // StorageBytes implements Engine.
-func (e *Chunked) StorageBytes() int64 { return e.Store.ChunkStorageBytes() }
+func (e *Chunked) StorageBytes() int64 { return e.Store.ChunkStorageBytes(context.Background()) }
 
 // TotalVersionSpan implements Engine.
 func (e *Chunked) TotalVersionSpan() int { return e.Store.TotalVersionSpan() }

@@ -164,7 +164,7 @@ func RunAblationCache(opts Options) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := core.Open(core.Config{
+		st, err := core.Open(context.Background(), core.Config{
 			KV:            mustKV(opts, 4),
 			ChunkCapacity: chunkCapacityFor(spec),
 			CacheBytes:    cacheBytes,
@@ -240,7 +240,7 @@ func RunAblationReplication(opts Options) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := core.Open(core.Config{KV: kv, ChunkCapacity: chunkCapacityFor(spec)})
+		st, err := core.Open(context.Background(), core.Config{KV: kv, ChunkCapacity: chunkCapacityFor(spec)})
 		if err != nil {
 			return nil, err
 		}

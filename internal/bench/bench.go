@@ -89,7 +89,7 @@ func (o Options) OpenCluster(cfg kvstore.Config) (*kvstore.Store, error) {
 			}
 		}
 	}
-	return kvstore.Open(cfg)
+	return kvstore.Open(context.Background(), cfg)
 }
 
 // OpenStore opens a store whose private cluster (cfg.KV == nil) runs on
@@ -107,7 +107,7 @@ func (o Options) OpenStore(cfg core.Config) (*core.Store, error) {
 			}
 		}
 	}
-	return core.Open(cfg)
+	return core.Open(context.Background(), cfg)
 }
 
 // resetDaemons wipes every remote daemon through the wire reset op so the

@@ -41,7 +41,7 @@ func RunCompact(opts Options) ([]*Table, error) {
 	newBackend := func(int) (engine.Backend, error) {
 		return disklog.Open(dir, disklog.Options{SegmentBytes: 128 << 10})
 	}
-	kv, err := kvstore.Open(kvstore.Config{Nodes: 1, NewBackend: newBackend})
+	kv, err := kvstore.Open(context.Background(), kvstore.Config{Nodes: 1, NewBackend: newBackend})
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +145,7 @@ func RunCompact(opts Options) ([]*Table, error) {
 		return nil, err
 	}
 	closed = true
-	kv, err = kvstore.Open(kvstore.Config{Nodes: 1, NewBackend: newBackend})
+	kv, err = kvstore.Open(context.Background(), kvstore.Config{Nodes: 1, NewBackend: newBackend})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -82,7 +83,7 @@ func RunFig11(opts Options) ([]*Table, error) {
 					func() partition.Algorithm { return partition.DepthFirst{} },
 					func() partition.Algorithm { return partition.Shingle{Seed: opts.Seed} },
 				} {
-					st, err := core.Open(core.Config{
+					st, err := core.Open(context.Background(), core.Config{
 						KV: mustKV(opts, 4), Partitioner: mk(), ChunkCapacity: capacity, SubChunkK: k,
 					})
 					if err != nil {

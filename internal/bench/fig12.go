@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"rstore/internal/baseline"
@@ -56,7 +57,7 @@ func RunFig12(opts Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			st, err := core.Open(core.Config{KV: kv, ChunkCapacity: chunkCapacityFor(spec)})
+			st, err := core.Open(context.Background(), core.Config{KV: kv, ChunkCapacity: chunkCapacityFor(spec)})
 			if err != nil {
 				return nil, err
 			}

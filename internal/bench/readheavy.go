@@ -136,7 +136,7 @@ func runReadHeavyRemote(ctx context.Context, opts Options) (*Table, error) {
 		addrs[i] = srv.Addr().String()
 	}
 	open := func(perKey bool) (*kvstore.Store, error) {
-		return kvstore.Open(kvstore.Config{
+		return kvstore.Open(ctx, kvstore.Config{
 			Engine: kvstore.EngineRemote, NodeAddrs: addrs, ReplicationFactor: 3,
 			DisableReadBatching: perKey,
 		})

@@ -54,7 +54,7 @@ func RunRepair(opts Options) ([]*Table, error) {
 	// Phase 1-3 on one cluster: healthy writes (repair idle), degraded
 	// writes (hints parked per missed replica write), and hint-drain
 	// convergence after the node returns.
-	kv, err := kvstore.Open(kvstore.Config{Nodes: 4, ReplicationFactor: 3, Repair: fast})
+	kv, err := kvstore.Open(context.Background(), kvstore.Config{Nodes: 4, ReplicationFactor: 3, Repair: fast})
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +99,7 @@ func RunRepair(opts Options) ([]*Table, error) {
 	// stale replica observed by the full read sweep.
 	noHints := fast
 	noHints.DisableHints = true
-	kv2, err := kvstore.Open(kvstore.Config{Nodes: 4, ReplicationFactor: 3, Repair: noHints})
+	kv2, err := kvstore.Open(context.Background(), kvstore.Config{Nodes: 4, ReplicationFactor: 3, Repair: noHints})
 	if err != nil {
 		return nil, err
 	}

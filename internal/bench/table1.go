@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"rstore/internal/baseline"
@@ -51,7 +52,7 @@ func RunTable1(opts Options) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	st, err := core.Open(core.Config{KV: kv, ChunkCapacity: chunkCap})
+	st, err := core.Open(context.Background(), core.Config{KV: kv, ChunkCapacity: chunkCap})
 	if err != nil {
 		return nil, err
 	}

@@ -52,6 +52,7 @@ func (e *APIError) Error() string {
 // the wire.
 func (e *APIError) Is(target error) bool {
 	switch target {
+	//lint:rstore-vet errclass: Is(target) implements the errors.Is protocol itself — identity against the target sentinel is the contract here
 	case types.ErrNotFound, types.ErrVersionUnknown:
 		return e.Status == http.StatusNotFound
 	}

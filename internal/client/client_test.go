@@ -14,7 +14,7 @@ import (
 
 func startServer(t *testing.T) *client.Client {
 	t.Helper()
-	st, err := core.Open(core.Config{ChunkCapacity: 4096, BatchSize: 4})
+	st, err := core.Open(context.Background(), core.Config{ChunkCapacity: 4096, BatchSize: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

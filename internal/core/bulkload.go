@@ -124,9 +124,9 @@ func (s *Store) CommitDelta(ctx context.Context, parents []types.VersionID, delt
 // ChunkStorageBytes sums the persisted chunk entry sizes (payloads + maps).
 // A backend scan failure reports zero; it is a stats helper, not a source of
 // truth.
-func (s *Store) ChunkStorageBytes() int64 {
+func (s *Store) ChunkStorageBytes(ctx context.Context) int64 {
 	var total int64
-	if err := s.kv.Scan(context.Background(), TableChunks, func(_ string, value []byte) bool {
+	if err := s.kv.Scan(ctx, TableChunks, func(_ string, value []byte) bool {
 		total += int64(len(value))
 		return true
 	}); err != nil {

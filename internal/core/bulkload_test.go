@@ -17,7 +17,7 @@ func TestBulkLoadAndQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := Open(Config{ChunkCapacity: 2048, SubChunkK: 2})
+	s, err := Open(context.Background(), Config{ChunkCapacity: 2048, SubChunkK: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +27,7 @@ func TestBulkLoadAndQueries(t *testing.T) {
 	if s.PendingVersions() != 0 {
 		t.Fatalf("%d pending after bulk load", s.PendingVersions())
 	}
-	if s.ChunkStorageBytes() <= 0 {
+	if s.ChunkStorageBytes(context.Background()) <= 0 {
 		t.Fatal("no chunk storage")
 	}
 	for v := 0; v < c.NumVersions(); v++ {
@@ -58,7 +58,7 @@ func TestBulkLoadAndQueries(t *testing.T) {
 }
 
 func TestCommitDeltaValidation(t *testing.T) {
-	s, err := Open(Config{ChunkCapacity: 1024})
+	s, err := Open(context.Background(), Config{ChunkCapacity: 1024})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestCommitDeltaValidation(t *testing.T) {
 // or desynchronize it from the corpus (regression for the pre-validation
 // ordering bug).
 func TestFailedCommitLeavesNoTrace(t *testing.T) {
-	s, err := Open(Config{ChunkCapacity: 1024})
+	s, err := Open(context.Background(), Config{ChunkCapacity: 1024})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,7 +45,7 @@ func TestCacheCutsBackendRequests(t *testing.T) {
 // TestCacheInvalidationOnFlush: a flush that rewrites a chunk's map must not
 // serve the stale cached entry.
 func TestCacheInvalidationOnFlush(t *testing.T) {
-	s, err := Open(Config{ChunkCapacity: 1 << 20, CacheBytes: 16 << 20})
+	s, err := Open(context.Background(), Config{ChunkCapacity: 1 << 20, CacheBytes: 16 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}

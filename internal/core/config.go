@@ -32,6 +32,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"rstore/internal/kvstore"
@@ -105,15 +106,16 @@ type Config struct {
 }
 
 // withDefaults fills in defaults; ownsKV reports that a private cluster was
-// created for this store and should be closed with it.
-func (c Config) withDefaults() (Config, bool, error) {
+// created for this store and should be closed with it. ctx bounds the
+// private cluster's open (remote geometry probe, hint recovery).
+func (c Config) withDefaults(ctx context.Context) (Config, bool, error) {
 	ownsKV := false
 	if c.KV == nil {
 		nodes := 1
 		if c.Engine == kvstore.EngineRemote {
 			nodes = len(c.NodeAddrs) // the address list is the cluster shape
 		}
-		kv, err := kvstore.Open(kvstore.Config{
+		kv, err := kvstore.Open(ctx, kvstore.Config{
 			Nodes:             nodes,
 			ReplicationFactor: c.ReplicationFactor,
 			Cost:              kvstore.DefaultCostModel(),

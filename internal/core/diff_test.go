@@ -10,7 +10,7 @@ import (
 
 func diffStore(t *testing.T) (*Store, types.VersionID, types.VersionID, types.VersionID) {
 	t.Helper()
-	s, err := Open(Config{ChunkCapacity: 1024})
+	s, err := Open(context.Background(), Config{ChunkCapacity: 1024})
 	if err != nil {
 		t.Fatal(err)
 	}

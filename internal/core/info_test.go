@@ -39,7 +39,7 @@ func TestInfo(t *testing.T) {
 }
 
 func TestInfoEmptyStore(t *testing.T) {
-	s, err := Open(Config{})
+	s, err := Open(context.Background(), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -112,7 +112,7 @@ func (s *Store) Checkpoint(ctx context.Context) error {
 // ignored and cleaned up. Commits acknowledged after the last manifest save
 // are replayed from their self-describing delta entries.
 func Load(ctx context.Context, cfg Config) (*Store, error) {
-	cfg, ownsKV, err := cfg.withDefaults()
+	cfg, ownsKV, err := cfg.withDefaults(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -57,7 +57,7 @@ func (b *faultBackend) BatchPut(ctx context.Context, table string, entries []eng
 func openFaulty(t *testing.T, nodes int) (*Store, *kvstore.Store, []*faultBackend) {
 	t.Helper()
 	backends := make([]*faultBackend, nodes)
-	kv, err := kvstore.Open(kvstore.Config{
+	kv, err := kvstore.Open(context.Background(), kvstore.Config{
 		Nodes: nodes,
 		NewBackend: func(id int) (engine.Backend, error) {
 			backends[id] = &faultBackend{Backend: memory.New()}
@@ -67,7 +67,7 @@ func openFaulty(t *testing.T, nodes int) (*Store, *kvstore.Store, []*faultBacken
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := Open(Config{KV: kv, ChunkCapacity: 256})
+	st, err := Open(context.Background(), Config{KV: kv, ChunkCapacity: 256})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,7 +9,7 @@ import (
 
 // TestAnchorOf exercises the pending-overlay path resolution directly.
 func TestAnchorOf(t *testing.T) {
-	s, err := Open(Config{ChunkCapacity: 1024})
+	s, err := Open(context.Background(), Config{ChunkCapacity: 1024})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestAnchorOf(t *testing.T) {
 
 // TestKeysInRange exercises the sorted-key range resolution.
 func TestKeysInRange(t *testing.T) {
-	s, err := Open(Config{ChunkCapacity: 1024})
+	s, err := Open(context.Background(), Config{ChunkCapacity: 1024})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestKeysInRange(t *testing.T) {
 // TestWastedChunksCounted forces a lossy-projection miss: a key+version
 // intersection that selects a chunk holding the key only in other versions.
 func TestWastedChunksCounted(t *testing.T) {
-	s, err := Open(Config{ChunkCapacity: 1 << 20}) // one big chunk
+	s, err := Open(context.Background(), Config{ChunkCapacity: 1 << 20}) // one big chunk
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestWastedChunksCounted(t *testing.T) {
 
 // TestEmptyVersionQueries: a version whose records were all deleted.
 func TestEmptyVersionQueries(t *testing.T) {
-	s, err := Open(Config{ChunkCapacity: 1024})
+	s, err := Open(context.Background(), Config{ChunkCapacity: 1024})
 	if err != nil {
 		t.Fatal(err)
 	}

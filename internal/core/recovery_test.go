@@ -13,12 +13,12 @@ import (
 // openDiskStore opens a store on a fresh disklog cluster rooted at dir.
 func openDiskStore(t *testing.T, dir string, cfg Config) (*kvstore.Store, *Store) {
 	t.Helper()
-	kv, err := kvstore.Open(kvstore.Config{Nodes: 1, Engine: kvstore.EngineDisklog, Dir: dir})
+	kv, err := kvstore.Open(context.Background(), kvstore.Config{Nodes: 1, Engine: kvstore.EngineDisklog, Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.KV = kv
-	st, err := Open(cfg)
+	st, err := Open(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestLoadReplaysUnmanifestedCommits(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	kv2, err := kvstore.Open(kvstore.Config{Nodes: 1, Engine: kvstore.EngineDisklog, Dir: dir})
+	kv2, err := kvstore.Open(context.Background(), kvstore.Config{Nodes: 1, Engine: kvstore.EngineDisklog, Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestLoadReplaysUnmanifestedCommits(t *testing.T) {
 	if err := kv2.Close(); err != nil {
 		t.Fatal(err)
 	}
-	kv3, err := kvstore.Open(kvstore.Config{Nodes: 1, Engine: kvstore.EngineDisklog, Dir: dir})
+	kv3, err := kvstore.Open(context.Background(), kvstore.Config{Nodes: 1, Engine: kvstore.EngineDisklog, Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestCheckpointEnablesRootReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	kv2, err := kvstore.Open(kvstore.Config{Nodes: 1, Engine: kvstore.EngineDisklog, Dir: dir})
+	kv2, err := kvstore.Open(context.Background(), kvstore.Config{Nodes: 1, Engine: kvstore.EngineDisklog, Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,11 +149,11 @@ func TestCheckpointEnablesRootReplay(t *testing.T) {
 // skip the orphan chunk, prune the stale projection references, repair the
 // KVS, and leave the store fully usable.
 func TestLoadToleratesInterruptedFlush(t *testing.T) {
-	kv, err := kvstore.Open(kvstore.Config{Nodes: 1})
+	kv, err := kvstore.Open(context.Background(), kvstore.Config{Nodes: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := Open(Config{KV: kv})
+	st, err := Open(context.Background(), Config{KV: kv})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,11 +220,11 @@ func TestLoadToleratesInterruptedFlush(t *testing.T) {
 // placed (a crash between the manifest save and the write-store drain) are
 // ignored and garbage-collected by a writable Load.
 func TestLoadCleansStaleDeltas(t *testing.T) {
-	kv, err := kvstore.Open(kvstore.Config{Nodes: 1})
+	kv, err := kvstore.Open(context.Background(), kvstore.Config{Nodes: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := Open(Config{KV: kv})
+	st, err := Open(context.Background(), Config{KV: kv})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestLoadCleansStaleDeltas(t *testing.T) {
 
 // TestCloseIdempotent: double Close is a no-op, not an ErrClosed failure.
 func TestCloseIdempotent(t *testing.T) {
-	st, err := Open(Config{})
+	st, err := Open(context.Background(), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -46,7 +46,7 @@ func TestConcurrentQueries(t *testing.T) {
 // TestConcurrentCommitsAndQueries interleaves writers (serialized by the
 // engine lock) with readers on stable old versions.
 func TestConcurrentCommitsAndQueries(t *testing.T) {
-	s, err := Open(Config{ChunkCapacity: 2048, BatchSize: 4})
+	s, err := Open(context.Background(), Config{ChunkCapacity: 2048, BatchSize: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestConcurrentCommitsAndQueries(t *testing.T) {
 // TestQueriesSurviveNodeFailure verifies the engine keeps answering when a
 // replica node dies under ReplicationFactor 2.
 func TestQueriesSurviveNodeFailure(t *testing.T) {
-	kv, err := kvstore.Open(kvstore.Config{Nodes: 4, ReplicationFactor: 2, Cost: kvstore.DefaultCostModel()})
+	kv, err := kvstore.Open(context.Background(), kvstore.Config{Nodes: 4, ReplicationFactor: 2, Cost: kvstore.DefaultCostModel()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestQueriesSurviveNodeFailure(t *testing.T) {
 // TestUnreplicatedFailureSurfacesError: with rf=1 a dead node must produce
 // an error, not silent data loss.
 func TestUnreplicatedFailureSurfacesError(t *testing.T) {
-	kv, err := kvstore.Open(kvstore.Config{Nodes: 3, ReplicationFactor: 1})
+	kv, err := kvstore.Open(context.Background(), kvstore.Config{Nodes: 3, ReplicationFactor: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

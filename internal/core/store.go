@@ -66,9 +66,10 @@ type Store struct {
 	ownsKV bool
 }
 
-// Open creates an empty store.
-func Open(cfg Config) (*Store, error) {
-	cfg, ownsKV, err := cfg.withDefaults()
+// Open creates an empty store. ctx bounds the open itself (a private
+// cluster's geometry probe and hint recovery), not the Store's lifetime.
+func Open(ctx context.Context, cfg Config) (*Store, error) {
+	cfg, ownsKV, err := cfg.withDefaults(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -126,6 +127,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	if !s.cfg.ReadOnly {
+		//lint:rstore-vet ctxfirst: Close is a durability point — the final flush must not inherit a cancelled request context
 		if err := s.flushLocked(context.Background()); err != nil {
 			return err
 		}

@@ -55,7 +55,7 @@ func (m *model) history(key types.Key) map[types.CompositeKey][]byte {
 // buildStore commits a randomized branched history and returns store+oracle.
 func buildStore(t *testing.T, cfg Config, versions, baseRecords int, seed int64) (*Store, *model) {
 	t.Helper()
-	s, err := Open(cfg)
+	s, err := Open(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestEngineGetHistory(t *testing.T) {
 }
 
 func TestEngineReload(t *testing.T) {
-	kv, err := kvstore.Open(kvstore.Config{Nodes: 3, ReplicationFactor: 2})
+	kv, err := kvstore.Open(context.Background(), kvstore.Config{Nodes: 3, ReplicationFactor: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +298,7 @@ func TestEngineReload(t *testing.T) {
 }
 
 func TestEngineCommitValidation(t *testing.T) {
-	s, err := Open(Config{})
+	s, err := Open(context.Background(), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +344,7 @@ func TestEnginePartitionerChoices(t *testing.T) {
 }
 
 func TestEngineMergeCommit(t *testing.T) {
-	s, err := Open(Config{ChunkCapacity: 512})
+	s, err := Open(context.Background(), Config{ChunkCapacity: 512})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,11 +409,11 @@ func TestEngineQueryStatsSanity(t *testing.T) {
 // the store forever.
 func TestCommitDuplicateParentsLeavesNoTrace(t *testing.T) {
 	ctx := context.Background()
-	kv, err := kvstore.Open(kvstore.Config{})
+	kv, err := kvstore.Open(context.Background(), kvstore.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := Open(Config{KV: kv, ChunkCapacity: 1024})
+	s, err := Open(context.Background(), Config{KV: kv, ChunkCapacity: 1024})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,7 +21,7 @@ func TestTortureSoak(t *testing.T) {
 		t.Skip("soak test")
 	}
 	rng := rand.New(rand.NewSource(271828))
-	kv, err := kvstore.Open(kvstore.Config{
+	kv, err := kvstore.Open(context.Background(), kvstore.Config{
 		Nodes: 5, ReplicationFactor: 2, ReadBalance: true,
 		Cost: kvstore.DefaultCostModel(),
 	})
@@ -32,7 +32,7 @@ func TestTortureSoak(t *testing.T) {
 		KV: kv, ChunkCapacity: 2048, BatchSize: 7,
 		SubChunkK: 3, Partitioner: partition.BottomUp{Beta: 16},
 	}
-	s, err := Open(cfg)
+	s, err := Open(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -242,6 +242,7 @@ func (b *Backend) resolveCompaction() ([]int, error) {
 		if err := b.removeSegmentsBelow(id + 1); err != nil {
 			return nil, err
 		}
+		//lint:rstore-vet fsyncrename: recovery replay — the .cmp file was sealed (written+synced) by the crashed process's compact phase 2
 		if err := os.Rename(name, b.segPath(id)); err != nil {
 			return nil, fmt.Errorf("disklog: %w", err)
 		}

@@ -278,6 +278,7 @@ func (b *Backend) writeMerged(ctx context.Context, victims []*sstable, dropTombs
 // MANIFEST with it replacing tables[lo..hi], splices the in-memory state,
 // and deletes the victims. Callers hold b.mu exclusively.
 func (b *Backend) commitMergedLocked(out mergedOut, lo, hi int) error {
+	//lint:rstore-vet fsyncrename: out.tmp was sealed by writeMerged (sw.finish syncs) before the handoff to this commit phase
 	if err := os.Rename(out.tmp, b.sstPath(out.seq)); err != nil {
 		os.Remove(out.tmp)
 		return err

@@ -44,6 +44,7 @@ type Server struct {
 
 // New builds a server over a backend; call Serve to start it.
 func New(be engine.Backend) *Server {
+	//lint:rstore-vet ctxfirst: the daemon is a lifecycle root — per-connection contexts derive from it and Close/Shutdown cancel it
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{be: be, baseCtx: ctx, cancelBase: cancel, conns: make(map[net.Conn]struct{})}
 }
@@ -132,10 +133,16 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
 	for nc := range s.conns {
-		nc.Close()
+		conns = append(conns, nc)
 	}
 	s.mu.Unlock()
+	// Sever connections outside the table lock: Close can block on a
+	// lingering peer, and handleConn goroutines need mu to deregister.
+	for _, nc := range conns {
+		nc.Close()
+	}
 	s.cancelBase()
 	if ln != nil {
 		ln.Close()
@@ -178,10 +185,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
+		conns := make([]net.Conn, 0, len(s.conns))
 		for nc := range s.conns {
-			nc.Close()
+			conns = append(conns, nc)
 		}
 		s.mu.Unlock()
+		for _, nc := range conns {
+			nc.Close()
+		}
 		s.cancelBase()
 		<-done
 		return ctx.Err()

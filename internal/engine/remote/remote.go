@@ -179,7 +179,10 @@ func (c *Client) checkout(ctx context.Context) (*conn, error) {
 	d := net.Dialer{Timeout: c.opts.DialTimeout}
 	nc, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
-		return nil, err
+		// A failed dial is a transport verdict like any other: classify it
+		// so do()'s retry loop and the breaker see ErrUnavailable (a
+		// ctx cancellation stays matchable through the chain).
+		return nil, transportErr(err)
 	}
 	return &conn{nc: nc, br: bufio.NewReader(nc)}, nil
 }
@@ -604,6 +607,7 @@ func (c *Client) Stored(ctx context.Context) (int64, error) {
 
 // BytesStored implements engine.Backend; an unreachable node reports 0.
 func (c *Client) BytesStored() int64 {
+	//lint:rstore-vet ctxfirst: engine.Backend's ctx-free stats surface — this shim mints a root for its one wire round-trip
 	n, err := c.Stored(context.Background())
 	if err != nil {
 		return 0
@@ -672,15 +676,19 @@ func (c *Client) Ping(ctx context.Context) error {
 // twice is a no-op.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
 	c.br.close()
-	for _, cn := range c.idle {
+	idle := c.idle
+	c.idle = nil
+	// Close the drained connections outside the pool lock: Close on a TCP
+	// conn can block (lingering writes), and checkout/release contend on mu.
+	c.mu.Unlock()
+	for _, cn := range idle {
 		cn.nc.Close()
 	}
-	c.idle = nil
 	return nil
 }

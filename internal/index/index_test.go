@@ -74,7 +74,7 @@ func TestIntersect(t *testing.T) {
 }
 
 func TestSaveLoadRoundTrip(t *testing.T) {
-	kv, err := kvstore.Open(kvstore.Config{Nodes: 3})
+	kv, err := kvstore.Open(context.Background(), kvstore.Config{Nodes: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

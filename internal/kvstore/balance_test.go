@@ -11,7 +11,7 @@ import (
 // queues → lower simulated elapsed) than primary-only reads.
 func TestReadBalanceSpreadsLoad(t *testing.T) {
 	mk := func(balance bool) *Store {
-		s, err := Open(Config{
+		s, err := Open(context.Background(), Config{
 			Nodes: 4, ReplicationFactor: 3, ReadBalance: balance,
 			Cost: DefaultCostModel(),
 		})
@@ -58,7 +58,7 @@ func TestReadBalanceSpreadsLoad(t *testing.T) {
 
 // TestReadBalanceAvoidsDeadNodes: balancing only considers live replicas.
 func TestReadBalanceAvoidsDeadNodes(t *testing.T) {
-	s, err := Open(Config{Nodes: 3, ReplicationFactor: 2, ReadBalance: true})
+	s, err := Open(context.Background(), Config{Nodes: 3, ReplicationFactor: 2, ReadBalance: true})
 	if err != nil {
 		t.Fatal(err)
 	}

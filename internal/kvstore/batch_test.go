@@ -142,7 +142,7 @@ func TestDeleteAllReplicasDownIsAnError(t *testing.T) {
 func TestClusterOnDisklog(t *testing.T) {
 	dir := t.TempDir()
 	cfg := Config{Nodes: 3, ReplicationFactor: 2, Engine: EngineDisklog, Dir: dir, Cost: DefaultCostModel()}
-	s, err := Open(cfg)
+	s, err := Open(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestClusterOnDisklog(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	r, err := Open(cfg)
+	r, err := Open(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,10 +197,10 @@ func TestClusterOnDisklog(t *testing.T) {
 }
 
 func TestOpenUnknownEngineFails(t *testing.T) {
-	if _, err := Open(Config{Engine: "bogus"}); err == nil {
+	if _, err := Open(context.Background(), Config{Engine: "bogus"}); err == nil {
 		t.Fatal("unknown engine accepted")
 	}
-	if _, err := Open(Config{Engine: EngineDisklog}); err == nil {
+	if _, err := Open(context.Background(), Config{Engine: EngineDisklog}); err == nil {
 		t.Fatal("disklog without Dir accepted")
 	}
 }
@@ -210,7 +210,7 @@ func TestOpenUnknownEngineFails(t *testing.T) {
 // keys onto the wrong nodes, so it must refuse.
 func TestDisklogGeometryPinned(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Open(Config{Nodes: 3, Engine: EngineDisklog, Dir: dir})
+	s, err := Open(context.Background(), Config{Nodes: 3, Engine: EngineDisklog, Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,11 +220,11 @@ func TestDisklogGeometryPinned(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(Config{Nodes: 2, Engine: EngineDisklog, Dir: dir}); err == nil {
+	if _, err := Open(context.Background(), Config{Nodes: 2, Engine: EngineDisklog, Dir: dir}); err == nil {
 		t.Fatal("reopen with different node count accepted")
 	}
 	// Same geometry reopens fine; rf changes are allowed.
-	r, err := Open(Config{Nodes: 3, ReplicationFactor: 2, Engine: EngineDisklog, Dir: dir})
+	r, err := Open(context.Background(), Config{Nodes: 3, ReplicationFactor: 2, Engine: EngineDisklog, Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}

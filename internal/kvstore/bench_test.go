@@ -8,7 +8,7 @@ import (
 
 func benchStore(b *testing.B, nodes, rf int, balance bool) (*Store, []string) {
 	b.Helper()
-	s, err := Open(Config{
+	s, err := Open(context.Background(), Config{
 		Nodes: nodes, ReplicationFactor: rf, ReadBalance: balance,
 		Cost: DefaultCostModel(),
 	})

@@ -12,7 +12,7 @@ import (
 // Stats reclaim fields account for it, and reads are unchanged.
 func TestClusterCompact(t *testing.T) {
 	ctx := context.Background()
-	s, err := Open(Config{Nodes: 3, ReplicationFactor: 2, Engine: EngineDisklog, Dir: t.TempDir()})
+	s, err := Open(context.Background(), Config{Nodes: 3, ReplicationFactor: 2, Engine: EngineDisklog, Dir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestClusterCompact(t *testing.T) {
 // stay zero (LiveRatio reports 1 — nothing is dead).
 func TestClusterCompactMemoryIsNoop(t *testing.T) {
 	ctx := context.Background()
-	s, err := Open(Config{Nodes: 3})
+	s, err := Open(context.Background(), Config{Nodes: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

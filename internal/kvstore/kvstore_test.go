@@ -15,7 +15,7 @@ import (
 
 func open(t testing.TB, nodes, rf int) *Store {
 	t.Helper()
-	s, err := Open(Config{Nodes: nodes, ReplicationFactor: rf, Cost: DefaultCostModel()})
+	s, err := Open(context.Background(), Config{Nodes: nodes, ReplicationFactor: rf, Cost: DefaultCostModel()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,6 @@ package kvstore
 
 import (
 	"fmt"
-	"time"
 
 	"rstore/internal/types"
 )
@@ -45,7 +44,7 @@ const (
 func (s *Store) nextTS() uint64 {
 	for {
 		last := s.lastTS.Load()
-		ts := uint64(time.Now().UnixNano())
+		ts := uint64(walltime().UnixNano())
 		if ts <= last {
 			ts = last + 1
 		}

@@ -60,7 +60,7 @@ func remoteOpts() remote.Options {
 
 func openRemote(t *testing.T, addrs []string, rf int) *Store {
 	t.Helper()
-	s, err := Open(Config{Engine: EngineRemote, NodeAddrs: addrs, ReplicationFactor: rf, Remote: remoteOpts()})
+	s, err := Open(context.Background(), Config{Engine: EngineRemote, NodeAddrs: addrs, ReplicationFactor: rf, Remote: remoteOpts()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,10 +124,10 @@ func TestRemoteClusterBasicOps(t *testing.T) {
 
 func TestRemoteClusterNodeCountFromAddrs(t *testing.T) {
 	addrs, _ := startNodes(t, 2)
-	if _, err := Open(Config{Engine: EngineRemote, NodeAddrs: addrs, Nodes: 5}); err == nil {
+	if _, err := Open(context.Background(), Config{Engine: EngineRemote, NodeAddrs: addrs, Nodes: 5}); err == nil {
 		t.Fatal("node count / address list mismatch accepted")
 	}
-	if _, err := Open(Config{Engine: EngineRemote}); err == nil {
+	if _, err := Open(context.Background(), Config{Engine: EngineRemote}); err == nil {
 		t.Fatal("remote engine with no addresses accepted")
 	}
 }
@@ -200,7 +200,7 @@ func TestRemoteClusterRoutesAroundDeadNode(t *testing.T) {
 func TestMultiGetBatchedMatchesPerKey(t *testing.T) {
 	addrs, nodes := startNodes(t, 3)
 	batched := openRemote(t, addrs, 2)
-	perKey, err := Open(Config{
+	perKey, err := Open(context.Background(), Config{
 		Engine: EngineRemote, NodeAddrs: addrs, ReplicationFactor: 2,
 		Remote: remoteOpts(), DisableReadBatching: true,
 	})
@@ -292,7 +292,7 @@ type failingCloseBackend struct {
 func (b failingCloseBackend) Close() error { return fmt.Errorf("sync of node %d failed", b.id) }
 
 func TestCloseIdempotentAndAggregated(t *testing.T) {
-	s, err := Open(Config{Nodes: 3, NewBackend: func(id int) (engine.Backend, error) {
+	s, err := Open(context.Background(), Config{Nodes: 3, NewBackend: func(id int) (engine.Backend, error) {
 		return failingCloseBackend{Backend: memory.New(), id: id}, nil
 	}})
 	if err != nil {
@@ -330,7 +330,7 @@ func (b pollingBackend) BytesStored() int64 { *b.polls++; return b.Backend.Bytes
 
 func TestStatsSkipDownNodes(t *testing.T) {
 	polls := make([]int, 2)
-	s, err := Open(Config{Nodes: 2, NewBackend: func(id int) (engine.Backend, error) {
+	s, err := Open(context.Background(), Config{Nodes: 2, NewBackend: func(id int) (engine.Backend, error) {
 		return pollingBackend{Backend: memory.New(), polls: &polls[id]}, nil
 	}})
 	if err != nil {
@@ -366,7 +366,7 @@ func TestStatsSkipDownNodes(t *testing.T) {
 // truncated view instead of silently skipping nodes whose keys have no
 // other replica.
 func TestScanRefusesIncompleteView(t *testing.T) {
-	s, err := Open(Config{Nodes: 3, ReplicationFactor: 2})
+	s, err := Open(context.Background(), Config{Nodes: 3, ReplicationFactor: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +399,7 @@ func TestScanRefusesIncompleteView(t *testing.T) {
 }
 
 func TestUnreplicatedScanRefusesDownNode(t *testing.T) {
-	s, err := Open(Config{Nodes: 2, ReplicationFactor: 1})
+	s, err := Open(context.Background(), Config{Nodes: 2, ReplicationFactor: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -432,17 +432,17 @@ func TestRemoteClusterRefusesReorderedAddresses(t *testing.T) {
 	}
 
 	swapped := []string{addrs[1], addrs[0], addrs[2]}
-	if _, err := Open(Config{Engine: EngineRemote, NodeAddrs: swapped, Remote: remoteOpts()}); err == nil ||
+	if _, err := Open(context.Background(), Config{Engine: EngineRemote, NodeAddrs: swapped, Remote: remoteOpts()}); err == nil ||
 		!strings.Contains(err.Error(), "reordered or resized") {
 		t.Fatalf("reordered address list: %v", err)
 	}
 	shrunk := addrs[:2]
-	if _, err := Open(Config{Engine: EngineRemote, NodeAddrs: shrunk, Remote: remoteOpts()}); err == nil {
+	if _, err := Open(context.Background(), Config{Engine: EngineRemote, NodeAddrs: shrunk, Remote: remoteOpts()}); err == nil {
 		t.Fatal("resized address list accepted")
 	}
 
 	// The correct list keeps working, and snapshots exclude the pin.
-	s2, err := Open(Config{Engine: EngineRemote, NodeAddrs: addrs, Remote: remoteOpts()})
+	s2, err := Open(context.Background(), Config{Engine: EngineRemote, NodeAddrs: addrs, Remote: remoteOpts()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -471,7 +471,7 @@ func TestDisklogRefusesPreLWWDirectory(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "GEOMETRY"), []byte("nodes=1\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err := Open(Config{Engine: EngineDisklog, Dir: dir})
+	_, err := Open(context.Background(), Config{Engine: EngineDisklog, Dir: dir})
 	if err == nil || !strings.Contains(err.Error(), "pre-lww1 value format") {
 		t.Fatalf("pre-LWW directory: %v", err)
 	}
@@ -491,11 +491,11 @@ func TestRemoteClusterRefusesReplicationFactorChange(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, err := Open(Config{Engine: EngineRemote, NodeAddrs: addrs, ReplicationFactor: 1, Remote: remoteOpts()})
+	_, err := Open(context.Background(), Config{Engine: EngineRemote, NodeAddrs: addrs, ReplicationFactor: 1, Remote: remoteOpts()})
 	if err == nil || !strings.Contains(err.Error(), "replication factor") {
 		t.Fatalf("rf change 2 -> 1: %v, want a pinned-replication-factor refusal", err)
 	}
-	_, err = Open(Config{Engine: EngineRemote, NodeAddrs: addrs, ReplicationFactor: 3, Remote: remoteOpts()})
+	_, err = Open(context.Background(), Config{Engine: EngineRemote, NodeAddrs: addrs, ReplicationFactor: 3, Remote: remoteOpts()})
 	if err == nil || !strings.Contains(err.Error(), "replication factor") {
 		t.Fatalf("rf change 2 -> 3: %v, want a pinned-replication-factor refusal", err)
 	}
@@ -526,7 +526,7 @@ func TestRemoteClusterRefusesReplicationFactorChange(t *testing.T) {
 	if err := s3.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(Config{Engine: EngineRemote, NodeAddrs: addrs, ReplicationFactor: 2, Remote: remoteOpts()}); err == nil ||
+	if _, err := Open(context.Background(), Config{Engine: EngineRemote, NodeAddrs: addrs, ReplicationFactor: 2, Remote: remoteOpts()}); err == nil ||
 		!strings.Contains(err.Error(), "replication factor") {
 		t.Fatalf("rf change after legacy upgrade: %v, want a refusal", err)
 	}

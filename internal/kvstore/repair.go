@@ -159,6 +159,12 @@ type repairer struct {
 	tmu   sync.Mutex // guards tombs
 	tombs map[string]*tombWait
 
+	// ctx is the repairer's lifecycle root: background convergence —
+	// read-repair write-backs, hint replay, tombstone GC — runs on the
+	// repairer's schedule, not any caller's, and is cancelled by close().
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -174,9 +180,13 @@ type repairer struct {
 
 func newRepairer(s *Store, opts RepairOptions) *repairer {
 	opts = opts.withDefaults()
+	//lint:rstore-vet ctxfirst: the repairer is a lifecycle root — its convergence work outlives any caller's request context and is cancelled by close()
+	ctx, cancel := context.WithCancel(context.Background())
 	return &repairer{
 		s:        s,
 		opts:     opts,
+		ctx:      ctx,
+		cancel:   cancel,
 		tasks:    make(chan repairTask, opts.QueueLen),
 		inflight: make(map[string]bool),
 		hints:    make(map[int]*hintQueue),
@@ -190,7 +200,10 @@ func newRepairer(s *Store, opts RepairOptions) *repairer {
 // repair operations to finish (they are bounded: per-op transports either
 // fail fast or retry a bounded number of times).
 func (r *repairer) close() {
-	r.stopOnce.Do(func() { close(r.stop) })
+	r.stopOnce.Do(func() {
+		close(r.stop)
+		r.cancel()
+	})
 	r.wg.Wait()
 }
 
@@ -251,7 +264,7 @@ func (r *repairer) worker() {
 // deletion for gc tasks. Everything is best effort — a replica that cannot
 // be repaired now will be caught by the next observation or hint replay.
 func (r *repairer) run(t repairTask) {
-	ctx := context.Background()
+	ctx := r.ctx
 	gcOK := false
 	for _, nid := range t.targets {
 		select {
@@ -544,7 +557,7 @@ func (r *repairer) drainLoop() {
 		case <-tick.C:
 		case <-r.kick:
 		}
-		now := time.Now()
+		now := walltime()
 		var due []int
 		r.hmu.Lock()
 		for target, q := range r.hints {
@@ -564,7 +577,7 @@ func (r *repairer) drainLoop() {
 // empties or the target (or a parking node) proves unreachable, in which
 // case the target backs off exponentially.
 func (r *repairer) drainTarget(target int) {
-	ctx := context.Background()
+	ctx := r.ctx
 	for {
 		select {
 		case <-r.stop:
@@ -587,7 +600,7 @@ func (r *repairer) drainTarget(target int) {
 			r.hmu.Lock()
 			q.backoff = max(2*q.backoff, r.opts.HintInterval)
 			q.backoff = min(q.backoff, r.opts.HintMaxBackoff)
-			q.next = time.Now().Add(q.backoff)
+			q.next = walltime().Add(q.backoff)
 			r.hmu.Unlock()
 			return
 		}

@@ -20,7 +20,7 @@ import (
 func openRepair(t testing.TB, nodes, rf int, opts RepairOptions) (*Store, []*memory.Backend) {
 	t.Helper()
 	backends := make([]*memory.Backend, nodes)
-	s, err := Open(Config{
+	s, err := Open(context.Background(), Config{
 		Nodes:             nodes,
 		ReplicationFactor: rf,
 		Repair:            opts,
@@ -254,7 +254,7 @@ func TestHintBatchPutAndRecovery(t *testing.T) {
 
 	slow := fastRepair()
 	slow.HintInterval = time.Hour // park only; the next client drains
-	s1, err := Open(Config{Nodes: 3, ReplicationFactor: 2, Repair: slow, NewBackend: newBackend})
+	s1, err := Open(context.Background(), Config{Nodes: 3, ReplicationFactor: 2, Repair: slow, NewBackend: newBackend})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +278,7 @@ func TestHintBatchPutAndRecovery(t *testing.T) {
 	}
 
 	// A fresh client recovers the durable hints and delivers them.
-	s2, err := Open(Config{Nodes: 3, ReplicationFactor: 2, Repair: fastRepair(), NewBackend: newBackend})
+	s2, err := Open(context.Background(), Config{Nodes: 3, ReplicationFactor: 2, Repair: fastRepair(), NewBackend: newBackend})
 	if err != nil {
 		t.Fatal(err)
 	}

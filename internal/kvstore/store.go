@@ -244,7 +244,9 @@ type Store struct {
 }
 
 // Open creates a cluster, opening one backend (or wire client) per node.
-func Open(cfg Config) (*Store, error) {
+// ctx bounds the open itself — the remote geometry probe and durable-hint
+// recovery round-trips — not the lifetime of the returned Store.
+func Open(ctx context.Context, cfg Config) (*Store, error) {
 	if cfg.Engine == EngineRemote && cfg.NewBackend == nil {
 		// The address list defines the cluster shape.
 		if cfg.Nodes <= 0 {
@@ -282,7 +284,7 @@ func Open(cfg Config) (*Store, error) {
 		s.nodes = append(s.nodes, newNode(i, tr))
 	}
 	if cfg.Engine == EngineRemote && cfg.NewBackend == nil {
-		if err := s.pinRemoteGeometry(); err != nil {
+		if err := s.pinRemoteGeometry(ctx); err != nil {
 			s.Close()
 			return nil, err
 		}
@@ -291,7 +293,7 @@ func Open(cfg Config) (*Store, error) {
 		s.repair = newRepairer(s, cfg.Repair)
 		// Resume draining hints a previous client parked (durable in the
 		// !hints tables); unreachable nodes are simply skipped.
-		s.repair.recoverHints(context.Background())
+		s.repair.recoverHints(ctx)
 	}
 	// A remote node recovering from probation (breaker closing) kicks hint
 	// drain so writes parked while it was down replay promptly — the wire
@@ -328,11 +330,11 @@ const (
 // be caught on any open that can reach it. Pins written before the
 // replication factor was recorded are upgraded in place when everything
 // they do pin matches.
-func (s *Store) pinRemoteGeometry() error {
+func (s *Store) pinRemoteGeometry(ctx context.Context) error {
 	for _, n := range s.nodes {
 		want := fmt.Sprintf("%d of %d rf=%d format=%s", n.id, len(s.nodes), s.cfg.ReplicationFactor, storedFormat)
 		legacy := fmt.Sprintf("%d of %d format=%s", n.id, len(s.nodes), storedFormat)
-		raw, ok, err := n.get(context.Background(), clusterTable, nodeIDKey)
+		raw, ok, err := n.get(ctx, clusterTable, nodeIDKey)
 		if isUnavailable(err) {
 			continue
 		}
@@ -368,7 +370,7 @@ func (s *Store) pinRemoteGeometry() error {
 		}
 		if writePin {
 			env := envelope(envValue, s.nextTS(), []byte(want))
-			if err := n.put(context.Background(), clusterTable, nodeIDKey, env); err != nil && !isUnavailable(err) {
+			if err := n.put(ctx, clusterTable, nodeIDKey, env); err != nil && !isUnavailable(err) {
 				return fmt.Errorf("kvstore: node %d geometry pin: %w", n.id, err)
 			}
 		}
@@ -1395,7 +1397,7 @@ func (s *Store) Reset(ctx context.Context) error {
 		return err
 	}
 	if s.fanout {
-		return s.pinRemoteGeometry()
+		return s.pinRemoteGeometry(ctx)
 	}
 	return nil
 }

@@ -16,7 +16,7 @@ import (
 
 func newServer(t *testing.T) (*httptest.Server, *core.Store) {
 	t.Helper()
-	st, err := core.Open(core.Config{ChunkCapacity: 4096, BatchSize: 4})
+	st, err := core.Open(context.Background(), core.Config{ChunkCapacity: 4096, BatchSize: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,11 +50,11 @@ func (g *gatingBackend) Get(ctx context.Context, table, key string) ([]byte, boo
 func buildMultiChunkStore(t *testing.T) (*httptest.Server, *core.Store, *gatingBackend) {
 	t.Helper()
 	gate := &gatingBackend{Backend: memory.New(), blocked: make(chan struct{}, 1)}
-	kv, err := kvstore.Open(kvstore.Config{NewBackend: func(int) (engine.Backend, error) { return gate, nil }})
+	kv, err := kvstore.Open(context.Background(), kvstore.Config{NewBackend: func(int) (engine.Backend, error) { return gate, nil }})
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := core.Open(core.Config{KV: kv, ChunkCapacity: 256, QueryFetchBatch: 1})
+	st, err := core.Open(context.Background(), core.Config{KV: kv, ChunkCapacity: 256, QueryFetchBatch: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestHTTPStreamStatsTrailer(t *testing.T) {
 // sentinel are reachable through an unbounded range — the bug the explicit
 // unbounded form replaces.
 func TestHTTPRangeAboveSentinel(t *testing.T) {
-	st, err := core.Open(core.Config{ChunkCapacity: 4096})
+	st, err := core.Open(context.Background(), core.Config{ChunkCapacity: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestHTTPRangeAboveSentinel(t *testing.T) {
 // TestBranchesSurfacesTipErrors: a branch whose tip lookup fails appears
 // under errors instead of being silently dropped.
 func TestBranchesSurfacesTipErrors(t *testing.T) {
-	st, err := core.Open(core.Config{})
+	st, err := core.Open(context.Background(), core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -56,11 +56,11 @@ func TestRemoteClusterEndToEnd(t *testing.T) {
 		Engine: rstore.EngineRemote, NodeAddrs: addrs, ReplicationFactor: 2,
 		Remote: remote.Options{Attempts: 2, Backoff: time.Millisecond},
 	}
-	kv, err := rstore.OpenCluster(cluster)
+	kv, err := rstore.OpenCluster(context.Background(), cluster)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := rstore.Open(rstore.Config{KV: kv, BatchSize: 3})
+	st, err := rstore.Open(context.Background(), rstore.Config{KV: kv, BatchSize: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +228,7 @@ func TestRemoteClusterEndToEnd(t *testing.T) {
 	if err := kv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	kv2, err := rstore.OpenCluster(cluster)
+	kv2, err := rstore.OpenCluster(context.Background(), cluster)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,11 +291,11 @@ func TestRemoteClusterLSMEndToEnd(t *testing.T) {
 		Engine: rstore.EngineRemote, NodeAddrs: addrs, ReplicationFactor: 2,
 		Remote: remote.Options{Attempts: 2, Backoff: time.Millisecond},
 	}
-	kv, err := rstore.OpenCluster(cluster)
+	kv, err := rstore.OpenCluster(context.Background(), cluster)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := rstore.Open(rstore.Config{KV: kv, BatchSize: 3})
+	st, err := rstore.Open(context.Background(), rstore.Config{KV: kv, BatchSize: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,7 +415,7 @@ func TestRemoteClusterLSMEndToEnd(t *testing.T) {
 	if err := kv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	kv2, err := rstore.OpenCluster(cluster)
+	kv2, err := rstore.OpenCluster(context.Background(), cluster)
 	if err != nil {
 		t.Fatal(err)
 	}

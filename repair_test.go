@@ -132,7 +132,7 @@ func TestRepairEndToEnd(t *testing.T) {
 	ctx := context.Background()
 	key := func(i int) string { return fmt.Sprintf("doc-%02d", i) }
 
-	kv, err := rstore.OpenCluster(c.config(rstore.RepairOptions{
+	kv, err := rstore.OpenCluster(context.Background(), c.config(rstore.RepairOptions{
 		HintInterval: 10 * time.Millisecond, HintMaxBackoff: 100 * time.Millisecond,
 	}))
 	if err != nil {
@@ -210,7 +210,7 @@ func TestRepairEndToEnd(t *testing.T) {
 	// while node 2 is down, so nothing is parked anywhere. After node 2
 	// returns, ONE read of the key must rewrite its on-disk copy.
 	c.kill(2)
-	kvB, err := rstore.OpenCluster(c.config(rstore.RepairOptions{DisableHints: true}))
+	kvB, err := rstore.OpenCluster(context.Background(), c.config(rstore.RepairOptions{DisableHints: true}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestRepairHintsSurviveClientRestart(t *testing.T) {
 	ctx := context.Background()
 
 	slow := rstore.RepairOptions{HintInterval: time.Hour} // park only
-	kv1, err := rstore.OpenCluster(c.config(slow))
+	kv1, err := rstore.OpenCluster(context.Background(), c.config(slow))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func TestRepairHintsSurviveClientRestart(t *testing.T) {
 	}
 	c.restart(0)
 
-	kv2, err := rstore.OpenCluster(c.config(rstore.RepairOptions{
+	kv2, err := rstore.OpenCluster(context.Background(), c.config(rstore.RepairOptions{
 		HintInterval: 10 * time.Millisecond, HintMaxBackoff: 100 * time.Millisecond,
 	}))
 	if err != nil {

@@ -21,7 +21,7 @@
 // # Quick start
 //
 //	ctx := context.Background()
-//	st, _ := rstore.Open(rstore.Config{})
+//	st, _ := rstore.Open(ctx, rstore.Config{})
 //	v0, _ := st.Commit(ctx, rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
 //		"patient-1": []byte(`{"age":52}`),
 //	}})
@@ -116,8 +116,10 @@ var (
 
 // Open creates a store. With a zero Config it runs on a private single-node
 // in-process cluster with the calibrated cost model, Bottom-Up partitioning,
-// 1 MiB chunks, and no record-level compression.
-func Open(cfg Config) (*Store, error) { return core.Open(cfg) }
+// 1 MiB chunks, and no record-level compression. ctx bounds the open itself
+// (a private cluster's geometry probe and hint recovery), not the Store's
+// lifetime.
+func Open(ctx context.Context, cfg Config) (*Store, error) { return core.Open(ctx, cfg) }
 
 // Load reopens a store persisted in cfg.KV; ctx bounds the recovery scans.
 func Load(ctx context.Context, cfg Config) (*Store, error) { return core.Load(ctx, cfg) }
@@ -171,8 +173,12 @@ const (
 type CostModel = kvstore.CostModel
 
 // OpenCluster creates a distributed key-value cluster (in-process or, with
-// EngineRemote, over real storage daemons) to back one or more stores.
-func OpenCluster(cfg ClusterConfig) (*kvstore.Store, error) { return kvstore.Open(cfg) }
+// EngineRemote, over real storage daemons) to back one or more stores. ctx
+// bounds the open's wire round-trips (geometry probe, hint recovery), not
+// the cluster's lifetime.
+func OpenCluster(ctx context.Context, cfg ClusterConfig) (*kvstore.Store, error) {
+	return kvstore.Open(ctx, cfg)
+}
 
 // SplitNodeAddrs parses a comma-separated daemon address list into
 // ClusterConfig.NodeAddrs form (whitespace trimmed, empty elements

@@ -11,13 +11,13 @@ import (
 
 // TestFacadeEndToEnd drives the whole public API surface.
 func TestFacadeEndToEnd(t *testing.T) {
-	kv, err := rstore.OpenCluster(rstore.ClusterConfig{
+	kv, err := rstore.OpenCluster(context.Background(), rstore.ClusterConfig{
 		Nodes: 3, ReplicationFactor: 2, Cost: rstore.DefaultCostModel(),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := rstore.Open(rstore.Config{
+	st, err := rstore.Open(context.Background(), rstore.Config{
 		KV: kv, Partitioner: rstore.BottomUp(0), ChunkCapacity: 4096, SubChunkK: 2, BatchSize: 3,
 	})
 	if err != nil {
@@ -69,7 +69,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 
 // Example demonstrates the basic commit/retrieve cycle.
 func Example() {
-	st, _ := rstore.Open(rstore.Config{})
+	st, _ := rstore.Open(context.Background(), rstore.Config{})
 	v0, _ := st.Commit(context.Background(), rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
 		"patient-1": []byte(`{"age":52}`),
 	}})
@@ -84,7 +84,7 @@ func Example() {
 
 // ExampleStore_GetHistory shows record-evolution retrieval.
 func ExampleStore_GetHistory() {
-	st, _ := rstore.Open(rstore.Config{})
+	st, _ := rstore.Open(context.Background(), rstore.Config{})
 	parent := rstore.NoParent
 	for i := 0; i < 3; i++ {
 		v, _ := st.Commit(context.Background(), parent, rstore.Change{Puts: map[rstore.Key][]byte{
@@ -104,7 +104,7 @@ func ExampleStore_GetHistory() {
 
 // ExampleStore_GetRange shows partial version retrieval.
 func ExampleStore_GetRange() {
-	st, _ := rstore.Open(rstore.Config{})
+	st, _ := rstore.Open(context.Background(), rstore.Config{})
 	v0, _ := st.Commit(context.Background(), rstore.NoParent, rstore.Change{Puts: map[rstore.Key][]byte{
 		"a1": []byte("1"), "a2": []byte("2"), "b1": []byte("3"),
 	}})
@@ -119,7 +119,7 @@ func ExampleStore_GetRange() {
 
 // TestFacadeBranchWorkflow exercises the VCS-style surface.
 func TestFacadeBranchWorkflow(t *testing.T) {
-	st, err := rstore.Open(rstore.Config{})
+	st, err := rstore.Open(context.Background(), rstore.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
