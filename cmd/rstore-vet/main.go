@@ -1,7 +1,8 @@
 // Command rstore-vet runs the project's static-analysis suite
 // (docs/ANALYZERS.md): the crash-safety, error-classification, context,
-// locking, and clock-seam invariants the storage engines and the remote
-// path depend on, enforced mechanically instead of by reviewer memory.
+// locking, lock-ordering, goroutine-lifecycle, wire-protocol-symmetry,
+// and clock-seam invariants the storage engines and the remote path
+// depend on, enforced mechanically instead of by reviewer memory.
 //
 // Two modes share the same analyzers and diagnostics:
 //
@@ -80,9 +81,10 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "rstore-vet: %v\n", err)
 		return 1
 	}
+	cfg := rvet.RunConfig{Load: rvet.NewModuleLoader(".")}
 	findings := 0
 	for _, pkg := range pkgs {
-		for _, d := range rvet.Run(pkg, suite) {
+		for _, d := range rvet.RunWith(pkg, suite, cfg) {
 			fmt.Fprintln(os.Stderr, d)
 			findings++
 		}

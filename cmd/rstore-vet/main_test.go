@@ -29,12 +29,26 @@ func capture(t *testing.T, fn func()) string {
 	return string(out)
 }
 
-// TestList checks that -list prints every analyzer with its one-line doc.
+// TestList checks that -list prints every analyzer with its one-line doc,
+// and that the suite is exactly the eight documented analyzers.
 func TestList(t *testing.T) {
 	var code int
 	out := capture(t, func() { code = run([]string{"-list"}) })
 	if code != 0 {
 		t.Fatalf("-list exited %d", code)
+	}
+	want := []string{
+		"clockseam", "ctxfirst", "errclass", "fsyncrename",
+		"goroutinelife", "lockio", "lockorder", "wiresym",
+	}
+	suite := analysis.All()
+	if len(suite) != len(want) {
+		t.Errorf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, name := range want {
+		if i >= len(suite) || suite[i].Name != name {
+			t.Errorf("suite[%d] = %q, want %q", i, suite[min(i, len(suite)-1)].Name, name)
+		}
 	}
 	for _, a := range analysis.All() {
 		if !strings.Contains(out, a.Name) {

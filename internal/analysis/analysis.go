@@ -1,7 +1,8 @@
 // Package analysis registers the rstore-vet analyzer suite: the project's
-// crash-safety, error-classification, context, locking, and clock
-// invariants as mechanical checks (docs/ANALYZERS.md). cmd/rstore-vet is
-// the driver; internal/analysis/rvet is the framework.
+// crash-safety, error-classification, context, locking, lifecycle,
+// wire-protocol, and clock invariants as mechanical checks
+// (docs/ANALYZERS.md). cmd/rstore-vet is the driver;
+// internal/analysis/rvet is the framework.
 package analysis
 
 import (
@@ -9,8 +10,11 @@ import (
 	"rstore/internal/analysis/ctxfirst"
 	"rstore/internal/analysis/errclass"
 	"rstore/internal/analysis/fsyncrename"
+	"rstore/internal/analysis/goroutinelife"
 	"rstore/internal/analysis/lockio"
+	"rstore/internal/analysis/lockorder"
 	"rstore/internal/analysis/rvet"
+	"rstore/internal/analysis/wiresym"
 )
 
 // All returns the full suite in reporting order.
@@ -20,6 +24,9 @@ func All() []*rvet.Analyzer {
 		ctxfirst.Analyzer,
 		errclass.Analyzer,
 		fsyncrename.Analyzer,
+		goroutinelife.Analyzer,
 		lockio.Analyzer,
+		lockorder.Analyzer,
+		wiresym.Analyzer,
 	}
 }

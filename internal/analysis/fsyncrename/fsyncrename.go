@@ -10,10 +10,10 @@
 // disk never promised to keep.
 //
 // The analysis is intraprocedural over statement order with a
-// package-local call-graph closure for the sync sets — it proves presence
-// on the straight-line reading, not all-paths correctness. Functions that
-// rename files synced by an earlier phase (crash-recovery replay, commit
-// helpers fed a sealed temp file) carry a reasoned escape.
+// package-local call-graph closure (rvet/callgraph) for the sync sets — it
+// proves presence on the straight-line reading, not all-paths correctness.
+// Functions that rename files synced by an earlier phase (crash-recovery
+// replay, commit helpers fed a sealed temp file) carry a reasoned escape.
 package fsyncrename
 
 import (
@@ -22,6 +22,7 @@ import (
 	"go/types"
 
 	"rstore/internal/analysis/rvet"
+	"rstore/internal/analysis/rvet/callgraph"
 )
 
 // Analyzer is the fsyncrename rule.
@@ -42,31 +43,17 @@ func run(pass *rvet.Pass) error {
 	info := pass.TypesInfo()
 
 	// Pass 1: package-local call graph and the directly-syncing functions.
-	decls := make(map[*types.Func]*ast.FuncDecl)
-	for _, f := range pass.Files() {
-		if pass.IsTestFile(f.Pos()) {
-			continue
-		}
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
-				decls[fn] = fd
-			}
-		}
-	}
-	fileSyncers := closure(pass, decls, func(call *ast.CallExpr) bool {
+	g := callgraph.Build(pass.Pkg)
+	fileSyncers := g.Closure(func(call *ast.CallExpr) bool {
 		return rvet.IsMethodCall(info, call, "os", "File", "Sync")
 	})
-	dirSyncers := closure(pass, decls, func(call *ast.CallExpr) bool {
+	dirSyncers := g.Closure(func(call *ast.CallExpr) bool {
 		fn := rvet.Callee(info, call)
 		return fn != nil && fn.Name() == "syncDir" && fn.Pkg() == pass.TypesPkg()
 	})
 
 	// Pass 2: per-function statement-order check around each os.Rename.
-	for fn, fd := range decls {
+	for fn, fd := range g.Decls {
 		var renames []*ast.CallExpr
 		var fileSyncPos, dirSyncPos []token.Pos
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -105,48 +92,6 @@ func run(pass *rvet.Pass) error {
 // isSyncDir matches the designated directory-fsync helper itself.
 func isSyncDir(pass *rvet.Pass, fn *types.Func) bool {
 	return fn.Name() == "syncDir" && fn.Pkg() == pass.TypesPkg()
-}
-
-// closure returns the set of package-local functions that directly satisfy
-// pred or (transitively, through package-local calls) reach one that does.
-func closure(pass *rvet.Pass, decls map[*types.Func]*ast.FuncDecl, pred func(*ast.CallExpr) bool) map[*types.Func]bool {
-	info := pass.TypesInfo()
-	direct := make(map[*types.Func]bool)
-	calls := make(map[*types.Func][]*types.Func)
-	for fn, fd := range decls {
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if pred(call) {
-				direct[fn] = true
-			}
-			if callee := rvet.Callee(info, call); callee != nil {
-				if _, local := decls[callee]; local {
-					calls[fn] = append(calls[fn], callee)
-				}
-			}
-			return true
-		})
-	}
-	// Fixed point: propagate reachability up the call graph.
-	for changed := true; changed; {
-		changed = false
-		for fn, callees := range calls {
-			if direct[fn] {
-				continue
-			}
-			for _, callee := range callees {
-				if direct[callee] {
-					direct[fn] = true
-					changed = true
-					break
-				}
-			}
-		}
-	}
-	return direct
 }
 
 func anyBefore(positions []token.Pos, p token.Pos) bool {

@@ -1,0 +1,187 @@
+// Package goroutinelife implements the rstore-vet analyzer that requires
+// every goroutine spawned in the long-lived subsystems to be
+// lifecycle-bound. A store that is Closed must actually stop: a goroutine
+// that neither observes a stop signal (a cancellable context, a stop/done
+// channel, a channel range that ends at close) nor participates in a
+// WaitGroup join outlives Close and keeps touching backends that are gone —
+// the class of bug that shows up as "send on closed channel" panics and
+// flaky -race shutdown failures, never in unit tests.
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"rstore/internal/analysis/rvet"
+	"rstore/internal/analysis/rvet/callgraph"
+)
+
+// Analyzer requires every go statement in the long-lived subsystems to be
+// lifecycle-bound.
+var Analyzer = &rvet.Analyzer{
+	Name: "goroutinelife",
+	Doc: `goroutines must be lifecycle-bound: observe a stop signal or join a WaitGroup
+
+Every go statement in internal/{kvstore,engine,core,server} must spawn a
+body that (directly or through package-local callees) observes a
+cancellable context (ctx.Done/ctx.Err), receives from a stop-like channel,
+ranges over a channel, or calls (*sync.WaitGroup).Done/Wait — so Close and
+Shutdown can actually wait for it. Fire-and-forget goroutines are findings.`,
+	Run: run,
+}
+
+// scope lists the subsystems whose goroutines must be joinable. Other
+// packages (tools, analyzers, tests) spawn short-lived helpers freely.
+var scope = []string{
+	"rstore/internal/kvstore",
+	"rstore/internal/engine",
+	"rstore/internal/core",
+	"rstore/internal/server",
+}
+
+// stopChanRe matches the names of channels whose receive conventionally
+// means "shut down" — the signal a lifecycle-bound goroutine blocks on.
+var stopChanRe = regexp.MustCompile(`(?i)stop|done|quit|clos|cancel|exit`)
+
+func run(pass *rvet.Pass) error {
+	if !pass.InScope(scope...) {
+		return nil
+	}
+	g := callgraph.Build(pass.Pkg)
+
+	// bound holds the functions whose bodies observe a lifecycle signal,
+	// closed transitively over package-local calls. Both the direct scan
+	// and the call edges skip nested go statements: a signal observed by a
+	// goroutine the body spawns does not bind the body itself.
+	bound := make(map[*types.Func]bool)
+	calls := make(map[*types.Func][]*types.Func)
+	for fn, fd := range g.Decls {
+		if observes(pass, fd.Body) {
+			bound[fn] = true
+		}
+		outsideGo(fd.Body, func(n ast.Node) {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := rvet.Callee(pass.TypesInfo(), call); callee != nil {
+					if _, local := g.Decls[callee]; local {
+						calls[fn] = append(calls[fn], callee)
+					}
+				}
+			}
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			if bound[fn] {
+				continue
+			}
+			for _, callee := range callees {
+				if bound[callee] {
+					bound[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, fd := range g.Decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			check(pass, g, bound, gs)
+			return true
+		})
+	}
+	return nil
+}
+
+// check classifies one go statement as bound or reports it.
+func check(pass *rvet.Pass, g *callgraph.Graph, bound map[*types.Func]bool, gs *ast.GoStmt) {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		if !bodyBound(pass, bound, lit.Body) {
+			pass.Reportf(gs.Pos(), "goroutine is not lifecycle-bound: its body observes no stop signal (ctx.Done/Err, stop channel, channel range) and joins no WaitGroup, so Close cannot wait for it")
+		}
+		return
+	}
+	callee := rvet.Callee(pass.TypesInfo(), gs.Call)
+	if callee == nil {
+		pass.Reportf(gs.Pos(), "goroutine target cannot be resolved to a declaration: spawn a function literal (or a named package function) whose lifecycle binding the analyzer can verify")
+		return
+	}
+	if _, local := g.Decls[callee]; !local {
+		pass.Reportf(gs.Pos(), "goroutine spawns %s from another package: wrap it in a function literal that binds its lifecycle (stop signal or WaitGroup join)", callee.Name())
+		return
+	}
+	if !bound[callee] {
+		pass.Reportf(gs.Pos(), "goroutine is not lifecycle-bound: %s observes no stop signal (ctx.Done/Err, stop channel, channel range) and joins no WaitGroup, so Close cannot wait for it", callee.Name())
+	}
+}
+
+// bodyBound reports whether a spawned body observes a lifecycle signal,
+// directly or through a package-local callee in the bound set.
+func bodyBound(pass *rvet.Pass, bound map[*types.Func]bool, body *ast.BlockStmt) bool {
+	if observes(pass, body) {
+		return true
+	}
+	found := false
+	outsideGo(body, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if callee := rvet.Callee(pass.TypesInfo(), call); callee != nil && bound[callee] {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// observes reports whether body directly contains a lifecycle signal:
+// a receive from a stop-like channel (ctx.Done() included by name), a
+// range over a channel, a WaitGroup Done/Wait, or a context Done/Err call.
+// Nested go statements are skipped — their signals bind them, not body.
+func observes(pass *rvet.Pass, body *ast.BlockStmt) bool {
+	info := pass.TypesInfo()
+	found := false
+	outsideGo(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && stopChanRe.MatchString(types.ExprString(n.X)) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch {
+			case rvet.IsMethodCall(info, n, "sync", "WaitGroup", "Done"),
+				rvet.IsMethodCall(info, n, "sync", "WaitGroup", "Wait"):
+				found = true
+			case rvet.MethodOnPackageType(info, n, "context") == "Done",
+				rvet.MethodOnPackageType(info, n, "context") == "Err":
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// outsideGo walks body, invoking visit on every node except those inside
+// nested go statements.
+func outsideGo(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isGo := n.(*ast.GoStmt); isGo {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

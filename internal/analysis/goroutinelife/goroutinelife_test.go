@@ -1,0 +1,42 @@
+package goroutinelife
+
+import (
+	"strings"
+	"testing"
+
+	"rstore/internal/analysis/rvet/rvettest"
+)
+
+func TestLifecycleBinding(t *testing.T) {
+	rvettest.Run(t, Analyzer, "testdata/src", "rstore/internal/server")
+}
+
+// TestOutOfScope: packages outside the long-lived subsystems spawn freely.
+func TestOutOfScope(t *testing.T) {
+	diags := rvettest.Diagnostics(t, Analyzer, "testdata/escapes", "rstore/internal/tools")
+	for _, d := range diags {
+		if d.Analyzer == Analyzer.Name {
+			t.Errorf("out-of-scope package produced a finding: %v", d)
+		}
+	}
+}
+
+func TestEscapeRequiresReason(t *testing.T) {
+	diags := rvettest.Diagnostics(t, Analyzer, "testdata/escapes", "rstore/internal/server")
+	var reasonless bool
+	findings := 0
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "requires a reason"):
+			reasonless = true
+		case d.Analyzer == Analyzer.Name:
+			findings++
+		}
+	}
+	if !reasonless {
+		t.Error("reason-less escape was not reported")
+	}
+	if findings != 1 {
+		t.Errorf("a reason-less escape must not suppress: got %d findings, want 1 (diags: %v)", findings, diags)
+	}
+}

@@ -1,0 +1,12 @@
+package escapes
+
+type S struct{ n int }
+
+func (s *S) bump() { s.n++ }
+
+// The escape below carries no reason, so it must be reported and must not
+// suppress the fire-and-forget finding.
+func (s *S) Bad() {
+	//lint:rstore-vet goroutinelife:
+	go s.bump()
+}

@@ -1,0 +1,95 @@
+package src
+
+import (
+	"context"
+	"sync"
+)
+
+type S struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+	runs int
+}
+
+// Scatter-gather: the body joins the WaitGroup.
+func (s *S) Scatter() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.runs++
+	}()
+	s.wg.Wait()
+}
+
+// The worker loop observes the stop channel; spawning it by name is bound.
+func (s *S) StartWorker() {
+	go s.worker()
+}
+
+func (s *S) worker() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Range over a channel ends when the producer closes it.
+func Drain(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// A cancellable context is a stop signal.
+func Watch(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Polling ctx.Err counts: the goroutine exits once the context dies.
+func Poll(ctx context.Context, work func()) {
+	go func() {
+		for ctx.Err() == nil {
+			work()
+		}
+	}()
+}
+
+// Fire-and-forget: nothing waits for this body.
+func (s *S) Leak() {
+	go func() { // want "goroutine is not lifecycle-bound"
+		s.run()
+	}()
+}
+
+func (s *S) run() {}
+
+// A nested goroutine's binding does not bind its spawner.
+func (s *S) NestedLeak() {
+	go func() { // want "goroutine is not lifecycle-bound"
+		go func() {
+			<-s.stop
+		}()
+	}()
+}
+
+// Spawning a fire-and-forget named function is a finding at the spawn.
+func (s *S) LeakNamed() {
+	go s.run() // want "run observes no stop signal"
+}
+
+// The body binds through a package-local callee (worker selects on stop).
+func (s *S) TransitiveBound() {
+	go func() {
+		s.worker()
+	}()
+}
+
+// A function value cannot be resolved, so it cannot be verified.
+func Spawn(fn func()) {
+	go fn() // want "cannot be resolved to a declaration"
+}

@@ -84,21 +84,22 @@ func checkBody(pass *rvet.Pass, body *ast.BlockStmt, engineScope bool) {
 			checkBody(pass, n.Body, engineScope)
 			return false
 		case *ast.DeferStmt:
-			if _, mode, ok := mutexOp(info, n.Call); ok && (mode == "unlock" || mode == "runlock") {
+			if _, mode, ok := rvet.MutexOp(info, n.Call); ok && (mode == "unlock" || mode == "runlock") {
 				// Deferred unlock: the region stays open for the rest of the
 				// body; skip the call so it is not taken as closing the
 				// region at the defer statement itself.
 				return false
 			}
 		case *ast.CallExpr:
-			if expr, mode, ok := mutexOp(info, n); ok {
+			if expr, mode, ok := rvet.MutexOp(info, n); ok {
+				key := types.ExprString(expr)
 				switch mode {
 				case "lock":
-					st.held[expr] = "lock"
+					st.held[key] = "lock"
 				case "rlock":
-					st.held[expr] = "rlock"
+					st.held[key] = "rlock"
 				case "unlock", "runlock":
-					delete(st.held, expr)
+					delete(st.held, key)
 				}
 				return true
 			}
@@ -109,45 +110,6 @@ func checkBody(pass *rvet.Pass, body *ast.BlockStmt, engineScope bool) {
 		}
 		return true
 	})
-}
-
-// mutexOp recognizes x.Lock/RLock/Unlock/RUnlock/TryLock calls on a
-// sync.Mutex or sync.RWMutex value and returns the canonical receiver
-// expression plus the operation.
-func mutexOp(info *types.Info, call *ast.CallExpr) (expr, mode string, ok bool) {
-	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !isSel {
-		return "", "", false
-	}
-	var name string
-	switch sel.Sel.Name {
-	case "Lock", "TryLock":
-		name = "lock"
-	case "RLock", "TryRLock":
-		name = "rlock"
-	case "Unlock":
-		name = "unlock"
-	case "RUnlock":
-		name = "runlock"
-	default:
-		return "", "", false
-	}
-	t := info.TypeOf(sel.X)
-	if t == nil {
-		return "", "", false
-	}
-	if ptr, isPtr := t.(*types.Pointer); isPtr {
-		t = ptr.Elem()
-	}
-	named, isNamed := t.(*types.Named)
-	if !isNamed {
-		return "", "", false
-	}
-	obj := named.Obj()
-	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" || (obj.Name() != "Mutex" && obj.Name() != "RWMutex") {
-		return "", "", false
-	}
-	return types.ExprString(sel.X), name, true
 }
 
 // reportBlocking flags call if it is blocking I/O forbidden under the

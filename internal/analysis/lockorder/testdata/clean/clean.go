@@ -1,0 +1,10 @@
+package clean
+
+import "sync"
+
+type T struct{ mu sync.Mutex }
+
+func (t *T) Touch() {
+	t.mu.Lock()
+	t.mu.Unlock()
+}

@@ -1,0 +1,18 @@
+package escapes
+
+import "sync"
+
+type T struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// The escape below carries no reason, so it must be reported and must not
+// suppress the undeclared-edge finding.
+func (t *T) Bad() {
+	t.a.Lock()
+	//lint:rstore-vet lockorder:
+	t.b.Lock()
+	t.b.Unlock()
+	t.a.Unlock()
+}

@@ -1,0 +1,20 @@
+package a
+
+import (
+	"sync"
+
+	xb "rstore/internal/xfix/b"
+)
+
+type A struct {
+	mu sync.Mutex
+	b  *xb.B
+}
+
+// Do acquires b.B.mu (in the other fixture package) while a.A.mu is held:
+// the edge crosses the package boundary through Pass.Load.
+func (a *A) Do() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.b.Do() // want "lock-order edge rstore/internal/xfix/a\\.A\\.mu -> rstore/internal/xfix/b\\.B\\.mu \\(via the call to Do\\)"
+}

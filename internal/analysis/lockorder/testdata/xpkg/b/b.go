@@ -1,0 +1,10 @@
+package b
+
+import "sync"
+
+type B struct{ mu sync.Mutex }
+
+func (b *B) Do() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}

@@ -1,0 +1,117 @@
+// Package callgraph builds the package-local call graph the
+// interprocedural rvet analyzers share. It generalizes the fixed-point
+// machinery fsyncrename grew for its sync-closure: a map from every
+// declared function to its body, the call edges between them, and a
+// transitive-closure operator over any per-call predicate. lockorder uses
+// the declarations to summarize which locks a callee may take,
+// goroutinelife uses them to resolve `go f()` targets and propagate
+// stop-signal observation, and fsyncrename's sync sets are a direct
+// Closure call.
+//
+// The graph is package-local and name-resolved: indirect calls through
+// function values or interfaces have no edge. Analyzers that need
+// cross-package reach resolve the callee's package through
+// rvet.Pass.Load and build a Graph per package.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rstore/internal/analysis/rvet"
+)
+
+// Graph is one package's declared functions and the call edges between
+// them. Test files are excluded — the production drivers analyze non-test
+// compilation units, and fixtures never mix.
+type Graph struct {
+	Pkg *rvet.Package
+	// Decls maps each declared function or method to its declaration.
+	Decls map[*types.Func]*ast.FuncDecl
+	// Calls lists, per function, the package-local functions its body
+	// calls (anywhere in the body, function literals included).
+	Calls map[*types.Func][]*types.Func
+}
+
+// Build constructs the call graph of pkg.
+func Build(pkg *rvet.Package) *Graph {
+	g := &Graph{
+		Pkg:   pkg,
+		Decls: make(map[*types.Func]*ast.FuncDecl),
+		Calls: make(map[*types.Func][]*types.Func),
+	}
+	for _, f := range pkg.Files {
+		if pkg.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				g.Decls[fn] = fd
+			}
+		}
+	}
+	for fn, fd := range g.Decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := rvet.Callee(pkg.Info, call); callee != nil {
+				if _, local := g.Decls[callee]; local {
+					g.Calls[fn] = append(g.Calls[fn], callee)
+				}
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// Closure returns the set of functions that directly contain a call
+// satisfying pred, or transitively (through package-local calls) reach one
+// that does — the fixed point fsyncrename uses for its file- and
+// directory-sync sets.
+func (g *Graph) Closure(pred func(*ast.CallExpr) bool) map[*types.Func]bool {
+	direct := make(map[*types.Func]bool)
+	for fn, fd := range g.Decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pred(call) {
+				direct[fn] = true
+				return false
+			}
+			return true
+		})
+	}
+	g.Propagate(direct)
+	return direct
+}
+
+// Propagate closes set over the call edges in place: a function whose body
+// calls a member of set (transitively) joins it. Analyzers with their own
+// notion of "directly satisfying" seed the set and let the graph do the
+// fixed point.
+func (g *Graph) Propagate(set map[*types.Func]bool) {
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range g.Calls {
+			if set[fn] {
+				continue
+			}
+			for _, callee := range callees {
+				if set[callee] {
+					set[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}

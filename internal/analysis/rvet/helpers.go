@@ -117,6 +117,46 @@ func ExprObject(info *types.Info, e ast.Expr) types.Object {
 	return nil
 }
 
+// MutexOp recognizes x.Lock/TryLock/RLock/TryRLock/Unlock/RUnlock calls on
+// a sync.Mutex or sync.RWMutex value, returning the mutex expression and
+// the operation ("lock", "rlock", "unlock", "runlock"). Shared by the
+// lock-discipline analyzers (lockio, lockorder) so they cannot disagree on
+// what counts as a lock operation.
+func MutexOp(info *types.Info, call *ast.CallExpr) (expr ast.Expr, mode string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "TryLock":
+		mode = "lock"
+	case "RLock", "TryRLock":
+		mode = "rlock"
+	case "Unlock":
+		mode = "unlock"
+	case "RUnlock":
+		mode = "runlock"
+	default:
+		return nil, "", false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return nil, "", false
+	}
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return nil, "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" || (obj.Name() != "Mutex" && obj.Name() != "RWMutex") {
+		return nil, "", false
+	}
+	return sel.X, mode, true
+}
+
 // IsContextType reports whether t is context.Context.
 func IsContextType(t types.Type) bool {
 	named, ok := t.(*types.Named)

@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sync"
 )
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -94,6 +95,15 @@ func CheckPackage(path string, filenames []string, importMap, packageFile map[st
 
 // CheckParsed type-checks already-parsed files under the given import path.
 func CheckParsed(path string, fset *token.FileSet, files []*ast.File, importMap, packageFile map[string]string) (*Package, error) {
+	return CheckParsedDeps(path, fset, files, importMap, packageFile, nil)
+}
+
+// CheckParsedDeps is CheckParsed with already-type-checked source
+// dependencies: deps maps import paths to packages checked earlier against
+// the same FileSet, consulted before export data. rvettest's multi-package
+// fixtures use it so fixture packages can import each other under their
+// fake paths, for which no compiled export data can exist.
+func CheckParsedDeps(path string, fset *token.FileSet, files []*ast.File, importMap, packageFile map[string]string, deps map[string]*types.Package) (*Package, error) {
 	compiler := importer.ForCompiler(fset, "gc", func(importPath string) (io.ReadCloser, error) {
 		file, ok := packageFile[importPath]
 		if !ok {
@@ -104,6 +114,9 @@ func CheckParsed(path string, fset *token.FileSet, files []*ast.File, importMap,
 	imp := importerFunc(func(importPath string) (*types.Package, error) {
 		if mapped, ok := importMap[importPath]; ok {
 			importPath = mapped
+		}
+		if dep, ok := deps[importPath]; ok {
+			return dep, nil
 		}
 		return compiler.Import(importPath)
 	})
@@ -126,3 +139,38 @@ func CheckParsed(path string, fset *token.FileSet, files []*ast.File, importMap,
 type importerFunc func(string) (*types.Package, error)
 
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// NewModuleLoader returns a memoized Loader that resolves import paths to
+// their non-test source through the go tool, anchored at dir (any
+// directory inside the module). It backs Pass.Load in both production
+// drivers — standalone and the vet unit protocol — so interprocedural
+// analyzers see the same cross-package view either way.
+func NewModuleLoader(dir string) Loader {
+	type result struct {
+		pkg *Package
+		err error
+	}
+	var mu sync.Mutex
+	memo := make(map[string]result)
+	return func(importPath string) (*Package, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if r, ok := memo[importPath]; ok {
+			return r.pkg, r.err
+		}
+		pkgs, err := LoadPackages(dir, []string{importPath})
+		var pkg *Package
+		if err == nil {
+			for _, p := range pkgs {
+				if p.Path == importPath {
+					pkg = p
+				}
+			}
+			if pkg == nil {
+				err = fmt.Errorf("rvet: package %s not found", importPath)
+			}
+		}
+		memo[importPath] = result{pkg, err}
+		return pkg, err
+	}
+}

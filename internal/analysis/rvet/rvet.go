@@ -17,6 +17,7 @@
 package rvet
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -76,6 +77,31 @@ func (p *Package) BasePath() string {
 	return strings.TrimSuffix(path, "_test")
 }
 
+// IsTestFile reports whether pos sits in a _test.go file.
+func (p *Package) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// A Loader resolves an import path to a loaded, type-checked package with
+// full syntax — the hook interprocedural analyzers (lockorder, wiresym)
+// use to look across package boundaries. Production drivers back it with
+// the go tool (NewModuleLoader); rvettest backs it with fixture sibling
+// packages. Loaders are memoized by the driver, so analyzers call them
+// freely.
+type Loader func(importPath string) (*Package, error)
+
+// ErrNoLoader is returned by Pass.Load under drivers that provide no
+// cross-package loading (single-package fixture runs). Analyzers treat it
+// like any load failure: degrade to package-local analysis.
+var ErrNoLoader = errors.New("rvet: driver provides no package loader")
+
+// RunConfig carries optional driver capabilities for RunWith.
+type RunConfig struct {
+	// Load resolves other packages' source for interprocedural analyzers;
+	// nil means Pass.Load fails with ErrNoLoader.
+	Load Loader
+}
+
 // Pass carries one analyzer's view of one package.
 type Pass struct {
 	Analyzer *Analyzer
@@ -83,6 +109,18 @@ type Pass struct {
 
 	report  func(Diagnostic)
 	escapes *escapeIndex
+	load    Loader
+}
+
+// Load resolves another package's source through the driver's loader.
+// It fails with ErrNoLoader when the driver has none. Loaded packages use
+// their own FileSet: diagnostics must still be reported at positions in
+// the pass's own package.
+func (p *Pass) Load(importPath string) (*Package, error) {
+	if p.load == nil {
+		return nil, ErrNoLoader
+	}
+	return p.load(importPath)
 }
 
 // Fset, Files, Path, TypesPkg and TypesInfo are conveniences over Pkg.
@@ -208,11 +246,16 @@ func (idx *escapeIndex) suppress(analyzer string, pos token.Position) bool {
 // as a diagnostic at the package's first file, so a broken check fails
 // loudly instead of silently passing.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunWith(pkg, analyzers, RunConfig{})
+}
+
+// RunWith is Run with driver capabilities (cross-package loading).
+func RunWith(pkg *Package, analyzers []*Analyzer, cfg RunConfig) []Diagnostic {
 	var diags []Diagnostic
 	sink := func(d Diagnostic) { diags = append(diags, d) }
 	escapes := parseEscapes(pkg, analyzers, sink)
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Pkg: pkg, report: sink, escapes: escapes}
+		pass := &Pass{Analyzer: a, Pkg: pkg, report: sink, escapes: escapes, load: cfg.Load}
 		if err := a.Run(pass); err != nil {
 			pos := token.Position{Filename: pkg.Path}
 			if len(pkg.Files) > 0 {

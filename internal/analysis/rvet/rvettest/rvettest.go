@@ -19,6 +19,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io"
 	"os/exec"
 	"path/filepath"
@@ -46,6 +47,12 @@ func Run(t *testing.T, a *rvet.Analyzer, dir, importPath string) {
 	pkg := load(t, dir, importPath)
 	wants := collectWants(t, pkg.Fset, pkg.Files)
 	diags := rvet.Run(pkg, []*rvet.Analyzer{a})
+	match(t, diags, wants)
+}
+
+// match verifies diagnostics and want comments cover each other exactly.
+func match(t *testing.T, diags []rvet.Diagnostic, wants []*want) {
+	t.Helper()
 	for _, d := range diags {
 		matched := false
 		for _, w := range wants {
@@ -63,6 +70,110 @@ func Run(t *testing.T, a *rvet.Analyzer, dir, importPath string) {
 			t.Errorf("%s:%d: want %q matched no diagnostic", w.file, w.line, w.re)
 		}
 	}
+}
+
+// RunTree analyzes a multi-package fixture: root holds one subdirectory per
+// fixture package, paths maps each subdirectory name to the fake import
+// path it is checked under, and target names the subdirectory the analyzer
+// runs on. Fixture packages may import each other by fake path — they are
+// type-checked in dependency order against one shared FileSet and resolve
+// through rvet.Pass.Load, which is how lockorder's cross-package lock graph
+// and wiresym's consumer scans are exercised without compiled fixtures.
+// Want comments are collected from every file in the tree.
+func RunTree(t *testing.T, a *rvet.Analyzer, root, target string, paths map[string]string) {
+	t.Helper()
+	pkg, loader, files, fset := loadTree(t, root, target, paths)
+	wants := collectWants(t, fset, files)
+	diags := rvet.RunWith(pkg, []*rvet.Analyzer{a}, rvet.RunConfig{Load: loader})
+	match(t, diags, wants)
+}
+
+// TreeDiagnostics loads a multi-package fixture like RunTree and returns
+// the raw diagnostics without want matching (the tree counterpart of
+// Diagnostics, for escape-hatch fixtures).
+func TreeDiagnostics(t *testing.T, a *rvet.Analyzer, root, target string, paths map[string]string) []rvet.Diagnostic {
+	t.Helper()
+	pkg, loader, _, _ := loadTree(t, root, target, paths)
+	return rvet.RunWith(pkg, []*rvet.Analyzer{a}, rvet.RunConfig{Load: loader})
+}
+
+// loadTree parses and type-checks every fixture package under root in
+// dependency order, returning the target package, a Loader over the whole
+// tree, and all files with their shared FileSet.
+func loadTree(t *testing.T, root, target string, paths map[string]string) (*rvet.Package, rvet.Loader, []*ast.File, *token.FileSet) {
+	t.Helper()
+	if _, ok := paths[target]; !ok {
+		t.Fatalf("target %q not in the fixture path map", target)
+	}
+	fake := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		fake[p] = true
+	}
+	fset := token.NewFileSet()
+	parsed := make(map[string][]*ast.File)
+	var allFiles []*ast.File
+	subdirs := make([]string, 0, len(paths))
+	for sub := range paths {
+		subdirs = append(subdirs, sub)
+	}
+	sort.Strings(subdirs)
+	for _, sub := range subdirs {
+		names, err := filepath.Glob(filepath.Join(root, sub, "*.go"))
+		if err != nil || len(names) == 0 {
+			t.Fatalf("no fixture files in %s/%s (%v)", root, sub, err)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parse %s: %v", name, err)
+			}
+			parsed[sub] = append(parsed[sub], f)
+			allFiles = append(allFiles, f)
+		}
+	}
+	checked := make(map[string]*rvet.Package)
+	deps := make(map[string]*types.Package)
+	remaining := append([]string(nil), subdirs...)
+	for len(remaining) > 0 {
+		var next []string
+		for _, sub := range remaining {
+			ready := true
+			for _, f := range parsed[sub] {
+				for _, imp := range f.Imports {
+					p := strings.Trim(imp.Path.Value, `"`)
+					if fake[p] && deps[p] == nil {
+						ready = false
+					}
+				}
+			}
+			if !ready {
+				next = append(next, sub)
+				continue
+			}
+			exports, err := exportData(parsed[sub], fake)
+			if err != nil {
+				t.Fatalf("resolving %s imports: %v", sub, err)
+			}
+			pkg, err := rvet.CheckParsedDeps(paths[sub], fset, parsed[sub], nil, exports, deps)
+			if err != nil {
+				t.Fatalf("type-checking fixture package %s: %v", sub, err)
+			}
+			checked[paths[sub]] = pkg
+			deps[paths[sub]] = pkg.Types
+		}
+		if len(next) == len(remaining) {
+			t.Fatalf("import cycle among fixture packages: %v", next)
+		}
+		remaining = next
+	}
+	loader := func(importPath string) (*rvet.Package, error) {
+		if pkg, ok := checked[importPath]; ok {
+			return pkg, nil
+		}
+		return nil, fmt.Errorf("rvettest: %s is not a fixture package of this tree", importPath)
+	}
+	return checked[paths[target]], loader, allFiles, fset
 }
 
 // Diagnostics loads dir like Run and returns the raw diagnostics without
@@ -92,7 +203,7 @@ func load(t *testing.T, dir, importPath string) *rvet.Package {
 		}
 		files = append(files, f)
 	}
-	exports, err := exportData(files)
+	exports, err := exportData(files, nil)
 	if err != nil {
 		t.Fatalf("resolving fixture imports: %v", err)
 	}
@@ -170,14 +281,16 @@ func unquote(q string) (string, error) {
 
 // exportData resolves the fixture's imports (and their dependencies) to
 // compiled export data via `go list -export`, run from the module so
-// rstore-internal imports resolve alongside the standard library.
-func exportData(files []*ast.File) (map[string]string, error) {
+// rstore-internal imports resolve alongside the standard library. Imports
+// in skip (fake fixture-package paths, which the go tool cannot know)
+// are left to the source-dependency map.
+func exportData(files []*ast.File, skip map[string]bool) (map[string]string, error) {
 	seen := make(map[string]bool)
 	var imports []string
 	for _, f := range files {
 		for _, imp := range f.Imports {
 			path := strings.Trim(imp.Path.Value, `"`)
-			if path == "unsafe" || seen[path] {
+			if path == "unsafe" || seen[path] || skip[path] {
 				continue
 			}
 			seen[path] = true

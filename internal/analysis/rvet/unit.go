@@ -77,7 +77,10 @@ func RunUnit(cfgPath string, analyzers []*Analyzer) int {
 		fmt.Fprintf(os.Stderr, "rstore-vet: %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
-	diags := Run(pkg, analyzers)
+	// Cross-package analyzers resolve sources through the go tool anchored
+	// at the unit's own directory — inside the module, so rstore import
+	// paths resolve exactly as in standalone mode.
+	diags := RunWith(pkg, analyzers, RunConfig{Load: NewModuleLoader(cfg.Dir)})
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
 	}

@@ -1,0 +1,20 @@
+package remote
+
+import wire "rstore/internal/xwire/wire"
+
+type Client struct{}
+
+func (c *Client) Echo(payload []byte) []byte {
+	req := []byte{wire.OpEcho}
+	return append(req, payload...)
+}
+
+func (c *Client) decodeErr(text string) error {
+	switch text {
+	case wire.ErrGone.Error():
+		return wire.ErrGone
+	case wire.ErrPhantom.Error():
+		return wire.ErrPhantom
+	}
+	return nil
+}

@@ -1,0 +1,10 @@
+package remote
+
+import wire "rstore/internal/xwire/wire"
+
+type Client struct{}
+
+func (c *Client) Echo(payload []byte) []byte {
+	req := []byte{wire.OpEcho}
+	return append(req, payload...)
+}

@@ -1,0 +1,11 @@
+package engined
+
+import wire "rstore/internal/xwire/wire"
+
+func Serve(op byte, payload []byte) []byte {
+	switch op {
+	case wire.OpEcho:
+		return payload
+	}
+	return nil
+}

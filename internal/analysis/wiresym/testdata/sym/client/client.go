@@ -1,0 +1,22 @@
+package remote
+
+import wire "rstore/internal/xwire/wire"
+
+type Client struct{ last error }
+
+func (c *Client) Echo(payload []byte) []byte {
+	req := []byte{wire.OpEcho}
+	return append(req, payload...)
+}
+
+func (c *Client) Halt() []byte {
+	return []byte{wire.OpHalt}
+}
+
+func (c *Client) decodeErr(text string) error {
+	switch text {
+	case wire.ErrGone.Error():
+		return wire.ErrGone
+	}
+	return nil
+}

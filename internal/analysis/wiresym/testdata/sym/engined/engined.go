@@ -1,0 +1,13 @@
+package engined
+
+import wire "rstore/internal/xwire/wire"
+
+func Serve(op byte, payload []byte) ([]byte, string) {
+	switch op {
+	case wire.OpEcho:
+		return payload, ""
+	case wire.OpHalt:
+		return nil, wire.ErrGone.Error()
+	}
+	return nil, "unknown op"
+}

@@ -58,7 +58,11 @@ func Start(addr string, be engine.Backend) (*Server, error) {
 	}
 	s := New(be)
 	s.ln = ln // assigned before Serve so Addr works immediately
-	go s.Serve(ln)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.Serve(ln)
+	}()
 	return s, nil
 }
 

@@ -681,12 +681,15 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
-	c.br.close()
 	idle := c.idle
 	c.idle = nil
 	// Close the drained connections outside the pool lock: Close on a TCP
 	// conn can block (lingering writes), and checkout/release contend on mu.
+	// The breaker is stopped outside it too — closed is already set, so no
+	// new operation can trip it, and nesting c.mu over the breaker's mutex
+	// would put a lock-order edge in the rank table for no benefit.
 	c.mu.Unlock()
+	c.br.close()
 	for _, cn := range idle {
 		cn.nc.Close()
 	}

@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// Decoder hardening: arbitrary bytes off the network must never panic the
+// frame reader, and anything it accepts must be a frame WriteFrame could
+// have produced.
+
+func FuzzReadFrame(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteFrame(&valid, []byte("hello, frame")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	var empty bytes.Buffer
+	if err := WriteFrame(&empty, nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	// A header announcing more than MaxFrame with no body: must be
+	// rejected as corruption, not allocated.
+	huge := make([]byte, frameHeader)
+	binary.LittleEndian.PutUint32(huge[0:4], MaxFrame+1)
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := ReadFrame(bytes.NewReader(data), nil)
+		if err != nil {
+			return // torn/corrupt input; rejecting is the contract
+		}
+		// An accepted frame must re-encode to exactly the bytes consumed.
+		var out bytes.Buffer
+		if err := WriteFrame(&out, payload); err != nil {
+			t.Fatalf("re-encoding accepted payload: %v", err)
+		}
+		if len(data) < out.Len() || !bytes.Equal(out.Bytes(), data[:out.Len()]) {
+			t.Fatalf("accepted frame does not round-trip: read %d-byte payload from %d input bytes", len(payload), len(data))
+		}
+		// Reading into a reused buffer must yield the same payload.
+		again, err := ReadFrame(bytes.NewReader(data), make([]byte, 0, 64))
+		if err != nil || !bytes.Equal(again, payload) {
+			t.Fatalf("buffer-reuse read disagrees: %v", err)
+		}
+	})
+}

@@ -1,0 +1,37 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"rstore/internal/types"
+)
+
+// Decoder hardening: a stored value read back from any backend (or a
+// remote node) must never panic the envelope parser, must fail only with
+// ErrCorrupt, and anything it accepts must round-trip through envelope.
+
+func FuzzUnenvelope(f *testing.F) {
+	f.Add(envelope(envValue, 12345, []byte("payload")))
+	f.Add(envelope(envTombstone, 1, nil))
+	f.Add([]byte{})
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 0}) // unknown flag byte
+	f.Add([]byte{0, 1, 2, 3})                // truncated envelope
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, ts, tombstone, err := unenvelope(data)
+		if err != nil {
+			if !errors.Is(err, types.ErrCorrupt) {
+				t.Fatalf("rejection is not classified as corruption: %v", err)
+			}
+			return
+		}
+		flag := byte(envValue)
+		if tombstone {
+			flag = envTombstone
+		}
+		if !bytes.Equal(envelope(flag, ts, payload), data) {
+			t.Fatalf("accepted envelope does not round-trip (ts=%d tombstone=%v)", ts, tombstone)
+		}
+	})
+}
