@@ -60,6 +60,7 @@ func main() {
 		segmentMB    = flag.Int("segment-mb", 0, "disklog segment rotation threshold in MiB (0 = default 64)")
 		compactEvery = flag.Duration("compact-interval", 0, "check the live ratio and compact at this cadence (0 = only on client demand)")
 		compactRatio = flag.Float64("compact-live-ratio", 0.6, "compact when live bytes / disk bytes falls below this (with -compact-interval)")
+		aeEvery      = flag.Duration("anti-entropy-interval", 0, "pre-compute hash-tree digests at this cadence so client anti-entropy syncs answer from warm state (0 = compute on demand)")
 	)
 	flag.Parse()
 
@@ -131,6 +132,49 @@ func main() {
 		}()
 	}
 
+	// Hash-tree warm loop: cluster clients running anti-entropy
+	// (kvstore RepairOptions.AntiEntropyInterval) fetch a digest of every
+	// table each sync round. Digesting on demand makes the client's tick
+	// pay a full table sweep; digesting here keeps the backend's memoized
+	// digest (the LSM engine caches per logical generation) warm so those
+	// requests answer from cache. Backends that recompute per call gain
+	// nothing, and backends without hashing are reported once at startup.
+	aeCtx, stopAE := context.WithCancel(context.Background())
+	var aeDone chan struct{}
+	if hr, ok := be.(engine.HashRanger); !ok {
+		if *aeEvery > 0 {
+			log.Printf("rstore-node: -backend %s does not support hash trees (%v); -anti-entropy-interval ignored",
+				*backend, engine.ErrNoHashRange)
+		}
+	} else if *aeEvery > 0 {
+		aeDone = make(chan struct{})
+		go func() {
+			defer close(aeDone)
+			t := time.NewTicker(*aeEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-aeCtx.Done():
+					return
+				case <-t.C:
+				}
+				tables, err := be.Tables(aeCtx)
+				if err != nil {
+					continue
+				}
+				for _, table := range tables {
+					if _, err := hr.HashTree(aeCtx, table, engine.DefaultHashFanout); err != nil {
+						if aeCtx.Err() != nil {
+							return
+						}
+						log.Printf("rstore-node: hash tree %s: %v", table, err)
+						break
+					}
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
@@ -138,6 +182,10 @@ func main() {
 	stopCompact()
 	if compactDone != nil {
 		<-compactDone
+	}
+	stopAE()
+	if aeDone != nil {
+		<-aeDone
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -75,6 +75,7 @@ func main() {
 		storePath = flag.String("store", "", "snapshot file to restore from (memory backend only)")
 		hintEvery = flag.Duration("hint-interval", 0, "hint drain cadence for replication repair (0 = default 1s)")
 		tombTTL   = flag.Duration("tombstone-ttl", 0, "collect tombstones older than this once all replicas agree (0 = ack-based GC only)")
+		aeEvery   = flag.Duration("anti-entropy-interval", 0, "background hash-tree replica sync cadence (0 = off; needs -rf > 1)")
 		compEvery = flag.Duration("compact-interval", 0, "check the cluster's live ratio and compact at this cadence (0 = off; disklog/remote backends)")
 		compRatio = flag.Float64("compact-live-ratio", 0.6, "compact when live bytes / disk bytes falls below this (with -compact-interval)")
 	)
@@ -83,7 +84,10 @@ func main() {
 	cluster := rstore.ClusterConfig{
 		Nodes: *nodes, ReplicationFactor: *rf, Cost: rstore.DefaultCostModel(),
 		Engine: *backend, Dir: *dataDir,
-		Repair: rstore.RepairOptions{HintInterval: *hintEvery, TombstoneTTL: *tombTTL},
+		Repair: rstore.RepairOptions{HintInterval: *hintEvery, TombstoneTTL: *tombTTL, AntiEntropyInterval: *aeEvery},
+	}
+	if *aeEvery > 0 && *rf <= 1 {
+		log.Printf("rstore-server: -anti-entropy-interval needs -rf > 1; ignored")
 	}
 	if *backend == rstore.EngineRemote {
 		cluster.NodeAddrs = rstore.SplitNodeAddrs(*nodeAddrs)

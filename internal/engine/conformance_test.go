@@ -480,3 +480,173 @@ func TestConformanceClosedOperationsFail(t *testing.T) {
 		}
 	})
 }
+
+// TestConformanceHashRange pins the anti-entropy hash seam: every backend
+// that implements engine.HashRanger must produce the same digests for the
+// same logical content — the whole point of the tree is that two replicas
+// built through different engines (or different write orders) agree byte
+// for byte. The remote rows exercise OpHashTree/OpHashRange over real TCP.
+func TestConformanceHashRange(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b engine.Backend) {
+		hr, ok := b.(engine.HashRanger)
+		if !ok {
+			// Optional interface; all built-in backends implement it.
+			t.Skip("backend does not implement engine.HashRanger")
+		}
+		ctx := context.Background()
+		const fanout = 8
+
+		// An absent table digests to the canonical empty tree.
+		empty, err := hr.HashTree(ctx, "absent", fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(empty.Leaves) != fanout {
+			t.Fatalf("empty tree has %d leaves, want %d", len(empty.Leaves), fanout)
+		}
+		for i, l := range empty.Leaves {
+			if l.Hash != 0 || l.Keys != 0 {
+				t.Fatalf("empty tree leaf %d = %+v", i, l)
+			}
+		}
+		for bkt := 0; bkt < fanout; bkt++ {
+			khs, err := hr.HashRange(ctx, "absent", fanout, bkt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(khs) != 0 {
+				t.Fatalf("empty table bucket %d lists %d keys", bkt, len(khs))
+			}
+		}
+
+		// A single key lands in exactly its BucketOf bucket with its
+		// EntryHash, and the root departs from the empty tree's.
+		if err := b.Put(ctx, "h", "solo", []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		one, err := hr.HashTree(ctx, "h", fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if one.Root == empty.Root {
+			t.Fatal("single-key tree has the empty root")
+		}
+		want := engine.BucketOf("solo", fanout)
+		for i, l := range one.Leaves {
+			switch {
+			case i == want && (l.Keys != 1 || l.Hash != engine.EntryHash("solo", []byte("payload"))):
+				t.Fatalf("bucket %d = %+v, want the solo entry", i, l)
+			case i != want && (l.Keys != 0 || l.Hash != 0):
+				t.Fatalf("bucket %d = %+v, want empty", i, l)
+			}
+		}
+		khs, err := hr.HashRange(ctx, "h", fanout, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(khs) != 1 || khs[0].Key != "solo" || khs[0].Hash != engine.EntryHash("solo", []byte("payload")) {
+			t.Fatalf("bucket %d = %+v", want, khs)
+		}
+
+		// Boundary keys: empty key, empty value, binary bytes, and enough
+		// keys that every bucket is hit. Buckets must partition the key
+		// set exactly, each listed ascending.
+		content := map[string][]byte{"": []byte("empty-key"), "ev": nil, "b\x00\xff": []byte{0, 255}}
+		for i := 0; i < 64; i++ {
+			content[fmt.Sprintf("k%02d", i)] = []byte(fmt.Sprintf("v%02d", i)) // covers all 8 buckets w.h.p.
+		}
+		for k, v := range content {
+			if err := b.Put(ctx, "h2", k, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d, err := hr.HashTree(ctx, "h2", fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		var totalKeys uint64
+		for bkt := 0; bkt < fanout; bkt++ {
+			khs, err := hr.HashRange(ctx, "h2", fanout, bkt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if uint64(len(khs)) != d.Leaves[bkt].Keys {
+				t.Fatalf("bucket %d lists %d keys, digest says %d", bkt, len(khs), d.Leaves[bkt].Keys)
+			}
+			var xor uint64
+			for i, kh := range khs {
+				if i > 0 && !(khs[i-1].Key < kh.Key) {
+					t.Fatalf("bucket %d not ascending at %d: %q >= %q", bkt, i, khs[i-1].Key, kh.Key)
+				}
+				if engine.BucketOf(kh.Key, fanout) != bkt {
+					t.Fatalf("key %q listed in bucket %d, hashes to %d", kh.Key, bkt, engine.BucketOf(kh.Key, fanout))
+				}
+				v, ok := content[kh.Key]
+				if !ok {
+					t.Fatalf("bucket %d lists unknown key %q", bkt, kh.Key)
+				}
+				if kh.Hash != engine.EntryHash(kh.Key, v) {
+					t.Fatalf("key %q entry hash mismatch", kh.Key)
+				}
+				seen[kh.Key] = true
+				xor ^= kh.Hash
+			}
+			if xor != d.Leaves[bkt].Hash {
+				t.Fatalf("bucket %d leaf hash is not the XOR of its entries", bkt)
+			}
+			totalKeys += d.Leaves[bkt].Keys
+		}
+		if len(seen) != len(content) || totalKeys != uint64(len(content)) {
+			t.Fatalf("buckets cover %d keys (%d counted), table holds %d", len(seen), totalKeys, len(content))
+		}
+
+		// Mutations move the digest; reverting them restores it exactly
+		// (delete → re-hash must not leave tombstone residue in the tree).
+		before := d.Root
+		if err := b.Put(ctx, "h2", "k00", []byte("changed")); err != nil {
+			t.Fatal(err)
+		}
+		changed, err := hr.HashTree(ctx, "h2", fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed.Root == before {
+			t.Fatal("overwrite did not move the root")
+		}
+		if err := b.Delete(ctx, "h2", "k00"); err != nil {
+			t.Fatal(err)
+		}
+		deleted, err := hr.HashTree(ctx, "h2", fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if deleted.Root == changed.Root {
+			t.Fatal("delete did not move the root")
+		}
+		if err := b.Put(ctx, "h2", "k00", content["k00"]); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := hr.HashTree(ctx, "h2", fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if restored.Root != before {
+			t.Fatal("restoring the original content did not restore the root")
+		}
+
+		// Bad parameters are rejected up front.
+		if _, err := hr.HashTree(ctx, "h2", 0); err == nil {
+			t.Fatal("fanout 0 accepted")
+		}
+		if _, err := hr.HashTree(ctx, "h2", engine.MaxHashFanout+1); err == nil {
+			t.Fatal("fanout past the limit accepted")
+		}
+		if _, err := hr.HashRange(ctx, "h2", fanout, fanout); err == nil {
+			t.Fatal("bucket == fanout accepted")
+		}
+		if _, err := hr.HashRange(ctx, "h2", fanout, -1); err == nil {
+			t.Fatal("negative bucket accepted")
+		}
+	})
+}

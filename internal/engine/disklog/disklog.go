@@ -148,9 +148,10 @@ type Backend struct {
 }
 
 var (
-	_ engine.Backend   = (*Backend)(nil)
-	_ engine.Compactor = (*Backend)(nil)
-	_ engine.Resetter  = (*Backend)(nil)
+	_ engine.Backend    = (*Backend)(nil)
+	_ engine.Compactor  = (*Backend)(nil)
+	_ engine.Resetter   = (*Backend)(nil)
+	_ engine.HashRanger = (*Backend)(nil)
 )
 
 // ErrCrashed reports that a crash-injection point armed by SetCrashPoint
@@ -759,6 +760,64 @@ func (b *Backend) Scan(ctx context.Context, table string, fn func(key string, va
 		}
 	}
 	return nil
+}
+
+// HashTree digests a table into a fanout-bucket hash tree
+// (engine.HashRanger). Every live value is read from disk — the digest
+// covers the stored bytes, not the index — so the call costs one sweep of
+// the table, like Scan; the context is checked per entry.
+func (b *Backend) HashTree(ctx context.Context, table string, fanout int) (engine.TreeDigest, error) {
+	if err := engine.CheckHashFanout(fanout); err != nil {
+		return engine.TreeDigest{}, err
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return engine.TreeDigest{}, types.ErrClosed
+	}
+	th := engine.NewTreeHasher(fanout)
+	for k, r := range b.index[table] {
+		if err := ctx.Err(); err != nil {
+			return engine.TreeDigest{}, err
+		}
+		v, err := b.readRef(r)
+		if err != nil {
+			return engine.TreeDigest{}, err
+		}
+		th.Add(k, v)
+	}
+	return th.Digest(), nil
+}
+
+// HashRange lists one bucket's keys with their entry hashes, ascending by
+// key (engine.HashRanger). Only the bucket's own values are read from
+// disk; the rest of the table costs one in-memory bucket computation per
+// key.
+func (b *Backend) HashRange(ctx context.Context, table string, fanout, bucket int) ([]engine.KeyHash, error) {
+	if err := engine.CheckHashBucket(fanout, bucket); err != nil {
+		return nil, err
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return nil, types.ErrClosed
+	}
+	var out []engine.KeyHash
+	for k, r := range b.index[table] {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if engine.BucketOf(k, fanout) != bucket {
+			continue
+		}
+		v, err := b.readRef(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, engine.KeyHash{Key: k, Hash: engine.EntryHash(k, v)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
 }
 
 // Tables lists tables that hold at least one live key.

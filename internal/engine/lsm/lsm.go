@@ -84,9 +84,10 @@ func (o Options) withDefaults() Options {
 var ErrCrashed = errors.New("lsm: injected crash")
 
 var (
-	_ engine.Backend   = (*Backend)(nil)
-	_ engine.Compactor = (*Backend)(nil)
-	_ engine.Resetter  = (*Backend)(nil)
+	_ engine.Backend    = (*Backend)(nil)
+	_ engine.Compactor  = (*Backend)(nil)
+	_ engine.Resetter   = (*Backend)(nil)
+	_ engine.HashRanger = (*Backend)(nil)
 )
 
 // Backend is the LSM engine for one node's data directory. It implements
@@ -115,6 +116,13 @@ type Backend struct {
 	keys map[string]int
 	// compacted accumulates bytes reclaimed by merges (CompactionStats).
 	compacted int64
+	// gen counts logical-content changes (every applied put/delete/reset);
+	// flush and merge leave it alone because they do not change contents.
+	// hashMemo caches the last HashTree digest per (table, fanout) at the
+	// gen it was computed, so repeated anti-entropy sweeps over unchanged
+	// tables skip the merged scan entirely (see hashtree.go).
+	gen      int64
+	hashMemo map[hashMemoKey]hashMemoEntry
 
 	// compactMu serializes merges (explicit Compact and post-flush
 	// size-tiered compaction) so two merges can never race over the same
@@ -381,6 +389,7 @@ func (b *Backend) applyPutLocked(table string, ik, value []byte) error {
 	}
 	b.bytes += int64(len(value))
 	b.mem.set(ik, value, false)
+	b.gen++
 	return nil
 }
 
@@ -402,6 +411,7 @@ func (b *Backend) applyDelLocked(table string, ik []byte) error {
 		delete(b.keys, table)
 	}
 	b.mem.set(ik, nil, true)
+	b.gen++
 	return nil
 }
 
@@ -666,6 +676,8 @@ func (b *Backend) Reset(ctx context.Context) error {
 	}
 	// Committed: tear down the old state.
 	b.epoch++
+	b.gen++
+	b.hashMemo = nil
 	if b.rows != nil {
 		b.rows.wipe()
 	}

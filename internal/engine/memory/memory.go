@@ -6,6 +6,7 @@ package memory
 
 import (
 	"context"
+	"sort"
 	"sync"
 
 	"rstore/internal/engine"
@@ -28,8 +29,9 @@ func New() *Backend {
 }
 
 var (
-	_ engine.Backend  = (*Backend)(nil)
-	_ engine.Resetter = (*Backend)(nil)
+	_ engine.Backend    = (*Backend)(nil)
+	_ engine.Resetter   = (*Backend)(nil)
+	_ engine.HashRanger = (*Backend)(nil)
 )
 
 // Put stores a copy of value under (table, key).
@@ -167,6 +169,63 @@ func (b *Backend) BytesStored() int64 {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return b.bytesStored
+}
+
+// HashTree digests a table into a fanout-bucket hash tree
+// (engine.HashRanger). The context is checked periodically, like Scan.
+func (b *Backend) HashTree(ctx context.Context, table string, fanout int) (engine.TreeDigest, error) {
+	if err := engine.CheckHashFanout(fanout); err != nil {
+		return engine.TreeDigest{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return engine.TreeDigest{}, err
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return engine.TreeDigest{}, types.ErrClosed
+	}
+	th := engine.NewTreeHasher(fanout)
+	i := 0
+	for k, v := range b.data[table] {
+		if i++; i&0x3ff == 0 {
+			if err := ctx.Err(); err != nil {
+				return engine.TreeDigest{}, err
+			}
+		}
+		th.Add(k, v)
+	}
+	return th.Digest(), nil
+}
+
+// HashRange lists one bucket's keys with their entry hashes, ascending by
+// key (engine.HashRanger).
+func (b *Backend) HashRange(ctx context.Context, table string, fanout, bucket int) ([]engine.KeyHash, error) {
+	if err := engine.CheckHashBucket(fanout, bucket); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return nil, types.ErrClosed
+	}
+	var out []engine.KeyHash
+	i := 0
+	for k, v := range b.data[table] {
+		if i++; i&0x3ff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if engine.BucketOf(k, fanout) == bucket {
+			out = append(out, engine.KeyHash{Key: k, Hash: engine.EntryHash(k, v)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
 }
 
 // Reset drops every table and key (engine.Resetter).

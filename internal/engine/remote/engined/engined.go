@@ -471,6 +471,67 @@ func (s *Server) serveOp(nc net.Conn, bw *bufio.Writer, op byte, body, resp []by
 		}
 		return reply(bw, resp, wire.StOK, nil)
 
+	case wire.OpHashTree:
+		hr, ok := s.be.(engine.HashRanger)
+		if !ok {
+			// Exact sentinel text so the client maps it back onto
+			// engine.ErrNoHashRange (mirrors ErrNoCompaction above).
+			return reply(bw, resp, wire.StErr, []byte(engine.ErrNoHashRange.Error()))
+		}
+		table, rest, err := codec.String(body)
+		if err != nil {
+			return resp, err
+		}
+		fanout, _, err := codec.Uvarint(rest)
+		if err != nil {
+			return resp, err
+		}
+		if fanout > engine.MaxHashFanout {
+			return resp, fmt.Errorf("engined: hash fanout %d exceeds limit", fanout)
+		}
+		d, err := hr.HashTree(s.baseCtx, table, int(fanout))
+		// A full-table sweep may outlive the deadline set at dispatch; the
+		// response write gets a fresh one.
+		nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		if err != nil {
+			return replyErr(bw, resp, err)
+		}
+		resp = append(resp[:0], wire.StOK)
+		resp = wire.PutHashTree(resp, d)
+		return resp, wire.WriteFrame(bw, resp)
+
+	case wire.OpHashRange:
+		hr, ok := s.be.(engine.HashRanger)
+		if !ok {
+			// Exact sentinel text, as for OpHashTree.
+			return reply(bw, resp, wire.StErr, []byte(engine.ErrNoHashRange.Error()))
+		}
+		table, rest, err := codec.String(body)
+		if err != nil {
+			return resp, err
+		}
+		fanout, rest, err := codec.Uvarint(rest)
+		if err != nil {
+			return resp, err
+		}
+		bucket, _, err := codec.Uvarint(rest)
+		if err != nil {
+			return resp, err
+		}
+		if fanout > engine.MaxHashFanout || bucket >= fanout {
+			return resp, fmt.Errorf("engined: hash bucket %d/%d out of range", bucket, fanout)
+		}
+		khs, err := hr.HashRange(s.baseCtx, table, int(fanout), int(bucket))
+		// A bucket sweep may outlive the deadline set at dispatch; the
+		// response write gets a fresh one.
+		nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		if err != nil {
+			return replyErr(bw, resp, err)
+		}
+		resp = append(resp[:0], wire.StOK)
+		resp = wire.PutHashRange(resp, khs)
+		return resp, wire.WriteFrame(bw, resp)
+
 	case wire.OpPing:
 		return reply(bw, resp, wire.StOK, nil)
 

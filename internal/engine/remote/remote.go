@@ -131,6 +131,7 @@ var (
 	_ engine.Backend     = (*Client)(nil)
 	_ engine.Compactor   = (*Client)(nil)
 	_ engine.MultiGetter = (*Client)(nil)
+	_ engine.HashRanger  = (*Client)(nil)
 )
 
 // conn is one pooled connection with its buffered reader and reusable
@@ -392,6 +393,8 @@ func decodeErr(body []byte) error {
 		return engine.ErrNoCompaction
 	case engine.ErrNoReset.Error():
 		return engine.ErrNoReset
+	case engine.ErrNoHashRange.Error():
+		return engine.ErrNoHashRange
 	}
 	return fmt.Errorf("remote node: %s", msg)
 }
@@ -664,6 +667,75 @@ func (c *Client) CompactionStats(ctx context.Context) (engine.CompactionStats, e
 // deadline rather than the point-request one.
 func (c *Client) Reset(ctx context.Context) error {
 	return c.doTimeout(ctx, c.opts.CompactTimeout, []byte{wire.OpReset}, nil, okOrErr)
+}
+
+// HashTree fetches the node's hash-tree digest of one table
+// (engine.HashRanger) — the anti-entropy summary exchange. Retrying is
+// safe: digesting is read-only. A node whose backend cannot hash surfaces
+// as engine.ErrNoHashRange (a hard error, not unavailability).
+func (c *Client) HashTree(ctx context.Context, table string, fanout int) (engine.TreeDigest, error) {
+	if err := engine.CheckHashFanout(fanout); err != nil {
+		return engine.TreeDigest{}, err
+	}
+	req := []byte{wire.OpHashTree}
+	req = codec.PutString(req, table)
+	req = codec.PutUvarint(req, uint64(fanout))
+	var d engine.TreeDigest
+	err := c.do(ctx, req, nil, func(status byte, body []byte) (bool, bool, error) {
+		switch status {
+		case wire.StOK:
+			var err error
+			// The decoder copies out of the receive buffer (fresh leaf
+			// slice), so the digest is safe to retain.
+			d, err = wire.HashTree(body)
+			if err != nil {
+				return true, false, transportErr(err)
+			}
+			return true, false, nil
+		case wire.StErr:
+			return true, false, decodeErr(body)
+		default:
+			return true, false, transportErr(fmt.Errorf("%w: unexpected response status %d", types.ErrCorrupt, status))
+		}
+	})
+	if err != nil {
+		return engine.TreeDigest{}, err
+	}
+	return d, nil
+}
+
+// HashRange lists one tree bucket's keys with their entry hashes
+// (engine.HashRanger), for key-by-key diffing of an unequal leaf.
+func (c *Client) HashRange(ctx context.Context, table string, fanout, bucket int) ([]engine.KeyHash, error) {
+	if err := engine.CheckHashBucket(fanout, bucket); err != nil {
+		return nil, err
+	}
+	req := []byte{wire.OpHashRange}
+	req = codec.PutString(req, table)
+	req = codec.PutUvarint(req, uint64(fanout))
+	req = codec.PutUvarint(req, uint64(bucket))
+	var khs []engine.KeyHash
+	err := c.do(ctx, req, nil, func(status byte, body []byte) (bool, bool, error) {
+		switch status {
+		case wire.StOK:
+			var err error
+			// codec.String copies, so the decoded keys do not alias the
+			// receive buffer.
+			khs, err = wire.HashRange(body)
+			if err != nil {
+				return true, false, transportErr(err)
+			}
+			return true, false, nil
+		case wire.StErr:
+			return true, false, decodeErr(body)
+		default:
+			return true, false, transportErr(fmt.Errorf("%w: unexpected response status %d", types.ErrCorrupt, status))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return khs, nil
 }
 
 // Ping round-trips a no-op request, reporting node reachability.

@@ -79,6 +79,16 @@ func (n *node) reset(ctx context.Context) error {
 	return n.tr.reset(ctx)
 }
 
+// hashTree and hashRange serve the anti-entropy digest exchange. Backends
+// without hash support return engine.ErrNoHashRange.
+func (n *node) hashTree(ctx context.Context, table string, fanout int) (engine.TreeDigest, error) {
+	return n.tr.hashTree(ctx, table, fanout)
+}
+
+func (n *node) hashRange(ctx context.Context, table string, fanout, bucket int) ([]engine.KeyHash, error) {
+	return n.tr.hashRange(ctx, table, fanout, bucket)
+}
+
 func (n *node) isUp() bool {
 	return n.tr.available()
 }

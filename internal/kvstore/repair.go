@@ -86,6 +86,18 @@ type RepairOptions struct {
 	// tombstones whose acknowledgment tracking died with a previous
 	// cluster client.
 	TombstoneTTL time.Duration
+	// AntiEntropyInterval, when positive, starts the background
+	// anti-entropy loop (antientropy.go): each interval one replica pair's
+	// hash trees are compared and any divergence — including divergence no
+	// read or hint ever observed — is repaired. Zero (the default) leaves
+	// convergence to read repair and hinted handoff. Requires every node's
+	// backend to implement engine.HashRanger (all built-in engines do).
+	AntiEntropyInterval time.Duration
+	// AntiEntropyFanout is the hash-tree bucket count the loop digests
+	// tables into (default engine.DefaultHashFanout, capped at
+	// engine.MaxHashFanout). More buckets mean finer drill-down on a
+	// diverged table at the cost of a larger digest frame.
+	AntiEntropyFanout int
 }
 
 func (o RepairOptions) withDefaults() RepairOptions {
@@ -209,6 +221,21 @@ func (r *repairer) close() {
 
 func taskKey(table, key string) string { return table + "\x00" + key }
 
+// dedupKey is the in-flight coalescing identity. GC tasks carry a marker:
+// a tombstone repair whose final acknowledgment completes DURING run() —
+// the anti-entropy path, where the repair write itself is the last ack —
+// schedules the collection while its own key is still marked in-flight,
+// and coalescing the GC against the repair that spawned it would drop the
+// collection forever (the ack set is already consumed, so nothing would
+// ever reschedule it).
+func (t repairTask) dedupKey() string {
+	k := taskKey(t.table, t.key)
+	if t.gc {
+		k += "\x00gc"
+	}
+	return k
+}
+
 // enqueue hands a task to the worker pool. Tasks for a key already being
 // repaired coalesce (dropped silently — the in-flight repair converges the
 // same replicas); tasks past the queue bound are dropped and counted.
@@ -227,7 +254,7 @@ func (r *repairer) enqueue(t repairTask) {
 			go r.worker()
 		}
 	})
-	k := taskKey(t.table, t.key)
+	k := t.dedupKey()
 	r.mu.Lock()
 	if r.inflight[k] {
 		r.mu.Unlock()
@@ -254,7 +281,7 @@ func (r *repairer) worker() {
 		case t := <-r.tasks:
 			r.run(t)
 			r.mu.Lock()
-			delete(r.inflight, taskKey(t.table, t.key))
+			delete(r.inflight, t.dedupKey())
 			r.mu.Unlock()
 		}
 	}
@@ -284,19 +311,25 @@ func (r *repairer) run(t repairTask) {
 			continue
 		}
 		if ok {
-			_, ts, tomb, err := unenvelope(raw)
-			if err != nil {
-				continue
-			}
-			// Apply only strictly newer state (or the tombstone side of a
-			// timestamp tie). The re-check closes the race with the replica
-			// having converged through another path — an older envelope
-			// must never regress it.
-			if !(t.ts > ts || (t.ts == ts && t.tomb && !tomb)) {
-				if tomb && ts == t.ts && t.tomb {
-					r.tombAck(t.table, t.key, t.ts, nid)
+			// An existing value that does not parse as an envelope was
+			// never written by the store — the replica's bytes rotted (or
+			// something else wrote there). There is nothing to compare
+			// timestamps against, and skipping would leave the corruption
+			// in place forever; any well-formed envelope is an improvement,
+			// so fall through and overwrite it unconditionally. Anti-entropy
+			// relies on this: its reconcile treats unparsable state as
+			// absent and nominates the intact replica's version.
+			if _, ts, tomb, err := unenvelope(raw); err == nil {
+				// Apply only strictly newer state (or the tombstone side of a
+				// timestamp tie). The re-check closes the race with the replica
+				// having converged through another path — an older envelope
+				// must never regress it.
+				if !(t.ts > ts || (t.ts == ts && t.tomb && !tomb)) {
+					if tomb && ts == t.ts && t.tomb {
+						r.tombAck(t.table, t.key, t.ts, nid)
+					}
+					continue
 				}
-				continue
 			}
 		} else if t.tomb {
 			// The replica has nothing to resurrect; writing a tombstone

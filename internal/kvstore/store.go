@@ -234,6 +234,9 @@ type Store struct {
 	// repair is the replication-repair subsystem (repair.go); nil at
 	// ReplicationFactor 1, where replicas cannot diverge.
 	repair *repairer
+	// ae is the background anti-entropy loop (antientropy.go); nil unless
+	// RepairOptions.AntiEntropyInterval is set and ReplicationFactor > 1.
+	ae *antiEntropy
 
 	// Virtual clock and counters (atomics; Store is safe for concurrent
 	// use).
@@ -294,6 +297,12 @@ func Open(ctx context.Context, cfg Config) (*Store, error) {
 		// Resume draining hints a previous client parked (durable in the
 		// !hints tables); unreachable nodes are simply skipped.
 		s.repair.recoverHints(ctx)
+		if cfg.Repair.AntiEntropyInterval > 0 {
+			// Started after the repairer: the loop routes every repair it
+			// finds through the repairer's workers and lifecycle context.
+			s.ae = newAntiEntropy(s, cfg.Repair)
+			s.ae.start()
+		}
 	}
 	// A remote node recovering from probation (breaker closing) kicks hint
 	// drain so writes parked while it was down replay promptly — the wire
@@ -392,6 +401,10 @@ func underOver(under bool) string {
 func (s *Store) Close() error {
 	if s.closed.Swap(true) {
 		return nil
+	}
+	if s.ae != nil {
+		// Stop the anti-entropy loop before the repairer it enqueues into.
+		s.ae.close()
 	}
 	if s.repair != nil {
 		// Stop repair workers before their nodes' backends go away.
@@ -1278,6 +1291,13 @@ type Stats struct {
 	HintsPending   int64 // parked writes currently awaiting replay
 	TombstonesGCed int64 // tombstones physically collected
 
+	// Anti-entropy (antientropy.go). All zero unless the loop is enabled
+	// via RepairOptions.AntiEntropyInterval.
+	AESyncs        int64 // completed replica-pair sync rounds
+	AERangesDiffed int64 // unequal tree buckets drilled into
+	AEKeysRepaired int64 // differing keys handed to the repair writer
+	AEBytesHashed  int64 // key+value bytes digested by tree sweeps
+
 	// Storage reclaim, summed over reachable nodes whose backend supports
 	// compaction (the disklog engine, local or behind a daemon); all zero
 	// on a pure memory cluster. Byte counts include record framing, so
@@ -1313,6 +1333,12 @@ func (s *Store) Stats(ctx context.Context) Stats {
 		st.HintsReplayed = r.hintsReplayed.Load()
 		st.HintsPending = r.hintsPending.Load()
 		st.TombstonesGCed = r.tombstonesGC.Load()
+	}
+	if a := s.ae; a != nil {
+		st.AESyncs = a.syncs.Load()
+		st.AERangesDiffed = a.rangesDiffed.Load()
+		st.AEKeysRepaired = a.keysRepaired.Load()
+		st.AEBytesHashed = a.bytesHashed.Load()
 	}
 	for _, n := range s.nodes {
 		if bs, ok := n.tr.breakerStats(); ok {

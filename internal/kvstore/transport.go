@@ -46,6 +46,12 @@ type transport interface {
 	// reset wipes the node's backend empty (engine.Resetter). Nodes whose
 	// backend does not implement it return engine.ErrNoReset.
 	reset(ctx context.Context) error
+	// hashTree and hashRange serve the anti-entropy digest exchange
+	// (engine.HashRanger): a fanout-bucket hash tree of one table, and the
+	// key/entry-hash listing of one bucket. Nodes whose backend does not
+	// implement it return engine.ErrNoHashRange.
+	hashTree(ctx context.Context, table string, fanout int) (engine.TreeDigest, error)
+	hashRange(ctx context.Context, table string, fanout, bucket int) ([]engine.KeyHash, error)
 	// available is a cheap best-effort liveness hint used to pick read
 	// replicas; the authoritative signal is an ErrUnavailable result.
 	available() bool
@@ -193,6 +199,28 @@ func (t *localTransport) reset(ctx context.Context) error {
 	return r.Reset(ctx)
 }
 
+func (t *localTransport) hashTree(ctx context.Context, table string, fanout int) (engine.TreeDigest, error) {
+	if err := t.gate(); err != nil {
+		return engine.TreeDigest{}, err
+	}
+	hr, ok := t.be.(engine.HashRanger)
+	if !ok {
+		return engine.TreeDigest{}, engine.ErrNoHashRange
+	}
+	return hr.HashTree(ctx, table, fanout)
+}
+
+func (t *localTransport) hashRange(ctx context.Context, table string, fanout, bucket int) ([]engine.KeyHash, error) {
+	if err := t.gate(); err != nil {
+		return nil, err
+	}
+	hr, ok := t.be.(engine.HashRanger)
+	if !ok {
+		return nil, engine.ErrNoHashRange
+	}
+	return hr.HashRange(ctx, table, fanout, bucket)
+}
+
 func (t *localTransport) available() bool {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -257,6 +285,14 @@ func (t *remoteTransport) compactStats(ctx context.Context) (engine.CompactionSt
 }
 
 func (t *remoteTransport) reset(ctx context.Context) error { return t.c.Reset(ctx) }
+
+func (t *remoteTransport) hashTree(ctx context.Context, table string, fanout int) (engine.TreeDigest, error) {
+	return t.c.HashTree(ctx, table, fanout)
+}
+
+func (t *remoteTransport) hashRange(ctx context.Context, table string, fanout, bucket int) ([]engine.KeyHash, error) {
+	return t.c.HashRange(ctx, table, fanout, bucket)
+}
 
 // available reflects the wire client's failure detector: a node in
 // probation (circuit breaker open) is reported down so read placement

@@ -404,6 +404,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"hints_pending":   kv.HintsPending,
 		"hints_replayed":  kv.HintsReplayed,
 		"tombstones_gced": kv.TombstonesGCed,
+		// Anti-entropy sync traffic (zero unless the background loop is
+		// enabled via -anti-entropy-interval).
+		"ae_syncs":         kv.AESyncs,
+		"ae_ranges_diffed": kv.AERangesDiffed,
+		"ae_keys_repaired": kv.AEKeysRepaired,
+		"ae_bytes_hashed":  kv.AEBytesHashed,
 		// Storage reclaim (zero on engines without compaction).
 		"disk_bytes":      kv.DiskBytes,
 		"live_ratio":      kv.LiveRatio,

@@ -112,6 +112,10 @@ var (
 	// kvstore.Store.Compact and kvstore.Store.Reset).
 	ErrNoCompaction = engine.ErrNoCompaction
 	ErrNoReset      = engine.ErrNoReset
+	// ErrNoHashRange reports that a cluster node's backend does not
+	// implement the optional hash-tree extension the anti-entropy loop
+	// requires (see RepairOptions.AntiEntropyInterval).
+	ErrNoHashRange = engine.ErrNoHashRange
 )
 
 // Open creates a store. With a zero Config it runs on a private single-node
